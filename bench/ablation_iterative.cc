@@ -1,0 +1,91 @@
+// Reproduces §5.2.3 (ablation 1): iterative multi-stage prompting vs the
+// all-in-one single-prompt variant, on the first 10 valid Table 5 drivers
+// — syscall count, type count, and fuzzing coverage.
+
+#include <cstdio>
+
+#include "experiments/context.h"
+#include "util/table.h"
+
+using namespace kernelgpt;
+
+namespace {
+constexpr int kBudget = 8000;
+constexpr int kReps = 2;
+
+const char* const kDrivers[] = {
+    "btrfs_control", "capi20", "controlc0", "fuse",  "hpet",
+    "i2c0",          "kvm",    "loop_control", "loop0", "misdntimer",
+};
+}  // namespace
+
+int
+main()
+{
+  experiments::ContextOptions iterative_opts;
+  iterative_opts.gen.iterative = true;
+  experiments::ContextOptions all_in_one_opts;
+  all_in_one_opts.gen.iterative = false;
+  // The paper's all-in-one prompt must fit everything in one context; our
+  // corpus functions are far smaller than real kernel code, so scale the
+  // per-prompt code budget accordingly.
+  all_in_one_opts.gen.profile.context_tokens = 1200;
+
+  const experiments::ExperimentContext iterative(iterative_opts);
+  const experiments::ExperimentContext all_in_one(all_in_one_opts);
+
+  std::printf("Ablation (5.2.3): iterative multi-stage vs all-in-one "
+              "prompting, first 10 valid drivers\n");
+  std::printf("(paper: iterative infers 1.28x syscalls, 2.37x types, 1.39x "
+              "coverage; kvm 71 vs 42 syscalls, 15605 vs 5457 cov)\n\n");
+
+  util::Table table({"Driver", "Iter #Sys", "Iter #Types", "Iter Cov",
+                     "AllInOne #Sys", "AllInOne #Types", "AllInOne Cov"});
+  size_t it_sys = 0;
+  size_t it_types = 0;
+  double it_cov = 0;
+  size_t ai_sys = 0;
+  size_t ai_types = 0;
+  double ai_cov = 0;
+  uint64_t seed = 4242;
+
+  for (const char* id : kDrivers) {
+    const experiments::ModuleResult* it_mod = iterative.Find(id);
+    const experiments::ModuleResult* ai_mod = all_in_one.Find(id);
+    if (!it_mod || !ai_mod) continue;
+
+    auto eval = [&](const experiments::ExperimentContext& ctx,
+                    const experiments::ModuleResult* mod)
+        -> std::tuple<size_t, size_t, double> {
+      if (!mod->KernelGptUsable()) return {0, 0, 0.0};
+      fuzzer::SpecLibrary lib = ctx.MakeLibrary({&mod->kernelgpt.spec});
+      auto summary = ctx.Fuzz(lib, kBudget, kReps, seed += 19);
+      return {mod->kernelgpt.SyscallCount(), mod->kernelgpt.TypeCount(),
+              summary.avg_coverage};
+    };
+    auto [is, itt, ic] = eval(iterative, it_mod);
+    auto [as, att, ac] = eval(all_in_one, ai_mod);
+    it_sys += is;
+    it_types += itt;
+    it_cov += ic;
+    ai_sys += as;
+    ai_types += att;
+    ai_cov += ac;
+    table.AddRow({id, std::to_string(is), std::to_string(itt),
+                  util::Fixed(ic, 0), std::to_string(as),
+                  std::to_string(att), util::Fixed(ac, 0)});
+  }
+  table.AddSeparator();
+  table.AddRow({"Total", std::to_string(it_sys), std::to_string(it_types),
+                util::Fixed(it_cov, 0), std::to_string(ai_sys),
+                std::to_string(ai_types), util::Fixed(ai_cov, 0)});
+  std::printf("%s\n", table.Render().c_str());
+  if (ai_sys > 0 && ai_cov > 0) {
+    std::printf("Iterative vs all-in-one: %.2fx syscalls (paper 1.28x), "
+                "%.2fx types (paper 2.37x), %.2fx coverage (paper 1.39x)\n",
+                static_cast<double>(it_sys) / ai_sys,
+                static_cast<double>(it_types) / (ai_types ? ai_types : 1),
+                it_cov / ai_cov);
+  }
+  return 0;
+}

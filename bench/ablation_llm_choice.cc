@@ -1,0 +1,67 @@
+// Reproduces §5.2.3 (ablation 2): the LLM-choice comparison — GPT-3.5 vs
+// GPT-4 vs GPT-4o capability profiles over the same 10 drivers.
+
+#include <cstdio>
+
+#include "experiments/context.h"
+#include "util/table.h"
+
+using namespace kernelgpt;
+
+namespace {
+constexpr int kBudget = 8000;
+constexpr int kReps = 2;
+
+const char* const kDrivers[] = {
+    "btrfs_control", "capi20", "controlc0", "fuse",  "hpet",
+    "i2c0",          "kvm",    "loop_control", "loop0", "misdntimer",
+};
+}  // namespace
+
+int
+main()
+{
+  std::printf("Ablation (5.2.3): LLM choice, first 10 valid drivers\n");
+  std::printf("(paper: GPT-3.5 describes 85 vs GPT-4's 143 syscalls, -21%% "
+              "coverage; GPT-4o comparable to GPT-4: 144 syscalls, 55771 "
+              "vs 54640 cov)\n\n");
+
+  util::Table table({"Model", "#Sys", "#Types", "Valid handlers", "Cov"});
+  uint64_t seed = 808;
+
+  struct ModelRun {
+    const char* label;
+    llm::ModelProfile profile;
+  };
+  const ModelRun runs[] = {
+      {"GPT-3.5", llm::Gpt35()},
+      {"GPT-4", llm::Gpt4()},
+      {"GPT-4o", llm::Gpt4o()},
+  };
+  for (const ModelRun& run : runs) {
+    experiments::ContextOptions opts;
+    opts.gen.profile = run.profile;
+    experiments::ExperimentContext context(opts);
+
+    size_t sys = 0;
+    size_t types = 0;
+    int valid = 0;
+    double cov = 0;
+    for (const char* id : kDrivers) {
+      const experiments::ModuleResult* mod = context.Find(id);
+      if (!mod || !mod->KernelGptUsable()) continue;
+      ++valid;
+      sys += mod->kernelgpt.SyscallCount();
+      types += mod->kernelgpt.TypeCount();
+      fuzzer::SpecLibrary lib = context.MakeLibrary({&mod->kernelgpt.spec});
+      auto summary = context.Fuzz(lib, kBudget, kReps, seed += 31);
+      cov += summary.avg_coverage;
+    }
+    table.AddRow({run.label, std::to_string(sys), std::to_string(types),
+                  std::to_string(valid), util::Fixed(cov, 0)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("(expected shape: GPT-3.5 far below GPT-4; GPT-4o within a "
+              "few percent of GPT-4)\n");
+  return 0;
+}

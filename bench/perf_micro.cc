@@ -1,0 +1,90 @@
+// Engineering micro-benchmarks (google-benchmark): parser, renderer,
+// spec generation, and fuzzing throughput. Not a paper table; documents
+// that the substrate is fast enough for the experiment budgets.
+
+#include <benchmark/benchmark.h>
+
+#include "drivers/corpus.h"
+#include "drivers/model_render.h"
+#include "drivers/model_spec.h"
+#include "experiments/context.h"
+#include "fuzzer/campaign.h"
+#include "ksrc/cparser.h"
+#include "syzlang/parser.h"
+#include "syzlang/printer.h"
+
+using namespace kernelgpt;
+
+namespace {
+
+const drivers::DeviceSpec&
+Dm()
+{
+  return *drivers::Corpus::Instance().FindDevice("dm");
+}
+
+void
+BM_RenderDeviceSource(benchmark::State& state)
+{
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(drivers::RenderDeviceSource(Dm()));
+  }
+}
+BENCHMARK(BM_RenderDeviceSource);
+
+void
+BM_CParseDriver(benchmark::State& state)
+{
+  std::string src = drivers::RenderDeviceSource(Dm());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ksrc::CParse(src, "dm.c"));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(src.size()));
+}
+BENCHMARK(BM_CParseDriver);
+
+void
+BM_SyzlangRoundTrip(benchmark::State& state)
+{
+  std::string text = syzlang::Print(drivers::GroundTruthDeviceSpec(Dm()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(syzlang::Parse(text, "dm"));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_SyzlangRoundTrip);
+
+void
+BM_FuzzThroughput(benchmark::State& state)
+{
+  const auto& context = experiments::ExperimentContext::Default();
+  fuzzer::SpecLibrary lib = context.SyzkallerPlusKernelGptSuite();
+  for (auto _ : state) {
+    vkernel::Kernel kernel;
+    context.BootKernel(&kernel);
+    fuzzer::CampaignOptions options;
+    options.seed = 42;
+    options.program_budget = static_cast<int>(state.range(0));
+    benchmark::DoNotOptimize(fuzzer::RunCampaign(&kernel, lib, options));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FuzzThroughput)->Arg(2000);
+
+void
+BM_FullGenerationPipeline(benchmark::State& state)
+{
+  for (auto _ : state) {
+    experiments::ContextOptions opts;
+    experiments::ExperimentContext context(opts);
+    benchmark::DoNotOptimize(context.modules().size());
+  }
+}
+BENCHMARK(BM_FullGenerationPipeline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Reproduces Table 2: "Newly generated syscall descriptions" — how many
+// new syscalls and new type definitions each generator adds beyond the
+// existing Syzkaller descriptions, over handlers with missing specs.
+
+#include <cstdio>
+
+#include "experiments/bugs.h"
+#include "experiments/context.h"
+#include "util/table.h"
+
+using namespace kernelgpt;
+
+int
+main()
+{
+  const experiments::ExperimentContext& context =
+      experiments::ExperimentContext::Default();
+
+  size_t kg_driver_calls = 0;
+  size_t kg_driver_types = 0;
+  size_t kg_socket_calls = 0;
+  size_t kg_socket_types = 0;
+  size_t sd_calls = 0;
+  size_t sd_types = 0;
+  size_t existing_total = 0;
+
+  for (const experiments::ModuleResult& module : context.modules()) {
+    existing_total += module.existing_syscalls;
+    if (!module.Incomplete()) continue;
+    if (module.KernelGptUsable()) {
+      // New syscalls: those the existing spec does not already describe.
+      size_t new_calls = 0;
+      for (const syzlang::SyscallDef* call :
+           module.kernelgpt.spec.Syscalls()) {
+        if (!module.existing.FindSyscall(call->FullName())) ++new_calls;
+      }
+      size_t new_types = module.kernelgpt.TypeCount();
+      if (module.is_socket) {
+        kg_socket_calls += new_calls;
+        kg_socket_types += new_types;
+      } else {
+        kg_driver_calls += new_calls;
+        kg_driver_types += new_types;
+      }
+    }
+    if (!module.is_socket &&
+        experiments::SyzDescribeEffective(context, module)) {
+      // Count only the handlers SyzDescribe describes *validly* (its
+      // other outputs carry wrong names/commands and add nothing).
+      sd_calls += module.syzdescribe.syscall_count;
+      sd_types += module.syzdescribe.type_count;
+    }
+  }
+
+  std::printf("Table 2: Newly generated syscall descriptions\n");
+  std::printf("(paper: SyzDescribe 146 syscalls / 168 types; KernelGPT "
+              "driver 288/170, socket 244/124, total 532/294)\n\n");
+  util::Table table(
+      {"", "SyzDescribe #Syscalls", "#Types", "KernelGPT #Syscalls",
+       "#Types"});
+  table.AddRow({"Driver", std::to_string(sd_calls), std::to_string(sd_types),
+                std::to_string(kg_driver_calls),
+                std::to_string(kg_driver_types)});
+  table.AddRow({"Socket", "N/A", "N/A", std::to_string(kg_socket_calls),
+                std::to_string(kg_socket_types)});
+  table.AddSeparator();
+  table.AddRow({"Total", std::to_string(sd_calls), std::to_string(sd_types),
+                std::to_string(kg_driver_calls + kg_socket_calls),
+                std::to_string(kg_driver_types + kg_socket_types)});
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Existing Syzkaller syscalls in the corpus: %zu (paper: 3903); "
+              "KernelGPT adds %.1f%% (paper: +13.6%%)\n",
+              existing_total,
+              existing_total
+                  ? 100.0 * (kg_driver_calls + kg_socket_calls) /
+                        existing_total
+                  : 0.0);
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Reproduces Table 5: per-driver comparison of specification generation —
+// number of described syscalls and coverage for Syzkaller's existing
+// specs, SyzDescribe, and KernelGPT, over the paper's 30 driver rows.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "experiments/bugs.h"
+#include "experiments/context.h"
+#include "util/table.h"
+
+using namespace kernelgpt;
+
+namespace {
+
+constexpr int kBudget = 8000;  // Per-driver budget (stands in for 6 h).
+constexpr int kReps = 3;
+
+/// Paper row label -> corpus module id ("" = not supported in Linux 6).
+struct RowMap {
+  const char* label;
+  const char* module;
+};
+const RowMap kRows[] = {
+    {"ashmem", ""},          {"btrfs-control", "btrfs_control"},
+    {"capi20", "capi20"},    {"controlC#", "controlc0"},
+    {"fd#", ""},             {"fuse", "fuse"},
+    {"hpet", "hpet"},        {"i2c-#", "i2c0"},
+    {"kvm", "kvm"},          {"loop-control", "loop_control"},
+    {"loop#", "loop0"},      {"mISDNtimer", "misdntimer"},
+    {"nbd#", "nbd0"},        {"nvram", "nvram"},
+    {"ppp", "ppp"},          {"ptmx", "ptmx"},
+    {"qat_adf_ctl", "qat_adf_ctl"}, {"rfkill", "rfkill"},
+    {"rtc#", "rtc0"},        {"sg#", "sg0"},
+    {"snapshot", "snapshot"}, {"sr#", "sr0"},
+    {"timer", "timer"},      {"udmabuf", "udmabuf"},
+    {"uinput", "uinput"},    {"usbmon#", "usbmon0"},
+    {"vhost-net", "vhost_net"}, {"vhost-vsock", "vhost_vsock"},
+    {"vmci", "vmci"},        {"vsock", "vsock"},
+};
+
+}  // namespace
+
+int
+main()
+{
+  const experiments::ExperimentContext& context =
+      experiments::ExperimentContext::Default();
+
+  std::printf("Table 5: Driver specification generation comparison "
+              "(%d programs x %d reps per cell)\n",
+              kBudget, kReps);
+  std::printf("(paper shape: KernelGPT best coverage on most rows and in "
+              "total; 'Err' where SyzDescribe inferred a wrong device "
+              "name)\n\n");
+
+  util::Table table({"Driver", "Syz #Sys", "Syz Cov", "SD #Sys", "SD Cov",
+                     "KG #Sys", "KG Cov"});
+
+  struct Totals {
+    size_t sys = 0;
+    double cov = 0;
+    int best = 0;      // Strictly ahead of both others.
+    int co_best = 0;   // At least tied for the lead.
+  };
+  Totals syz_total;
+  Totals sd_total;
+  Totals kg_total;
+
+  uint64_t seed = 500;
+  for (const RowMap& row : kRows) {
+    if (row.module[0] == '\0') {
+      table.AddRow({row.label, "N/A", "-", "N/A", "-", "N/A", "-"});
+      continue;
+    }
+    const experiments::ModuleResult* module = context.Find(row.module);
+    if (!module) continue;
+
+    auto eval = [&](const syzlang::SpecFile* spec,
+                    bool usable) -> std::pair<size_t, double> {
+      if (!spec || !usable) return {0, 0.0};
+      fuzzer::SpecLibrary lib = context.MakeLibrary({spec});
+      if (lib.syscalls().empty()) return {0, 0.0};
+      auto summary = context.Fuzz(lib, kBudget, kReps, seed += 13);
+      return {lib.syscalls().size(), summary.avg_coverage};
+    };
+
+    auto [syz_sys, syz_cov] = eval(&module->existing, true);
+    auto [sd_sys, sd_cov] =
+        eval(&module->syzdescribe.spec, module->syzdescribe.generated);
+    auto [kg_sys, kg_cov] =
+        eval(&module->kernelgpt.spec, module->KernelGptUsable());
+
+    bool sd_err = module->syzdescribe.generated &&
+                  !experiments::SyzDescribeEffective(context, *module);
+
+    syz_total.sys += syz_sys;
+    syz_total.cov += syz_cov;
+    sd_total.sys += sd_sys;
+    sd_total.cov += sd_cov;
+    kg_total.sys += kg_sys;
+    kg_total.cov += kg_cov;
+    // Our per-driver block space is small enough that long campaigns
+    // saturate it, so exact ties are common; track both strict leads and
+    // co-leads (the paper's 6-hour runs never saturate, so its leads are
+    // all strict).
+    double top = std::max(kg_cov, std::max(syz_cov, sd_cov));
+    if (top > 0) {
+      if (kg_cov == top) kg_total.co_best++;
+      if (syz_cov == top) syz_total.co_best++;
+      if (sd_cov == top) sd_total.co_best++;
+      if (kg_cov == top && syz_cov < top && sd_cov < top) kg_total.best++;
+      if (syz_cov == top && kg_cov < top && sd_cov < top) syz_total.best++;
+      if (sd_cov == top && kg_cov < top && syz_cov < top) sd_total.best++;
+    }
+
+    table.AddRow({row.label,
+                  syz_sys ? std::to_string(syz_sys) : "-",
+                  syz_sys ? util::Fixed(syz_cov, 0) : "-",
+                  module->syzdescribe.generated
+                      ? std::to_string(sd_sys) + (sd_err ? "*" : "")
+                      : "Err",
+                  module->syzdescribe.generated ? util::Fixed(sd_cov, 0)
+                                                : "-",
+                  std::to_string(kg_sys), util::Fixed(kg_cov, 0)});
+  }
+  table.AddSeparator();
+  table.AddRow({"Total", std::to_string(syz_total.sys),
+                util::Fixed(syz_total.cov, 0), std::to_string(sd_total.sys),
+                util::Fixed(sd_total.cov, 0), std::to_string(kg_total.sys),
+                util::Fixed(kg_total.cov, 0)});
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("Rows where each tool strictly leads: Syzkaller %d, "
+              "SyzDescribe %d, KernelGPT %d; co-leads (ties included): %d / "
+              "%d / %d (paper: 4 / 4 / 20 strict)\n",
+              syz_total.best, sd_total.best, kg_total.best,
+              syz_total.co_best, sd_total.co_best, kg_total.co_best);
+  std::printf("('*' marks SyzDescribe specs with a wrong device name or "
+              "command values — present but ineffective)\n");
+  return 0;
+}

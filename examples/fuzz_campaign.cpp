@@ -1,0 +1,68 @@
+// End-to-end fuzzing campaign: generate specifications for every loaded
+// module of the corpus (the §5.1 workflow), combine them with the
+// existing Syzkaller descriptions, and run a coverage-guided campaign on
+// the virtual kernel — then report coverage growth and every bug found.
+
+#include <cstdio>
+
+#include "experiments/bugs.h"
+#include "experiments/context.h"
+#include "util/table.h"
+
+using namespace kernelgpt;
+
+int
+main()
+{
+  std::printf("Generating specifications for the whole corpus...\n");
+  const experiments::ExperimentContext& context =
+      experiments::ExperimentContext::Default();
+
+  int usable = 0;
+  for (const auto& module : context.modules()) {
+    if (module.KernelGptUsable()) ++usable;
+  }
+  std::printf("KernelGPT produced usable specs for %d of %zu modules "
+              "(%zu LLM queries)\n\n",
+              usable, context.modules().size(),
+              context.meter().query_count());
+
+  struct Step {
+    const char* label;
+    fuzzer::SpecLibrary lib;
+  };
+  Step steps[] = {
+      {"Syzkaller only", context.SyzkallerSuite()},
+      {"+ KernelGPT", context.SyzkallerPlusKernelGptSuite()},
+  };
+
+  for (Step& step : steps) {
+    auto summary = context.Fuzz(step.lib, 80000, 1, 42);
+    std::printf("%-15s  %4zu syscalls  %5.0f blocks  %zu unique crashes\n",
+                step.label, step.lib.syscalls().size(), summary.avg_coverage,
+                summary.crash_titles.size());
+  }
+
+  // Which of the paper's 24 bugs does the combined suite (plus focused
+  // per-module campaigns, as syzbot instances would run) hit?
+  std::printf("\nFocused per-module campaigns with the new specs:\n");
+  std::map<std::string, std::string> found;  // title -> module
+  for (const auto& module : context.modules()) {
+    if (!module.KernelGptUsable()) continue;
+    fuzzer::SpecLibrary lib = context.MakeLibrary({&module.kernelgpt.spec});
+    auto summary = context.Fuzz(lib, 25000, 1, util::StableHash(module.id));
+    for (const auto& [title, count] : summary.crash_titles) {
+      found.emplace(title, module.id);
+    }
+  }
+  int new_bugs = 0;
+  for (const auto& bug : experiments::AllPlantedBugs(false)) {
+    if (found.contains(bug.title)) {
+      ++new_bugs;
+      std::printf("  [%s] %s%s%s\n", bug.module.c_str(), bug.title.c_str(),
+                  bug.cve.empty() ? "" : "  ", bug.cve.c_str());
+    }
+  }
+  std::printf("\n%d of the paper's 24 new bugs detected.\n", new_bugs);
+  return 0;
+}

@@ -1,0 +1,61 @@
+/// \file
+/// Rule-based static specification generator modeling SyzDescribe, the
+/// paper's state-of-the-art baseline. Its rule set encodes exactly the
+/// behavioural envelope the paper documents:
+///
+///   - device names come from miscdevice `.name` (it does not know the
+///     `.nodename` override — the Fig. 2 failure) and from device_create
+///     formats;
+///   - switch dispatch is modeled, but command modifications like
+///     `cmd = _IOC_NR(command)` are not: the raw case constant is used as
+///     the command value (Fig. 2c's "Wrong CMD value");
+///   - static dispatch *tables* are not modeled (no commands found);
+///   - delegation is followed to a fixed depth only;
+///   - struct fields are recovered structurally with machine names and no
+///     semantics (no len[], flags[], or ranges — Fig. 5's contrast);
+///   - every struct-carrying ioctl is additionally described a second
+///     time with a generic byte-array payload (the duplicate-description
+///     behaviour Table 5 footnotes);
+///   - sockets are not supported at all.
+
+#ifndef KERNELGPT_BASELINE_SYZ_DESCRIBE_H_
+#define KERNELGPT_BASELINE_SYZ_DESCRIBE_H_
+
+#include <string>
+
+#include "extractor/handler_finder.h"
+#include "ksrc/definition_index.h"
+#include "syzlang/ast.h"
+
+namespace kernelgpt::baseline {
+
+/// Result of running the baseline on one driver handler.
+struct SyzDescribeResult {
+  std::string module;
+  syzlang::SpecFile spec;
+  /// False when the handler uses constructs outside the rule set (table
+  /// dispatch, deep delegation) and no commands could be described.
+  bool generated = false;
+  size_t syscall_count = 0;
+  size_t type_count = 0;
+};
+
+/// The rule-based generator.
+class SyzDescribe {
+ public:
+  explicit SyzDescribe(const ksrc::DefinitionIndex* index);
+
+  /// Generates a specification for one driver handler. Never analyzes
+  /// sockets (the paper's N/A entries).
+  SyzDescribeResult GenerateForDriver(const extractor::DriverHandler& handler);
+
+  /// Maximum delegation depth the static rules trace through.
+  static constexpr int kMaxDelegationDepth = 3;
+
+ private:
+  const ksrc::DefinitionIndex* index_;
+};
+
+}  // namespace kernelgpt::baseline
+
+#endif  // KERNELGPT_BASELINE_SYZ_DESCRIBE_H_

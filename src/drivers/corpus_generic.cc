@@ -1,0 +1,163 @@
+#include "drivers/corpus.h"
+
+#include <cctype>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace kernelgpt::drivers {
+
+namespace {
+
+using util::Format;
+
+/// Field-name palette for generated structs, loosely mirroring common
+/// kernel ABI field vocabulary.
+const char* const kScalarNames[] = {
+    "stride",  "offset", "value",  "index", "mode",   "size_hint",
+    "channel", "mask",   "period", "id",    "serial", "threshold",
+};
+
+const char* const kArrayNames[] = {
+    "data", "entries", "regs", "samples", "slots",
+};
+
+const char* const kStringNames[] = {
+    "name", "label", "path", "ident",
+};
+
+std::string
+UpperId(const std::string& id)
+{
+  std::string out;
+  for (char c : id) {
+    if (c == '-' || c == '#') {
+      out.push_back('_');
+    } else {
+      out.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+DeviceSpec
+MakeGenericDriver(const std::string& id, const std::string& display_name,
+                  const std::string& dev_node, uint64_t magic,
+                  RegistrationStyle reg, DispatchStyle dispatch,
+                  int delegation_depth, int num_cmds,
+                  double existing_fraction, uint64_t seed)
+{
+  util::Rng rng(util::HashCombine(util::StableHash(id), seed));
+  DeviceSpec dev;
+  dev.id = id;
+  dev.display_name = display_name;
+  dev.dev_node = dev_node;
+  dev.magic = magic;
+  dev.magic_macro = UpperId(id) + "_MAGIC";
+  dev.reg = reg;
+  dev.dispatch = dispatch;
+  dev.delegation_depth = delegation_depth;
+  dev.existing_fraction = existing_fraction;
+  dev.primary.name = "ctl";
+
+  const std::string prefix = UpperId(id);
+
+  // One flag set shared by commands that carry a flags field.
+  FlagSetSpec flag_set;
+  flag_set.name = util::ToLower(id) + "_op_flags";
+  for (int i = 0; i < 3; ++i) {
+    flag_set.values.push_back(
+        {Format("%s_F_%s", prefix.c_str(),
+                i == 0 ? "SYNC" : (i == 1 ? "NONBLOCK" : "EXCL")),
+         1ULL << i});
+  }
+  dev.flag_sets.push_back(flag_set);
+
+  // A handful of distinct argument structs; commands cycle through them.
+  int num_structs = static_cast<int>(rng.Range(2, 4));
+  for (int si = 0; si < num_structs; ++si) {
+    StructSpec s;
+    s.name = Format("%s_arg%d", util::ToLower(id).c_str(), si);
+    s.comment = Format("argument block %d of the %s interface", si,
+                       display_name.c_str());
+    int num_fields = static_cast<int>(rng.Range(3, 7));
+    bool has_array = false;
+    for (int fi = 0; fi < num_fields; ++fi) {
+      uint64_t pick = rng.Below(10);
+      if (pick < 4) {
+        int bits = 8 << rng.Range(1, 3);  // 16/32/64
+        s.fields.push_back(FieldSpec::Scalar(
+            Format("%s%d", kScalarNames[rng.Below(12)], fi), bits));
+      } else if (pick < 6 && !has_array) {
+        // A counted array: len field + fixed array.
+        std::string arr = Format("%s%d", kArrayNames[rng.Below(5)], fi);
+        uint64_t len = 1ULL << rng.Range(3, 6);  // 8..32 elements
+        s.fields.push_back(FieldSpec::LenOf(
+            "n_" + arr, arr, 32, "number of valid elements in " + arr));
+        s.fields.push_back(
+            FieldSpec::Array(arr, 32, len, "payload elements"));
+        has_array = true;
+        ++fi;
+      } else if (pick < 7) {
+        s.fields.push_back(FieldSpec::Flags(
+            Format("flags%d", fi), flag_set.name, 32, "operation flags"));
+      } else if (pick < 8) {
+        s.fields.push_back(FieldSpec::CString(
+            Format("%s%d", kStringNames[rng.Below(4)], fi),
+            8ULL << rng.Range(1, 3), "identifier string"));
+      } else if (pick < 9) {
+        s.fields.push_back(
+            FieldSpec::Out(Format("out_token%d", fi), 32,
+                           "kernel-assigned token (output)"));
+      } else {
+        s.fields.push_back(FieldSpec::Scalar(Format("reserved%d", fi), 32,
+                                             "must be zero"));
+      }
+    }
+    dev.structs.push_back(std::move(s));
+  }
+
+  // Commands cycling over the structs, with checks derived from fields.
+  for (int ci = 0; ci < num_cmds; ++ci) {
+    IoctlSpec cmd;
+    cmd.macro = Format("%s_CMD%d", prefix.c_str(), ci);
+    cmd.nr = static_cast<uint64_t>(ci + 1);
+    const char dirs[] = {'b', 'w', 'r', 'n'};
+    cmd.ioc_dir = dirs[rng.Below(ci == 0 ? 3 : 4)];
+    if (cmd.ioc_dir != 'n') {
+      const StructSpec& arg = dev.structs[static_cast<size_t>(ci) %
+                                          dev.structs.size()];
+      cmd.arg_struct = arg.name;
+      cmd.dir = cmd.ioc_dir == 'r'
+                    ? syzlang::Dir::kOut
+                    : (cmd.ioc_dir == 'w' ? syzlang::Dir::kIn
+                                          : syzlang::Dir::kInOut);
+      // Derive 0-2 checks from the struct's fields (pure-output commands
+      // take no input and validate nothing).
+      for (const FieldSpec& f : arg.fields) {
+        if (cmd.dir == syzlang::Dir::kOut) break;
+        if (cmd.checks.size() >= 2) break;
+        if (f.kind == FieldSpec::Kind::kScalar &&
+            util::StartsWith(f.name, "reserved")) {
+          cmd.checks.push_back(CheckSpec::Equals(f.name, 0));
+        } else if (f.kind == FieldSpec::Kind::kLenOf) {
+          cmd.checks.push_back(CheckSpec::LenBound(f.name));
+        } else if (f.kind == FieldSpec::Kind::kScalar && rng.Chance(0.5)) {
+          cmd.checks.push_back(
+              CheckSpec::Range(f.name, 0, static_cast<int64_t>(
+                                              rng.Range(15, 255))));
+        }
+      }
+    }
+    cmd.deep_blocks = static_cast<int>(rng.Range(2, 6));
+    cmd.comment = Format("handle %s request %d for %s", display_name.c_str(),
+                         ci, dev.dev_node.c_str());
+    dev.primary.ioctls.push_back(std::move(cmd));
+  }
+  return dev;
+}
+
+}  // namespace kernelgpt::drivers

@@ -1,0 +1,646 @@
+#include "drivers/corpus.h"
+
+#include "util/strings.h"
+
+/// \file
+/// Socket-family models for the ten Table 6 protocols. SyzDescribe cannot
+/// analyze sockets at all; the comparison here is existing Syzkaller specs
+/// vs KernelGPT.
+
+namespace kernelgpt::drivers {
+
+namespace {
+
+using syzlang::Dir;
+using util::Format;
+
+SockOptSpec
+Opt(std::string macro, uint64_t value, std::string arg_struct, bool settable,
+    bool gettable, std::vector<CheckSpec> checks = {}, int deep = 3,
+    std::string comment = "")
+{
+  SockOptSpec o;
+  o.macro = std::move(macro);
+  o.value = value;
+  o.arg_struct = std::move(arg_struct);
+  o.settable = settable;
+  o.gettable = gettable;
+  o.checks = std::move(checks);
+  o.deep_blocks = deep;
+  o.comment = std::move(comment);
+  return o;
+}
+
+StructSpec
+SockAddr(const std::string& name, uint64_t family, int addr_words)
+{
+  StructSpec s;
+  s.name = name;
+  s.comment = "socket address for this family";
+  s.fields.push_back(FieldSpec::Scalar("family", 16, "address family"));
+  s.fields.push_back(FieldSpec::Scalar("port", 16));
+  for (int i = 0; i < addr_words; ++i) {
+    s.fields.push_back(FieldSpec::Scalar(Format("addr%d", i), 32));
+  }
+  (void)family;
+  return s;
+}
+
+SocketOpSpec
+Op(std::vector<CheckSpec> checks = {}, int deep = 3)
+{
+  SocketOpSpec op;
+  op.supported = true;
+  op.checks = std::move(checks);
+  op.deep_blocks = deep;
+  return op;
+}
+
+}  // namespace
+
+SocketSpec
+MakeRdsSocket()
+{
+  SocketSpec sock;
+  sock.id = "rds";
+  sock.family_macro = "AF_RDS";
+  sock.domain = SocketConstValue("AF_RDS");
+  sock.sock_type = SocketConstValue("SOCK_SEQPACKET");
+  sock.sock_type_macro = "SOCK_SEQPACKET";
+  sock.sol_level = SocketConstValue("SOL_RDS");
+  sock.sol_macro = "SOL_RDS";
+  sock.addr_struct = "sockaddr_rds";
+  sock.existing_fraction = 0.5;  // recvmsg covered, sendto missing (Table 4).
+
+  sock.structs.push_back(SockAddr("sockaddr_rds", sock.domain, 1));
+
+  StructSpec recverr;
+  recverr.name = "rds_recverr";
+  recverr.fields = {FieldSpec::Scalar("enable", 32, "0 disables, 1 enables")};
+  sock.structs.push_back(std::move(recverr));
+
+  StructSpec cancel;
+  cancel.name = "rds_cancel_sent_to";
+  cancel.fields = {
+      FieldSpec::Scalar("addr", 32, "peer address to cancel sends to"),
+  };
+  sock.structs.push_back(std::move(cancel));
+
+  StructSpec cong;
+  cong.name = "rds_cong_monitor";
+  cong.fields = {FieldSpec::Scalar("mask", 64, "congestion monitor bitmask")};
+  sock.structs.push_back(std::move(cong));
+
+  sock.sockopts.push_back(Opt("RDS_RECVERR", 5, "rds_recverr", true, true,
+                              {CheckSpec::Range("enable", 0, 1)}, 3,
+                              "toggle error queue delivery"));
+  sock.sockopts.push_back(Opt("RDS_CANCEL_SENT_TO", 1, "rds_cancel_sent_to",
+                              true, false, {}, 4,
+                              "cancel pending sends to a peer"));
+  sock.sockopts.push_back(Opt("RDS_CONG_MONITOR", 6, "rds_cong_monitor", true,
+                              true, {}, 3, "congestion monitoring"));
+  sock.sockopts.push_back(Opt("RDS_GET_MR", 2, "rds_cong_monitor", true,
+                              false, {}, 4, "register a memory region"));
+  sock.sockopts.push_back(Opt("RDS_FREE_MR", 3, "rds_cong_monitor", true,
+                              false, {}, 3, "release a memory region"));
+
+  sock.bind = Op({CheckSpec::Equals("family", sock.domain)}, 4);
+  sock.connect = Op({CheckSpec::Equals("family", sock.domain)}, 4);
+  // The sendto path Syzkaller lacked; its cmsg parser indexes an array
+  // with an unchecked 16-bit value (CVE-2024-23849's shape).
+  sock.sendto = Op({CheckSpec::Equals("family", sock.domain)}, 5);
+  {
+    BugSpec bug;
+    bug.title = "UBSAN: array-index-out-of-bounds in rds_cmsg_recv";
+    bug.cve = "CVE-2024-23849";
+    bug.confirmed = true;
+    bug.fixed = true;
+    bug.trigger = BugSpec::Trigger::kFieldAtLeast;
+    bug.field = "port";
+    bug.value = 0xf000;
+    sock.sendto.bug = std::move(bug);
+  }
+  sock.recvfrom = Op({}, 4);
+  return sock;
+}
+
+SocketSpec
+MakeL2tpIp6Socket()
+{
+  SocketSpec sock;
+  sock.id = "l2tp_ip6";
+  sock.family_macro = "AF_INET6";
+  sock.domain = SocketConstValue("AF_INET6");
+  sock.sock_type = SocketConstValue("SOCK_DGRAM");
+  sock.sock_type_macro = "SOCK_DGRAM";
+  sock.protocol = 115;  // IPPROTO_L2TP.
+  sock.sol_level = SocketConstValue("SOL_IPV6");
+  sock.sol_macro = "SOL_IPV6";
+  sock.addr_struct = "sockaddr_l2tpip6";
+  sock.existing_fraction = 0.4;
+
+  StructSpec addr = SockAddr("sockaddr_l2tpip6", sock.domain, 4);
+  addr.fields.push_back(FieldSpec::Scalar("conn_id", 32, "tunnel id"));
+  sock.structs.push_back(std::move(addr));
+
+  StructSpec intval;
+  intval.name = "l2tp_int_opt";
+  intval.fields = {FieldSpec::Scalar("value", 32)};
+  sock.structs.push_back(std::move(intval));
+
+  // A wide IPv6 option surface — the reason KernelGPT emits 99 syscalls
+  // where Syzkaller used one flags-typed getsockopt.
+  const char* const opts[] = {
+      "IPV6_ADDRFORM",      "IPV6_2292PKTINFO",   "IPV6_2292HOPOPTS",
+      "IPV6_2292DSTOPTS",   "IPV6_2292RTHDR",     "IPV6_2292PKTOPTIONS",
+      "IPV6_CHECKSUM",      "IPV6_2292HOPLIMIT",  "IPV6_NEXTHOP",
+      "IPV6_AUTHHDR",       "IPV6_UNICAST_HOPS",  "IPV6_MULTICAST_IF",
+      "IPV6_MULTICAST_HOPS","IPV6_MULTICAST_LOOP","IPV6_JOIN_GROUP",
+      "IPV6_LEAVE_GROUP",   "IPV6_ROUTER_ALERT",  "IPV6_MTU_DISCOVER",
+      "IPV6_MTU",           "IPV6_RECVERR",       "IPV6_V6ONLY",
+      "IPV6_JOIN_ANYCAST",  "IPV6_LEAVE_ANYCAST", "IPV6_MULTICAST_ALL",
+      "IPV6_AUTOFLOWLABEL", "IPV6_DONTFRAG",      "IPV6_RECVPKTINFO",
+      "IPV6_PKTINFO",       "IPV6_RECVHOPLIMIT",  "IPV6_HOPLIMIT",
+      "IPV6_RECVHOPOPTS",   "IPV6_HOPOPTS",       "IPV6_RTHDRDSTOPTS",
+      "IPV6_RECVRTHDR",     "IPV6_RTHDR",         "IPV6_RECVDSTOPTS",
+      "IPV6_DSTOPTS",       "IPV6_RECVPATHMTU",   "IPV6_PATHMTU",
+      "IPV6_TRANSPARENT",   "IPV6_UNICAST_IF",    "IPV6_RECVFRAGSIZE",
+      "IPV6_FREEBIND",
+  };
+  uint64_t value = 1;
+  for (const char* name : opts) {
+    sock.sockopts.push_back(Opt(name, value++, "l2tp_int_opt", true, true,
+                                {}, 2));
+  }
+
+  sock.bind = Op({CheckSpec::Equals("family", sock.domain)}, 4);
+  sock.connect = Op({CheckSpec::Equals("family", sock.domain),
+                     CheckSpec::NonZero("conn_id")},
+                    4);
+  sock.sendto = Op({CheckSpec::Equals("family", sock.domain)}, 4);
+  {
+    BugSpec bug;
+    bug.title = "memory leak in __ip6_append_data";
+    bug.confirmed = true;
+    bug.trigger = BugSpec::Trigger::kAlways;
+    sock.sendto.bug = std::move(bug);
+  }
+  sock.recvfrom = Op({}, 3);
+  return sock;
+}
+
+SocketSpec
+MakeLlcSocket()
+{
+  SocketSpec sock;
+  sock.id = "llc";
+  sock.family_macro = "AF_LLC";
+  sock.domain = SocketConstValue("AF_LLC");
+  sock.sock_type = SocketConstValue("SOCK_STREAM");
+  sock.sock_type_macro = "SOCK_STREAM";
+  sock.sol_level = SocketConstValue("SOL_LLC");
+  sock.sol_macro = "SOL_LLC";
+  sock.addr_struct = "sockaddr_llc";
+  sock.existing_fraction = 0.4;
+
+  StructSpec addr = SockAddr("sockaddr_llc", sock.domain, 2);
+  addr.fields.push_back(FieldSpec::Scalar("sap", 8, "service access point"));
+  sock.structs.push_back(std::move(addr));
+
+  StructSpec intval;
+  intval.name = "llc_int_opt";
+  intval.fields = {FieldSpec::Scalar("value", 32)};
+  sock.structs.push_back(std::move(intval));
+
+  const char* const opts[] = {
+      "LLC_OPT_RETRY",    "LLC_OPT_SIZE",    "LLC_OPT_ACK_TMR_EXP",
+      "LLC_OPT_P_TMR_EXP","LLC_OPT_REJ_TMR_EXP", "LLC_OPT_BUSY_TMR_EXP",
+      "LLC_OPT_TX_WIN",   "LLC_OPT_RX_WIN",  "LLC_OPT_PKTINFO",
+  };
+  uint64_t value = 1;
+  for (const char* name : opts) {
+    sock.sockopts.push_back(Opt(name, value++, "llc_int_opt", true, true,
+                                {CheckSpec::Range("value", 0, 127)}, 2));
+  }
+  sock.bind = Op({CheckSpec::Equals("family", sock.domain),
+                  CheckSpec::Range("sap", 0, 127)},
+                 4);
+  sock.connect = Op({CheckSpec::Equals("family", sock.domain)}, 4);
+  sock.sendto = Op({}, 3);
+  sock.recvfrom = Op({}, 3);
+  sock.listen = Op({}, 2);
+  sock.accept = Op({}, 3);
+  return sock;
+}
+
+SocketSpec
+MakeMptcpSocket()
+{
+  SocketSpec sock;
+  sock.id = "mptcp";
+  sock.family_macro = "AF_INET";
+  sock.domain = SocketConstValue("AF_INET");
+  sock.sock_type = SocketConstValue("SOCK_STREAM");
+  sock.sock_type_macro = "SOCK_STREAM";
+  sock.protocol = 262;  // IPPROTO_MPTCP.
+  sock.sol_level = SocketConstValue("SOL_MPTCP");
+  sock.sol_macro = "SOL_MPTCP";
+  sock.addr_struct = "sockaddr_mptcp";
+  sock.existing_fraction = 0.3;
+
+  sock.structs.push_back(SockAddr("sockaddr_mptcp", sock.domain, 1));
+
+  StructSpec info;
+  info.name = "mptcp_info_req";
+  info.fields = {
+      FieldSpec::Scalar("flags", 32),
+      FieldSpec::Out("subflows", 8, "out: number of subflows"),
+      FieldSpec::Out("add_addr_signal", 8),
+  };
+  sock.structs.push_back(std::move(info));
+
+  StructSpec subflow;
+  subflow.name = "mptcp_subflow_addrs";
+  subflow.fields = {
+      FieldSpec::LenOf("count", "addrs", 32),
+      FieldSpec::Array("addrs", 64, 8, "subflow address slots"),
+  };
+  sock.structs.push_back(std::move(subflow));
+
+  StructSpec intval;
+  intval.name = "mptcp_int_opt";
+  intval.fields = {FieldSpec::Scalar("value", 32)};
+  sock.structs.push_back(std::move(intval));
+
+  const char* const opts[] = {
+      "MPTCP_ENABLED",   "MPTCP_SCHEDULER", "MPTCP_PATH_MANAGER",
+      "MPTCP_CHECKSUM",  "MPTCP_ALLOW_JOIN","MPTCP_ADD_ADDR_TIMEOUT",
+      "MPTCP_STALE_LOSS","MPTCP_PM_TYPE",   "MPTCP_RETRANS",
+      "MPTCP_FASTOPEN",  "MPTCP_TCP_FALLBACK",
+  };
+  uint64_t value = 40;
+  for (const char* name : opts) {
+    sock.sockopts.push_back(
+        Opt(name, value++, "mptcp_int_opt", true, true, {}, 2));
+  }
+  sock.sockopts.push_back(Opt("MPTCP_INFO", 60, "mptcp_info_req", false, true,
+                              {}, 3, "query connection state"));
+  sock.sockopts.push_back(Opt("MPTCP_SUBFLOW_ADDRS", 61,
+                              "mptcp_subflow_addrs", false, true, {}, 3,
+                              "enumerate subflow addresses"));
+
+  sock.bind = Op({CheckSpec::Equals("family", sock.domain)}, 4);
+  sock.connect = Op({CheckSpec::Equals("family", sock.domain)}, 5);
+  sock.sendto = Op({}, 4);
+  sock.recvfrom = Op({}, 3);
+  sock.listen = Op({}, 2);
+  sock.accept = Op({}, 3);
+  return sock;
+}
+
+SocketSpec
+MakePacketSocket()
+{
+  SocketSpec sock;
+  sock.id = "packet";
+  sock.family_macro = "AF_PACKET";
+  sock.domain = SocketConstValue("AF_PACKET");
+  sock.sock_type = 0;  // Accepts RAW and DGRAM.
+  sock.sol_level = SocketConstValue("SOL_PACKET");
+  sock.sol_macro = "SOL_PACKET";
+  sock.addr_struct = "sockaddr_ll";
+  sock.existing_fraction = 0.9;
+
+  StructSpec addr;
+  addr.name = "sockaddr_ll";
+  addr.comment = "link-layer socket address";
+  addr.fields = {
+      FieldSpec::Scalar("family", 16),
+      FieldSpec::Scalar("protocol", 16),
+      FieldSpec::Scalar("ifindex", 32, "interface index"),
+      FieldSpec::Scalar("hatype", 16),
+      FieldSpec::Scalar("pkttype", 8),
+      FieldSpec::Scalar("halen", 8),
+      FieldSpec::Array("addr", 8, 8, "hardware address"),
+  };
+  sock.structs.push_back(std::move(addr));
+
+  StructSpec ring;
+  ring.name = "tpacket_req";
+  ring.comment = "ring buffer geometry";
+  ring.fields = {
+      FieldSpec::Scalar("tp_block_size", 32),
+      FieldSpec::Scalar("tp_block_nr", 32),
+      FieldSpec::Scalar("tp_frame_size", 32),
+      FieldSpec::Scalar("tp_frame_nr", 32),
+  };
+  sock.structs.push_back(std::move(ring));
+
+  StructSpec mreq;
+  mreq.name = "packet_mreq";
+  mreq.fields = {
+      FieldSpec::Scalar("mr_ifindex", 32),
+      FieldSpec::Scalar("mr_type", 16),
+      FieldSpec::LenOf("mr_alen", "mr_address", 16),
+      FieldSpec::Array("mr_address", 8, 8),
+  };
+  sock.structs.push_back(std::move(mreq));
+
+  StructSpec intval;
+  intval.name = "packet_int_opt";
+  intval.fields = {FieldSpec::Scalar("value", 32)};
+  sock.structs.push_back(std::move(intval));
+
+  sock.sockopts.push_back(Opt("PACKET_RX_RING", 5, "tpacket_req", true, false,
+                              {CheckSpec::NonZero("tp_block_size"),
+                               CheckSpec::NonZero("tp_frame_size")},
+                              5, "map an rx ring"));
+  sock.sockopts.push_back(Opt("PACKET_TX_RING", 13, "tpacket_req", true,
+                              false, {CheckSpec::NonZero("tp_block_size")}, 5,
+                              "map a tx ring"));
+  sock.sockopts.push_back(Opt("PACKET_ADD_MEMBERSHIP", 1, "packet_mreq", true,
+                              false, {CheckSpec::LenBound("mr_alen")}, 3));
+  sock.sockopts.push_back(Opt("PACKET_DROP_MEMBERSHIP", 2, "packet_mreq",
+                              true, false, {}, 3));
+  sock.sockopts.push_back(
+      Opt("PACKET_AUXDATA", 8, "packet_int_opt", true, true, {}, 2));
+  sock.sockopts.push_back(
+      Opt("PACKET_VERSION", 10, "packet_int_opt", true, true,
+          {CheckSpec::Range("value", 0, 2)}, 2));
+  sock.sockopts.push_back(
+      Opt("PACKET_RESERVE", 12, "packet_int_opt", true, true, {}, 2));
+  sock.sockopts.push_back(
+      Opt("PACKET_QDISC_BYPASS", 20, "packet_int_opt", true, true, {}, 2));
+
+  sock.bind = Op({CheckSpec::Equals("family", sock.domain)}, 4);
+  sock.sendto = Op({}, 4);
+  sock.recvfrom = Op({}, 3);
+  return sock;
+}
+
+SocketSpec
+MakePhonetSocket()
+{
+  SocketSpec sock;
+  sock.id = "phonet";
+  sock.family_macro = "AF_PHONET";
+  sock.domain = SocketConstValue("AF_PHONET");
+  sock.sock_type = SocketConstValue("SOCK_DGRAM");
+  sock.sock_type_macro = "SOCK_DGRAM";
+  sock.sol_level = SocketConstValue("SOL_PNPIPE");
+  sock.sol_macro = "SOL_PNPIPE";
+  sock.addr_struct = "sockaddr_pn";
+  sock.existing_fraction = 0.55;
+
+  StructSpec addr;
+  addr.name = "sockaddr_pn";
+  addr.fields = {
+      FieldSpec::Scalar("family", 16),
+      FieldSpec::Scalar("obj", 16, "phonet object id"),
+      FieldSpec::Scalar("dev", 8),
+      FieldSpec::Scalar("resource", 8),
+  };
+  sock.structs.push_back(std::move(addr));
+
+  StructSpec intval;
+  intval.name = "pn_int_opt";
+  intval.fields = {FieldSpec::Scalar("value", 32)};
+  sock.structs.push_back(std::move(intval));
+
+  sock.sockopts.push_back(Opt("PNPIPE_ENCAP", 1, "pn_int_opt", true, true,
+                              {CheckSpec::Range("value", 0, 1)}, 2));
+  sock.sockopts.push_back(
+      Opt("PNPIPE_IFINDEX", 2, "pn_int_opt", false, true, {}, 2));
+  sock.sockopts.push_back(Opt("PNPIPE_HANDLE", 3, "pn_int_opt", true, true,
+                              {}, 3));
+  sock.sockopts.push_back(Opt("PNPIPE_INITSTATE", 4, "pn_int_opt", true,
+                              false, {CheckSpec::Range("value", 0, 1)}, 2));
+
+  sock.bind = Op({CheckSpec::Equals("family", sock.domain)}, 4);
+  sock.connect = Op({CheckSpec::Equals("family", sock.domain)}, 4);
+  sock.sendto = Op({CheckSpec::Equals("family", sock.domain)}, 4);
+  sock.recvfrom = Op({}, 3);
+  return sock;
+}
+
+SocketSpec
+MakePppol2tpSocket()
+{
+  SocketSpec sock;
+  sock.id = "pppol2tp";
+  sock.family_macro = "AF_PPPOX";
+  sock.domain = SocketConstValue("AF_PPPOX");
+  sock.sock_type = SocketConstValue("SOCK_DGRAM");
+  sock.sock_type_macro = "SOCK_DGRAM";
+  sock.sol_level = SocketConstValue("SOL_PPPOL2TP");
+  sock.sol_macro = "SOL_PPPOL2TP";
+  sock.addr_struct = "sockaddr_pppol2tp";
+  sock.existing_fraction = 0.7;
+
+  StructSpec addr;
+  addr.name = "sockaddr_pppol2tp";
+  addr.fields = {
+      FieldSpec::Scalar("family", 16),
+      FieldSpec::Scalar("pid", 32),
+      FieldSpec::Scalar("fd", 32, "tunnel socket fd"),
+      FieldSpec::Scalar("s_tunnel", 16, "local tunnel id"),
+      FieldSpec::Scalar("s_session", 16),
+      FieldSpec::Scalar("d_tunnel", 16),
+      FieldSpec::Scalar("d_session", 16),
+  };
+  sock.structs.push_back(std::move(addr));
+
+  StructSpec intval;
+  intval.name = "pppol2tp_int_opt";
+  intval.fields = {FieldSpec::Scalar("value", 32)};
+  sock.structs.push_back(std::move(intval));
+
+  sock.sockopts.push_back(Opt("PPPOL2TP_SO_DEBUG", 1, "pppol2tp_int_opt",
+                              true, true, {}, 2));
+  sock.sockopts.push_back(Opt("PPPOL2TP_SO_RECVSEQ", 2, "pppol2tp_int_opt",
+                              true, true, {CheckSpec::Range("value", 0, 1)},
+                              2));
+  sock.sockopts.push_back(Opt("PPPOL2TP_SO_SENDSEQ", 3, "pppol2tp_int_opt",
+                              true, true, {CheckSpec::Range("value", 0, 1)},
+                              2));
+  sock.sockopts.push_back(Opt("PPPOL2TP_SO_LNSMODE", 4, "pppol2tp_int_opt",
+                              true, true, {CheckSpec::Range("value", 0, 1)},
+                              2));
+  sock.sockopts.push_back(Opt("PPPOL2TP_SO_REORDERTO", 5, "pppol2tp_int_opt",
+                              true, true, {}, 3));
+
+  sock.bind = Op({CheckSpec::Equals("family", sock.domain)}, 3);
+  sock.connect = Op({CheckSpec::Equals("family", sock.domain),
+                     CheckSpec::NonZero("s_tunnel")},
+                    5);
+  sock.sendto = Op({}, 3);
+  sock.recvfrom = Op({}, 3);
+  return sock;
+}
+
+SocketSpec
+MakeRfcommSocket()
+{
+  SocketSpec sock;
+  sock.id = "rfcomm";
+  sock.family_macro = "AF_BLUETOOTH";
+  sock.domain = SocketConstValue("AF_BLUETOOTH");
+  sock.sock_type = SocketConstValue("SOCK_STREAM");
+  sock.sock_type_macro = "SOCK_STREAM";
+  sock.protocol = 3;  // BTPROTO_RFCOMM.
+  sock.sol_level = SocketConstValue("SOL_BLUETOOTH");
+  sock.sol_macro = "SOL_BLUETOOTH";
+  sock.addr_struct = "sockaddr_rc";
+  sock.existing_fraction = 1.0;
+
+  StructSpec addr;
+  addr.name = "sockaddr_rc";
+  addr.fields = {
+      FieldSpec::Scalar("family", 16),
+      FieldSpec::Array("bdaddr", 8, 6, "bluetooth device address"),
+      FieldSpec::Scalar("channel", 8, "rfcomm channel 1..30"),
+  };
+  sock.structs.push_back(std::move(addr));
+
+  StructSpec sec;
+  sec.name = "bt_security";
+  sec.fields = {
+      FieldSpec::Scalar("level", 8, "security level 0..4"),
+      FieldSpec::Scalar("key_size", 8),
+  };
+  sock.structs.push_back(std::move(sec));
+
+  StructSpec intval;
+  intval.name = "rfcomm_int_opt";
+  intval.fields = {FieldSpec::Scalar("value", 32)};
+  sock.structs.push_back(std::move(intval));
+
+  sock.sockopts.push_back(Opt("BT_SECURITY", 4, "bt_security", true, true,
+                              {CheckSpec::Range("level", 0, 4)}, 3));
+  sock.sockopts.push_back(Opt("BT_DEFER_SETUP", 7, "rfcomm_int_opt", true,
+                              true, {CheckSpec::Range("value", 0, 1)}, 2));
+  sock.sockopts.push_back(
+      Opt("BT_FLUSHABLE", 8, "rfcomm_int_opt", true, true, {}, 2));
+  sock.sockopts.push_back(
+      Opt("BT_POWER", 9, "rfcomm_int_opt", true, true, {}, 2));
+  sock.sockopts.push_back(
+      Opt("BT_CHANNEL_POLICY", 10, "rfcomm_int_opt", true, true, {}, 2));
+
+  sock.bind = Op({CheckSpec::Equals("family", sock.domain),
+                  CheckSpec::Range("channel", 1, 30)},
+                 4);
+  sock.connect = Op({CheckSpec::Equals("family", sock.domain),
+                     CheckSpec::Range("channel", 1, 30)},
+                    4);
+  sock.sendto = Op({}, 3);
+  sock.recvfrom = Op({}, 3);
+  sock.listen = Op({}, 2);
+  sock.accept = Op({}, 3);
+  return sock;
+}
+
+SocketSpec
+MakeScoSocket()
+{
+  SocketSpec sock;
+  sock.id = "sco";
+  sock.family_macro = "AF_BLUETOOTH";
+  sock.domain = SocketConstValue("AF_BLUETOOTH");  // Shared with rfcomm;
+                                                   // routed by protocol.
+  sock.sock_type = SocketConstValue("SOCK_SEQPACKET");
+  sock.sock_type_macro = "SOCK_SEQPACKET";
+  sock.protocol = 2;  // BTPROTO_SCO.
+  sock.sol_level = SocketConstValue("SOL_BLUETOOTH") + 100;
+  sock.sol_macro = "SOL_SCO";
+  sock.addr_struct = "sockaddr_sco";
+  sock.existing_fraction = 1.0;
+
+  StructSpec addr;
+  addr.name = "sockaddr_sco";
+  addr.fields = {
+      FieldSpec::Scalar("family", 16),
+      FieldSpec::Array("bdaddr", 8, 6),
+  };
+  sock.structs.push_back(std::move(addr));
+
+  StructSpec voice;
+  voice.name = "sco_voice_setting";
+  voice.fields = {FieldSpec::Scalar("setting", 16, "voice coding setting")};
+  sock.structs.push_back(std::move(voice));
+
+  StructSpec conninfo;
+  conninfo.name = "sco_conninfo";
+  conninfo.fields = {
+      FieldSpec::Out("hci_handle", 16),
+      FieldSpec::Array("dev_class", 8, 3),
+  };
+  sock.structs.push_back(std::move(conninfo));
+
+  sock.sockopts.push_back(Opt("SCO_OPTIONS", 1, "sco_voice_setting", true,
+                              true, {}, 2));
+  sock.sockopts.push_back(Opt("SCO_CONNINFO", 2, "sco_conninfo", false, true,
+                              {}, 2));
+  sock.sockopts.push_back(Opt("BT_VOICE", 11, "sco_voice_setting", true, true,
+                              {CheckSpec::Range("setting", 0, 0x3ff)}, 3));
+  sock.sockopts.push_back(Opt("BT_PKT_STATUS", 16, "sco_voice_setting", true,
+                              true, {}, 2));
+
+  sock.bind = Op({CheckSpec::Equals("family",
+                                    SocketConstValue("AF_BLUETOOTH"))},
+                 3);
+  sock.connect = Op({CheckSpec::Equals("family",
+                                       SocketConstValue("AF_BLUETOOTH"))},
+                    4);
+  sock.sendto = Op({}, 3);
+  sock.recvfrom = Op({}, 3);
+  sock.listen = Op({}, 2);
+  sock.accept = Op({}, 3);
+  return sock;
+}
+
+SocketSpec
+MakeCaifSocket()
+{
+  SocketSpec sock;
+  sock.id = "caif";
+  sock.family_macro = "AF_CAIF";
+  sock.domain = SocketConstValue("AF_CAIF");
+  sock.sock_type = SocketConstValue("SOCK_STREAM");
+  sock.sock_type_macro = "SOCK_STREAM";
+  sock.sol_level = SocketConstValue("SOL_CAIF");
+  sock.sol_macro = "SOL_CAIF";
+  sock.addr_struct = "sockaddr_caif";
+  sock.existing_fraction = 0.6;
+
+  StructSpec addr;
+  addr.name = "sockaddr_caif";
+  addr.fields = {
+      FieldSpec::Scalar("family", 16),
+      FieldSpec::Scalar("channel", 16, "caif channel id"),
+      FieldSpec::Scalar("connection_type", 32),
+  };
+  sock.structs.push_back(std::move(addr));
+
+  StructSpec link;
+  link.name = "caif_link_opt";
+  link.fields = {
+      FieldSpec::Scalar("priority", 32),
+      FieldSpec::CString("name", 16, "link interface name"),
+  };
+  sock.structs.push_back(std::move(link));
+
+  sock.sockopts.push_back(Opt("CAIFSO_LINK_SELECT", 127, "caif_link_opt",
+                              true, false,
+                              {CheckSpec::Range("priority", 0, 7)}, 3));
+  sock.sockopts.push_back(Opt("CAIFSO_REQ_PARAM", 128, "caif_link_opt", true,
+                              true, {}, 3));
+
+  sock.connect = Op({CheckSpec::Equals("family", sock.domain),
+                     CheckSpec::Range("connection_type", 0, 5)},
+                    5);
+  sock.sendto = Op({}, 3);
+  sock.recvfrom = Op({}, 3);
+  return sock;
+}
+
+}  // namespace kernelgpt::drivers

@@ -1,0 +1,1087 @@
+#include "drivers/corpus.h"
+
+/// \file
+/// Hand-written device models for the modules the paper discusses
+/// specifically. Each carries the idioms and the Table 4 bugs the paper
+/// attributes to it.
+
+namespace kernelgpt::drivers {
+
+namespace {
+
+BugSpec
+Bug(std::string title, std::string cve, bool confirmed, bool fixed,
+    BugSpec::Trigger trigger, std::string field = "", uint64_t value = 0,
+    std::string prior = "")
+{
+  BugSpec b;
+  b.title = std::move(title);
+  b.cve = std::move(cve);
+  b.confirmed = confirmed;
+  b.fixed = fixed;
+  b.trigger = trigger;
+  b.field = std::move(field);
+  b.value = value;
+  b.prior_cmd = std::move(prior);
+  return b;
+}
+
+IoctlSpec
+Cmd(std::string macro, uint64_t nr, char dir, std::string arg_struct,
+    syzlang::Dir ptr_dir, std::vector<CheckSpec> checks, int deep,
+    std::string comment = "")
+{
+  IoctlSpec c;
+  c.macro = std::move(macro);
+  c.nr = nr;
+  c.ioc_dir = dir;
+  c.arg_struct = std::move(arg_struct);
+  c.dir = ptr_dir;
+  c.checks = std::move(checks);
+  c.deep_blocks = deep;
+  c.comment = std::move(comment);
+  return c;
+}
+
+using syzlang::Dir;
+
+}  // namespace
+
+DeviceSpec
+MakeDeviceMapper()
+{
+  DeviceSpec dev;
+  dev.id = "dm";
+  dev.display_name = "device-mapper";
+  dev.dev_node = "/dev/mapper/control";
+  dev.magic = 0xfd;
+  dev.magic_macro = "DM_IOCTL";
+  dev.reg = RegistrationStyle::kMiscNodename;  // The Fig. 2 idiom.
+  dev.dispatch = DispatchStyle::kIocNrSwitch;  // cmd = _IOC_NR(command).
+  dev.delegation_depth = 2;                    // dm_ctl_ioctl -> ctl_ioctl.
+  dev.existing_fraction = 0.0;  // Paper: Syzkaller has no dm descriptions.
+  dev.primary.name = "ctl";
+  dev.extra_macros = {{"DM_NAME_LEN", 128}, {"DM_MAX_TARGETS", 256}};
+
+  StructSpec ioc;
+  ioc.name = "dm_ioctl";
+  ioc.comment = "control block for all device-mapper ioctls";
+  ioc.fields = {
+      FieldSpec::Array("version", 32, 3, "major/minor/patch of the ABI"),
+      FieldSpec::Scalar("data_size", 32, "total size of data passed in"),
+      FieldSpec::Scalar("data_start", 32, "offset to start of data"),
+      FieldSpec::Scalar("target_count", 32, "number of targets in table"),
+      FieldSpec::Scalar("open_count", 32, "out: reference count"),
+      FieldSpec::Flags("flags", "dm_ioctl_flags", 32, "operation flags"),
+      FieldSpec::Out("event_nr", 32, "kernel-assigned event counter"),
+      FieldSpec::Scalar("dev", 64, "device number"),
+      FieldSpec::CString("name", 128, "device name"),
+      FieldSpec::CString("uuid", 129, "unique identifier"),
+  };
+  dev.structs.push_back(std::move(ioc));
+
+  StructSpec target;
+  target.name = "dm_target_spec";
+  target.comment = "one mapping target within a table load";
+  target.fields = {
+      FieldSpec::Scalar("sector_start", 64),
+      FieldSpec::Scalar("length", 64, "length of this mapping in sectors"),
+      FieldSpec::Scalar("status", 32),
+      FieldSpec::Scalar("next", 32, "offset to the next target spec"),
+      FieldSpec::CString("target_type", 16, "e.g. \"linear\", \"crypt\""),
+  };
+  dev.structs.push_back(std::move(target));
+
+  dev.flag_sets.push_back(
+      {"dm_ioctl_flags",
+       {{"DM_READONLY_FLAG", 1},
+        {"DM_SUSPEND_FLAG", 2},
+        {"DM_PERSISTENT_DEV_FLAG", 8},
+        {"DM_STATUS_TABLE_FLAG", 16}}});
+
+  auto& io = dev.primary.ioctls;
+  io.push_back(Cmd("DM_VERSION", 0, 'b', "dm_ioctl", Dir::kInOut, {}, 2,
+                   "report the driver version"));
+  io.push_back(Cmd("DM_REMOVE_ALL", 1, 'b', "dm_ioctl", Dir::kInOut, {}, 3,
+                   "remove all devices"));
+  io.push_back(Cmd("DM_LIST_DEVICES", 3, 'b', "dm_ioctl", Dir::kInOut, {}, 5,
+                   "list all mapped device names"));
+  io.push_back(Cmd("DM_DEV_CREATE", 4, 'b', "dm_ioctl", Dir::kInOut, {}, 4,
+                   "create a new mapped device"));
+  io.push_back(Cmd("DM_DEV_REMOVE", 5, 'b', "dm_ioctl", Dir::kInOut, {}, 3,
+                   "remove a mapped device"));
+
+  IoctlSpec suspend = Cmd("DM_DEV_SUSPEND", 6, 'b', "dm_ioctl", Dir::kInOut,
+                          {}, 4, "suspend or resume a mapped device");
+  suspend.bug =
+      Bug("general protection fault in cleanup_mapped_device",
+          "CVE-2024-50277", true, true, BugSpec::Trigger::kOnRelease);
+  io.push_back(std::move(suspend));
+
+  IoctlSpec load =
+      Cmd("DM_TABLE_LOAD", 9, 'w', "dm_ioctl", Dir::kIn,
+          {CheckSpec::NonZero("dev")}, 5, "load a table description");
+  // Allocation sized by target_count with no upper-bound check.
+  load.bug = Bug("kmalloc bug in dm_table_create", "CVE-2023-52429", true,
+                 true, BugSpec::Trigger::kFieldAtLeast, "target_count",
+                 0x10000);
+  io.push_back(std::move(load));
+
+  IoctlSpec status = Cmd("DM_TABLE_STATUS", 12, 'b', "dm_ioctl", Dir::kInOut,
+                         {}, 5, "return the status of a loaded table");
+  // kvmalloc(param.data_size) without a size check — Linus-confirmed bug.
+  status.bug = Bug("kmalloc bug in ctl_ioctl", "CVE-2024-23851", true, true,
+                   BugSpec::Trigger::kFieldAtLeast, "data_size", 0x4000000);
+  io.push_back(std::move(status));
+
+  return dev;
+}
+
+DeviceSpec
+MakeCec()
+{
+  DeviceSpec dev;
+  dev.id = "cec";
+  dev.display_name = "cec";
+  dev.dev_node = "/dev/cec0";
+  dev.magic = 0x61;  // 'a'
+  dev.magic_macro = "CEC_MAGIC";
+  dev.reg = RegistrationStyle::kDeviceCreate;  // device_create "cec%d".
+  dev.dispatch = DispatchStyle::kIocNrSwitch;
+  dev.delegation_depth = 2;
+  dev.existing_fraction = 0.0;  // Undescribed in Syzkaller (Table 4).
+  dev.primary.name = "adap";
+
+  StructSpec caps;
+  caps.name = "cec_caps";
+  caps.comment = "adapter capabilities returned by CEC_ADAP_G_CAPS";
+  caps.fields = {
+      FieldSpec::CString("driver", 32, "name of the cec adapter driver"),
+      FieldSpec::CString("name", 32, "name of this specific cec adapter"),
+      FieldSpec::Scalar("available_log_addrs", 32),
+      FieldSpec::Scalar("capabilities", 32),
+      FieldSpec::Scalar("version", 32),
+  };
+  dev.structs.push_back(std::move(caps));
+
+  StructSpec log_addrs;
+  log_addrs.name = "cec_log_addrs";
+  log_addrs.comment = "logical address configuration";
+  log_addrs.fields = {
+      FieldSpec::Array("log_addr", 8, 4, "the claimed logical addresses"),
+      FieldSpec::Scalar("log_addr_mask", 16),
+      FieldSpec::Scalar("cec_version", 8),
+      FieldSpec::LenOf("num_log_addrs", "log_addr", 8,
+                       "how many logical addresses to claim"),
+      FieldSpec::Scalar("vendor_id", 32),
+      FieldSpec::Flags("flags", "cec_log_addrs_flags", 32),
+      FieldSpec::CString("osd_name", 15, "display name"),
+  };
+  dev.structs.push_back(std::move(log_addrs));
+
+  StructSpec msg;
+  msg.name = "cec_msg";
+  msg.comment = "a CEC message to transmit or receive";
+  msg.fields = {
+      FieldSpec::Scalar("tx_ts", 64, "out: timestamp of transmit"),
+      FieldSpec::Scalar("rx_ts", 64, "out: timestamp of receive"),
+      FieldSpec::LenOf("len", "msg", 32, "length of the message payload"),
+      FieldSpec::Scalar("timeout", 32, "reply timeout in milliseconds"),
+      FieldSpec::Out("sequence", 32, "kernel-assigned sequence number"),
+      FieldSpec::Flags("flags", "cec_log_addrs_flags", 32),
+      FieldSpec::Array("msg", 8, 16, "payload bytes"),
+      FieldSpec::Scalar("reply", 8),
+      FieldSpec::Scalar("rx_status", 8),
+      FieldSpec::Scalar("tx_status", 8),
+  };
+  dev.structs.push_back(std::move(msg));
+
+  StructSpec mode;
+  mode.name = "cec_mode";
+  mode.fields = {
+      FieldSpec::Scalar("initiator", 32),
+      FieldSpec::Scalar("follower", 32),
+  };
+  dev.structs.push_back(std::move(mode));
+
+  dev.flag_sets.push_back(
+      {"cec_log_addrs_flags",
+       {{"CEC_LOG_ADDRS_FL_ALLOW_UNREG_FALLBACK", 1},
+        {"CEC_LOG_ADDRS_FL_ALLOW_RC_PASSTHRU", 2},
+        {"CEC_LOG_ADDRS_FL_CDC_ONLY", 4}}});
+
+  auto& io = dev.primary.ioctls;
+  io.push_back(Cmd("CEC_ADAP_G_CAPS", 0, 'b', "cec_caps", Dir::kInOut, {}, 3,
+                   "query adapter capabilities"));
+
+  IoctlSpec slog = Cmd("CEC_ADAP_S_LOG_ADDRS", 1, 'b', "cec_log_addrs",
+                       Dir::kInOut,
+                       {CheckSpec::Range("num_log_addrs", 0, 4)}, 5,
+                       "claim logical addresses on the bus");
+  slog.bug = Bug("INFO: task hung in cec_claim_log_addrs", "", true, false,
+                 BugSpec::Trigger::kFieldAtLeast, "vendor_id", 0xf0000000);
+  io.push_back(std::move(slog));
+
+  io.push_back(Cmd("CEC_ADAP_G_PHYS_ADDR", 2, 'r', "cec_mode", Dir::kOut, {},
+                   2, "query the physical address"));
+
+  IoctlSpec sphys = Cmd("CEC_ADAP_S_PHYS_ADDR", 3, 'w', "cec_mode", Dir::kIn,
+                        {CheckSpec::Range("initiator", 0, 15)}, 3,
+                        "set the physical address");
+  sphys.bug = Bug("general protection fault in cec_transmit_done_ts", "",
+                  true, true, BugSpec::Trigger::kOnRelease);
+  io.push_back(std::move(sphys));
+
+  IoctlSpec transmit = Cmd("CEC_TRANSMIT", 5, 'b', "cec_msg", Dir::kInOut,
+                           {CheckSpec::LenBound("len")}, 6,
+                           "transmit a message on the bus");
+  transmit.bug = Bug("ODEBUG bug in cec_transmit_msg_fh", "", true, true,
+                     BugSpec::Trigger::kFieldZero, "timeout");
+  io.push_back(std::move(transmit));
+
+  IoctlSpec receive = Cmd("CEC_RECEIVE", 6, 'b', "cec_msg", Dir::kInOut,
+                          {CheckSpec::LenBound("len")}, 5,
+                          "dequeue a received message");
+  receive.bug = Bug("KASAN: slab-use-after-free Read in cec_queue_msg_fh",
+                    "CVE-2024-23848", true, true,
+                    BugSpec::Trigger::kSequence, "", 0, "CEC_TRANSMIT");
+  io.push_back(std::move(receive));
+
+  IoctlSpec dqevent = Cmd("CEC_DQEVENT", 7, 'b', "cec_mode", Dir::kInOut, {},
+                          4, "dequeue a pending event");
+  dqevent.bug = Bug("WARNING in cec_data_cancel", "", true, true,
+                    BugSpec::Trigger::kSequence, "", 0,
+                    "CEC_ADAP_S_LOG_ADDRS");
+  io.push_back(std::move(dqevent));
+
+  io.push_back(Cmd("CEC_G_MODE", 8, 'r', "cec_mode", Dir::kOut, {}, 2,
+                   "query initiator/follower modes"));
+  io.push_back(Cmd("CEC_S_MODE", 9, 'w', "cec_mode", Dir::kIn,
+                   {CheckSpec::Range("initiator", 0, 3),
+                    CheckSpec::Range("follower", 0, 7)},
+                   3, "set initiator/follower modes"));
+  return dev;
+}
+
+DeviceSpec
+MakeKvm()
+{
+  DeviceSpec dev;
+  dev.id = "kvm";
+  dev.display_name = "kvm";
+  dev.dev_node = "/dev/kvm";
+  dev.magic = 0xae;
+  dev.magic_macro = "KVMIO";
+  dev.reg = RegistrationStyle::kMiscName;
+  dev.dispatch = DispatchStyle::kDirectSwitch;
+  dev.delegation_depth = 1;
+  dev.existing_fraction = 0.55;
+  dev.primary.name = "dev";
+
+  StructSpec region;
+  region.name = "kvm_userspace_memory_region";
+  region.comment = "maps guest physical memory to userspace memory";
+  region.fields = {
+      FieldSpec::Scalar("slot", 32, "memory slot index"),
+      FieldSpec::Flags("flags", "kvm_mem_flags", 32),
+      FieldSpec::Scalar("guest_phys_addr", 64),
+      FieldSpec::Scalar("memory_size", 64, "bytes"),
+      FieldSpec::Scalar("userspace_addr", 64,
+                        "start of the userspace allocated memory"),
+  };
+  dev.structs.push_back(std::move(region));
+
+  StructSpec regs;
+  regs.name = "kvm_regs";
+  regs.comment = "general purpose register state";
+  regs.fields = {
+      FieldSpec::Scalar("rax", 64), FieldSpec::Scalar("rbx", 64),
+      FieldSpec::Scalar("rcx", 64), FieldSpec::Scalar("rdx", 64),
+      FieldSpec::Scalar("rsi", 64), FieldSpec::Scalar("rdi", 64),
+      FieldSpec::Scalar("rsp", 64), FieldSpec::Scalar("rbp", 64),
+      FieldSpec::Scalar("rip", 64), FieldSpec::Scalar("rflags", 64),
+  };
+  dev.structs.push_back(std::move(regs));
+
+  StructSpec irq;
+  irq.name = "kvm_irq_level";
+  irq.fields = {
+      FieldSpec::Scalar("irq", 32, "irq line number"),
+      FieldSpec::Scalar("level", 32, "0 or 1"),
+  };
+  dev.structs.push_back(std::move(irq));
+
+  StructSpec dirty;
+  dirty.name = "kvm_dirty_log";
+  dirty.fields = {
+      FieldSpec::Scalar("slot", 32),
+      FieldSpec::Scalar("padding", 32, "must be zero"),
+      FieldSpec::Scalar("dirty_bitmap", 64, "userspace bitmap address"),
+  };
+  dev.structs.push_back(std::move(dirty));
+
+  StructSpec cpuid;
+  cpuid.name = "kvm_cpuid_entry";
+  cpuid.fields = {
+      FieldSpec::Scalar("function", 32), FieldSpec::Scalar("index", 32),
+      FieldSpec::Scalar("eax", 32),      FieldSpec::Scalar("ebx", 32),
+      FieldSpec::Scalar("ecx", 32),      FieldSpec::Scalar("edx", 32),
+  };
+  dev.structs.push_back(std::move(cpuid));
+
+  StructSpec cpuid_hdr;
+  cpuid_hdr.name = "kvm_cpuid";
+  cpuid_hdr.comment = "variable-size cpuid table";
+  cpuid_hdr.fields = {
+      FieldSpec::LenOf("nent", "entries", 32, "number of entries"),
+      FieldSpec::Scalar("padding", 32),
+      FieldSpec::Array("entries", 32, 8, "cpuid entries (flattened)"),
+  };
+  dev.structs.push_back(std::move(cpuid_hdr));
+
+  dev.flag_sets.push_back({"kvm_mem_flags",
+                           {{"KVM_MEM_LOG_DIRTY_PAGES", 1},
+                            {"KVM_MEM_READONLY", 2}}});
+
+  // /dev/kvm system handler.
+  auto& sys = dev.primary.ioctls;
+  sys.push_back(Cmd("KVM_GET_API_VERSION", 0, 'n', "", Dir::kIn, {}, 1,
+                    "returns the KVM API version"));
+  IoctlSpec create_vm = Cmd("KVM_CREATE_VM", 1, 'n', "", Dir::kIn, {}, 2,
+                            "create a VM and return its control fd");
+  create_vm.creates_handler = "vm";
+  sys.push_back(std::move(create_vm));
+  sys.push_back(Cmd("KVM_CHECK_EXTENSION", 3, 'n', "", Dir::kIn, {}, 1,
+                    "query one capability"));
+  sys.push_back(Cmd("KVM_GET_VCPU_MMAP_SIZE", 4, 'n', "", Dir::kIn, {}, 1,
+                    "size of the shared vcpu run area"));
+
+  // VM handler (reached through KVM_CREATE_VM) — the dependency the paper
+  // credits for the 42% coverage gain on kvm.
+  HandlerSpec vm;
+  vm.name = "vm";
+  IoctlSpec create_vcpu = Cmd("KVM_CREATE_VCPU", 0x41, 'n', "", Dir::kIn, {},
+                              2, "create a vcpu for this VM");
+  create_vcpu.creates_handler = "vcpu";
+  vm.ioctls.push_back(std::move(create_vcpu));
+  vm.ioctls.push_back(Cmd("KVM_SET_USER_MEMORY_REGION", 0x46, 'w',
+                          "kvm_userspace_memory_region", Dir::kIn,
+                          {CheckSpec::Range("slot", 0, 31),
+                           CheckSpec::NonZero("memory_size")},
+                          6, "install one guest memory slot"));
+  vm.ioctls.push_back(Cmd("KVM_GET_DIRTY_LOG", 0x42, 'w', "kvm_dirty_log",
+                          Dir::kIn,
+                          {CheckSpec::Range("slot", 0, 31),
+                           CheckSpec::Equals("padding", 0)},
+                          4, "read the dirty page bitmap of a slot"));
+  vm.ioctls.push_back(Cmd("KVM_IRQ_LINE", 0x61, 'w', "kvm_irq_level",
+                          Dir::kIn, {CheckSpec::Range("irq", 0, 23)}, 4,
+                          "assert or deassert an irq line"));
+  vm.ioctls.push_back(Cmd("KVM_CREATE_IRQCHIP", 0x60, 'n', "", Dir::kIn, {},
+                          3, "create the in-kernel interrupt controller"));
+  dev.secondary.push_back(std::move(vm));
+
+  // VCPU handler.
+  HandlerSpec vcpu;
+  vcpu.name = "vcpu";
+  vcpu.ioctls.push_back(
+      Cmd("KVM_RUN", 0x80, 'n', "", Dir::kIn, {}, 8, "enter the guest"));
+  vcpu.ioctls.push_back(Cmd("KVM_GET_REGS", 0x81, 'r', "kvm_regs", Dir::kOut,
+                            {}, 3, "read the register file"));
+  vcpu.ioctls.push_back(Cmd("KVM_SET_REGS", 0x82, 'w', "kvm_regs", Dir::kIn,
+                            {}, 3, "write the register file"));
+  vcpu.ioctls.push_back(Cmd("KVM_SET_CPUID", 0x8a, 'w', "kvm_cpuid", Dir::kIn,
+                            {CheckSpec::LenBound("nent")}, 5,
+                            "configure guest cpuid"));
+  dev.secondary.push_back(std::move(vcpu));
+  return dev;
+}
+
+DeviceSpec
+MakeBtrfsControl()
+{
+  DeviceSpec dev;
+  dev.id = "btrfs_control";
+  dev.display_name = "btrfs-control";
+  dev.dev_node = "/dev/btrfs-control";
+  dev.magic = 0x94;
+  dev.magic_macro = "BTRFS_IOCTL_MAGIC";
+  dev.reg = RegistrationStyle::kMiscName;
+  dev.dispatch = DispatchStyle::kIocNrSwitch;
+  dev.delegation_depth = 1;
+  dev.existing_fraction = 0.2;  // Table 5: Syzkaller describes 1 of 5.
+  dev.primary.name = "ctl";
+
+  StructSpec vol;
+  vol.name = "btrfs_ioctl_vol_args";
+  vol.comment = "device path argument for scan/forget";
+  vol.fields = {
+      FieldSpec::Scalar("fd", 64),
+      FieldSpec::CString("name", 88, "device path"),
+  };
+  dev.structs.push_back(std::move(vol));
+
+  StructSpec snap;
+  snap.name = "btrfs_snap_args";
+  snap.comment = "snapshot creation request";
+  snap.fields = {
+      FieldSpec::Scalar("objectid", 64, "root objectid to snapshot"),
+      FieldSpec::Scalar("offset", 64),
+      FieldSpec::Scalar("flags", 64),
+      FieldSpec::CString("name", 64, "snapshot name"),
+  };
+  dev.structs.push_back(std::move(snap));
+
+  auto& io = dev.primary.ioctls;
+  io.push_back(Cmd("BTRFS_IOC_SCAN_DEV", 1, 'w', "btrfs_ioctl_vol_args",
+                   Dir::kIn, {}, 4, "scan a device for btrfs filesystems"));
+  io.push_back(Cmd("BTRFS_IOC_FORGET_DEV", 5, 'w', "btrfs_ioctl_vol_args",
+                   Dir::kIn, {}, 3, "forget a previously scanned device"));
+  io.push_back(Cmd("BTRFS_IOC_GET_SUPPORTED_FEATURES", 57, 'r',
+                   "btrfs_ioctl_vol_args", Dir::kOut, {}, 2,
+                   "report supported feature bits"));
+
+  IoctlSpec snapc = Cmd("BTRFS_IOC_SNAP_CREATE", 2, 'w', "btrfs_snap_args",
+                        Dir::kIn, {}, 5, "create a snapshot of a subvolume");
+  snapc.bug = Bug("kernel BUG in btrfs_get_root_ref", "CVE-2024-23850", true,
+                  true, BugSpec::Trigger::kFieldZero, "objectid");
+  io.push_back(std::move(snapc));
+
+  IoctlSpec reloc = Cmd("BTRFS_IOC_BALANCE_CTL", 33, 'w', "btrfs_snap_args",
+                        Dir::kIn, {}, 4, "control a running balance");
+  reloc.bug =
+      Bug("general protection fault in btrfs_update_reloc_root", "", true,
+          false, BugSpec::Trigger::kSequence, "", 0, "BTRFS_IOC_SNAP_CREATE");
+  io.push_back(std::move(reloc));
+  return dev;
+}
+
+DeviceSpec
+MakeUbi()
+{
+  DeviceSpec dev;
+  dev.id = "ubi";
+  dev.display_name = "ubi";
+  dev.dev_node = "/dev/ubi_ctrl";
+  dev.magic = 0x6f;
+  dev.magic_macro = "UBI_CTRL_IOC_MAGIC";
+  dev.reg = RegistrationStyle::kMiscName;
+  dev.dispatch = DispatchStyle::kTableLookup;
+  dev.delegation_depth = 1;
+  dev.existing_fraction = 0.0;
+  dev.primary.name = "ctl";
+
+  StructSpec attach;
+  attach.name = "ubi_attach_req";
+  attach.comment = "attach an MTD device to UBI";
+  attach.fields = {
+      FieldSpec::Scalar("ubi_num", 32, "UBI device number to assign"),
+      FieldSpec::Scalar("mtd_num", 32, "MTD device number to attach"),
+      FieldSpec::Scalar("vid_hdr_offset", 32,
+                        "VID header offset; 0 means default"),
+      FieldSpec::Scalar("max_beb_per1024", 16),
+      FieldSpec::Array("padding", 8, 10, "reserved, must be zero"),
+  };
+  dev.structs.push_back(std::move(attach));
+
+  StructSpec vol;
+  vol.name = "ubi_mkvol_req";
+  vol.comment = "create a UBI volume";
+  vol.fields = {
+      FieldSpec::Scalar("vol_id", 32),
+      FieldSpec::Scalar("alignment", 32),
+      FieldSpec::Scalar("bytes", 64, "volume size in bytes"),
+      FieldSpec::Scalar("vol_type", 8),
+      FieldSpec::LenOf("name_len", "name", 16),
+      FieldSpec::CString("name", 128, "volume name"),
+  };
+  dev.structs.push_back(std::move(vol));
+
+  auto& io = dev.primary.ioctls;
+  IoctlSpec att = Cmd("UBI_IOCATT", 64, 'w', "ubi_attach_req", Dir::kIn,
+                      {CheckSpec::Range("ubi_num", 0, 31)}, 5,
+                      "attach an MTD device");
+  att.bug = Bug("memory leak in ubi_attach", "CVE-2024-25740", true, false,
+                BugSpec::Trigger::kFieldAtLeast, "vid_hdr_offset", 0x10000);
+  io.push_back(std::move(att));
+
+  io.push_back(Cmd("UBI_IOCDET", 65, 'w', "ubi_attach_req", Dir::kIn,
+                   {CheckSpec::Range("ubi_num", 0, 31)}, 3,
+                   "detach an MTD device"));
+
+  IoctlSpec mkvol = Cmd("UBI_IOCMKVOL", 66, 'w', "ubi_mkvol_req", Dir::kIn,
+                        {CheckSpec::Range("vol_id", 0, 127),
+                         CheckSpec::LenBound("name_len")},
+                        5, "create a volume");
+  mkvol.bug = Bug("zero-size vmalloc in ubi_read_volume_table",
+                  "CVE-2024-25739", true, true, BugSpec::Trigger::kFieldZero,
+                  "bytes");
+  io.push_back(std::move(mkvol));
+
+  io.push_back(Cmd("UBI_IOCRMVOL", 67, 'w', "ubi_mkvol_req", Dir::kIn,
+                   {CheckSpec::Range("vol_id", 0, 127)}, 3,
+                   "remove a volume"));
+  // Resize uses its own request struct (as in the real UBI ABI), so its
+  // nonzero-bytes requirement does not leak into mkvol's spec.
+  StructSpec rsvol;
+  rsvol.name = "ubi_rsvol_req";
+  rsvol.comment = "resize a UBI volume";
+  rsvol.fields = {
+      FieldSpec::Scalar("bytes", 64, "new volume size in bytes"),
+      FieldSpec::Scalar("vol_id", 32),
+  };
+  dev.structs.push_back(std::move(rsvol));
+  io.push_back(Cmd("UBI_IOCRSVOL", 68, 'w', "ubi_rsvol_req", Dir::kIn,
+                   {CheckSpec::Range("vol_id", 0, 127),
+                    CheckSpec::NonZero("bytes")},
+                   4, "resize a volume"));
+  return dev;
+}
+
+DeviceSpec
+MakeDvb()
+{
+  DeviceSpec dev;
+  dev.id = "dvb";
+  dev.display_name = "dvb-demux";
+  dev.dev_node = "/dev/dvb0";
+  dev.magic = 0x6f;
+  dev.magic_macro = "DMX_MAGIC";
+  dev.reg = RegistrationStyle::kDeviceCreate;
+  dev.dispatch = DispatchStyle::kIocNrSwitch;
+  dev.delegation_depth = 3;  // Deep delegation chain.
+  dev.existing_fraction = 0.0;
+  dev.primary.name = "dmx";
+
+  StructSpec sct;
+  sct.name = "dmx_sct_filter_params";
+  sct.comment = "section filter configuration";
+  sct.fields = {
+      FieldSpec::Scalar("pid", 16, "packet id to filter"),
+      FieldSpec::Array("filter", 8, 16, "filter match bytes"),
+      FieldSpec::Array("mask", 8, 16, "filter mask bytes"),
+      FieldSpec::Scalar("timeout", 32),
+      FieldSpec::Flags("flags", "dmx_filter_flags", 32),
+  };
+  dev.structs.push_back(std::move(sct));
+
+  StructSpec pes;
+  pes.name = "dmx_pes_filter_params";
+  pes.comment = "PES filter configuration";
+  pes.fields = {
+      FieldSpec::Scalar("pid", 16),
+      FieldSpec::Scalar("input", 32, "dmx_input: frontend or dvr"),
+      FieldSpec::Scalar("output", 32),
+      FieldSpec::Scalar("pes_type", 32),
+      FieldSpec::Flags("flags", "dmx_filter_flags", 32),
+  };
+  dev.structs.push_back(std::move(pes));
+
+  StructSpec stc;
+  stc.name = "dmx_stc";
+  stc.fields = {
+      FieldSpec::Scalar("num", 32, "input: which STC to read"),
+      FieldSpec::Scalar("base", 32),
+      FieldSpec::Out("stc", 64, "output: system time counter value"),
+  };
+  dev.structs.push_back(std::move(stc));
+
+  StructSpec buf;
+  buf.name = "dmx_buffer_desc";
+  buf.fields = {
+      FieldSpec::Scalar("index", 32, "buffer index to export"),
+      FieldSpec::Scalar("type", 32),
+      FieldSpec::Scalar("plane", 32),
+      FieldSpec::Flags("flags", "dmx_filter_flags", 32),
+  };
+  dev.structs.push_back(std::move(buf));
+
+  StructSpec reqbufs;
+  reqbufs.name = "dmx_requestbuffers";
+  reqbufs.fields = {
+      FieldSpec::Scalar("count", 32, "number of buffers requested"),
+      FieldSpec::Scalar("size", 32),
+  };
+  dev.structs.push_back(std::move(reqbufs));
+
+  dev.flag_sets.push_back({"dmx_filter_flags",
+                           {{"DMX_CHECK_CRC", 1},
+                            {"DMX_ONESHOT", 2},
+                            {"DMX_IMMEDIATE_START", 4}}});
+
+  auto& io = dev.primary.ioctls;
+  io.push_back(
+      Cmd("DMX_START", 41, 'n', "", Dir::kIn, {}, 2, "start filtering"));
+  io.push_back(
+      Cmd("DMX_STOP", 42, 'n', "", Dir::kIn, {}, 2, "stop filtering"));
+  io.push_back(Cmd("DMX_SET_FILTER", 43, 'w', "dmx_sct_filter_params",
+                   Dir::kIn, {CheckSpec::Range("pid", 0, 0x1fff)}, 5,
+                   "install a section filter"));
+
+  IoctlSpec pesf = Cmd("DMX_SET_PES_FILTER", 44, 'w', "dmx_pes_filter_params",
+                       Dir::kIn,
+                       {CheckSpec::Range("pid", 0, 0x1fff),
+                        CheckSpec::Range("pes_type", 0, 4)},
+                       5, "install a PES filter");
+  pesf.bug = Bug("memory leak in dvb_dmxdev_add_pid", "", true, false,
+                 BugSpec::Trigger::kSequence, "", 0, "DMX_SET_FILTER");
+  io.push_back(std::move(pesf));
+
+  IoctlSpec getstc = Cmd("DMX_GET_STC", 50, 'b', "dmx_stc", Dir::kInOut, {},
+                         3, "read the system time counter");
+  getstc.bug = Bug("memory leak in dvb_dvr_do_ioctl", "", false, false,
+                   BugSpec::Trigger::kAlways);
+  io.push_back(std::move(getstc));
+
+  io.push_back(Cmd("DMX_ADD_PID", 51, 'w', "dmx_stc", Dir::kIn, {}, 3,
+                   "add a PID to the filter set"));
+  io.push_back(Cmd("DMX_REMOVE_PID", 52, 'w', "dmx_stc", Dir::kIn, {}, 3,
+                   "remove a PID from the filter set"));
+
+  IoctlSpec expbuf = Cmd("DMX_EXPBUF", 53, 'b', "dmx_buffer_desc",
+                         Dir::kInOut, {}, 4, "export a buffer as a dmabuf");
+  expbuf.bug = Bug("general protection fault in dvb_vb2_expbuf",
+                   "CVE-2024-50291", true, true,
+                   BugSpec::Trigger::kFieldAtLeast, "index", 32);
+  io.push_back(std::move(expbuf));
+
+  IoctlSpec req = Cmd("DMX_REQBUFS", 54, 'b', "dmx_requestbuffers",
+                      Dir::kInOut, {CheckSpec::NonZero("count")}, 4,
+                      "allocate streaming buffers");
+  req.bug = Bug("possible deadlock in dvb_demux_release", "", false, false,
+                BugSpec::Trigger::kOnRelease);
+  io.push_back(std::move(req));
+  return dev;
+}
+
+DeviceSpec
+MakeUvc()
+{
+  DeviceSpec dev;
+  dev.id = "uvc";
+  dev.display_name = "uvc-video";
+  dev.dev_node = "/dev/video0";
+  dev.magic = 0x56;  // 'V'
+  dev.magic_macro = "VIDIOC_MAGIC";
+  dev.reg = RegistrationStyle::kDeviceCreate;
+  dev.dispatch = DispatchStyle::kIocNrSwitch;
+  dev.delegation_depth = 2;
+  dev.existing_fraction = 0.0;
+  dev.primary.name = "video";
+
+  StructSpec cap;
+  cap.name = "v4l2_capability";
+  cap.comment = "device capability report";
+  cap.fields = {
+      FieldSpec::CString("driver", 16),
+      FieldSpec::CString("card", 32),
+      FieldSpec::Scalar("version", 32),
+      FieldSpec::Scalar("capabilities", 32),
+  };
+  dev.structs.push_back(std::move(cap));
+
+  StructSpec req;
+  req.name = "v4l2_requestbuffers";
+  req.comment = "buffer allocation request";
+  req.fields = {
+      FieldSpec::Scalar("count", 32, "number of buffers"),
+      FieldSpec::Scalar("type", 32, "stream type"),
+      FieldSpec::Scalar("memory", 32, "memory mapping style"),
+  };
+  dev.structs.push_back(std::move(req));
+
+  StructSpec fmt;
+  fmt.name = "v4l2_format";
+  fmt.comment = "frame format negotiation";
+  fmt.fields = {
+      FieldSpec::Scalar("type", 32),
+      FieldSpec::Scalar("width", 32),
+      FieldSpec::Scalar("height", 32),
+      FieldSpec::Scalar("pixelformat", 32, "fourcc code"),
+      FieldSpec::Scalar("sizeimage", 32, "bytes per frame"),
+      FieldSpec::Scalar("bytesperline", 32),
+  };
+  dev.structs.push_back(std::move(fmt));
+
+  // The Fig. 5 idiom: a count field tied to a device list.
+  StructSpec hotinfo;
+  hotinfo.name = "uvc_hot_reset_info";
+  hotinfo.comment = "list of devices affected by a hot reset";
+  hotinfo.fields = {
+      FieldSpec::LenOf("count", "devices", 32,
+                       "number of valid entries in devices"),
+      FieldSpec::Array("devices", 32, 8, "dependent device ids"),
+  };
+  dev.structs.push_back(std::move(hotinfo));
+
+  auto& io = dev.primary.ioctls;
+  io.push_back(Cmd("VIDIOC_QUERYCAP", 0, 'r', "v4l2_capability", Dir::kOut,
+                   {}, 2, "query device capabilities"));
+
+  IoctlSpec reqb = Cmd("VIDIOC_REQBUFS", 8, 'b', "v4l2_requestbuffers",
+                       Dir::kInOut,
+                       {CheckSpec::Range("type", 1, 2),
+                        CheckSpec::Range("memory", 1, 3)},
+                       5, "allocate streaming buffers");
+  reqb.bug = Bug("WARNING in vb2_core_reqbufs", "", true, false,
+                 BugSpec::Trigger::kFieldAtLeast, "count", 1024);
+  io.push_back(std::move(reqb));
+
+  IoctlSpec sfmt = Cmd("VIDIOC_S_FMT", 5, 'b', "v4l2_format", Dir::kInOut,
+                       {CheckSpec::Range("type", 1, 2)}, 5,
+                       "set the frame format");
+  sfmt.bug = Bug("divide error in uvc_queue_setup", "", true, false,
+                 BugSpec::Trigger::kFieldZero, "sizeimage");
+  io.push_back(std::move(sfmt));
+
+  io.push_back(Cmd("VIDIOC_G_FMT", 4, 'b', "v4l2_format", Dir::kInOut,
+                   {CheckSpec::Range("type", 1, 2)}, 3,
+                   "get the current format"));
+  io.push_back(Cmd("VIDIOC_STREAMON", 18, 'w', "v4l2_requestbuffers",
+                   Dir::kIn, {CheckSpec::Range("type", 1, 2)}, 4,
+                   "start streaming"));
+  io.push_back(Cmd("VIDIOC_STREAMOFF", 19, 'w', "v4l2_requestbuffers",
+                   Dir::kIn, {CheckSpec::Range("type", 1, 2)}, 3,
+                   "stop streaming"));
+  io.push_back(Cmd("UVCIOC_CTRL_MAP", 32, 'b', "uvc_hot_reset_info",
+                   Dir::kInOut, {CheckSpec::LenBound("count")}, 4,
+                   "map a control to the device list"));
+  return dev;
+}
+
+DeviceSpec
+MakeVep()
+{
+  DeviceSpec dev;
+  dev.id = "vep";
+  dev.display_name = "usb-gadget-ep";
+  dev.dev_node = "/dev/vep0";
+  dev.magic = 0x67;
+  dev.magic_macro = "VEP_MAGIC";
+  dev.reg = RegistrationStyle::kMiscNodename;
+  dev.dispatch = DispatchStyle::kDirectSwitch;
+  dev.delegation_depth = 1;
+  dev.existing_fraction = 0.0;
+  dev.primary.name = "ep";
+
+  StructSpec reqq;
+  reqq.name = "vep_request";
+  reqq.comment = "a transfer request queued on the endpoint";
+  reqq.fields = {
+      FieldSpec::Scalar("length", 32, "transfer length in bytes"),
+      FieldSpec::Scalar("stream_id", 16),
+      FieldSpec::Scalar("no_interrupt", 8),
+      FieldSpec::Scalar("zero", 8, "must be zero"),
+      FieldSpec::Scalar("buf", 64, "userspace buffer address"),
+  };
+  dev.structs.push_back(std::move(reqq));
+
+  StructSpec status;
+  status.name = "vep_status";
+  status.fields = {
+      FieldSpec::Out("queued", 32, "requests currently queued"),
+      FieldSpec::Out("halted", 32),
+  };
+  dev.structs.push_back(std::move(status));
+
+  auto& io = dev.primary.ioctls;
+  IoctlSpec queue = Cmd("VEP_QUEUE", 1, 'w', "vep_request", Dir::kIn,
+                        {CheckSpec::Equals("zero", 0)}, 5,
+                        "queue a transfer request");
+  queue.bug = Bug("WARNING in usb_ep_queue", "CVE-2024-25741", true, false,
+                  BugSpec::Trigger::kFieldAtLeast, "length", 0x10000);
+  io.push_back(std::move(queue));
+
+  IoctlSpec dequeue = Cmd("VEP_DEQUEUE", 2, 'w', "vep_request", Dir::kIn, {},
+                          4, "cancel a queued request");
+  dequeue.bug = Bug("BUG: corrupted list in vep_queue", "", true, false,
+                    BugSpec::Trigger::kSequence, "", 0, "VEP_QUEUE");
+  io.push_back(std::move(dequeue));
+
+  io.push_back(Cmd("VEP_SET_HALT", 3, 'n', "", Dir::kIn, {}, 2,
+                   "halt the endpoint"));
+  io.push_back(Cmd("VEP_FIFO_STATUS", 4, 'r', "vep_status", Dir::kOut, {}, 2,
+                   "query queue status"));
+  return dev;
+}
+
+DeviceSpec
+MakePtp()
+{
+  DeviceSpec dev;
+  dev.id = "ptp";
+  dev.display_name = "ptp-clock";
+  dev.dev_node = "/dev/ptp0";
+  dev.magic = 0x3d;  // '='
+  dev.magic_macro = "PTP_CLK_MAGIC";
+  dev.reg = RegistrationStyle::kDeviceCreate;
+  dev.dispatch = DispatchStyle::kIocNrSwitch;
+  dev.delegation_depth = 1;
+  dev.existing_fraction = 0.0;
+  dev.primary.name = "clock";
+
+  StructSpec caps;
+  caps.name = "ptp_clock_caps";
+  caps.comment = "clock capability report";
+  caps.fields = {
+      FieldSpec::Out("max_adj", 32, "max frequency adjustment (ppb)"),
+      FieldSpec::Out("n_alarm", 32),
+      FieldSpec::Out("n_ext_ts", 32),
+      FieldSpec::Out("n_per_out", 32),
+      FieldSpec::Out("pps", 32),
+  };
+  dev.structs.push_back(std::move(caps));
+
+  StructSpec extts;
+  extts.name = "ptp_extts_request";
+  extts.fields = {
+      FieldSpec::Scalar("index", 32, "channel index"),
+      FieldSpec::Flags("flags", "ptp_extts_flags", 32),
+  };
+  dev.structs.push_back(std::move(extts));
+
+  StructSpec perout;
+  perout.name = "ptp_perout_request";
+  perout.comment = "periodic output programming";
+  perout.fields = {
+      FieldSpec::Scalar("start_sec", 64),
+      FieldSpec::Scalar("start_nsec", 32),
+      FieldSpec::Scalar("period_sec", 64),
+      FieldSpec::Scalar("period_nsec", 32),
+      FieldSpec::Scalar("index", 32),
+      FieldSpec::Flags("flags", "ptp_extts_flags", 32),
+  };
+  dev.structs.push_back(std::move(perout));
+
+  dev.flag_sets.push_back({"ptp_extts_flags",
+                           {{"PTP_ENABLE_FEATURE", 1},
+                            {"PTP_RISING_EDGE", 2},
+                            {"PTP_FALLING_EDGE", 4}}});
+
+  auto& io = dev.primary.ioctls;
+  IoctlSpec getcaps = Cmd("PTP_CLOCK_GETCAPS", 1, 'r', "ptp_clock_caps",
+                          Dir::kOut, {}, 3, "query clock capabilities");
+  getcaps.bug = Bug("memory leak in posix_clock_open", "CVE-2024-26655", true,
+                    true, BugSpec::Trigger::kAlways);
+  io.push_back(std::move(getcaps));
+
+  io.push_back(Cmd("PTP_EXTTS_REQUEST", 2, 'w', "ptp_extts_request", Dir::kIn,
+                   {CheckSpec::Range("index", 0, 3)}, 4,
+                   "arm external timestamping"));
+  io.push_back(Cmd("PTP_PEROUT_REQUEST", 3, 'w', "ptp_perout_request",
+                   Dir::kIn,
+                   {CheckSpec::Range("index", 0, 3),
+                    CheckSpec::NonZero("period_sec")},
+                   4, "program a periodic output"));
+  return dev;
+}
+
+DeviceSpec
+MakeLoopControl()
+{
+  DeviceSpec dev;
+  dev.id = "loop_control";
+  dev.display_name = "loop-control";
+  dev.dev_node = "/dev/loop-control";
+  dev.magic = 0x4c;
+  dev.magic_macro = "LOOP_CTL_MAGIC";
+  dev.reg = RegistrationStyle::kMiscName;
+  dev.dispatch = DispatchStyle::kDirectSwitch;
+  dev.delegation_depth = 1;
+  dev.existing_fraction = 1.0;
+  dev.primary.name = "ctl";
+
+  auto& io = dev.primary.ioctls;
+  io.push_back(Cmd("LOOP_CTL_ADD", 0x80, 'n', "", Dir::kIn, {}, 3,
+                   "add a loop device"));
+  io.push_back(Cmd("LOOP_CTL_REMOVE", 0x81, 'n', "", Dir::kIn, {}, 3,
+                   "remove a loop device"));
+  io.push_back(Cmd("LOOP_CTL_GET_FREE", 0x82, 'n', "", Dir::kIn, {}, 2,
+                   "find the first unused loop device"));
+  return dev;
+}
+
+DeviceSpec
+MakeLoop0()
+{
+  return MakeGenericDriver("loop0", "loop#", "/dev/loop0", 0x4c,
+                           RegistrationStyle::kDeviceCreate,
+                           DispatchStyle::kDirectSwitch, 2, 11, 1.0, 11);
+}
+
+DeviceSpec
+MakeVhostNet()
+{
+  DeviceSpec dev;
+  dev.id = "vhost_net";
+  dev.display_name = "vhost-net";
+  dev.dev_node = "/dev/vhost-net";
+  dev.magic = 0xaf;
+  dev.magic_macro = "VHOST_VIRTIO";
+  dev.reg = RegistrationStyle::kMiscName;
+  dev.dispatch = DispatchStyle::kDirectSwitch;
+  dev.delegation_depth = 2;
+  dev.existing_fraction = 1.0;
+  dev.primary.name = "net";
+
+  StructSpec state;
+  state.name = "vhost_vring_state";
+  state.fields = {
+      FieldSpec::Scalar("index", 32, "virtqueue index"),
+      FieldSpec::Scalar("num", 32),
+  };
+  dev.structs.push_back(std::move(state));
+
+  StructSpec file;
+  file.name = "vhost_vring_file";
+  file.fields = {
+      FieldSpec::Scalar("index", 32, "virtqueue index"),
+      FieldSpec::Scalar("fd", 64, "eventfd or backend fd; -1 to unbind"),
+  };
+  dev.structs.push_back(std::move(file));
+
+  StructSpec mem;
+  mem.name = "vhost_memory";
+  mem.comment = "guest memory layout table";
+  mem.fields = {
+      FieldSpec::LenOf("nregions", "regions", 32),
+      FieldSpec::Scalar("padding", 32, "must be zero"),
+      FieldSpec::Array("regions", 64, 8, "flattened region descriptors"),
+  };
+  dev.structs.push_back(std::move(mem));
+
+  auto& io = dev.primary.ioctls;
+  io.push_back(Cmd("VHOST_GET_FEATURES", 0, 'r', "vhost_vring_state",
+                   Dir::kOut, {}, 2, "read supported feature bits"));
+  io.push_back(Cmd("VHOST_SET_FEATURES", 1, 'w', "vhost_vring_state",
+                   Dir::kIn, {}, 3, "acknowledge feature bits"));
+  io.push_back(
+      Cmd("VHOST_SET_OWNER", 2, 'n', "", Dir::kIn, {}, 2, "claim the device"));
+  io.push_back(Cmd("VHOST_RESET_OWNER", 3, 'n', "", Dir::kIn, {}, 2,
+                   "release the device"));
+  io.push_back(Cmd("VHOST_SET_MEM_TABLE", 4, 'w', "vhost_memory", Dir::kIn,
+                   {CheckSpec::LenBound("nregions"),
+                    CheckSpec::Equals("padding", 0)},
+                   5, "install the guest memory table"));
+  io.push_back(Cmd("VHOST_SET_VRING_NUM", 16, 'w', "vhost_vring_state",
+                   Dir::kIn, {CheckSpec::Range("index", 0, 2)}, 4,
+                   "set ring size"));
+  io.push_back(Cmd("VHOST_SET_VRING_BASE", 18, 'w', "vhost_vring_state",
+                   Dir::kIn, {CheckSpec::Range("index", 0, 2)}, 3,
+                   "set ring base index"));
+  io.push_back(Cmd("VHOST_GET_VRING_BASE", 19, 'b', "vhost_vring_state",
+                   Dir::kInOut, {CheckSpec::Range("index", 0, 2)}, 3,
+                   "read ring base index"));
+  io.push_back(Cmd("VHOST_SET_VRING_KICK", 32, 'w', "vhost_vring_file",
+                   Dir::kIn, {CheckSpec::Range("index", 0, 2)}, 4,
+                   "bind the kick eventfd"));
+  io.push_back(Cmd("VHOST_NET_SET_BACKEND", 48, 'w', "vhost_vring_file",
+                   Dir::kIn, {CheckSpec::Range("index", 0, 1)}, 5,
+                   "bind the tap backend"));
+  return dev;
+}
+
+DeviceSpec
+MakeVhostVsock()
+{
+  DeviceSpec dev;
+  dev.id = "vhost_vsock";
+  dev.display_name = "vhost-vsock";
+  dev.dev_node = "/dev/vhost-vsock";
+  dev.magic = 0xaf;
+  dev.magic_macro = "VHOST_VSOCK_VIRTIO";
+  dev.reg = RegistrationStyle::kMiscName;
+  dev.dispatch = DispatchStyle::kDirectSwitch;
+  dev.delegation_depth = 2;
+  dev.existing_fraction = 0.15;
+  dev.primary.name = "vsock";
+
+  StructSpec state;
+  state.name = "vhost_vsock_state";
+  state.fields = {
+      FieldSpec::Scalar("index", 32),
+      FieldSpec::Scalar("num", 32),
+  };
+  dev.structs.push_back(std::move(state));
+
+  StructSpec cid;
+  cid.name = "vhost_vsock_cid";
+  cid.fields = {
+      FieldSpec::Scalar("cid", 64, "guest context id; >= 3 for guests"),
+  };
+  dev.structs.push_back(std::move(cid));
+
+  auto& io = dev.primary.ioctls;
+  io.push_back(Cmd("VHOST_VSOCK_SET_GUEST_CID", 96, 'w', "vhost_vsock_cid",
+                   Dir::kIn, {CheckSpec::Range("cid", 3, 0xffff)}, 4,
+                   "assign the guest context id"));
+  io.push_back(Cmd("VHOST_VSOCK_SET_RUNNING", 97, 'w', "vhost_vsock_state",
+                   Dir::kIn, {CheckSpec::Range("num", 0, 1)}, 4,
+                   "start or stop the device"));
+  io.push_back(Cmd("VHOST_VSOCK_GET_FEATURES", 98, 'r', "vhost_vsock_state",
+                   Dir::kOut, {}, 2, "read feature bits"));
+  io.push_back(Cmd("VHOST_VSOCK_SET_FEATURES", 99, 'w', "vhost_vsock_state",
+                   Dir::kIn, {}, 3, "write feature bits"));
+  io.push_back(Cmd("VHOST_VSOCK_SET_VRING_NUM", 100, 'w', "vhost_vsock_state",
+                   Dir::kIn, {CheckSpec::Range("index", 0, 1)}, 3,
+                   "set ring size"));
+  io.push_back(Cmd("VHOST_VSOCK_SET_VRING_BASE", 101, 'w',
+                   "vhost_vsock_state", Dir::kIn,
+                   {CheckSpec::Range("index", 0, 1)}, 3,
+                   "set ring base"));
+  return dev;
+}
+
+DeviceSpec
+MakeSnapshot()
+{
+  DeviceSpec dev;
+  dev.id = "snapshot";
+  dev.display_name = "snapshot";
+  dev.dev_node = "/dev/snapshot";
+  dev.magic = 0x33;
+  dev.magic_macro = "SNAPSHOT_IOC_MAGIC";
+  dev.reg = RegistrationStyle::kMiscName;
+  dev.dispatch = DispatchStyle::kTableLookup;
+  dev.delegation_depth = 1;
+  dev.existing_fraction = 0.85;
+  dev.primary.name = "ctl";
+
+  StructSpec swap;
+  swap.name = "snapshot_swap_area";
+  swap.fields = {
+      FieldSpec::Scalar("offset", 64, "swap offset in pages"),
+      FieldSpec::Scalar("dev", 32, "swap device number"),
+  };
+  dev.structs.push_back(std::move(swap));
+
+  StructSpec size;
+  size.name = "snapshot_image_size";
+  size.fields = {
+      FieldSpec::Out("size", 64, "image size in bytes"),
+  };
+  dev.structs.push_back(std::move(size));
+
+  auto& io = dev.primary.ioctls;
+  const char* names[] = {"SNAPSHOT_FREEZE",        "SNAPSHOT_UNFREEZE",
+                         "SNAPSHOT_ATOMIC_RESTORE", "SNAPSHOT_FREE",
+                         "SNAPSHOT_S2RAM",          "SNAPSHOT_PLATFORM_SUPPORT",
+                         "SNAPSHOT_POWER_OFF",      "SNAPSHOT_CREATE_IMAGE"};
+  uint64_t nr = 1;
+  for (const char* name : names) {
+    io.push_back(Cmd(name, nr++, 'n', "", Dir::kIn, {}, 3));
+  }
+  io.push_back(Cmd("SNAPSHOT_SET_SWAP_AREA", 13, 'w', "snapshot_swap_area",
+                   Dir::kIn, {CheckSpec::NonZero("dev")}, 4,
+                   "designate the swap area for the image"));
+  io.push_back(Cmd("SNAPSHOT_GET_IMAGE_SIZE", 14, 'r', "snapshot_image_size",
+                   Dir::kOut, {}, 2, "query the hibernation image size"));
+  io.push_back(Cmd("SNAPSHOT_AVAIL_SWAP_SIZE", 19, 'r',
+                   "snapshot_image_size", Dir::kOut, {}, 2,
+                   "query available swap"));
+  io.push_back(Cmd("SNAPSHOT_ALLOC_SWAP_PAGE", 20, 'r', "snapshot_image_size",
+                   Dir::kOut, {}, 3, "allocate one swap page"));
+  return dev;
+}
+
+}  // namespace kernelgpt::drivers

@@ -1,0 +1,296 @@
+#include "drivers/driver_model.h"
+
+#include "ksrc/cparser.h"
+#include "util/status.h"
+
+namespace kernelgpt::drivers {
+
+// -- FieldSpec factories -----------------------------------------------------
+
+FieldSpec
+FieldSpec::Scalar(std::string name, int bits, std::string comment)
+{
+  FieldSpec f;
+  f.name = std::move(name);
+  f.kind = Kind::kScalar;
+  f.bits = bits;
+  f.comment = std::move(comment);
+  return f;
+}
+
+FieldSpec
+FieldSpec::Array(std::string name, int elem_bits, uint64_t len,
+                 std::string comment)
+{
+  FieldSpec f;
+  f.name = std::move(name);
+  f.kind = Kind::kArray;
+  f.bits = elem_bits;
+  f.array_len = len;
+  f.comment = std::move(comment);
+  return f;
+}
+
+FieldSpec
+FieldSpec::FlexArray(std::string name, int elem_bits, std::string comment)
+{
+  FieldSpec f = Array(std::move(name), elem_bits, 0, std::move(comment));
+  return f;
+}
+
+FieldSpec
+FieldSpec::CString(std::string name, uint64_t len, std::string comment)
+{
+  FieldSpec f;
+  f.name = std::move(name);
+  f.kind = Kind::kString;
+  f.bits = 8;
+  f.array_len = len;
+  f.comment = std::move(comment);
+  return f;
+}
+
+FieldSpec
+FieldSpec::Struct(std::string name, std::string struct_name,
+                  std::string comment)
+{
+  FieldSpec f;
+  f.name = std::move(name);
+  f.kind = Kind::kStructRef;
+  f.struct_ref = std::move(struct_name);
+  f.comment = std::move(comment);
+  return f;
+}
+
+FieldSpec
+FieldSpec::LenOf(std::string name, std::string target, int bits,
+                 std::string comment)
+{
+  FieldSpec f;
+  f.name = std::move(name);
+  f.kind = Kind::kLenOf;
+  f.bits = bits;
+  f.len_of = std::move(target);
+  f.comment = std::move(comment);
+  return f;
+}
+
+FieldSpec
+FieldSpec::Flags(std::string name, std::string flag_set, int bits,
+                 std::string comment)
+{
+  FieldSpec f;
+  f.name = std::move(name);
+  f.kind = Kind::kFlags;
+  f.bits = bits;
+  f.flags_ref = std::move(flag_set);
+  f.comment = std::move(comment);
+  return f;
+}
+
+FieldSpec
+FieldSpec::Out(std::string name, int bits, std::string comment)
+{
+  FieldSpec f;
+  f.name = std::move(name);
+  f.kind = Kind::kOutValue;
+  f.bits = bits;
+  f.comment = std::move(comment);
+  return f;
+}
+
+// -- CheckSpec factories -----------------------------------------------------
+
+CheckSpec
+CheckSpec::Range(std::string field, int64_t min, int64_t max)
+{
+  CheckSpec c;
+  c.field = std::move(field);
+  c.kind = Kind::kRange;
+  c.min = min;
+  c.max = max;
+  return c;
+}
+
+CheckSpec
+CheckSpec::Equals(std::string field, uint64_t value)
+{
+  CheckSpec c;
+  c.field = std::move(field);
+  c.kind = Kind::kEquals;
+  c.value = value;
+  return c;
+}
+
+CheckSpec
+CheckSpec::NonZero(std::string field)
+{
+  CheckSpec c;
+  c.field = std::move(field);
+  c.kind = Kind::kNonZero;
+  return c;
+}
+
+CheckSpec
+CheckSpec::LenBound(std::string field)
+{
+  CheckSpec c;
+  c.field = std::move(field);
+  c.kind = Kind::kLenBound;
+  return c;
+}
+
+// -- Lookups -------------------------------------------------------------
+
+const FieldSpec*
+StructSpec::FindField(const std::string& field_name) const
+{
+  for (const auto& f : fields) {
+    if (f.name == field_name) return &f;
+  }
+  return nullptr;
+}
+
+const StructSpec*
+DeviceSpec::FindStruct(const std::string& name) const
+{
+  for (const auto& s : structs) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const HandlerSpec*
+DeviceSpec::FindHandler(const std::string& name) const
+{
+  if (primary.name == name) return &primary;
+  for (const auto& h : secondary) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+const StructSpec*
+SocketSpec::FindStruct(const std::string& name) const
+{
+  for (const auto& s : structs) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+// -- Layout ---------------------------------------------------------------
+
+const FieldLayout*
+StructLayout::Find(const std::string& field_name) const
+{
+  for (const auto& fl : fields) {
+    if (fl.field && fl.field->name == field_name) return &fl;
+  }
+  return nullptr;
+}
+
+namespace {
+
+size_t
+FieldByteSize(const FieldSpec& f, const std::vector<StructSpec>& all)
+{
+  switch (f.kind) {
+    case FieldSpec::Kind::kScalar:
+    case FieldSpec::Kind::kLenOf:
+    case FieldSpec::Kind::kFlags:
+    case FieldSpec::Kind::kOutValue:
+      return static_cast<size_t>(f.bits) / 8;
+    case FieldSpec::Kind::kArray:
+    case FieldSpec::Kind::kString:
+      return static_cast<size_t>(f.bits) / 8 *
+             static_cast<size_t>(f.array_len);
+    case FieldSpec::Kind::kStructRef:
+      return StructByteSize(f.struct_ref, all);
+  }
+  return 0;
+}
+
+}  // namespace
+
+StructLayout
+ComputeLayout(const StructSpec& s, const std::vector<StructSpec>& all)
+{
+  StructLayout layout;
+  size_t offset = 0;
+  size_t max_arm = 0;
+  for (const auto& f : s.fields) {
+    FieldLayout fl;
+    fl.field = &f;
+    fl.size = FieldByteSize(f, all);
+    fl.offset = s.is_union ? 0 : offset;
+    layout.fields.push_back(fl);
+    if (s.is_union) {
+      max_arm = std::max(max_arm, fl.size);
+    } else {
+      offset += fl.size;
+    }
+  }
+  layout.total_size = s.is_union ? max_arm : offset;
+  return layout;
+}
+
+size_t
+StructByteSize(const std::string& name, const std::vector<StructSpec>& all)
+{
+  for (const auto& s : all) {
+    if (s.name == name) return ComputeLayout(s, all).total_size;
+  }
+  return 0;
+}
+
+uint64_t
+FullCommandValue(const DeviceSpec& dev, const IoctlSpec& cmd)
+{
+  uint64_t size = 0;
+  if (!cmd.arg_struct.empty()) {
+    size = StructByteSize(cmd.arg_struct, dev.structs);
+  }
+  char r = (cmd.ioc_dir == 'r' || cmd.ioc_dir == 'b') ? 'r' : '-';
+  char w = (cmd.ioc_dir == 'w' || cmd.ioc_dir == 'b') ? 'w' : '-';
+  if (cmd.ioc_dir == 'n') {
+    r = '-';
+    w = '-';
+    size = 0;
+  }
+  return ksrc::IoctlNumber(r, w, dev.magic, cmd.nr, size);
+}
+
+uint64_t
+SocketConstValue(const std::string& macro)
+{
+  // AF_* values follow Linux's include/linux/socket.h where applicable;
+  // synthetic families use the 40+ range.
+  if (macro == "AF_PACKET") return 17;
+  if (macro == "AF_RDS") return 21;
+  if (macro == "AF_LLC") return 26;
+  if (macro == "AF_BLUETOOTH") return 31;
+  if (macro == "AF_CAIF") return 37;
+  if (macro == "AF_PHONET") return 35;
+  if (macro == "AF_INET") return 2;
+  if (macro == "AF_INET6") return 10;
+  if (macro == "AF_PPPOX") return 24;
+  if (macro == "SOCK_STREAM") return 1;
+  if (macro == "SOCK_DGRAM") return 2;
+  if (macro == "SOCK_RAW") return 3;
+  if (macro == "SOCK_SEQPACKET") return 5;
+  if (macro == "SOL_SOCKET") return 1;
+  if (macro == "SOL_RDS") return 276;
+  if (macro == "SOL_LLC") return 268;
+  if (macro == "SOL_PACKET") return 263;
+  if (macro == "SOL_CAIF") return 278;
+  if (macro == "SOL_BLUETOOTH") return 274;
+  if (macro == "SOL_PNPIPE") return 275;
+  if (macro == "SOL_TCP") return 6;
+  if (macro == "SOL_MPTCP") return 284;
+  if (macro == "SOL_IPV6") return 41;
+  if (macro == "SOL_PPPOL2TP") return 273;
+  util::Panic("unknown socket constant macro: " + macro);
+}
+
+}  // namespace kernelgpt::drivers

@@ -1,0 +1,308 @@
+/// \file
+/// Declarative models of synthetic kernel modules (device drivers and
+/// socket families). One model is the single source of truth from which
+/// the project derives three mutually consistent artifacts:
+///
+///   1. C source text (model_render)   — analyzed by the extractor, the
+///      rule-based baseline, and the simulated analysis LLM;
+///   2. runtime behaviour (model_runtime) — registered into the virtual
+///      kernel and fuzzed;
+///   3. the ground-truth specification (model_spec) — the oracle for the
+///      paper's §5.1.3 manual-audit experiment and for tests.
+///
+/// Because all three derive from one model, a specification inferred
+/// correctly from the rendered source is exactly the specification that
+/// unlocks deep coverage at runtime — the causal chain the paper measures.
+
+#ifndef KERNELGPT_DRIVERS_DRIVER_MODEL_H_
+#define KERNELGPT_DRIVERS_DRIVER_MODEL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "syzlang/types.h"
+
+namespace kernelgpt::drivers {
+
+// ---------------------------------------------------------------------------
+// Struct layout
+// ---------------------------------------------------------------------------
+
+/// One member of an ioctl/sockopt argument struct.
+struct FieldSpec {
+  enum class Kind {
+    kScalar,    ///< Fixed-width integer.
+    kArray,     ///< Fixed or flexible array of scalars.
+    kString,    ///< char[] holding a NUL-terminated string.
+    kStructRef, ///< Nested struct by value.
+    kLenOf,     ///< Scalar whose value is the element count of a sibling.
+    kFlags,     ///< Scalar restricted to a named flag set.
+    kOutValue,  ///< Kernel-written output scalar (id, token, fd...).
+  };
+
+  std::string name;
+  Kind kind = Kind::kScalar;
+  int bits = 32;              ///< Element width for scalar/array/len/flags.
+  uint64_t array_len = 0;     ///< kArray/kString: element count; 0 = flexible.
+  std::string struct_ref;     ///< kStructRef: nested struct name.
+  std::string len_of;         ///< kLenOf: sibling field this counts.
+  std::string flags_ref;      ///< kFlags: flag-set name.
+  std::string comment;        ///< Rendered as a trailing C comment.
+
+  // -- Factories -----------------------------------------------------------
+  static FieldSpec Scalar(std::string name, int bits,
+                          std::string comment = "");
+  static FieldSpec Array(std::string name, int elem_bits, uint64_t len,
+                         std::string comment = "");
+  static FieldSpec FlexArray(std::string name, int elem_bits,
+                             std::string comment = "");
+  static FieldSpec CString(std::string name, uint64_t len,
+                           std::string comment = "");
+  static FieldSpec Struct(std::string name, std::string struct_name,
+                          std::string comment = "");
+  static FieldSpec LenOf(std::string name, std::string target, int bits = 32,
+                         std::string comment = "");
+  static FieldSpec Flags(std::string name, std::string flag_set, int bits = 32,
+                         std::string comment = "");
+  static FieldSpec Out(std::string name, int bits,
+                       std::string comment = "");
+};
+
+/// An argument struct (or union) definition.
+struct StructSpec {
+  std::string name;
+  bool is_union = false;
+  std::vector<FieldSpec> fields;
+  std::string comment;
+
+  const FieldSpec* FindField(const std::string& field_name) const;
+};
+
+/// A named flag set with symbolic members.
+struct FlagSetSpec {
+  std::string name;
+  std::vector<std::pair<std::string, uint64_t>> values;
+};
+
+// ---------------------------------------------------------------------------
+// Behaviour
+// ---------------------------------------------------------------------------
+
+/// A validation gate executed by the handler before the deep path. Each
+/// check covers one basic block when reached; failing the predicate makes
+/// the handler return -EINVAL early.
+struct CheckSpec {
+  enum class Kind {
+    kRange,    ///< min <= field <= max.
+    kEquals,   ///< field == value (magic/version checks).
+    kNonZero,  ///< field != 0.
+    kLenBound, ///< len-of field value must not exceed the sibling capacity.
+  };
+
+  std::string field;  ///< Top-level field of the argument struct.
+  Kind kind = Kind::kRange;
+  int64_t min = 0;
+  int64_t max = 0;
+  uint64_t value = 0;
+
+  static CheckSpec Range(std::string field, int64_t min, int64_t max);
+  static CheckSpec Equals(std::string field, uint64_t value);
+  static CheckSpec NonZero(std::string field);
+  static CheckSpec LenBound(std::string field);
+};
+
+/// A planted kernel bug reachable through one command's deep path.
+struct BugSpec {
+  /// Crash title as the sanitizer reports it, e.g.
+  /// "kmalloc bug in ctl_ioctl".
+  std::string title;
+  /// CVE id when the paper lists one; empty otherwise.
+  std::string cve;
+  bool confirmed = false;
+  bool fixed = false;
+  /// True for long-known bugs reachable through existing Syzkaller specs
+  /// (Table 3's baseline crashes); false for the 24 new Table 4 bugs.
+  bool legacy = false;
+
+  enum class Trigger {
+    kFieldAtLeast,  ///< field >= value (oversized-allocation style).
+    kFieldEquals,   ///< field == value.
+    kFieldZero,     ///< field == 0 (divide-by-zero style).
+    kSequence,      ///< Requires `prior_cmd` earlier on the same fd.
+    kOnRelease,     ///< Fires on close() after this command ran (UAF style).
+    kAlways,        ///< Any reach of the deep path fires it.
+  };
+  Trigger trigger = Trigger::kAlways;
+  std::string field;      ///< Trigger field (top-level in the arg struct).
+  uint64_t value = 0;     ///< Threshold / equality operand.
+  std::string prior_cmd;  ///< kSequence: macro name of the prerequisite.
+};
+
+/// One ioctl command (or one switch arm of a generic handler).
+struct IoctlSpec {
+  std::string macro;        ///< Command macro name, e.g. "DM_LIST_DEVICES".
+  uint64_t nr = 0;          ///< Sequence number within the magic.
+  char ioc_dir = 'b';       ///< 'n' none, 'r' read, 'w' write, 'b' both.
+  std::string arg_struct;   ///< Argument struct name; empty = scalar arg.
+  syzlang::Dir dir = syzlang::Dir::kInOut;  ///< Pointer direction.
+  std::vector<CheckSpec> checks;
+  int deep_blocks = 4;      ///< Blocks covered after all checks pass.
+  std::optional<BugSpec> bug;
+  /// Non-empty when the command creates a new fd bound to the named
+  /// secondary handler (KVM_CREATE_VM style); the fd is the return value.
+  std::string creates_handler;
+  std::string sub_function; ///< Rendered helper name; default derived.
+  std::string comment;      ///< Doc comment on the helper.
+};
+
+/// One handler table (a file_operations instance). The primary handler is
+/// reachable by opening the device node; secondary handlers are reachable
+/// through fd-creating ioctls.
+struct HandlerSpec {
+  std::string name;  ///< e.g. "ctl", "vm", "vcpu".
+  std::vector<IoctlSpec> ioctls;
+};
+
+/// How the driver registers its device node in the rendered source.
+enum class RegistrationStyle {
+  kMiscName,      ///< miscdevice .name only — node is "/dev/<name>".
+  kMiscNodename,  ///< .name and .nodename set — node is "/dev/<nodename>"
+                  ///< (the rare idiom SyzDescribe mis-handles, Fig. 2).
+  kDeviceCreate,  ///< device_create(..., "foo%d", 0) in the init function.
+  kProcCreate,    ///< proc_create("driver/foo") — node under /proc.
+};
+
+/// How the rendered ioctl handler dispatches on the command value.
+enum class DispatchStyle {
+  kDirectSwitch,  ///< switch (command) { case FULL_MACRO: ... }.
+  kIocNrSwitch,   ///< cmd = _IOC_NR(command); switch (cmd) { case NR: }
+                  ///< (the modification idiom SyzDescribe gets wrong).
+  kTableLookup,   ///< fn = lookup_ioctl(cmd); static table of entries.
+};
+
+/// A complete device-driver model.
+struct DeviceSpec {
+  std::string id;            ///< Module name, e.g. "dm"; also corpus key.
+  std::string display_name;  ///< Table 5 row label, e.g. "loop-control".
+  std::string dev_node;      ///< True device path, e.g. "/dev/mapper/control".
+  uint64_t magic = 0;        ///< ioctl type byte.
+  std::string magic_macro;   ///< e.g. "DM_IOCTL".
+  RegistrationStyle reg = RegistrationStyle::kMiscName;
+  DispatchStyle dispatch = DispatchStyle::kDirectSwitch;
+  /// Wrapper functions between the registered handler and the dispatch
+  /// switch; each extra level is one more iterative-analysis step.
+  int delegation_depth = 1;
+  HandlerSpec primary;
+  std::vector<HandlerSpec> secondary;
+  std::vector<StructSpec> structs;
+  std::vector<FlagSetSpec> flag_sets;
+  /// Extra numeric macros (length limits etc.) rendered as #defines.
+  std::vector<std::pair<std::string, uint64_t>> extra_macros;
+  /// Fraction of this driver's syscalls covered by the hand-written
+  /// "existing Syzkaller" specification (0 = undescribed driver).
+  double existing_fraction = 0.0;
+  /// False for drivers not loaded under the syzbot config (Table 1's
+  /// allyesconfig vs syzbot distinction).
+  bool loaded_in_syzbot = true;
+  /// True for debug/hardware-gated drivers excluded from generation.
+  bool excluded = false;
+
+  const StructSpec* FindStruct(const std::string& name) const;
+  const HandlerSpec* FindHandler(const std::string& name) const;
+};
+
+// ---------------------------------------------------------------------------
+// Sockets
+// ---------------------------------------------------------------------------
+
+/// One setsockopt/getsockopt option.
+struct SockOptSpec {
+  std::string macro;       ///< Option macro name, e.g. "RDS_RECVERR".
+  uint64_t value = 0;      ///< Option number.
+  std::string arg_struct;  ///< Payload struct; empty = int payload.
+  bool settable = true;
+  bool gettable = false;
+  std::vector<CheckSpec> checks;
+  int deep_blocks = 3;
+  std::optional<BugSpec> bug;
+  std::string comment;
+};
+
+/// Behaviour of one data-path socket operation (bind/sendto/...).
+struct SocketOpSpec {
+  bool supported = false;
+  std::vector<CheckSpec> checks;  ///< Checked against the addr struct.
+  int deep_blocks = 3;
+  std::optional<BugSpec> bug;
+};
+
+/// A complete socket-family model.
+struct SocketSpec {
+  std::string id;             ///< e.g. "rds".
+  std::string family_macro;   ///< e.g. "AF_RDS".
+  uint64_t domain = 0;        ///< AF_* numeric value.
+  uint64_t sock_type = 0;     ///< Required SOCK_*; 0 = any accepted.
+  std::string sock_type_macro;
+  uint64_t protocol = 0;      ///< Required protocol; 0 = any.
+  uint64_t sol_level = 0;     ///< SOL_* level for sockopts.
+  std::string sol_macro;
+  std::string addr_struct;    ///< sockaddr struct name for bind/connect.
+  std::vector<SockOptSpec> sockopts;
+  std::vector<IoctlSpec> ioctls;  ///< Socket ioctls (SIOC*).
+  SocketOpSpec bind;
+  SocketOpSpec connect;
+  SocketOpSpec sendto;
+  SocketOpSpec recvfrom;
+  SocketOpSpec listen;
+  SocketOpSpec accept;
+  std::vector<StructSpec> structs;
+  std::vector<FlagSetSpec> flag_sets;
+  std::vector<std::pair<std::string, uint64_t>> extra_macros;
+  double existing_fraction = 0.0;
+  bool loaded_in_syzbot = true;
+  bool excluded = false;
+
+  const StructSpec* FindStruct(const std::string& name) const;
+};
+
+// ---------------------------------------------------------------------------
+// Layout computation (shared by renderer, runtime, and spec generator)
+// ---------------------------------------------------------------------------
+
+/// Byte offset/size of one field in a packed layout.
+struct FieldLayout {
+  const FieldSpec* field = nullptr;
+  size_t offset = 0;
+  size_t size = 0;
+};
+
+/// Packed layout of a struct (the corpus orders fields naturally, so a
+/// packed layout matches the unpadded C layout).
+struct StructLayout {
+  size_t total_size = 0;
+  std::vector<FieldLayout> fields;
+
+  const FieldLayout* Find(const std::string& field_name) const;
+};
+
+/// Computes the layout of `s`, resolving nested structs through `lookup`
+/// (a list of all structs in the module).
+StructLayout ComputeLayout(const StructSpec& s,
+                           const std::vector<StructSpec>& all);
+
+/// Size in bytes of a struct by name; 0 when unknown.
+size_t StructByteSize(const std::string& name,
+                      const std::vector<StructSpec>& all);
+
+/// The full ioctl command value for a command of `dev` (applies the
+/// Linux _IOC encoding with the model's magic and the arg struct size).
+uint64_t FullCommandValue(const DeviceSpec& dev, const IoctlSpec& cmd);
+
+/// Well-known AF_/SOL_/SOCK_ macro values shared by renderer and runtime.
+uint64_t SocketConstValue(const std::string& macro);
+
+}  // namespace kernelgpt::drivers
+
+#endif  // KERNELGPT_DRIVERS_DRIVER_MODEL_H_

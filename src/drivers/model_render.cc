@@ -1,0 +1,779 @@
+#include "drivers/model_render.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace kernelgpt::drivers {
+
+namespace {
+
+using util::Format;
+
+std::string
+Upper(const std::string& s)
+{
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  for (char& c : out) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return out;
+}
+
+/// Macro prefix of a module, e.g. "DM" for id "dm".
+std::string
+Prefix(const std::string& id)
+{
+  return Upper(id);
+}
+
+/// The last path component of the device node ("/dev/mapper/control" ->
+/// "mapper/control" relative to /dev, "control" as basename).
+std::string
+NodeRelativeToDev(const std::string& node)
+{
+  if (util::StartsWith(node, "/dev/")) return node.substr(5);
+  if (util::StartsWith(node, "/proc/")) return node.substr(6);
+  return node;
+}
+
+std::string
+RenderFieldDecl(const FieldSpec& f)
+{
+  std::string out = "\t";
+  switch (f.kind) {
+    case FieldSpec::Kind::kScalar:
+    case FieldSpec::Kind::kLenOf:
+    case FieldSpec::Kind::kFlags:
+    case FieldSpec::Kind::kOutValue:
+      out += CScalarName(f.bits) + " " + f.name + ";";
+      break;
+    case FieldSpec::Kind::kArray:
+      if (f.array_len == 0) {
+        out += CScalarName(f.bits) + " " + f.name + "[];";
+      } else {
+        out += CScalarName(f.bits) + " " + f.name +
+               Format("[%llu];", static_cast<unsigned long long>(f.array_len));
+      }
+      break;
+    case FieldSpec::Kind::kString:
+      out += "char " + f.name +
+             Format("[%llu];", static_cast<unsigned long long>(f.array_len));
+      break;
+    case FieldSpec::Kind::kStructRef:
+      out += "struct " + f.struct_ref + " " + f.name + ";";
+      break;
+  }
+  if (!f.comment.empty()) out += " /* " + f.comment + " */";
+  out += "\n";
+  return out;
+}
+
+std::string
+RenderStructDef(const StructSpec& s)
+{
+  std::string out;
+  if (!s.comment.empty()) out += "/* " + s.comment + " */\n";
+  out += std::string(s.is_union ? "union " : "struct ") + s.name + " {\n";
+  for (const auto& f : s.fields) out += RenderFieldDecl(f);
+  out += "};\n\n";
+  return out;
+}
+
+/// Renders the per-command checks as early-return validations.
+std::string
+RenderChecks(const IoctlSpec& cmd, const StructSpec* arg)
+{
+  std::string out;
+  for (const CheckSpec& c : cmd.checks) {
+    switch (c.kind) {
+      case CheckSpec::Kind::kRange:
+        out += Format("\tif (param.%s < %lld || param.%s > %lld)\n"
+                      "\t\treturn -EINVAL;\n",
+                      c.field.c_str(), static_cast<long long>(c.min),
+                      c.field.c_str(), static_cast<long long>(c.max));
+        break;
+      case CheckSpec::Kind::kEquals:
+        out += Format("\tif (param.%s != %llu)\n\t\treturn -EINVAL;\n",
+                      c.field.c_str(),
+                      static_cast<unsigned long long>(c.value));
+        break;
+      case CheckSpec::Kind::kNonZero:
+        out += Format("\tif (!param.%s)\n\t\treturn -EINVAL;\n",
+                      c.field.c_str());
+        break;
+      case CheckSpec::Kind::kLenBound: {
+        uint64_t capacity = 4096;
+        if (arg) {
+          const FieldSpec* len_field = arg->FindField(c.field);
+          if (len_field) {
+            const FieldSpec* target = arg->FindField(len_field->len_of);
+            if (target && target->array_len > 0) capacity = target->array_len;
+          }
+        }
+        out += Format("\tif (param.%s > %llu)\n\t\treturn -EINVAL;\n",
+                      c.field.c_str(),
+                      static_cast<unsigned long long>(capacity));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+/// Renders the deep-path body, including the bug site when present.
+std::string
+RenderDeepPath(const IoctlSpec& cmd, const StructSpec* arg)
+{
+  std::string out;
+  if (cmd.bug) {
+    switch (cmd.bug->trigger) {
+      case BugSpec::Trigger::kFieldAtLeast:
+        // Missing upper-bound check before an allocation — the
+        // CVE-2024-23851 pattern.
+        out += Format("\tbuf = kvmalloc(param.%s, GFP_KERNEL);\n"
+                      "\tif (!buf)\n\t\treturn -ENOMEM;\n",
+                      cmd.bug->field.c_str());
+        break;
+      case BugSpec::Trigger::kFieldZero:
+        // Missing zero check before a division.
+        out += Format("\tstride = total_size / param.%s;\n",
+                      cmd.bug->field.c_str());
+        break;
+      case BugSpec::Trigger::kFieldEquals:
+        out += Format("\tstate_table[param.%s & 0xff] = 1;\n",
+                      cmd.bug->field.c_str());
+        break;
+      case BugSpec::Trigger::kSequence:
+        out += "\t/* assumes setup by an earlier command */\n"
+               "\tlist_del(&ctx->pending);\n";
+        break;
+      case BugSpec::Trigger::kOnRelease:
+        out += "\tqueue_work(wq, &ctx->work); /* not flushed on release */\n";
+        break;
+      case BugSpec::Trigger::kAlways:
+        out += "\tctx->obj = alloc_object(); /* refcount not taken */\n";
+        break;
+    }
+  }
+  // Plausible deep processing referencing the argument fields.
+  if (arg) {
+    for (const auto& f : arg->fields) {
+      if (f.kind == FieldSpec::Kind::kOutValue) {
+        out += Format("\tparam.%s = ctx->next_%s++;\n", f.name.c_str(),
+                      f.name.c_str());
+      } else if (f.kind == FieldSpec::Kind::kArray ||
+                 f.kind == FieldSpec::Kind::kString) {
+        out += Format("\tprocess_buffer(param.%s);\n", f.name.c_str());
+      }
+    }
+  }
+  out += "\tcomplete_request(ctx);\n";
+  return out;
+}
+
+/// Renders the per-command helper containing copy_from_user, checks, and
+/// the deep path.
+std::string
+RenderSubFunction(const DeviceSpec& dev, const HandlerSpec& handler,
+                  const IoctlSpec& cmd)
+{
+  const StructSpec* arg =
+      cmd.arg_struct.empty() ? nullptr : dev.FindStruct(cmd.arg_struct);
+  std::string fn_name = SubFunctionName(dev, handler, cmd);
+  std::string out;
+  if (!cmd.comment.empty()) out += "/* " + cmd.comment + " */\n";
+  out += Format("static int %s(struct file *file, unsigned long u)\n{\n",
+                fn_name.c_str());
+  if (arg) {
+    out += Format("\tstruct %s param;\n", arg->name.c_str());
+    out += "\tvoid *buf;\n\tunsigned long stride;\n";
+    if (cmd.dir == syzlang::Dir::kOut) {
+      // Pure-output command: the kernel fills the struct.
+      out += "\tmemset(&param, 0, sizeof(param));\n";
+    } else {
+      out += Format("\tif (copy_from_user(&param, (void *)u, sizeof(struct "
+                    "%s)))\n\t\treturn -EFAULT;\n",
+                    arg->name.c_str());
+      out += RenderChecks(cmd, arg);
+    }
+  }
+  if (!cmd.creates_handler.empty()) {
+    // Secondary handler creation (the KVM_CREATE_VM idiom).
+    const HandlerSpec* sub = dev.FindHandler(cmd.creates_handler);
+    if (sub) {
+      out += Format("\treturn anon_inode_getfd(\"%s-%s\", &%s, file, 0);\n",
+                    dev.id.c_str(), sub->name.c_str(),
+                    FopsVarName(dev, *sub).c_str());
+      out += "}\n\n";
+      return out;
+    }
+  }
+  out += RenderDeepPath(cmd, arg);
+  if (arg && cmd.dir != syzlang::Dir::kIn) {
+    out += Format("\tif (copy_to_user((void *)u, &param, sizeof(struct "
+                  "%s)))\n\t\treturn -EFAULT;\n",
+                  arg->name.c_str());
+  }
+  out += "\treturn 0;\n}\n\n";
+  return out;
+}
+
+/// Renders the dispatch function of one handler per the device's style.
+std::string
+RenderDispatch(const DeviceSpec& dev, const HandlerSpec& handler)
+{
+  std::string out;
+  std::string fn = DispatchFunctionName(dev, handler);
+  std::string p = Prefix(dev.id);
+
+  if (dev.dispatch == DispatchStyle::kTableLookup) {
+    // Table of {cmd, fn} entries plus a lookup helper.
+    out += Format("typedef int (*%s_ioctl_fn)(struct file *file, unsigned "
+                  "long u);\n",
+                  dev.id.c_str());
+    out += Format("struct %s_ioctl_entry {\n\tunsigned int cmd;\n\t%s_ioctl_fn "
+                  "fn;\n};\n\n",
+                  dev.id.c_str(), dev.id.c_str());
+    out += Format("static struct %s_ioctl_entry _%s_%s_ioctls[] = {\n",
+                  dev.id.c_str(), dev.id.c_str(), handler.name.c_str());
+    for (const auto& cmd : handler.ioctls) {
+      out += Format("\t{ %s, %s },\n", cmd.macro.c_str(),
+                    SubFunctionName(dev, handler, cmd).c_str());
+    }
+    out += "};\n\n";
+    out += Format(
+        "static %s_ioctl_fn %s_lookup_ioctl(unsigned int cmd)\n{\n"
+        "\tunsigned int i;\n"
+        "\tfor (i = 0; i < %zu; i++) {\n"
+        "\t\tif (_%s_%s_ioctls[i].cmd == cmd)\n"
+        "\t\t\treturn _%s_%s_ioctls[i].fn;\n"
+        "\t}\n"
+        "\treturn 0;\n}\n\n",
+        dev.id.c_str(), dev.id.c_str(), handler.ioctls.size(), dev.id.c_str(),
+        handler.name.c_str(), dev.id.c_str(), handler.name.c_str());
+    out += Format(
+        "static int %s(struct file *file, unsigned int command, unsigned "
+        "long u)\n{\n"
+        "\t%s_ioctl_fn fn;\n"
+        "\tfn = %s_lookup_ioctl(command);\n"
+        "\tif (!fn)\n\t\treturn -ENOTTY;\n"
+        "\treturn fn(file, u);\n}\n\n",
+        fn.c_str(), dev.id.c_str(), dev.id.c_str());
+    return out;
+  }
+
+  bool nr_switch = dev.dispatch == DispatchStyle::kIocNrSwitch;
+  out += Format("static int %s(struct file *file, unsigned int command, "
+                "unsigned long u)\n{\n",
+                fn.c_str());
+  if (nr_switch) {
+    out += "\tunsigned int cmd;\n";
+    out += "\tcmd = _IOC_NR(command);\n";
+    out += "\tswitch (cmd) {\n";
+  } else {
+    out += "\tswitch (command) {\n";
+  }
+  for (const auto& cmd : handler.ioctls) {
+    std::string label = nr_switch ? NrMacroName(cmd) : cmd.macro;
+    out += Format("\tcase %s:\n\t\treturn %s(file, u);\n", label.c_str(),
+                  SubFunctionName(dev, handler, cmd).c_str());
+  }
+  out += "\tdefault:\n\t\tbreak;\n\t}\n\treturn -ENOTTY;\n}\n\n";
+  (void)p;
+  return out;
+}
+
+/// Renders the delegation chain from the registered entry point down to
+/// the dispatch function.
+std::string
+RenderDelegationChain(const DeviceSpec& dev, const HandlerSpec& handler)
+{
+  std::string out;
+  int levels = dev.delegation_depth;
+  if (levels <= 1) return out;  // Registered function *is* the dispatcher.
+  std::string inner = DispatchFunctionName(dev, handler);
+  for (int level = levels - 1; level >= 1; --level) {
+    std::string name =
+        level == 1
+            ? RegisteredFunctionName(dev, handler)
+            : Format("%s_%s_ioctl_l%d", dev.id.c_str(), handler.name.c_str(),
+                     level);
+    out += Format(
+        "static long %s(struct file *file, unsigned int command, unsigned "
+        "long u)\n{\n\treturn %s(file, command, u);\n}\n\n",
+        name.c_str(), inner.c_str());
+    inner = name;
+  }
+  return out;
+}
+
+std::string
+RenderFops(const DeviceSpec& dev, const HandlerSpec& handler)
+{
+  std::string out;
+  out += Format("static const struct file_operations %s = {\n",
+                FopsVarName(dev, handler).c_str());
+  out += "\t.owner = THIS_MODULE,\n";
+  out += Format("\t.open = %s_open,\n", dev.id.c_str());
+  out += Format("\t.unlocked_ioctl = %s,\n",
+                RegisteredFunctionName(dev, handler).c_str());
+  out += Format("\t.compat_ioctl = %s,\n",
+                RegisteredFunctionName(dev, handler).c_str());
+  out += "\t.llseek = noop_llseek,\n};\n\n";
+  return out;
+}
+
+std::string
+RenderRegistration(const DeviceSpec& dev)
+{
+  std::string out;
+  std::string p = Prefix(dev.id);
+  std::string rel = NodeRelativeToDev(dev.dev_node);
+
+  switch (dev.reg) {
+    case RegistrationStyle::kMiscName:
+      out += Format("static struct miscdevice _%s_misc = {\n"
+                    "\t.minor = MISC_DYNAMIC_MINOR,\n"
+                    "\t.name = %s_NAME,\n"
+                    "\t.fops = &%s,\n};\n\n",
+                    dev.id.c_str(), p.c_str(),
+                    FopsVarName(dev, dev.primary).c_str());
+      break;
+    case RegistrationStyle::kMiscNodename: {
+      // .name holds a legacy module name; the true node comes from
+      // .nodename (the Fig. 2 idiom).
+      auto slash = rel.find('/');
+      std::string dir = slash == std::string::npos ? "" : rel.substr(0, slash);
+      out += Format("static struct miscdevice _%s_misc = {\n"
+                    "\t.minor = %s_CTRL_MINOR,\n"
+                    "\t.name = %s_NAME,\n",
+                    dev.id.c_str(), p.c_str(), p.c_str());
+      if (dir.empty()) {
+        out += Format("\t.nodename = %s_NODE,\n", p.c_str());
+      } else {
+        out += Format("\t.nodename = %s_DIR \"/\" %s_NODE,\n", p.c_str(),
+                      p.c_str());
+      }
+      out += Format("\t.fops = &%s,\n};\n\n",
+                    FopsVarName(dev, dev.primary).c_str());
+      break;
+    }
+    case RegistrationStyle::kDeviceCreate: {
+      // The node name is built with a printf format in the init function.
+      std::string base = rel;
+      std::string instance;
+      while (!base.empty() &&
+             std::isdigit(static_cast<unsigned char>(base.back()))) {
+        instance.insert(instance.begin(), base.back());
+        base.pop_back();
+      }
+      out += Format(
+          "static int __init %s_init(void)\n{\n"
+          "\t%s_major = register_chrdev(0, \"%s\", &%s);\n"
+          "\t%s_class = class_create(\"%s\");\n"
+          "\tdevice_create(%s_class, 0, MKDEV(%s_major, 0), 0, \"%s%%d\", "
+          "%s);\n"
+          "\treturn 0;\n}\n\n",
+          dev.id.c_str(), dev.id.c_str(), base.c_str(),
+          FopsVarName(dev, dev.primary).c_str(), dev.id.c_str(),
+          dev.id.c_str(), dev.id.c_str(), dev.id.c_str(), base.c_str(),
+          instance.empty() ? "0" : instance.c_str());
+      break;
+    }
+    case RegistrationStyle::kProcCreate:
+      out += Format(
+          "static int __init %s_init(void)\n{\n"
+          "\tproc_create(\"%s\", 0, 0, &%s);\n"
+          "\treturn 0;\n}\n\n",
+          dev.id.c_str(), rel.c_str(), FopsVarName(dev, dev.primary).c_str());
+      break;
+  }
+  return out;
+}
+
+std::string
+RenderFlagSets(const std::vector<FlagSetSpec>& sets)
+{
+  std::string out;
+  for (const auto& fs : sets) {
+    for (const auto& [name, value] : fs.values) {
+      out += Format("#define %s 0x%llx\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+    }
+  }
+  if (!out.empty()) out += "\n";
+  return out;
+}
+
+}  // namespace
+
+std::string
+CScalarName(int bits)
+{
+  switch (bits) {
+    case 8: return "__u8";
+    case 16: return "__u16";
+    case 32: return "__u32";
+    case 64: return "__u64";
+    default: return "__u32";
+  }
+}
+
+std::string
+NrMacroName(const IoctlSpec& cmd)
+{
+  return cmd.macro + "_NR";
+}
+
+std::string
+SubFunctionName(const DeviceSpec& dev, const HandlerSpec& handler,
+                const IoctlSpec& cmd)
+{
+  if (!cmd.sub_function.empty()) return cmd.sub_function;
+  return dev.id + "_" + handler.name + "_" + util::ToLower(cmd.macro);
+}
+
+std::string
+DispatchFunctionName(const DeviceSpec& dev, const HandlerSpec& handler)
+{
+  if (dev.delegation_depth <= 1) {
+    return RegisteredFunctionName(dev, handler);
+  }
+  return dev.id + "_" + handler.name + "_do_ioctl";
+}
+
+std::string
+RegisteredFunctionName(const DeviceSpec& dev, const HandlerSpec& handler)
+{
+  return dev.id + "_" + handler.name + "_ioctl";
+}
+
+std::string
+FopsVarName(const DeviceSpec& dev, const HandlerSpec& handler)
+{
+  return "_" + dev.id + "_" + handler.name + "_fops";
+}
+
+std::string
+RenderDeviceSource(const DeviceSpec& dev)
+{
+  std::string out;
+  std::string p = Prefix(dev.id);
+  std::string rel = NodeRelativeToDev(dev.dev_node);
+
+  out += Format("/* Synthetic kernel module: %s (%s) */\n\n",
+                dev.display_name.c_str(), dev.dev_node.c_str());
+
+  // -- Macros ---------------------------------------------------------------
+  out += Format("#define %s 0x%llx\n", dev.magic_macro.c_str(),
+                static_cast<unsigned long long>(dev.magic));
+  for (const auto& [name, value] : dev.extra_macros) {
+    out += Format("#define %s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+  }
+
+  // Device-name macros per registration style.
+  switch (dev.reg) {
+    case RegistrationStyle::kMiscName:
+      out += Format("#define %s_NAME \"%s\"\n", p.c_str(), rel.c_str());
+      break;
+    case RegistrationStyle::kMiscNodename: {
+      auto slash = rel.find('/');
+      // Legacy .name deliberately differs from the true node path.
+      out += Format("#define %s_NAME \"%s\"\n", p.c_str(),
+                    dev.display_name.c_str());
+      out += Format("#define %s_CTRL_MINOR 236\n", p.c_str());
+      if (slash == std::string::npos) {
+        out += Format("#define %s_NODE \"%s\"\n", p.c_str(), rel.c_str());
+      } else {
+        out += Format("#define %s_DIR \"%s\"\n", p.c_str(),
+                      rel.substr(0, slash).c_str());
+        out += Format("#define %s_NODE \"%s\"\n", p.c_str(),
+                      rel.substr(slash + 1).c_str());
+      }
+      break;
+    }
+    case RegistrationStyle::kDeviceCreate:
+    case RegistrationStyle::kProcCreate:
+      break;
+  }
+
+  // Command macros for all handlers.
+  auto render_cmd_macros = [&](const HandlerSpec& handler) {
+    for (const auto& cmd : handler.ioctls) {
+      out += Format("#define %s %llu\n", NrMacroName(cmd).c_str(),
+                    static_cast<unsigned long long>(cmd.nr));
+      const char* form = "_IOWR";
+      switch (cmd.ioc_dir) {
+        case 'n': form = "_IO"; break;
+        case 'r': form = "_IOR"; break;
+        case 'w': form = "_IOW"; break;
+        default: form = "_IOWR"; break;
+      }
+      if (cmd.arg_struct.empty() || cmd.ioc_dir == 'n') {
+        out += Format("#define %s _IO(%s, %s)\n", cmd.macro.c_str(),
+                      dev.magic_macro.c_str(), NrMacroName(cmd).c_str());
+      } else {
+        out += Format("#define %s %s(%s, %s, struct %s)\n", cmd.macro.c_str(),
+                      form, dev.magic_macro.c_str(), NrMacroName(cmd).c_str(),
+                      cmd.arg_struct.c_str());
+      }
+    }
+  };
+  render_cmd_macros(dev.primary);
+  for (const auto& h : dev.secondary) render_cmd_macros(h);
+  out += "\n";
+
+  out += RenderFlagSets(dev.flag_sets);
+
+  // -- Types ----------------------------------------------------------------
+  for (const auto& s : dev.structs) out += RenderStructDef(s);
+
+  // -- open() ---------------------------------------------------------------
+  out += Format(
+      "static int %s_open(struct inode *inode, struct file *file)\n{\n"
+      "\tfile->private_data = %s_ctx_alloc();\n\treturn 0;\n}\n\n",
+      dev.id.c_str(), dev.id.c_str());
+
+  // -- Per-command helpers, dispatch, delegation, fops — secondary handlers
+  // first so that fd-creating commands can reference their fops vars.
+  for (const auto& h : dev.secondary) {
+    for (const auto& cmd : h.ioctls) out += RenderSubFunction(dev, h, cmd);
+    out += RenderDispatch(dev, h);
+    out += RenderDelegationChain(dev, h);
+    out += RenderFops(dev, h);
+  }
+  for (const auto& cmd : dev.primary.ioctls) {
+    out += RenderSubFunction(dev, dev.primary, cmd);
+  }
+  out += RenderDispatch(dev, dev.primary);
+  out += RenderDelegationChain(dev, dev.primary);
+  out += RenderFops(dev, dev.primary);
+
+  // -- Registration -----------------------------------------------------------
+  out += RenderRegistration(dev);
+  return out;
+}
+
+std::string
+RenderSocketSource(const SocketSpec& sock)
+{
+  std::string out;
+  std::string p = Prefix(sock.id);
+
+  out += Format("/* Synthetic socket family: %s */\n\n", sock.id.c_str());
+  out += Format("#define %s %llu\n", sock.family_macro.c_str(),
+                static_cast<unsigned long long>(sock.domain));
+  out += Format("#define %s %llu\n", sock.sol_macro.c_str(),
+                static_cast<unsigned long long>(sock.sol_level));
+  if (!sock.sock_type_macro.empty()) {
+    out += Format("#define %s %llu\n", sock.sock_type_macro.c_str(),
+                  static_cast<unsigned long long>(sock.sock_type));
+  }
+  for (const auto& [name, value] : sock.extra_macros) {
+    out += Format("#define %s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+  }
+  for (const auto& opt : sock.sockopts) {
+    out += Format("#define %s %llu\n", opt.macro.c_str(),
+                  static_cast<unsigned long long>(opt.value));
+  }
+  out += "\n";
+  out += RenderFlagSets(sock.flag_sets);
+  for (const auto& s : sock.structs) out += RenderStructDef(s);
+
+  // setsockopt helpers + dispatcher.
+  for (const auto& opt : sock.sockopts) {
+    const StructSpec* arg =
+        opt.arg_struct.empty() ? nullptr : sock.FindStruct(opt.arg_struct);
+    std::string fn = sock.id + "_set_" + util::ToLower(opt.macro);
+    if (!opt.comment.empty()) out += "/* " + opt.comment + " */\n";
+    out += Format("static int %s(struct sock *sk, char *optval, unsigned int "
+                  "optlen)\n{\n",
+                  fn.c_str());
+    if (arg) {
+      out += Format("\tstruct %s param;\n", arg->name.c_str());
+      out += "\tvoid *buf;\n\tunsigned long stride;\n";
+      out += Format("\tif (copy_from_user(&param, optval, sizeof(struct "
+                    "%s)))\n\t\treturn -EFAULT;\n",
+                    arg->name.c_str());
+      IoctlSpec pseudo;
+      pseudo.checks = opt.checks;
+      pseudo.bug = opt.bug;
+      out += RenderChecks(pseudo, arg);
+      out += RenderDeepPath(pseudo, arg);
+    } else {
+      out += "\tint val;\n"
+             "\tif (copy_from_user(&val, optval, sizeof(int)))\n"
+             "\t\treturn -EFAULT;\n"
+             "\tsk->setting = val;\n";
+    }
+    out += "\treturn 0;\n}\n\n";
+  }
+
+  out += Format(
+      "static int %s_setsockopt(struct socket *sock, int level, int optname, "
+      "char *optval, unsigned int optlen)\n{\n"
+      "\tstruct sock *sk = sock->sk;\n"
+      "\tif (level != %s)\n\t\treturn -ENOPROTOOPT;\n"
+      "\tswitch (optname) {\n",
+      sock.id.c_str(), sock.sol_macro.c_str());
+  for (const auto& opt : sock.sockopts) {
+    if (!opt.settable) continue;
+    out += Format("\tcase %s:\n\t\treturn %s_set_%s(sk, optval, optlen);\n",
+                  opt.macro.c_str(), sock.id.c_str(),
+                  util::ToLower(opt.macro).c_str());
+  }
+  out += "\tdefault:\n\t\tbreak;\n\t}\n\treturn -ENOPROTOOPT;\n}\n\n";
+
+  // getsockopt fill helpers (kernel -> user direction).
+  for (const auto& opt : sock.sockopts) {
+    if (!opt.gettable) continue;
+    const StructSpec* arg =
+        opt.arg_struct.empty() ? nullptr : sock.FindStruct(opt.arg_struct);
+    out += Format("static int %s_fill_%s(struct socket *sock, char "
+                  "*optval)\n{\n",
+                  sock.id.c_str(), util::ToLower(opt.macro).c_str());
+    if (arg) {
+      out += Format("\tstruct %s param;\n", arg->name.c_str());
+      out += Format("\tfill_current_state(sock, &param);\n");
+      out += Format("\tif (copy_to_user(optval, &param, sizeof(struct "
+                    "%s)))\n\t\treturn -EFAULT;\n",
+                    arg->name.c_str());
+    } else {
+      out += "\tint val = sock->sk->setting;\n"
+             "\tif (copy_to_user(optval, &val, sizeof(int)))\n"
+             "\t\treturn -EFAULT;\n";
+    }
+    out += "\treturn 0;\n}\n\n";
+  }
+
+  out += Format(
+      "static int %s_getsockopt(struct socket *sock, int level, int optname, "
+      "char *optval, int *optlen)\n{\n"
+      "\tif (level != %s)\n\t\treturn -ENOPROTOOPT;\n"
+      "\tswitch (optname) {\n",
+      sock.id.c_str(), sock.sol_macro.c_str());
+  for (const auto& opt : sock.sockopts) {
+    if (!opt.gettable) continue;
+    out += Format("\tcase %s:\n\t\treturn %s_fill_%s(sock, optval);\n",
+                  opt.macro.c_str(), sock.id.c_str(),
+                  util::ToLower(opt.macro).c_str());
+  }
+  out += "\tdefault:\n\t\tbreak;\n\t}\n\treturn -ENOPROTOOPT;\n}\n\n";
+
+  // Data-path operations.
+  auto render_op = [&](const char* op, const SocketOpSpec& spec,
+                       const char* signature, const char* addr_param) {
+    if (!spec.supported) return;
+    out += Format("static int %s_%s(%s)\n{\n", sock.id.c_str(), op, signature);
+    const StructSpec* addr =
+        sock.addr_struct.empty() ? nullptr : sock.FindStruct(sock.addr_struct);
+    if (addr && addr_param) {
+      out += Format("\tstruct %s addr;\n", addr->name.c_str());
+      out += Format("\tif (copy_from_user(&addr, %s, sizeof(struct "
+                    "%s)))\n\t\treturn -EFAULT;\n",
+                    addr_param, addr->name.c_str());
+      for (const CheckSpec& c : spec.checks) {
+        if (c.kind == CheckSpec::Kind::kEquals) {
+          out += Format("\tif (addr.%s != %llu)\n\t\treturn -EINVAL;\n",
+                        c.field.c_str(),
+                        static_cast<unsigned long long>(c.value));
+        } else if (c.kind == CheckSpec::Kind::kRange) {
+          out += Format("\tif (addr.%s < %lld || addr.%s > %lld)\n"
+                        "\t\treturn -EINVAL;\n",
+                        c.field.c_str(), static_cast<long long>(c.min),
+                        c.field.c_str(), static_cast<long long>(c.max));
+        } else if (c.kind == CheckSpec::Kind::kNonZero) {
+          out += Format("\tif (!addr.%s)\n\t\treturn -EINVAL;\n",
+                        c.field.c_str());
+        }
+      }
+    }
+    if (spec.bug) {
+      switch (spec.bug->trigger) {
+        case BugSpec::Trigger::kFieldAtLeast:
+          out += Format("\tidx = addr.%s; /* unchecked index */\n"
+                        "\ttable[idx] = 1;\n",
+                        spec.bug->field.c_str());
+          break;
+        case BugSpec::Trigger::kFieldZero:
+          out += Format("\tchunk = len / addr.%s;\n", spec.bug->field.c_str());
+          break;
+        default:
+          out += "\tsk->pending = alloc_skb(len); /* leaked on error */\n";
+          break;
+      }
+    }
+    out += "\tsock_queue_op(sock);\n\treturn 0;\n}\n\n";
+  };
+
+  render_op("bind", sock.bind,
+            "struct socket *sock, struct sockaddr *uaddr, int addr_len",
+            "uaddr");
+  render_op("connect", sock.connect,
+            "struct socket *sock, struct sockaddr *uaddr, int addr_len",
+            "uaddr");
+  render_op("sendmsg", sock.sendto,
+            "struct socket *sock, struct msghdr *msg, size_t len",
+            "msg->msg_name");
+  render_op("recvmsg", sock.recvfrom,
+            "struct socket *sock, struct msghdr *msg, size_t len",
+            nullptr);
+  render_op("listen", sock.listen, "struct socket *sock, int backlog",
+            nullptr);
+  render_op("accept", sock.accept,
+            "struct socket *sock, struct socket *newsock, int flags",
+            nullptr);
+
+  // proto_ops table.
+  out += Format("static const struct proto_ops %s_proto_ops = {\n"
+                "\t.family = %s,\n",
+                sock.id.c_str(), sock.family_macro.c_str());
+  if (sock.bind.supported) out += Format("\t.bind = %s_bind,\n", sock.id.c_str());
+  if (sock.connect.supported) {
+    out += Format("\t.connect = %s_connect,\n", sock.id.c_str());
+  }
+  if (sock.sendto.supported) {
+    out += Format("\t.sendmsg = %s_sendmsg,\n", sock.id.c_str());
+  }
+  if (sock.recvfrom.supported) {
+    out += Format("\t.recvmsg = %s_recvmsg,\n", sock.id.c_str());
+  }
+  if (sock.listen.supported) {
+    out += Format("\t.listen = %s_listen,\n", sock.id.c_str());
+  }
+  if (sock.accept.supported) {
+    out += Format("\t.accept = %s_accept,\n", sock.id.c_str());
+  }
+  out += Format("\t.setsockopt = %s_setsockopt,\n"
+                "\t.getsockopt = %s_getsockopt,\n"
+                "};\n\n",
+                sock.id.c_str(), sock.id.c_str());
+
+  // create() + family registration.
+  out += Format("static int %s_create(struct net *net, struct socket *sock, "
+                "int protocol, int kern)\n{\n",
+                sock.id.c_str());
+  if (sock.sock_type != 0) {
+    out += Format("\tif (sock->type != %s)\n\t\treturn -ESOCKTNOSUPPORT;\n",
+                  sock.sock_type_macro.c_str());
+  }
+  if (sock.protocol != 0) {
+    out += Format("\tif (protocol != %llu)\n\t\treturn -EPROTONOSUPPORT;\n",
+                  static_cast<unsigned long long>(sock.protocol));
+  }
+  out += Format("\tsock->ops = &%s_proto_ops;\n\treturn 0;\n}\n\n",
+                sock.id.c_str());
+  out += Format("static struct net_proto_family %s_family_ops = {\n"
+                "\t.family = %s,\n"
+                "\t.create = %s_create,\n"
+                "};\n",
+                sock.id.c_str(), sock.family_macro.c_str(), sock.id.c_str());
+  (void)p;
+  return out;
+}
+
+}  // namespace kernelgpt::drivers

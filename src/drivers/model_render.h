@@ -1,0 +1,49 @@
+/// \file
+/// Renders a DeviceSpec or SocketSpec to kernel-style C source text. The
+/// rendered source is what the extractor, the rule-based baseline, and the
+/// simulated analysis LLM see; it reproduces the implementation idioms the
+/// paper enumerates (misc .name vs .nodename registration, direct vs
+/// _IOC_NR-modified vs table-lookup dispatch, delegated handlers, nested
+/// structs with len-of semantics, doc comments).
+
+#ifndef KERNELGPT_DRIVERS_MODEL_RENDER_H_
+#define KERNELGPT_DRIVERS_MODEL_RENDER_H_
+
+#include <string>
+
+#include "drivers/driver_model.h"
+
+namespace kernelgpt::drivers {
+
+/// Renders the full C source file of a device driver.
+std::string RenderDeviceSource(const DeviceSpec& dev);
+
+/// Renders the full C source file of a socket family.
+std::string RenderSocketSource(const SocketSpec& sock);
+
+/// Name of the macro holding a command's sequence number, e.g.
+/// "DM_LIST_DEVICES_NR".
+std::string NrMacroName(const IoctlSpec& cmd);
+
+/// Name of the rendered per-command helper function.
+std::string SubFunctionName(const DeviceSpec& dev, const HandlerSpec& handler,
+                            const IoctlSpec& cmd);
+
+/// Name of the dispatch function of a handler (the one containing the
+/// switch / table lookup).
+std::string DispatchFunctionName(const DeviceSpec& dev,
+                                 const HandlerSpec& handler);
+
+/// Name of the outermost (registered) ioctl function of a handler.
+std::string RegisteredFunctionName(const DeviceSpec& dev,
+                                   const HandlerSpec& handler);
+
+/// Name of the file_operations variable of a handler.
+std::string FopsVarName(const DeviceSpec& dev, const HandlerSpec& handler);
+
+/// C scalar type name for a field width ("__u8".."__u64").
+std::string CScalarName(int bits);
+
+}  // namespace kernelgpt::drivers
+
+#endif  // KERNELGPT_DRIVERS_MODEL_RENDER_H_

@@ -1,0 +1,487 @@
+#include "drivers/model_runtime.h"
+
+#include <unordered_set>
+
+#include "ksrc/cparser.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace kernelgpt::drivers {
+
+using vkernel::Buffer;
+using vkernel::ExecContext;
+using vkernel::FileHandler;
+using vkernel::Kernel;
+
+uint64_t
+BlockId(const std::string& module, const std::string& role,
+        const std::string& detail, uint32_t index)
+{
+  uint64_t h = util::StableHash(module);
+  h = util::HashCombine(h, util::StableHash(role));
+  h = util::HashCombine(h, util::StableHash(detail));
+  h = util::HashCombine(h, index);
+  return h;
+}
+
+size_t
+MaxBlocksOf(const DeviceSpec& dev)
+{
+  size_t n = 1;  // open
+  auto count_handler = [&](const HandlerSpec& h) {
+    for (const auto& cmd : h.ioctls) {
+      n += 1;                  // dispatch hit
+      n += cmd.checks.size();  // one per passed check
+      n += static_cast<size_t>(cmd.deep_blocks);
+    }
+  };
+  count_handler(dev.primary);
+  for (const auto& h : dev.secondary) count_handler(h);
+  return n;
+}
+
+namespace {
+
+/// Reads one top-level field of `layout` out of a user buffer.
+uint64_t
+ReadField(const Buffer& buf, const StructLayout& layout,
+          const std::string& field)
+{
+  const FieldLayout* fl = layout.Find(field);
+  if (!fl) return 0;
+  size_t scalar = fl->size > 8 ? 8 : fl->size;
+  return buf.ReadScalar(fl->offset, scalar);
+}
+
+/// Evaluates a validation check against the user buffer.
+bool
+CheckPasses(const CheckSpec& check, const Buffer& buf,
+            const StructLayout& layout, const StructSpec* arg)
+{
+  uint64_t raw = ReadField(buf, layout, check.field);
+  switch (check.kind) {
+    case CheckSpec::Kind::kRange: {
+      int64_t v = static_cast<int64_t>(raw);
+      return v >= check.min && v <= check.max;
+    }
+    case CheckSpec::Kind::kEquals:
+      return raw == check.value;
+    case CheckSpec::Kind::kNonZero:
+      return raw != 0;
+    case CheckSpec::Kind::kLenBound: {
+      uint64_t capacity = 4096;
+      if (arg) {
+        const FieldSpec* len_field = arg->FindField(check.field);
+        if (len_field) {
+          const FieldSpec* target = arg->FindField(len_field->len_of);
+          if (target && target->array_len > 0) capacity = target->array_len;
+        }
+      }
+      return raw <= capacity;
+    }
+  }
+  return false;
+}
+
+/// Shared per-command execution used by device files and sockets.
+/// Returns the syscall result; fills `created_fd_handler` when the
+/// command creates a secondary file.
+class CommandEngine {
+ public:
+  CommandEngine(const std::string& module,
+                const std::vector<StructSpec>& structs)
+      : module_(module), structs_(structs) {}
+
+  /// Runs checks, bug triggers, deep path, and out-field writes for one
+  /// matched command. `executed` is the set of command macros already run
+  /// on this file (sequence-bug state). Returns 0 or negative errno.
+  long RunCommand(const IoctlSpec& cmd, Buffer* arg, ExecContext& ctx,
+                  std::unordered_set<std::string>* executed,
+                  bool* release_bomb, std::string* release_title) {
+    const StructSpec* arg_spec = FindStruct(cmd.arg_struct);
+    StructLayout layout;
+    if (arg_spec) layout = ComputeLayout(*arg_spec, structs_);
+
+    ctx.Cover(BlockId(module_, "cmd", cmd.macro, 0));
+
+    if (arg_spec) {
+      // copy_from_user fails when the user buffer is too small.
+      if (!arg || arg->bytes.size() < layout.total_size) {
+        return -vkernel::kEFAULT;
+      }
+      uint32_t idx = 1;
+      for (const CheckSpec& check : cmd.checks) {
+        if (!CheckPasses(check, *arg, layout, arg_spec)) {
+          return -vkernel::kEINVAL;
+        }
+        ctx.Cover(BlockId(module_, "check", cmd.macro, idx++));
+      }
+    }
+
+    // Bug triggers evaluated at the top of the deep path, like the
+    // rendered source places them.
+    if (cmd.bug) {
+      const BugSpec& bug = *cmd.bug;
+      bool fire = false;
+      switch (bug.trigger) {
+        case BugSpec::Trigger::kFieldAtLeast:
+          fire = arg_spec && arg &&
+                 ReadField(*arg, layout, bug.field) >= bug.value;
+          break;
+        case BugSpec::Trigger::kFieldEquals:
+          fire = arg_spec && arg &&
+                 ReadField(*arg, layout, bug.field) == bug.value;
+          break;
+        case BugSpec::Trigger::kFieldZero:
+          fire = arg_spec && arg &&
+                 ReadField(*arg, layout, bug.field) == 0;
+          break;
+        case BugSpec::Trigger::kSequence:
+          fire = executed && executed->contains(bug.prior_cmd);
+          break;
+        case BugSpec::Trigger::kOnRelease:
+          if (release_bomb) {
+            *release_bomb = true;
+            *release_title = bug.title;
+          }
+          break;
+        case BugSpec::Trigger::kAlways:
+          fire = true;
+          break;
+      }
+      if (fire) ctx.Crash(bug.title);
+    }
+
+    for (int i = 0; i < cmd.deep_blocks; ++i) {
+      ctx.Cover(BlockId(module_, "deep", cmd.macro,
+                        static_cast<uint32_t>(i)));
+    }
+
+    // Kernel-written output fields.
+    if (arg_spec && arg) {
+      for (const FieldLayout& fl : layout.fields) {
+        if (fl.field->kind == FieldSpec::Kind::kOutValue) {
+          arg->WriteScalar(fl.offset, fl.size > 8 ? 8 : fl.size,
+                           0x1000 + next_out_++);
+        }
+      }
+    }
+    if (executed) executed->insert(cmd.macro);
+    return 0;
+  }
+
+ private:
+  const StructSpec* FindStruct(const std::string& name) const {
+    if (name.empty()) return nullptr;
+    for (const auto& s : structs_) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+
+  const std::string& module_;
+  const std::vector<StructSpec>& structs_;
+  uint64_t next_out_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Device side
+// ---------------------------------------------------------------------------
+
+class ModelFile : public FileHandler {
+ public:
+  ModelFile(const DeviceSpec* dev, const HandlerSpec* handler)
+      : dev_(dev), handler_(handler), engine_(dev->id, dev->structs) {}
+
+  long Ioctl(uint64_t cmd_value, Buffer* arg, ExecContext& ctx,
+             Kernel& kernel) override {
+    const IoctlSpec* match = MatchCommand(cmd_value);
+    if (!match) return -vkernel::kENOTTY;
+
+    if (dev_->dispatch == DispatchStyle::kIocNrSwitch) {
+      // The rendered dispatcher validates the size bits of the full
+      // command; a bare nr value (SyzDescribe's wrong inference) fails.
+      uint64_t expect = StructByteSize(match->arg_struct, dev_->structs);
+      if (!match->arg_struct.empty() &&
+          ksrc::IocSize(cmd_value) < expect) {
+        return -vkernel::kEINVAL;
+      }
+    }
+
+    if (!match->creates_handler.empty()) {
+      long rc = engine_.RunCommand(*match, arg, ctx, &executed_,
+                                   &release_bomb_, &release_title_);
+      if (rc != 0) return rc;
+      const HandlerSpec* sub = dev_->FindHandler(match->creates_handler);
+      if (!sub) return -vkernel::kEINVAL;
+      return kernel.InstallFile(std::make_shared<ModelFile>(dev_, sub));
+    }
+    return engine_.RunCommand(*match, arg, ctx, &executed_, &release_bomb_,
+                              &release_title_);
+  }
+
+  void Release(ExecContext& ctx, Kernel& kernel) override {
+    (void)kernel;
+    if (release_bomb_) ctx.Crash(release_title_);
+  }
+
+ private:
+  const IoctlSpec* MatchCommand(uint64_t cmd_value) const {
+    for (const auto& cmd : handler_->ioctls) {
+      switch (dev_->dispatch) {
+        case DispatchStyle::kDirectSwitch:
+        case DispatchStyle::kTableLookup:
+          if (FullCommandValue(*dev_, cmd) == cmd_value) return &cmd;
+          break;
+        case DispatchStyle::kIocNrSwitch:
+          if (ksrc::IocNr(cmd_value) == cmd.nr) return &cmd;
+          break;
+      }
+    }
+    return nullptr;
+  }
+
+  const DeviceSpec* dev_;
+  const HandlerSpec* handler_;
+  CommandEngine engine_;
+  std::unordered_set<std::string> executed_;
+  bool release_bomb_ = false;
+  std::string release_title_;
+};
+
+class ModelDevice : public vkernel::DeviceDriver {
+ public:
+  explicit ModelDevice(const DeviceSpec* dev) : dev_(dev) {}
+
+  std::string Name() const override { return dev_->id; }
+  std::string NodePath() const override { return dev_->dev_node; }
+
+  std::unique_ptr<FileHandler> Open(ExecContext& ctx, Kernel& kernel,
+                                    long* err) override {
+    (void)kernel;
+    (void)err;
+    ctx.Cover(BlockId(dev_->id, "open", "", 0));
+    return std::make_unique<ModelFile>(dev_, &dev_->primary);
+  }
+
+ private:
+  const DeviceSpec* dev_;
+};
+
+// ---------------------------------------------------------------------------
+// Socket side
+// ---------------------------------------------------------------------------
+
+class ModelSocket : public vkernel::SocketHandler {
+ public:
+  explicit ModelSocket(const SocketSpec* sock)
+      : sock_(sock), engine_(sock->id, sock->structs) {}
+
+  long SetSockOpt(uint64_t level, uint64_t optname, const Buffer& val,
+                  ExecContext& ctx, Kernel& kernel) override {
+    (void)kernel;
+    if (level != sock_->sol_level) return -vkernel::kENOPROTOOPT;
+    for (const auto& opt : sock_->sockopts) {
+      if (!opt.settable || opt.value != optname) continue;
+      IoctlSpec pseudo = PseudoCommand(opt, /*set=*/true);
+      Buffer copy = val;
+      return engine_.RunCommand(pseudo, &copy, ctx, &executed_,
+                                &release_bomb_, &release_title_);
+    }
+    return -vkernel::kENOPROTOOPT;
+  }
+
+  long GetSockOpt(uint64_t level, uint64_t optname, Buffer* val,
+                  ExecContext& ctx, Kernel& kernel) override {
+    (void)kernel;
+    if (level != sock_->sol_level) return -vkernel::kENOPROTOOPT;
+    for (const auto& opt : sock_->sockopts) {
+      if (!opt.gettable || opt.value != optname) continue;
+      IoctlSpec pseudo = PseudoCommand(opt, /*set=*/false);
+      // get path: kernel fills the buffer; size it to the struct.
+      size_t need = StructByteSize(opt.arg_struct, sock_->structs);
+      if (val && val->bytes.size() < need) val->bytes.resize(need, 0);
+      return engine_.RunCommand(pseudo, val, ctx, &executed_, &release_bomb_,
+                                &release_title_);
+    }
+    return -vkernel::kENOPROTOOPT;
+  }
+
+  long Ioctl(uint64_t cmd_value, Buffer* arg, ExecContext& ctx,
+             Kernel& kernel) override {
+    (void)kernel;
+    for (const auto& cmd : sock_->ioctls) {
+      uint64_t full = SocketCommandValue(cmd);
+      if (full == cmd_value) {
+        return engine_.RunCommand(cmd, arg, ctx, &executed_, &release_bomb_,
+                                  &release_title_);
+      }
+    }
+    return -vkernel::kENOTTY;
+  }
+
+  long Bind(const Buffer& addr, ExecContext& ctx, Kernel& kernel) override {
+    (void)kernel;
+    return RunOp("bind", sock_->bind, addr, ctx);
+  }
+
+  long Connect(const Buffer& addr, ExecContext& ctx, Kernel& kernel) override {
+    (void)kernel;
+    return RunOp("connect", sock_->connect, addr, ctx);
+  }
+
+  long SendTo(const Buffer& data, const Buffer& addr, ExecContext& ctx,
+              Kernel& kernel) override {
+    (void)kernel;
+    (void)data;
+    return RunOp("sendto", sock_->sendto, addr, ctx);
+  }
+
+  long RecvFrom(Buffer* data, ExecContext& ctx, Kernel& kernel) override {
+    (void)kernel;
+    if (data) data->bytes.resize(64, 0);
+    Buffer empty;
+    return RunOp("recvfrom", sock_->recvfrom, empty, ctx);
+  }
+
+  long Listen(ExecContext& ctx, Kernel& kernel) override {
+    (void)kernel;
+    Buffer empty;
+    return RunOp("listen", sock_->listen, empty, ctx);
+  }
+
+  long Accept(ExecContext& ctx, Kernel& kernel) override {
+    (void)kernel;
+    Buffer empty;
+    return RunOp("accept", sock_->accept, empty, ctx);
+  }
+
+  void Release(ExecContext& ctx, Kernel& kernel) override {
+    (void)kernel;
+    if (release_bomb_) ctx.Crash(release_title_);
+  }
+
+ private:
+  IoctlSpec PseudoCommand(const SockOptSpec& opt, bool set) const {
+    IoctlSpec pseudo;
+    pseudo.macro = (set ? "SET_" : "GET_") + opt.macro;
+    pseudo.arg_struct = opt.arg_struct;
+    pseudo.checks = set ? opt.checks : std::vector<CheckSpec>{};
+    pseudo.deep_blocks = opt.deep_blocks;
+    pseudo.bug = set ? opt.bug : std::nullopt;
+    return pseudo;
+  }
+
+  uint64_t SocketCommandValue(const IoctlSpec& cmd) const {
+    uint64_t size = StructByteSize(cmd.arg_struct, sock_->structs);
+    char r = (cmd.ioc_dir == 'r' || cmd.ioc_dir == 'b') ? 'r' : '-';
+    char w = (cmd.ioc_dir == 'w' || cmd.ioc_dir == 'b') ? 'w' : '-';
+    if (cmd.ioc_dir == 'n') size = 0;
+    return ksrc::IoctlNumber(r, w, 0x89, cmd.nr, size);  // SIOC family.
+  }
+
+  long RunOp(const char* op, const SocketOpSpec& spec, const Buffer& addr,
+             ExecContext& ctx) {
+    if (!spec.supported) return -vkernel::kEOPNOTSUPP;
+    ctx.Cover(BlockId(sock_->id, "op", op, 0));
+    const StructSpec* addr_spec = sock_->addr_struct.empty()
+                                      ? nullptr
+                                      : sock_->FindStruct(sock_->addr_struct);
+    StructLayout layout;
+    if (addr_spec) layout = ComputeLayout(*addr_spec, sock_->structs);
+    if (addr_spec && !spec.checks.empty()) {
+      if (addr.bytes.size() < layout.total_size) return -vkernel::kEFAULT;
+      uint32_t idx = 1;
+      for (const CheckSpec& check : spec.checks) {
+        if (!CheckPasses(check, addr, layout, addr_spec)) {
+          return -vkernel::kEINVAL;
+        }
+        ctx.Cover(BlockId(sock_->id, std::string("op-check-") + op,
+                          check.field, idx++));
+      }
+    }
+    if (spec.bug) {
+      const BugSpec& bug = *spec.bug;
+      bool fire = false;
+      switch (bug.trigger) {
+        case BugSpec::Trigger::kFieldAtLeast:
+          fire = addr_spec && ReadField(addr, layout, bug.field) >= bug.value;
+          break;
+        case BugSpec::Trigger::kFieldZero:
+          fire = addr_spec && ReadField(addr, layout, bug.field) == 0;
+          break;
+        case BugSpec::Trigger::kFieldEquals:
+          fire = addr_spec && ReadField(addr, layout, bug.field) == bug.value;
+          break;
+        case BugSpec::Trigger::kSequence:
+          fire = executed_.contains(bug.prior_cmd);
+          break;
+        case BugSpec::Trigger::kOnRelease:
+          release_bomb_ = true;
+          release_title_ = bug.title;
+          break;
+        case BugSpec::Trigger::kAlways:
+          fire = true;
+          break;
+      }
+      if (fire) ctx.Crash(bug.title);
+    }
+    for (int i = 0; i < spec.deep_blocks; ++i) {
+      ctx.Cover(BlockId(sock_->id, std::string("op-deep-") + op, "",
+                        static_cast<uint32_t>(i)));
+    }
+    executed_.insert(op);
+    return 0;
+  }
+
+  const SocketSpec* sock_;
+  CommandEngine engine_;
+  std::unordered_set<std::string> executed_;
+  bool release_bomb_ = false;
+  std::string release_title_;
+};
+
+class ModelSocketFamily : public vkernel::SocketFamily {
+ public:
+  explicit ModelSocketFamily(const SocketSpec* sock) : sock_(sock) {}
+
+  std::string Name() const override { return sock_->id; }
+  uint64_t Domain() const override { return sock_->domain; }
+
+  std::unique_ptr<vkernel::SocketHandler> Create(uint64_t type,
+                                                 uint64_t protocol,
+                                                 ExecContext& ctx,
+                                                 Kernel& kernel,
+                                                 long* err) override {
+    (void)kernel;
+    if (sock_->sock_type != 0 && type != sock_->sock_type) {
+      *err = -vkernel::kEINVAL;
+      return nullptr;
+    }
+    if (sock_->protocol != 0 && protocol != sock_->protocol) {
+      *err = -vkernel::kEINVAL;
+      return nullptr;
+    }
+    ctx.Cover(BlockId(sock_->id, "create", "", 0));
+    return std::make_unique<ModelSocket>(sock_);
+  }
+
+ private:
+  const SocketSpec* sock_;
+};
+
+}  // namespace
+
+std::unique_ptr<vkernel::DeviceDriver>
+MakeModelDevice(const DeviceSpec* dev)
+{
+  return std::make_unique<ModelDevice>(dev);
+}
+
+std::unique_ptr<vkernel::SocketFamily>
+MakeModelSocketFamily(const SocketSpec* sock)
+{
+  return std::make_unique<ModelSocketFamily>(sock);
+}
+
+}  // namespace kernelgpt::drivers

@@ -1,0 +1,40 @@
+/// \file
+/// Runtime interpretation of driver/socket models: turns a DeviceSpec or
+/// SocketSpec into live vkernel drivers. The interpreter enforces exactly
+/// the validation logic the rendered source describes (same command
+/// matching, same copy sizes, same checks, same bugs), so source analysis
+/// and runtime behaviour cannot diverge.
+
+#ifndef KERNELGPT_DRIVERS_MODEL_RUNTIME_H_
+#define KERNELGPT_DRIVERS_MODEL_RUNTIME_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "drivers/driver_model.h"
+#include "vkernel/kernel.h"
+
+namespace kernelgpt::drivers {
+
+/// Stable coverage block id for a (module, role, detail, index) tuple.
+/// Both the runtime and the experiment harness use this to reason about
+/// which blocks belong to which module.
+uint64_t BlockId(const std::string& module, const std::string& role,
+                 const std::string& detail, uint32_t index);
+
+/// Total number of distinct coverage blocks a device can produce — used
+/// by tests to bound observed coverage.
+size_t MaxBlocksOf(const DeviceSpec& dev);
+
+/// Creates a virtual-kernel driver interpreting `dev`. The spec must
+/// outlive the kernel (corpus specs are stored in a registry).
+std::unique_ptr<vkernel::DeviceDriver> MakeModelDevice(const DeviceSpec* dev);
+
+/// Creates a virtual-kernel socket family interpreting `sock`.
+std::unique_ptr<vkernel::SocketFamily> MakeModelSocketFamily(
+    const SocketSpec* sock);
+
+}  // namespace kernelgpt::drivers
+
+#endif  // KERNELGPT_DRIVERS_MODEL_RUNTIME_H_

@@ -1,0 +1,504 @@
+#include "drivers/model_spec.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace kernelgpt::drivers {
+
+using syzlang::Decl;
+using syzlang::DeclKind;
+using syzlang::Dir;
+using syzlang::Field;
+using syzlang::FlagsDef;
+using syzlang::ResourceDef;
+using syzlang::SpecFile;
+using syzlang::StructDef;
+using syzlang::SyscallDef;
+using syzlang::Type;
+
+namespace {
+
+/// Most restrictive check seen for each (struct, field) across all
+/// commands — used to enrich scalar types with semantic ranges, as an
+/// expert writer would.
+using CheckMap =
+    std::unordered_map<std::string,
+                       std::unordered_map<std::string, CheckSpec>>;
+
+void
+CollectChecks(const std::vector<IoctlSpec>& cmds, CheckMap* map)
+{
+  for (const auto& cmd : cmds) {
+    if (cmd.arg_struct.empty()) continue;
+    for (const auto& check : cmd.checks) {
+      auto& slot = (*map)[cmd.arg_struct];
+      slot.emplace(check.field, check);
+    }
+  }
+}
+
+int64_t
+DefaultMax(int bits)
+{
+  if (bits >= 63) return (1LL << 62);
+  return (1LL << bits) - 1;
+}
+
+Type
+ScalarWithSemantics(const FieldSpec& f, const CheckSpec* check)
+{
+  if (check) {
+    switch (check->kind) {
+      case CheckSpec::Kind::kRange:
+        return Type::IntRange(f.bits, check->min, check->max);
+      case CheckSpec::Kind::kEquals:
+        return Type::ConstValue(check->value, f.bits);
+      case CheckSpec::Kind::kNonZero:
+        return Type::IntRange(f.bits, 1, DefaultMax(f.bits));
+      case CheckSpec::Kind::kLenBound:
+        break;  // len[] already expresses the relation.
+    }
+  }
+  return Type::Int(f.bits);
+}
+
+Field
+FieldToSyzlang(const FieldSpec& f, const CheckSpec* check)
+{
+  Field out;
+  out.name = f.name;
+  switch (f.kind) {
+    case FieldSpec::Kind::kScalar:
+      out.type = ScalarWithSemantics(f, check);
+      break;
+    case FieldSpec::Kind::kArray:
+      out.type = f.array_len == 0 ? Type::Array(Type::Int(f.bits))
+                                  : Type::Array(Type::Int(f.bits), f.array_len);
+      break;
+    case FieldSpec::Kind::kString:
+      out.type = Type::Array(Type::Int(8), f.array_len);
+      break;
+    case FieldSpec::Kind::kStructRef:
+      out.type = Type::StructRef(f.struct_ref);
+      break;
+    case FieldSpec::Kind::kLenOf:
+      out.type = Type::Len(f.len_of, f.bits);
+      break;
+    case FieldSpec::Kind::kFlags:
+      out.type = Type::Flags(f.flags_ref, f.bits);
+      break;
+    case FieldSpec::Kind::kOutValue:
+      out.type = Type::Int(f.bits);
+      out.is_out = true;
+      break;
+  }
+  return out;
+}
+
+void
+AddStructs(const std::vector<StructSpec>& structs, const CheckMap& checks,
+           SpecFile* spec)
+{
+  for (const auto& s : structs) {
+    StructDef def;
+    def.name = s.name;
+    def.is_union = s.is_union;
+    const auto check_it = checks.find(s.name);
+    for (const auto& f : s.fields) {
+      const CheckSpec* check = nullptr;
+      if (check_it != checks.end()) {
+        auto field_it = check_it->second.find(f.name);
+        if (field_it != check_it->second.end()) check = &field_it->second;
+      }
+      def.fields.push_back(FieldToSyzlang(f, check));
+    }
+    spec->Add(std::move(def));
+  }
+}
+
+void
+AddFlagSets(const std::vector<FlagSetSpec>& sets, SpecFile* spec)
+{
+  for (const auto& fs : sets) {
+    FlagsDef def;
+    def.name = fs.name;
+    for (const auto& [name, value] : fs.values) def.values.push_back(name);
+    spec->Add(std::move(def));
+  }
+}
+
+SyscallDef
+MakeIoctl(const std::string& fd_resource, const IoctlSpec& cmd,
+          const std::string& ret_resource)
+{
+  SyscallDef call;
+  call.name = "ioctl";
+  call.variant = cmd.macro;
+  call.params.push_back({"fd", Type::Resource(fd_resource), false});
+  call.params.push_back({"cmd", Type::Const(cmd.macro), false});
+  if (cmd.arg_struct.empty()) {
+    call.params.push_back({"arg", Type::ConstValue(0, 64), false});
+  } else {
+    call.params.push_back(
+        {"arg", Type::Ptr(cmd.dir, Type::StructRef(cmd.arg_struct)), false});
+  }
+  if (!ret_resource.empty()) call.returns_resource = ret_resource;
+  return call;
+}
+
+/// Keeps only `selected` syscalls plus every declaration they reference
+/// (transitively): structs, unions, flags, resources.
+SpecFile
+FilterSpec(const SpecFile& full,
+           const std::unordered_set<std::string>& selected)
+{
+  // Gather reachable type names from the selected calls.
+  std::unordered_set<std::string> needed;
+  std::vector<const Type*> work;
+  auto visit_type = [&](const Type& t, auto&& self) -> void {
+    switch (t.kind) {
+      case syzlang::TypeKind::kResource:
+        needed.insert(t.ref_name);
+        break;
+      case syzlang::TypeKind::kStructRef:
+        if (needed.insert(t.ref_name).second) {
+          if (const StructDef* s = full.FindStruct(t.ref_name)) {
+            for (const Field& f : s->fields) self(f.type, self);
+          }
+        }
+        break;
+      case syzlang::TypeKind::kFlags:
+        needed.insert(t.flags_name);
+        break;
+      case syzlang::TypeKind::kPtr:
+      case syzlang::TypeKind::kArray:
+        for (const Type& e : t.elems) self(e, self);
+        break;
+      default:
+        break;
+    }
+  };
+  for (const Decl& d : full.decls) {
+    if (d.kind != DeclKind::kSyscall) continue;
+    if (!selected.contains(d.syscall.FullName())) continue;
+    for (const Field& p : d.syscall.params) visit_type(p.type, visit_type);
+    if (d.syscall.returns_resource) needed.insert(*d.syscall.returns_resource);
+  }
+  (void)work;
+
+  SpecFile out;
+  out.origin = full.origin + " (existing subset)";
+  for (const Decl& d : full.decls) {
+    switch (d.kind) {
+      case DeclKind::kSyscall:
+        if (selected.contains(d.syscall.FullName())) out.decls.push_back(d);
+        break;
+      case DeclKind::kStruct:
+        if (needed.contains(d.struct_def.name)) out.decls.push_back(d);
+        break;
+      case DeclKind::kResource:
+        if (needed.contains(d.resource.name)) out.decls.push_back(d);
+        break;
+      case DeclKind::kFlags:
+        if (needed.contains(d.flags.name)) out.decls.push_back(d);
+        break;
+      case DeclKind::kDefine:
+        out.decls.push_back(d);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string
+DeviceResourceName(const DeviceSpec& dev)
+{
+  return "fd_" + dev.id;
+}
+
+std::string
+HandlerResourceName(const DeviceSpec& dev, const HandlerSpec& handler)
+{
+  return "fd_" + dev.id + "_" + handler.name;
+}
+
+std::string
+SocketResourceName(const SocketSpec& sock)
+{
+  return "sock_" + sock.id;
+}
+
+syzlang::SpecFile
+GroundTruthDeviceSpec(const DeviceSpec& dev)
+{
+  SpecFile spec;
+  spec.origin = "ground-truth:" + dev.id;
+
+  CheckMap checks;
+  CollectChecks(dev.primary.ioctls, &checks);
+  for (const auto& h : dev.secondary) CollectChecks(h.ioctls, &checks);
+
+  spec.Add(ResourceDef{DeviceResourceName(dev), "fd"});
+  for (const auto& h : dev.secondary) {
+    spec.Add(ResourceDef{HandlerResourceName(dev, h), "fd"});
+  }
+
+  AddFlagSets(dev.flag_sets, &spec);
+  AddStructs(dev.structs, checks, &spec);
+
+  SyscallDef open;
+  open.name = "openat";
+  open.variant = dev.id;
+  open.params.push_back({"fd", Type::ConstValue(0, 64), false});
+  open.params.push_back(
+      {"file", Type::Ptr(Dir::kIn, Type::String(dev.dev_node)), false});
+  open.params.push_back({"flags", Type::ConstValue(2, 32), false});
+  open.params.push_back({"mode", Type::ConstValue(0, 32), false});
+  open.returns_resource = DeviceResourceName(dev);
+  spec.Add(std::move(open));
+
+  for (const auto& cmd : dev.primary.ioctls) {
+    std::string ret;
+    if (!cmd.creates_handler.empty()) {
+      if (const HandlerSpec* sub = dev.FindHandler(cmd.creates_handler)) {
+        ret = HandlerResourceName(dev, *sub);
+      }
+    }
+    spec.Add(MakeIoctl(DeviceResourceName(dev), cmd, ret));
+  }
+  for (const auto& h : dev.secondary) {
+    for (const auto& cmd : h.ioctls) {
+      std::string ret;
+      if (!cmd.creates_handler.empty()) {
+        if (const HandlerSpec* sub = dev.FindHandler(cmd.creates_handler)) {
+          ret = HandlerResourceName(dev, *sub);
+        }
+      }
+      spec.Add(MakeIoctl(HandlerResourceName(dev, h), cmd, ret));
+    }
+  }
+  return spec;
+}
+
+syzlang::SpecFile
+GroundTruthSocketSpec(const SocketSpec& sock)
+{
+  SpecFile spec;
+  spec.origin = "ground-truth:" + sock.id;
+  const std::string res = SocketResourceName(sock);
+
+  spec.Add(ResourceDef{res, "fd"});
+  CheckMap checks;
+  CollectChecks(sock.ioctls, &checks);
+  for (const auto& opt : sock.sockopts) {
+    if (opt.arg_struct.empty()) continue;
+    for (const auto& check : opt.checks) {
+      checks[opt.arg_struct].emplace(check.field, check);
+    }
+  }
+  // Address-struct checks from data-path ops.
+  for (const SocketOpSpec* op :
+       {&sock.bind, &sock.connect, &sock.sendto}) {
+    if (!op->supported || sock.addr_struct.empty()) continue;
+    for (const auto& check : op->checks) {
+      checks[sock.addr_struct].emplace(check.field, check);
+    }
+  }
+  AddFlagSets(sock.flag_sets, &spec);
+  AddStructs(sock.structs, checks, &spec);
+
+  SyscallDef create;
+  create.name = "socket";
+  create.variant = sock.id;
+  create.params.push_back(
+      {"domain", Type::Const(sock.family_macro), false});
+  create.params.push_back(
+      {"type", sock.sock_type != 0 ? Type::Const(sock.sock_type_macro)
+                                   : Type::ConstValue(2, 32),
+       false});
+  create.params.push_back(
+      {"proto", Type::ConstValue(sock.protocol, 32), false});
+  create.returns_resource = res;
+  spec.Add(std::move(create));
+
+  for (const auto& opt : sock.sockopts) {
+    Type payload = opt.arg_struct.empty()
+                       ? Type::Int(32)
+                       : Type::StructRef(opt.arg_struct);
+    if (opt.settable) {
+      SyscallDef call;
+      call.name = "setsockopt";
+      call.variant = sock.id + "_" + opt.macro;
+      call.params.push_back({"fd", Type::Resource(res), false});
+      call.params.push_back({"level", Type::Const(sock.sol_macro), false});
+      call.params.push_back({"optname", Type::Const(opt.macro), false});
+      call.params.push_back(
+          {"optval", Type::Ptr(Dir::kIn, payload), false});
+      call.params.push_back({"optlen", Type::Len("optval", 32), false});
+      spec.Add(std::move(call));
+    }
+    if (opt.gettable) {
+      SyscallDef call;
+      call.name = "getsockopt";
+      call.variant = sock.id + "_" + opt.macro;
+      call.params.push_back({"fd", Type::Resource(res), false});
+      call.params.push_back({"level", Type::Const(sock.sol_macro), false});
+      call.params.push_back({"optname", Type::Const(opt.macro), false});
+      call.params.push_back(
+          {"optval", Type::Ptr(Dir::kOut, payload), false});
+      call.params.push_back({"optlen", Type::Len("optval", 32), false});
+      spec.Add(std::move(call));
+    }
+  }
+
+  for (const auto& cmd : sock.ioctls) {
+    spec.Add(MakeIoctl(res, cmd, ""));
+  }
+
+  auto addr_ptr = [&](Dir dir) {
+    return sock.addr_struct.empty()
+               ? Type::Ptr(dir, Type::Array(Type::Int(8), 16))
+               : Type::Ptr(dir, Type::StructRef(sock.addr_struct));
+  };
+  if (sock.bind.supported) {
+    SyscallDef call;
+    call.name = "bind";
+    call.variant = sock.id;
+    call.params.push_back({"fd", Type::Resource(res), false});
+    call.params.push_back({"addr", addr_ptr(Dir::kIn), false});
+    call.params.push_back({"addrlen", Type::Len("addr", 32), false});
+    spec.Add(std::move(call));
+  }
+  if (sock.connect.supported) {
+    SyscallDef call;
+    call.name = "connect";
+    call.variant = sock.id;
+    call.params.push_back({"fd", Type::Resource(res), false});
+    call.params.push_back({"addr", addr_ptr(Dir::kIn), false});
+    call.params.push_back({"addrlen", Type::Len("addr", 32), false});
+    spec.Add(std::move(call));
+  }
+  if (sock.sendto.supported) {
+    SyscallDef call;
+    call.name = "sendto";
+    call.variant = sock.id;
+    call.params.push_back({"fd", Type::Resource(res), false});
+    call.params.push_back(
+        {"buf", Type::Ptr(Dir::kIn, Type::Array(Type::Int(8))), false});
+    call.params.push_back({"len", Type::Len("buf", 64), false});
+    call.params.push_back({"flags", Type::ConstValue(0, 32), false});
+    call.params.push_back({"addr", addr_ptr(Dir::kIn), false});
+    call.params.push_back({"addrlen", Type::Len("addr", 32), false});
+    spec.Add(std::move(call));
+  }
+  if (sock.recvfrom.supported) {
+    SyscallDef call;
+    call.name = "recvfrom";
+    call.variant = sock.id;
+    call.params.push_back({"fd", Type::Resource(res), false});
+    call.params.push_back(
+        {"buf", Type::Ptr(Dir::kOut, Type::Array(Type::Int(8))), false});
+    call.params.push_back({"len", Type::Len("buf", 64), false});
+    spec.Add(std::move(call));
+  }
+  if (sock.listen.supported) {
+    SyscallDef call;
+    call.name = "listen";
+    call.variant = sock.id;
+    call.params.push_back({"fd", Type::Resource(res), false});
+    call.params.push_back({"backlog", Type::ConstValue(0, 32), false});
+    spec.Add(std::move(call));
+  }
+  if (sock.accept.supported) {
+    SyscallDef call;
+    call.name = "accept";
+    call.variant = sock.id;
+    call.params.push_back({"fd", Type::Resource(res), false});
+    call.params.push_back({"peer", Type::ConstValue(0, 64), false});
+    call.params.push_back({"peerlen", Type::ConstValue(0, 64), false});
+    call.returns_resource = res;
+    spec.Add(std::move(call));
+  }
+  return spec;
+}
+
+size_t
+GroundTruthSyscallCount(const DeviceSpec& dev)
+{
+  return GroundTruthDeviceSpec(dev).Syscalls().size();
+}
+
+size_t
+GroundTruthSyscallCount(const SocketSpec& sock)
+{
+  return GroundTruthSocketSpec(sock).Syscalls().size();
+}
+
+syzlang::SpecFile
+ExistingDeviceSpec(const DeviceSpec& dev)
+{
+  SpecFile full = GroundTruthDeviceSpec(dev);
+  if (dev.existing_fraction <= 0.0) {
+    SpecFile empty;
+    empty.origin = "existing:" + dev.id + " (none)";
+    return empty;
+  }
+  std::vector<const SyscallDef*> calls = full.Syscalls();
+  std::unordered_set<std::string> selected;
+  // openat always included; then the first fraction of the ioctls in
+  // declaration order (humans describe the common commands first).
+  size_t ioctl_total = calls.size() > 0 ? calls.size() - 1 : 0;
+  size_t keep = static_cast<size_t>(
+      std::ceil(dev.existing_fraction * static_cast<double>(ioctl_total)));
+  size_t taken = 0;
+  for (const SyscallDef* c : calls) {
+    if (c->name == "openat") {
+      selected.insert(c->FullName());
+      continue;
+    }
+    if (taken < keep) {
+      selected.insert(c->FullName());
+      ++taken;
+    }
+  }
+  SpecFile out = FilterSpec(full, selected);
+  out.origin = "existing:" + dev.id;
+  return out;
+}
+
+syzlang::SpecFile
+ExistingSocketSpec(const SocketSpec& sock)
+{
+  SpecFile full = GroundTruthSocketSpec(sock);
+  if (sock.existing_fraction <= 0.0) {
+    SpecFile empty;
+    empty.origin = "existing:" + sock.id + " (none)";
+    return empty;
+  }
+  std::vector<const SyscallDef*> calls = full.Syscalls();
+  std::unordered_set<std::string> selected;
+  size_t total = calls.size() > 0 ? calls.size() - 1 : 0;
+  size_t keep = static_cast<size_t>(
+      std::ceil(sock.existing_fraction * static_cast<double>(total)));
+  size_t taken = 0;
+  for (const SyscallDef* c : calls) {
+    if (c->name == "socket") {
+      selected.insert(c->FullName());
+      continue;
+    }
+    if (taken < keep) {
+      selected.insert(c->FullName());
+      ++taken;
+    }
+  }
+  SpecFile out = FilterSpec(full, selected);
+  out.origin = "existing:" + sock.id;
+  return out;
+}
+
+}  // namespace kernelgpt::drivers

@@ -1,0 +1,49 @@
+/// \file
+/// Ground-truth specification generation from driver/socket models, plus
+/// derivation of the partial hand-written "existing Syzkaller" specs used
+/// as the paper's Syzkaller baseline.
+
+#ifndef KERNELGPT_DRIVERS_MODEL_SPEC_H_
+#define KERNELGPT_DRIVERS_MODEL_SPEC_H_
+
+#include "drivers/driver_model.h"
+#include "syzlang/ast.h"
+
+namespace kernelgpt::drivers {
+
+/// Name of the fd resource of a device, e.g. "fd_dm".
+std::string DeviceResourceName(const DeviceSpec& dev);
+
+/// Name of the fd resource of a secondary handler, e.g. "fd_kvm_vm".
+std::string HandlerResourceName(const DeviceSpec& dev,
+                                const HandlerSpec& handler);
+
+/// Name of the socket resource, e.g. "sock_rds".
+std::string SocketResourceName(const SocketSpec& sock);
+
+/// The complete, semantically correct specification for a device — what a
+/// kernel expert would write. Serves as the oracle for the §5.1.3 audit
+/// and as the basis of the "existing Syzkaller" subset.
+syzlang::SpecFile GroundTruthDeviceSpec(const DeviceSpec& dev);
+
+/// The complete, correct specification for a socket family.
+syzlang::SpecFile GroundTruthSocketSpec(const SocketSpec& sock);
+
+/// The partial hand-written spec Syzkaller ships for this device: a
+/// deterministic subset of the ground truth containing openat plus
+/// ceil(existing_fraction * n) ioctls (always semantically correct, since
+/// humans wrote them). Returns an empty spec when existing_fraction == 0.
+syzlang::SpecFile ExistingDeviceSpec(const DeviceSpec& dev);
+
+/// The partial hand-written spec for a socket family.
+syzlang::SpecFile ExistingSocketSpec(const SocketSpec& sock);
+
+/// Number of syscall descriptions in the ground truth of a device.
+size_t GroundTruthSyscallCount(const DeviceSpec& dev);
+
+/// Number of syscall descriptions in the ground truth of a socket.
+size_t GroundTruthSyscallCount(const SocketSpec& sock);
+
+}  // namespace kernelgpt::drivers
+
+#endif  // KERNELGPT_DRIVERS_MODEL_SPEC_H_

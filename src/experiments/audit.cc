@@ -1,0 +1,150 @@
+#include "experiments/audit.h"
+
+namespace kernelgpt::experiments {
+
+using syzlang::SpecFile;
+using syzlang::SyscallDef;
+using syzlang::Type;
+using syzlang::TypeKind;
+
+namespace {
+
+/// Field-type equivalence for the audit: scalar kinds with matching width
+/// are equivalent; semantic kinds (len/flags) must match in kind; arrays
+/// must match element width and count.
+bool
+TypesEquivalent(const Type& truth, const Type& gen)
+{
+  auto is_scalar = [](const Type& t) {
+    return t.kind == TypeKind::kInt || t.kind == TypeKind::kConst;
+  };
+  if (is_scalar(truth) && is_scalar(gen)) return truth.bits == gen.bits;
+  if (truth.kind == TypeKind::kFlags) {
+    // Flag-set names differ between expert and model; kind+width suffice.
+    return gen.kind == TypeKind::kFlags && truth.bits == gen.bits;
+  }
+  if (truth.kind != gen.kind) return false;
+  switch (truth.kind) {
+    case TypeKind::kLen:
+    case TypeKind::kBytesize:
+      return truth.len_target == gen.len_target && truth.bits == gen.bits;
+    case TypeKind::kArray:
+      return truth.array_len == gen.array_len &&
+             TypesEquivalent(truth.elems.at(0), gen.elems.at(0));
+    case TypeKind::kPtr:
+      return TypesEquivalent(truth.elems.at(0), gen.elems.at(0));
+    case TypeKind::kStructRef:
+      return true;  // Struct bodies compared separately.
+    default:
+      return true;
+  }
+}
+
+/// Returns true when the generated struct matches the ground-truth struct
+/// field-for-field.
+bool
+StructMatches(const SpecFile& truth_spec, const SpecFile& gen_spec,
+              const std::string& truth_name, const std::string& gen_name)
+{
+  const syzlang::StructDef* truth = truth_spec.FindStruct(truth_name);
+  const syzlang::StructDef* gen = gen_spec.FindStruct(gen_name);
+  if (!truth || !gen) return false;
+  if (truth->fields.size() != gen->fields.size()) return false;
+  for (size_t i = 0; i < truth->fields.size(); ++i) {
+    if (!TypesEquivalent(truth->fields[i].type, gen->fields[i].type)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The ptr payload struct name of an ioctl description ("" when scalar).
+std::string
+ArgStructOf(const SyscallDef& call)
+{
+  if (call.params.size() < 3) return "";
+  const Type& arg = call.params[2].type;
+  if (arg.kind != TypeKind::kPtr) return "";
+  if (arg.elems.at(0).kind != TypeKind::kStructRef) return "";
+  return arg.elems.at(0).ref_name;
+}
+
+}  // namespace
+
+AuditResult
+AuditKernelGpt(const ExperimentContext& context, bool undescribed_only)
+{
+  AuditResult result;
+  for (const ModuleResult* module : context.Devices()) {
+    if (!module->dev) continue;
+    if (undescribed_only && module->existing_syscalls > 0) continue;
+    if (!module->KernelGptUsable()) continue;
+
+    SpecFile truth = drivers::GroundTruthDeviceSpec(*module->dev);
+    const SpecFile& gen = module->kernelgpt.spec;
+
+    DriverAudit audit;
+    audit.id = module->id;
+    for (const SyscallDef* call : truth.Syscalls()) {
+      if (call->name != "ioctl") continue;
+      ++audit.total_syscalls;
+      const std::string macro = call->variant;
+
+      const SyscallDef* described = gen.FindSyscall("ioctl$" + macro);
+      if (!described) {
+        // A _NR-suffixed variant means the model used the modified (raw)
+        // identifier — described, but with the wrong command value.
+        if (gen.FindSyscall("ioctl$" + macro + "_NR")) {
+          ++audit.wrong_identifier;
+        } else {
+          ++audit.missing;
+        }
+        continue;
+      }
+      // Identifier value check: the cmd const must resolve to the true
+      // full command value.
+      uint64_t truth_cmd = 0;
+      if (call->params.size() >= 2 &&
+          call->params[1].type.kind == TypeKind::kConst) {
+        truth_cmd = context.consts()
+                        .Resolve(call->params[1].type.const_name)
+                        .value_or(0);
+      }
+      uint64_t gen_cmd = 0;
+      if (described->params.size() >= 2 &&
+          described->params[1].type.kind == TypeKind::kConst) {
+        gen_cmd = context.consts()
+                      .Resolve(described->params[1].type.const_name)
+                      .value_or(0);
+      }
+      if (truth_cmd != gen_cmd) {
+        ++audit.wrong_identifier;
+        continue;
+      }
+      // Type check.
+      std::string truth_struct = ArgStructOf(*call);
+      std::string gen_struct = ArgStructOf(*described);
+      if (truth_struct.empty() != gen_struct.empty()) {
+        ++audit.wrong_type;
+        continue;
+      }
+      if (!truth_struct.empty() &&
+          !StructMatches(truth, gen, truth_struct, gen_struct)) {
+        ++audit.wrong_type;
+      }
+    }
+
+    result.total_drivers++;
+    if (audit.missing == 0) result.drivers_without_missing++;
+    if (audit.wrong_identifier > 0) result.drivers_with_wrong_identifier++;
+    if (audit.wrong_type > 0) result.drivers_with_wrong_type++;
+    result.total_syscalls += audit.total_syscalls;
+    result.missing_syscalls += audit.missing;
+    result.wrong_identifier_syscalls += audit.wrong_identifier;
+    result.wrong_type_syscalls += audit.wrong_type;
+    result.drivers.push_back(std::move(audit));
+  }
+  return result;
+}
+
+}  // namespace kernelgpt::experiments

@@ -1,0 +1,47 @@
+/// \file
+/// Semantic-correctness audit of generated specifications against the
+/// ground-truth oracle — the automated version of the paper's §5.1.3
+/// manual examination (missing syscalls, wrong identifier values, wrong
+/// argument types).
+
+#ifndef KERNELGPT_EXPERIMENTS_AUDIT_H_
+#define KERNELGPT_EXPERIMENTS_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "experiments/context.h"
+
+namespace kernelgpt::experiments {
+
+/// One audited driver.
+struct DriverAudit {
+  std::string id;
+  size_t total_syscalls = 0;      ///< Ground-truth ioctl count.
+  size_t missing = 0;             ///< Not described at all.
+  size_t wrong_identifier = 0;    ///< Described with a wrong cmd value.
+  size_t wrong_type = 0;          ///< Described with a mismatched arg type.
+};
+
+/// Aggregated audit over a set of drivers.
+struct AuditResult {
+  std::vector<DriverAudit> drivers;
+  size_t total_drivers = 0;
+  size_t drivers_without_missing = 0;
+  size_t drivers_with_wrong_identifier = 0;
+  size_t drivers_with_wrong_type = 0;
+  size_t total_syscalls = 0;
+  size_t missing_syscalls = 0;
+  size_t wrong_identifier_syscalls = 0;
+  size_t wrong_type_syscalls = 0;
+};
+
+/// Audits KernelGPT-generated driver specs against ground truth.
+/// When `undescribed_only` is set, restricts to drivers with no existing
+/// Syzkaller description (the paper's 45-driver audit population).
+AuditResult AuditKernelGpt(const ExperimentContext& context,
+                           bool undescribed_only);
+
+}  // namespace kernelgpt::experiments
+
+#endif  // KERNELGPT_EXPERIMENTS_AUDIT_H_

@@ -1,0 +1,80 @@
+#include "experiments/bugs.h"
+
+namespace kernelgpt::experiments {
+
+std::vector<PlantedBug>
+AllPlantedBugs(bool include_legacy)
+{
+  std::vector<PlantedBug> out;
+  auto add = [&](const std::string& module,
+                 const std::optional<drivers::BugSpec>& bug) {
+    if (!bug) return;
+    if (bug->legacy && !include_legacy) return;
+    PlantedBug planted;
+    planted.module = module;
+    planted.title = bug->title;
+    planted.cve = bug->cve;
+    planted.confirmed = bug->confirmed;
+    planted.fixed = bug->fixed;
+    planted.legacy = bug->legacy;
+    out.push_back(std::move(planted));
+  };
+  const drivers::Corpus& corpus = drivers::Corpus::Instance();
+  for (const auto& dev : corpus.devices()) {
+    for (const auto& cmd : dev.primary.ioctls) add(dev.id, cmd.bug);
+    for (const auto& handler : dev.secondary) {
+      for (const auto& cmd : handler.ioctls) add(dev.id, cmd.bug);
+    }
+  }
+  for (const auto& sock : corpus.sockets()) {
+    for (const auto& cmd : sock.ioctls) add(sock.id, cmd.bug);
+    for (const auto& opt : sock.sockopts) add(sock.id, opt.bug);
+    for (const drivers::SocketOpSpec* op :
+         {&sock.bind, &sock.connect, &sock.sendto, &sock.recvfrom,
+          &sock.listen, &sock.accept}) {
+      add(sock.id, op->bug);
+    }
+  }
+  return out;
+}
+
+bool
+SyzDescribeEffective(const ExperimentContext& context,
+                     const ModuleResult& module)
+{
+  if (module.is_socket || !module.dev) return false;
+  if (!module.syzdescribe.generated) return false;
+  const syzlang::SpecFile& spec = module.syzdescribe.spec;
+
+  // The openat path must match the true device node.
+  bool node_ok = false;
+  for (const syzlang::SyscallDef* call : spec.Syscalls()) {
+    if (call->name != "openat" || call->params.size() < 2) continue;
+    const syzlang::Type& file = call->params[1].type;
+    if (file.kind == syzlang::TypeKind::kPtr &&
+        file.elems.at(0).kind == syzlang::TypeKind::kString &&
+        file.elems.at(0).str_literal == module.dev->dev_node) {
+      node_ok = true;
+    }
+  }
+  if (!node_ok) return false;
+
+  // At least one described command must carry a true command value.
+  std::vector<uint64_t> truth;
+  for (const auto& cmd : module.dev->primary.ioctls) {
+    truth.push_back(drivers::FullCommandValue(*module.dev, cmd));
+  }
+  for (const syzlang::SyscallDef* call : spec.Syscalls()) {
+    if (call->name != "ioctl" || call->params.size() < 2) continue;
+    if (call->params[1].type.kind != syzlang::TypeKind::kConst) continue;
+    uint64_t value = context.consts()
+                         .Resolve(call->params[1].type.const_name)
+                         .value_or(0);
+    for (uint64_t t : truth) {
+      if (t == value) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace kernelgpt::experiments

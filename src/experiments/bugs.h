@@ -1,0 +1,40 @@
+/// \file
+/// Inventory of planted bugs and effectiveness checks used by the Table 1
+/// and Table 4 benches.
+
+#ifndef KERNELGPT_EXPERIMENTS_BUGS_H_
+#define KERNELGPT_EXPERIMENTS_BUGS_H_
+
+#include <string>
+#include <vector>
+
+#include "experiments/context.h"
+
+namespace kernelgpt::experiments {
+
+/// One planted bug with its owning module.
+struct PlantedBug {
+  std::string module;
+  std::string title;
+  std::string cve;
+  bool confirmed = false;
+  bool fixed = false;
+  bool legacy = false;
+};
+
+/// All bugs in the corpus. `include_legacy` adds the long-known bugs that
+/// existing specs already reach; without it the list is exactly the 24
+/// Table 4 bugs.
+std::vector<PlantedBug> AllPlantedBugs(bool include_legacy);
+
+/// True when a SyzDescribe-generated spec is *effective* for its module:
+/// the device path matches the real node and at least one described
+/// command carries the true command value. (The paper counts only such
+/// handlers in SyzDescribe's "# Valid" column — its other outputs exist
+/// but cannot exercise the driver.)
+bool SyzDescribeEffective(const ExperimentContext& context,
+                          const ModuleResult& module);
+
+}  // namespace kernelgpt::experiments
+
+#endif  // KERNELGPT_EXPERIMENTS_BUGS_H_

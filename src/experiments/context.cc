@@ -1,0 +1,170 @@
+#include "experiments/context.h"
+
+#include "drivers/model_runtime.h"
+#include "extractor/handler_finder.h"
+
+namespace kernelgpt::experiments {
+
+ExperimentContext::ExperimentContext(const ContextOptions& options)
+    : index_(drivers::Corpus::Instance().BuildIndex())
+{
+  consts_ = index_.BuildConstTable();
+  meter_.SetKeepText(false);  // Counters only; full-corpus runs are large.
+
+  const drivers::Corpus& corpus = drivers::Corpus::Instance();
+  spec_gen::KernelGpt kernelgpt(&index_, options.gen, &meter_);
+  baseline::SyzDescribe syzdescribe(&index_);
+
+  auto driver_handlers = extractor::FindDriverHandlers(index_);
+  auto socket_handlers = extractor::FindSocketHandlers(index_);
+
+  for (const drivers::DeviceSpec* dev : corpus.LoadedDevices()) {
+    ModuleResult module;
+    module.id = dev->id;
+    module.dev = dev;
+    module.existing = drivers::ExistingDeviceSpec(*dev);
+    module.existing_syscalls = module.existing.Syscalls().size();
+    module.ground_truth_syscalls = drivers::GroundTruthSyscallCount(*dev);
+
+    const std::string path = "drivers/" + dev->id + ".c";
+    for (const auto& handler : driver_handlers) {
+      if (handler.file_path != path) continue;
+      if (handler.reg == extractor::RegKind::kUnreferenced) continue;
+      module.kernelgpt = kernelgpt.GenerateForDriver(handler);
+      module.syzdescribe = syzdescribe.GenerateForDriver(handler);
+      break;
+    }
+    modules_.push_back(std::move(module));
+  }
+
+  for (const drivers::SocketSpec* sock : corpus.LoadedSockets()) {
+    ModuleResult module;
+    module.id = sock->id;
+    module.is_socket = true;
+    module.sock = sock;
+    module.existing = drivers::ExistingSocketSpec(*sock);
+    module.existing_syscalls = module.existing.Syscalls().size();
+    module.ground_truth_syscalls = drivers::GroundTruthSyscallCount(*sock);
+
+    const std::string path = "net/" + sock->id + ".c";
+    for (const auto& handler : socket_handlers) {
+      if (handler.file_path != path) continue;
+      module.kernelgpt = kernelgpt.GenerateForSocket(handler);
+      break;
+    }
+    modules_.push_back(std::move(module));
+  }
+}
+
+const ExperimentContext&
+ExperimentContext::Default()
+{
+  static const ExperimentContext context{ContextOptions{}};
+  return context;
+}
+
+const ModuleResult*
+ExperimentContext::Find(const std::string& id) const
+{
+  for (const auto& m : modules_) {
+    if (m.id == id) return &m;
+  }
+  return nullptr;
+}
+
+std::vector<const ModuleResult*>
+ExperimentContext::Devices() const
+{
+  std::vector<const ModuleResult*> out;
+  for (const auto& m : modules_) {
+    if (!m.is_socket) out.push_back(&m);
+  }
+  return out;
+}
+
+std::vector<const ModuleResult*>
+ExperimentContext::Sockets() const
+{
+  std::vector<const ModuleResult*> out;
+  for (const auto& m : modules_) {
+    if (m.is_socket) out.push_back(&m);
+  }
+  return out;
+}
+
+fuzzer::SpecLibrary
+ExperimentContext::MakeLibrary(
+    const std::vector<const syzlang::SpecFile*>& specs) const
+{
+  fuzzer::SpecLibrary lib;
+  lib.SetConsts(consts_);
+  for (const syzlang::SpecFile* spec : specs) {
+    if (spec) lib.Add(*spec);
+  }
+  lib.Finalize();
+  return lib;
+}
+
+fuzzer::SpecLibrary
+ExperimentContext::SyzkallerSuite() const
+{
+  std::vector<const syzlang::SpecFile*> specs;
+  for (const auto& m : modules_) specs.push_back(&m.existing);
+  return MakeLibrary(specs);
+}
+
+fuzzer::SpecLibrary
+ExperimentContext::SyzkallerPlusSyzDescribeSuite() const
+{
+  std::vector<const syzlang::SpecFile*> specs;
+  for (const auto& m : modules_) {
+    specs.push_back(&m.existing);
+    if (m.syzdescribe.generated) specs.push_back(&m.syzdescribe.spec);
+  }
+  return MakeLibrary(specs);
+}
+
+fuzzer::SpecLibrary
+ExperimentContext::SyzkallerPlusKernelGptSuite() const
+{
+  std::vector<const syzlang::SpecFile*> specs;
+  for (const auto& m : modules_) {
+    specs.push_back(&m.existing);
+    if (m.KernelGptUsable()) specs.push_back(&m.kernelgpt.spec);
+  }
+  return MakeLibrary(specs);
+}
+
+void
+ExperimentContext::BootKernel(vkernel::Kernel* kernel) const
+{
+  drivers::Corpus::Instance().RegisterAll(kernel);
+}
+
+ExperimentContext::FuzzSummary
+ExperimentContext::Fuzz(const fuzzer::SpecLibrary& lib, int program_budget,
+                        int reps, uint64_t seed_base) const
+{
+  FuzzSummary summary;
+  for (int rep = 0; rep < reps; ++rep) {
+    vkernel::Kernel kernel;
+    BootKernel(&kernel);
+    fuzzer::CampaignOptions options;
+    options.seed = seed_base + static_cast<uint64_t>(rep) * 7919;
+    options.program_budget = program_budget;
+    fuzzer::CampaignResult result = fuzzer::RunCampaign(&kernel, lib, options);
+    summary.avg_coverage += static_cast<double>(result.coverage.Count());
+    summary.avg_crashes += static_cast<double>(result.UniqueCrashCount());
+    summary.merged.Merge(result.coverage);
+    for (const auto& [title, count] : result.crashes) {
+      summary.crash_titles[title] += count;
+    }
+  }
+  if (reps > 0) {
+    summary.avg_coverage /= reps;
+    summary.avg_crashes /= reps;
+  }
+  return summary;
+}
+
+}  // namespace kernelgpt::experiments

@@ -1,0 +1,113 @@
+/// \file
+/// Shared experiment harness: runs the full generation pipeline (existing
+/// Syzkaller specs, SyzDescribe, KernelGPT) over the whole corpus once and
+/// exposes the per-module results that every table/figure bench consumes.
+
+#ifndef KERNELGPT_EXPERIMENTS_CONTEXT_H_
+#define KERNELGPT_EXPERIMENTS_CONTEXT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baseline/syz_describe.h"
+#include "drivers/corpus.h"
+#include "drivers/model_spec.h"
+#include "fuzzer/campaign.h"
+#include "spec_gen/kernelgpt.h"
+
+namespace kernelgpt::experiments {
+
+/// Everything known about one corpus module after generation.
+struct ModuleResult {
+  std::string id;
+  bool is_socket = false;
+  const drivers::DeviceSpec* dev = nullptr;
+  const drivers::SocketSpec* sock = nullptr;
+
+  /// Hand-written partial Syzkaller spec (may be empty).
+  syzlang::SpecFile existing;
+  size_t existing_syscalls = 0;
+
+  /// Ground truth (the oracle; never fed to the fuzzer benches directly).
+  size_t ground_truth_syscalls = 0;
+
+  /// KernelGPT generation outcome.
+  spec_gen::HandlerGeneration kernelgpt;
+
+  /// SyzDescribe outcome (devices only; `generated == false` for sockets).
+  baseline::SyzDescribeResult syzdescribe;
+
+  bool KernelGptUsable() const {
+    return kernelgpt.status != spec_gen::GenStatus::kFailed;
+  }
+  /// Handler is "incomplete": existing spec misses >= 1 syscall.
+  bool Incomplete() const {
+    return existing_syscalls < ground_truth_syscalls;
+  }
+  /// Fraction of ground-truth syscalls missing from the existing spec.
+  double MissingFraction() const {
+    if (ground_truth_syscalls == 0) return 0.0;
+    return 1.0 - static_cast<double>(existing_syscalls) /
+                     static_cast<double>(ground_truth_syscalls);
+  }
+};
+
+/// Options for building a context (mostly for the ablation benches).
+struct ContextOptions {
+  spec_gen::Options gen;
+};
+
+/// One fully generated corpus. Construction runs every generator over
+/// every loaded module (cheap: < 1 s).
+class ExperimentContext {
+ public:
+  explicit ExperimentContext(const ContextOptions& options = {});
+
+  /// Lazily-built default context with GPT-4, iterative mode.
+  static const ExperimentContext& Default();
+
+  const ksrc::DefinitionIndex& index() const { return index_; }
+  const syzlang::ConstTable& consts() const { return consts_; }
+  const llm::TokenMeter& meter() const { return meter_; }
+  const std::vector<ModuleResult>& modules() const { return modules_; }
+
+  const ModuleResult* Find(const std::string& id) const;
+
+  std::vector<const ModuleResult*> Devices() const;
+  std::vector<const ModuleResult*> Sockets() const;
+
+  /// Builds a spec library from a list of spec files (consts attached).
+  fuzzer::SpecLibrary MakeLibrary(
+      const std::vector<const syzlang::SpecFile*>& specs) const;
+
+  /// The three Table 3 suites over all loaded modules.
+  fuzzer::SpecLibrary SyzkallerSuite() const;
+  fuzzer::SpecLibrary SyzkallerPlusSyzDescribeSuite() const;
+  fuzzer::SpecLibrary SyzkallerPlusKernelGptSuite() const;
+
+  /// Registers all loaded corpus modules into a fresh kernel.
+  void BootKernel(vkernel::Kernel* kernel) const;
+
+  /// Runs `reps` campaigns with distinct seeds and returns the average
+  /// coverage count, average unique-crash count, and merged coverage.
+  struct FuzzSummary {
+    double avg_coverage = 0;
+    double avg_crashes = 0;
+    vkernel::Coverage merged;
+    std::map<std::string, int> crash_titles;
+  };
+  FuzzSummary Fuzz(const fuzzer::SpecLibrary& lib, int program_budget,
+                   int reps, uint64_t seed_base = 1) const;
+
+ private:
+  ksrc::DefinitionIndex index_;
+  syzlang::ConstTable consts_;
+  llm::TokenMeter meter_;
+  std::vector<ModuleResult> modules_;
+};
+
+}  // namespace kernelgpt::experiments
+
+#endif  // KERNELGPT_EXPERIMENTS_CONTEXT_H_

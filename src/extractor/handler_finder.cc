@@ -1,0 +1,166 @@
+#include "extractor/handler_finder.h"
+
+#include "ksrc/body_analysis.h"
+#include "util/strings.h"
+
+namespace kernelgpt::extractor {
+
+namespace {
+
+using ksrc::CFile;
+using ksrc::CFunction;
+using ksrc::CVarDef;
+
+/// Strips a leading '&' from an initializer expression ("&_ctl_fops").
+std::string
+StripAddrOf(const std::string& expr)
+{
+  std::string_view v = util::Trim(expr);
+  if (!v.empty() && v.front() == '&') v.remove_prefix(1);
+  return std::string(util::Trim(v));
+}
+
+/// Strips surrounding quotes from a single string-literal expression.
+std::string
+UnquoteLiteral(const std::string& expr)
+{
+  std::string_view v = util::Trim(expr);
+  if (v.size() >= 2 && v.front() == '"' && v.back() == '"') {
+    return std::string(v.substr(1, v.size() - 2));
+  }
+  return "";
+}
+
+/// Finds the misc/init registration that references `fops_var` within one
+/// file and fills the handler's registration fields.
+void
+ResolveRegistration(const CFile& file, DriverHandler* handler)
+{
+  // miscdevice usage.
+  for (const CVarDef& var : file.vars) {
+    if (var.type_name != "miscdevice") continue;
+    if (StripAddrOf(var.InitFor("fops")) != handler->fops_var) continue;
+    handler->reg = RegKind::kMiscDevice;
+    handler->misc_var = var.name;
+    handler->name_expr = var.InitFor("name");
+    handler->nodename_expr = var.InitFor("nodename");
+    return;
+  }
+  // Init-function usage: register_chrdev + device_create, or proc_create.
+  for (const CFunction& fn : file.functions) {
+    if (!util::EndsWith(fn.name, "_init")) continue;
+    bool references_fops = ksrc::BodyMentions(fn, handler->fops_var);
+    if (!references_fops) continue;
+    for (const ksrc::CallSite& call : ksrc::FindCalls(fn)) {
+      if (call.callee == "register_chrdev" && call.args.size() >= 2) {
+        handler->chrdev_name = UnquoteLiteral(call.args[1]);
+      }
+      if (call.callee == "device_create" && call.args.size() >= 5) {
+        handler->reg = RegKind::kDeviceCreate;
+        handler->create_fmt = UnquoteLiteral(call.args[4]);
+        handler->create_arg =
+            call.args.size() >= 6 ? call.args[5] : std::string();
+      }
+      if (call.callee == "proc_create" && !call.args.empty()) {
+        handler->reg = RegKind::kProcCreate;
+        handler->proc_path = UnquoteLiteral(call.args[0]);
+      }
+    }
+    if (handler->reg != RegKind::kUnreferenced) return;
+  }
+}
+
+}  // namespace
+
+std::vector<DriverHandler>
+FindDriverHandlers(const ksrc::DefinitionIndex& index)
+{
+  std::vector<DriverHandler> out;
+  for (const CFile& file : index.files()) {
+    for (const CVarDef& var : file.vars) {
+      if (var.type_name != "file_operations") continue;
+      std::string ioctl_fn = var.InitFor("unlocked_ioctl");
+      if (ioctl_fn.empty()) ioctl_fn = var.InitFor("ioctl");
+      if (ioctl_fn.empty()) continue;  // Not an ioctl-capable handler.
+      DriverHandler handler;
+      handler.fops_var = var.name;
+      handler.ioctl_fn = ioctl_fn;
+      handler.open_fn = var.InitFor("open");
+      handler.file_path = file.path;
+      ResolveRegistration(file, &handler);
+      out.push_back(std::move(handler));
+    }
+  }
+  return out;
+}
+
+std::vector<SocketHandler>
+FindSocketHandlers(const ksrc::DefinitionIndex& index)
+{
+  std::vector<SocketHandler> out;
+  for (const CFile& file : index.files()) {
+    for (const CVarDef& var : file.vars) {
+      if (var.type_name != "proto_ops") continue;
+      SocketHandler handler;
+      handler.proto_ops_var = var.name;
+      handler.family_expr = var.InitFor("family");
+      handler.setsockopt_fn = var.InitFor("setsockopt");
+      handler.getsockopt_fn = var.InitFor("getsockopt");
+      handler.bind_fn = var.InitFor("bind");
+      handler.connect_fn = var.InitFor("connect");
+      handler.sendmsg_fn = var.InitFor("sendmsg");
+      handler.recvmsg_fn = var.InitFor("recvmsg");
+      handler.listen_fn = var.InitFor("listen");
+      handler.accept_fn = var.InitFor("accept");
+      handler.ioctl_fn = var.InitFor("ioctl");
+      handler.file_path = file.path;
+      // Pair with the net_proto_family in the same file.
+      for (const CVarDef& fam : file.vars) {
+        if (fam.type_name == "net_proto_family") {
+          handler.create_fn = fam.InitFor("create");
+        }
+      }
+      out.push_back(std::move(handler));
+    }
+  }
+  return out;
+}
+
+std::string
+ResolveNodePath(const ksrc::DefinitionIndex& index,
+                const DriverHandler& handler)
+{
+  switch (handler.reg) {
+    case RegKind::kMiscDevice: {
+      // .nodename takes precedence over .name when set (the Fig. 2 rule).
+      const std::string& expr = handler.nodename_expr.empty()
+                                    ? handler.name_expr
+                                    : handler.nodename_expr;
+      auto resolved = index.ResolveStringExpr(expr);
+      if (!resolved) return "";
+      return "/dev/" + *resolved;
+    }
+    case RegKind::kDeviceCreate: {
+      // Instantiate the printf format with the literal first vararg.
+      std::string fmt = handler.create_fmt;
+      std::string arg = handler.create_arg;
+      std::string node;
+      for (size_t i = 0; i < fmt.size(); ++i) {
+        if (fmt[i] == '%' && i + 1 < fmt.size() && fmt[i + 1] == 'd') {
+          node += arg;
+          ++i;
+          continue;
+        }
+        node.push_back(fmt[i]);
+      }
+      return node.empty() ? "" : "/dev/" + node;
+    }
+    case RegKind::kProcCreate:
+      return handler.proc_path.empty() ? "" : "/proc/" + handler.proc_path;
+    case RegKind::kUnreferenced:
+      return "";
+  }
+  return "";
+}
+
+}  // namespace kernelgpt::extractor

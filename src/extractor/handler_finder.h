@@ -1,0 +1,86 @@
+/// \file
+/// Driver and socket operation-handler extraction — the "Kernel Code
+/// Extractor" of Figure 4. Pattern-matches file_operations / miscdevice /
+/// proto_ops registrations across the parsed corpus and bundles each
+/// handler with its usage locations, ready for analysis.
+
+#ifndef KERNELGPT_EXTRACTOR_HANDLER_FINDER_H_
+#define KERNELGPT_EXTRACTOR_HANDLER_FINDER_H_
+
+#include <string>
+#include <vector>
+
+#include "ksrc/definition_index.h"
+
+namespace kernelgpt::extractor {
+
+/// How a driver's device node is published.
+enum class RegKind {
+  kMiscDevice,    ///< struct miscdevice with .name (and maybe .nodename).
+  kDeviceCreate,  ///< device_create(...) in the module init function.
+  kProcCreate,    ///< proc_create(...) in the module init function.
+  kUnreferenced,  ///< fops exists but no registration was found (secondary
+                  ///< handlers reached via anon_inode_getfd).
+};
+
+/// One extracted driver operation handler.
+struct DriverHandler {
+  std::string fops_var;   ///< e.g. "_dm_ctl_fops".
+  std::string ioctl_fn;   ///< .unlocked_ioctl target, e.g. "dm_ctl_ioctl".
+  std::string open_fn;    ///< .open target.
+  RegKind reg = RegKind::kUnreferenced;
+
+  // kMiscDevice:
+  std::string misc_var;        ///< miscdevice variable name.
+  std::string name_expr;       ///< Raw .name initializer text.
+  std::string nodename_expr;   ///< Raw .nodename initializer text ("" unset).
+
+  // kDeviceCreate:
+  std::string chrdev_name;     ///< register_chrdev base name, e.g. "cec".
+  std::string create_fmt;      ///< device_create format, e.g. "cec%d".
+  std::string create_arg;      ///< First vararg text, e.g. "0".
+
+  // kProcCreate:
+  std::string proc_path;       ///< e.g. "driver/snd/timer".
+
+  std::string file_path;       ///< Source file of the fops definition.
+};
+
+/// One extracted socket operation handler.
+struct SocketHandler {
+  std::string proto_ops_var;  ///< e.g. "rds_proto_ops".
+  std::string family_expr;    ///< Raw .family initializer text ("AF_RDS").
+  std::string create_fn;      ///< net_proto_family .create target.
+  std::string setsockopt_fn;
+  std::string getsockopt_fn;
+  std::string bind_fn;
+  std::string connect_fn;
+  std::string sendmsg_fn;
+  std::string recvmsg_fn;
+  std::string listen_fn;
+  std::string accept_fn;
+  std::string ioctl_fn;
+  std::string file_path;
+};
+
+/// Finds all registered driver operation handlers. Handlers without any
+/// registration usage (secondary fops like kvm's vm/vcpu tables) are
+/// reported with RegKind::kUnreferenced so the dependency stage can claim
+/// them.
+std::vector<DriverHandler> FindDriverHandlers(
+    const ksrc::DefinitionIndex& index);
+
+/// Finds all socket operation handlers (proto_ops + net_proto_family).
+std::vector<SocketHandler> FindSocketHandlers(
+    const ksrc::DefinitionIndex& index);
+
+/// Resolves the device-node path of a handler using full semantics (the
+/// oracle the analysis LLM aspires to): miscdevice .nodename wins over
+/// .name, device_create formats are instantiated, proc paths prefixed.
+/// Returns "" when undecidable.
+std::string ResolveNodePath(const ksrc::DefinitionIndex& index,
+                            const DriverHandler& handler);
+
+}  // namespace kernelgpt::extractor
+
+#endif  // KERNELGPT_EXTRACTOR_HANDLER_FINDER_H_

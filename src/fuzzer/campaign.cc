@@ -1,0 +1,45 @@
+#include "fuzzer/campaign.h"
+
+namespace kernelgpt::fuzzer {
+
+CampaignResult
+RunCampaign(vkernel::Kernel* kernel, const SpecLibrary& lib,
+            const CampaignOptions& options)
+{
+  CampaignResult result;
+  if (lib.syscalls().empty()) return result;
+
+  util::Rng rng(options.seed);
+  Generator generator(&lib, &rng);
+  Mutator mutator(&lib, &generator, &rng);
+  Executor executor(kernel, &lib);
+  std::vector<Prog> corpus;
+
+  for (int i = 0; i < options.program_budget; ++i) {
+    Prog prog;
+    if (!corpus.empty() && rng.Chance(options.mutate_prob)) {
+      prog = corpus[rng.Below(corpus.size())];
+      mutator.Mutate(&prog);
+    } else {
+      prog = generator.Generate(options.max_prog_len);
+    }
+    if (prog.empty()) continue;
+
+    ExecResult exec = executor.Run(prog, &result.coverage);
+    ++result.programs_executed;
+    if (exec.crashed) {
+      result.crashes[exec.crash_title]++;
+    }
+    if (exec.new_blocks > 0) {
+      if (corpus.size() >= options.corpus_cap) {
+        corpus[rng.Below(corpus.size())] = std::move(prog);
+      } else {
+        corpus.push_back(std::move(prog));
+      }
+    }
+  }
+  result.corpus_size = corpus.size();
+  return result;
+}
+
+}  // namespace kernelgpt::fuzzer

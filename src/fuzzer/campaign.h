@@ -1,0 +1,47 @@
+/// \file
+/// The coverage-guided fuzzing loop: maintains a seed corpus, alternates
+/// generation and mutation, and aggregates coverage and deduplicated
+/// crashes — the measurement harness behind Tables 3, 5, and 6.
+
+#ifndef KERNELGPT_FUZZER_CAMPAIGN_H_
+#define KERNELGPT_FUZZER_CAMPAIGN_H_
+
+#include <map>
+#include <string>
+
+#include "fuzzer/executor.h"
+#include "fuzzer/generator.h"
+#include "fuzzer/mutator.h"
+
+namespace kernelgpt::fuzzer {
+
+/// Campaign parameters. `program_budget` replaces the paper's wall-clock
+/// fuzzing hours (our substrate executes in microseconds, not on a VM).
+struct CampaignOptions {
+  uint64_t seed = 1;
+  int program_budget = 20000;
+  int max_prog_len = 6;
+  /// Probability of mutating a corpus seed instead of generating fresh.
+  double mutate_prob = 0.7;
+  /// Seed-corpus capacity.
+  size_t corpus_cap = 256;
+};
+
+/// Aggregated campaign outcome.
+struct CampaignResult {
+  vkernel::Coverage coverage;
+  /// Crash title -> occurrence count (titles deduplicate crashes).
+  std::map<std::string, int> crashes;
+  size_t programs_executed = 0;
+  size_t corpus_size = 0;
+
+  size_t UniqueCrashCount() const { return crashes.size(); }
+};
+
+/// Runs one campaign of `options.program_budget` programs.
+CampaignResult RunCampaign(vkernel::Kernel* kernel, const SpecLibrary& lib,
+                           const CampaignOptions& options);
+
+}  // namespace kernelgpt::fuzzer
+
+#endif  // KERNELGPT_FUZZER_CAMPAIGN_H_

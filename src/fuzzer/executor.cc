@@ -1,0 +1,168 @@
+#include "fuzzer/executor.h"
+
+namespace kernelgpt::fuzzer {
+
+using vkernel::Buffer;
+using vkernel::ExecContext;
+
+namespace {
+
+/// Extracts a NUL-terminated path from a buffer argument.
+std::string
+PathFrom(const Arg& arg)
+{
+  std::string path;
+  for (uint8_t b : arg.bytes) {
+    if (b == 0) break;
+    path.push_back(static_cast<char>(b));
+  }
+  return path;
+}
+
+/// Resolves the concrete fd value of an argument.
+long
+FdOf(const Arg& arg, const std::vector<long>& results)
+{
+  if (arg.kind == Arg::Kind::kResourceRef) {
+    if (arg.ref_call >= 0 &&
+        static_cast<size_t>(arg.ref_call) < results.size() &&
+        results[static_cast<size_t>(arg.ref_call)] >= 0) {
+      return results[static_cast<size_t>(arg.ref_call)];
+    }
+    return 999999;  // A never-valid descriptor.
+  }
+  return static_cast<long>(arg.scalar);
+}
+
+uint64_t
+ScalarOf(const Call& call, size_t index)
+{
+  if (index >= call.args.size()) return 0;
+  return call.args[index].scalar;
+}
+
+}  // namespace
+
+Executor::Executor(vkernel::Kernel* kernel, const SpecLibrary* lib)
+    : kernel_(kernel), lib_(lib) {}
+
+long
+Executor::Dispatch(const syzlang::SyscallDef& def, const Call& call,
+                   std::vector<long>& results, ExecContext& ctx)
+{
+  const std::string& name = def.name;
+  auto fd0 = [&]() {
+    return call.args.empty() ? -1 : FdOf(call.args[0], results);
+  };
+  auto buffer_at = [&](size_t index) -> Buffer* {
+    if (index >= call.args.size()) return nullptr;
+    // The executor owns the temporary buffer for the call duration.
+    return nullptr;
+  };
+  (void)buffer_at;
+
+  if (name == "openat" || name == "open") {
+    size_t path_idx = name == "openat" ? 1 : 0;
+    if (path_idx >= call.args.size()) return -vkernel::kEINVAL;
+    uint64_t flags = ScalarOf(call, path_idx + 1);
+    return kernel_->Openat(PathFrom(call.args[path_idx]), flags, ctx);
+  }
+  if (name == "close") return kernel_->Close(fd0(), ctx);
+  if (name == "dup") return kernel_->Dup(fd0(), ctx);
+  if (name == "ioctl") {
+    uint64_t cmd = ScalarOf(call, 1);
+    if (call.args.size() > 2 && call.args[2].kind == Arg::Kind::kBuffer) {
+      Buffer buf;
+      buf.bytes = call.args[2].bytes;
+      return kernel_->Ioctl(fd0(), cmd, &buf, ctx);
+    }
+    return kernel_->Ioctl(fd0(), cmd, nullptr, ctx);
+  }
+  if (name == "read") {
+    Buffer out;
+    if (call.args.size() > 1) out.bytes.resize(call.args[1].bytes.size());
+    return kernel_->Read(fd0(), &out, ctx);
+  }
+  if (name == "write") {
+    Buffer in;
+    if (call.args.size() > 1) in.bytes = call.args[1].bytes;
+    return kernel_->Write(fd0(), in, ctx);
+  }
+  if (name == "poll") return kernel_->Poll(fd0(), ctx);
+  if (name == "mmap") return kernel_->Mmap(fd0(), ScalarOf(call, 1), ctx);
+  if (name == "socket") {
+    return kernel_->Socket(ScalarOf(call, 0), ScalarOf(call, 1),
+                           ScalarOf(call, 2), ctx);
+  }
+  if (name == "setsockopt" || name == "getsockopt") {
+    uint64_t level = ScalarOf(call, 1);
+    uint64_t optname = ScalarOf(call, 2);
+    Buffer val;
+    if (call.args.size() > 3 && call.args[3].kind == Arg::Kind::kBuffer) {
+      val.bytes = call.args[3].bytes;
+    }
+    if (name == "setsockopt") {
+      return kernel_->SetSockOpt(fd0(), level, optname, val, ctx);
+    }
+    return kernel_->GetSockOpt(fd0(), level, optname, &val, ctx);
+  }
+  if (name == "bind" || name == "connect") {
+    Buffer addr;
+    if (call.args.size() > 1 && call.args[1].kind == Arg::Kind::kBuffer) {
+      addr.bytes = call.args[1].bytes;
+    }
+    return name == "bind" ? kernel_->Bind(fd0(), addr, ctx)
+                          : kernel_->Connect(fd0(), addr, ctx);
+  }
+  if (name == "sendto") {
+    Buffer data;
+    Buffer addr;
+    if (call.args.size() > 1 && call.args[1].kind == Arg::Kind::kBuffer) {
+      data.bytes = call.args[1].bytes;
+    }
+    if (call.args.size() > 4 && call.args[4].kind == Arg::Kind::kBuffer) {
+      addr.bytes = call.args[4].bytes;
+    }
+    return kernel_->SendTo(fd0(), data, addr, ctx);
+  }
+  if (name == "recvfrom" || name == "recvmsg") {
+    Buffer data;
+    return kernel_->RecvFrom(fd0(), &data, ctx);
+  }
+  if (name == "sendmsg") {
+    Buffer data;
+    Buffer addr;
+    return kernel_->SendTo(fd0(), data, addr, ctx);
+  }
+  if (name == "listen") return kernel_->Listen(fd0(), ctx);
+  if (name == "accept") return kernel_->Accept(fd0(), ctx);
+  return -vkernel::kENOSYS;
+}
+
+ExecResult
+Executor::Run(const Prog& prog, vkernel::Coverage* total)
+{
+  ExecResult result;
+  vkernel::Coverage local;
+  ExecContext ctx(&local);
+  kernel_->BeginProgram();
+
+  std::vector<long> results(prog.calls.size(), -1);
+  for (size_t i = 0; i < prog.calls.size(); ++i) {
+    const Call& call = prog.calls[i];
+    if (call.syscall_index >= lib_->syscalls().size()) continue;
+    const syzlang::SyscallDef& def = lib_->syscalls()[call.syscall_index];
+    long rc = Dispatch(def, call, results, ctx);
+    results[i] = rc;
+    ++result.calls_executed;
+    if (ctx.crashed()) break;
+  }
+  kernel_->EndProgram(ctx);  // Close-time (release) bugs fire here.
+
+  result.crashed = ctx.crashed();
+  result.crash_title = ctx.crash_title();
+  result.new_blocks = total ? total->Merge(local) : 0;
+  return result;
+}
+
+}  // namespace kernelgpt::fuzzer

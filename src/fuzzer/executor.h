@@ -1,0 +1,43 @@
+/// \file
+/// Program execution against the virtual kernel: dispatches each call by
+/// its base syscall name, threads resource results between calls, and
+/// collects coverage and crash outcomes.
+
+#ifndef KERNELGPT_FUZZER_EXECUTOR_H_
+#define KERNELGPT_FUZZER_EXECUTOR_H_
+
+#include <string>
+
+#include "fuzzer/prog.h"
+#include "vkernel/kernel.h"
+
+namespace kernelgpt::fuzzer {
+
+/// Outcome of one program execution.
+struct ExecResult {
+  bool crashed = false;
+  std::string crash_title;
+  size_t calls_executed = 0;
+  size_t new_blocks = 0;  ///< Blocks added to the accumulated coverage.
+};
+
+/// Executes programs on one kernel instance, accumulating coverage.
+class Executor {
+ public:
+  Executor(vkernel::Kernel* kernel, const SpecLibrary* lib);
+
+  /// Runs one program from a fresh kernel program state. Coverage is
+  /// merged into `total`; the result reports crash state and new coverage.
+  ExecResult Run(const Prog& prog, vkernel::Coverage* total);
+
+ private:
+  long Dispatch(const syzlang::SyscallDef& def, const Call& call,
+                std::vector<long>& results, vkernel::ExecContext& ctx);
+
+  vkernel::Kernel* kernel_;
+  const SpecLibrary* lib_;
+};
+
+}  // namespace kernelgpt::fuzzer
+
+#endif  // KERNELGPT_FUZZER_EXECUTOR_H_

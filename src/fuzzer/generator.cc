@@ -1,0 +1,324 @@
+#include "fuzzer/generator.h"
+
+#include <algorithm>
+
+namespace kernelgpt::fuzzer {
+
+using syzlang::Dir;
+using syzlang::SyscallDef;
+using syzlang::Type;
+using syzlang::TypeKind;
+
+Generator::Generator(const SpecLibrary* lib, util::Rng* rng)
+    : lib_(lib), rng_(rng) {}
+
+uint64_t
+Generator::ScalarFor(const Type& type)
+{
+  int bits = type.bits == 0 ? 64 : type.bits;
+  uint64_t mask = bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+  switch (type.kind) {
+    case TypeKind::kConst:
+      return lib_->ResolveConst(type.const_name);
+    case TypeKind::kFlags: {
+      const syzlang::FlagsDef* flags = lib_->FindFlags(type.flags_name);
+      if (!flags || flags->values.empty()) return rng_->Next() & mask;
+      uint64_t value = 0;
+      for (const auto& name : flags->values) {
+        if (rng_->Chance(0.4)) value |= lib_->ResolveConst(name);
+      }
+      return value & mask;
+    }
+    case TypeKind::kInt: {
+      if (type.has_range) {
+        // Mostly in-range (the point of semantic specs), occasionally a
+        // boundary probe.
+        if (rng_->Chance(0.9)) {
+          return static_cast<uint64_t>(
+                     rng_->Range(type.range_lo, type.range_hi)) &
+                 mask;
+        }
+        return rng_->Chance(0.5)
+                   ? static_cast<uint64_t>(type.range_lo) & mask
+                   : static_cast<uint64_t>(type.range_hi) & mask;
+      }
+      // Special-value biased generation (syzkaller-style).
+      switch (rng_->Below(6)) {
+        case 0: return 0;
+        case 1: return 1;
+        case 2: return mask;
+        case 3: return rng_->Below(64);
+        case 4: return rng_->Next() & mask & 0xffff;
+        default: return rng_->Next() & mask;
+      }
+    }
+    default:
+      return rng_->Next() & mask;
+  }
+}
+
+namespace {
+
+void
+AppendScalarBytes(std::vector<uint8_t>* out, uint64_t value, size_t size)
+{
+  for (size_t i = 0; i < size; ++i) {
+    out->push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t>
+Generator::BuildPayload(const Type& type)
+{
+  std::vector<uint8_t> out;
+  switch (type.kind) {
+    case TypeKind::kString: {
+      if (!type.str_literal.empty()) {
+        out.assign(type.str_literal.begin(), type.str_literal.end());
+        out.push_back(0);
+      } else {
+        size_t n = rng_->Below(16);
+        for (size_t i = 0; i < n; ++i) {
+          out.push_back(static_cast<uint8_t>('a' + rng_->Below(26)));
+        }
+        out.push_back(0);
+      }
+      return out;
+    }
+    case TypeKind::kArray: {
+      const Type& elem = type.elems.at(0);
+      uint64_t count =
+          type.array_len > 0 ? type.array_len : rng_->Below(17);
+      size_t elem_size = lib_->TypeSize(elem);
+      for (uint64_t i = 0; i < count; ++i) {
+        if (elem.kind == TypeKind::kStructRef) {
+          auto nested = BuildPayload(elem);
+          out.insert(out.end(), nested.begin(), nested.end());
+        } else {
+          AppendScalarBytes(&out, ScalarFor(elem),
+                            elem_size ? elem_size : 4);
+        }
+      }
+      return out;
+    }
+    case TypeKind::kStructRef: {
+      const syzlang::StructDef* def = lib_->FindStruct(type.ref_name);
+      if (!def) {
+        out.assign(8, 0);
+        return out;
+      }
+      if (def->is_union) {
+        // Pick one arm and pad to the union size.
+        size_t total = lib_->StructSize(*def);
+        if (!def->fields.empty()) {
+          const auto& arm =
+              def->fields[rng_->Below(def->fields.size())];
+          out = BuildPayload(arm.type);
+          if (out.empty()) {
+            AppendScalarBytes(&out, ScalarFor(arm.type),
+                              lib_->TypeSize(arm.type));
+          }
+        }
+        out.resize(total, 0);
+        return out;
+      }
+      // First pass: generate non-len fields, remembering array element
+      // counts; second pass fills len fields with the observed counts.
+      struct Slot {
+        size_t offset;
+        size_t size;
+        std::string target;  ///< Non-empty: len of this sibling.
+        bool bytesize = false;
+      };
+      std::vector<Slot> len_slots;
+      std::unordered_map<std::string, uint64_t> elem_counts;
+      std::unordered_map<std::string, uint64_t> byte_sizes;
+      for (const auto& field : def->fields) {
+        const Type& ft = field.type;
+        if (ft.kind == TypeKind::kLen || ft.kind == TypeKind::kBytesize) {
+          Slot slot;
+          slot.offset = out.size();
+          slot.size = ft.bits == 0 ? 8 : static_cast<size_t>(ft.bits) / 8;
+          slot.target = ft.len_target;
+          slot.bytesize = ft.kind == TypeKind::kBytesize;
+          len_slots.push_back(slot);
+          AppendScalarBytes(&out, 0, slot.size);
+          continue;
+        }
+        if (ft.kind == TypeKind::kArray || ft.kind == TypeKind::kString ||
+            ft.kind == TypeKind::kStructRef) {
+          std::vector<uint8_t> payload = BuildPayload(ft);
+          size_t elem_size = ft.kind == TypeKind::kArray
+                                 ? std::max<size_t>(
+                                       lib_->TypeSize(ft.elems.at(0)), 1)
+                                 : 1;
+          elem_counts[field.name] = payload.size() / elem_size;
+          byte_sizes[field.name] = payload.size();
+          // Fixed-size fields keep their declared size.
+          size_t declared = lib_->TypeSize(ft);
+          if (declared > 0) payload.resize(declared, 0);
+          out.insert(out.end(), payload.begin(), payload.end());
+          continue;
+        }
+        size_t size = lib_->TypeSize(ft);
+        AppendScalarBytes(&out, ScalarFor(ft), size ? size : 4);
+      }
+      for (const Slot& slot : len_slots) {
+        uint64_t value = 0;
+        if (slot.target == "parent") {
+          value = out.size();
+        } else if (slot.bytesize) {
+          auto it = byte_sizes.find(slot.target);
+          if (it != byte_sizes.end()) value = it->second;
+        } else {
+          auto it = elem_counts.find(slot.target);
+          if (it != elem_counts.end()) value = it->second;
+        }
+        for (size_t i = 0; i < slot.size; ++i) {
+          out[slot.offset + i] = static_cast<uint8_t>(value >> (8 * i));
+        }
+      }
+      return out;
+    }
+    default: {
+      size_t size = lib_->TypeSize(type);
+      AppendScalarBytes(&out, ScalarFor(type), size ? size : 4);
+      return out;
+    }
+  }
+}
+
+Arg
+Generator::BuildArg(const Type& type)
+{
+  Arg arg;
+  switch (type.kind) {
+    case TypeKind::kResource:
+      arg.kind = Arg::Kind::kResourceRef;
+      return arg;
+    case TypeKind::kStructRef:
+      // A bare name can be a resource reference after parsing round-trips.
+      if (lib_->HasResource(type.ref_name)) {
+        arg.kind = Arg::Kind::kResourceRef;
+        return arg;
+      }
+      arg.kind = Arg::Kind::kBuffer;
+      arg.bytes = BuildPayload(type);
+      return arg;
+    case TypeKind::kPtr:
+      arg.kind = Arg::Kind::kBuffer;
+      arg.dir = type.dir;
+      arg.bytes = BuildPayload(type.elems.at(0));
+      if (type.dir == Dir::kOut) {
+        // Out buffers are kernel-filled; provide capacity only.
+        size_t want = lib_->TypeSize(type.elems.at(0));
+        arg.bytes.assign(want ? want : 64, 0);
+      }
+      return arg;
+    case TypeKind::kFilename: {
+      arg.kind = Arg::Kind::kBuffer;
+      std::string path = "/dev/null";
+      arg.bytes.assign(path.begin(), path.end());
+      arg.bytes.push_back(0);
+      return arg;
+    }
+    case TypeKind::kLen:
+    case TypeKind::kBytesize:
+      arg.kind = Arg::Kind::kScalar;
+      arg.scalar = 0;  // Linked by LinkLens.
+      return arg;
+    default:
+      arg.kind = Arg::Kind::kScalar;
+      arg.scalar = ScalarFor(type);
+      return arg;
+  }
+}
+
+void
+Generator::LinkLens(const SyscallDef& def, Call* call)
+{
+  for (size_t i = 0; i < def.params.size() && i < call->args.size(); ++i) {
+    const Type& type = def.params[i].type;
+    if (type.kind != TypeKind::kLen && type.kind != TypeKind::kBytesize) {
+      continue;
+    }
+    if (call->args[i].len_of_param == kBrokenLenLink) continue;
+    for (size_t j = 0; j < def.params.size() && j < call->args.size(); ++j) {
+      if (def.params[j].name != type.len_target) continue;
+      call->args[i].len_of_param = static_cast<int>(j);
+      call->args[i].scalar = call->args[j].bytes.size();
+    }
+  }
+}
+
+int
+Generator::AppendCall(Prog* prog, size_t syscall_index, int depth)
+{
+  if (syscall_index >= lib_->syscalls().size()) return -1;
+  const SyscallDef& def = lib_->syscalls()[syscall_index];
+  Call call;
+  call.syscall_index = syscall_index;
+
+  for (const auto& param : def.params) {
+    Arg arg = BuildArg(param.type);
+    if (arg.kind == Arg::Kind::kResourceRef) {
+      const std::string& res = param.type.kind == TypeKind::kResource
+                                   ? param.type.ref_name
+                                   : param.type.ref_name;
+      // Reuse the most recent producer already in the program.
+      for (int c = static_cast<int>(prog->calls.size()) - 1; c >= 0; --c) {
+        const SyscallDef& prev =
+            lib_->syscalls()[prog->calls[static_cast<size_t>(c)].syscall_index];
+        if (prev.returns_resource && *prev.returns_resource == res) {
+          arg.ref_call = c;
+          break;
+        }
+      }
+      if (arg.ref_call < 0 && depth < 4) {
+        const auto& producers = lib_->ProducersOf(res);
+        // Prefer producers that do not themselves consume this resource
+        // (socket/openat over accept).
+        std::vector<size_t> safe;
+        for (size_t p : producers) {
+          bool self = false;
+          for (const auto& pp : lib_->syscalls()[p].params) {
+            if ((pp.type.kind == TypeKind::kResource ||
+                 pp.type.kind == TypeKind::kStructRef) &&
+                pp.type.ref_name == res) {
+              self = true;
+            }
+          }
+          if (!self) safe.push_back(p);
+        }
+        const auto& pool = safe.empty() ? producers : safe;
+        if (!pool.empty()) {
+          size_t producer = pool[rng_->Below(pool.size())];
+          arg.ref_call = AppendCall(prog, producer, depth + 1);
+        }
+      }
+    }
+    call.args.push_back(std::move(arg));
+  }
+  LinkLens(def, &call);
+  prog->calls.push_back(std::move(call));
+  return static_cast<int>(prog->calls.size()) - 1;
+}
+
+Prog
+Generator::Generate(int max_len)
+{
+  Prog prog;
+  if (lib_->syscalls().empty()) return prog;
+  int want = 1 + static_cast<int>(rng_->Below(static_cast<uint64_t>(
+                 max_len > 0 ? max_len : 1)));
+  while (static_cast<int>(prog.calls.size()) < want) {
+    size_t idx = rng_->Below(lib_->syscalls().size());
+    AppendCall(&prog, idx);
+    if (prog.calls.size() > 3 * static_cast<size_t>(want)) break;
+  }
+  return prog;
+}
+
+}  // namespace kernelgpt::fuzzer

@@ -1,0 +1,52 @@
+/// \file
+/// Specification-guided program generation: chooses syscalls, satisfies
+/// their resource dependencies by inserting producer calls, and builds
+/// semantically valid arguments from the spec types (honoring const
+/// values, ranges, flag sets, string literals, and len relations).
+
+#ifndef KERNELGPT_FUZZER_GENERATOR_H_
+#define KERNELGPT_FUZZER_GENERATOR_H_
+
+#include "fuzzer/prog.h"
+#include "util/rng.h"
+
+namespace kernelgpt::fuzzer {
+
+/// Program generator bound to one spec library.
+class Generator {
+ public:
+  Generator(const SpecLibrary* lib, util::Rng* rng);
+
+  /// Generates a program with up to `max_len` calls (resource producer
+  /// chains may push slightly beyond).
+  Prog Generate(int max_len);
+
+  /// Builds one argument for a parameter type; resource params get
+  /// `ref_call` = -1 and must be fixed up by the caller.
+  Arg BuildArg(const syzlang::Type& type);
+
+  /// Builds the byte payload for a pointee type (struct/array/string).
+  std::vector<uint8_t> BuildPayload(const syzlang::Type& type);
+
+  /// Appends `syscall_index` to the program, inserting any producer calls
+  /// its resource parameters need. Returns the index of the appended call.
+  int AppendCall(Prog* prog, size_t syscall_index, int depth = 0);
+
+  /// Resolves len[...] parameters after all sibling args exist.
+  void LinkLens(const syzlang::SyscallDef& def, Call* call);
+
+  /// Random scalar for an int type, biased toward special values.
+  uint64_t ScalarFor(const syzlang::Type& type);
+
+ private:
+  /// Serializes one field of a struct into `out`, returning the patch
+  /// offset when the field is a len awaiting its target size.
+  void AppendField(const syzlang::StructDef& def, std::vector<uint8_t>* out);
+
+  const SpecLibrary* lib_;
+  util::Rng* rng_;
+};
+
+}  // namespace kernelgpt::fuzzer
+
+#endif  // KERNELGPT_FUZZER_GENERATOR_H_

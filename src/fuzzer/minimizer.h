@@ -1,0 +1,34 @@
+/// \file
+/// Crash-reproducer minimization (the syz-repro step of the Syzkaller
+/// workflow): shrinks a crashing program to a minimal sequence that still
+/// triggers the same crash title, by call removal and argument
+/// simplification. Deterministic — the virtual kernel replays programs
+/// exactly.
+
+#ifndef KERNELGPT_FUZZER_MINIMIZER_H_
+#define KERNELGPT_FUZZER_MINIMIZER_H_
+
+#include <string>
+
+#include "fuzzer/executor.h"
+
+namespace kernelgpt::fuzzer {
+
+/// Outcome of a minimization run.
+struct MinimizeResult {
+  Prog prog;              ///< The minimized reproducer.
+  size_t executions = 0;  ///< Programs executed while shrinking.
+  bool reproduced = false;  ///< False if the input never crashed.
+};
+
+/// Shrinks `crashing` while it keeps producing `crash_title` on `kernel`.
+/// Two passes to fixpoint: (1) drop calls one at a time (fixing resource
+/// references), (2) zero out scalar arguments that are not needed for the
+/// crash. The input program is not modified.
+MinimizeResult MinimizeCrash(vkernel::Kernel* kernel, const SpecLibrary& lib,
+                             const Prog& crashing,
+                             const std::string& crash_title);
+
+}  // namespace kernelgpt::fuzzer
+
+#endif  // KERNELGPT_FUZZER_MINIMIZER_H_

@@ -1,0 +1,39 @@
+/// \file
+/// Program mutation: scalar/buffer perturbation, call insertion, removal,
+/// and duplication, with resource-reference fixup — the syzkaller-style
+/// mutation loop over spec-typed programs.
+
+#ifndef KERNELGPT_FUZZER_MUTATOR_H_
+#define KERNELGPT_FUZZER_MUTATOR_H_
+
+#include "fuzzer/generator.h"
+#include "fuzzer/prog.h"
+
+namespace kernelgpt::fuzzer {
+
+/// Mutates programs in place.
+class Mutator {
+ public:
+  Mutator(const SpecLibrary* lib, Generator* generator, util::Rng* rng);
+
+  /// Applies 1-3 random mutation operators to `prog`.
+  void Mutate(Prog* prog);
+
+ private:
+  void MutateScalar(Prog* prog);
+  void MutateBuffer(Prog* prog);
+  void InsertCall(Prog* prog);
+  void RemoveCall(Prog* prog);
+  void DuplicateCall(Prog* prog);
+
+  /// Re-establishes len links after argument changes.
+  void Relink(Prog* prog);
+
+  const SpecLibrary* lib_;
+  Generator* generator_;
+  util::Rng* rng_;
+};
+
+}  // namespace kernelgpt::fuzzer
+
+#endif  // KERNELGPT_FUZZER_MUTATOR_H_

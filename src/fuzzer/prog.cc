@@ -1,0 +1,38 @@
+#include "fuzzer/prog.h"
+
+#include "util/strings.h"
+
+namespace kernelgpt::fuzzer {
+
+std::string
+FormatProg(const Prog& prog, const SpecLibrary& lib)
+{
+  std::string out;
+  for (size_t i = 0; i < prog.calls.size(); ++i) {
+    const Call& call = prog.calls[i];
+    if (call.syscall_index >= lib.syscalls().size()) continue;
+    const syzlang::SyscallDef& def = lib.syscalls()[call.syscall_index];
+    out += util::Format("r%zu = %s(", i, def.FullName().c_str());
+    for (size_t a = 0; a < call.args.size(); ++a) {
+      if (a) out += ", ";
+      const Arg& arg = call.args[a];
+      switch (arg.kind) {
+        case Arg::Kind::kScalar:
+          out += util::Format("0x%llx",
+                              static_cast<unsigned long long>(arg.scalar));
+          break;
+        case Arg::Kind::kBuffer:
+          out += util::Format("&buf[%zu]", arg.bytes.size());
+          break;
+        case Arg::Kind::kResourceRef:
+          out += arg.ref_call >= 0 ? util::Format("r%d", arg.ref_call)
+                                   : "badfd";
+          break;
+      }
+    }
+    out += ")\n";
+  }
+  return out;
+}
+
+}  // namespace kernelgpt::fuzzer

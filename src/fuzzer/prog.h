@@ -1,0 +1,59 @@
+/// \file
+/// Program representation: a sequence of syscall invocations with
+/// concrete arguments, resource references between calls, and len
+/// linkage — the unit the generator produces, the mutator perturbs, and
+/// the executor runs against the virtual kernel.
+
+#ifndef KERNELGPT_FUZZER_PROG_H_
+#define KERNELGPT_FUZZER_PROG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzzer/spec_library.h"
+
+namespace kernelgpt::fuzzer {
+
+/// One concrete argument of one call.
+struct Arg {
+  enum class Kind {
+    kScalar,       ///< Immediate value.
+    kBuffer,       ///< Pointer argument with attached user memory.
+    kResourceRef,  ///< Uses the result (fd) of an earlier call.
+  };
+  Kind kind = Kind::kScalar;
+  uint64_t scalar = 0;
+  std::vector<uint8_t> bytes;            ///< kBuffer payload.
+  syzlang::Dir dir = syzlang::Dir::kIn;  ///< kBuffer direction.
+  int ref_call = -1;                     ///< kResourceRef producer index.
+  /// When >= 0, this scalar's value is the generated length of the
+  /// sibling parameter with that index (len[...] at syscall level).
+  /// kBrokenLenLink marks a deliberately corrupted length that relinking
+  /// must not repair.
+  int len_of_param = -1;
+};
+
+/// Sentinel for Arg::len_of_param (see above).
+inline constexpr int kBrokenLenLink = -2;
+
+/// One syscall invocation.
+struct Call {
+  size_t syscall_index = 0;  ///< Index into the SpecLibrary.
+  std::vector<Arg> args;
+};
+
+/// A fuzz program.
+struct Prog {
+  std::vector<Call> calls;
+
+  bool empty() const { return calls.empty(); }
+  size_t size() const { return calls.size(); }
+};
+
+/// Renders a program as readable pseudo-syzlang (for reports/examples).
+std::string FormatProg(const Prog& prog, const SpecLibrary& lib);
+
+}  // namespace kernelgpt::fuzzer
+
+#endif  // KERNELGPT_FUZZER_PROG_H_

@@ -1,0 +1,124 @@
+#include "fuzzer/spec_library.h"
+
+namespace kernelgpt::fuzzer {
+
+using syzlang::DeclKind;
+using syzlang::Type;
+using syzlang::TypeKind;
+
+void
+SpecLibrary::Add(const syzlang::SpecFile& spec)
+{
+  for (const auto& decl : spec.decls) {
+    switch (decl.kind) {
+      case DeclKind::kSyscall: {
+        const std::string full = decl.syscall.FullName();
+        if (seen_calls_.contains(full)) break;
+        seen_calls_[full] = true;
+        syscalls_.push_back(decl.syscall);
+        break;
+      }
+      case DeclKind::kStruct:
+        structs_.emplace(decl.struct_def.name, decl.struct_def);
+        break;
+      case DeclKind::kFlags:
+        flags_.emplace(decl.flags.name, decl.flags);
+        break;
+      case DeclKind::kResource:
+        resources_.emplace(decl.resource.name, decl.resource);
+        break;
+      case DeclKind::kDefine:
+        consts_.Define(decl.define.name, decl.define.value);
+        break;
+    }
+  }
+}
+
+void
+SpecLibrary::Finalize()
+{
+  producers_.clear();
+  for (size_t i = 0; i < syscalls_.size(); ++i) {
+    if (syscalls_[i].returns_resource) {
+      producers_[*syscalls_[i].returns_resource].push_back(i);
+    }
+  }
+}
+
+const syzlang::StructDef*
+SpecLibrary::FindStruct(const std::string& name) const
+{
+  auto it = structs_.find(name);
+  return it == structs_.end() ? nullptr : &it->second;
+}
+
+const syzlang::FlagsDef*
+SpecLibrary::FindFlags(const std::string& name) const
+{
+  auto it = flags_.find(name);
+  return it == flags_.end() ? nullptr : &it->second;
+}
+
+bool
+SpecLibrary::HasResource(const std::string& name) const
+{
+  return resources_.contains(name) || name == "fd";
+}
+
+uint64_t
+SpecLibrary::ResolveConst(const std::string& name) const
+{
+  return consts_.Resolve(name).value_or(0);
+}
+
+const std::vector<size_t>&
+SpecLibrary::ProducersOf(const std::string& resource) const
+{
+  auto it = producers_.find(resource);
+  return it == producers_.end() ? no_producers_ : it->second;
+}
+
+size_t
+SpecLibrary::TypeSize(const Type& type) const
+{
+  switch (type.kind) {
+    case TypeKind::kInt:
+    case TypeKind::kConst:
+    case TypeKind::kFlags:
+    case TypeKind::kLen:
+    case TypeKind::kBytesize:
+      return type.bits == 0 ? 8 : static_cast<size_t>(type.bits) / 8;
+    case TypeKind::kArray: {
+      size_t elem = TypeSize(type.elems.at(0));
+      return elem * static_cast<size_t>(type.array_len);
+    }
+    case TypeKind::kString:
+      return type.str_literal.empty() ? 0 : type.str_literal.size() + 1;
+    case TypeKind::kStructRef: {
+      const syzlang::StructDef* def = FindStruct(type.ref_name);
+      return def ? StructSize(*def) : 0;
+    }
+    case TypeKind::kPtr:
+    case TypeKind::kResource:
+    case TypeKind::kFilename:
+      return 8;
+    case TypeKind::kVoid:
+      return 0;
+  }
+  return 0;
+}
+
+size_t
+SpecLibrary::StructSize(const syzlang::StructDef& def) const
+{
+  size_t total = 0;
+  size_t max_arm = 0;
+  for (const auto& field : def.fields) {
+    size_t sz = TypeSize(field.type);
+    total += sz;
+    max_arm = std::max(max_arm, sz);
+  }
+  return def.is_union ? max_arm : total;
+}
+
+}  // namespace kernelgpt::fuzzer

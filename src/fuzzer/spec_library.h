@@ -1,0 +1,68 @@
+/// \file
+/// A resolved collection of specification files — the fuzzer's view of
+/// "enabled syscalls". Merges one or more SpecFiles, indexes declarations
+/// by name, resolves constants, and computes packed layouts of spec
+/// structs for argument construction.
+
+#ifndef KERNELGPT_FUZZER_SPEC_LIBRARY_H_
+#define KERNELGPT_FUZZER_SPEC_LIBRARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "syzlang/ast.h"
+#include "syzlang/const_table.h"
+
+namespace kernelgpt::fuzzer {
+
+/// Immutable after Finalize(); cheap to query during fuzzing.
+class SpecLibrary {
+ public:
+  SpecLibrary() = default;
+
+  /// Adds every declaration of `spec` (declarations with duplicate names
+  /// are kept once, first writer wins).
+  void Add(const syzlang::SpecFile& spec);
+
+  /// Supplies the constant table (from syz-extract / the corpus index).
+  void SetConsts(syzlang::ConstTable consts) { consts_ = std::move(consts); }
+
+  /// Builds the producer index; call once after all Add()s.
+  void Finalize();
+
+  const std::vector<syzlang::SyscallDef>& syscalls() const {
+    return syscalls_;
+  }
+  const syzlang::StructDef* FindStruct(const std::string& name) const;
+  const syzlang::FlagsDef* FindFlags(const std::string& name) const;
+  bool HasResource(const std::string& name) const;
+
+  /// Numeric value of a constant name or literal (0 when unresolved).
+  uint64_t ResolveConst(const std::string& name) const;
+
+  /// Indices of syscalls whose return value produces `resource`.
+  const std::vector<size_t>& ProducersOf(const std::string& resource) const;
+
+  /// Packed byte size of a type as the generator lays it out. Flexible
+  /// arrays count as zero (sized at generation time).
+  size_t TypeSize(const syzlang::Type& type) const;
+
+  /// Packed byte size of a struct/union definition.
+  size_t StructSize(const syzlang::StructDef& def) const;
+
+ private:
+  std::vector<syzlang::SyscallDef> syscalls_;
+  std::unordered_map<std::string, syzlang::StructDef> structs_;
+  std::unordered_map<std::string, syzlang::FlagsDef> flags_;
+  std::unordered_map<std::string, syzlang::ResourceDef> resources_;
+  std::unordered_map<std::string, std::vector<size_t>> producers_;
+  std::vector<size_t> no_producers_;
+  std::unordered_map<std::string, bool> seen_calls_;
+  syzlang::ConstTable consts_;
+};
+
+}  // namespace kernelgpt::fuzzer
+
+#endif  // KERNELGPT_FUZZER_SPEC_LIBRARY_H_

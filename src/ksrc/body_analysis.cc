@@ -1,0 +1,245 @@
+#include "ksrc/body_analysis.h"
+
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace kernelgpt::ksrc {
+
+namespace {
+
+/// C keywords and kernel helpers that are never "interesting" callees.
+const std::unordered_set<std::string>&
+BoringCallees()
+{
+  static const std::unordered_set<std::string> kSet = {
+      "if",     "for",      "while",  "switch", "return", "sizeof",
+      "break",  "continue", "case",   "goto",   "do",     "else",
+      "memset", "memcpy",   "strlen", "strcmp", "strncpy", "likely",
+      "unlikely",
+  };
+  return kSet;
+}
+
+std::string
+JoinTokens(const std::vector<CToken>& tokens, size_t begin, size_t end)
+{
+  std::vector<std::string> parts;
+  for (size_t i = begin; i < end && i < tokens.size(); ++i) {
+    if (tokens[i].kind == CTokKind::kString) {
+      parts.push_back("\"" + tokens[i].text + "\"");
+    } else {
+      parts.push_back(tokens[i].text);
+    }
+  }
+  return util::Join(parts, " ");
+}
+
+/// Returns the index just past the matching closing token.
+size_t
+SkipBalanced(const std::vector<CToken>& toks, size_t open_idx,
+             const char* open, const char* close)
+{
+  int depth = 0;
+  for (size_t i = open_idx; i < toks.size(); ++i) {
+    if (toks[i].Is(open)) ++depth;
+    if (toks[i].Is(close)) {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+  }
+  return toks.size();
+}
+
+}  // namespace
+
+std::vector<SwitchInfo>
+FindSwitches(const CFunction& fn)
+{
+  const auto& toks = fn.body_tokens;
+  std::vector<SwitchInfo> out;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].IsIdent("switch")) continue;
+    if (i + 1 >= toks.size() || !toks[i + 1].Is("(")) continue;
+    size_t subj_end = SkipBalanced(toks, i + 1, "(", ")");
+    SwitchInfo info;
+    info.subject = JoinTokens(toks, i + 2, subj_end - 1);
+    // Body must start with '{'.
+    if (subj_end >= toks.size() || !toks[subj_end].Is("{")) continue;
+    size_t body_end = SkipBalanced(toks, subj_end, "{", "}");
+
+    // Walk the body for case labels at switch depth.
+    size_t j = subj_end + 1;
+    int depth = 1;
+    while (j < body_end && j < toks.size()) {
+      const CToken& t = toks[j];
+      if (t.Is("{")) ++depth;
+      if (t.Is("}")) --depth;
+      if (depth == 1 && t.IsIdent("default")) {
+        info.has_default = true;
+        ++j;
+        continue;
+      }
+      if (depth == 1 && t.IsIdent("case")) {
+        // Label runs until ':'.
+        size_t label_begin = j + 1;
+        size_t k = label_begin;
+        while (k < body_end && !toks[k].Is(":")) ++k;
+        SwitchCase arm;
+        arm.label = JoinTokens(toks, label_begin, k);
+        // Statement tokens until break/return at depth 1 or next case.
+        size_t stmt_begin = k + 1;
+        size_t m = stmt_begin;
+        int inner = 0;
+        while (m < body_end) {
+          const CToken& s = toks[m];
+          if (s.Is("{")) ++inner;
+          if (s.Is("}")) {
+            if (inner == 0) break;
+            --inner;
+          }
+          if (inner == 0 &&
+              (s.IsIdent("case") || s.IsIdent("default"))) {
+            break;
+          }
+          if (inner == 0 && s.IsIdent("break")) {
+            ++m;
+            break;
+          }
+          ++m;
+        }
+        arm.tokens.assign(toks.begin() + static_cast<long>(stmt_begin),
+                          toks.begin() + static_cast<long>(m));
+        arm.text = JoinTokens(toks, stmt_begin, m);
+        info.cases.push_back(std::move(arm));
+        j = m;
+        continue;
+      }
+      ++j;
+    }
+    out.push_back(std::move(info));
+    i = subj_end;  // Continue scanning after the subject; nested switches
+                   // inside the body are found by the outer loop as well.
+  }
+  return out;
+}
+
+std::vector<CmdModification>
+FindCmdModifications(const CFunction& fn)
+{
+  // Pattern: IDENT '=' MODIFIER '(' IDENT ')' ';'
+  static const std::unordered_set<std::string> kModifiers = {
+      "_IOC_NR", "_IOC_TYPE", "_IOC_SIZE", "DRM_IOCTL_NR",
+  };
+  const auto& toks = fn.body_tokens;
+  std::vector<CmdModification> out;
+  for (size_t i = 0; i + 5 < toks.size(); ++i) {
+    if (toks[i].kind != CTokKind::kIdent) continue;
+    if (!toks[i + 1].Is("=")) continue;
+    if (toks[i + 2].kind != CTokKind::kIdent) continue;
+    if (!kModifiers.contains(toks[i + 2].text)) continue;
+    if (!toks[i + 3].Is("(")) continue;
+    if (toks[i + 4].kind != CTokKind::kIdent) continue;
+    if (!toks[i + 5].Is(")")) continue;
+    CmdModification mod;
+    mod.dest = toks[i].text;
+    mod.op = toks[i + 2].text;
+    mod.src = toks[i + 4].text;
+    out.push_back(std::move(mod));
+  }
+  return out;
+}
+
+std::vector<CallSite>
+FindCalls(const CFunction& fn)
+{
+  const auto& toks = fn.body_tokens;
+  std::vector<CallSite> out;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != CTokKind::kIdent) continue;
+    if (!toks[i + 1].Is("(")) continue;
+    if (BoringCallees().contains(toks[i].text)) continue;
+    // Exclude declarations/casts heuristically: previous token must not be
+    // 'struct' and next-prev must not be a type keyword followed by '*'.
+    if (i > 0 && (toks[i - 1].IsIdent("struct") || toks[i - 1].IsIdent("union"))) {
+      continue;
+    }
+    size_t end = SkipBalanced(toks, i + 1, "(", ")");
+    CallSite call;
+    call.callee = toks[i].text;
+    call.text = JoinTokens(toks, i, end);
+    call.is_return = i > 0 && toks[i - 1].IsIdent("return");
+    // Split args at top-level commas.
+    int depth = 0;
+    size_t arg_begin = i + 2;
+    for (size_t j = i + 1; j < end; ++j) {
+      if (toks[j].Is("(") || toks[j].Is("[")) ++depth;
+      if (toks[j].Is(")") || toks[j].Is("]")) {
+        --depth;
+        if (depth == 0) {
+          if (j > arg_begin) {
+            call.args.push_back(JoinTokens(toks, arg_begin, j));
+          }
+          break;
+        }
+      }
+      if (depth == 1 && toks[j].Is(",")) {
+        call.args.push_back(JoinTokens(toks, arg_begin, j));
+        arg_begin = j + 1;
+      }
+    }
+    out.push_back(std::move(call));
+  }
+  return out;
+}
+
+std::optional<std::string>
+SizeofTypeName(const std::string& text)
+{
+  std::string_view v = util::Trim(text);
+  if (!util::StartsWith(v, "sizeof")) return std::nullopt;
+  v.remove_prefix(6);
+  v = util::Trim(v);
+  if (v.empty() || v.front() != '(' || v.back() != ')') return std::nullopt;
+  v = util::Trim(v.substr(1, v.size() - 2));
+  if (util::StartsWith(v, "struct ")) v = util::Trim(v.substr(7));
+  if (util::StartsWith(v, "union ")) v = util::Trim(v.substr(6));
+  if (v.empty()) return std::nullopt;
+  return std::string(v);
+}
+
+std::vector<UserCopy>
+FindUserCopies(const CFunction& fn)
+{
+  std::vector<UserCopy> out;
+  for (const CallSite& call : FindCalls(fn)) {
+    bool from = call.callee == "copy_from_user";
+    bool to = call.callee == "copy_to_user";
+    if (!from && !to) continue;
+    if (call.args.size() < 3) continue;
+    UserCopy copy;
+    copy.from_user = from;
+    if (auto type = SizeofTypeName(call.args[2])) copy.type_name = *type;
+    // Local var: "& param" or "& s->field".
+    std::string target = from ? call.args[0] : call.args[1];
+    auto words = util::SplitWhitespace(target);
+    if (!words.empty() && words[0] == "&" && words.size() >= 2) {
+      copy.dest_var = words[1];
+    } else if (!words.empty()) {
+      copy.dest_var = words[0];
+    }
+    out.push_back(std::move(copy));
+  }
+  return out;
+}
+
+bool
+BodyMentions(const CFunction& fn, const std::string& identifier)
+{
+  for (const CToken& t : fn.body_tokens) {
+    if (t.kind == CTokKind::kIdent && t.text == identifier) return true;
+  }
+  return false;
+}
+
+}  // namespace kernelgpt::ksrc

@@ -1,0 +1,77 @@
+/// \file
+/// Token-level analyses of function bodies. These are the shared
+/// primitives from which both the rule-based baseline (SyzDescribe-like)
+/// and the simulated analysis LLM derive their understanding — they differ
+/// only in *which* of these facts their capability profile lets them use.
+
+#ifndef KERNELGPT_KSRC_BODY_ANALYSIS_H_
+#define KERNELGPT_KSRC_BODY_ANALYSIS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ksrc/cast.h"
+
+namespace kernelgpt::ksrc {
+
+/// One `case LABEL:` arm of a switch with its statement tokens.
+struct SwitchCase {
+  std::string label;           ///< Macro/enumerator name or literal text.
+  std::vector<CToken> tokens;  ///< Tokens of the arm until break/return.
+  std::string text;            ///< Raw-ish rendering of the arm.
+};
+
+/// A `switch (expr) { ... }` in a function body.
+struct SwitchInfo {
+  std::string subject;  ///< The switched expression, e.g. "cmd".
+  std::vector<SwitchCase> cases;
+  bool has_default = false;
+};
+
+/// An assignment that modifies a command variable, e.g.
+/// `cmd = _IOC_NR(command);` — the pattern SyzDescribe mishandles.
+struct CmdModification {
+  std::string dest;  ///< Variable assigned, e.g. "cmd".
+  std::string op;    ///< Modifier, e.g. "_IOC_NR".
+  std::string src;   ///< Source variable, e.g. "command".
+};
+
+/// A call expression `callee(arg0, arg1, ...)`.
+struct CallSite {
+  std::string callee;
+  std::vector<std::string> args;  ///< Raw argument text.
+  std::string text;               ///< Full call rendering.
+  bool is_return = false;         ///< True for `return callee(...);`.
+};
+
+/// A copy_from_user / copy_to_user with a recognizable payload type, e.g.
+/// `copy_from_user(&param, argp, sizeof(struct dm_ioctl))`.
+struct UserCopy {
+  bool from_user = false;
+  std::string type_name;  ///< Payload struct name ("dm_ioctl").
+  std::string dest_var;   ///< Local variable copied into/out of.
+};
+
+/// Finds all top-level and nested switches in the body.
+std::vector<SwitchInfo> FindSwitches(const CFunction& fn);
+
+/// Finds command-variable modifications (`x = _IOC_NR(y)` and similar).
+std::vector<CmdModification> FindCmdModifications(const CFunction& fn);
+
+/// Finds all call sites (excluding C keywords and operators).
+std::vector<CallSite> FindCalls(const CFunction& fn);
+
+/// Finds copy_from_user/copy_to_user sites with sizeof payloads.
+std::vector<UserCopy> FindUserCopies(const CFunction& fn);
+
+/// True if the body contains the identifier anywhere.
+bool BodyMentions(const CFunction& fn, const std::string& identifier);
+
+/// Extracts the struct type name out of `sizeof(struct X)` / `sizeof(X)`
+/// argument text; nullopt when the text is not a sizeof expression.
+std::optional<std::string> SizeofTypeName(const std::string& text);
+
+}  // namespace kernelgpt::ksrc
+
+#endif  // KERNELGPT_KSRC_BODY_ANALYSIS_H_

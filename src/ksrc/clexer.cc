@@ -1,0 +1,193 @@
+#include "ksrc/clexer.h"
+
+#include <cctype>
+
+namespace kernelgpt::ksrc {
+
+namespace {
+
+bool
+IsIdentStart(char c)
+{
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+IsIdentChar(char c)
+{
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character operators recognized as single punct tokens, longest
+/// match first.
+const char* const kMultiOps[] = {
+    "<<=", ">>=", "...", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "->",  "++",  "--",  "+=", "-=", "*=", "/=", "&=", "|=", "^=", "%=",
+};
+
+}  // namespace
+
+std::vector<CToken>
+CLex(const std::string& source)
+{
+  std::vector<CToken> tokens;
+  int line = 1;
+  size_t i = 0;
+
+  size_t token_begin = 0;
+  auto push = [&](CTokKind kind, std::string text, uint64_t number = 0) {
+    CToken t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.number = number;
+    t.line = line;
+    t.begin = token_begin;
+    t.end = i;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < source.size()) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    token_begin = i;
+    if (c == '#') {
+      // Whole preprocessor line (with backslash continuations).
+      size_t start = i;
+      while (i < source.size() && source[i] != '\n') {
+        if (source[i] == '\\' && i + 1 < source.size() &&
+            source[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      push(CTokKind::kDirective, source.substr(start, i - start));
+      continue;
+    }
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '*') {
+      size_t start = i;
+      i += 2;
+      while (i + 1 < source.size() &&
+             !(source[i] == '*' && source[i + 1] == '/')) {
+        if (source[i] == '\n') ++line;
+        ++i;
+      }
+      i = (i + 1 < source.size()) ? i + 2 : source.size();
+      push(CTokKind::kComment, source.substr(start, i - start));
+      continue;
+    }
+    if (c == '/' && i + 1 < source.size() && source[i + 1] == '/') {
+      size_t start = i;
+      while (i < source.size() && source[i] != '\n') ++i;
+      push(CTokKind::kComment, source.substr(start, i - start));
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < source.size() && IsIdentChar(source[i])) ++i;
+      push(CTokKind::kIdent, source.substr(start, i - start));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      uint64_t value = 0;
+      if (c == '0' && i + 1 < source.size() &&
+          (source[i + 1] == 'x' || source[i + 1] == 'X')) {
+        i += 2;
+        while (i < source.size() &&
+               std::isxdigit(static_cast<unsigned char>(source[i]))) {
+          char d = source[i];
+          value = value * 16 +
+                  static_cast<uint64_t>(
+                      std::isdigit(static_cast<unsigned char>(d))
+                          ? d - '0'
+                          : std::tolower(static_cast<unsigned char>(d)) - 'a' +
+                                10);
+          ++i;
+        }
+      } else {
+        while (i < source.size() &&
+               std::isdigit(static_cast<unsigned char>(source[i]))) {
+          value = value * 10 + static_cast<uint64_t>(source[i] - '0');
+          ++i;
+        }
+      }
+      // Swallow integer suffixes (U, L, UL, ULL...).
+      while (i < source.size() && (source[i] == 'u' || source[i] == 'U' ||
+                                   source[i] == 'l' || source[i] == 'L')) {
+        ++i;
+      }
+      push(CTokKind::kNumber, source.substr(start, i - start), value);
+      continue;
+    }
+    if (c == '"') {
+      size_t start = ++i;
+      std::string text;
+      while (i < source.size() && source[i] != '"') {
+        if (source[i] == '\\' && i + 1 < source.size()) {
+          text.push_back(source[i]);
+          text.push_back(source[i + 1]);
+          i += 2;
+          continue;
+        }
+        if (source[i] == '\n') ++line;
+        text.push_back(source[i]);
+        ++i;
+      }
+      if (i < source.size()) ++i;  // Closing quote.
+      (void)start;
+      push(CTokKind::kString, std::move(text));
+      continue;
+    }
+    if (c == '\'') {
+      size_t start = i++;
+      while (i < source.size() && source[i] != '\'') {
+        if (source[i] == '\\') ++i;
+        ++i;
+      }
+      if (i < source.size()) ++i;
+      push(CTokKind::kCharLit, source.substr(start, i - start));
+      continue;
+    }
+    // Operators / punctuation, longest match first.
+    bool matched = false;
+    for (const char* op : kMultiOps) {
+      size_t n = std::char_traits<char>::length(op);
+      if (source.compare(i, n, op) == 0) {
+        i += n;
+        push(CTokKind::kPunct, op);
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    ++i;
+    push(CTokKind::kPunct, std::string(1, c));
+  }
+  token_begin = i;
+  push(CTokKind::kEof, "");
+  return tokens;
+}
+
+std::vector<CToken>
+CLexNoComments(const std::string& source)
+{
+  std::vector<CToken> tokens = CLex(source);
+  std::vector<CToken> out;
+  out.reserve(tokens.size());
+  for (auto& t : tokens) {
+    if (t.kind != CTokKind::kComment) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace kernelgpt::ksrc

@@ -1,0 +1,25 @@
+/// \file
+/// Lexer for the C subset in which the synthetic kernel corpus is written.
+
+#ifndef KERNELGPT_KSRC_CLEXER_H_
+#define KERNELGPT_KSRC_CLEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "ksrc/ctoken.h"
+
+namespace kernelgpt::ksrc {
+
+/// Tokenizes C source. Preprocessor lines become single kDirective tokens;
+/// comments are preserved as kComment tokens (textual information matters
+/// to the analysis LLM, per the paper's L-3 discussion). The stream ends
+/// with kEof.
+std::vector<CToken> CLex(const std::string& source);
+
+/// Like CLex but drops comments; used by structural passes.
+std::vector<CToken> CLexNoComments(const std::string& source);
+
+}  // namespace kernelgpt::ksrc
+
+#endif  // KERNELGPT_KSRC_CLEXER_H_

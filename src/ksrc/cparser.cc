@@ -1,0 +1,595 @@
+#include "ksrc/cparser.h"
+
+#include <cctype>
+
+#include "ksrc/clexer.h"
+#include "util/strings.h"
+
+namespace kernelgpt::ksrc {
+
+namespace {
+
+// Linux ioctl command encoding (asm-generic/ioctl.h).
+constexpr uint64_t kIocNrBits = 8;
+constexpr uint64_t kIocTypeBits = 8;
+constexpr uint64_t kIocSizeBits = 14;
+constexpr uint64_t kIocNrShift = 0;
+constexpr uint64_t kIocTypeShift = kIocNrShift + kIocNrBits;
+constexpr uint64_t kIocSizeShift = kIocTypeShift + kIocTypeBits;
+constexpr uint64_t kIocDirShift = kIocSizeShift + kIocSizeBits;
+constexpr uint64_t kIocNone = 0;
+constexpr uint64_t kIocWrite = 1;
+constexpr uint64_t kIocRead = 2;
+
+/// Strips comment markers from a raw comment token.
+std::string
+CleanComment(const std::string& raw)
+{
+  std::string s = raw;
+  if (util::StartsWith(s, "/*")) s = s.substr(2);
+  if (util::EndsWith(s, "*/")) s = s.substr(0, s.size() - 2);
+  if (util::StartsWith(s, "//")) s = s.substr(2);
+  return std::string(util::Trim(s));
+}
+
+/// Structural parser over a comment-free token stream. Comments are
+/// collected separately and re-attached to declarations by line number:
+/// the synthetic corpus renders doc comments on the line above a
+/// declaration and field comments on the same line as the field.
+class CParserImpl {
+ public:
+  CParserImpl(const std::string& source, CFile* out)
+      : source_(source), out_(out) {
+    for (CToken& t : CLex(source)) {
+      if (t.kind == CTokKind::kComment) {
+        comments_.push_back(std::move(t));
+      } else {
+        tokens_.push_back(std::move(t));
+      }
+    }
+  }
+
+  void Run() {
+    while (!AtEof()) {
+      const CToken& t = Peek();
+      if (t.kind == CTokKind::kDirective) {
+        int line = t.line;
+        ParseDirective(Advance().text, line);
+        continue;
+      }
+      if (t.kind == CTokKind::kIdent) {
+        if (!ParseTopLevel()) SkipTopLevel();
+        continue;
+      }
+      Diag(util::Format("line %d: skipping unexpected token '%s'", t.line,
+                        t.text.c_str()));
+      Advance();
+    }
+  }
+
+ private:
+  // -- Token plumbing ------------------------------------------------------
+
+  const CToken& Peek(int offset = 0) const {
+    size_t idx = pos_ + static_cast<size_t>(offset);
+    if (idx >= tokens_.size()) idx = tokens_.size() - 1;
+    return tokens_[idx];
+  }
+
+  const CToken& Advance() {
+    const CToken& t = tokens_[pos_];
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+    return t;
+  }
+
+  bool AtEof() const { return tokens_[pos_].kind == CTokKind::kEof; }
+
+  void Diag(std::string message) {
+    out_->diagnostics.push_back(std::move(message));
+  }
+
+  /// Comment starting exactly on `line`, cleaned of markers.
+  std::string CommentOnLine(int line) const {
+    for (const CToken& c : comments_) {
+      if (c.line == line) return CleanComment(c.text);
+    }
+    return "";
+  }
+
+  /// Doc comment immediately above a declaration at `line` (within two
+  /// lines, to allow for multi-line block comments).
+  std::string DocCommentAbove(int line) const {
+    for (int delta = 1; delta <= 3; ++delta) {
+      std::string c = CommentOnLine(line - delta);
+      if (!c.empty()) return c;
+    }
+    return "";
+  }
+
+  void SkipTopLevel() {
+    int depth = 0;
+    while (!AtEof()) {
+      const CToken& t = Advance();
+      if (t.Is("{")) ++depth;
+      if (t.Is("}")) {
+        if (depth > 0) --depth;
+        if (depth == 0) {
+          if (Peek().Is(";")) Advance();
+          return;
+        }
+      }
+      if (t.Is(";") && depth == 0) return;
+    }
+  }
+
+  // -- Directives ----------------------------------------------------------
+
+  void ParseDirective(const std::string& text, int line) {
+    std::string_view body = util::Trim(text);
+    if (!util::StartsWith(body, "#")) return;
+    body.remove_prefix(1);
+    body = util::Trim(body);
+    if (!util::StartsWith(body, "define")) return;
+    body.remove_prefix(6);
+    body = util::Trim(body);
+    size_t name_end = 0;
+    while (name_end < body.size() &&
+           (std::isalnum(static_cast<unsigned char>(body[name_end])) ||
+            body[name_end] == '_')) {
+      ++name_end;
+    }
+    if (name_end == 0) return;
+    CMacro macro;
+    macro.name = std::string(body.substr(0, name_end));
+    macro.value_text = std::string(util::Trim(body.substr(name_end)));
+    macro.line = line;
+    macro.value = EvalSimple(macro.value_text);
+    out_->macros.push_back(std::move(macro));
+  }
+
+  /// Evaluates trivially-constant macro bodies (literals, parenthesized
+  /// literals, references to earlier macros). _IOC forms need struct sizes
+  /// and are resolved later by the definition index.
+  std::optional<uint64_t> EvalSimple(const std::string& value) {
+    std::string inner(util::Trim(value));
+    while (inner.size() >= 2 && inner.front() == '(' && inner.back() == ')') {
+      inner = std::string(
+          util::Trim(std::string_view(inner).substr(1, inner.size() - 2)));
+    }
+    if (auto lit = ParseUint(inner)) return lit;
+    for (const CMacro& m : out_->macros) {
+      if (m.name == inner) return m.value;
+    }
+    return std::nullopt;
+  }
+
+  static std::optional<uint64_t> ParseUint(const std::string& text) {
+    if (text.empty()) return std::nullopt;
+    uint64_t value = 0;
+    bool any = false;
+    if (text.size() > 2 && text[0] == '0' &&
+        (text[1] == 'x' || text[1] == 'X')) {
+      for (size_t i = 2; i < text.size(); ++i) {
+        char c = text[i];
+        if (c == 'u' || c == 'U' || c == 'l' || c == 'L') continue;
+        if (!std::isxdigit(static_cast<unsigned char>(c))) return std::nullopt;
+        value = value * 16 +
+                static_cast<uint64_t>(
+                    std::isdigit(static_cast<unsigned char>(c))
+                        ? c - '0'
+                        : std::tolower(static_cast<unsigned char>(c)) - 'a' +
+                              10);
+        any = true;
+      }
+      return any ? std::optional<uint64_t>(value) : std::nullopt;
+    }
+    for (char c : text) {
+      if (c == 'u' || c == 'U' || c == 'l' || c == 'L') continue;
+      if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+      value = value * 10 + static_cast<uint64_t>(c - '0');
+      any = true;
+    }
+    return any ? std::optional<uint64_t>(value) : std::nullopt;
+  }
+
+  // -- Top-level constructs ------------------------------------------------
+
+  bool ParseTopLevel() {
+    size_t save = pos_;
+    bool is_static = false;
+    while (Peek().IsIdent("static") || Peek().IsIdent("const") ||
+           Peek().IsIdent("inline")) {
+      if (Peek().IsIdent("static")) is_static = true;
+      Advance();
+    }
+
+    if (Peek().IsIdent("enum") && Peek(2).Is("{")) return ParseEnum();
+
+    if (Peek().IsIdent("struct") || Peek().IsIdent("union")) {
+      bool is_union = Peek().IsIdent("union");
+      if (Peek(1).kind == CTokKind::kIdent && Peek(2).Is("{")) {
+        int line = Peek().line;
+        Advance();  // struct/union keyword
+        std::string name = Advance().text;
+        return ParseStructBody(name, is_union, line);
+      }
+    }
+
+    // Parse: <type tokens> NAME followed by '(', '=', ';' or '['.
+    std::vector<std::string> type_tokens;
+    std::string name;
+    int line = Peek().line;
+    while (!AtEof()) {
+      const CToken& t = Peek();
+      if (t.kind == CTokKind::kIdent || t.Is("*")) {
+        const CToken& nxt = Peek(1);
+        if (t.kind == CTokKind::kIdent &&
+            (nxt.Is("(") || nxt.Is("=") || nxt.Is(";") || nxt.Is("["))) {
+          name = Advance().text;
+          break;
+        }
+        type_tokens.push_back(Advance().text);
+        continue;
+      }
+      pos_ = save;
+      return false;
+    }
+    if (name.empty() || type_tokens.empty()) {
+      pos_ = save;
+      return false;
+    }
+    std::string type_text = util::Join(type_tokens, " ");
+
+    if (Peek().Is("(")) return ParseFunction(type_text, name, is_static, line);
+    return ParseVariable(type_text, name, is_static, line);
+  }
+
+  bool ParseEnum() {
+    int line = Peek().line;
+    Advance();  // enum
+    CEnum e;
+    e.line = line;
+    if (Peek().kind == CTokKind::kIdent) e.name = Advance().text;
+    if (!Peek().Is("{")) return false;
+    Advance();
+    uint64_t next_value = 0;
+    while (!AtEof() && !Peek().Is("}")) {
+      if (Peek().Is(",")) {
+        Advance();
+        continue;
+      }
+      if (Peek().kind != CTokKind::kIdent) return false;
+      CEnumerator en;
+      en.name = Advance().text;
+      if (Peek().Is("=")) {
+        Advance();
+        if (Peek().kind == CTokKind::kNumber) {
+          next_value = Advance().number;
+        } else {
+          while (!AtEof() && !Peek().Is(",") && !Peek().Is("}")) Advance();
+        }
+      }
+      en.value = next_value++;
+      e.enumerators.push_back(std::move(en));
+    }
+    if (!Peek().Is("}")) return false;
+    Advance();
+    if (Peek().Is(";")) Advance();
+    out_->enums.push_back(std::move(e));
+    return true;
+  }
+
+  bool ParseStructBody(const std::string& name, bool is_union, int line) {
+    CStructDef def;
+    def.name = name;
+    def.is_union = is_union;
+    def.comment = DocCommentAbove(line);
+    def.line = line;
+    if (!Peek().Is("{")) return false;
+    Advance();
+    while (!AtEof() && !Peek().Is("}")) {
+      CStructField field;
+      int field_line = Peek().line;
+      if (!ParseStructField(&field)) return false;
+      field.comment = CommentOnLine(field_line);
+      def.fields.push_back(std::move(field));
+    }
+    if (!Peek().Is("}")) return false;
+    Advance();
+    if (Peek().Is(";")) Advance();
+    out_->structs.push_back(std::move(def));
+    return true;
+  }
+
+  bool ParseStructField(CStructField* out) {
+    std::vector<std::string> type_tokens;
+    for (;;) {
+      const CToken& t = Peek();
+      if (t.Is("*")) {
+        out->is_pointer = true;
+        Advance();
+        continue;
+      }
+      if (t.kind != CTokKind::kIdent) return false;
+      const CToken& nxt = Peek(1);
+      if (nxt.Is(";") || nxt.Is("[")) {
+        out->name = Advance().text;
+        break;
+      }
+      type_tokens.push_back(Advance().text);
+    }
+    out->type_text = util::Join(type_tokens, " ");
+    if (Peek().Is("[")) {
+      Advance();
+      if (Peek().Is("]")) {
+        out->array_len = 0;  // Flexible array member.
+      } else if (Peek().kind == CTokKind::kNumber) {
+        out->array_len = static_cast<int64_t>(Advance().number);
+      } else if (Peek().kind == CTokKind::kIdent) {
+        out->array_len_text = Advance().text;
+        out->array_len = -1;
+      } else {
+        return false;
+      }
+      if (!Peek().Is("]")) return false;
+      Advance();
+    }
+    if (!Peek().Is(";")) return false;
+    Advance();
+    return true;
+  }
+
+  bool ParseVariable(const std::string& type_text, const std::string& name,
+                     bool is_static, int line) {
+    CVarDef var;
+    auto words = util::SplitWhitespace(type_text);
+    var.type_name = words.empty() ? type_text : words.back();
+    var.name = name;
+    var.is_static = is_static;
+    var.line = line;
+
+    if (Peek().Is(";")) {
+      Advance();
+      out_->vars.push_back(std::move(var));
+      return true;
+    }
+    if (Peek().Is("[")) {
+      while (!AtEof() && !Peek().Is("=") && !Peek().Is(";")) Advance();
+      if (Peek().Is(";")) {
+        Advance();
+        out_->vars.push_back(std::move(var));
+        return true;
+      }
+    }
+    if (!Peek().Is("=")) return false;
+    Advance();
+    if (!Peek().Is("{")) {
+      CInitEntry entry;
+      entry.field = "";
+      entry.value_text = CollectValueText({";"});
+      var.init.push_back(std::move(entry));
+      if (Peek().Is(";")) Advance();
+      out_->vars.push_back(std::move(var));
+      return true;
+    }
+    Advance();  // '{'
+    while (!AtEof() && !Peek().Is("}")) {
+      if (Peek().Is(",")) {
+        Advance();
+        continue;
+      }
+      if (Peek().Is(".")) {
+        Advance();
+        if (Peek().kind != CTokKind::kIdent) return false;
+        CInitEntry entry;
+        entry.field = Advance().text;
+        if (!Peek().Is("=")) return false;
+        Advance();
+        entry.value_text = CollectValueText({",", "}"});
+        var.init.push_back(std::move(entry));
+        continue;
+      }
+      CInitEntry entry;
+      entry.field = "";
+      entry.value_text = CollectValueText({",", "}"});
+      var.init.push_back(std::move(entry));
+    }
+    if (!Peek().Is("}")) return false;
+    Advance();
+    if (Peek().Is(";")) Advance();
+    out_->vars.push_back(std::move(var));
+    return true;
+  }
+
+  /// Collects raw token text until one of `stops` at nesting depth 0.
+  std::string CollectValueText(const std::vector<std::string>& stops) {
+    std::vector<std::string> parts;
+    int depth = 0;
+    while (!AtEof()) {
+      const CToken& t = Peek();
+      if (depth == 0 && t.kind == CTokKind::kPunct) {
+        for (const auto& s : stops) {
+          if (t.text == s) return util::Join(parts, " ");
+        }
+      }
+      if (t.Is("(") || t.Is("{") || t.Is("[")) ++depth;
+      if (t.Is(")") || t.Is("}") || t.Is("]")) --depth;
+      if (t.kind == CTokKind::kString) {
+        parts.push_back("\"" + t.text + "\"");
+      } else {
+        parts.push_back(t.text);
+      }
+      Advance();
+    }
+    return util::Join(parts, " ");
+  }
+
+  bool ParseFunction(const std::string& return_type, const std::string& name,
+                     bool is_static, int line) {
+    CFunction fn;
+    fn.return_type = return_type;
+    fn.name = name;
+    fn.is_static = is_static;
+    fn.comment = DocCommentAbove(line);
+    fn.line = line;
+
+    if (!Peek().Is("(")) return false;
+    Advance();
+    std::vector<std::string> current;
+    bool current_has_ptr = false;
+    auto flush_param = [&]() {
+      if (current.empty()) return;
+      CParam p;
+      p.name = current.back();
+      current.pop_back();
+      if (current_has_ptr) current.push_back("*");
+      p.type_text = util::Join(current, " ");
+      fn.params.push_back(std::move(p));
+      current.clear();
+      current_has_ptr = false;
+    };
+    int depth = 1;
+    while (!AtEof() && depth > 0) {
+      const CToken& t = Advance();
+      if (t.Is("(")) ++depth;
+      if (t.Is(")")) {
+        --depth;
+        if (depth == 0) break;
+      }
+      if (depth == 1 && t.Is(",")) {
+        flush_param();
+        continue;
+      }
+      if (t.Is("*")) {
+        current_has_ptr = true;
+        continue;
+      }
+      if (t.kind == CTokKind::kIdent && !t.IsIdent("void")) {
+        current.push_back(t.text);
+      }
+    }
+    flush_param();
+
+    if (Peek().Is(";")) {
+      Advance();
+      out_->functions.push_back(std::move(fn));
+      return true;
+    }
+    if (!Peek().Is("{")) return false;
+    size_t body_begin = Peek().end;  // Just after '{'.
+    Advance();
+    int braces = 1;
+    size_t body_end = body_begin;
+    size_t body_tok_begin = pos_;
+    while (!AtEof() && braces > 0) {
+      const CToken& t = Advance();
+      if (t.Is("{")) ++braces;
+      if (t.Is("}")) {
+        --braces;
+        if (braces == 0) {
+          body_end = t.begin;
+          break;
+        }
+      }
+    }
+    fn.body_text = source_.substr(body_begin, body_end - body_begin);
+    fn.body_tokens.assign(tokens_.begin() + static_cast<long>(body_tok_begin),
+                          tokens_.begin() + static_cast<long>(pos_) - 1);
+    out_->functions.push_back(std::move(fn));
+    return true;
+  }
+
+  const std::string& source_;
+  std::vector<CToken> tokens_;
+  std::vector<CToken> comments_;
+  size_t pos_ = 0;
+  CFile* out_;
+};
+
+}  // namespace
+
+std::string
+CVarDef::InitFor(const std::string& field) const
+{
+  for (const CInitEntry& e : init) {
+    if (e.field == field) return e.value_text;
+  }
+  return "";
+}
+
+const CStructDef*
+CFile::FindStruct(const std::string& name) const
+{
+  for (const auto& s : structs) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const CFunction*
+CFile::FindFunction(const std::string& name) const
+{
+  for (const auto& f : functions) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+const CVarDef*
+CFile::FindVar(const std::string& name) const
+{
+  for (const auto& v : vars) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+const CMacro*
+CFile::FindMacro(const std::string& name) const
+{
+  for (const auto& m : macros) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+CFile
+CParse(const std::string& source, const std::string& path)
+{
+  CFile file;
+  file.path = path;
+  CParserImpl impl(source, &file);
+  impl.Run();
+  return file;
+}
+
+uint64_t
+IoctlNumber(char dir_read, char dir_write, uint64_t type, uint64_t nr,
+            uint64_t size)
+{
+  uint64_t dir = kIocNone;
+  if (dir_read == 'r') dir |= kIocRead;
+  if (dir_write == 'w') dir |= kIocWrite;
+  return (dir << kIocDirShift) | (type << kIocTypeShift) |
+         (nr << kIocNrShift) | (size << kIocSizeShift);
+}
+
+uint64_t
+IocNr(uint64_t cmd)
+{
+  return (cmd >> kIocNrShift) & ((1ULL << kIocNrBits) - 1);
+}
+
+uint64_t
+IocType(uint64_t cmd)
+{
+  return (cmd >> kIocTypeShift) & ((1ULL << kIocTypeBits) - 1);
+}
+
+uint64_t
+IocSize(uint64_t cmd)
+{
+  return (cmd >> kIocSizeShift) & ((1ULL << kIocSizeBits) - 1);
+}
+
+}  // namespace kernelgpt::ksrc

@@ -1,0 +1,44 @@
+/// \file
+/// Token definitions for the C-subset lexer used to analyze the synthetic
+/// kernel corpus (the stand-in for the paper's LLVM-based source extractor).
+
+#ifndef KERNELGPT_KSRC_CTOKEN_H_
+#define KERNELGPT_KSRC_CTOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace kernelgpt::ksrc {
+
+/// Token categories for the C subset.
+enum class CTokKind {
+  kIdent,
+  kNumber,
+  kString,
+  kCharLit,
+  kPunct,      ///< Any single/multi-char operator or punctuation.
+  kComment,    ///< /* ... */ or // ... (retained: LLMs read comments).
+  kDirective,  ///< Whole preprocessor line, e.g. "#define FOO 1".
+  kEof,
+};
+
+/// One token of kernel C source.
+struct CToken {
+  CTokKind kind = CTokKind::kEof;
+  std::string text;     ///< Raw text (identifier, operator, comment body…).
+  uint64_t number = 0;  ///< Parsed value for kNumber.
+  int line = 0;
+  size_t begin = 0;     ///< Byte offset of the token in the source.
+  size_t end = 0;       ///< Byte offset one past the token.
+
+  bool Is(const char* punct) const {
+    return kind == CTokKind::kPunct && text == punct;
+  }
+  bool IsIdent(const char* name) const {
+    return kind == CTokKind::kIdent && text == name;
+  }
+};
+
+}  // namespace kernelgpt::ksrc
+
+#endif  // KERNELGPT_KSRC_CTOKEN_H_

@@ -1,0 +1,117 @@
+/// \file
+/// Corpus-wide definition index — the implementation of the paper's
+/// ExtractCode step. Given an identifier (function, struct, variable, or
+/// macro name) it retrieves the defining source entity and can render it
+/// back to text for inclusion in an analysis prompt.
+///
+/// The index also performs the duties of syz-extract: it resolves macro
+/// values (including Linux _IO/_IOR/_IOW/_IOWR ioctl encodings, which need
+/// struct sizes) and exports a syzlang::ConstTable.
+
+#ifndef KERNELGPT_KSRC_DEFINITION_INDEX_H_
+#define KERNELGPT_KSRC_DEFINITION_INDEX_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ksrc/cast.h"
+#include "syzlang/const_table.h"
+
+namespace kernelgpt::ksrc {
+
+/// What kind of entity an identifier resolved to.
+enum class EntityKind {
+  kFunction,
+  kStruct,
+  kVariable,
+  kMacro,
+  kEnumerator,
+  kNotFound,
+};
+
+/// Index over all parsed files of the synthetic kernel.
+class DefinitionIndex {
+ public:
+  DefinitionIndex() = default;
+
+  /// Parses `source` and adds the file to the index.
+  void AddSource(const std::string& source, const std::string& path);
+
+  /// Adds an already-parsed file.
+  void AddFile(CFile file);
+
+  /// Resolves macro values that need cross-entity information (_IOC forms
+  /// and macro-to-macro references). Call once after all files are added.
+  void ResolveMacros();
+
+  // -- Lookup --------------------------------------------------------------
+
+  const CStructDef* FindStruct(const std::string& name) const;
+  const CFunction* FindFunction(const std::string& name) const;
+  const CVarDef* FindVar(const std::string& name) const;
+  const CMacro* FindMacro(const std::string& name) const;
+  EntityKind Classify(const std::string& identifier) const;
+
+  /// All variables whose (struct) type name matches, across all files —
+  /// used by the handler finder to locate file_operations/proto_ops tables.
+  std::vector<const CVarDef*> VarsOfType(const std::string& type_name) const;
+
+  /// All parsed files.
+  const std::vector<CFile>& files() const { return files_; }
+
+  // -- Evaluation ----------------------------------------------------------
+
+  /// Numeric value of a macro (after ResolveMacros), a literal, or an
+  /// enumerator.
+  std::optional<uint64_t> ConstValue(const std::string& name) const;
+
+  /// Resolves a string-valued expression such as
+  ///   DM_DIR "/" DM_CONTROL_NODE
+  /// into "mapper/control". Returns nullopt when any piece is unknown or
+  /// non-string.
+  std::optional<std::string> ResolveStringExpr(const std::string& expr) const;
+
+  /// sizeof for the C subset: scalar typedefs (u8..u64, int, long, char,
+  /// __u32 etc.), pointers (8), arrays, and nested structs. Returns 0 for
+  /// unknown types.
+  uint64_t SizeOf(const std::string& type_text) const;
+
+  /// Size of one struct definition in bytes (no padding; the corpus uses
+  /// naturally ordered fields so this matches an unpacked layout closely
+  /// enough for _IOC size encoding).
+  uint64_t StructSize(const CStructDef& def) const;
+
+  // -- Rendering (ExtractCode) ---------------------------------------------
+
+  /// Renders the defining entity of `identifier` back to C text, or "" if
+  /// unknown. Structs include member comments; functions include their
+  /// signature and body.
+  std::string ExtractCode(const std::string& identifier) const;
+
+  /// Exports all numeric macros and enumerators as a syzlang const table.
+  syzlang::ConstTable BuildConstTable() const;
+
+ private:
+  std::optional<uint64_t> EvalMacroText(const std::string& text,
+                                        int depth) const;
+
+  std::vector<CFile> files_;
+};
+
+/// Renders one struct definition to C text.
+std::string RenderStruct(const CStructDef& def);
+
+/// Renders one function (signature + body) to C text.
+std::string RenderFunction(const CFunction& fn);
+
+/// Renders one variable definition (with initializer) to C text.
+std::string RenderVar(const CVarDef& var);
+
+/// Renders one macro as a #define line.
+std::string RenderMacro(const CMacro& macro);
+
+}  // namespace kernelgpt::ksrc
+
+#endif  // KERNELGPT_KSRC_DEFINITION_INDEX_H_

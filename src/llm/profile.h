@@ -1,0 +1,76 @@
+/// \file
+/// Capability profiles of the simulated analysis LLM.
+///
+/// The paper's core claims rest on *what* a model can infer from kernel
+/// source (nodename registration, _IOC_NR command modification, delegated
+/// dispatch, table lookups, len-of semantics, comments) and on its failure
+/// modes (§5.1.3: ~0.9% wrong identifiers on modified commands, a few
+/// wrong types, occasional syntactically invalid output that the repair
+/// loop fixes). A ModelProfile parameterizes exactly those axes; all
+/// stochastic decisions are derived from stable hashes so every run is
+/// reproducible.
+
+#ifndef KERNELGPT_LLM_PROFILE_H_
+#define KERNELGPT_LLM_PROFILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace kernelgpt::llm {
+
+/// Capability and error model of one LLM.
+struct ModelProfile {
+  std::string name;
+
+  // -- Comprehension capabilities -----------------------------------------
+  bool understands_ioc_nr = true;        ///< cmd = _IOC_NR(command) idiom.
+  bool understands_nodename = true;      ///< miscdevice .nodename wins.
+  bool understands_device_create = true; ///< printf-format node names.
+  bool understands_table_lookup = true;  ///< static ioctl dispatch tables.
+  bool understands_len_semantics = true; ///< count/len fields -> len[].
+  bool reads_comments = true;            ///< textual hints (paper's L-3).
+  bool analyzes_sockets = true;
+  bool follows_dependencies = true;      ///< anon_inode_getfd resources.
+  /// Maximum delegation depth the model reliably follows within the
+  /// iterative analysis (per-hop loss applies beyond it).
+  int max_delegation_depth = 6;
+
+  // -- Error rates (deterministic, hash-keyed) ------------------------------
+  /// Chance of silently omitting one discovered command.
+  double miss_command_rate = 0.0;
+  /// Chance of using the modified (raw nr) value for a command behind a
+  /// _IOC_NR switch even when the idiom is understood (§5.1.3's 0.9%).
+  double wrong_identifier_rate = 0.0;
+  /// Chance of mistyping one struct field (e.g. 32 vs 64 bit).
+  double wrong_type_rate = 0.0;
+  /// Chance that a generated declaration carries a syntax-level flaw the
+  /// validator catches (drives the repair loop and Table 1's Fixed column).
+  double invalid_decl_rate = 0.0;
+  /// Chance that a handler's flaws are within the model's repair reach
+  /// (per-handler; the complement is the paper's tail of handlers that
+  /// never validate).
+  double repair_success_rate = 0.9;
+
+  // -- Budget ----------------------------------------------------------------
+  /// Context window in (approximate) tokens; prompts are truncated to it.
+  size_t context_tokens = 128000;
+
+  /// Deterministic Bernoulli draw: true with probability `rate` for this
+  /// (profile, key) pair. Stable across runs and platforms.
+  bool Decide(const std::string& key, double rate) const;
+};
+
+/// GPT-4: the paper's default. Strong comprehension, rare slips.
+ModelProfile Gpt4();
+
+/// GPT-4o: comparable to GPT-4 (§5.2.3's LLM-choice ablation).
+ModelProfile Gpt4o();
+
+/// GPT-3.5: much weaker — misses commands, shallow delegation, no len
+/// semantics, frequent invalid output.
+ModelProfile Gpt35();
+
+}  // namespace kernelgpt::llm
+
+#endif  // KERNELGPT_LLM_PROFILE_H_

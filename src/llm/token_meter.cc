@@ -1,0 +1,48 @@
+#include "llm/token_meter.h"
+
+#include "util/strings.h"
+
+namespace kernelgpt::llm {
+
+void
+TokenMeter::Record(QueryRecord record)
+{
+  if (record.input_tokens == 0) {
+    record.input_tokens = util::ApproxTokenCount(record.prompt);
+  }
+  if (record.output_tokens == 0) {
+    record.output_tokens = util::ApproxTokenCount(record.response);
+  }
+  input_tokens_ += record.input_tokens;
+  output_tokens_ += record.output_tokens;
+  if (!keep_text_) {
+    record.prompt.clear();
+    record.response.clear();
+  }
+  records_.push_back(std::move(record));
+}
+
+double
+TokenMeter::AvgInputTokens() const
+{
+  if (records_.empty()) return 0.0;
+  return static_cast<double>(input_tokens_) /
+         static_cast<double>(records_.size());
+}
+
+double
+TokenMeter::AvgOutputTokens() const
+{
+  if (records_.empty()) return 0.0;
+  return static_cast<double>(output_tokens_) /
+         static_cast<double>(records_.size());
+}
+
+double
+TokenMeter::CostUsd(double usd_per_m_input, double usd_per_m_output) const
+{
+  return static_cast<double>(input_tokens_) / 1e6 * usd_per_m_input +
+         static_cast<double>(output_tokens_) / 1e6 * usd_per_m_output;
+}
+
+}  // namespace kernelgpt::llm

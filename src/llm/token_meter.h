@@ -1,0 +1,57 @@
+/// \file
+/// Token and cost accounting for the simulated LLM — reproduces the
+/// paper's §5.1.1 cost analysis (input/output tokens, per-prompt averages,
+/// dollar cost).
+
+#ifndef KERNELGPT_LLM_TOKEN_METER_H_
+#define KERNELGPT_LLM_TOKEN_METER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace kernelgpt::llm {
+
+/// Record of one prompt/response exchange.
+struct QueryRecord {
+  std::string stage;    ///< "identifier" / "type" / "dependency" / "repair".
+  std::string target;   ///< Module or function being analyzed.
+  std::string prompt;   ///< Full rendered prompt text.
+  std::string response; ///< Rendered model answer.
+  size_t input_tokens = 0;
+  size_t output_tokens = 0;
+};
+
+/// Accumulates exchanges; thread-unsafe by design (single-threaded runs).
+class TokenMeter {
+ public:
+  /// Registers one exchange; token counts are estimated from the text.
+  void Record(QueryRecord record);
+
+  size_t query_count() const { return records_.size(); }
+  size_t total_input_tokens() const { return input_tokens_; }
+  size_t total_output_tokens() const { return output_tokens_; }
+
+  double AvgInputTokens() const;
+  double AvgOutputTokens() const;
+
+  /// Dollar cost under the given per-million-token prices (defaults are
+  /// GPT-4-turbo era prices: $10/M input, $30/M output).
+  double CostUsd(double usd_per_m_input = 10.0,
+                 double usd_per_m_output = 30.0) const;
+
+  const std::vector<QueryRecord>& records() const { return records_; }
+
+  /// Keep only counters, dropping stored prompt text (for large runs).
+  void SetKeepText(bool keep) { keep_text_ = keep; }
+
+ private:
+  std::vector<QueryRecord> records_;
+  size_t input_tokens_ = 0;
+  size_t output_tokens_ = 0;
+  bool keep_text_ = true;
+};
+
+}  // namespace kernelgpt::llm
+
+#endif  // KERNELGPT_LLM_TOKEN_METER_H_

@@ -1,0 +1,132 @@
+/// \file
+/// KernelGPT: the paper's primary contribution. Orchestrates the
+/// LLM-guided iterative analysis (Algorithm 1) over extracted operation
+/// handlers through three stages — identifier deduction, type recovery,
+/// dependency analysis — then validates the generated specification and
+/// repairs it with the validator's error messages.
+
+#ifndef KERNELGPT_SPEC_GEN_KERNELGPT_H_
+#define KERNELGPT_SPEC_GEN_KERNELGPT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "extractor/handler_finder.h"
+#include "ksrc/definition_index.h"
+#include "llm/engine.h"
+#include "llm/token_meter.h"
+#include "syzlang/ast.h"
+#include "syzlang/validator.h"
+
+namespace kernelgpt::spec_gen {
+
+/// Generation configuration.
+struct Options {
+  llm::ModelProfile profile = llm::Gpt4();
+  /// MAX_ITER of Algorithm 1.
+  int max_iter = 5;
+  /// When false, runs the §5.2.3 "all-in-one" ablation: a single query
+  /// with whatever fits the context window and no unknown-chasing.
+  bool iterative = true;
+  /// Number of repair rounds after validation.
+  int repair_rounds = 2;
+};
+
+/// Outcome of generating one handler's specification.
+enum class GenStatus {
+  kValidDirect,  ///< Passed validation immediately.
+  kRepaired,     ///< Needed at least one successful repair round.
+  kFailed,       ///< Still invalid after repair (excluded from fuzzing).
+};
+
+/// The generated specification for one operation handler.
+struct HandlerGeneration {
+  std::string module;  ///< Module id derived from the source file path.
+  bool is_socket = false;
+  syzlang::SpecFile spec;
+  GenStatus status = GenStatus::kValidDirect;
+  /// Validation errors of the first validation pass (repair input).
+  std::vector<syzlang::ValidationError> initial_errors;
+  /// Errors remaining after repair (empty unless kFailed).
+  std::vector<syzlang::ValidationError> remaining_errors;
+
+  size_t SyscallCount() const { return spec.Syscalls().size(); }
+  size_t TypeCount() const { return spec.Structs().size(); }
+};
+
+/// KernelGPT bound to one kernel index and one model/meter.
+class KernelGpt {
+ public:
+  KernelGpt(const ksrc::DefinitionIndex* index, Options options,
+            llm::TokenMeter* meter);
+
+  /// Generates the specification for one driver operation handler.
+  HandlerGeneration GenerateForDriver(const extractor::DriverHandler& handler);
+
+  /// Generates the specification for one socket operation handler.
+  HandlerGeneration GenerateForSocket(const extractor::SocketHandler& handler);
+
+  const Options& options() const { return options_; }
+
+ private:
+  /// Stage 1+2+3 for one handler chain rooted at `ioctl_fn`; appends
+  /// ioctl declarations (and recursively, created-resource handlers) to
+  /// `spec`. Returns the number of commands described.
+  size_t DescribeIoctlChain(const std::string& ioctl_fn,
+                            const std::string& fd_resource,
+                            const std::string& module,
+                            syzlang::SpecFile* spec);
+
+  /// Stage 2: recover the argument type of `sub_fn` and all (nested)
+  /// struct declarations it needs, appending them to `spec`. Returns the
+  /// struct name ("" if the command takes no pointer).
+  struct TypeResult {
+    std::string struct_name;
+    syzlang::Dir dir = syzlang::Dir::kInOut;
+  };
+  TypeResult DescribeArgType(const std::string& sub_fn,
+                             const std::string& module,
+                             syzlang::SpecFile* spec);
+
+  /// Recovers every struct recorded by DescribeArgType (and their nested
+  /// types), using the semantics merged across all commands. Called once
+  /// per handler, after identifier/type analysis of all commands.
+  void DescribeRecordedStructs(const std::string& module,
+                               syzlang::SpecFile* spec);
+
+  /// Merged per-struct semantics gathered from *all* commands sharing the
+  /// struct (first command to constrain a field wins, matching how an
+  /// expert reconciles validation code across handlers).
+  struct StructSemantics {
+    std::vector<llm::FieldConstraint> constraints;
+    std::vector<std::string> out_fields;
+  };
+  std::map<std::string, StructSemantics> struct_semantics_;
+  std::vector<std::string> needed_structs_;
+
+  /// Injects a deterministic syntax-level flaw into a declaration
+  /// (modeling hallucinated output the validator must catch).
+  void MaybeInjectFlaw(const std::string& module, syzlang::Decl* decl);
+
+  /// Validation + repair loop; sets status/errors on `out`.
+  void ValidateAndRepair(HandlerGeneration* out);
+
+  /// One repair round: consults the "LLM" with each errored declaration
+  /// and the error messages, applying fixes on success.
+  bool RepairRound(syzlang::SpecFile* spec,
+                   const std::vector<syzlang::ValidationError>& errors,
+                   const std::string& module);
+
+  const ksrc::DefinitionIndex* index_;
+  Options options_;
+  llm::AnalysisEngine engine_;
+  syzlang::ConstTable consts_;
+};
+
+/// Derives a module id from a corpus source path ("drivers/dm.c" -> "dm").
+std::string ModuleIdFromPath(const std::string& path);
+
+}  // namespace kernelgpt::spec_gen
+
+#endif  // KERNELGPT_SPEC_GEN_KERNELGPT_H_

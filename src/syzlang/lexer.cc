@@ -1,0 +1,154 @@
+#include "syzlang/lexer.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace kernelgpt::syzlang {
+
+namespace {
+
+bool
+IsIdentStart(char c)
+{
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+IsIdentChar(char c)
+{
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+LexResult
+Lex(const std::string& source)
+{
+  LexResult result;
+  int line = 1;
+  int column = 1;
+  size_t i = 0;
+  bool line_has_token = false;
+
+  auto push = [&](TokKind kind, std::string text = "", uint64_t number = 0) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.number = number;
+    t.line = line;
+    t.column = column;
+    result.tokens.push_back(std::move(t));
+  };
+
+  while (i < source.size()) {
+    char c = source[i];
+    if (c == '\n') {
+      if (line_has_token) push(TokKind::kNewline);
+      line_has_token = false;
+      ++line;
+      column = 1;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      ++column;
+      continue;
+    }
+    if (c == '#') {
+      while (i < source.size() && source[i] != '\n') ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < source.size() && IsIdentChar(source[i])) ++i;
+      push(TokKind::kIdent, source.substr(start, i - start));
+      column += static_cast<int>(i - start);
+      line_has_token = true;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      uint64_t value = 0;
+      if (c == '0' && i + 1 < source.size() &&
+          (source[i + 1] == 'x' || source[i + 1] == 'X')) {
+        i += 2;
+        while (i < source.size() &&
+               std::isxdigit(static_cast<unsigned char>(source[i]))) {
+          char d = source[i];
+          value = value * 16 +
+                  static_cast<uint64_t>(
+                      std::isdigit(static_cast<unsigned char>(d))
+                          ? d - '0'
+                          : std::tolower(static_cast<unsigned char>(d)) - 'a' +
+                                10);
+          ++i;
+        }
+      } else {
+        while (i < source.size() &&
+               std::isdigit(static_cast<unsigned char>(source[i]))) {
+          value = value * 10 + static_cast<uint64_t>(source[i] - '0');
+          ++i;
+        }
+      }
+      push(TokKind::kNumber, source.substr(start, i - start), value);
+      column += static_cast<int>(i - start);
+      line_has_token = true;
+      continue;
+    }
+    if (c == '"') {
+      size_t start = ++i;
+      std::string text;
+      bool closed = false;
+      while (i < source.size()) {
+        if (source[i] == '"') {
+          closed = true;
+          break;
+        }
+        if (source[i] == '\n') break;
+        text.push_back(source[i]);
+        ++i;
+      }
+      if (!closed) {
+        result.errors.push_back(
+            util::Format("line %d: unterminated string literal", line));
+      } else {
+        ++i;  // Consume closing quote.
+      }
+      push(TokKind::kString, std::move(text));
+      column += static_cast<int>(i - start) + 1;
+      line_has_token = true;
+      continue;
+    }
+
+    TokKind kind;
+    switch (c) {
+      case '[': kind = TokKind::kLBrack; break;
+      case ']': kind = TokKind::kRBrack; break;
+      case '(': kind = TokKind::kLParen; break;
+      case ')': kind = TokKind::kRParen; break;
+      case '{': kind = TokKind::kLBrace; break;
+      case '}': kind = TokKind::kRBrace; break;
+      case ',': kind = TokKind::kComma; break;
+      case '$': kind = TokKind::kDollar; break;
+      case '=': kind = TokKind::kEquals; break;
+      case ':': kind = TokKind::kColon; break;
+      default:
+        result.errors.push_back(
+            util::Format("line %d: unexpected character '%c'", line, c));
+        ++i;
+        ++column;
+        continue;
+    }
+    push(kind, std::string(1, c));
+    ++i;
+    ++column;
+    line_has_token = true;
+  }
+  if (line_has_token) push(TokKind::kNewline);
+  push(TokKind::kEof);
+  return result;
+}
+
+}  // namespace kernelgpt::syzlang

@@ -1,0 +1,56 @@
+/// \file
+/// Tokenizer for the syzlang-like DSL. The language is line-oriented, so
+/// newlines are significant tokens.
+
+#ifndef KERNELGPT_SYZLANG_LEXER_H_
+#define KERNELGPT_SYZLANG_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kernelgpt::syzlang {
+
+/// Token categories of the DSL.
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kString,
+  kLBrack,   ///< [
+  kRBrack,   ///< ]
+  kLParen,   ///< (
+  kRParen,   ///< )
+  kLBrace,   ///< {
+  kRBrace,   ///< }
+  kComma,
+  kDollar,
+  kEquals,
+  kColon,
+  kNewline,
+  kEof,
+};
+
+/// One lexed token with source position (1-based line/column).
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;     ///< Identifier text or string literal contents.
+  uint64_t number = 0;  ///< Value for kNumber.
+  int line = 0;
+  int column = 0;
+};
+
+/// Result of lexing: tokens plus any lexical errors encountered.
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<std::string> errors;
+  bool ok() const { return errors.empty(); }
+};
+
+/// Tokenizes `source`. Comments (`#` to end of line) are skipped.
+/// Consecutive newlines collapse into one kNewline token. The token
+/// stream always ends with kEof.
+LexResult Lex(const std::string& source);
+
+}  // namespace kernelgpt::syzlang
+
+#endif  // KERNELGPT_SYZLANG_LEXER_H_

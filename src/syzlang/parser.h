@@ -1,0 +1,28 @@
+/// \file
+/// Recursive-descent parser turning syzlang text into a SpecFile.
+
+#ifndef KERNELGPT_SYZLANG_PARSER_H_
+#define KERNELGPT_SYZLANG_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "syzlang/ast.h"
+
+namespace kernelgpt::syzlang {
+
+/// Outcome of parsing one specification text.
+struct ParseResult {
+  SpecFile spec;
+  std::vector<std::string> errors;
+  bool ok() const { return errors.empty(); }
+};
+
+/// Parses `source` into declarations. Parsing is error-recovering: a bad
+/// line is reported and skipped so that later declarations still load
+/// (this mirrors syz-extract, which reports all errors in one pass).
+ParseResult Parse(const std::string& source, const std::string& origin = "");
+
+}  // namespace kernelgpt::syzlang
+
+#endif  // KERNELGPT_SYZLANG_PARSER_H_

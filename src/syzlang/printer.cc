@@ -1,0 +1,141 @@
+#include "syzlang/printer.h"
+
+#include "util/strings.h"
+
+namespace kernelgpt::syzlang {
+
+namespace {
+
+std::string
+IntName(int bits)
+{
+  if (bits == 0) return "intptr";
+  return util::Format("int%d", bits);
+}
+
+}  // namespace
+
+std::string
+PrintType(const Type& type)
+{
+  switch (type.kind) {
+    case TypeKind::kInt: {
+      std::string out = IntName(type.bits);
+      if (type.has_range) {
+        out += util::Format("[%lld:%lld]", static_cast<long long>(type.range_lo),
+                            static_cast<long long>(type.range_hi));
+      }
+      return out;
+    }
+    case TypeKind::kConst:
+      if (type.bits == 32) {
+        return util::Format("const[%s]", type.const_name.c_str());
+      }
+      return util::Format("const[%s, %s]", type.const_name.c_str(),
+                          IntName(type.bits).c_str());
+    case TypeKind::kFlags:
+      if (type.bits == 32) {
+        return util::Format("flags[%s]", type.flags_name.c_str());
+      }
+      return util::Format("flags[%s, %s]", type.flags_name.c_str(),
+                          IntName(type.bits).c_str());
+    case TypeKind::kPtr:
+      return util::Format("ptr[%s, %s]", DirName(type.dir),
+                          PrintType(type.elems.at(0)).c_str());
+    case TypeKind::kArray:
+      if (type.array_len == 0) {
+        return util::Format("array[%s]", PrintType(type.elems.at(0)).c_str());
+      }
+      return util::Format("array[%s, %llu]",
+                          PrintType(type.elems.at(0)).c_str(),
+                          static_cast<unsigned long long>(type.array_len));
+    case TypeKind::kString:
+      if (type.str_literal.empty()) return "string";
+      return util::Format("string[\"%s\"]", type.str_literal.c_str());
+    case TypeKind::kLen:
+      if (type.bits == 32) {
+        return util::Format("len[%s]", type.len_target.c_str());
+      }
+      return util::Format("len[%s, %s]", type.len_target.c_str(),
+                          IntName(type.bits).c_str());
+    case TypeKind::kBytesize:
+      if (type.bits == 32) {
+        return util::Format("bytesize[%s]", type.len_target.c_str());
+      }
+      return util::Format("bytesize[%s, %s]", type.len_target.c_str(),
+                          IntName(type.bits).c_str());
+    case TypeKind::kResource:
+    case TypeKind::kStructRef:
+      return type.ref_name;
+    case TypeKind::kFilename:
+      return "filename";
+    case TypeKind::kVoid:
+      return "void";
+  }
+  return "void";
+}
+
+std::string
+PrintField(const Field& field)
+{
+  std::string out = field.name + " " + PrintType(field.type);
+  if (field.is_out) out += " (out)";
+  return out;
+}
+
+std::string
+PrintDecl(const Decl& decl)
+{
+  switch (decl.kind) {
+    case DeclKind::kResource:
+      return util::Format("resource %s[%s]", decl.resource.name.c_str(),
+                          decl.resource.underlying.c_str());
+    case DeclKind::kDefine:
+      return util::Format("define %s %llu", decl.define.name.c_str(),
+                          static_cast<unsigned long long>(decl.define.value));
+    case DeclKind::kFlags: {
+      std::string out = decl.flags.name + " = ";
+      out += util::Join(decl.flags.values, ", ");
+      return out;
+    }
+    case DeclKind::kStruct: {
+      const StructDef& s = decl.struct_def;
+      std::string out = s.name;
+      out += s.is_union ? " [\n" : " {\n";
+      for (const Field& f : s.fields) {
+        out += "\t" + PrintField(f) + "\n";
+      }
+      out += s.is_union ? "]" : "}";
+      return out;
+    }
+    case DeclKind::kSyscall: {
+      const SyscallDef& c = decl.syscall;
+      std::string out = c.FullName() + "(";
+      for (size_t i = 0; i < c.params.size(); ++i) {
+        if (i) out += ", ";
+        out += PrintField(c.params[i]);
+      }
+      out += ")";
+      if (c.returns_resource) out += " " + *c.returns_resource;
+      return out;
+    }
+  }
+  return "";
+}
+
+std::string
+Print(const SpecFile& spec)
+{
+  std::string out;
+  if (!spec.origin.empty()) {
+    out += "# origin: " + spec.origin + "\n\n";
+  }
+  for (const Decl& d : spec.decls) {
+    out += PrintDecl(d);
+    out += "\n";
+    if (d.kind == DeclKind::kStruct) out += "\n";
+  }
+  return out;
+}
+
+}  // namespace kernelgpt::syzlang

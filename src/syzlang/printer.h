@@ -1,0 +1,28 @@
+/// \file
+/// Pretty-printer rendering a SpecFile back to canonical syzlang text.
+/// Parse(Print(spec)) round-trips for every well-formed spec.
+
+#ifndef KERNELGPT_SYZLANG_PRINTER_H_
+#define KERNELGPT_SYZLANG_PRINTER_H_
+
+#include <string>
+
+#include "syzlang/ast.h"
+
+namespace kernelgpt::syzlang {
+
+/// Renders one type expression (e.g. "ptr[inout, dm_ioctl]").
+std::string PrintType(const Type& type);
+
+/// Renders one field ("name type" plus optional "(out)").
+std::string PrintField(const Field& field);
+
+/// Renders one declaration (no trailing blank line).
+std::string PrintDecl(const Decl& decl);
+
+/// Renders a full specification file.
+std::string Print(const SpecFile& spec);
+
+}  // namespace kernelgpt::syzlang
+
+#endif  // KERNELGPT_SYZLANG_PRINTER_H_

@@ -1,0 +1,177 @@
+#include "syzlang/types.h"
+
+#include "util/strings.h"
+
+namespace kernelgpt::syzlang {
+
+const char*
+DirName(Dir dir)
+{
+  switch (dir) {
+    case Dir::kIn: return "in";
+    case Dir::kOut: return "out";
+    case Dir::kInOut: return "inout";
+  }
+  return "in";
+}
+
+const char*
+TypeKindName(TypeKind kind)
+{
+  switch (kind) {
+    case TypeKind::kInt: return "int";
+    case TypeKind::kConst: return "const";
+    case TypeKind::kFlags: return "flags";
+    case TypeKind::kPtr: return "ptr";
+    case TypeKind::kArray: return "array";
+    case TypeKind::kString: return "string";
+    case TypeKind::kLen: return "len";
+    case TypeKind::kBytesize: return "bytesize";
+    case TypeKind::kResource: return "resource";
+    case TypeKind::kStructRef: return "structref";
+    case TypeKind::kFilename: return "filename";
+    case TypeKind::kVoid: return "void";
+  }
+  return "void";
+}
+
+bool
+Type::operator==(const Type& other) const
+{
+  return kind == other.kind && bits == other.bits &&
+         has_range == other.has_range && range_lo == other.range_lo &&
+         range_hi == other.range_hi && const_name == other.const_name &&
+         flags_name == other.flags_name && dir == other.dir &&
+         array_len == other.array_len && str_literal == other.str_literal &&
+         len_target == other.len_target && ref_name == other.ref_name &&
+         elems == other.elems;
+}
+
+Type
+Type::Int(int bits)
+{
+  Type t;
+  t.kind = TypeKind::kInt;
+  t.bits = bits;
+  return t;
+}
+
+Type
+Type::IntRange(int bits, int64_t lo, int64_t hi)
+{
+  Type t = Int(bits);
+  t.has_range = true;
+  t.range_lo = lo;
+  t.range_hi = hi;
+  return t;
+}
+
+Type
+Type::Const(std::string name, int bits)
+{
+  Type t;
+  t.kind = TypeKind::kConst;
+  t.bits = bits;
+  t.const_name = std::move(name);
+  return t;
+}
+
+Type
+Type::ConstValue(uint64_t value, int bits)
+{
+  return Const(util::Format("%llu", static_cast<unsigned long long>(value)),
+               bits);
+}
+
+Type
+Type::Flags(std::string flags_set, int bits)
+{
+  Type t;
+  t.kind = TypeKind::kFlags;
+  t.bits = bits;
+  t.flags_name = std::move(flags_set);
+  return t;
+}
+
+Type
+Type::Ptr(Dir dir, Type elem)
+{
+  Type t;
+  t.kind = TypeKind::kPtr;
+  t.dir = dir;
+  t.elems.push_back(std::move(elem));
+  return t;
+}
+
+Type
+Type::Array(Type elem, uint64_t fixed_len)
+{
+  Type t;
+  t.kind = TypeKind::kArray;
+  t.array_len = fixed_len;
+  t.elems.push_back(std::move(elem));
+  return t;
+}
+
+Type
+Type::String(std::string literal)
+{
+  Type t;
+  t.kind = TypeKind::kString;
+  t.str_literal = std::move(literal);
+  return t;
+}
+
+Type
+Type::Len(std::string target, int bits)
+{
+  Type t;
+  t.kind = TypeKind::kLen;
+  t.bits = bits;
+  t.len_target = std::move(target);
+  return t;
+}
+
+Type
+Type::Bytesize(std::string target, int bits)
+{
+  Type t = Len(std::move(target), bits);
+  t.kind = TypeKind::kBytesize;
+  return t;
+}
+
+Type
+Type::Resource(std::string name)
+{
+  Type t;
+  t.kind = TypeKind::kResource;
+  t.ref_name = std::move(name);
+  return t;
+}
+
+Type
+Type::StructRef(std::string name)
+{
+  Type t;
+  t.kind = TypeKind::kStructRef;
+  t.ref_name = std::move(name);
+  return t;
+}
+
+Type
+Type::Filename()
+{
+  Type t;
+  t.kind = TypeKind::kFilename;
+  return t;
+}
+
+Type
+Type::Void()
+{
+  Type t;
+  t.kind = TypeKind::kVoid;
+  return t;
+}
+
+}  // namespace kernelgpt::syzlang

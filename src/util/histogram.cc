@@ -1,0 +1,65 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace kernelgpt::util {
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets ? buckets : 1, 0) {}
+
+void
+Histogram::Add(double value)
+{
+  double span = hi_ - lo_;
+  size_t idx = 0;
+  if (span > 0) {
+    double rel = (value - lo_) / span;
+    double scaled = rel * static_cast<double>(counts_.size());
+    if (scaled < 0) scaled = 0;
+    idx = static_cast<size_t>(scaled);
+    if (idx >= counts_.size()) idx = counts_.size() - 1;
+  }
+  counts_[idx]++;
+  total_++;
+}
+
+uint64_t
+Histogram::BucketCount(size_t i) const
+{
+  return i < counts_.size() ? counts_[i] : 0;
+}
+
+double
+Histogram::BucketLow(size_t i) const
+{
+  double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + w * static_cast<double>(i);
+}
+
+double
+Histogram::BucketHigh(size_t i) const
+{
+  double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + w * static_cast<double>(i + 1);
+}
+
+std::string
+Histogram::RenderAscii(int max_bar_width) const
+{
+  uint64_t max_count = 1;
+  for (uint64_t c : counts_) max_count = std::max(max_count, c);
+  std::string out;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    int bar = static_cast<int>(counts_[i] * static_cast<uint64_t>(max_bar_width) /
+                               max_count);
+    out += Format("[%6.1f,%6.1f) %6llu |", BucketLow(i), BucketHigh(i),
+                  static_cast<unsigned long long>(counts_[i]));
+    out.append(static_cast<size_t>(bar), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace kernelgpt::util

@@ -1,0 +1,47 @@
+/// \file
+/// Fixed-bucket histogram used to reproduce Figure 7 (missing-spec
+/// distribution) and for fuzzer statistics.
+
+#ifndef KERNELGPT_UTIL_HISTOGRAM_H_
+#define KERNELGPT_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kernelgpt::util {
+
+/// Histogram over [lo, hi) with `buckets` equal-width buckets.
+/// Values outside the range are clamped into the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  /// Records one sample.
+  void Add(double value);
+
+  /// Count in bucket `i`.
+  uint64_t BucketCount(size_t i) const;
+
+  /// Inclusive lower edge of bucket `i`.
+  double BucketLow(size_t i) const;
+
+  /// Exclusive upper edge of bucket `i`.
+  double BucketHigh(size_t i) const;
+
+  size_t BucketCount() const { return counts_.size(); }
+  uint64_t TotalCount() const { return total_; }
+
+  /// Renders an ASCII bar chart, one bucket per line.
+  std::string RenderAscii(int max_bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace kernelgpt::util
+
+#endif  // KERNELGPT_UTIL_HISTOGRAM_H_

@@ -1,0 +1,99 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <string>
+
+namespace kernelgpt::util {
+
+uint64_t
+Rng::Next()
+{
+  // SplitMix64 step.
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t
+Rng::Below(uint64_t bound)
+{
+  if (bound == 0) return 0;
+  // Rejection sampling to avoid modulo bias for large bounds.
+  uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t
+Rng::Range(int64_t lo, int64_t hi)
+{
+  if (hi <= lo) return lo;
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(Below(span));
+}
+
+bool
+Rng::Chance(double p)
+{
+  p = std::clamp(p, 0.0, 1.0);
+  return UnitDouble() < p;
+}
+
+double
+Rng::UnitDouble()
+{
+  // 53 high-quality bits into the mantissa.
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+size_t
+Rng::WeightedPick(const std::vector<double>& weights)
+{
+  double total = 0.0;
+  for (double w : weights) total += (w > 0 ? w : 0);
+  if (total <= 0.0 || weights.empty()) return 0;
+  double target = UnitDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += (weights[i] > 0 ? weights[i] : 0);
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng
+Rng::Fork()
+{
+  return Rng(Next() ^ 0xda3e39cb94b95bdbULL);
+}
+
+uint64_t
+StableHash(const void* data, size_t len)
+{
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t
+StableHash(const std::string& s)
+{
+  return StableHash(s.data(), s.size());
+}
+
+uint64_t
+HashCombine(uint64_t a, uint64_t b)
+{
+  a ^= b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2);
+  return a;
+}
+
+}  // namespace kernelgpt::util

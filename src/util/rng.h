@@ -1,0 +1,67 @@
+/// \file
+/// Deterministic pseudo-random number generation used across the project.
+///
+/// All randomized components (fuzzer, simulated LLM error injection,
+/// workload selection) draw from this RNG so that every experiment is
+/// reproducible from a single seed.
+
+#ifndef KERNELGPT_UTIL_RNG_H_
+#define KERNELGPT_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kernelgpt::util {
+
+/// SplitMix64-based pseudo-random generator.
+///
+/// SplitMix64 is small, fast, and passes BigCrush; it is well suited for
+/// simulation workloads where reproducibility matters more than
+/// cryptographic strength.
+class Rng {
+ public:
+  /// Constructs a generator from a 64-bit seed.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Returns the next raw 64-bit value.
+  uint64_t Next();
+
+  /// Returns a uniformly distributed value in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound);
+
+  /// Returns a uniformly distributed value in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi);
+
+  /// Returns true with probability p (clamped to [0, 1]).
+  bool Chance(double p);
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double UnitDouble();
+
+  /// Picks a random element index weighted by the given weights.
+  /// Returns 0 if weights is empty or all-zero.
+  size_t WeightedPick(const std::vector<double>& weights);
+
+  /// Derives an independent child generator; useful to decorrelate
+  /// subsystems that share a master seed.
+  Rng Fork();
+
+ private:
+  uint64_t state_;
+};
+
+/// Stable 64-bit FNV-1a hash of a byte string. Used to derive deterministic
+/// per-entity randomness (e.g. "does the simulated LLM err on this ioctl").
+uint64_t StableHash(const void* data, size_t len);
+
+/// Convenience overload for C++ strings.
+uint64_t StableHash(const std::string& s);
+
+/// Combines two hashes into one (boost::hash_combine style).
+uint64_t HashCombine(uint64_t a, uint64_t b);
+
+}  // namespace kernelgpt::util
+
+#endif  // KERNELGPT_UTIL_RNG_H_

@@ -1,0 +1,31 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace kernelgpt::util {
+
+Status
+Status::Error(std::string message)
+{
+  Status s;
+  s.ok_ = false;
+  s.message_ = std::move(message);
+  return s;
+}
+
+void
+Panic(const std::string& message)
+{
+  std::fprintf(stderr, "panic: %s\n", message.c_str());
+  std::abort();
+}
+
+void
+Fatal(const std::string& message)
+{
+  std::fprintf(stderr, "fatal: %s\n", message.c_str());
+  std::exit(1);
+}
+
+}  // namespace kernelgpt::util

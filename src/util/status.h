@@ -1,0 +1,40 @@
+/// \file
+/// Lightweight error reporting: a Status type plus panic/fatal helpers in
+/// the spirit of gem5's logging conventions (panic = internal bug,
+/// fatal = user error).
+
+#ifndef KERNELGPT_UTIL_STATUS_H_
+#define KERNELGPT_UTIL_STATUS_H_
+
+#include <string>
+
+namespace kernelgpt::util {
+
+/// Result of an operation that can fail with a message.
+class Status {
+ public:
+  /// Success value.
+  static Status Ok() { return Status(); }
+
+  /// Failure with a human-readable message.
+  static Status Error(std::string message);
+
+  bool ok() const { return ok_; }
+  const std::string& message() const { return message_; }
+
+ private:
+  Status() : ok_(true) {}
+  bool ok_ = true;
+  std::string message_;
+};
+
+/// Aborts with a message; call for conditions that indicate a bug in this
+/// project itself (never a user/configuration error).
+[[noreturn]] void Panic(const std::string& message);
+
+/// Exits with status 1; call for unrecoverable user/configuration errors.
+[[noreturn]] void Fatal(const std::string& message);
+
+}  // namespace kernelgpt::util
+
+#endif  // KERNELGPT_UTIL_STATUS_H_

@@ -1,0 +1,104 @@
+#include "util/table.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace kernelgpt::util {
+
+namespace {
+const char* const kSeparatorSentinel = "\x01--";
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void
+Table::AddRow(std::vector<std::string> row)
+{
+  rows_.push_back(std::move(row));
+}
+
+void
+Table::AddSeparator()
+{
+  rows_.push_back({kSeparatorSentinel});
+}
+
+size_t
+Table::RowCount() const
+{
+  size_t n = 0;
+  for (const auto& r : rows_) {
+    if (!(r.size() == 1 && r[0] == kSeparatorSentinel)) ++n;
+  }
+  return n;
+}
+
+std::string
+Table::Render() const
+{
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorSentinel) continue;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i >= widths.size()) widths.push_back(0);
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < widths.size(); ++i) {
+      std::string cell = i < row.size() ? row[i] : "";
+      cell.resize(widths[i], ' ');
+      line += cell;
+      if (i + 1 < widths.size()) line += "  ";
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+
+  size_t total = 0;
+  for (size_t w : widths) total += w;
+  total += widths.empty() ? 0 : 2 * (widths.size() - 1);
+  std::string rule(total, '-');
+  rule += '\n';
+
+  std::string out = render_row(header_);
+  out += rule;
+  for (const auto& row : rows_) {
+    if (row.size() == 1 && row[0] == kSeparatorSentinel) {
+      out += rule;
+    } else {
+      out += render_row(row);
+    }
+  }
+  return out;
+}
+
+std::string
+Fixed(double v, int digits)
+{
+  return Format("%.*f", digits, v);
+}
+
+std::string
+WithCommas(int64_t v)
+{
+  bool neg = v < 0;
+  std::string digits = Format("%lld", static_cast<long long>(neg ? -v : v));
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (neg) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace kernelgpt::util

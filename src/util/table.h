@@ -1,0 +1,49 @@
+/// \file
+/// Plain-text table formatting used by the bench harness to print the
+/// paper's tables in a stable, diff-friendly layout.
+
+#ifndef KERNELGPT_UTIL_TABLE_H_
+#define KERNELGPT_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace kernelgpt::util {
+
+/// Column-aligned text table.
+///
+/// Usage:
+///   Table t({"Driver", "#Sys", "Cov"});
+///   t.AddRow({"fuse", "2", "2425"});
+///   std::cout << t.Render();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row; missing cells render empty, extra cells are kept.
+  void AddRow(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line.
+  void AddSeparator();
+
+  /// Renders the table with a header rule and column padding.
+  std::string Render() const;
+
+  /// Number of data rows (separators excluded).
+  size_t RowCount() const;
+
+ private:
+  std::vector<std::string> header_;
+  // A row with the single sentinel cell "\x01--" renders as a separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+std::string Fixed(double v, int digits = 1);
+
+/// Formats an integer with thousands separators (e.g. 204,923).
+std::string WithCommas(int64_t v);
+
+}  // namespace kernelgpt::util
+
+#endif  // KERNELGPT_UTIL_TABLE_H_

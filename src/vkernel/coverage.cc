@@ -1,0 +1,31 @@
+#include "vkernel/coverage.h"
+
+namespace kernelgpt::vkernel {
+
+size_t
+Coverage::Merge(const Coverage& other)
+{
+  size_t added = 0;
+  for (uint64_t b : other.blocks_) {
+    if (blocks_.insert(b).second) ++added;
+  }
+  return added;
+}
+
+size_t
+Coverage::CountNotIn(const Coverage& other) const
+{
+  size_t n = 0;
+  for (uint64_t b : blocks_) {
+    if (!other.blocks_.contains(b)) ++n;
+  }
+  return n;
+}
+
+uint64_t
+MakeBlockId(uint64_t module_hash, uint32_t local_index)
+{
+  return (module_hash << 20) ^ static_cast<uint64_t>(local_index);
+}
+
+}  // namespace kernelgpt::vkernel

@@ -1,0 +1,45 @@
+/// \file
+/// Basic-block coverage collection — the virtual kernel's equivalent of
+/// KCOV. Every validation branch and deep path in the driver runtime has a
+/// stable 64-bit block id; experiments compare sets of covered ids.
+
+#ifndef KERNELGPT_VKERNEL_COVERAGE_H_
+#define KERNELGPT_VKERNEL_COVERAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+
+namespace kernelgpt::vkernel {
+
+/// A set of covered basic-block ids.
+class Coverage {
+ public:
+  /// Records one block hit. Returns true if the block was new.
+  bool Hit(uint64_t block_id) { return blocks_.insert(block_id).second; }
+
+  /// Number of distinct blocks covered.
+  size_t Count() const { return blocks_.size(); }
+
+  bool Contains(uint64_t block_id) const { return blocks_.contains(block_id); }
+
+  /// Merges `other` into this set; returns how many blocks were new.
+  size_t Merge(const Coverage& other);
+
+  /// Number of blocks in `this` that are absent from `other`.
+  size_t CountNotIn(const Coverage& other) const;
+
+  const std::unordered_set<uint64_t>& blocks() const { return blocks_; }
+
+  void Clear() { blocks_.clear(); }
+
+ private:
+  std::unordered_set<uint64_t> blocks_;
+};
+
+/// Builds a namespaced block id from a module hash and a local index.
+uint64_t MakeBlockId(uint64_t module_hash, uint32_t local_index);
+
+}  // namespace kernelgpt::vkernel
+
+#endif  // KERNELGPT_VKERNEL_COVERAGE_H_

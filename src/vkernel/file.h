@@ -1,0 +1,219 @@
+/// \file
+/// File and socket handler interfaces of the virtual kernel — the analog
+/// of `struct file_operations` and `struct proto_ops` instances bound to
+/// an open file descriptor.
+
+#ifndef KERNELGPT_VKERNEL_FILE_H_
+#define KERNELGPT_VKERNEL_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vkernel/coverage.h"
+#include "vkernel/verrno.h"
+
+namespace kernelgpt::vkernel {
+
+class Kernel;
+
+/// Userspace memory attached to a pointer argument. Direction handling is
+/// the executor's business; handlers read and write bytes freely.
+struct Buffer {
+  std::vector<uint8_t> bytes;
+
+  /// Reads a little-endian scalar at `offset`; returns 0 on short reads.
+  uint64_t ReadScalar(size_t offset, size_t size) const;
+
+  /// Writes a little-endian scalar, growing the buffer if needed.
+  void WriteScalar(size_t offset, size_t size, uint64_t value);
+};
+
+/// Per-execution context: carries coverage and crash state. A sanitizer
+/// "report" (KASAN/UBSAN/kmemleak analog) is a call to Crash().
+class ExecContext {
+ public:
+  explicit ExecContext(Coverage* coverage) : coverage_(coverage) {}
+
+  /// Records a covered basic block.
+  void Cover(uint64_t block_id) {
+    if (coverage_) coverage_->Hit(block_id);
+  }
+
+  /// Fires a sanitizer report; execution of the program stops after the
+  /// current syscall returns.
+  void Crash(std::string title) {
+    if (!crashed_) {
+      crashed_ = true;
+      crash_title_ = std::move(title);
+    }
+  }
+
+  bool crashed() const { return crashed_; }
+  const std::string& crash_title() const { return crash_title_; }
+
+  Coverage* coverage() { return coverage_; }
+
+ private:
+  Coverage* coverage_;
+  bool crashed_ = false;
+  std::string crash_title_;
+};
+
+/// Handler bound to one open file descriptor.
+class FileHandler {
+ public:
+  virtual ~FileHandler() = default;
+
+  /// ioctl(fd, cmd, arg). `arg` may be nullptr when the spec passes a
+  /// scalar third argument.
+  virtual long Ioctl(uint64_t cmd, Buffer* arg, ExecContext& ctx,
+                     Kernel& kernel) {
+    (void)cmd;
+    (void)arg;
+    (void)ctx;
+    (void)kernel;
+    return -kENOTTY;
+  }
+
+  virtual long Read(Buffer* out, ExecContext& ctx) {
+    (void)out;
+    (void)ctx;
+    return -kENOSYS;
+  }
+
+  virtual long Write(const Buffer& in, ExecContext& ctx) {
+    (void)in;
+    (void)ctx;
+    return -kENOSYS;
+  }
+
+  virtual long Poll(ExecContext& ctx) {
+    (void)ctx;
+    return 0;
+  }
+
+  virtual long Mmap(uint64_t length, ExecContext& ctx) {
+    (void)length;
+    (void)ctx;
+    return -kENOSYS;
+  }
+
+  /// Called when the last descriptor referencing the file closes.
+  virtual void Release(ExecContext& ctx, Kernel& kernel) {
+    (void)ctx;
+    (void)kernel;
+  }
+};
+
+/// Handler bound to one open socket.
+class SocketHandler : public FileHandler {
+ public:
+  virtual long SetSockOpt(uint64_t level, uint64_t optname, const Buffer& val,
+                          ExecContext& ctx, Kernel& kernel) {
+    (void)level;
+    (void)optname;
+    (void)val;
+    (void)ctx;
+    (void)kernel;
+    return -kENOPROTOOPT;
+  }
+
+  virtual long GetSockOpt(uint64_t level, uint64_t optname, Buffer* val,
+                          ExecContext& ctx, Kernel& kernel) {
+    (void)level;
+    (void)optname;
+    (void)val;
+    (void)ctx;
+    (void)kernel;
+    return -kENOPROTOOPT;
+  }
+
+  virtual long Bind(const Buffer& addr, ExecContext& ctx, Kernel& kernel) {
+    (void)addr;
+    (void)ctx;
+    (void)kernel;
+    return -kEOPNOTSUPP;
+  }
+
+  virtual long Connect(const Buffer& addr, ExecContext& ctx, Kernel& kernel) {
+    (void)addr;
+    (void)ctx;
+    (void)kernel;
+    return -kEOPNOTSUPP;
+  }
+
+  virtual long SendTo(const Buffer& data, const Buffer& addr, ExecContext& ctx,
+                      Kernel& kernel) {
+    (void)data;
+    (void)addr;
+    (void)ctx;
+    (void)kernel;
+    return -kEOPNOTSUPP;
+  }
+
+  virtual long RecvFrom(Buffer* data, ExecContext& ctx, Kernel& kernel) {
+    (void)data;
+    (void)ctx;
+    (void)kernel;
+    return -kEOPNOTSUPP;
+  }
+
+  virtual long Listen(ExecContext& ctx, Kernel& kernel) {
+    (void)ctx;
+    (void)kernel;
+    return -kEOPNOTSUPP;
+  }
+
+  virtual long Accept(ExecContext& ctx, Kernel& kernel) {
+    (void)ctx;
+    (void)kernel;
+    return -kEOPNOTSUPP;
+  }
+};
+
+/// A registered character-device driver.
+class DeviceDriver {
+ public:
+  virtual ~DeviceDriver() = default;
+
+  /// Short module name, e.g. "dm".
+  virtual std::string Name() const = 0;
+
+  /// Device node path userspace opens, e.g. "/dev/mapper/control".
+  virtual std::string NodePath() const = 0;
+
+  /// open() on the node; returns the per-file handler or nullptr with a
+  /// negative errno in `*err`.
+  virtual std::unique_ptr<FileHandler> Open(ExecContext& ctx, Kernel& kernel,
+                                            long* err) = 0;
+
+  /// Called between fuzz programs to reset module-global state.
+  virtual void ResetState() {}
+};
+
+/// A registered socket family (protocol module).
+class SocketFamily {
+ public:
+  virtual ~SocketFamily() = default;
+
+  /// Short module name, e.g. "rds".
+  virtual std::string Name() const = 0;
+
+  /// AF_* domain value this family is registered under.
+  virtual uint64_t Domain() const = 0;
+
+  /// socket(domain, type, protocol).
+  virtual std::unique_ptr<SocketHandler> Create(uint64_t type,
+                                                uint64_t protocol,
+                                                ExecContext& ctx,
+                                                Kernel& kernel, long* err) = 0;
+
+  /// Called between fuzz programs to reset module-global state.
+  virtual void ResetState() {}
+};
+
+}  // namespace kernelgpt::vkernel
+
+#endif  // KERNELGPT_VKERNEL_FILE_H_

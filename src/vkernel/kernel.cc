@@ -1,0 +1,268 @@
+#include "vkernel/kernel.h"
+
+namespace kernelgpt::vkernel {
+
+uint64_t
+Buffer::ReadScalar(size_t offset, size_t size) const
+{
+  uint64_t value = 0;
+  for (size_t i = 0; i < size && i < 8; ++i) {
+    size_t idx = offset + i;
+    if (idx >= bytes.size()) break;
+    value |= static_cast<uint64_t>(bytes[idx]) << (8 * i);
+  }
+  return value;
+}
+
+void
+Buffer::WriteScalar(size_t offset, size_t size, uint64_t value)
+{
+  if (offset + size > bytes.size()) bytes.resize(offset + size, 0);
+  for (size_t i = 0; i < size && i < 8; ++i) {
+    bytes[offset + i] = static_cast<uint8_t>(value >> (8 * i));
+  }
+}
+
+void
+Kernel::RegisterDevice(std::unique_ptr<DeviceDriver> driver)
+{
+  devices_.push_back(std::move(driver));
+}
+
+void
+Kernel::RegisterSocketFamily(std::unique_ptr<SocketFamily> family)
+{
+  families_.push_back(std::move(family));
+}
+
+DeviceDriver*
+Kernel::FindDeviceByPath(const std::string& path) const
+{
+  for (const auto& d : devices_) {
+    if (d->NodePath() == path) return d.get();
+  }
+  return nullptr;
+}
+
+SocketFamily*
+Kernel::FindFamilyByDomain(uint64_t domain) const
+{
+  for (const auto& f : families_) {
+    if (f->Domain() == domain) return f.get();
+  }
+  return nullptr;
+}
+
+void
+Kernel::BeginProgram()
+{
+  fd_table_.clear();
+  next_fd_ = 3;
+  for (auto& d : devices_) d->ResetState();
+  for (auto& f : families_) f->ResetState();
+}
+
+void
+Kernel::EndProgram(ExecContext& ctx)
+{
+  for (auto& [fd, entry] : fd_table_) {
+    entry.handler->Release(ctx, *this);
+  }
+  fd_table_.clear();
+}
+
+long
+Kernel::InstallFile(std::shared_ptr<FileHandler> handler)
+{
+  long fd = next_fd_++;
+  fd_table_[fd] = {std::move(handler), /*is_socket=*/false};
+  return fd;
+}
+
+FileHandler*
+Kernel::LookupFd(long fd) const
+{
+  auto it = fd_table_.find(fd);
+  return it == fd_table_.end() ? nullptr : it->second.handler.get();
+}
+
+SocketHandler*
+Kernel::LookupSocket(long fd) const
+{
+  auto it = fd_table_.find(fd);
+  if (it == fd_table_.end() || !it->second.is_socket) return nullptr;
+  return static_cast<SocketHandler*>(it->second.handler.get());
+}
+
+long
+Kernel::Openat(const std::string& path, uint64_t flags, ExecContext& ctx)
+{
+  (void)flags;
+  DeviceDriver* driver = FindDeviceByPath(path);
+  if (!driver) return -kENOENT;
+  long err = 0;
+  std::unique_ptr<FileHandler> handler = driver->Open(ctx, *this, &err);
+  if (!handler) return err != 0 ? err : -kENODEV;
+  return InstallFile(std::shared_ptr<FileHandler>(std::move(handler)));
+}
+
+long
+Kernel::Close(long fd, ExecContext& ctx)
+{
+  auto it = fd_table_.find(fd);
+  if (it == fd_table_.end()) return -kEBADF;
+  // Release fires only when the last reference drops (dup-aware).
+  std::shared_ptr<FileHandler> handler = it->second.handler;
+  fd_table_.erase(it);
+  bool still_open = false;
+  for (const auto& [other_fd, entry] : fd_table_) {
+    if (entry.handler == handler) still_open = true;
+  }
+  if (!still_open) handler->Release(ctx, *this);
+  return 0;
+}
+
+long
+Kernel::Dup(long fd, ExecContext& ctx)
+{
+  (void)ctx;
+  auto it = fd_table_.find(fd);
+  if (it == fd_table_.end()) return -kEBADF;
+  long new_fd = next_fd_++;
+  fd_table_[new_fd] = it->second;
+  return new_fd;
+}
+
+long
+Kernel::Ioctl(long fd, uint64_t cmd, Buffer* arg, ExecContext& ctx)
+{
+  FileHandler* handler = LookupFd(fd);
+  if (!handler) return -kEBADF;
+  return handler->Ioctl(cmd, arg, ctx, *this);
+}
+
+long
+Kernel::Read(long fd, Buffer* out, ExecContext& ctx)
+{
+  FileHandler* handler = LookupFd(fd);
+  if (!handler) return -kEBADF;
+  return handler->Read(out, ctx);
+}
+
+long
+Kernel::Write(long fd, const Buffer& in, ExecContext& ctx)
+{
+  FileHandler* handler = LookupFd(fd);
+  if (!handler) return -kEBADF;
+  return handler->Write(in, ctx);
+}
+
+long
+Kernel::Poll(long fd, ExecContext& ctx)
+{
+  FileHandler* handler = LookupFd(fd);
+  if (!handler) return -kEBADF;
+  return handler->Poll(ctx);
+}
+
+long
+Kernel::Mmap(long fd, uint64_t length, ExecContext& ctx)
+{
+  FileHandler* handler = LookupFd(fd);
+  if (!handler) return -kEBADF;
+  return handler->Mmap(length, ctx);
+}
+
+long
+Kernel::Socket(uint64_t domain, uint64_t type, uint64_t protocol,
+               ExecContext& ctx)
+{
+  // Several protocol modules can share one address family (e.g. the
+  // Bluetooth BTPROTO_* sockets under AF_BLUETOOTH); the first module
+  // that accepts (type, protocol) wins, like the kernel's create loop.
+  bool domain_seen = false;
+  long err = 0;
+  for (const auto& family : families_) {
+    if (family->Domain() != domain) continue;
+    domain_seen = true;
+    std::unique_ptr<SocketHandler> handler =
+        family->Create(type, protocol, ctx, *this, &err);
+    if (handler) {
+      long fd = next_fd_++;
+      fd_table_[fd] = {std::shared_ptr<FileHandler>(std::move(handler)),
+                       /*is_socket=*/true};
+      return fd;
+    }
+  }
+  if (!domain_seen) return -kEAFNOSUPPORT;
+  return err != 0 ? err : -kEINVAL;
+}
+
+long
+Kernel::SetSockOpt(long fd, uint64_t level, uint64_t optname,
+                   const Buffer& val, ExecContext& ctx)
+{
+  SocketHandler* sock = LookupSocket(fd);
+  if (!sock) return -kEBADF;
+  return sock->SetSockOpt(level, optname, val, ctx, *this);
+}
+
+long
+Kernel::GetSockOpt(long fd, uint64_t level, uint64_t optname, Buffer* val,
+                   ExecContext& ctx)
+{
+  SocketHandler* sock = LookupSocket(fd);
+  if (!sock) return -kEBADF;
+  return sock->GetSockOpt(level, optname, val, ctx, *this);
+}
+
+long
+Kernel::Bind(long fd, const Buffer& addr, ExecContext& ctx)
+{
+  SocketHandler* sock = LookupSocket(fd);
+  if (!sock) return -kEBADF;
+  return sock->Bind(addr, ctx, *this);
+}
+
+long
+Kernel::Connect(long fd, const Buffer& addr, ExecContext& ctx)
+{
+  SocketHandler* sock = LookupSocket(fd);
+  if (!sock) return -kEBADF;
+  return sock->Connect(addr, ctx, *this);
+}
+
+long
+Kernel::SendTo(long fd, const Buffer& data, const Buffer& addr,
+               ExecContext& ctx)
+{
+  SocketHandler* sock = LookupSocket(fd);
+  if (!sock) return -kEBADF;
+  return sock->SendTo(data, addr, ctx, *this);
+}
+
+long
+Kernel::RecvFrom(long fd, Buffer* data, ExecContext& ctx)
+{
+  SocketHandler* sock = LookupSocket(fd);
+  if (!sock) return -kEBADF;
+  return sock->RecvFrom(data, ctx, *this);
+}
+
+long
+Kernel::Listen(long fd, ExecContext& ctx)
+{
+  SocketHandler* sock = LookupSocket(fd);
+  if (!sock) return -kEBADF;
+  return sock->Listen(ctx, *this);
+}
+
+long
+Kernel::Accept(long fd, ExecContext& ctx)
+{
+  SocketHandler* sock = LookupSocket(fd);
+  if (!sock) return -kEBADF;
+  return sock->Accept(ctx, *this);
+}
+
+}  // namespace kernelgpt::vkernel

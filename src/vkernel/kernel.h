@@ -1,0 +1,103 @@
+/// \file
+/// The virtual kernel: syscall dispatch over registered device drivers and
+/// socket families, with a per-program file-descriptor table. This is the
+/// fuzzing target substrate standing in for a booted Linux + QEMU setup.
+
+#ifndef KERNELGPT_VKERNEL_KERNEL_H_
+#define KERNELGPT_VKERNEL_KERNEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "vkernel/file.h"
+
+namespace kernelgpt::vkernel {
+
+/// Single-threaded virtual kernel instance.
+///
+/// Drivers and socket families are registered once; BeginProgram() resets
+/// per-program state (fd table and module state) between fuzz programs,
+/// like rebooting a lightweight VM snapshot.
+class Kernel {
+ public:
+  Kernel() = default;
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // -- Registration --------------------------------------------------------
+
+  void RegisterDevice(std::unique_ptr<DeviceDriver> driver);
+  void RegisterSocketFamily(std::unique_ptr<SocketFamily> family);
+
+  const std::vector<std::unique_ptr<DeviceDriver>>& devices() const {
+    return devices_;
+  }
+  const std::vector<std::unique_ptr<SocketFamily>>& socket_families() const {
+    return families_;
+  }
+
+  DeviceDriver* FindDeviceByPath(const std::string& path) const;
+  SocketFamily* FindFamilyByDomain(uint64_t domain) const;
+
+  // -- Program lifecycle ---------------------------------------------------
+
+  /// Resets the fd table and every module's per-program state.
+  void BeginProgram();
+
+  /// Closes all remaining descriptors (releasing driver objects).
+  void EndProgram(ExecContext& ctx);
+
+  // -- Syscalls ------------------------------------------------------------
+
+  long Openat(const std::string& path, uint64_t flags, ExecContext& ctx);
+  long Close(long fd, ExecContext& ctx);
+  long Dup(long fd, ExecContext& ctx);
+  long Ioctl(long fd, uint64_t cmd, Buffer* arg, ExecContext& ctx);
+  long Read(long fd, Buffer* out, ExecContext& ctx);
+  long Write(long fd, const Buffer& in, ExecContext& ctx);
+  long Poll(long fd, ExecContext& ctx);
+  long Mmap(long fd, uint64_t length, ExecContext& ctx);
+
+  long Socket(uint64_t domain, uint64_t type, uint64_t protocol,
+              ExecContext& ctx);
+  long SetSockOpt(long fd, uint64_t level, uint64_t optname, const Buffer& val,
+                  ExecContext& ctx);
+  long GetSockOpt(long fd, uint64_t level, uint64_t optname, Buffer* val,
+                  ExecContext& ctx);
+  long Bind(long fd, const Buffer& addr, ExecContext& ctx);
+  long Connect(long fd, const Buffer& addr, ExecContext& ctx);
+  long SendTo(long fd, const Buffer& data, const Buffer& addr,
+              ExecContext& ctx);
+  long RecvFrom(long fd, Buffer* data, ExecContext& ctx);
+  long Listen(long fd, ExecContext& ctx);
+  long Accept(long fd, ExecContext& ctx);
+
+  // -- Services for handlers ----------------------------------------------
+
+  /// Installs a handler under a fresh descriptor (used by drivers like kvm
+  /// whose ioctls create new file objects). Returns the fd.
+  long InstallFile(std::shared_ptr<FileHandler> handler);
+
+  /// Looks up an open descriptor; nullptr if invalid.
+  FileHandler* LookupFd(long fd) const;
+
+ private:
+  SocketHandler* LookupSocket(long fd) const;
+
+  std::vector<std::unique_ptr<DeviceDriver>> devices_;
+  std::vector<std::unique_ptr<SocketFamily>> families_;
+
+  struct OpenFileEntry {
+    std::shared_ptr<FileHandler> handler;
+    bool is_socket = false;
+  };
+  std::unordered_map<long, OpenFileEntry> fd_table_;
+  long next_fd_ = 3;
+};
+
+}  // namespace kernelgpt::vkernel
+
+#endif  // KERNELGPT_VKERNEL_KERNEL_H_

@@ -1,0 +1,29 @@
+/// \file
+/// Errno values used by the virtual kernel. Syscall handlers return
+/// negative errno on failure, mirroring the Linux in-kernel convention.
+
+#ifndef KERNELGPT_VKERNEL_VERRNO_H_
+#define KERNELGPT_VKERNEL_VERRNO_H_
+
+namespace kernelgpt::vkernel {
+
+// Values match Linux asm-generic/errno-base.h so rendered source and
+// runtime agree on the numbers.
+inline constexpr long kEPERM = 1;
+inline constexpr long kENOENT = 2;
+inline constexpr long kEBADF = 9;
+inline constexpr long kENOMEM = 12;
+inline constexpr long kEFAULT = 14;
+inline constexpr long kEBUSY = 16;
+inline constexpr long kENODEV = 19;
+inline constexpr long kEINVAL = 22;
+inline constexpr long kENOTTY = 25;
+inline constexpr long kENOSPC = 28;
+inline constexpr long kENOSYS = 38;
+inline constexpr long kENOPROTOOPT = 92;
+inline constexpr long kEAFNOSUPPORT = 97;
+inline constexpr long kEOPNOTSUPP = 95;
+
+}  // namespace kernelgpt::vkernel
+
+#endif  // KERNELGPT_VKERNEL_VERRNO_H_

@@ -1,0 +1,245 @@
+// Integration tests over the shared experiment harness: end-to-end
+// generation across the corpus, suite construction, audit, bug inventory,
+// and the causal chain the paper measures (correct spec -> deep coverage
+// -> new bugs).
+
+#include <gtest/gtest.h>
+
+#include "experiments/audit.h"
+#include "experiments/bugs.h"
+#include "experiments/context.h"
+
+namespace kernelgpt::experiments {
+namespace {
+
+const ExperimentContext&
+Ctx()
+{
+  return ExperimentContext::Default();
+}
+
+TEST(ContextTest, AllModulesPresent)
+{
+  const auto& corpus = drivers::Corpus::Instance();
+  EXPECT_EQ(Ctx().modules().size(),
+            corpus.LoadedDevices().size() + corpus.LoadedSockets().size());
+}
+
+TEST(ContextTest, GroundTruthCountsPositive)
+{
+  for (const auto& module : Ctx().modules()) {
+    EXPECT_GT(module.ground_truth_syscalls, 0u) << module.id;
+    EXPECT_LE(module.existing_syscalls, module.ground_truth_syscalls)
+        << module.id;
+  }
+}
+
+TEST(ContextTest, KernelGptUsableForPaperCriticalModules)
+{
+  // Every module carrying a Table 4 bug must have a usable spec.
+  for (const PlantedBug& bug : AllPlantedBugs(false)) {
+    const ModuleResult* module = Ctx().Find(bug.module);
+    ASSERT_NE(module, nullptr) << bug.module;
+    EXPECT_TRUE(module->KernelGptUsable()) << bug.module;
+  }
+}
+
+TEST(ContextTest, Table5RowsAllUsable)
+{
+  for (const char* id :
+       {"btrfs_control", "capi20", "controlc0", "fuse", "hpet", "i2c0",
+        "kvm", "loop_control", "loop0", "misdntimer", "nbd0", "nvram", "ppp",
+        "ptmx", "qat_adf_ctl", "rfkill", "rtc0", "sg0", "snapshot", "sr0",
+        "timer", "udmabuf", "uinput", "usbmon0", "vhost_net", "vhost_vsock",
+        "vmci", "vsock"}) {
+    const ModuleResult* module = Ctx().Find(id);
+    ASSERT_NE(module, nullptr) << id;
+    EXPECT_TRUE(module->KernelGptUsable()) << id;
+  }
+}
+
+TEST(ContextTest, SocketsAllUsable)
+{
+  for (const ModuleResult* module : Ctx().Sockets()) {
+    EXPECT_TRUE(module->KernelGptUsable()) << module->id;
+  }
+}
+
+TEST(ContextTest, SuitesGrowMonotonically)
+{
+  fuzzer::SpecLibrary base = Ctx().SyzkallerSuite();
+  fuzzer::SpecLibrary with_kg = Ctx().SyzkallerPlusKernelGptSuite();
+  EXPECT_GT(base.syscalls().size(), 100u);
+  EXPECT_GT(with_kg.syscalls().size(), base.syscalls().size());
+}
+
+TEST(ContextTest, KernelGptSuiteCoversMore)
+{
+  fuzzer::SpecLibrary base = Ctx().SyzkallerSuite();
+  fuzzer::SpecLibrary with_kg = Ctx().SyzkallerPlusKernelGptSuite();
+  auto base_run = Ctx().Fuzz(base, 15000, 1, 7);
+  auto kg_run = Ctx().Fuzz(with_kg, 15000, 1, 7);
+  EXPECT_GT(kg_run.avg_coverage, base_run.avg_coverage);
+}
+
+TEST(ContextTest, TokenMeterPopulated)
+{
+  EXPECT_GT(Ctx().meter().query_count(), 500u);
+  EXPECT_GT(Ctx().meter().total_input_tokens(),
+            Ctx().meter().total_output_tokens());
+}
+
+TEST(BugInventoryTest, ExactPaperTotals)
+{
+  auto bugs = AllPlantedBugs(/*include_legacy=*/false);
+  EXPECT_EQ(bugs.size(), 24u);
+  int cves = 0;
+  int fixed = 0;
+  int confirmed = 0;
+  for (const auto& bug : bugs) {
+    if (!bug.cve.empty()) ++cves;
+    if (bug.fixed) ++fixed;
+    if (bug.confirmed) ++confirmed;
+  }
+  EXPECT_EQ(cves, 11);
+  EXPECT_EQ(fixed, 12);
+  EXPECT_EQ(confirmed, 21);
+}
+
+TEST(BugInventoryTest, LegacyBugsExtendTheList)
+{
+  auto with_legacy = AllPlantedBugs(true);
+  auto without = AllPlantedBugs(false);
+  EXPECT_GT(with_legacy.size(), without.size() + 10);
+}
+
+TEST(SyzDescribeEffectiveTest, MatchesDocumentedFailures)
+{
+  // dm: wrong node name -> ineffective. capi20: conventional -> effective.
+  const ModuleResult* dm = Ctx().Find("dm");
+  ASSERT_NE(dm, nullptr);
+  EXPECT_FALSE(SyzDescribeEffective(Ctx(), *dm));
+  const ModuleResult* capi = Ctx().Find("capi20");
+  ASSERT_NE(capi, nullptr);
+  EXPECT_TRUE(SyzDescribeEffective(Ctx(), *capi));
+  // controlC# and timer are the paper's "Err" rows.
+  EXPECT_FALSE(SyzDescribeEffective(Ctx(), *Ctx().Find("controlc0")));
+  EXPECT_FALSE(SyzDescribeEffective(Ctx(), *Ctx().Find("timer")));
+}
+
+TEST(AuditTest, MatchesPaperShape)
+{
+  AuditResult audit = AuditKernelGpt(Ctx(), /*undescribed_only=*/true);
+  ASSERT_GT(audit.total_drivers, 10u);
+  // >= 85% of undescribed drivers have no missing syscalls (paper 93.3%).
+  EXPECT_GE(10 * audit.drivers_without_missing, 8 * audit.total_drivers);
+  // Wrong identifiers are rare (paper 0.9%; allow a few percent).
+  EXPECT_LE(20 * audit.wrong_identifier_syscalls, audit.total_syscalls);
+  // Wrong types stay a small tail.
+  EXPECT_LE(10 * audit.wrong_type_syscalls, audit.total_syscalls);
+}
+
+TEST(CausalChainTest, WrongSpecsCannotReachBugs)
+{
+  // The three dm bugs are reachable with KernelGPT's spec but not with
+  // SyzDescribe's (wrong name + wrong cmd values) — Fig. 2's punchline.
+  const ModuleResult* dm = Ctx().Find("dm");
+  ASSERT_NE(dm, nullptr);
+  ASSERT_TRUE(dm->KernelGptUsable());
+  ASSERT_TRUE(dm->syzdescribe.generated);
+
+  fuzzer::SpecLibrary kg = Ctx().MakeLibrary({&dm->kernelgpt.spec});
+  fuzzer::SpecLibrary sd = Ctx().MakeLibrary({&dm->syzdescribe.spec});
+  auto kg_run = Ctx().Fuzz(kg, 20000, 1, 3);
+  auto sd_run = Ctx().Fuzz(sd, 20000, 1, 3);
+  EXPECT_GE(kg_run.crash_titles.size(), 3u);
+  EXPECT_EQ(sd_run.crash_titles.size(), 0u);
+  EXPECT_GT(kg_run.avg_coverage, sd_run.avg_coverage);
+}
+
+TEST(AblationContextTest, AllInOneProducesFewerSyscalls)
+{
+  ContextOptions all_in_one;
+  all_in_one.gen.iterative = false;
+  all_in_one.gen.profile.context_tokens = 1200;
+  ExperimentContext single(all_in_one);
+  size_t iter_total = 0;
+  size_t single_total = 0;
+  for (const auto& module : Ctx().modules()) {
+    if (module.is_socket) continue;
+    iter_total += module.kernelgpt.SyscallCount();
+  }
+  for (const auto& module : single.modules()) {
+    if (module.is_socket) continue;
+    single_total += module.kernelgpt.SyscallCount();
+  }
+  EXPECT_LT(single_total, iter_total);
+}
+
+}  // namespace
+}  // namespace kernelgpt::experiments
+
+// ---------------------------------------------------------------------------
+// Corpus-wide property sweep (parameterized over every loaded module)
+// ---------------------------------------------------------------------------
+
+namespace kernelgpt::experiments {
+namespace {
+
+class AllModulesProperty : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllModulesProperty, UsableSpecsValidateAgainstCorpusConsts)
+{
+  const ModuleResult* module = Ctx().Find(GetParam());
+  ASSERT_NE(module, nullptr);
+  if (!module->KernelGptUsable()) GTEST_SKIP() << "unrepairable tail";
+  syzlang::ValidationResult v =
+      syzlang::Validate(module->kernelgpt.spec, Ctx().consts());
+  EXPECT_TRUE(v.ok()) << (v.errors.empty() ? "" : v.errors[0].message);
+}
+
+TEST_P(AllModulesProperty, UsableSpecsAreExecutable)
+{
+  // Every generated spec must produce programs whose calls actually
+  // execute (no unresolvable resources, no zero-size libraries).
+  const ModuleResult* module = Ctx().Find(GetParam());
+  ASSERT_NE(module, nullptr);
+  if (!module->KernelGptUsable()) GTEST_SKIP();
+  fuzzer::SpecLibrary lib = Ctx().MakeLibrary({&module->kernelgpt.spec});
+  ASSERT_FALSE(lib.syscalls().empty());
+  auto summary = Ctx().Fuzz(lib, 600, 1, 11);
+  EXPECT_GT(summary.avg_coverage, 0.0) << module->id;
+}
+
+TEST_P(AllModulesProperty, KernelGptCoverageAtLeastExisting)
+{
+  // With equal budgets the generated spec never does meaningfully worse
+  // than the partial existing spec (it is a superset up to rare misses).
+  const ModuleResult* module = Ctx().Find(GetParam());
+  ASSERT_NE(module, nullptr);
+  if (!module->KernelGptUsable()) GTEST_SKIP();
+  if (module->existing_syscalls == 0) GTEST_SKIP() << "no existing spec";
+  fuzzer::SpecLibrary existing = Ctx().MakeLibrary({&module->existing});
+  fuzzer::SpecLibrary generated =
+      Ctx().MakeLibrary({&module->kernelgpt.spec});
+  auto existing_run = Ctx().Fuzz(existing, 6000, 1, 21);
+  auto generated_run = Ctx().Fuzz(generated, 6000, 1, 21);
+  EXPECT_GE(generated_run.avg_coverage, existing_run.avg_coverage * 0.85)
+      << module->id;
+}
+
+std::vector<std::string>
+LoadedModuleIds()
+{
+  std::vector<std::string> ids;
+  for (const auto& m : ExperimentContext::Default().modules()) {
+    ids.push_back(m.id);
+  }
+  return ids;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, AllModulesProperty,
+                         ::testing::ValuesIn(LoadedModuleIds()));
+
+}  // namespace
+}  // namespace kernelgpt::experiments

@@ -1,0 +1,134 @@
+// Tests for the operation-handler extractor over the full corpus:
+// registration-pattern matching and node-path resolution.
+
+#include <gtest/gtest.h>
+
+#include "drivers/corpus.h"
+#include "extractor/handler_finder.h"
+
+namespace kernelgpt::extractor {
+namespace {
+
+using drivers::Corpus;
+
+class ExtractorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    index_ = new ksrc::DefinitionIndex(Corpus::Instance().BuildIndex());
+    handlers_ = new std::vector<DriverHandler>(FindDriverHandlers(*index_));
+    sockets_ = new std::vector<SocketHandler>(FindSocketHandlers(*index_));
+  }
+  static void TearDownTestSuite() {
+    delete index_;
+    delete handlers_;
+    delete sockets_;
+    index_ = nullptr;
+    handlers_ = nullptr;
+    sockets_ = nullptr;
+  }
+
+  static const DriverHandler* FindByFile(const std::string& path) {
+    for (const auto& h : *handlers_) {
+      if (h.file_path == path &&
+          h.reg != RegKind::kUnreferenced) {
+        return &h;
+      }
+    }
+    return nullptr;
+  }
+
+  static ksrc::DefinitionIndex* index_;
+  static std::vector<DriverHandler>* handlers_;
+  static std::vector<SocketHandler>* sockets_;
+};
+
+ksrc::DefinitionIndex* ExtractorTest::index_ = nullptr;
+std::vector<DriverHandler>* ExtractorTest::handlers_ = nullptr;
+std::vector<SocketHandler>* ExtractorTest::sockets_ = nullptr;
+
+TEST_F(ExtractorTest, FindsOneRegisteredHandlerPerDevice)
+{
+  // Every corpus device contributes exactly one registered primary
+  // handler under its source file.
+  for (const auto& dev : Corpus::Instance().devices()) {
+    int registered = 0;
+    for (const auto& h : *handlers_) {
+      if (h.file_path == "drivers/" + dev.id + ".c" &&
+          h.reg != RegKind::kUnreferenced) {
+        ++registered;
+      }
+    }
+    EXPECT_EQ(registered, 1) << dev.id;
+  }
+}
+
+TEST_F(ExtractorTest, SecondaryHandlersAreUnreferenced)
+{
+  // kvm's vm/vcpu fops exist but have no registration usage.
+  int unreferenced = 0;
+  for (const auto& h : *handlers_) {
+    if (h.file_path == "drivers/kvm.c" && h.reg == RegKind::kUnreferenced) {
+      ++unreferenced;
+    }
+  }
+  EXPECT_EQ(unreferenced, 2);
+}
+
+TEST_F(ExtractorTest, MiscNodenameCaptured)
+{
+  const DriverHandler* dm = FindByFile("drivers/dm.c");
+  ASSERT_NE(dm, nullptr);
+  EXPECT_EQ(dm->reg, RegKind::kMiscDevice);
+  EXPECT_FALSE(dm->nodename_expr.empty());
+  EXPECT_NE(dm->name_expr, dm->nodename_expr);
+}
+
+TEST_F(ExtractorTest, DeviceCreateFormatCaptured)
+{
+  const DriverHandler* cec = FindByFile("drivers/cec.c");
+  ASSERT_NE(cec, nullptr);
+  EXPECT_EQ(cec->reg, RegKind::kDeviceCreate);
+  EXPECT_EQ(cec->create_fmt, "cec%d");
+  EXPECT_EQ(cec->create_arg, "0");
+}
+
+TEST_F(ExtractorTest, ResolveNodePathOracle)
+{
+  // The full-semantics resolver matches every device's true node.
+  for (const auto& dev : Corpus::Instance().devices()) {
+    const DriverHandler* h = FindByFile("drivers/" + dev.id + ".c");
+    ASSERT_NE(h, nullptr) << dev.id;
+    EXPECT_EQ(ResolveNodePath(*index_, *h), dev.dev_node) << dev.id;
+  }
+}
+
+TEST_F(ExtractorTest, SocketHandlersComplete)
+{
+  EXPECT_EQ(sockets_->size(), Corpus::Instance().sockets().size());
+  for (const auto& sock : Corpus::Instance().sockets()) {
+    bool found = false;
+    for (const auto& h : *sockets_) {
+      if (h.file_path != "net/" + sock.id + ".c") continue;
+      found = true;
+      EXPECT_EQ(h.family_expr, sock.family_macro) << sock.id;
+      EXPECT_FALSE(h.create_fn.empty()) << sock.id;
+      EXPECT_FALSE(h.setsockopt_fn.empty()) << sock.id;
+      if (sock.bind.supported) EXPECT_FALSE(h.bind_fn.empty()) << sock.id;
+      if (sock.sendto.supported) {
+        EXPECT_FALSE(h.sendmsg_fn.empty()) << sock.id;
+      }
+    }
+    EXPECT_TRUE(found) << sock.id;
+  }
+}
+
+TEST_F(ExtractorTest, IoctlFunctionsExistInIndex)
+{
+  for (const auto& h : *handlers_) {
+    EXPECT_NE(index_->FindFunction(h.ioctl_fn), nullptr)
+        << h.fops_var << " -> " << h.ioctl_fn;
+  }
+}
+
+}  // namespace
+}  // namespace kernelgpt::extractor

@@ -1,0 +1,357 @@
+// Tests for the fuzzer substrate: spec library resolution, argument
+// generation (semantic values, len linkage, resources), mutation
+// invariants, execution, and campaign behaviour.
+
+#include <gtest/gtest.h>
+
+#include "drivers/corpus.h"
+#include "drivers/model_runtime.h"
+#include "drivers/model_spec.h"
+#include "fuzzer/campaign.h"
+#include "fuzzer/minimizer.h"
+#include "syzlang/parser.h"
+
+namespace kernelgpt::fuzzer {
+namespace {
+
+using drivers::Corpus;
+
+class FuzzerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    consts_ = new syzlang::ConstTable(
+        Corpus::Instance().BuildIndex().BuildConstTable());
+  }
+  static void TearDownTestSuite() {
+    delete consts_;
+    consts_ = nullptr;
+  }
+
+  static SpecLibrary DmLibrary() {
+    SpecLibrary lib;
+    lib.SetConsts(*consts_);
+    lib.Add(drivers::GroundTruthDeviceSpec(*Corpus::Instance().FindDevice("dm")));
+    lib.Finalize();
+    return lib;
+  }
+
+  static SpecLibrary KvmLibrary() {
+    SpecLibrary lib;
+    lib.SetConsts(*consts_);
+    lib.Add(
+        drivers::GroundTruthDeviceSpec(*Corpus::Instance().FindDevice("kvm")));
+    lib.Finalize();
+    return lib;
+  }
+
+  static syzlang::ConstTable* consts_;
+};
+
+syzlang::ConstTable* FuzzerTest::consts_ = nullptr;
+
+TEST_F(FuzzerTest, LibraryResolvesConstsAndProducers)
+{
+  SpecLibrary lib = DmLibrary();
+  EXPECT_EQ(lib.syscalls().size(), 9u);
+  EXPECT_NE(lib.ResolveConst("DM_LIST_DEVICES"), 0u);
+  EXPECT_EQ(lib.ResolveConst("42"), 42u);
+  EXPECT_FALSE(lib.ProducersOf("fd_dm").empty());
+  EXPECT_TRUE(lib.ProducersOf("no_such_resource").empty());
+  EXPECT_TRUE(lib.HasResource("fd_dm"));
+}
+
+TEST_F(FuzzerTest, StructSizeMatchesModelLayout)
+{
+  SpecLibrary lib = DmLibrary();
+  const syzlang::StructDef* s = lib.FindStruct("dm_ioctl");
+  ASSERT_NE(s, nullptr);
+  const drivers::DeviceSpec* dm = Corpus::Instance().FindDevice("dm");
+  EXPECT_EQ(lib.StructSize(*s),
+            drivers::StructByteSize("dm_ioctl", dm->structs));
+}
+
+TEST_F(FuzzerTest, GeneratorSatisfiesResourceDependencies)
+{
+  SpecLibrary lib = DmLibrary();
+  util::Rng rng(7);
+  Generator generator(&lib, &rng);
+  for (int i = 0; i < 50; ++i) {
+    Prog prog = generator.Generate(5);
+    for (size_t c = 0; c < prog.calls.size(); ++c) {
+      const auto& def = lib.syscalls()[prog.calls[c].syscall_index];
+      for (size_t a = 0; a < prog.calls[c].args.size(); ++a) {
+        const Arg& arg = prog.calls[c].args[a];
+        if (arg.kind != Arg::Kind::kResourceRef) continue;
+        if (arg.ref_call < 0) continue;
+        // References must point backwards to a producer of the resource.
+        ASSERT_LT(static_cast<size_t>(arg.ref_call), c) << def.FullName();
+        const auto& producer =
+            lib.syscalls()[prog.calls[static_cast<size_t>(arg.ref_call)]
+                               .syscall_index];
+        EXPECT_TRUE(producer.returns_resource.has_value());
+      }
+    }
+  }
+}
+
+TEST_F(FuzzerTest, LenFieldsLinkedToBufferSizes)
+{
+  SpecLibrary lib = DmLibrary();
+  // A synthetic call with an explicit len parameter.
+  syzlang::ParseResult parsed = syzlang::Parse(
+      "resource fd_t[fd]\n"
+      "write$t(fd fd_t, buf ptr[in, array[int8]], len len[buf, int64])\n");
+  ASSERT_TRUE(parsed.ok());
+  SpecLibrary lib2;
+  lib2.Add(parsed.spec);
+  lib2.Finalize();
+  util::Rng rng(3);
+  Generator generator(&lib2, &rng);
+  for (int i = 0; i < 20; ++i) {
+    Prog prog;
+    // write$t is index 0.
+    generator.AppendCall(&prog, 0);
+    const Call& call = prog.calls.back();
+    ASSERT_EQ(call.args.size(), 3u);
+    EXPECT_EQ(call.args[2].scalar, call.args[1].bytes.size());
+  }
+}
+
+TEST_F(FuzzerTest, ScalarGenerationHonorsRangesAndConsts)
+{
+  SpecLibrary lib = DmLibrary();
+  util::Rng rng(11);
+  Generator generator(&lib, &rng);
+  syzlang::Type range = syzlang::Type::IntRange(32, 3, 9);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t v = generator.ScalarFor(range);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 9u);
+  }
+  syzlang::Type konst = syzlang::Type::Const("DM_LIST_DEVICES");
+  EXPECT_EQ(generator.ScalarFor(konst), lib.ResolveConst("DM_LIST_DEVICES"));
+}
+
+TEST_F(FuzzerTest, ScalarGenerationHitsSpecialValues)
+{
+  SpecLibrary lib = DmLibrary();
+  util::Rng rng(13);
+  Generator generator(&lib, &rng);
+  syzlang::Type plain = syzlang::Type::Int(32);
+  bool saw_zero = false;
+  bool saw_max = false;
+  for (int i = 0; i < 300; ++i) {
+    uint64_t v = generator.ScalarFor(plain);
+    if (v == 0) saw_zero = true;
+    if (v == 0xffffffffu) saw_max = true;
+  }
+  EXPECT_TRUE(saw_zero);
+  EXPECT_TRUE(saw_max);
+}
+
+TEST_F(FuzzerTest, PayloadForStringLiteral)
+{
+  SpecLibrary lib = DmLibrary();
+  util::Rng rng(5);
+  Generator generator(&lib, &rng);
+  auto bytes =
+      generator.BuildPayload(syzlang::Type::String("/dev/mapper/control"));
+  ASSERT_GT(bytes.size(), 5u);
+  EXPECT_EQ(bytes.back(), 0);  // NUL-terminated.
+  EXPECT_EQ(bytes[0], '/');
+}
+
+TEST_F(FuzzerTest, MutatorPreservesResourceInvariant)
+{
+  SpecLibrary lib = KvmLibrary();
+  util::Rng rng(17);
+  Generator generator(&lib, &rng);
+  Mutator mutator(&lib, &generator, &rng);
+  Prog prog = generator.Generate(5);
+  for (int i = 0; i < 300; ++i) {
+    mutator.Mutate(&prog);
+    for (size_t c = 0; c < prog.calls.size(); ++c) {
+      for (const Arg& arg : prog.calls[c].args) {
+        if (arg.kind == Arg::Kind::kResourceRef && arg.ref_call >= 0) {
+          EXPECT_LT(static_cast<size_t>(arg.ref_call), prog.calls.size());
+        }
+      }
+    }
+  }
+}
+
+TEST_F(FuzzerTest, ExecutorRunsDmProgram)
+{
+  vkernel::Kernel kernel;
+  Corpus::Instance().RegisterAll(&kernel);
+  SpecLibrary lib = DmLibrary();
+  util::Rng rng(23);
+  Generator generator(&lib, &rng);
+  Executor executor(&kernel, &lib);
+  vkernel::Coverage total;
+  size_t executed = 0;
+  for (int i = 0; i < 200; ++i) {
+    Prog prog = generator.Generate(6);
+    ExecResult result = executor.Run(prog, &total);
+    executed += result.calls_executed;
+  }
+  EXPECT_GT(executed, 200u);
+  EXPECT_GT(total.Count(), 5u);  // open + several dispatch/deep blocks.
+}
+
+TEST_F(FuzzerTest, CampaignFindsDmBugs)
+{
+  vkernel::Kernel kernel;
+  Corpus::Instance().RegisterAll(&kernel);
+  SpecLibrary lib = DmLibrary();
+  CampaignOptions options;
+  options.program_budget = 20000;
+  options.seed = 5;
+  CampaignResult result = RunCampaign(&kernel, lib, options);
+  EXPECT_TRUE(result.crashes.contains("kmalloc bug in ctl_ioctl"));
+  EXPECT_TRUE(result.crashes.contains("kmalloc bug in dm_table_create"));
+  EXPECT_TRUE(result.crashes.contains(
+      "general protection fault in cleanup_mapped_device"));
+}
+
+TEST_F(FuzzerTest, CampaignDeterministicForSeed)
+{
+  SpecLibrary lib = DmLibrary();
+  CampaignOptions options;
+  options.program_budget = 3000;
+  options.seed = 99;
+  vkernel::Kernel k1;
+  Corpus::Instance().RegisterAll(&k1);
+  CampaignResult a = RunCampaign(&k1, lib, options);
+  vkernel::Kernel k2;
+  Corpus::Instance().RegisterAll(&k2);
+  CampaignResult b = RunCampaign(&k2, lib, options);
+  EXPECT_EQ(a.coverage.Count(), b.coverage.Count());
+  EXPECT_EQ(a.crashes, b.crashes);
+}
+
+TEST_F(FuzzerTest, KvmSecondaryResourceChainCovered)
+{
+  // The generator must thread fd_kvm -> fd_kvm_vm -> fd_kvm_vcpu.
+  vkernel::Kernel kernel;
+  Corpus::Instance().RegisterAll(&kernel);
+  SpecLibrary lib = KvmLibrary();
+  CampaignOptions options;
+  options.program_budget = 15000;
+  options.seed = 31;
+  CampaignResult result = RunCampaign(&kernel, lib, options);
+  // KVM_RUN's deep blocks are only reachable through the full chain.
+  const drivers::DeviceSpec* kvm = Corpus::Instance().FindDevice("kvm");
+  (void)kvm;
+  uint64_t run_block = drivers::BlockId("kvm", "deep", "KVM_RUN", 0);
+  EXPECT_TRUE(result.coverage.Contains(run_block));
+}
+
+TEST_F(FuzzerTest, EmptyLibraryYieldsNothing)
+{
+  vkernel::Kernel kernel;
+  SpecLibrary lib;
+  lib.Finalize();
+  CampaignOptions options;
+  options.program_budget = 100;
+  CampaignResult result = RunCampaign(&kernel, lib, options);
+  EXPECT_EQ(result.programs_executed, 0u);
+  EXPECT_EQ(result.coverage.Count(), 0u);
+}
+
+TEST_F(FuzzerTest, FormatProgIsReadable)
+{
+  SpecLibrary lib = DmLibrary();
+  util::Rng rng(41);
+  Generator generator(&lib, &rng);
+  Prog prog = generator.Generate(4);
+  std::string text = FormatProg(prog, lib);
+  EXPECT_NE(text.find("r0 = "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kernelgpt::fuzzer
+
+// ---------------------------------------------------------------------------
+// Crash-reproducer minimization
+// ---------------------------------------------------------------------------
+
+namespace kernelgpt::fuzzer {
+namespace {
+
+class MinimizerTest : public FuzzerTest {};
+
+TEST_F(MinimizerTest, ShrinksCrashingProgram)
+{
+  vkernel::Kernel kernel;
+  Corpus::Instance().RegisterAll(&kernel);
+  SpecLibrary lib = DmLibrary();
+
+  // Find a crashing program via a short campaign-like loop.
+  util::Rng rng(61);
+  Generator generator(&lib, &rng);
+  Executor executor(&kernel, &lib);
+  Prog crashing;
+  std::string title;
+  for (int i = 0; i < 20000 && title.empty(); ++i) {
+    Prog prog = generator.Generate(6);
+    ExecResult exec = executor.Run(prog, nullptr);
+    if (exec.crashed) {
+      crashing = prog;
+      title = exec.crash_title;
+    }
+  }
+  ASSERT_FALSE(title.empty());
+
+  MinimizeResult minimized = MinimizeCrash(&kernel, lib, crashing, title);
+  ASSERT_TRUE(minimized.reproduced);
+  EXPECT_LE(minimized.prog.size(), crashing.size());
+  // The minimized program still reproduces the identical crash title.
+  ExecResult replay = executor.Run(minimized.prog, nullptr);
+  EXPECT_TRUE(replay.crashed);
+  EXPECT_EQ(replay.crash_title, title);
+  // dm crashes need at most an open + two ioctls (+ close is implicit).
+  EXPECT_LE(minimized.prog.size(), 3u);
+}
+
+TEST_F(MinimizerTest, NonCrashingInputReported)
+{
+  vkernel::Kernel kernel;
+  Corpus::Instance().RegisterAll(&kernel);
+  SpecLibrary lib = DmLibrary();
+  util::Rng rng(62);
+  Generator generator(&lib, &rng);
+  Prog prog;
+  generator.AppendCall(&prog, 0);
+  MinimizeResult result = MinimizeCrash(&kernel, lib, prog, "no such crash");
+  EXPECT_FALSE(result.reproduced);
+  EXPECT_EQ(result.prog.size(), prog.size());
+}
+
+TEST_F(MinimizerTest, ZeroesIrrelevantScalars)
+{
+  // A hand-built program: openat + DM_TABLE_STATUS with huge data_size
+  // (the kmalloc bug); the mode/flags scalars of openat are irrelevant
+  // and must end up zeroed.
+  vkernel::Kernel kernel;
+  Corpus::Instance().RegisterAll(&kernel);
+  SpecLibrary lib = DmLibrary();
+  util::Rng rng(63);
+  Generator generator(&lib, &rng);
+  Prog prog;
+  // Build until we have a crashing candidate deterministically.
+  Executor executor(&kernel, &lib);
+  std::string title;
+  for (int i = 0; i < 30000 && title != "kmalloc bug in ctl_ioctl"; ++i) {
+    prog = generator.Generate(5);
+    ExecResult exec = executor.Run(prog, nullptr);
+    title = exec.crashed ? exec.crash_title : "";
+  }
+  ASSERT_EQ(title, "kmalloc bug in ctl_ioctl");
+  MinimizeResult minimized = MinimizeCrash(&kernel, lib, prog, title);
+  ASSERT_TRUE(minimized.reproduced);
+  EXPECT_GT(minimized.executions, minimized.prog.size());
+}
+
+}  // namespace
+}  // namespace kernelgpt::fuzzer

@@ -1,0 +1,272 @@
+// Tests for the simulated analysis LLM: capability-profile behaviour,
+// per-stage analyses, determinism, and token metering.
+
+#include <gtest/gtest.h>
+
+#include "drivers/corpus.h"
+#include "extractor/handler_finder.h"
+#include "ksrc/cparser.h"
+#include "llm/engine.h"
+
+namespace kernelgpt::llm {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    index_ = new ksrc::DefinitionIndex(
+        drivers::Corpus::Instance().BuildIndex());
+  }
+  static void TearDownTestSuite() {
+    delete index_;
+    index_ = nullptr;
+  }
+  static ksrc::DefinitionIndex* index_;
+};
+
+ksrc::DefinitionIndex* EngineTest::index_ = nullptr;
+
+TEST(ProfileTest, DecideIsDeterministic)
+{
+  ModelProfile p = Gpt4();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(p.Decide("some-key", 0.5), p.Decide("some-key", 0.5));
+  }
+  EXPECT_FALSE(p.Decide("anything", 0.0));
+  EXPECT_TRUE(p.Decide("anything", 1.0));
+}
+
+TEST(ProfileTest, DecideApproximatesRate)
+{
+  ModelProfile p = Gpt4();
+  int hits = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (p.Decide("key-" + std::to_string(i), 0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits, 500, 120);
+}
+
+TEST(ProfileTest, ProfilesDifferInDraws)
+{
+  ModelProfile a = Gpt4();
+  ModelProfile b = Gpt35();
+  int differ = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Decide("k" + std::to_string(i), 0.5) !=
+        b.Decide("k" + std::to_string(i), 0.5)) {
+      ++differ;
+    }
+  }
+  EXPECT_GT(differ, 10);
+}
+
+TEST_F(EngineTest, DelegationReportedAsUnknown)
+{
+  TokenMeter meter;
+  AnalysisEngine engine(index_, Gpt4(), &meter);
+  IdentifierAnalysis step1 =
+      engine.AnalyzeIdentifiers("dm_ctl_ioctl", "usage", "dm", 1);
+  EXPECT_TRUE(step1.commands.empty());
+  ASSERT_EQ(step1.unknowns.size(), 1u);
+  EXPECT_EQ(step1.unknowns[0].identifier, "dm_ctl_do_ioctl");
+}
+
+TEST_F(EngineTest, ModifiedSwitchReverseMapped)
+{
+  TokenMeter meter;
+  AnalysisEngine engine(index_, Gpt4(), &meter);
+  IdentifierAnalysis analysis =
+      engine.AnalyzeIdentifiers("dm_ctl_do_ioctl", "usage", "dm", 2);
+  ASSERT_FALSE(analysis.commands.empty());
+  // Labels are *_NR macros but the model reports the full command macros.
+  bool found_list = false;
+  for (const auto& cmd : analysis.commands) {
+    EXPECT_TRUE(cmd.from_modified_switch);
+    if (cmd.macro == "DM_LIST_DEVICES") found_list = true;
+  }
+  EXPECT_TRUE(found_list);
+}
+
+TEST_F(EngineTest, Gpt35UsesRawNrLabels)
+{
+  TokenMeter meter;
+  AnalysisEngine engine(index_, Gpt35(), &meter);
+  IdentifierAnalysis analysis =
+      engine.AnalyzeIdentifiers("dm_ctl_do_ioctl", "usage", "dm", 2);
+  for (const auto& cmd : analysis.commands) {
+    EXPECT_TRUE(cmd.identifier_mangled) << cmd.macro;
+  }
+}
+
+TEST_F(EngineTest, DepthLimitStopsAnalysis)
+{
+  TokenMeter meter;
+  ModelProfile shallow = Gpt4();
+  shallow.max_delegation_depth = 1;
+  AnalysisEngine engine(index_, shallow, &meter);
+  IdentifierAnalysis analysis =
+      engine.AnalyzeIdentifiers("dm_ctl_do_ioctl", "usage", "dm", 2);
+  EXPECT_TRUE(analysis.commands.empty());
+  EXPECT_TRUE(analysis.unknowns.empty());
+}
+
+TEST_F(EngineTest, TableLookupComprehension)
+{
+  TokenMeter meter;
+  AnalysisEngine engine(index_, Gpt4(), &meter);
+  // ubi's dispatcher calls ubi_lookup_ioctl; the lookup function's table
+  // yields the commands.
+  IdentifierAnalysis top =
+      engine.AnalyzeIdentifiers("ubi_ctl_ioctl", "usage", "ubi", 1);
+  ASSERT_FALSE(top.unknowns.empty());
+  IdentifierAnalysis table = engine.AnalyzeIdentifiers(
+      top.unknowns[0].identifier, top.unknowns[0].usage, "ubi", 2);
+  EXPECT_GE(table.commands.size(), 5u);
+
+  // GPT-3.5 does not model dispatch tables.
+  AnalysisEngine weak(index_, Gpt35(), &meter);
+  IdentifierAnalysis none = weak.AnalyzeIdentifiers(
+      top.unknowns[0].identifier, top.unknowns[0].usage, "ubi", 2);
+  EXPECT_TRUE(none.commands.empty());
+}
+
+TEST_F(EngineTest, ArgTypeAnalysisRecoversStructAndConstraints)
+{
+  TokenMeter meter;
+  AnalysisEngine engine(index_, Gpt4(), &meter);
+  ArgTypeAnalysis analysis =
+      engine.AnalyzeArgumentType("kvm_vm_kvm_set_user_memory_region", "kvm");
+  EXPECT_EQ(analysis.arg_struct, "kvm_userspace_memory_region");
+  EXPECT_EQ(analysis.dir, syzlang::Dir::kIn);
+  bool slot_range = false;
+  bool size_nonzero = false;
+  for (const auto& c : analysis.constraints) {
+    if (c.field == "slot" && c.kind == FieldConstraint::Kind::kRange &&
+        c.a == 0 && c.b == 31) {
+      slot_range = true;
+    }
+    if (c.field == "memory_size" &&
+        c.kind == FieldConstraint::Kind::kNonZero) {
+      size_nonzero = true;
+    }
+  }
+  EXPECT_TRUE(slot_range);
+  EXPECT_TRUE(size_nonzero);
+}
+
+TEST_F(EngineTest, OutDirectionFromCopyToUser)
+{
+  TokenMeter meter;
+  AnalysisEngine engine(index_, Gpt4(), &meter);
+  ArgTypeAnalysis analysis =
+      engine.AnalyzeArgumentType("kvm_vcpu_kvm_get_regs", "kvm");
+  EXPECT_EQ(analysis.dir, syzlang::Dir::kOut);
+}
+
+TEST_F(EngineTest, StructRecoveryLenSemantics)
+{
+  TokenMeter meter;
+  AnalysisEngine engine(index_, Gpt4(), &meter);
+  StructRecovery rec = engine.RecoverStruct("cec_msg", "cec", {}, {});
+  const syzlang::Field* len = nullptr;
+  for (const auto& f : rec.def.fields) {
+    if (f.name == "len") len = &f;
+  }
+  ASSERT_NE(len, nullptr);
+  EXPECT_EQ(len->type.kind, syzlang::TypeKind::kLen);
+  EXPECT_EQ(len->type.len_target, "msg");
+}
+
+TEST_F(EngineTest, StructRecoveryNestedUnknown)
+{
+  TokenMeter meter;
+  AnalysisEngine engine(index_, Gpt4(), &meter);
+  // Craft a synthetic nested case via the corpus: any struct referencing
+  // another struct by value reports a kType unknown. dm has none, so use
+  // an inline source.
+  ksrc::DefinitionIndex local;
+  local.AddSource("struct inner { __u32 x; };\n"
+                  "struct outer { struct inner i; __u64 y; };\n",
+                  "t.c");
+  local.ResolveMacros();
+  AnalysisEngine nested(&local, Gpt4(), &meter);
+  StructRecovery rec = nested.RecoverStruct("outer", "t", {}, {});
+  ASSERT_EQ(rec.unknowns.size(), 1u);
+  EXPECT_EQ(rec.unknowns[0].identifier, "inner");
+  EXPECT_EQ(rec.unknowns[0].kind, Unknown::Kind::kType);
+}
+
+TEST_F(EngineTest, DependencyAnalysisFindsAnonInode)
+{
+  TokenMeter meter;
+  AnalysisEngine engine(index_, Gpt4(), &meter);
+  DependencyAnalysis dep =
+      engine.AnalyzeDependencies("kvm_dev_kvm_create_vm", "kvm");
+  ASSERT_EQ(dep.created.size(), 1u);
+  EXPECT_EQ(dep.created[0].label, "kvm-vm");
+  EXPECT_EQ(dep.created[0].fops_var, "_kvm_vm_fops");
+}
+
+TEST_F(EngineTest, DeviceNodeInferenceNodename)
+{
+  TokenMeter meter;
+  AnalysisEngine engine(index_, Gpt4(), &meter);
+  auto handlers = extractor::FindDriverHandlers(*index_);
+  for (const auto& h : handlers) {
+    if (h.file_path != "drivers/dm.c" ||
+        h.reg == extractor::RegKind::kUnreferenced) {
+      continue;
+    }
+    EXPECT_EQ(engine.InferDeviceNode(h, "dm"), "/dev/mapper/control");
+    // A nodename-blind model falls back to .name (the SyzDescribe error).
+    ModelProfile blind = Gpt4();
+    blind.understands_nodename = false;
+    AnalysisEngine weak(index_, blind, &meter);
+    EXPECT_EQ(weak.InferDeviceNode(h, "dm"), "/dev/device-mapper");
+  }
+}
+
+TEST_F(EngineTest, SocketCreateAnalysis)
+{
+  TokenMeter meter;
+  AnalysisEngine engine(index_, Gpt4(), &meter);
+  SocketCreateAnalysis create =
+      engine.AnalyzeSocketCreate("rds_create", "rds");
+  EXPECT_EQ(create.type_macro, "SOCK_SEQPACKET");
+  EXPECT_FALSE(create.protocol_checked);  // rds accepts any protocol.
+
+  SocketCreateAnalysis l2tp =
+      engine.AnalyzeSocketCreate("l2tp_ip6_create", "l2tp_ip6");
+  EXPECT_TRUE(l2tp.protocol_checked);
+  EXPECT_EQ(l2tp.protocol, 115u);
+}
+
+TEST_F(EngineTest, MeterCountsTokens)
+{
+  TokenMeter meter;
+  AnalysisEngine engine(index_, Gpt4(), &meter);
+  engine.AnalyzeIdentifiers("dm_ctl_ioctl", "usage", "dm", 1);
+  EXPECT_EQ(meter.query_count(), 1u);
+  EXPECT_GT(meter.total_input_tokens(), 20u);
+  EXPECT_GT(meter.total_output_tokens(), 0u);
+  EXPECT_GT(meter.CostUsd(), 0.0);
+}
+
+TEST(FlagGroupTest, ExcludesCommandMacros)
+{
+  ksrc::CFile file = ksrc::CParse(
+      "#define X_MAGIC 0x40\n"
+      "#define X_CMD1_NR 1\n"
+      "#define X_CMD1 _IOWR(X_MAGIC, X_CMD1_NR, struct a)\n"
+      "#define X_F_A 1\n"
+      "#define X_F_B 2\n"
+      "#define X_NAME_LEN 64\n",
+      "x.c");
+  auto groups = DiscoverFlagGroups(file);
+  ASSERT_EQ(groups.size(), 1u);
+  ASSERT_EQ(groups[0].member_macros.size(), 2u);
+  EXPECT_EQ(groups[0].member_macros[0], "X_F_A");
+}
+
+}  // namespace
+}  // namespace kernelgpt::llm

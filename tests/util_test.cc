@@ -1,0 +1,226 @@
+// Unit tests for the util module: RNG determinism, string helpers, table
+// rendering, and histograms.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace kernelgpt::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed)
+{
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge)
+{
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BelowRespectsBound)
+{
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.Below(bound), bound);
+  }
+}
+
+TEST(RngTest, BelowZeroReturnsZero)
+{
+  Rng rng(7);
+  EXPECT_EQ(rng.Below(0), 0u);
+}
+
+TEST(RngTest, RangeInclusive)
+{
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.Range(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // All three values occur.
+}
+
+TEST(RngTest, ChanceExtremes)
+{
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceApproximatesProbability)
+{
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits, 2500, 250);
+}
+
+TEST(RngTest, WeightedPickHonorsWeights)
+{
+  Rng rng(17);
+  std::vector<double> weights = {0.0, 10.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.WeightedPick(weights), 1u);
+  }
+}
+
+TEST(RngTest, WeightedPickEmptyReturnsZero)
+{
+  Rng rng(17);
+  EXPECT_EQ(rng.WeightedPick({}), 0u);
+}
+
+TEST(RngTest, ForkDecorrelates)
+{
+  Rng parent(21);
+  Rng child = parent.Fork();
+  EXPECT_NE(parent.Next(), child.Next());
+}
+
+TEST(StableHashTest, StableAcrossCalls)
+{
+  EXPECT_EQ(StableHash(std::string("dm")), StableHash(std::string("dm")));
+  EXPECT_NE(StableHash(std::string("dm")), StableHash(std::string("cec")));
+}
+
+TEST(StringsTest, SplitPreservesEmptyFields)
+{
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StringsTest, SplitWhitespaceDropsEmpty)
+{
+  auto parts = SplitWhitespace("  a \t b\nc  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, TrimBothEnds)
+{
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringsTest, StartsEndsContains)
+{
+  EXPECT_TRUE(StartsWith("openat$dm", "openat"));
+  EXPECT_FALSE(StartsWith("op", "openat"));
+  EXPECT_TRUE(EndsWith("_ctl_fops", "fops"));
+  EXPECT_TRUE(Contains("unlocked_ioctl = dm_ctl_ioctl", "dm_ctl_ioctl"));
+}
+
+TEST(StringsTest, ReplaceAll)
+{
+  EXPECT_EQ(ReplaceAll("a.b.c", ".", "::"), "a::b::c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+}
+
+TEST(StringsTest, FormatBasics)
+{
+  EXPECT_EQ(Format("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(Format("%%"), "%");
+}
+
+TEST(StringsTest, IndentMultiline)
+{
+  EXPECT_EQ(Indent("a\nb", 2), "  a\n  b");
+  EXPECT_EQ(Indent("a\n\nb", 2), "  a\n\n  b");  // Blank lines unpadded.
+}
+
+TEST(StringsTest, ApproxTokenCountScalesWithLength)
+{
+  size_t small = ApproxTokenCount("int x;");
+  size_t large = ApproxTokenCount(std::string(4000, 'a'));
+  EXPECT_LT(small, 10u);
+  EXPECT_GE(large, 900u);
+}
+
+TEST(TableTest, RendersAlignedColumns)
+{
+  Table t({"Name", "Cov"});
+  t.AddRow({"dm", "123"});
+  t.AddRow({"longer-name", "4"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_EQ(t.RowCount(), 2u);
+}
+
+TEST(TableTest, SeparatorNotCountedAsRow)
+{
+  Table t({"A"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  EXPECT_EQ(t.RowCount(), 2u);
+}
+
+TEST(TableTest, WithCommas)
+{
+  EXPECT_EQ(WithCommas(0), "0");
+  EXPECT_EQ(WithCommas(999), "999");
+  EXPECT_EQ(WithCommas(204923), "204,923");
+  EXPECT_EQ(WithCommas(-1234567), "-1,234,567");
+}
+
+TEST(TableTest, FixedDigits)
+{
+  EXPECT_EQ(Fixed(16.049, 1), "16.0");
+  EXPECT_EQ(Fixed(2.5, 2), "2.50");
+}
+
+TEST(HistogramTest, BucketsAndClamping)
+{
+  Histogram h(0, 100, 4);
+  h.Add(10);   // Bucket 0.
+  h.Add(30);   // Bucket 1.
+  h.Add(99);   // Bucket 3.
+  h.Add(150);  // Clamped to bucket 3.
+  h.Add(-5);   // Clamped to bucket 0.
+  EXPECT_EQ(h.BucketCount(size_t{0}), 2u);
+  EXPECT_EQ(h.BucketCount(size_t{1}), 1u);
+  EXPECT_EQ(h.BucketCount(size_t{2}), 0u);
+  EXPECT_EQ(h.BucketCount(size_t{3}), 2u);
+  EXPECT_EQ(h.TotalCount(), 5u);
+}
+
+TEST(HistogramTest, AsciiRenderHasOneLinePerBucket)
+{
+  Histogram h(0, 10, 5);
+  h.Add(1);
+  std::string out = h.RenderAscii();
+  int lines = 0;
+  for (char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 5);
+}
+
+}  // namespace
+}  // namespace kernelgpt::util

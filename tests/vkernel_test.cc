@@ -1,0 +1,234 @@
+// Unit tests for the virtual kernel: fd table, syscall dispatch, coverage
+// and crash plumbing.
+
+#include <gtest/gtest.h>
+
+#include "vkernel/kernel.h"
+
+namespace kernelgpt::vkernel {
+namespace {
+
+/// Minimal test driver: one device with a single ioctl that covers blocks
+/// and can crash on command 0xdead.
+class TestHandler : public FileHandler {
+ public:
+  long Ioctl(uint64_t cmd, Buffer* arg, ExecContext& ctx,
+             Kernel& kernel) override {
+    (void)kernel;
+    ctx.Cover(100 + cmd);
+    if (cmd == 0xdead) ctx.Crash("test crash in handler");
+    if (arg && !arg->bytes.empty()) ctx.Cover(500);
+    return 0;
+  }
+  long Read(Buffer* out, ExecContext& ctx) override {
+    ctx.Cover(600);
+    out->bytes.assign(4, 0xaa);
+    return 4;
+  }
+  void Release(ExecContext& ctx, Kernel& kernel) override {
+    (void)kernel;
+    ctx.Cover(700);
+    ++release_count;
+  }
+  static int release_count;
+};
+int TestHandler::release_count = 0;
+
+class TestDriver : public DeviceDriver {
+ public:
+  std::string Name() const override { return "testdev"; }
+  std::string NodePath() const override { return "/dev/testdev"; }
+  std::unique_ptr<FileHandler> Open(ExecContext& ctx, Kernel& kernel,
+                                    long* err) override {
+    (void)kernel;
+    (void)err;
+    ctx.Cover(1);
+    return std::make_unique<TestHandler>();
+  }
+};
+
+class TestSocket : public SocketHandler {
+ public:
+  long SetSockOpt(uint64_t level, uint64_t optname, const Buffer& val,
+                  ExecContext& ctx, Kernel& kernel) override {
+    (void)kernel;
+    (void)val;
+    if (level != 99) return -kENOPROTOOPT;
+    ctx.Cover(900 + optname);
+    return 0;
+  }
+};
+
+class TestFamily : public SocketFamily {
+ public:
+  std::string Name() const override { return "testsock"; }
+  uint64_t Domain() const override { return 42; }
+  std::unique_ptr<SocketHandler> Create(uint64_t type, uint64_t protocol,
+                                        ExecContext& ctx, Kernel& kernel,
+                                        long* err) override {
+    (void)kernel;
+    (void)protocol;
+    if (type != 1) {
+      *err = -kEINVAL;
+      return nullptr;
+    }
+    ctx.Cover(800);
+    return std::make_unique<TestSocket>();
+  }
+};
+
+class KernelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kernel_.RegisterDevice(std::make_unique<TestDriver>());
+    kernel_.RegisterSocketFamily(std::make_unique<TestFamily>());
+    kernel_.BeginProgram();
+  }
+  Kernel kernel_;
+  Coverage cov_;
+};
+
+TEST_F(KernelTest, OpenUnknownPathFails)
+{
+  ExecContext ctx(&cov_);
+  EXPECT_EQ(kernel_.Openat("/dev/nope", 0, ctx), -kENOENT);
+}
+
+TEST_F(KernelTest, OpenIoctlCloseFlow)
+{
+  ExecContext ctx(&cov_);
+  long fd = kernel_.Openat("/dev/testdev", 0, ctx);
+  ASSERT_GE(fd, 3);
+  EXPECT_TRUE(cov_.Contains(1));
+  EXPECT_EQ(kernel_.Ioctl(fd, 7, nullptr, ctx), 0);
+  EXPECT_TRUE(cov_.Contains(107));
+  EXPECT_EQ(kernel_.Close(fd, ctx), 0);
+  EXPECT_TRUE(cov_.Contains(700));
+  EXPECT_EQ(kernel_.Ioctl(fd, 7, nullptr, ctx), -kEBADF);
+}
+
+TEST_F(KernelTest, CrashSetsContextState)
+{
+  ExecContext ctx(&cov_);
+  long fd = kernel_.Openat("/dev/testdev", 0, ctx);
+  kernel_.Ioctl(fd, 0xdead, nullptr, ctx);
+  EXPECT_TRUE(ctx.crashed());
+  EXPECT_EQ(ctx.crash_title(), "test crash in handler");
+}
+
+TEST_F(KernelTest, CrashTitleKeepsFirst)
+{
+  ExecContext ctx(&cov_);
+  ctx.Crash("first");
+  ctx.Crash("second");
+  EXPECT_EQ(ctx.crash_title(), "first");
+}
+
+TEST_F(KernelTest, BufferArgsReachHandler)
+{
+  ExecContext ctx(&cov_);
+  long fd = kernel_.Openat("/dev/testdev", 0, ctx);
+  Buffer buf;
+  buf.bytes = {1, 2, 3};
+  kernel_.Ioctl(fd, 0, &buf, ctx);
+  EXPECT_TRUE(cov_.Contains(500));
+}
+
+TEST_F(KernelTest, ReadWritesBuffer)
+{
+  ExecContext ctx(&cov_);
+  long fd = kernel_.Openat("/dev/testdev", 0, ctx);
+  Buffer out;
+  EXPECT_EQ(kernel_.Read(fd, &out, ctx), 4);
+  EXPECT_EQ(out.bytes.size(), 4u);
+}
+
+TEST_F(KernelTest, DupSharesHandlerAndReleaseOnce)
+{
+  TestHandler::release_count = 0;
+  ExecContext ctx(&cov_);
+  long fd = kernel_.Openat("/dev/testdev", 0, ctx);
+  long fd2 = kernel_.Dup(fd, ctx);
+  ASSERT_GT(fd2, fd);
+  EXPECT_EQ(kernel_.Close(fd, ctx), 0);
+  EXPECT_EQ(TestHandler::release_count, 0);  // Still referenced by fd2.
+  EXPECT_EQ(kernel_.Close(fd2, ctx), 0);
+  EXPECT_EQ(TestHandler::release_count, 1);
+}
+
+TEST_F(KernelTest, SocketCreationChecksDomainAndType)
+{
+  ExecContext ctx(&cov_);
+  EXPECT_EQ(kernel_.Socket(41, 1, 0, ctx), -kEAFNOSUPPORT);
+  EXPECT_EQ(kernel_.Socket(42, 2, 0, ctx), -kEINVAL);
+  long fd = kernel_.Socket(42, 1, 0, ctx);
+  EXPECT_GE(fd, 3);
+  EXPECT_TRUE(cov_.Contains(800));
+}
+
+TEST_F(KernelTest, SetSockOptDispatch)
+{
+  ExecContext ctx(&cov_);
+  long fd = kernel_.Socket(42, 1, 0, ctx);
+  Buffer val;
+  EXPECT_EQ(kernel_.SetSockOpt(fd, 99, 5, val, ctx), 0);
+  EXPECT_TRUE(cov_.Contains(905));
+  EXPECT_EQ(kernel_.SetSockOpt(fd, 98, 5, val, ctx), -kENOPROTOOPT);
+}
+
+TEST_F(KernelTest, SocketSyscallsRejectDeviceFds)
+{
+  ExecContext ctx(&cov_);
+  long fd = kernel_.Openat("/dev/testdev", 0, ctx);
+  Buffer val;
+  EXPECT_EQ(kernel_.SetSockOpt(fd, 99, 5, val, ctx), -kEBADF);
+  EXPECT_EQ(kernel_.Bind(fd, val, ctx), -kEBADF);
+}
+
+TEST_F(KernelTest, BeginProgramResetsFdTable)
+{
+  ExecContext ctx(&cov_);
+  long fd = kernel_.Openat("/dev/testdev", 0, ctx);
+  kernel_.BeginProgram();
+  EXPECT_EQ(kernel_.Ioctl(fd, 1, nullptr, ctx), -kEBADF);
+}
+
+TEST(CoverageTest, MergeAndDiff)
+{
+  Coverage a;
+  a.Hit(1);
+  a.Hit(2);
+  Coverage b;
+  b.Hit(2);
+  b.Hit(3);
+  EXPECT_EQ(a.CountNotIn(b), 1u);
+  EXPECT_EQ(a.Merge(b), 1u);
+  EXPECT_EQ(a.Count(), 3u);
+}
+
+TEST(CoverageTest, HitReportsNew)
+{
+  Coverage c;
+  EXPECT_TRUE(c.Hit(5));
+  EXPECT_FALSE(c.Hit(5));
+}
+
+TEST(BufferTest, ScalarRoundTrip)
+{
+  Buffer b;
+  b.WriteScalar(4, 4, 0xdeadbeef);
+  EXPECT_EQ(b.bytes.size(), 8u);
+  EXPECT_EQ(b.ReadScalar(4, 4), 0xdeadbeefu);
+  EXPECT_EQ(b.ReadScalar(100, 4), 0u);  // Out of range reads zero.
+}
+
+TEST(BufferTest, PartialReadAtEdge)
+{
+  Buffer b;
+  b.bytes = {0xff, 0xff};
+  // Reading 4 bytes at offset 0 with only 2 available: low bytes only.
+  EXPECT_EQ(b.ReadScalar(0, 4), 0xffffu);
+}
+
+}  // namespace
+}  // namespace kernelgpt::vkernel
