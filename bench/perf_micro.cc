@@ -75,6 +75,24 @@ BM_FuzzThroughput(benchmark::State& state)
 BENCHMARK(BM_FuzzThroughput)->Arg(2000);
 
 void
+BM_OrchestratorThroughput(benchmark::State& state)
+{
+  const auto& context = experiments::ExperimentContext::Default();
+  fuzzer::SpecLibrary lib = context.SyzkallerPlusKernelGptSuite();
+  for (auto _ : state) {
+    fuzzer::OrchestratorOptions options;
+    options.campaign.seed = 42;
+    options.campaign.program_budget = 2000;
+    options.num_workers = static_cast<int>(state.range(0));
+    benchmark::DoNotOptimize(fuzzer::RunShardedCampaign(
+        lib, [&context](vkernel::Kernel* k) { context.BootKernel(k); },
+        options));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2000);
+}
+BENCHMARK(BM_OrchestratorThroughput)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void
 BM_FullGenerationPipeline(benchmark::State& state)
 {
   for (auto _ : state) {

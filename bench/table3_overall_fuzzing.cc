@@ -2,6 +2,11 @@
 // 24-hour fuzzing sessions replaced by a fixed program budget on the
 // virtual kernel. Reports total coverage, coverage unique vs. the plain
 // Syzkaller suite, and average unique crashes.
+//
+// The workload runs twice: once on the serial campaign path (1 worker)
+// and once on the 4-worker sharded orchestrator, and reports the
+// wall-clock speedup at equal program budget. Crash-dedup semantics are
+// identical on both paths (titles dedup crashes globally).
 
 #include <cstdio>
 
@@ -13,6 +18,7 @@ using namespace kernelgpt;
 namespace {
 constexpr int kBudget = 60000;  // Programs per rep (stands in for 24 h).
 constexpr int kReps = 3;
+constexpr int kWorkers = 4;     // Orchestrator shard count.
 }  // namespace
 
 int
@@ -30,6 +36,7 @@ main()
   std::printf("(paper shape: KernelGPT > Syzkaller > SyzDescribe on Cov; "
               "KernelGPT highest Unique Cov and Crash)\n\n");
 
+  // Serial reference (1 worker == the historical serial campaign).
   auto base = context.Fuzz(syzkaller, kBudget, kReps, 1000);
   auto sd = context.Fuzz(with_sd, kBudget, kReps, 2000);
   auto kg = context.Fuzz(with_kg, kBudget, kReps, 3000);
@@ -52,8 +59,48 @@ main()
   std::printf("%s\n", table.Render().c_str());
 
   std::printf("Coverage delta (KernelGPT - Syzkaller): %+.0f blocks; "
-              "(KernelGPT - SyzDescribe): %+.0f blocks\n",
+              "(KernelGPT - SyzDescribe): %+.0f blocks\n\n",
               kg.avg_coverage - base.avg_coverage,
               kg.avg_coverage - sd.avg_coverage);
+
+  // -- Sharded orchestrator: same workload, kWorkers shards -----------------
+  auto base_par = context.Fuzz(syzkaller, kBudget, kReps, 1000, kWorkers);
+  auto sd_par = context.Fuzz(with_sd, kBudget, kReps, 2000, kWorkers);
+  auto kg_par = context.Fuzz(with_kg, kBudget, kReps, 3000, kWorkers);
+
+  const double serial_wall =
+      base.wall_seconds + sd.wall_seconds + kg.wall_seconds;
+  const double parallel_wall =
+      base_par.wall_seconds + sd_par.wall_seconds + kg_par.wall_seconds;
+
+  util::Table ptable({"Suite", "Serial s", "4-way s", "Speedup",
+                      "Cov (4-way)", "Crash (4-way)"});
+  auto prow = [&](const char* label,
+                  const experiments::ExperimentContext::FuzzSummary& s,
+                  const experiments::ExperimentContext::FuzzSummary& p) {
+    ptable.AddRow(
+        {label, util::Fixed(s.wall_seconds, 2), util::Fixed(p.wall_seconds, 2),
+         util::Fixed(s.wall_seconds / (p.wall_seconds > 0 ? p.wall_seconds : 1),
+                     2) +
+             "x",
+         util::WithCommas(static_cast<int64_t>(p.avg_coverage)),
+         util::Fixed(p.avg_crashes, 1)});
+  };
+  std::printf("Sharded orchestrator (%d workers, equal %d-program budget):\n",
+              kWorkers, kBudget);
+  prow("Syzkaller", base, base_par);
+  prow("Syzkaller + SyzDescribe", sd, sd_par);
+  prow("Syzkaller + KernelGPT", kg, kg_par);
+  std::printf("%s\n", ptable.Render().c_str());
+
+  std::printf("Overall wall-clock: serial %.2fs, %d-worker %.2fs -> %.2fx "
+              "speedup (>= 2x expected with >= 4 free cores; "
+              "scheduling-independent results either way)\n",
+              serial_wall, kWorkers, parallel_wall,
+              serial_wall / (parallel_wall > 0 ? parallel_wall : 1));
+  std::printf("Crash-dedup check: unique crash titles serial vs 4-way: "
+              "%zu vs %zu (Syzkaller), %zu vs %zu (KernelGPT)\n",
+              base.crash_titles.size(), base_par.crash_titles.size(),
+              kg.crash_titles.size(), kg_par.crash_titles.size());
   return 0;
 }

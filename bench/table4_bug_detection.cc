@@ -63,9 +63,9 @@ main()
   int cves = 0;
   for (const experiments::PlantedBug& bug :
        experiments::AllPlantedBugs(/*include_legacy=*/false)) {
-    bool found = kernelgpt_found.contains(bug.title);
-    bool in_syzkaller = syzkaller_found.contains(bug.title);
-    bool in_sd = syzdescribe_found.contains(bug.title);
+    bool found = kernelgpt_found.count(bug.title);
+    bool in_syzkaller = syzkaller_found.count(bug.title);
+    bool in_sd = syzdescribe_found.count(bug.title);
     if (found) {
       ++found_count;
       if (bug.confirmed) ++confirmed;

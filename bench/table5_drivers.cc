@@ -15,6 +15,7 @@ namespace {
 
 constexpr int kBudget = 8000;  // Per-driver budget (stands in for 6 h).
 constexpr int kReps = 3;
+constexpr int kWorkers = 4;    // Sharded orchestrator workers per cell.
 
 /// Paper row label -> corpus module id ("" = not supported in Linux 6).
 struct RowMap {
@@ -48,8 +49,8 @@ main()
       experiments::ExperimentContext::Default();
 
   std::printf("Table 5: Driver specification generation comparison "
-              "(%d programs x %d reps per cell)\n",
-              kBudget, kReps);
+              "(%d programs x %d reps per cell, %d-worker orchestrator)\n",
+              kBudget, kReps, kWorkers);
   std::printf("(paper shape: KernelGPT best coverage on most rows and in "
               "total; 'Err' where SyzDescribe inferred a wrong device "
               "name)\n\n");
@@ -81,7 +82,7 @@ main()
       if (!spec || !usable) return {0, 0.0};
       fuzzer::SpecLibrary lib = context.MakeLibrary({spec});
       if (lib.syscalls().empty()) return {0, 0.0};
-      auto summary = context.Fuzz(lib, kBudget, kReps, seed += 13);
+      auto summary = context.Fuzz(lib, kBudget, kReps, seed += 13, kWorkers);
       return {lib.syscalls().size(), summary.avg_coverage};
     };
 

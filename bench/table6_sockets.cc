@@ -12,6 +12,7 @@ using namespace kernelgpt;
 namespace {
 constexpr int kBudget = 8000;
 constexpr int kReps = 3;
+constexpr int kWorkers = 4;  // Sharded orchestrator workers per cell.
 
 const char* const kSockets[] = {
     "caif", "l2tp_ip6", "llc",      "mptcp", "packet",
@@ -26,8 +27,8 @@ main()
       experiments::ExperimentContext::Default();
 
   std::printf("Table 6: Socket specification generation comparison "
-              "(%d programs x %d reps per cell)\n",
-              kBudget, kReps);
+              "(%d programs x %d reps per cell, %d-worker orchestrator)\n",
+              kBudget, kReps, kWorkers);
   std::printf("(paper shape: KernelGPT describes more syscalls and covers "
               "~19%% more blocks in total)\n\n");
 
@@ -46,14 +47,14 @@ main()
     if (!module) continue;
 
     fuzzer::SpecLibrary syz_lib = context.MakeLibrary({&module->existing});
-    auto syz = context.Fuzz(syz_lib, kBudget, kReps, seed += 17);
+    auto syz = context.Fuzz(syz_lib, kBudget, kReps, seed += 17, kWorkers);
 
     experiments::ExperimentContext::FuzzSummary kg;
     size_t kg_sys = 0;
     if (module->KernelGptUsable()) {
       fuzzer::SpecLibrary kg_lib =
           context.MakeLibrary({&module->kernelgpt.spec});
-      kg = context.Fuzz(kg_lib, kBudget, kReps, seed += 17);
+      kg = context.Fuzz(kg_lib, kBudget, kReps, seed += 17, kWorkers);
       kg_sys = kg_lib.syscalls().size();
     }
 

@@ -57,7 +57,7 @@ main()
   }
   int new_bugs = 0;
   for (const auto& bug : experiments::AllPlantedBugs(false)) {
-    if (found.contains(bug.title)) {
+    if (found.count(bug.title)) {
       ++new_bugs;
       std::printf("  [%s] %s%s%s\n", bug.module.c_str(), bug.title.c_str(),
                   bug.cve.empty() ? "" : "  ", bug.cve.c_str());

@@ -1,0 +1,76 @@
+// Parallel campaign demo: shard one fuzzing budget across worker
+// threads with the campaign orchestrator, compare against the serial
+// loop, and show the per-shard statistics and the global merge.
+//
+// Build: cmake -B build && cmake --build build
+// Run:   ./build/examples/example_parallel_campaign [workers]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "drivers/corpus.h"
+#include "drivers/model_spec.h"
+#include "fuzzer/orchestrator.h"
+
+using namespace kernelgpt;
+
+int
+main(int argc, char** argv)
+{
+  const int workers = argc > 1 ? std::atoi(argv[1]) : 4;
+
+  // Fuzz the device-mapper ground-truth spec — the richest single-driver
+  // workload in the corpus (multi-step ioctl protocol, several bugs).
+  const drivers::Corpus& corpus = drivers::Corpus::Instance();
+  fuzzer::SpecLibrary lib;
+  lib.SetConsts(corpus.BuildIndex().BuildConstTable());
+  lib.Add(drivers::GroundTruthDeviceSpec(*corpus.FindDevice("dm")));
+  lib.Finalize();
+
+  auto boot = [&corpus](vkernel::Kernel* kernel) {
+    corpus.RegisterAll(kernel);
+  };
+
+  fuzzer::OrchestratorOptions options;
+  options.campaign.program_budget = 60000;
+  options.campaign.seed = 42;
+  options.sync_interval = 512;
+
+  // Serial reference: one worker replays the classic campaign loop.
+  options.num_workers = 1;
+  fuzzer::OrchestratorResult serial =
+      fuzzer::RunShardedCampaign(lib, boot, options);
+  std::printf("Serial   : %zu programs, %zu blocks, %zu unique crashes "
+              "in %.2fs\n",
+              serial.programs_executed, serial.coverage.Count(),
+              serial.UniqueCrashCount(), serial.wall_seconds);
+
+  // Sharded run: same budget split across `workers` threads, with
+  // interesting seeds broadcast between shards every sync_interval
+  // programs and a global coverage/crash merge at the end.
+  options.num_workers = workers;
+  fuzzer::OrchestratorResult sharded =
+      fuzzer::RunShardedCampaign(lib, boot, options);
+  std::printf("%d-worker : %zu programs, %zu blocks, %zu unique crashes "
+              "in %.2fs (%.2fx)\n\n",
+              workers, sharded.programs_executed, sharded.coverage.Count(),
+              sharded.UniqueCrashCount(), sharded.wall_seconds,
+              serial.wall_seconds /
+                  (sharded.wall_seconds > 0 ? sharded.wall_seconds : 1));
+
+  std::printf("Per-shard breakdown:\n");
+  for (const auto& shard : sharded.shards) {
+    std::printf("  shard %d: %6zu programs, %4zu blocks, %3zu crash hits, "
+                "corpus %3zu, broadcast %3zu, ingested %3zu\n",
+                shard.shard_id, shard.programs_executed,
+                shard.coverage_blocks, shard.crash_occurrences,
+                shard.corpus_size, shard.seeds_broadcast,
+                shard.seeds_ingested);
+  }
+
+  std::printf("\nGlobally deduplicated crashes (union of all shards):\n");
+  for (const auto& [title, count] : sharded.crashes) {
+    std::printf("  %5d x %s\n", count, title.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Canonical CI check (referenced from CHANGES.md): tier-1 verify plus a
+# 4-worker mini-campaign determinism gate on the sharded orchestrator.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== Tier-1 verify: configure + build + ctest =="
+cmake -B build -S .
+cmake --build build -j"${JOBS}"
+(cd build && ctest --output-on-failure -j"${JOBS}")
+
+echo
+echo "== 4-worker mini-campaign determinism check =="
+# Two back-to-back 4-worker sharded campaigns must produce identical
+# merged coverage bitmaps and deduplicated crash maps, and a 1-worker
+# run must be bit-identical to the serial campaign loop.
+./build/orchestrator_test --gtest_filter='OrchestratorTest.MultiWorkerMergeIsDeterministic:OrchestratorTest.OneWorkerBitIdenticalToSerialCampaign'
+
+echo
+echo "CI OK"

@@ -154,7 +154,7 @@ SyzDescribe::GenerateForDriver(const extractor::DriverHandler& handler)
     std::string spec_struct;
     if (!struct_name.empty()) {
       spec_struct = "s_" + id + "_" + struct_name;
-      if (!described_structs.contains(spec_struct)) {
+      if (!described_structs.count(spec_struct)) {
         const ksrc::CStructDef* def = index_->FindStruct(struct_name);
         if (def) {
           StructDef out;

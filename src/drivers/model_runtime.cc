@@ -137,7 +137,7 @@ class CommandEngine {
                  ReadField(*arg, layout, bug.field) == 0;
           break;
         case BugSpec::Trigger::kSequence:
-          fire = executed && executed->contains(bug.prior_cmd);
+          fire = executed && executed->count(bug.prior_cmd);
           break;
         case BugSpec::Trigger::kOnRelease:
           if (release_bomb) {
@@ -414,7 +414,7 @@ class ModelSocket : public vkernel::SocketHandler {
           fire = addr_spec && ReadField(addr, layout, bug.field) == bug.value;
           break;
         case BugSpec::Trigger::kSequence:
-          fire = executed_.contains(bug.prior_cmd);
+          fire = executed_.count(bug.prior_cmd);
           break;
         case BugSpec::Trigger::kOnRelease:
           release_bomb_ = true;

@@ -183,7 +183,7 @@ FilterSpec(const SpecFile& full,
   };
   for (const Decl& d : full.decls) {
     if (d.kind != DeclKind::kSyscall) continue;
-    if (!selected.contains(d.syscall.FullName())) continue;
+    if (!selected.count(d.syscall.FullName())) continue;
     for (const Field& p : d.syscall.params) visit_type(p.type, visit_type);
     if (d.syscall.returns_resource) needed.insert(*d.syscall.returns_resource);
   }
@@ -194,16 +194,16 @@ FilterSpec(const SpecFile& full,
   for (const Decl& d : full.decls) {
     switch (d.kind) {
       case DeclKind::kSyscall:
-        if (selected.contains(d.syscall.FullName())) out.decls.push_back(d);
+        if (selected.count(d.syscall.FullName())) out.decls.push_back(d);
         break;
       case DeclKind::kStruct:
-        if (needed.contains(d.struct_def.name)) out.decls.push_back(d);
+        if (needed.count(d.struct_def.name)) out.decls.push_back(d);
         break;
       case DeclKind::kResource:
-        if (needed.contains(d.resource.name)) out.decls.push_back(d);
+        if (needed.count(d.resource.name)) out.decls.push_back(d);
         break;
       case DeclKind::kFlags:
-        if (needed.contains(d.flags.name)) out.decls.push_back(d);
+        if (needed.count(d.flags.name)) out.decls.push_back(d);
         break;
       case DeclKind::kDefine:
         out.decls.push_back(d);

@@ -143,22 +143,23 @@ ExperimentContext::BootKernel(vkernel::Kernel* kernel) const
 
 ExperimentContext::FuzzSummary
 ExperimentContext::Fuzz(const fuzzer::SpecLibrary& lib, int program_budget,
-                        int reps, uint64_t seed_base) const
+                        int reps, uint64_t seed_base, int num_workers) const
 {
   FuzzSummary summary;
   for (int rep = 0; rep < reps; ++rep) {
-    vkernel::Kernel kernel;
-    BootKernel(&kernel);
-    fuzzer::CampaignOptions options;
-    options.seed = seed_base + static_cast<uint64_t>(rep) * 7919;
-    options.program_budget = program_budget;
-    fuzzer::CampaignResult result = fuzzer::RunCampaign(&kernel, lib, options);
+    fuzzer::OrchestratorOptions options;
+    options.campaign.seed = seed_base + static_cast<uint64_t>(rep) * 7919;
+    options.campaign.program_budget = program_budget;
+    options.num_workers = num_workers;
+    fuzzer::OrchestratorResult result = fuzzer::RunShardedCampaign(
+        lib, [this](vkernel::Kernel* kernel) { BootKernel(kernel); }, options);
     summary.avg_coverage += static_cast<double>(result.coverage.Count());
     summary.avg_crashes += static_cast<double>(result.UniqueCrashCount());
     summary.merged.Merge(result.coverage);
     for (const auto& [title, count] : result.crashes) {
       summary.crash_titles[title] += count;
     }
+    summary.wall_seconds += result.wall_seconds;
   }
   if (reps > 0) {
     summary.avg_coverage /= reps;

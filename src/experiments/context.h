@@ -15,6 +15,7 @@
 #include "drivers/corpus.h"
 #include "drivers/model_spec.h"
 #include "fuzzer/campaign.h"
+#include "fuzzer/orchestrator.h"
 #include "spec_gen/kernelgpt.h"
 
 namespace kernelgpt::experiments {
@@ -92,14 +93,19 @@ class ExperimentContext {
 
   /// Runs `reps` campaigns with distinct seeds and returns the average
   /// coverage count, average unique-crash count, and merged coverage.
+  /// Campaigns run on the sharded orchestrator; `num_workers == 1`
+  /// reproduces the historical serial results bit-for-bit.
   struct FuzzSummary {
     double avg_coverage = 0;
     double avg_crashes = 0;
     vkernel::Coverage merged;
     std::map<std::string, int> crash_titles;
+    /// Total campaign wall-clock across reps (for speedup reporting).
+    double wall_seconds = 0;
   };
   FuzzSummary Fuzz(const fuzzer::SpecLibrary& lib, int program_budget,
-                   int reps, uint64_t seed_base = 1) const;
+                   int reps, uint64_t seed_base = 1,
+                   int num_workers = 1) const;
 
  private:
   ksrc::DefinitionIndex index_;

@@ -2,6 +2,44 @@
 
 namespace kernelgpt::fuzzer {
 
+void
+AdmitToCorpus(const CampaignOptions& options, util::Rng* rng,
+              std::vector<Prog>* corpus, Prog prog)
+{
+  if (corpus->size() >= options.corpus_cap) {
+    (*corpus)[rng->Below(corpus->size())] = std::move(prog);
+  } else {
+    corpus->push_back(std::move(prog));
+  }
+}
+
+void
+RunCampaignChunk(const CampaignOptions& options, const CampaignState& state,
+                 int n, std::vector<Prog>* interesting_out)
+{
+  std::vector<Prog>& corpus = *state.corpus;
+  for (int i = 0; i < n; ++i) {
+    Prog prog;
+    if (!corpus.empty() && state.rng->Chance(options.mutate_prob)) {
+      prog = corpus[state.rng->Below(corpus.size())];
+      state.mutator->Mutate(&prog);
+    } else {
+      prog = state.generator->Generate(options.max_prog_len);
+    }
+    if (prog.empty()) continue;
+
+    ExecResult exec = state.executor->Run(prog, state.coverage);
+    ++*state.programs_executed;
+    if (exec.crashed) {
+      (*state.crashes)[exec.crash_title]++;
+    }
+    if (exec.new_blocks > 0) {
+      if (interesting_out) interesting_out->push_back(prog);
+      AdmitToCorpus(options, state.rng, &corpus, std::move(prog));
+    }
+  }
+}
+
 CampaignResult
 RunCampaign(vkernel::Kernel* kernel, const SpecLibrary& lib,
             const CampaignOptions& options)
@@ -15,29 +53,17 @@ RunCampaign(vkernel::Kernel* kernel, const SpecLibrary& lib,
   Executor executor(kernel, &lib);
   std::vector<Prog> corpus;
 
-  for (int i = 0; i < options.program_budget; ++i) {
-    Prog prog;
-    if (!corpus.empty() && rng.Chance(options.mutate_prob)) {
-      prog = corpus[rng.Below(corpus.size())];
-      mutator.Mutate(&prog);
-    } else {
-      prog = generator.Generate(options.max_prog_len);
-    }
-    if (prog.empty()) continue;
+  CampaignState state;
+  state.generator = &generator;
+  state.mutator = &mutator;
+  state.executor = &executor;
+  state.rng = &rng;
+  state.corpus = &corpus;
+  state.coverage = &result.coverage;
+  state.crashes = &result.crashes;
+  state.programs_executed = &result.programs_executed;
+  RunCampaignChunk(options, state, options.program_budget, nullptr);
 
-    ExecResult exec = executor.Run(prog, &result.coverage);
-    ++result.programs_executed;
-    if (exec.crashed) {
-      result.crashes[exec.crash_title]++;
-    }
-    if (exec.new_blocks > 0) {
-      if (corpus.size() >= options.corpus_cap) {
-        corpus[rng.Below(corpus.size())] = std::move(prog);
-      } else {
-        corpus.push_back(std::move(prog));
-      }
-    }
-  }
   result.corpus_size = corpus.size();
   return result;
 }

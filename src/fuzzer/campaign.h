@@ -42,6 +42,35 @@ struct CampaignResult {
 CampaignResult RunCampaign(vkernel::Kernel* kernel, const SpecLibrary& lib,
                            const CampaignOptions& options);
 
+/// Mutable state of one campaign loop (serial) or one orchestrator shard.
+struct CampaignState {
+  Generator* generator = nullptr;
+  Mutator* mutator = nullptr;
+  Executor* executor = nullptr;
+  util::Rng* rng = nullptr;
+  std::vector<Prog>* corpus = nullptr;
+  vkernel::Coverage* coverage = nullptr;
+  std::map<std::string, int>* crashes = nullptr;
+  size_t* programs_executed = nullptr;
+};
+
+/// Runs `n` campaign iterations (mutate-or-generate, execute, corpus
+/// admission) over `state`. The serial campaign and every orchestrator
+/// shard share this loop, so their operation order and RNG consumption
+/// are identical by construction — the basis of the orchestrator's
+/// 1-worker bit-identity guarantee. When `interesting_out` is non-null,
+/// programs that found new coverage are also appended there (the
+/// orchestrator's cross-shard broadcast pool).
+void RunCampaignChunk(const CampaignOptions& options, const CampaignState& state,
+                      int n, std::vector<Prog>* interesting_out);
+
+/// Admits one program to a corpus: appends below `options.corpus_cap`,
+/// otherwise replaces a random entry. Shared by the campaign loop and
+/// the orchestrator's cross-shard ingest so admission policy cannot
+/// diverge between them.
+void AdmitToCorpus(const CampaignOptions& options, util::Rng* rng,
+                   std::vector<Prog>* corpus, Prog prog);
+
 }  // namespace kernelgpt::fuzzer
 
 #endif  // KERNELGPT_FUZZER_CAMPAIGN_H_

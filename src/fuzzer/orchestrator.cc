@@ -1,0 +1,213 @@
+#include "fuzzer/orchestrator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace kernelgpt::fuzzer {
+
+namespace {
+
+/// Reusable N-party barrier (C++17 has no std::barrier).
+class Barrier {
+ public:
+  explicit Barrier(int parties) : parties_(parties) {}
+
+  /// Blocks until all parties arrive; reusable across generations.
+  void ArriveAndWait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const uint64_t generation = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return generation_ != generation; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  const int parties_;
+  int arrived_ = 0;
+  uint64_t generation_ = 0;
+};
+
+/// Decorrelates shard RNG streams; shard 0 keeps the master seed so a
+/// single-worker run replays the serial campaign stream bit-for-bit.
+/// Other shards hash the pair — adding multiples of the SplitMix64
+/// increment would merely offset the master stream, not decorrelate it.
+uint64_t
+ShardSeed(uint64_t master, int shard)
+{
+  if (shard == 0) return master;
+  return util::HashCombine(master, static_cast<uint64_t>(shard));
+}
+
+/// Everything one worker accumulates; read by the merge step after join.
+struct ShardOutcome {
+  vkernel::Coverage coverage;
+  std::map<std::string, int> crashes;
+  std::vector<Prog> corpus;
+  ShardStats stats;
+};
+
+}  // namespace
+
+CampaignResult
+OrchestratorResult::ToCampaignResult() const
+{
+  CampaignResult result;
+  result.coverage = coverage;
+  result.crashes = crashes;
+  result.programs_executed = programs_executed;
+  result.corpus_size = corpus_size;
+  return result;
+}
+
+Orchestrator::Orchestrator(const SpecLibrary* lib, BootFn boot,
+                           OrchestratorOptions options)
+    : lib_(lib), boot_(std::move(boot)), options_(std::move(options))
+{
+  if (options_.num_workers < 1) options_.num_workers = 1;
+  if (options_.sync_interval < 1) options_.sync_interval = 1;
+}
+
+OrchestratorResult
+Orchestrator::Run()
+{
+  const auto start = std::chrono::steady_clock::now();
+  OrchestratorResult result;
+  if (lib_->syscalls().empty()) return result;
+
+  const int workers = options_.num_workers;
+  const int budget = options_.campaign.program_budget;
+
+  // Shard the global budget; low shard ids absorb the remainder.
+  std::vector<int> shard_budget(workers, budget / workers);
+  for (int w = 0; w < budget % workers; ++w) ++shard_budget[w];
+
+  // Every shard walks the same number of epochs so the barriers line up;
+  // shards whose budget runs out idle through the remaining syncs.
+  const int max_budget =
+      *std::max_element(shard_budget.begin(), shard_budget.end());
+  const int epochs =
+      (max_budget + options_.sync_interval - 1) / options_.sync_interval;
+
+  std::vector<ShardOutcome> outcomes(workers);
+  // outbox[w] holds shard w's broadcast for the current epoch. Written by
+  // shard w between the publish and ingest barriers, read by all other
+  // shards between the ingest and next-epoch barriers.
+  std::vector<std::vector<Prog>> outbox(workers);
+  Barrier publish_barrier(workers);
+  Barrier ingest_barrier(workers);
+
+  auto worker_main = [&](int shard) {
+    ShardOutcome& out = outcomes[shard];
+    out.stats.shard_id = shard;
+    out.stats.shard_seed = ShardSeed(options_.campaign.seed, shard);
+
+    // Worker-private mutable state; `lib_` is the only shared object on
+    // the hot path and is immutable after Finalize().
+    vkernel::Kernel kernel;
+    if (boot_) boot_(&kernel);
+    util::Rng rng(out.stats.shard_seed);
+    Generator generator(lib_, &rng);
+    Mutator mutator(lib_, &generator, &rng);
+    Executor executor(&kernel, lib_);
+    std::vector<Prog>& corpus = out.corpus;
+
+    CampaignState state;
+    state.generator = &generator;
+    state.mutator = &mutator;
+    state.executor = &executor;
+    state.rng = &rng;
+    state.corpus = &corpus;
+    state.coverage = &out.coverage;
+    state.crashes = &out.crashes;
+    state.programs_executed = &out.stats.programs_executed;
+
+    // Seeds that found new blocks since the last sync (broadcast pool).
+    std::vector<Prog> fresh_interesting;
+
+    int executed_in_shard = 0;
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+      const int quota = std::min(options_.sync_interval,
+                                 shard_budget[shard] - executed_in_shard);
+      RunCampaignChunk(options_.campaign, state, quota,
+                       workers > 1 ? &fresh_interesting : nullptr);
+      executed_in_shard += quota;
+
+      if (workers == 1) continue;  // No peers; skip the sync machinery.
+
+      // -- Corpus sync: publish, barrier, ingest, barrier ------------------
+      outbox[shard].clear();
+      const size_t n = fresh_interesting.size();
+      const size_t take = std::min(n, options_.max_broadcast_per_sync);
+      outbox[shard].assign(fresh_interesting.end() - static_cast<long>(take),
+                           fresh_interesting.end());
+      out.stats.seeds_broadcast += take;
+      fresh_interesting.clear();
+
+      publish_barrier.ArriveAndWait();
+
+      // Deterministic ingest order: peers by shard id, seeds in broadcast
+      // order. Only the local corpus and RNG are touched.
+      for (int peer = 0; peer < workers; ++peer) {
+        if (peer == shard) continue;
+        for (const Prog& seed : outbox[peer]) {
+          ++out.stats.seeds_ingested;
+          AdmitToCorpus(options_.campaign, &rng, &corpus, seed);
+        }
+      }
+
+      // Nobody may rewrite its outbox for the next epoch until every
+      // peer has finished reading this one.
+      ingest_barrier.ArriveAndWait();
+    }
+
+    out.stats.corpus_size = corpus.size();
+    out.stats.coverage_blocks = out.coverage.Count();
+    for (const auto& [title, count] : out.crashes) {
+      (void)title;
+      out.stats.crash_occurrences += static_cast<size_t>(count);
+    }
+  };
+
+  if (workers == 1) {
+    worker_main(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) threads.emplace_back(worker_main, w);
+    for (auto& t : threads) t.join();
+  }
+
+  // -- Merge step: union coverage, dedup crashes globally by title -------
+  for (ShardOutcome& out : outcomes) {
+    result.coverage.Merge(out.coverage);
+    for (const auto& [title, count] : out.crashes) {
+      result.crashes[title] += count;
+    }
+    result.programs_executed += out.stats.programs_executed;
+    result.corpus_size += out.corpus.size();
+    result.shards.push_back(out.stats);
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+OrchestratorResult
+RunShardedCampaign(const SpecLibrary& lib, Orchestrator::BootFn boot,
+                   const OrchestratorOptions& options)
+{
+  Orchestrator orchestrator(&lib, std::move(boot), options);
+  return orchestrator.Run();
+}
+
+}  // namespace kernelgpt::fuzzer

@@ -1,0 +1,111 @@
+/// \file
+/// Parallel sharded campaign orchestration — the syzkaller-manager analog
+/// for the virtual kernel. A program budget is sharded across N worker
+/// threads; each worker owns a private vkernel instance, RNG stream, and
+/// seed corpus, and periodically broadcasts its interesting seeds to the
+/// other shards at deterministic epoch boundaries. A final merge step
+/// unions the per-shard coverage bitmaps and deduplicates crashes
+/// globally by title.
+///
+/// Threading model:
+///  - `SpecLibrary` is shared read-only (immutable after Finalize()).
+///  - Every mutable object (Kernel, Rng, Generator, Mutator, Executor,
+///    Coverage, corpus) is worker-private.
+///  - Cross-shard seed exchange happens only at epoch barriers, in shard
+///    id order, so results are deterministic for a fixed (seed, workers,
+///    sync_interval) triple regardless of thread scheduling.
+///  - With one worker the orchestrator consumes the exact RNG stream of
+///    the serial `RunCampaign` loop and produces bit-identical results.
+
+#ifndef KERNELGPT_FUZZER_ORCHESTRATOR_H_
+#define KERNELGPT_FUZZER_ORCHESTRATOR_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fuzzer/campaign.h"
+
+namespace kernelgpt::fuzzer {
+
+/// Orchestration parameters on top of the per-shard campaign options.
+struct OrchestratorOptions {
+  /// Base campaign parameters. `campaign.seed` is the master seed;
+  /// shard 0 uses it unchanged (serial equivalence) and shard k > 0
+  /// seeds from util::HashCombine(seed, k). `campaign.program_budget`
+  /// is the GLOBAL budget, sharded across workers.
+  CampaignOptions campaign;
+
+  /// Worker-thread count; 1 reproduces the serial campaign exactly.
+  int num_workers = 1;
+
+  /// Programs each shard executes between cross-shard corpus syncs.
+  int sync_interval = 512;
+
+  /// Max seeds one shard broadcasts per sync (most recent kept).
+  size_t max_broadcast_per_sync = 8;
+};
+
+/// Per-shard outcome, reported for observability and tests.
+struct ShardStats {
+  int shard_id = 0;
+  uint64_t shard_seed = 0;
+  size_t programs_executed = 0;
+  size_t corpus_size = 0;
+  size_t coverage_blocks = 0;
+  size_t crash_occurrences = 0;
+  size_t seeds_broadcast = 0;
+  size_t seeds_ingested = 0;
+};
+
+/// Globally merged outcome of a sharded campaign.
+struct OrchestratorResult {
+  /// Union of all shard coverage bitmaps.
+  vkernel::Coverage coverage;
+  /// Crash title -> total occurrence count across shards (titles
+  /// deduplicate crashes, exactly like the serial campaign).
+  std::map<std::string, int> crashes;
+  size_t programs_executed = 0;
+  /// Sum of final shard corpus sizes.
+  size_t corpus_size = 0;
+  double wall_seconds = 0;
+  std::vector<ShardStats> shards;
+
+  size_t UniqueCrashCount() const { return crashes.size(); }
+
+  /// View as the serial result type (drop-in for existing reporting).
+  CampaignResult ToCampaignResult() const;
+};
+
+/// Runs sharded campaigns over one spec library.
+class Orchestrator {
+ public:
+  /// Boots one worker-private kernel (register drivers/socket families).
+  /// Called once per worker, possibly concurrently; must only read
+  /// shared state.
+  using BootFn = std::function<void(vkernel::Kernel*)>;
+
+  Orchestrator(const SpecLibrary* lib, BootFn boot,
+               OrchestratorOptions options);
+
+  /// Runs one sharded campaign to completion (blocks until all workers
+  /// join and the merge step finishes).
+  OrchestratorResult Run();
+
+  const OrchestratorOptions& options() const { return options_; }
+
+ private:
+  const SpecLibrary* lib_;
+  BootFn boot_;
+  OrchestratorOptions options_;
+};
+
+/// Convenience wrapper: boot + run in one call.
+OrchestratorResult RunShardedCampaign(const SpecLibrary& lib,
+                                      Orchestrator::BootFn boot,
+                                      const OrchestratorOptions& options);
+
+}  // namespace kernelgpt::fuzzer
+
+#endif  // KERNELGPT_FUZZER_ORCHESTRATOR_H_

@@ -13,7 +13,7 @@ SpecLibrary::Add(const syzlang::SpecFile& spec)
     switch (decl.kind) {
       case DeclKind::kSyscall: {
         const std::string full = decl.syscall.FullName();
-        if (seen_calls_.contains(full)) break;
+        if (seen_calls_.count(full)) break;
         seen_calls_[full] = true;
         syscalls_.push_back(decl.syscall);
         break;
@@ -62,7 +62,7 @@ SpecLibrary::FindFlags(const std::string& name) const
 bool
 SpecLibrary::HasResource(const std::string& name) const
 {
-  return resources_.contains(name) || name == "fd";
+  return resources_.count(name) || name == "fd";
 }
 
 uint64_t

@@ -137,7 +137,7 @@ FindCmdModifications(const CFunction& fn)
     if (toks[i].kind != CTokKind::kIdent) continue;
     if (!toks[i + 1].Is("=")) continue;
     if (toks[i + 2].kind != CTokKind::kIdent) continue;
-    if (!kModifiers.contains(toks[i + 2].text)) continue;
+    if (!kModifiers.count(toks[i + 2].text)) continue;
     if (!toks[i + 3].Is("(")) continue;
     if (toks[i + 4].kind != CTokKind::kIdent) continue;
     if (!toks[i + 5].Is(")")) continue;
@@ -158,7 +158,7 @@ FindCalls(const CFunction& fn)
   for (size_t i = 0; i + 1 < toks.size(); ++i) {
     if (toks[i].kind != CTokKind::kIdent) continue;
     if (!toks[i + 1].Is("(")) continue;
-    if (BoringCallees().contains(toks[i].text)) continue;
+    if (BoringCallees().count(toks[i].text)) continue;
     // Exclude declarations/casts heuristically: previous token must not be
     // 'struct' and next-prev must not be a type keyword followed by '*'.
     if (i > 0 && (toks[i - 1].IsIdent("struct") || toks[i - 1].IsIdent("union"))) {

@@ -221,7 +221,7 @@ DiscoverFlagGroups(const ksrc::CFile& file)
   for (const auto& m : file.macros) {
     if (!m.value || !IsPowerOfTwo(*m.value)) continue;
     if (util::EndsWith(m.name, "_NR")) continue;
-    if (cmd_related.contains(m.name)) continue;
+    if (cmd_related.count(m.name)) continue;
     if (looks_like_limit(m.name)) continue;
     bits.push_back(&m);
   }
@@ -399,7 +399,7 @@ AnalysisEngine::AnalyzeIdentifiers(const std::string& fn_name,
   }
   if (!cmd_param.empty()) {
     for (const auto& call : ksrc::FindCalls(*fn)) {
-      if (claimed_callees.contains(call.callee)) continue;
+      if (claimed_callees.count(call.callee)) continue;
       bool passes_cmd = false;
       for (const auto& arg : call.args) {
         for (const auto& word : util::SplitWhitespace(arg)) {

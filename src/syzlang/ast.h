@@ -21,7 +21,9 @@ struct ResourceDef {
   /// Underlying representation: "fd", another resource, or intN.
   std::string underlying;
 
-  bool operator==(const ResourceDef&) const = default;
+  bool operator==(const ResourceDef& other) const {
+    return name == other.name && underlying == other.underlying;
+  }
 };
 
 /// `openat$dm(...) fd_dm` — one (possibly specialized) syscall description.
@@ -39,7 +41,10 @@ struct SyscallDef {
     return variant.empty() ? name : name + "$" + variant;
   }
 
-  bool operator==(const SyscallDef&) const = default;
+  bool operator==(const SyscallDef& other) const {
+    return name == other.name && variant == other.variant &&
+           params == other.params && returns_resource == other.returns_resource;
+  }
 };
 
 /// `dm_ioctl { ... }` or `u [ ... ]` — a record type.
@@ -48,7 +53,10 @@ struct StructDef {
   bool is_union = false;
   std::vector<Field> fields;
 
-  bool operator==(const StructDef&) const = default;
+  bool operator==(const StructDef& other) const {
+    return name == other.name && is_union == other.is_union &&
+           fields == other.fields;
+  }
 };
 
 /// `open_flags = O_RDONLY, O_RDWR, 0x2` — a named flag set.
@@ -57,7 +65,9 @@ struct FlagsDef {
   /// Symbolic constant names or numeric literal renderings.
   std::vector<std::string> values;
 
-  bool operator==(const FlagsDef&) const = default;
+  bool operator==(const FlagsDef& other) const {
+    return name == other.name && values == other.values;
+  }
 };
 
 /// `define DM_NAME_LEN 128` — an inline constant definition.
@@ -65,7 +75,9 @@ struct DefineDef {
   std::string name;
   uint64_t value = 0;
 
-  bool operator==(const DefineDef&) const = default;
+  bool operator==(const DefineDef& other) const {
+    return name == other.name && value == other.value;
+  }
 };
 
 /// Discriminator for Decl.

@@ -48,7 +48,7 @@ ConstTable::Resolve(const std::string& name_or_literal) const
 bool
 ConstTable::Has(const std::string& name) const
 {
-  return values_.contains(name);
+  return values_.count(name);
 }
 
 void

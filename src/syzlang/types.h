@@ -112,7 +112,9 @@ struct Field {
   /// True when annotated `(out)` — the kernel writes this field.
   bool is_out = false;
 
-  bool operator==(const Field& other) const = default;
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type && is_out == other.is_out;
+  }
 };
 
 }  // namespace kernelgpt::syzlang

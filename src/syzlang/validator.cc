@@ -94,7 +94,7 @@ class ValidatorImpl {
 
   void CheckResource(const ResourceDef& r) {
     const std::string& base = r.underlying;
-    bool ok = base == "fd" || scope_.resources.contains(base) ||
+    bool ok = base == "fd" || scope_.resources.count(base) ||
               base == "int8" || base == "int16" || base == "int32" ||
               base == "int64" || base == "intptr";
     if (!ok) {
@@ -110,7 +110,7 @@ class ValidatorImpl {
 
   void CheckSyscall(const SyscallDef& c) {
     const std::string decl = c.FullName();
-    if (!SupportedSyscalls().contains(c.name)) {
+    if (!SupportedSyscalls().count(c.name)) {
       AddError(ErrorKind::kUnknownSyscall, decl, c.name,
                util::Format("unknown syscall '%s'", c.name.c_str()));
     }
@@ -120,7 +120,7 @@ class ValidatorImpl {
           !c.params.empty() &&
           (c.params[0].type.kind == TypeKind::kResource ||
            (c.params[0].type.kind == TypeKind::kStructRef &&
-            scope_.resources.contains(c.params[0].type.ref_name)));
+            scope_.resources.count(c.params[0].type.ref_name)));
       if (!fd_first) {
         AddError(ErrorKind::kMissingFdParam, decl,
                  c.params.empty() ? "" : c.params[0].name,
@@ -131,7 +131,7 @@ class ValidatorImpl {
     for (const Field& p : c.params) {
       CheckType(decl, p.type, c.params);
     }
-    if (c.returns_resource && !scope_.resources.contains(*c.returns_resource)) {
+    if (c.returns_resource && !scope_.resources.count(*c.returns_resource)) {
       AddError(ErrorKind::kUnknownResource, decl, *c.returns_resource,
                util::Format("unknown resource '%s' used as return value of %s",
                             c.returns_resource->c_str(), decl.c_str()));
@@ -192,7 +192,7 @@ class ValidatorImpl {
         break;
       case TypeKind::kFlags:
         CheckIntWidth(decl, t.bits);
-        if (!scope_.flag_sets.contains(t.flags_name)) {
+        if (!scope_.flag_sets.count(t.flags_name)) {
           AddError(ErrorKind::kUnknownFlags, decl, t.flags_name,
                    util::Format("unknown flags set '%s'",
                                 t.flags_name.c_str()));
@@ -219,15 +219,15 @@ class ValidatorImpl {
         break;
       }
       case TypeKind::kResource:
-        if (!scope_.resources.contains(t.ref_name)) {
+        if (!scope_.resources.count(t.ref_name)) {
           AddError(ErrorKind::kUnknownResource, decl, t.ref_name,
                    util::Format("unknown resource '%s'", t.ref_name.c_str()));
         }
         break;
       case TypeKind::kStructRef: {
         // A bare name may legally refer to a struct, union, or resource.
-        if (scope_.structs.contains(t.ref_name)) break;
-        if (scope_.resources.contains(t.ref_name)) break;
+        if (scope_.structs.count(t.ref_name)) break;
+        if (scope_.resources.count(t.ref_name)) break;
         AddError(ErrorKind::kUnknownType, decl, t.ref_name,
                  util::Format("type %s is not defined", t.ref_name.c_str()));
         break;
@@ -266,7 +266,7 @@ class ValidatorImpl {
   bool Recurses(const std::string& name,
                 const std::unordered_map<std::string, const StructDef*>& defs,
                 std::unordered_set<std::string>& stack) {
-    if (stack.contains(name)) return true;
+    if (stack.count(name)) return true;
     auto it = defs.find(name);
     if (it == defs.end()) return false;
     stack.insert(name);
@@ -346,7 +346,7 @@ ValidationResult::ErroredDecls() const
 bool
 IsSupportedSyscall(const std::string& name)
 {
-  return SupportedSyscalls().contains(name);
+  return SupportedSyscalls().count(name);
 }
 
 ValidationResult

@@ -17,7 +17,7 @@ Coverage::CountNotIn(const Coverage& other) const
 {
   size_t n = 0;
   for (uint64_t b : blocks_) {
-    if (!other.blocks_.contains(b)) ++n;
+    if (!other.blocks_.count(b)) ++n;
   }
   return n;
 }

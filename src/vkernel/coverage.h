@@ -21,7 +21,7 @@ class Coverage {
   /// Number of distinct blocks covered.
   size_t Count() const { return blocks_.size(); }
 
-  bool Contains(uint64_t block_id) const { return blocks_.contains(block_id); }
+  bool Contains(uint64_t block_id) const { return blocks_.count(block_id); }
 
   /// Merges `other` into this set; returns how many blocks were new.
   size_t Merge(const Coverage& other);

@@ -208,9 +208,9 @@ TEST_F(FuzzerTest, CampaignFindsDmBugs)
   options.program_budget = 20000;
   options.seed = 5;
   CampaignResult result = RunCampaign(&kernel, lib, options);
-  EXPECT_TRUE(result.crashes.contains("kmalloc bug in ctl_ioctl"));
-  EXPECT_TRUE(result.crashes.contains("kmalloc bug in dm_table_create"));
-  EXPECT_TRUE(result.crashes.contains(
+  EXPECT_TRUE(result.crashes.count("kmalloc bug in ctl_ioctl"));
+  EXPECT_TRUE(result.crashes.count("kmalloc bug in dm_table_create"));
+  EXPECT_TRUE(result.crashes.count(
       "general protection fault in cleanup_mapped_device"));
 }
 
