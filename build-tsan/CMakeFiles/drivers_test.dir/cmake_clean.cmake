@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drivers_test.dir/tests/drivers_test.cc.o"
+  "CMakeFiles/drivers_test.dir/tests/drivers_test.cc.o.d"
+  "drivers_test"
+  "drivers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drivers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

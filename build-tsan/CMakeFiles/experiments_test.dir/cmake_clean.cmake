@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiments_test.dir/tests/experiments_test.cc.o"
+  "CMakeFiles/experiments_test.dir/tests/experiments_test.cc.o.d"
+  "experiments_test"
+  "experiments_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiments_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extractor_test.dir/tests/extractor_test.cc.o"
+  "CMakeFiles/extractor_test.dir/tests/extractor_test.cc.o.d"
+  "extractor_test"
+  "extractor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extractor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzzer_test.dir/tests/fuzzer_test.cc.o"
+  "CMakeFiles/fuzzer_test.dir/tests/fuzzer_test.cc.o.d"
+  "fuzzer_test"
+  "fuzzer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/syz_describe.cc" "CMakeFiles/kernelgpt_core.dir/src/baseline/syz_describe.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/baseline/syz_describe.cc.o.d"
+  "/root/repo/src/drivers/corpus.cc" "CMakeFiles/kernelgpt_core.dir/src/drivers/corpus.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/drivers/corpus.cc.o.d"
+  "/root/repo/src/drivers/corpus_generic.cc" "CMakeFiles/kernelgpt_core.dir/src/drivers/corpus_generic.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/drivers/corpus_generic.cc.o.d"
+  "/root/repo/src/drivers/corpus_sockets.cc" "CMakeFiles/kernelgpt_core.dir/src/drivers/corpus_sockets.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/drivers/corpus_sockets.cc.o.d"
+  "/root/repo/src/drivers/corpus_special.cc" "CMakeFiles/kernelgpt_core.dir/src/drivers/corpus_special.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/drivers/corpus_special.cc.o.d"
+  "/root/repo/src/drivers/driver_model.cc" "CMakeFiles/kernelgpt_core.dir/src/drivers/driver_model.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/drivers/driver_model.cc.o.d"
+  "/root/repo/src/drivers/model_render.cc" "CMakeFiles/kernelgpt_core.dir/src/drivers/model_render.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/drivers/model_render.cc.o.d"
+  "/root/repo/src/drivers/model_runtime.cc" "CMakeFiles/kernelgpt_core.dir/src/drivers/model_runtime.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/drivers/model_runtime.cc.o.d"
+  "/root/repo/src/drivers/model_spec.cc" "CMakeFiles/kernelgpt_core.dir/src/drivers/model_spec.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/drivers/model_spec.cc.o.d"
+  "/root/repo/src/experiments/audit.cc" "CMakeFiles/kernelgpt_core.dir/src/experiments/audit.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/experiments/audit.cc.o.d"
+  "/root/repo/src/experiments/bugs.cc" "CMakeFiles/kernelgpt_core.dir/src/experiments/bugs.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/experiments/bugs.cc.o.d"
+  "/root/repo/src/experiments/context.cc" "CMakeFiles/kernelgpt_core.dir/src/experiments/context.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/experiments/context.cc.o.d"
+  "/root/repo/src/extractor/handler_finder.cc" "CMakeFiles/kernelgpt_core.dir/src/extractor/handler_finder.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/extractor/handler_finder.cc.o.d"
+  "/root/repo/src/fuzzer/campaign.cc" "CMakeFiles/kernelgpt_core.dir/src/fuzzer/campaign.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/fuzzer/campaign.cc.o.d"
+  "/root/repo/src/fuzzer/executor.cc" "CMakeFiles/kernelgpt_core.dir/src/fuzzer/executor.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/fuzzer/executor.cc.o.d"
+  "/root/repo/src/fuzzer/generator.cc" "CMakeFiles/kernelgpt_core.dir/src/fuzzer/generator.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/fuzzer/generator.cc.o.d"
+  "/root/repo/src/fuzzer/minimizer.cc" "CMakeFiles/kernelgpt_core.dir/src/fuzzer/minimizer.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/fuzzer/minimizer.cc.o.d"
+  "/root/repo/src/fuzzer/mutator.cc" "CMakeFiles/kernelgpt_core.dir/src/fuzzer/mutator.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/fuzzer/mutator.cc.o.d"
+  "/root/repo/src/fuzzer/orchestrator.cc" "CMakeFiles/kernelgpt_core.dir/src/fuzzer/orchestrator.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/fuzzer/orchestrator.cc.o.d"
+  "/root/repo/src/fuzzer/prog.cc" "CMakeFiles/kernelgpt_core.dir/src/fuzzer/prog.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/fuzzer/prog.cc.o.d"
+  "/root/repo/src/fuzzer/spec_library.cc" "CMakeFiles/kernelgpt_core.dir/src/fuzzer/spec_library.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/fuzzer/spec_library.cc.o.d"
+  "/root/repo/src/ksrc/body_analysis.cc" "CMakeFiles/kernelgpt_core.dir/src/ksrc/body_analysis.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/ksrc/body_analysis.cc.o.d"
+  "/root/repo/src/ksrc/clexer.cc" "CMakeFiles/kernelgpt_core.dir/src/ksrc/clexer.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/ksrc/clexer.cc.o.d"
+  "/root/repo/src/ksrc/cparser.cc" "CMakeFiles/kernelgpt_core.dir/src/ksrc/cparser.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/ksrc/cparser.cc.o.d"
+  "/root/repo/src/ksrc/definition_index.cc" "CMakeFiles/kernelgpt_core.dir/src/ksrc/definition_index.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/ksrc/definition_index.cc.o.d"
+  "/root/repo/src/llm/engine.cc" "CMakeFiles/kernelgpt_core.dir/src/llm/engine.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/llm/engine.cc.o.d"
+  "/root/repo/src/llm/profile.cc" "CMakeFiles/kernelgpt_core.dir/src/llm/profile.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/llm/profile.cc.o.d"
+  "/root/repo/src/llm/token_meter.cc" "CMakeFiles/kernelgpt_core.dir/src/llm/token_meter.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/llm/token_meter.cc.o.d"
+  "/root/repo/src/spec_gen/kernelgpt.cc" "CMakeFiles/kernelgpt_core.dir/src/spec_gen/kernelgpt.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/spec_gen/kernelgpt.cc.o.d"
+  "/root/repo/src/syzlang/ast.cc" "CMakeFiles/kernelgpt_core.dir/src/syzlang/ast.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/syzlang/ast.cc.o.d"
+  "/root/repo/src/syzlang/const_table.cc" "CMakeFiles/kernelgpt_core.dir/src/syzlang/const_table.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/syzlang/const_table.cc.o.d"
+  "/root/repo/src/syzlang/lexer.cc" "CMakeFiles/kernelgpt_core.dir/src/syzlang/lexer.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/syzlang/lexer.cc.o.d"
+  "/root/repo/src/syzlang/parser.cc" "CMakeFiles/kernelgpt_core.dir/src/syzlang/parser.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/syzlang/parser.cc.o.d"
+  "/root/repo/src/syzlang/printer.cc" "CMakeFiles/kernelgpt_core.dir/src/syzlang/printer.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/syzlang/printer.cc.o.d"
+  "/root/repo/src/syzlang/types.cc" "CMakeFiles/kernelgpt_core.dir/src/syzlang/types.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/syzlang/types.cc.o.d"
+  "/root/repo/src/syzlang/validator.cc" "CMakeFiles/kernelgpt_core.dir/src/syzlang/validator.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/syzlang/validator.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "CMakeFiles/kernelgpt_core.dir/src/util/histogram.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/util/histogram.cc.o.d"
+  "/root/repo/src/util/rng.cc" "CMakeFiles/kernelgpt_core.dir/src/util/rng.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "CMakeFiles/kernelgpt_core.dir/src/util/status.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/util/status.cc.o.d"
+  "/root/repo/src/util/strings.cc" "CMakeFiles/kernelgpt_core.dir/src/util/strings.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/util/strings.cc.o.d"
+  "/root/repo/src/util/table.cc" "CMakeFiles/kernelgpt_core.dir/src/util/table.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/util/table.cc.o.d"
+  "/root/repo/src/vkernel/coverage.cc" "CMakeFiles/kernelgpt_core.dir/src/vkernel/coverage.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/vkernel/coverage.cc.o.d"
+  "/root/repo/src/vkernel/kernel.cc" "CMakeFiles/kernelgpt_core.dir/src/vkernel/kernel.cc.o" "gcc" "CMakeFiles/kernelgpt_core.dir/src/vkernel/kernel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksrc_test.dir/tests/ksrc_test.cc.o"
+  "CMakeFiles/ksrc_test.dir/tests/ksrc_test.cc.o.d"
+  "ksrc_test"
+  "ksrc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksrc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

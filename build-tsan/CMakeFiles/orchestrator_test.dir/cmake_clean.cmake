@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orchestrator_test.dir/tests/orchestrator_test.cc.o"
+  "CMakeFiles/orchestrator_test.dir/tests/orchestrator_test.cc.o.d"
+  "orchestrator_test"
+  "orchestrator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orchestrator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for orchestrator_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roundtrip_test.dir/tests/roundtrip_test.cc.o"
+  "CMakeFiles/roundtrip_test.dir/tests/roundtrip_test.cc.o.d"
+  "roundtrip_test"
+  "roundtrip_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_gen_test.dir/tests/spec_gen_test.cc.o"
+  "CMakeFiles/spec_gen_test.dir/tests/spec_gen_test.cc.o.d"
+  "spec_gen_test"
+  "spec_gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/syzlang_test.dir/tests/syzlang_test.cc.o"
+  "CMakeFiles/syzlang_test.dir/tests/syzlang_test.cc.o.d"
+  "syzlang_test"
+  "syzlang_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/syzlang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vkernel_test.dir/tests/vkernel_test.cc.o"
+  "CMakeFiles/vkernel_test.dir/tests/vkernel_test.cc.o.d"
+  "vkernel_test"
+  "vkernel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vkernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

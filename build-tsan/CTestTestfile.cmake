@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build-tsan
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(drivers_test "/root/repo/build-tsan/drivers_test")
+set_tests_properties(drivers_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;83;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(experiments_test "/root/repo/build-tsan/experiments_test")
+set_tests_properties(experiments_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;83;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(extractor_test "/root/repo/build-tsan/extractor_test")
+set_tests_properties(extractor_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;83;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(fuzzer_test "/root/repo/build-tsan/fuzzer_test")
+set_tests_properties(fuzzer_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;83;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(ksrc_test "/root/repo/build-tsan/ksrc_test")
+set_tests_properties(ksrc_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;83;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(llm_test "/root/repo/build-tsan/llm_test")
+set_tests_properties(llm_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;83;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(orchestrator_test "/root/repo/build-tsan/orchestrator_test")
+set_tests_properties(orchestrator_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;83;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(roundtrip_test "/root/repo/build-tsan/roundtrip_test")
+set_tests_properties(roundtrip_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;83;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(spec_gen_test "/root/repo/build-tsan/spec_gen_test")
+set_tests_properties(spec_gen_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;83;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(syzlang_test "/root/repo/build-tsan/syzlang_test")
+set_tests_properties(syzlang_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;83;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(util_test "/root/repo/build-tsan/util_test")
+set_tests_properties(util_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;83;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(vkernel_test "/root/repo/build-tsan/vkernel_test")
+set_tests_properties(vkernel_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;83;add_test;/root/repo/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_iterative.dir/bench/ablation_iterative.cc.o"
+  "CMakeFiles/bench_ablation_iterative.dir/bench/ablation_iterative.cc.o.d"
+  "bench/bench_ablation_iterative"
+  "bench/bench_ablation_iterative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_iterative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_llm_choice.dir/bench/ablation_llm_choice.cc.o"
+  "CMakeFiles/bench_ablation_llm_choice.dir/bench/ablation_llm_choice.cc.o.d"
+  "bench/bench_ablation_llm_choice"
+  "bench/bench_ablation_llm_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_llm_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_missing_distribution.dir/bench/fig7_missing_distribution.cc.o"
+  "CMakeFiles/bench_fig7_missing_distribution.dir/bench/fig7_missing_distribution.cc.o.d"
+  "bench/bench_fig7_missing_distribution"
+  "bench/bench_fig7_missing_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_missing_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

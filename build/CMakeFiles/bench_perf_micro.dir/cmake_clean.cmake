@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_micro.dir/bench/perf_micro.cc.o"
+  "CMakeFiles/bench_perf_micro.dir/bench/perf_micro.cc.o.d"
+  "bench/bench_perf_micro"
+  "bench/bench_perf_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_handlers.dir/bench/table1_handlers.cc.o"
+  "CMakeFiles/bench_table1_handlers.dir/bench/table1_handlers.cc.o.d"
+  "bench/bench_table1_handlers"
+  "bench/bench_table1_handlers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_handlers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_new_specs.dir/bench/table2_new_specs.cc.o"
+  "CMakeFiles/bench_table2_new_specs.dir/bench/table2_new_specs.cc.o.d"
+  "bench/bench_table2_new_specs"
+  "bench/bench_table2_new_specs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_new_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

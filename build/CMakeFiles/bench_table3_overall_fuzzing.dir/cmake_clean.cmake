@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_overall_fuzzing.dir/bench/table3_overall_fuzzing.cc.o"
+  "CMakeFiles/bench_table3_overall_fuzzing.dir/bench/table3_overall_fuzzing.cc.o.d"
+  "bench/bench_table3_overall_fuzzing"
+  "bench/bench_table3_overall_fuzzing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_overall_fuzzing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_bug_detection.dir/bench/table4_bug_detection.cc.o"
+  "CMakeFiles/bench_table4_bug_detection.dir/bench/table4_bug_detection.cc.o.d"
+  "bench/bench_table4_bug_detection"
+  "bench/bench_table4_bug_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_bug_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_drivers.dir/bench/table5_drivers.cc.o"
+  "CMakeFiles/bench_table5_drivers.dir/bench/table5_drivers.cc.o.d"
+  "bench/bench_table5_drivers"
+  "bench/bench_table5_drivers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_drivers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_sockets.dir/bench/table6_sockets.cc.o"
+  "CMakeFiles/bench_table6_sockets.dir/bench/table6_sockets.cc.o.d"
+  "bench/bench_table6_sockets"
+  "bench/bench_table6_sockets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_sockets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_audit_correctness.dir/bench/table_audit_correctness.cc.o"
+  "CMakeFiles/bench_table_audit_correctness.dir/bench/table_audit_correctness.cc.o.d"
+  "bench/bench_table_audit_correctness"
+  "bench/bench_table_audit_correctness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_audit_correctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table_audit_correctness.
+# This may be replaced when dependencies are built.

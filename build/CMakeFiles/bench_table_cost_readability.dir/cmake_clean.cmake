@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table_cost_readability.dir/bench/table_cost_readability.cc.o"
+  "CMakeFiles/bench_table_cost_readability.dir/bench/table_cost_readability.cc.o.d"
+  "bench/bench_table_cost_readability"
+  "bench/bench_table_cost_readability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table_cost_readability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_device_mapper_case_study.dir/examples/device_mapper_case_study.cpp.o"
+  "CMakeFiles/example_device_mapper_case_study.dir/examples/device_mapper_case_study.cpp.o.d"
+  "examples/example_device_mapper_case_study"
+  "examples/example_device_mapper_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_device_mapper_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fuzz_campaign.dir/examples/fuzz_campaign.cpp.o"
+  "CMakeFiles/example_fuzz_campaign.dir/examples/fuzz_campaign.cpp.o.d"
+  "examples/example_fuzz_campaign"
+  "examples/example_fuzz_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fuzz_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_parallel_campaign.dir/examples/parallel_campaign.cpp.o"
+  "CMakeFiles/example_parallel_campaign.dir/examples/parallel_campaign.cpp.o.d"
+  "examples/example_parallel_campaign"
+  "examples/example_parallel_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_parallel_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_spec_repair_demo.dir/examples/spec_repair_demo.cpp.o"
+  "CMakeFiles/example_spec_repair_demo.dir/examples/spec_repair_demo.cpp.o.d"
+  "examples/example_spec_repair_demo"
+  "examples/example_spec_repair_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_spec_repair_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
