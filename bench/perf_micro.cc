@@ -9,6 +9,7 @@
 #include "drivers/model_spec.h"
 #include "experiments/context.h"
 #include "fuzzer/campaign.h"
+#include "fuzzer/generator.h"
 #include "ksrc/cparser.h"
 #include "syzlang/parser.h"
 #include "syzlang/printer.h"
@@ -56,6 +57,8 @@ BM_SyzlangRoundTrip(benchmark::State& state)
 }
 BENCHMARK(BM_SyzlangRoundTrip);
 
+/// Campaign throughput; arg 0 is the program budget, arg 1 the executor
+/// batch size (1 = legacy per-program kernel resets).
 void
 BM_FuzzThroughput(benchmark::State& state)
 {
@@ -67,12 +70,70 @@ BM_FuzzThroughput(benchmark::State& state)
     fuzzer::CampaignOptions options;
     options.seed = 42;
     options.program_budget = static_cast<int>(state.range(0));
+    options.batch_size = static_cast<int>(state.range(1));
     benchmark::DoNotOptimize(fuzzer::RunCampaign(&kernel, lib, options));
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           state.range(0));
 }
-BENCHMARK(BM_FuzzThroughput)->Arg(2000);
+BENCHMARK(BM_FuzzThroughput)->Args({2000, 1})->Args({2000, 32});
+
+/// End-to-end dispatched-call cost: replays a fixed program set (no
+/// generation or mutation) through Executor::Run, so each item is one
+/// syscall through the opcode switch, kernel, driver-model handler, and
+/// coverage accounting — the executor's replay cost per call, not the
+/// switch in isolation.
+void
+BM_ExecutorDispatch(benchmark::State& state)
+{
+  const auto& context = experiments::ExperimentContext::Default();
+  fuzzer::SpecLibrary lib = context.SyzkallerPlusKernelGptSuite();
+  vkernel::Kernel kernel;
+  context.BootKernel(&kernel);
+
+  util::Rng rng(7);
+  fuzzer::Generator generator(&lib, &rng);
+  std::vector<fuzzer::Prog> progs;
+  size_t calls = 0;
+  for (int i = 0; i < 64; ++i) {
+    fuzzer::Prog prog = generator.Generate(6);
+    if (prog.empty()) continue;
+    calls += prog.calls.size();
+    progs.push_back(std::move(prog));
+  }
+
+  fuzzer::Executor executor(&kernel, &lib);
+  vkernel::Coverage total;
+  for (auto _ : state) {
+    for (const fuzzer::Prog& prog : progs) {
+      benchmark::DoNotOptimize(executor.Run(prog, &total));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(calls));
+}
+BENCHMARK(BM_ExecutorDispatch);
+
+/// Steady-state coverage merge: per-program coverage deltas merged into
+/// an accumulated set that already contains them (the common case after
+/// warmup); items = merges.
+void
+BM_CoverageMerge(benchmark::State& state)
+{
+  const int kBlocks = static_cast<int>(state.range(0));
+  vkernel::Coverage delta;
+  for (int i = 0; i < kBlocks; ++i) {
+    delta.Hit(vkernel::MakeBlockId(0x1234abcd + (i % 13),
+                                   static_cast<uint32_t>(i)));
+  }
+  vkernel::Coverage total;
+  total.Merge(delta);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(total.Merge(delta));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CoverageMerge)->Arg(256)->Arg(4096);
 
 void
 BM_OrchestratorThroughput(benchmark::State& state)

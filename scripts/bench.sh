@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Perf trajectory harness (PR 2): runs the perf_micro hot-path benchmarks
+# and writes BENCH_pr2.json with execs/sec, ns/dispatch, and ns/merge so
+# future PRs can compare against a recorded baseline on the same machine.
+#
+# Usage: scripts/bench.sh [output.json]
+# Env:   BUILD_DIR (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${1:-BENCH_pr2.json}"
+BENCH_BIN="${BUILD_DIR}/bench/bench_perf_micro"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+if [ ! -x "${BENCH_BIN}" ]; then
+  echo "== building ${BENCH_BIN} =="
+  # Explicit optimized build type; never benchmark -O0 code. (The
+  # "library_build_type: debug" google-benchmark prints refers to the
+  # system libbenchmark, not this project.)
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "${BUILD_DIR}" -j"${JOBS}" --target bench_perf_micro
+fi
+
+BUILD_TYPE="$(grep -E '^CMAKE_BUILD_TYPE:' "${BUILD_DIR}/CMakeCache.txt" | cut -d= -f2 || true)"
+case "${BUILD_TYPE}" in
+  Release|RelWithDebInfo) ;;
+  *)
+    echo "refusing to record a perf trajectory from a '${BUILD_TYPE:-unset}' build;"
+    echo "reconfigure ${BUILD_DIR} with -DCMAKE_BUILD_TYPE=RelWithDebInfo" >&2
+    exit 1
+    ;;
+esac
+
+RAW="$(mktemp)"
+trap 'rm -f "${RAW}"' EXIT
+
+echo "== running hot-path benchmarks =="
+# BM_OrchestratorThroughput is intentionally excluded: its items/sec
+# accounting is not comparable across worker counts on shared runners
+# (and is meaningless on 1-CPU containers), so it would poison the
+# trajectory file.
+"${BENCH_BIN}" \
+  --benchmark_filter='BM_FuzzThroughput|BM_ExecutorDispatch|BM_CoverageMerge' \
+  --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+  --benchmark_format=json > "${RAW}"
+
+python3 - "${RAW}" "${OUT}" <<'PYEOF'
+import json
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+means = {
+    b["run_name"]: b
+    for b in raw["benchmarks"]
+    if b.get("aggregate_name") == "mean"
+}
+
+def items_per_sec(name):
+    b = means.get(name)
+    return round(b["items_per_second"], 1) if b else None
+
+def ns_per_item(name):
+    b = means.get(name)
+    return round(1e9 / b["items_per_second"], 2) if b and b["items_per_second"] else None
+
+result = {
+    "schema": "kernelgpt-bench/1",
+    "pr": 2,
+    "source": "scripts/bench.sh (bench/perf_micro.cc, google-benchmark mean of 3 reps)",
+    "context": raw.get("context", {}),
+    "fuzz_throughput": {
+        "execs_per_sec_unbatched": items_per_sec("BM_FuzzThroughput/2000/1"),
+        "execs_per_sec_batch32": items_per_sec("BM_FuzzThroughput/2000/32"),
+    },
+    # Full replay cost per dispatched syscall (opcode switch + kernel +
+    # driver-model handler + coverage), not the switch in isolation.
+    "executor_dispatch": {
+        "calls_per_sec": items_per_sec("BM_ExecutorDispatch"),
+        "ns_per_replayed_call": ns_per_item("BM_ExecutorDispatch"),
+    },
+    "coverage_merge": {
+        "ns_per_merge_256_blocks": ns_per_item("BM_CoverageMerge/256"),
+        "ns_per_merge_4096_blocks": ns_per_item("BM_CoverageMerge/4096"),
+    },
+    # Pre-PR2 numbers measured on the same machine before the hot-path
+    # work (seed executor: string-chain dispatch, set-based coverage,
+    # deep-copied buffers, unbatched): the 2x acceptance reference.
+    "baseline_pre_pr2": {
+        "fuzz_throughput_execs_per_sec": 125959.0,
+        "note": "BM_FuzzThroughput/2000 at commit 1f701f0",
+    },
+}
+
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print("wrote %s" % out_path)
+PYEOF
+
+python3 -m json.tool "${OUT}" > /dev/null
+echo "bench OK: ${OUT}"

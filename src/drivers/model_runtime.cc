@@ -1,10 +1,9 @@
 #include "drivers/model_runtime.h"
 
-#include <unordered_set>
+#include <unordered_map>
 
 #include "ksrc/cparser.h"
 #include "util/rng.h"
-#include "util/strings.h"
 
 namespace kernelgpt::drivers {
 
@@ -83,38 +82,135 @@ CheckPasses(const CheckSpec& check, const Buffer& buf,
   return false;
 }
 
+const StructSpec*
+FindStructIn(const std::vector<StructSpec>& structs, const std::string& name)
+{
+  if (name.empty()) return nullptr;
+  for (const auto& s : structs) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+/// Small-index bit set replacing the per-file unordered_set<string> that
+/// used to track executed command macros (sequence-bug state). Macros get
+/// dense indices at module-table build time; the hot path tests and sets
+/// bits, never hashing a string.
+class ExecutedSet {
+ public:
+  bool Test(int idx) const {
+    if (idx < 0) return false;
+    const size_t i = static_cast<size_t>(idx);
+    if (i < 64) return (lo_ & (1ULL << i)) != 0;
+    const size_t w = i / 64 - 1;
+    return w < hi_.size() && (hi_[w] & (1ULL << (i % 64))) != 0;
+  }
+
+  void Set(int idx) {
+    if (idx < 0) return;
+    const size_t i = static_cast<size_t>(idx);
+    if (i < 64) {
+      lo_ |= 1ULL << i;
+      return;
+    }
+    const size_t w = i / 64 - 1;
+    if (w >= hi_.size()) hi_.resize(w + 1, 0);
+    hi_[w] |= 1ULL << (i % 64);
+  }
+
+ private:
+  uint64_t lo_ = 0;
+  std::vector<uint64_t> hi_;  ///< Overflow words for >64 macros (rare).
+};
+
+/// Dense per-module macro numbering (commands, sockopt pseudo-commands,
+/// socket op names, and sequence-bug priors all share one namespace, as
+/// the old string set did).
+class MacroIndex {
+ public:
+  int Add(const std::string& name) {
+    auto [it, inserted] = map_.emplace(name, static_cast<int>(map_.size()));
+    (void)inserted;
+    return it->second;
+  }
+
+ private:
+  std::unordered_map<std::string, int> map_;
+};
+
+/// Everything one command needs at dispatch time, computed once per
+/// module instead of per call: the resolved arg struct and its layout,
+/// the precomputed match/validation values, and the coverage block ids
+/// (the old code re-hashed module/role/detail strings on every hit).
+struct CmdRuntime {
+  const IoctlSpec* cmd = nullptr;
+  const StructSpec* arg_spec = nullptr;
+  StructLayout layout;
+  std::vector<size_t> out_fields;  ///< Indices of kOutValue layout fields.
+  uint64_t match_value = 0;        ///< Full ioctl command value.
+  uint64_t expect_size = 0;        ///< Arg struct size (_IOC size check).
+  uint64_t cmd_block = 0;
+  std::vector<uint64_t> check_blocks;
+  std::vector<uint64_t> deep_block_ids;
+  int macro_idx = -1;
+  int bug_prior_idx = -1;
+};
+
+void
+FillCmdRuntime(CmdRuntime* rt, const std::string& module, const IoctlSpec& cmd,
+               const std::vector<StructSpec>& structs, MacroIndex* macros)
+{
+  rt->cmd = &cmd;
+  rt->arg_spec = FindStructIn(structs, cmd.arg_struct);
+  if (rt->arg_spec) {
+    rt->layout = ComputeLayout(*rt->arg_spec, structs);
+    for (size_t i = 0; i < rt->layout.fields.size(); ++i) {
+      if (rt->layout.fields[i].field->kind == FieldSpec::Kind::kOutValue) {
+        rt->out_fields.push_back(i);
+      }
+    }
+  }
+  rt->expect_size = StructByteSize(cmd.arg_struct, structs);
+  rt->cmd_block = BlockId(module, "cmd", cmd.macro, 0);
+  for (uint32_t idx = 1; idx <= cmd.checks.size(); ++idx) {
+    rt->check_blocks.push_back(BlockId(module, "check", cmd.macro, idx));
+  }
+  for (int i = 0; i < cmd.deep_blocks; ++i) {
+    rt->deep_block_ids.push_back(
+        BlockId(module, "deep", cmd.macro, static_cast<uint32_t>(i)));
+  }
+  rt->macro_idx = macros->Add(cmd.macro);
+  if (cmd.bug && cmd.bug->trigger == BugSpec::Trigger::kSequence) {
+    rt->bug_prior_idx = macros->Add(cmd.bug->prior_cmd);
+  }
+}
+
 /// Shared per-command execution used by device files and sockets.
 /// Returns the syscall result; fills `created_fd_handler` when the
 /// command creates a secondary file.
 class CommandEngine {
  public:
-  CommandEngine(const std::string& module,
-                const std::vector<StructSpec>& structs)
-      : module_(module), structs_(structs) {}
+  CommandEngine() = default;
 
   /// Runs checks, bug triggers, deep path, and out-field writes for one
-  /// matched command. `executed` is the set of command macros already run
-  /// on this file (sequence-bug state). Returns 0 or negative errno.
-  long RunCommand(const IoctlSpec& cmd, Buffer* arg, ExecContext& ctx,
-                  std::unordered_set<std::string>* executed,
-                  bool* release_bomb, std::string* release_title) {
-    const StructSpec* arg_spec = FindStruct(cmd.arg_struct);
-    StructLayout layout;
-    if (arg_spec) layout = ComputeLayout(*arg_spec, structs_);
+  /// matched command. `executed` carries the macros already run on this
+  /// file (sequence-bug state). Returns 0 or negative errno.
+  long RunCommand(const CmdRuntime& rt, Buffer* arg, ExecContext& ctx,
+                  ExecutedSet* executed, bool* release_bomb,
+                  std::string* release_title) {
+    const IoctlSpec& cmd = *rt.cmd;
+    ctx.Cover(rt.cmd_block);
 
-    ctx.Cover(BlockId(module_, "cmd", cmd.macro, 0));
-
-    if (arg_spec) {
+    if (rt.arg_spec) {
       // copy_from_user fails when the user buffer is too small.
-      if (!arg || arg->bytes.size() < layout.total_size) {
+      if (!arg || arg->size() < rt.layout.total_size) {
         return -vkernel::kEFAULT;
       }
-      uint32_t idx = 1;
-      for (const CheckSpec& check : cmd.checks) {
-        if (!CheckPasses(check, *arg, layout, arg_spec)) {
+      for (size_t k = 0; k < cmd.checks.size(); ++k) {
+        if (!CheckPasses(cmd.checks[k], *arg, rt.layout, rt.arg_spec)) {
           return -vkernel::kEINVAL;
         }
-        ctx.Cover(BlockId(module_, "check", cmd.macro, idx++));
+        ctx.Cover(rt.check_blocks[k]);
       }
     }
 
@@ -125,19 +221,19 @@ class CommandEngine {
       bool fire = false;
       switch (bug.trigger) {
         case BugSpec::Trigger::kFieldAtLeast:
-          fire = arg_spec && arg &&
-                 ReadField(*arg, layout, bug.field) >= bug.value;
+          fire = rt.arg_spec && arg &&
+                 ReadField(*arg, rt.layout, bug.field) >= bug.value;
           break;
         case BugSpec::Trigger::kFieldEquals:
-          fire = arg_spec && arg &&
-                 ReadField(*arg, layout, bug.field) == bug.value;
+          fire = rt.arg_spec && arg &&
+                 ReadField(*arg, rt.layout, bug.field) == bug.value;
           break;
         case BugSpec::Trigger::kFieldZero:
-          fire = arg_spec && arg &&
-                 ReadField(*arg, layout, bug.field) == 0;
+          fire = rt.arg_spec && arg &&
+                 ReadField(*arg, rt.layout, bug.field) == 0;
           break;
         case BugSpec::Trigger::kSequence:
-          fire = executed && executed->count(bug.prior_cmd);
+          fire = executed && executed->Test(rt.bug_prior_idx);
           break;
         case BugSpec::Trigger::kOnRelease:
           if (release_bomb) {
@@ -152,35 +248,21 @@ class CommandEngine {
       if (fire) ctx.Crash(bug.title);
     }
 
-    for (int i = 0; i < cmd.deep_blocks; ++i) {
-      ctx.Cover(BlockId(module_, "deep", cmd.macro,
-                        static_cast<uint32_t>(i)));
-    }
+    for (uint64_t block : rt.deep_block_ids) ctx.Cover(block);
 
     // Kernel-written output fields.
-    if (arg_spec && arg) {
-      for (const FieldLayout& fl : layout.fields) {
-        if (fl.field->kind == FieldSpec::Kind::kOutValue) {
-          arg->WriteScalar(fl.offset, fl.size > 8 ? 8 : fl.size,
-                           0x1000 + next_out_++);
-        }
+    if (rt.arg_spec && arg) {
+      for (size_t fi : rt.out_fields) {
+        const FieldLayout& fl = rt.layout.fields[fi];
+        arg->WriteScalar(fl.offset, fl.size > 8 ? 8 : fl.size,
+                         0x1000 + next_out_++);
       }
     }
-    if (executed) executed->insert(cmd.macro);
+    if (executed) executed->Set(rt.macro_idx);
     return 0;
   }
 
  private:
-  const StructSpec* FindStruct(const std::string& name) const {
-    if (name.empty()) return nullptr;
-    for (const auto& s : structs_) {
-      if (s.name == name) return &s;
-    }
-    return nullptr;
-  }
-
-  const std::string& module_;
-  const std::vector<StructSpec>& structs_;
   uint64_t next_out_ = 0;
 };
 
@@ -188,33 +270,62 @@ class CommandEngine {
 // Device side
 // ---------------------------------------------------------------------------
 
+/// Per-device precomputed tables, built once per ModelDevice (i.e. once
+/// per kernel boot) and shared by every file the device opens.
+struct DeviceRuntime {
+  const DeviceSpec* dev;
+  uint64_t open_block;
+  MacroIndex macros;
+  std::unordered_map<const HandlerSpec*, std::vector<CmdRuntime>> handlers;
+
+  explicit DeviceRuntime(const DeviceSpec* d)
+      : dev(d), open_block(BlockId(d->id, "open", "", 0)) {
+    BuildHandler(&d->primary);
+    for (const auto& h : d->secondary) BuildHandler(&h);
+  }
+
+  void BuildHandler(const HandlerSpec* h) {
+    std::vector<CmdRuntime>& cmds = handlers[h];
+    cmds.resize(h->ioctls.size());
+    for (size_t i = 0; i < h->ioctls.size(); ++i) {
+      FillCmdRuntime(&cmds[i], dev->id, h->ioctls[i], dev->structs, &macros);
+      cmds[i].match_value = FullCommandValue(*dev, h->ioctls[i]);
+    }
+  }
+
+  const std::vector<CmdRuntime>* CmdsOf(const HandlerSpec* h) const {
+    auto it = handlers.find(h);
+    return it == handlers.end() ? nullptr : &it->second;
+  }
+};
+
 class ModelFile : public FileHandler {
  public:
-  ModelFile(const DeviceSpec* dev, const HandlerSpec* handler)
-      : dev_(dev), handler_(handler), engine_(dev->id, dev->structs) {}
+  ModelFile(const DeviceRuntime* rt, const HandlerSpec* handler)
+      : rt_(rt), cmds_(rt->CmdsOf(handler)) {}
 
   long Ioctl(uint64_t cmd_value, Buffer* arg, ExecContext& ctx,
              Kernel& kernel) override {
-    const IoctlSpec* match = MatchCommand(cmd_value);
+    const CmdRuntime* match = MatchCommand(cmd_value);
     if (!match) return -vkernel::kENOTTY;
 
-    if (dev_->dispatch == DispatchStyle::kIocNrSwitch) {
+    if (rt_->dev->dispatch == DispatchStyle::kIocNrSwitch) {
       // The rendered dispatcher validates the size bits of the full
       // command; a bare nr value (SyzDescribe's wrong inference) fails.
-      uint64_t expect = StructByteSize(match->arg_struct, dev_->structs);
-      if (!match->arg_struct.empty() &&
-          ksrc::IocSize(cmd_value) < expect) {
+      if (!match->cmd->arg_struct.empty() &&
+          ksrc::IocSize(cmd_value) < match->expect_size) {
         return -vkernel::kEINVAL;
       }
     }
 
-    if (!match->creates_handler.empty()) {
+    if (!match->cmd->creates_handler.empty()) {
       long rc = engine_.RunCommand(*match, arg, ctx, &executed_,
                                    &release_bomb_, &release_title_);
       if (rc != 0) return rc;
-      const HandlerSpec* sub = dev_->FindHandler(match->creates_handler);
+      const HandlerSpec* sub =
+          rt_->dev->FindHandler(match->cmd->creates_handler);
       if (!sub) return -vkernel::kEINVAL;
-      return kernel.InstallFile(std::make_shared<ModelFile>(dev_, sub));
+      return kernel.InstallFile(std::make_shared<ModelFile>(rt_, sub));
     }
     return engine_.RunCommand(*match, arg, ctx, &executed_, &release_bomb_,
                               &release_title_);
@@ -226,32 +337,33 @@ class ModelFile : public FileHandler {
   }
 
  private:
-  const IoctlSpec* MatchCommand(uint64_t cmd_value) const {
-    for (const auto& cmd : handler_->ioctls) {
-      switch (dev_->dispatch) {
+  const CmdRuntime* MatchCommand(uint64_t cmd_value) const {
+    if (!cmds_) return nullptr;
+    for (const CmdRuntime& rt : *cmds_) {
+      switch (rt_->dev->dispatch) {
         case DispatchStyle::kDirectSwitch:
         case DispatchStyle::kTableLookup:
-          if (FullCommandValue(*dev_, cmd) == cmd_value) return &cmd;
+          if (rt.match_value == cmd_value) return &rt;
           break;
         case DispatchStyle::kIocNrSwitch:
-          if (ksrc::IocNr(cmd_value) == cmd.nr) return &cmd;
+          if (ksrc::IocNr(cmd_value) == rt.cmd->nr) return &rt;
           break;
       }
     }
     return nullptr;
   }
 
-  const DeviceSpec* dev_;
-  const HandlerSpec* handler_;
+  const DeviceRuntime* rt_;
+  const std::vector<CmdRuntime>* cmds_;
   CommandEngine engine_;
-  std::unordered_set<std::string> executed_;
+  ExecutedSet executed_;
   bool release_bomb_ = false;
   std::string release_title_;
 };
 
 class ModelDevice : public vkernel::DeviceDriver {
  public:
-  explicit ModelDevice(const DeviceSpec* dev) : dev_(dev) {}
+  explicit ModelDevice(const DeviceSpec* dev) : dev_(dev), runtime_(dev) {}
 
   std::string Name() const override { return dev_->id; }
   std::string NodePath() const override { return dev_->dev_node; }
@@ -260,108 +372,104 @@ class ModelDevice : public vkernel::DeviceDriver {
                                     long* err) override {
     (void)kernel;
     (void)err;
-    ctx.Cover(BlockId(dev_->id, "open", "", 0));
-    return std::make_unique<ModelFile>(dev_, &dev_->primary);
+    ctx.Cover(runtime_.open_block);
+    return std::make_unique<ModelFile>(&runtime_, &dev_->primary);
   }
 
  private:
   const DeviceSpec* dev_;
+  DeviceRuntime runtime_;
 };
 
 // ---------------------------------------------------------------------------
 // Socket side
 // ---------------------------------------------------------------------------
 
-class ModelSocket : public vkernel::SocketHandler {
- public:
-  explicit ModelSocket(const SocketSpec* sock)
-      : sock_(sock), engine_(sock->id, sock->structs) {}
+/// One setsockopt/getsockopt option with its precomputed pseudo-commands
+/// (the old code rebuilt the pseudo IoctlSpec — string concatenation and
+/// vector copies included — on every call).
+struct SockOptRuntime {
+  const SockOptSpec* opt = nullptr;
+  IoctlSpec set_pseudo;
+  IoctlSpec get_pseudo;
+  CmdRuntime set_rt;
+  CmdRuntime get_rt;
+  size_t get_need = 0;  ///< Kernel-filled buffer size for the get path.
+};
 
-  long SetSockOpt(uint64_t level, uint64_t optname, const Buffer& val,
-                  ExecContext& ctx, Kernel& kernel) override {
-    (void)kernel;
-    if (level != sock_->sol_level) return -vkernel::kENOPROTOOPT;
-    for (const auto& opt : sock_->sockopts) {
-      if (!opt.settable || opt.value != optname) continue;
-      IoctlSpec pseudo = PseudoCommand(opt, /*set=*/true);
-      Buffer copy = val;
-      return engine_.RunCommand(pseudo, &copy, ctx, &executed_,
-                                &release_bomb_, &release_title_);
+/// One socket-level operation (bind/connect/...) with precomputed blocks.
+struct OpRuntime {
+  const SocketOpSpec* spec = nullptr;
+  uint64_t op_block = 0;
+  std::vector<uint64_t> check_blocks;
+  std::vector<uint64_t> deep_block_ids;
+  int macro_idx = -1;
+  int bug_prior_idx = -1;
+};
+
+/// Per-family precomputed tables, shared by every socket it creates.
+struct SocketRuntime {
+  const SocketSpec* sock;
+  uint64_t create_block;
+  MacroIndex macros;
+  std::vector<CmdRuntime> ioctls;
+  std::vector<SockOptRuntime> sockopts;
+  const StructSpec* addr_spec = nullptr;
+  StructLayout addr_layout;
+  OpRuntime bind, connect, sendto, recvfrom, listen, accept;
+
+  explicit SocketRuntime(const SocketSpec* s)
+      : sock(s), create_block(BlockId(s->id, "create", "", 0)) {
+    ioctls.resize(s->ioctls.size());
+    for (size_t i = 0; i < s->ioctls.size(); ++i) {
+      FillCmdRuntime(&ioctls[i], s->id, s->ioctls[i], s->structs, &macros);
+      ioctls[i].match_value = SocketCommandValue(s->ioctls[i]);
     }
-    return -vkernel::kENOPROTOOPT;
-  }
 
-  long GetSockOpt(uint64_t level, uint64_t optname, Buffer* val,
-                  ExecContext& ctx, Kernel& kernel) override {
-    (void)kernel;
-    if (level != sock_->sol_level) return -vkernel::kENOPROTOOPT;
-    for (const auto& opt : sock_->sockopts) {
-      if (!opt.gettable || opt.value != optname) continue;
-      IoctlSpec pseudo = PseudoCommand(opt, /*set=*/false);
-      // get path: kernel fills the buffer; size it to the struct.
-      size_t need = StructByteSize(opt.arg_struct, sock_->structs);
-      if (val && val->bytes.size() < need) val->bytes.resize(need, 0);
-      return engine_.RunCommand(pseudo, val, ctx, &executed_, &release_bomb_,
-                                &release_title_);
+    // resize() up front: CmdRuntime::cmd points at the sibling pseudo
+    // spec, so elements must never relocate after FillCmdRuntime.
+    sockopts.resize(s->sockopts.size());
+    for (size_t i = 0; i < s->sockopts.size(); ++i) {
+      SockOptRuntime& so = sockopts[i];
+      so.opt = &s->sockopts[i];
+      so.set_pseudo = PseudoCommand(*so.opt, /*set=*/true);
+      so.get_pseudo = PseudoCommand(*so.opt, /*set=*/false);
+      FillCmdRuntime(&so.set_rt, s->id, so.set_pseudo, s->structs, &macros);
+      FillCmdRuntime(&so.get_rt, s->id, so.get_pseudo, s->structs, &macros);
+      so.get_need = StructByteSize(so.opt->arg_struct, s->structs);
     }
-    return -vkernel::kENOPROTOOPT;
-  }
 
-  long Ioctl(uint64_t cmd_value, Buffer* arg, ExecContext& ctx,
-             Kernel& kernel) override {
-    (void)kernel;
-    for (const auto& cmd : sock_->ioctls) {
-      uint64_t full = SocketCommandValue(cmd);
-      if (full == cmd_value) {
-        return engine_.RunCommand(cmd, arg, ctx, &executed_, &release_bomb_,
-                                  &release_title_);
-      }
+    if (!s->addr_struct.empty()) {
+      addr_spec = FindStructIn(s->structs, s->addr_struct);
+      if (addr_spec) addr_layout = ComputeLayout(*addr_spec, s->structs);
     }
-    return -vkernel::kENOTTY;
+
+    BuildOp(&bind, "bind", s->bind);
+    BuildOp(&connect, "connect", s->connect);
+    BuildOp(&sendto, "sendto", s->sendto);
+    BuildOp(&recvfrom, "recvfrom", s->recvfrom);
+    BuildOp(&listen, "listen", s->listen);
+    BuildOp(&accept, "accept", s->accept);
   }
 
-  long Bind(const Buffer& addr, ExecContext& ctx, Kernel& kernel) override {
-    (void)kernel;
-    return RunOp("bind", sock_->bind, addr, ctx);
+  void BuildOp(OpRuntime* rt, const char* op, const SocketOpSpec& spec) {
+    rt->spec = &spec;
+    rt->op_block = BlockId(sock->id, "op", op, 0);
+    uint32_t idx = 1;
+    for (const CheckSpec& check : spec.checks) {
+      rt->check_blocks.push_back(BlockId(
+          sock->id, std::string("op-check-") + op, check.field, idx++));
+    }
+    for (int i = 0; i < spec.deep_blocks; ++i) {
+      rt->deep_block_ids.push_back(BlockId(
+          sock->id, std::string("op-deep-") + op, "", static_cast<uint32_t>(i)));
+    }
+    rt->macro_idx = macros.Add(op);
+    if (spec.bug && spec.bug->trigger == BugSpec::Trigger::kSequence) {
+      rt->bug_prior_idx = macros.Add(spec.bug->prior_cmd);
+    }
   }
 
-  long Connect(const Buffer& addr, ExecContext& ctx, Kernel& kernel) override {
-    (void)kernel;
-    return RunOp("connect", sock_->connect, addr, ctx);
-  }
-
-  long SendTo(const Buffer& data, const Buffer& addr, ExecContext& ctx,
-              Kernel& kernel) override {
-    (void)kernel;
-    (void)data;
-    return RunOp("sendto", sock_->sendto, addr, ctx);
-  }
-
-  long RecvFrom(Buffer* data, ExecContext& ctx, Kernel& kernel) override {
-    (void)kernel;
-    if (data) data->bytes.resize(64, 0);
-    Buffer empty;
-    return RunOp("recvfrom", sock_->recvfrom, empty, ctx);
-  }
-
-  long Listen(ExecContext& ctx, Kernel& kernel) override {
-    (void)kernel;
-    Buffer empty;
-    return RunOp("listen", sock_->listen, empty, ctx);
-  }
-
-  long Accept(ExecContext& ctx, Kernel& kernel) override {
-    (void)kernel;
-    Buffer empty;
-    return RunOp("accept", sock_->accept, empty, ctx);
-  }
-
-  void Release(ExecContext& ctx, Kernel& kernel) override {
-    (void)kernel;
-    if (release_bomb_) ctx.Crash(release_title_);
-  }
-
- private:
   IoctlSpec PseudoCommand(const SockOptSpec& opt, bool set) const {
     IoctlSpec pseudo;
     pseudo.macro = (set ? "SET_" : "GET_") + opt.macro;
@@ -373,31 +481,112 @@ class ModelSocket : public vkernel::SocketHandler {
   }
 
   uint64_t SocketCommandValue(const IoctlSpec& cmd) const {
-    uint64_t size = StructByteSize(cmd.arg_struct, sock_->structs);
+    uint64_t size = StructByteSize(cmd.arg_struct, sock->structs);
     char r = (cmd.ioc_dir == 'r' || cmd.ioc_dir == 'b') ? 'r' : '-';
     char w = (cmd.ioc_dir == 'w' || cmd.ioc_dir == 'b') ? 'w' : '-';
     if (cmd.ioc_dir == 'n') size = 0;
     return ksrc::IoctlNumber(r, w, 0x89, cmd.nr, size);  // SIOC family.
   }
+};
 
-  long RunOp(const char* op, const SocketOpSpec& spec, const Buffer& addr,
-             ExecContext& ctx) {
+class ModelSocket : public vkernel::SocketHandler {
+ public:
+  explicit ModelSocket(const SocketRuntime* rt) : rt_(rt) {}
+
+  long SetSockOpt(uint64_t level, uint64_t optname, const Buffer& val,
+                  ExecContext& ctx, Kernel& kernel) override {
+    (void)kernel;
+    if (level != rt_->sock->sol_level) return -vkernel::kENOPROTOOPT;
+    for (const SockOptRuntime& so : rt_->sockopts) {
+      if (!so.opt->settable || so.opt->value != optname) continue;
+      Buffer copy = val;  // Views copy cheaply; writes materialize.
+      return engine_.RunCommand(so.set_rt, &copy, ctx, &executed_,
+                                &release_bomb_, &release_title_);
+    }
+    return -vkernel::kENOPROTOOPT;
+  }
+
+  long GetSockOpt(uint64_t level, uint64_t optname, Buffer* val,
+                  ExecContext& ctx, Kernel& kernel) override {
+    (void)kernel;
+    if (level != rt_->sock->sol_level) return -vkernel::kENOPROTOOPT;
+    for (const SockOptRuntime& so : rt_->sockopts) {
+      if (!so.opt->gettable || so.opt->value != optname) continue;
+      // get path: kernel fills the buffer; size it to the struct.
+      if (val && val->size() < so.get_need) val->Resize(so.get_need);
+      return engine_.RunCommand(so.get_rt, val, ctx, &executed_,
+                                &release_bomb_, &release_title_);
+    }
+    return -vkernel::kENOPROTOOPT;
+  }
+
+  long Ioctl(uint64_t cmd_value, Buffer* arg, ExecContext& ctx,
+             Kernel& kernel) override {
+    (void)kernel;
+    for (const CmdRuntime& rt : rt_->ioctls) {
+      if (rt.match_value == cmd_value) {
+        return engine_.RunCommand(rt, arg, ctx, &executed_, &release_bomb_,
+                                  &release_title_);
+      }
+    }
+    return -vkernel::kENOTTY;
+  }
+
+  long Bind(const Buffer& addr, ExecContext& ctx, Kernel& kernel) override {
+    (void)kernel;
+    return RunOp(rt_->bind, addr, ctx);
+  }
+
+  long Connect(const Buffer& addr, ExecContext& ctx, Kernel& kernel) override {
+    (void)kernel;
+    return RunOp(rt_->connect, addr, ctx);
+  }
+
+  long SendTo(const Buffer& data, const Buffer& addr, ExecContext& ctx,
+              Kernel& kernel) override {
+    (void)kernel;
+    (void)data;
+    return RunOp(rt_->sendto, addr, ctx);
+  }
+
+  long RecvFrom(Buffer* data, ExecContext& ctx, Kernel& kernel) override {
+    (void)kernel;
+    if (data) data->Resize(64);
+    Buffer empty;
+    return RunOp(rt_->recvfrom, empty, ctx);
+  }
+
+  long Listen(ExecContext& ctx, Kernel& kernel) override {
+    (void)kernel;
+    Buffer empty;
+    return RunOp(rt_->listen, empty, ctx);
+  }
+
+  long Accept(ExecContext& ctx, Kernel& kernel) override {
+    (void)kernel;
+    Buffer empty;
+    return RunOp(rt_->accept, empty, ctx);
+  }
+
+  void Release(ExecContext& ctx, Kernel& kernel) override {
+    (void)kernel;
+    if (release_bomb_) ctx.Crash(release_title_);
+  }
+
+ private:
+  long RunOp(const OpRuntime& rt, const Buffer& addr, ExecContext& ctx) {
+    const SocketOpSpec& spec = *rt.spec;
     if (!spec.supported) return -vkernel::kEOPNOTSUPP;
-    ctx.Cover(BlockId(sock_->id, "op", op, 0));
-    const StructSpec* addr_spec = sock_->addr_struct.empty()
-                                      ? nullptr
-                                      : sock_->FindStruct(sock_->addr_struct);
-    StructLayout layout;
-    if (addr_spec) layout = ComputeLayout(*addr_spec, sock_->structs);
+    ctx.Cover(rt.op_block);
+    const StructSpec* addr_spec = rt_->addr_spec;
+    const StructLayout& layout = rt_->addr_layout;
     if (addr_spec && !spec.checks.empty()) {
-      if (addr.bytes.size() < layout.total_size) return -vkernel::kEFAULT;
-      uint32_t idx = 1;
-      for (const CheckSpec& check : spec.checks) {
-        if (!CheckPasses(check, addr, layout, addr_spec)) {
+      if (addr.size() < layout.total_size) return -vkernel::kEFAULT;
+      for (size_t k = 0; k < spec.checks.size(); ++k) {
+        if (!CheckPasses(spec.checks[k], addr, layout, addr_spec)) {
           return -vkernel::kEINVAL;
         }
-        ctx.Cover(BlockId(sock_->id, std::string("op-check-") + op,
-                          check.field, idx++));
+        ctx.Cover(rt.check_blocks[k]);
       }
     }
     if (spec.bug) {
@@ -414,7 +603,7 @@ class ModelSocket : public vkernel::SocketHandler {
           fire = addr_spec && ReadField(addr, layout, bug.field) == bug.value;
           break;
         case BugSpec::Trigger::kSequence:
-          fire = executed_.count(bug.prior_cmd);
+          fire = executed_.Test(rt.bug_prior_idx);
           break;
         case BugSpec::Trigger::kOnRelease:
           release_bomb_ = true;
@@ -426,24 +615,22 @@ class ModelSocket : public vkernel::SocketHandler {
       }
       if (fire) ctx.Crash(bug.title);
     }
-    for (int i = 0; i < spec.deep_blocks; ++i) {
-      ctx.Cover(BlockId(sock_->id, std::string("op-deep-") + op, "",
-                        static_cast<uint32_t>(i)));
-    }
-    executed_.insert(op);
+    for (uint64_t block : rt.deep_block_ids) ctx.Cover(block);
+    executed_.Set(rt.macro_idx);
     return 0;
   }
 
-  const SocketSpec* sock_;
+  const SocketRuntime* rt_;
   CommandEngine engine_;
-  std::unordered_set<std::string> executed_;
+  ExecutedSet executed_;
   bool release_bomb_ = false;
   std::string release_title_;
 };
 
 class ModelSocketFamily : public vkernel::SocketFamily {
  public:
-  explicit ModelSocketFamily(const SocketSpec* sock) : sock_(sock) {}
+  explicit ModelSocketFamily(const SocketSpec* sock)
+      : sock_(sock), runtime_(sock) {}
 
   std::string Name() const override { return sock_->id; }
   uint64_t Domain() const override { return sock_->domain; }
@@ -462,12 +649,13 @@ class ModelSocketFamily : public vkernel::SocketFamily {
       *err = -vkernel::kEINVAL;
       return nullptr;
     }
-    ctx.Cover(BlockId(sock_->id, "create", "", 0));
-    return std::make_unique<ModelSocket>(sock_);
+    ctx.Cover(runtime_.create_block);
+    return std::make_unique<ModelSocket>(&runtime_);
   }
 
  private:
   const SocketSpec* sock_;
+  SocketRuntime runtime_;
 };
 
 }  // namespace

@@ -25,6 +25,14 @@ struct CampaignOptions {
   double mutate_prob = 0.7;
   /// Seed-corpus capacity.
   size_t corpus_cap = 256;
+  /// Programs per kernel batch window (syz-executor style). Inside a
+  /// window the kernel amortizes per-program module resets by resetting
+  /// only dirty modules; the window boundary restores the pristine state.
+  /// 1 (the default) closes the window after every program — exactly the
+  /// legacy per-program full reset, preserving the serial replay
+  /// guarantee. Results are identical for any value by construction; only
+  /// throughput changes.
+  int batch_size = 1;
 };
 
 /// Aggregated campaign outcome.

@@ -1,5 +1,7 @@
 #include "fuzzer/executor.h"
 
+#include <string_view>
+
 namespace kernelgpt::fuzzer {
 
 using vkernel::Buffer;
@@ -7,16 +9,19 @@ using vkernel::ExecContext;
 
 namespace {
 
-/// Extracts a NUL-terminated path from a buffer argument.
-std::string
+/// Descriptor value no program state can produce; syscalls on it fail
+/// with EBADF, mirroring how a fuzzer's stale resource refs behave.
+constexpr long kInvalidFd = 999999;
+
+/// Extracts the NUL-terminated path prefix of a buffer argument without
+/// copying; the view borrows the argument's bytes for the call duration.
+std::string_view
 PathFrom(const Arg& arg)
 {
-  std::string path;
-  for (uint8_t b : arg.bytes) {
-    if (b == 0) break;
-    path.push_back(static_cast<char>(b));
-  }
-  return path;
+  size_t len = 0;
+  while (len < arg.bytes.size() && arg.bytes[len] != 0) ++len;
+  return std::string_view(reinterpret_cast<const char*>(arg.bytes.data()),
+                          len);
 }
 
 /// Resolves the concrete fd value of an argument.
@@ -29,7 +34,7 @@ FdOf(const Arg& arg, const std::vector<long>& results)
         results[static_cast<size_t>(arg.ref_call)] >= 0) {
       return results[static_cast<size_t>(arg.ref_call)];
     }
-    return 999999;  // A never-valid descriptor.
+    return kInvalidFd;
   }
   return static_cast<long>(arg.scalar);
 }
@@ -41,25 +46,122 @@ ScalarOf(const Call& call, size_t index)
   return call.args[index].scalar;
 }
 
+/// Zero-copy view over a buffer argument; empty view when the argument
+/// is absent or not a buffer.
+Buffer
+BufferViewAt(const Call& call, size_t index)
+{
+  if (index < call.args.size() &&
+      call.args[index].kind == Arg::Kind::kBuffer) {
+    return Buffer::View(call.args[index].bytes);
+  }
+  return Buffer();
+}
+
 }  // namespace
 
-Executor::Executor(vkernel::Kernel* kernel, const SpecLibrary* lib)
-    : kernel_(kernel), lib_(lib) {}
+Executor::Executor(vkernel::Kernel* kernel, const SpecLibrary* lib,
+                   DispatchMode mode)
+    : kernel_(kernel), lib_(lib), mode_(mode) {}
 
 long
-Executor::Dispatch(const syzlang::SyscallDef& def, const Call& call,
-                   std::vector<long>& results, ExecContext& ctx)
+Executor::Dispatch(SyscallOp op, const syzlang::SyscallDef& def,
+                   const Call& call, const std::vector<long>& results,
+                   ExecContext& ctx)
+{
+  auto fd0 = [&]() {
+    return call.args.empty() ? -1 : FdOf(call.args[0], results);
+  };
+
+  switch (op) {
+    case SyscallOp::kOpen:
+    case SyscallOp::kOpenat: {
+      const size_t path_idx = op == SyscallOp::kOpenat ? 1 : 0;
+      if (path_idx >= call.args.size()) return -vkernel::kEINVAL;
+      const uint64_t flags = ScalarOf(call, path_idx + 1);
+      return kernel_->Openat(PathFrom(call.args[path_idx]), flags, ctx);
+    }
+    case SyscallOp::kClose:
+      return kernel_->Close(fd0(), ctx);
+    case SyscallOp::kDup:
+      return kernel_->Dup(fd0(), ctx);
+    case SyscallOp::kIoctl: {
+      const uint64_t cmd = ScalarOf(call, 1);
+      if (call.args.size() > 2 && call.args[2].kind == Arg::Kind::kBuffer) {
+        Buffer buf = Buffer::View(call.args[2].bytes);
+        return kernel_->Ioctl(fd0(), cmd, &buf, ctx);
+      }
+      return kernel_->Ioctl(fd0(), cmd, nullptr, ctx);
+    }
+    case SyscallOp::kRead: {
+      out_scratch_.bytes.assign(
+          call.args.size() > 1 ? call.args[1].bytes.size() : 0, 0);
+      return kernel_->Read(fd0(), &out_scratch_, ctx);
+    }
+    case SyscallOp::kWrite: {
+      Buffer in = BufferViewAt(call, 1);
+      return kernel_->Write(fd0(), in, ctx);
+    }
+    case SyscallOp::kPoll:
+      return kernel_->Poll(fd0(), ctx);
+    case SyscallOp::kMmap:
+      return kernel_->Mmap(fd0(), ScalarOf(call, 1), ctx);
+    case SyscallOp::kSocket:
+      return kernel_->Socket(ScalarOf(call, 0), ScalarOf(call, 1),
+                             ScalarOf(call, 2), ctx);
+    case SyscallOp::kSetSockOpt: {
+      Buffer val = BufferViewAt(call, 3);
+      return kernel_->SetSockOpt(fd0(), ScalarOf(call, 1), ScalarOf(call, 2),
+                                 val, ctx);
+    }
+    case SyscallOp::kGetSockOpt: {
+      // In/out: the user's bytes size the buffer, the kernel writes it.
+      Buffer val = BufferViewAt(call, 3);
+      return kernel_->GetSockOpt(fd0(), ScalarOf(call, 1), ScalarOf(call, 2),
+                                 &val, ctx);
+    }
+    case SyscallOp::kBind: {
+      Buffer addr = BufferViewAt(call, 1);
+      return kernel_->Bind(fd0(), addr, ctx);
+    }
+    case SyscallOp::kConnect: {
+      Buffer addr = BufferViewAt(call, 1);
+      return kernel_->Connect(fd0(), addr, ctx);
+    }
+    case SyscallOp::kSendTo: {
+      Buffer data = BufferViewAt(call, 1);
+      Buffer addr = BufferViewAt(call, 4);
+      return kernel_->SendTo(fd0(), data, addr, ctx);
+    }
+    case SyscallOp::kSendMsg: {
+      Buffer data;
+      Buffer addr;
+      return kernel_->SendTo(fd0(), data, addr, ctx);
+    }
+    case SyscallOp::kRecvFrom: {
+      out_scratch_.bytes.clear();
+      return kernel_->RecvFrom(fd0(), &out_scratch_, ctx);
+    }
+    case SyscallOp::kListen:
+      return kernel_->Listen(fd0(), ctx);
+    case SyscallOp::kAccept:
+      return kernel_->Accept(fd0(), ctx);
+    case SyscallOp::kUnknown:
+      break;
+  }
+  // Unknown opcodes fall back to the name chain so a name Finalize()
+  // could not classify still behaves exactly as it always has.
+  return DispatchByName(def, call, results, ctx);
+}
+
+long
+Executor::DispatchByName(const syzlang::SyscallDef& def, const Call& call,
+                         const std::vector<long>& results, ExecContext& ctx)
 {
   const std::string& name = def.name;
   auto fd0 = [&]() {
     return call.args.empty() ? -1 : FdOf(call.args[0], results);
   };
-  auto buffer_at = [&](size_t index) -> Buffer* {
-    if (index >= call.args.size()) return nullptr;
-    // The executor owns the temporary buffer for the call duration.
-    return nullptr;
-  };
-  (void)buffer_at;
 
   if (name == "openat" || name == "open") {
     size_t path_idx = name == "openat" ? 1 : 0;
@@ -143,17 +245,21 @@ ExecResult
 Executor::Run(const Prog& prog, vkernel::Coverage* total)
 {
   ExecResult result;
-  vkernel::Coverage local;
-  ExecContext ctx(&local);
+  // Blocks land in `total` directly; ExecContext counts the new ones, so
+  // there is no per-program coverage set to allocate and merge.
+  ExecContext ctx(total);
   kernel_->BeginProgram();
 
-  std::vector<long> results(prog.calls.size(), -1);
+  results_.assign(prog.calls.size(), -1);
   for (size_t i = 0; i < prog.calls.size(); ++i) {
     const Call& call = prog.calls[i];
     if (call.syscall_index >= lib_->syscalls().size()) continue;
     const syzlang::SyscallDef& def = lib_->syscalls()[call.syscall_index];
-    long rc = Dispatch(def, call, results, ctx);
-    results[i] = rc;
+    long rc = mode_ == DispatchMode::kOpcode
+                  ? Dispatch(lib_->OpcodeOf(call.syscall_index), def, call,
+                             results_, ctx)
+                  : DispatchByName(def, call, results_, ctx);
+    results_[i] = rc;
     ++result.calls_executed;
     if (ctx.crashed()) break;
   }
@@ -161,8 +267,19 @@ Executor::Run(const Prog& prog, vkernel::Coverage* total)
 
   result.crashed = ctx.crashed();
   result.crash_title = ctx.crash_title();
-  result.new_blocks = total ? total->Merge(local) : 0;
+  result.new_blocks = ctx.new_hits();
   return result;
+}
+
+std::vector<ExecResult>
+Executor::RunBatch(util::Span<const Prog> progs, vkernel::Coverage* total)
+{
+  std::vector<ExecResult> results;
+  results.reserve(progs.size());
+  BeginBatch();
+  for (const Prog& prog : progs) results.push_back(Run(prog, total));
+  EndBatch();
+  return results;
 }
 
 }  // namespace kernelgpt::fuzzer

@@ -1,14 +1,19 @@
 /// \file
 /// Program execution against the virtual kernel: dispatches each call by
-/// its base syscall name, threads resource results between calls, and
-/// collects coverage and crash outcomes.
+/// the opcode its syscall resolved to at Finalize() time, threads resource
+/// results between calls, and collects coverage and crash outcomes.
+/// Argument bytes are passed to the kernel as zero-copy views; batches of
+/// programs can share one kernel batch window to amortize per-program
+/// reset work.
 
 #ifndef KERNELGPT_FUZZER_EXECUTOR_H_
 #define KERNELGPT_FUZZER_EXECUTOR_H_
 
 #include <string>
+#include <vector>
 
 #include "fuzzer/prog.h"
+#include "util/span.h"
 #include "vkernel/kernel.h"
 
 namespace kernelgpt::fuzzer {
@@ -24,18 +29,46 @@ struct ExecResult {
 /// Executes programs on one kernel instance, accumulating coverage.
 class Executor {
  public:
-  Executor(vkernel::Kernel* kernel, const SpecLibrary* lib);
+  /// How Run() resolves a call to a kernel operation. kOpcode is the hot
+  /// path (switch on the opcode precomputed by SpecLibrary::Finalize());
+  /// kLegacyNames re-compares the syscall name string per call and exists
+  /// as a debug-mode parity reference for tests.
+  enum class DispatchMode { kOpcode, kLegacyNames };
+
+  Executor(vkernel::Kernel* kernel, const SpecLibrary* lib,
+           DispatchMode mode = DispatchMode::kOpcode);
 
   /// Runs one program from a fresh kernel program state. Coverage is
   /// merged into `total`; the result reports crash state and new coverage.
   ExecResult Run(const Prog& prog, vkernel::Coverage* total);
 
+  /// Runs a batch of programs inside one kernel batch window, amortizing
+  /// per-program module resets. Per-program semantics (fresh fd table and
+  /// module state) are preserved, so results are identical to running
+  /// each program through Run() individually.
+  std::vector<ExecResult> RunBatch(util::Span<const Prog> progs,
+                                   vkernel::Coverage* total);
+
+  /// Opens/closes a kernel batch window around a streaming sequence of
+  /// Run() calls (the campaign loop cannot materialize its programs up
+  /// front because generation depends on prior results).
+  void BeginBatch() { kernel_->BeginBatch(); }
+  void EndBatch() { kernel_->EndBatch(); }
+
  private:
-  long Dispatch(const syzlang::SyscallDef& def, const Call& call,
-                std::vector<long>& results, vkernel::ExecContext& ctx);
+  long Dispatch(SyscallOp op, const syzlang::SyscallDef& def, const Call& call,
+                const std::vector<long>& results, vkernel::ExecContext& ctx);
+
+  /// The pre-opcode string-comparison chain, kept as the parity fallback.
+  long DispatchByName(const syzlang::SyscallDef& def, const Call& call,
+                      const std::vector<long>& results,
+                      vkernel::ExecContext& ctx);
 
   vkernel::Kernel* kernel_;
   const SpecLibrary* lib_;
+  DispatchMode mode_;
+  std::vector<long> results_;     ///< Per-call results, reused across runs.
+  vkernel::Buffer out_scratch_;   ///< Kernel-written buffer, reused.
 };
 
 }  // namespace kernelgpt::fuzzer

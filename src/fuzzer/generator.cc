@@ -10,7 +10,35 @@ using syzlang::Type;
 using syzlang::TypeKind;
 
 Generator::Generator(const SpecLibrary* lib, util::Rng* rng)
-    : lib_(lib), rng_(rng) {}
+    : lib_(lib), rng_(rng)
+{
+  // Pre-size the slot array so InfoFor() never reallocates mid-use (a
+  // held TypeInfo& must stay valid across recursive generation calls).
+  slots_.resize(lib_->TypeSlotCount());
+}
+
+Generator::TypeInfo&
+Generator::StructInfoFor(const Type& type)
+{
+  TypeInfo& info = InfoFor(type);
+  if (!info.struct_known) {
+    info.struct_def = lib_->FindStruct(type.ref_name);
+    info.is_resource_ref = lib_->HasResource(type.ref_name);
+    info.struct_known = true;
+  }
+  return info;
+}
+
+size_t
+Generator::CachedTypeSize(const Type& type)
+{
+  TypeInfo& info = InfoFor(type);
+  if (!info.size_known) {
+    info.type_size = lib_->TypeSize(type);
+    info.size_known = true;
+  }
+  return info.type_size;
+}
 
 uint64_t
 Generator::ScalarFor(const Type& type)
@@ -18,14 +46,29 @@ Generator::ScalarFor(const Type& type)
   int bits = type.bits == 0 ? 64 : type.bits;
   uint64_t mask = bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
   switch (type.kind) {
-    case TypeKind::kConst:
-      return lib_->ResolveConst(type.const_name);
+    case TypeKind::kConst: {
+      TypeInfo& info = InfoFor(type);
+      if (!info.const_known) {
+        info.const_value = lib_->ResolveConst(type.const_name);
+        info.const_known = true;
+      }
+      return info.const_value;
+    }
     case TypeKind::kFlags: {
-      const syzlang::FlagsDef* flags = lib_->FindFlags(type.flags_name);
-      if (!flags || flags->values.empty()) return rng_->Next() & mask;
+      TypeInfo& info = InfoFor(type);
+      if (!info.flags_known) {
+        if (const syzlang::FlagsDef* flags =
+                lib_->FindFlags(type.flags_name)) {
+          for (const auto& name : flags->values) {
+            info.flag_values.push_back(lib_->ResolveConst(name));
+          }
+        }
+        info.flags_known = true;
+      }
+      if (info.flag_values.empty()) return rng_->Next() & mask;
       uint64_t value = 0;
-      for (const auto& name : flags->values) {
-        if (rng_->Chance(0.4)) value |= lib_->ResolveConst(name);
+      for (uint64_t flag : info.flag_values) {
+        if (rng_->Chance(0.4)) value |= flag;
       }
       return value & mask;
     }
@@ -62,8 +105,10 @@ namespace {
 void
 AppendScalarBytes(std::vector<uint8_t>* out, uint64_t value, size_t size)
 {
+  size_t at = out->size();
+  out->resize(at + size);
   for (size_t i = 0; i < size; ++i) {
-    out->push_back(static_cast<uint8_t>(value >> (8 * i)));
+    (*out)[at + i] = static_cast<uint8_t>(value >> (8 * i));
   }
 }
 
@@ -91,7 +136,8 @@ Generator::BuildPayload(const Type& type)
       const Type& elem = type.elems.at(0);
       uint64_t count =
           type.array_len > 0 ? type.array_len : rng_->Below(17);
-      size_t elem_size = lib_->TypeSize(elem);
+      size_t elem_size = CachedTypeSize(elem);
+      out.reserve(count * (elem_size ? elem_size : 4));
       for (uint64_t i = 0; i < count; ++i) {
         if (elem.kind == TypeKind::kStructRef) {
           auto nested = BuildPayload(elem);
@@ -104,21 +150,21 @@ Generator::BuildPayload(const Type& type)
       return out;
     }
     case TypeKind::kStructRef: {
-      const syzlang::StructDef* def = lib_->FindStruct(type.ref_name);
+      const syzlang::StructDef* def = StructInfoFor(type).struct_def;
       if (!def) {
         out.assign(8, 0);
         return out;
       }
       if (def->is_union) {
         // Pick one arm and pad to the union size.
-        size_t total = lib_->StructSize(*def);
+        size_t total = CachedTypeSize(type);
         if (!def->fields.empty()) {
           const auto& arm =
               def->fields[rng_->Below(def->fields.size())];
           out = BuildPayload(arm.type);
           if (out.empty()) {
             AppendScalarBytes(&out, ScalarFor(arm.type),
-                              lib_->TypeSize(arm.type));
+                              CachedTypeSize(arm.type));
           }
         }
         out.resize(total, 0);
@@ -135,6 +181,7 @@ Generator::BuildPayload(const Type& type)
       std::vector<Slot> len_slots;
       std::unordered_map<std::string, uint64_t> elem_counts;
       std::unordered_map<std::string, uint64_t> byte_sizes;
+      out.reserve(CachedTypeSize(type));
       for (const auto& field : def->fields) {
         const Type& ft = field.type;
         if (ft.kind == TypeKind::kLen || ft.kind == TypeKind::kBytesize) {
@@ -152,17 +199,17 @@ Generator::BuildPayload(const Type& type)
           std::vector<uint8_t> payload = BuildPayload(ft);
           size_t elem_size = ft.kind == TypeKind::kArray
                                  ? std::max<size_t>(
-                                       lib_->TypeSize(ft.elems.at(0)), 1)
+                                       CachedTypeSize(ft.elems.at(0)), 1)
                                  : 1;
           elem_counts[field.name] = payload.size() / elem_size;
           byte_sizes[field.name] = payload.size();
           // Fixed-size fields keep their declared size.
-          size_t declared = lib_->TypeSize(ft);
+          size_t declared = CachedTypeSize(ft);
           if (declared > 0) payload.resize(declared, 0);
           out.insert(out.end(), payload.begin(), payload.end());
           continue;
         }
-        size_t size = lib_->TypeSize(ft);
+        size_t size = CachedTypeSize(ft);
         AppendScalarBytes(&out, ScalarFor(ft), size ? size : 4);
       }
       for (const Slot& slot : len_slots) {
@@ -183,7 +230,7 @@ Generator::BuildPayload(const Type& type)
       return out;
     }
     default: {
-      size_t size = lib_->TypeSize(type);
+      size_t size = CachedTypeSize(type);
       AppendScalarBytes(&out, ScalarFor(type), size ? size : 4);
       return out;
     }
@@ -198,22 +245,23 @@ Generator::BuildArg(const Type& type)
     case TypeKind::kResource:
       arg.kind = Arg::Kind::kResourceRef;
       return arg;
-    case TypeKind::kStructRef:
+    case TypeKind::kStructRef: {
       // A bare name can be a resource reference after parsing round-trips.
-      if (lib_->HasResource(type.ref_name)) {
+      if (StructInfoFor(type).is_resource_ref) {
         arg.kind = Arg::Kind::kResourceRef;
         return arg;
       }
       arg.kind = Arg::Kind::kBuffer;
       arg.bytes = BuildPayload(type);
       return arg;
+    }
     case TypeKind::kPtr:
       arg.kind = Arg::Kind::kBuffer;
       arg.dir = type.dir;
       arg.bytes = BuildPayload(type.elems.at(0));
       if (type.dir == Dir::kOut) {
         // Out buffers are kernel-filled; provide capacity only.
-        size_t want = lib_->TypeSize(type.elems.at(0));
+        size_t want = CachedTypeSize(type.elems.at(0));
         arg.bytes.assign(want ? want : 64, 0);
       }
       return arg;
@@ -239,17 +287,16 @@ Generator::BuildArg(const Type& type)
 void
 Generator::LinkLens(const SyscallDef& def, Call* call)
 {
-  for (size_t i = 0; i < def.params.size() && i < call->args.size(); ++i) {
-    const Type& type = def.params[i].type;
-    if (type.kind != TypeKind::kLen && type.kind != TypeKind::kBytesize) {
-      continue;
-    }
+  (void)def;
+  // (len param, target param) pairs are precomputed by Finalize().
+  for (const auto& [len_idx, target_idx] :
+       lib_->LenLinksOf(call->syscall_index)) {
+    const size_t i = static_cast<size_t>(len_idx);
+    const size_t j = static_cast<size_t>(target_idx);
+    if (i >= call->args.size() || j >= call->args.size()) continue;
     if (call->args[i].len_of_param == kBrokenLenLink) continue;
-    for (size_t j = 0; j < def.params.size() && j < call->args.size(); ++j) {
-      if (def.params[j].name != type.len_target) continue;
-      call->args[i].len_of_param = static_cast<int>(j);
-      call->args[i].scalar = call->args[j].bytes.size();
-    }
+    call->args[i].len_of_param = static_cast<int>(j);
+    call->args[i].scalar = call->args[j].bytes.size();
   }
 }
 
@@ -277,22 +324,9 @@ Generator::AppendCall(Prog* prog, size_t syscall_index, int depth)
         }
       }
       if (arg.ref_call < 0 && depth < 4) {
-        const auto& producers = lib_->ProducersOf(res);
         // Prefer producers that do not themselves consume this resource
-        // (socket/openat over accept).
-        std::vector<size_t> safe;
-        for (size_t p : producers) {
-          bool self = false;
-          for (const auto& pp : lib_->syscalls()[p].params) {
-            if ((pp.type.kind == TypeKind::kResource ||
-                 pp.type.kind == TypeKind::kStructRef) &&
-                pp.type.ref_name == res) {
-              self = true;
-            }
-          }
-          if (!self) safe.push_back(p);
-        }
-        const auto& pool = safe.empty() ? producers : safe;
+        // (socket/openat over accept); precomputed in Finalize().
+        const auto& pool = lib_->SafeProducersOf(res);
         if (!pool.empty()) {
           size_t producer = pool[rng_->Below(pool.size())];
           arg.ref_call = AppendCall(prog, producer, depth + 1);

@@ -29,6 +29,15 @@ MinimizeCrash(vkernel::Kernel* kernel, const SpecLibrary& lib,
   MinimizeResult result;
   Executor executor(kernel, &lib);
 
+  // Minimization replays hundreds of near-identical candidates; one
+  // batch window amortizes the per-replay module resets. Closed by the
+  // scope guard on every return path.
+  executor.BeginBatch();
+  struct BatchGuard {
+    Executor* executor;
+    ~BatchGuard() { executor->EndBatch(); }
+  } batch_guard{&executor};
+
   auto reproduces = [&](const Prog& candidate) {
     ExecResult exec = executor.Run(candidate, nullptr);
     ++result.executions;

@@ -1,5 +1,7 @@
 #include "fuzzer/spec_library.h"
 
+#include <functional>
+
 namespace kernelgpt::fuzzer {
 
 using syzlang::DeclKind;
@@ -34,14 +36,92 @@ SpecLibrary::Add(const syzlang::SpecFile& spec)
   }
 }
 
+SyscallOp
+ResolveSyscallOp(const std::string& name)
+{
+  if (name == "open") return SyscallOp::kOpen;
+  if (name == "openat") return SyscallOp::kOpenat;
+  if (name == "close") return SyscallOp::kClose;
+  if (name == "dup") return SyscallOp::kDup;
+  if (name == "ioctl") return SyscallOp::kIoctl;
+  if (name == "read") return SyscallOp::kRead;
+  if (name == "write") return SyscallOp::kWrite;
+  if (name == "poll") return SyscallOp::kPoll;
+  if (name == "mmap") return SyscallOp::kMmap;
+  if (name == "socket") return SyscallOp::kSocket;
+  if (name == "setsockopt") return SyscallOp::kSetSockOpt;
+  if (name == "getsockopt") return SyscallOp::kGetSockOpt;
+  if (name == "bind") return SyscallOp::kBind;
+  if (name == "connect") return SyscallOp::kConnect;
+  if (name == "sendto") return SyscallOp::kSendTo;
+  if (name == "sendmsg") return SyscallOp::kSendMsg;
+  if (name == "recvfrom") return SyscallOp::kRecvFrom;
+  if (name == "recvmsg") return SyscallOp::kRecvFrom;
+  if (name == "listen") return SyscallOp::kListen;
+  if (name == "accept") return SyscallOp::kAccept;
+  return SyscallOp::kUnknown;
+}
+
 void
 SpecLibrary::Finalize()
 {
   producers_.clear();
+  opcodes_.clear();
+  opcodes_.reserve(syscalls_.size());
+  len_links_.clear();
+  len_links_.resize(syscalls_.size());
   for (size_t i = 0; i < syscalls_.size(); ++i) {
+    opcodes_.push_back(ResolveSyscallOp(syscalls_[i].name));
     if (syscalls_[i].returns_resource) {
       producers_[*syscalls_[i].returns_resource].push_back(i);
     }
+    const auto& params = syscalls_[i].params;
+    for (size_t p = 0; p < params.size(); ++p) {
+      const Type& type = params[p].type;
+      if (type.kind != TypeKind::kLen && type.kind != TypeKind::kBytesize) {
+        continue;
+      }
+      for (size_t t = 0; t < params.size(); ++t) {
+        if (params[t].name == type.len_target) {
+          len_links_[i].emplace_back(static_cast<int>(p),
+                                     static_cast<int>(t));
+        }
+      }
+    }
+  }
+
+  // Dense type-cache slots for the generator (see Type::cache_slot).
+  type_slot_count_ = 0;
+  std::function<void(Type*)> assign_slots = [&](Type* type) {
+    type->cache_slot = static_cast<int>(type_slot_count_++);
+    for (Type& elem : type->elems) assign_slots(&elem);
+  };
+  for (auto& syscall : syscalls_) {
+    for (auto& param : syscall.params) assign_slots(&param.type);
+  }
+  for (auto& [name, struct_def] : structs_) {
+    (void)name;
+    for (auto& field : struct_def.fields) assign_slots(&field.type);
+  }
+
+  // Safe-producer pools: producers that do not consume their own
+  // resource, so the generator's recursive producer insertion cannot
+  // pick e.g. accept to satisfy accept's own fd parameter.
+  safe_producers_.clear();
+  for (const auto& [resource, producers] : producers_) {
+    std::vector<size_t> safe;
+    for (size_t p : producers) {
+      bool self = false;
+      for (const auto& param : syscalls_[p].params) {
+        if ((param.type.kind == syzlang::TypeKind::kResource ||
+             param.type.kind == syzlang::TypeKind::kStructRef) &&
+            param.type.ref_name == resource) {
+          self = true;
+        }
+      }
+      if (!self) safe.push_back(p);
+    }
+    if (!safe.empty()) safe_producers_[resource] = std::move(safe);
   }
 }
 
@@ -76,6 +156,19 @@ SpecLibrary::ProducersOf(const std::string& resource) const
 {
   auto it = producers_.find(resource);
   return it == producers_.end() ? no_producers_ : it->second;
+}
+
+const std::vector<std::pair<int, int>>&
+SpecLibrary::LenLinksOf(size_t index) const
+{
+  return index < len_links_.size() ? len_links_[index] : no_len_links_;
+}
+
+const std::vector<size_t>&
+SpecLibrary::SafeProducersOf(const std::string& resource) const
+{
+  auto it = safe_producers_.find(resource);
+  return it == safe_producers_.end() ? ProducersOf(resource) : it->second;
 }
 
 size_t

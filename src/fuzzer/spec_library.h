@@ -17,6 +17,36 @@
 
 namespace kernelgpt::fuzzer {
 
+/// Executor operation a syscall's base name resolves to. Resolution
+/// happens once in SpecLibrary::Finalize(); the executor's hot path
+/// dispatches with a switch on this opcode instead of re-comparing the
+/// name string on every call.
+enum class SyscallOp : uint8_t {
+  kUnknown = 0,
+  kOpen,
+  kOpenat,
+  kClose,
+  kDup,
+  kIoctl,
+  kRead,
+  kWrite,
+  kPoll,
+  kMmap,
+  kSocket,
+  kSetSockOpt,
+  kGetSockOpt,
+  kBind,
+  kConnect,
+  kSendTo,
+  kSendMsg,
+  kRecvFrom,
+  kListen,
+  kAccept,
+};
+
+/// Maps a base syscall name to its opcode (kUnknown when unhandled).
+SyscallOp ResolveSyscallOp(const std::string& name);
+
 /// Immutable after Finalize(); cheap to query during fuzzing.
 class SpecLibrary {
  public:
@@ -35,6 +65,12 @@ class SpecLibrary {
   const std::vector<syzlang::SyscallDef>& syscalls() const {
     return syscalls_;
   }
+
+  /// Opcode of syscall `index`, resolved by Finalize(). kUnknown for an
+  /// out-of-range index or before Finalize().
+  SyscallOp OpcodeOf(size_t index) const {
+    return index < opcodes_.size() ? opcodes_[index] : SyscallOp::kUnknown;
+  }
   const syzlang::StructDef* FindStruct(const std::string& name) const;
   const syzlang::FlagsDef* FindFlags(const std::string& name) const;
   bool HasResource(const std::string& name) const;
@@ -45,6 +81,12 @@ class SpecLibrary {
   /// Indices of syscalls whose return value produces `resource`.
   const std::vector<size_t>& ProducersOf(const std::string& resource) const;
 
+  /// Producers of `resource` that do not themselves consume it (e.g.
+  /// socket/openat rather than accept). Falls back to ProducersOf() when
+  /// every producer is self-consuming. Precomputed by Finalize() so the
+  /// generator does not rescan producer parameter lists per call.
+  const std::vector<size_t>& SafeProducersOf(const std::string& resource) const;
+
   /// Packed byte size of a type as the generator lays it out. Flexible
   /// arrays count as zero (sized at generation time).
   size_t TypeSize(const syzlang::Type& type) const;
@@ -52,8 +94,22 @@ class SpecLibrary {
   /// Packed byte size of a struct/union definition.
   size_t StructSize(const syzlang::StructDef& def) const;
 
+  /// Number of type cache slots Finalize() assigned (every Type owned by
+  /// this library gets a dense `cache_slot` id; see Type::cache_slot).
+  size_t TypeSlotCount() const { return type_slot_count_; }
+
+  /// (len_param, target_param) pairs of syscall `index` — which params
+  /// are len[...]/bytesize[...] of which sibling. Precomputed by
+  /// Finalize() so per-call len linking does no string comparisons.
+  const std::vector<std::pair<int, int>>& LenLinksOf(size_t index) const;
+
  private:
   std::vector<syzlang::SyscallDef> syscalls_;
+  std::vector<SyscallOp> opcodes_;
+  std::vector<std::vector<std::pair<int, int>>> len_links_;
+  std::vector<std::pair<int, int>> no_len_links_;
+  size_t type_slot_count_ = 0;
+  std::unordered_map<std::string, std::vector<size_t>> safe_producers_;
   std::unordered_map<std::string, syzlang::StructDef> structs_;
   std::unordered_map<std::string, syzlang::FlagsDef> flags_;
   std::unordered_map<std::string, syzlang::ResourceDef> resources_;

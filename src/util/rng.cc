@@ -5,51 +5,6 @@
 
 namespace kernelgpt::util {
 
-uint64_t
-Rng::Next()
-{
-  // SplitMix64 step.
-  state_ += 0x9e3779b97f4a7c15ULL;
-  uint64_t z = state_;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-uint64_t
-Rng::Below(uint64_t bound)
-{
-  if (bound == 0) return 0;
-  // Rejection sampling to avoid modulo bias for large bounds.
-  uint64_t threshold = (0 - bound) % bound;
-  for (;;) {
-    uint64_t r = Next();
-    if (r >= threshold) return r % bound;
-  }
-}
-
-int64_t
-Rng::Range(int64_t lo, int64_t hi)
-{
-  if (hi <= lo) return lo;
-  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
-  return lo + static_cast<int64_t>(Below(span));
-}
-
-bool
-Rng::Chance(double p)
-{
-  p = std::clamp(p, 0.0, 1.0);
-  return UnitDouble() < p;
-}
-
-double
-Rng::UnitDouble()
-{
-  // 53 high-quality bits into the mantissa.
-  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
-}
-
 size_t
 Rng::WeightedPick(const std::vector<double>& weights)
 {

@@ -1,14 +1,43 @@
 #include "vkernel/coverage.h"
 
+#include <algorithm>
+
 namespace kernelgpt::vkernel {
+
+namespace {
+
+int
+PopCount(uint64_t word)
+{
+  return __builtin_popcountll(word);
+}
+
+}  // namespace
+
+bool
+Coverage::Contains(uint64_t block_id) const
+{
+  auto it = pages_.find(block_id >> kPageShift);
+  if (it == pages_.end()) return false;
+  const uint64_t word = it->second[(block_id & kPageMask) >> 6];
+  return (word & (1ULL << (block_id & 63))) != 0;
+}
 
 size_t
 Coverage::Merge(const Coverage& other)
 {
   size_t added = 0;
-  for (uint64_t b : other.blocks_) {
-    if (blocks_.insert(b).second) ++added;
+  for (const auto& [key, theirs] : other.pages_) {
+    Page& ours = pages_[key];
+    for (size_t w = 0; w < kWordsPerPage; ++w) {
+      const uint64_t fresh = theirs[w] & ~ours[w];
+      if (fresh) {
+        ours[w] |= fresh;
+        added += static_cast<size_t>(PopCount(fresh));
+      }
+    }
   }
+  count_ += added;
   return added;
 }
 
@@ -16,10 +45,56 @@ size_t
 Coverage::CountNotIn(const Coverage& other) const
 {
   size_t n = 0;
-  for (uint64_t b : blocks_) {
-    if (!other.blocks_.count(b)) ++n;
+  for (const auto& [key, ours] : pages_) {
+    auto it = other.pages_.find(key);
+    if (it == other.pages_.end()) {
+      for (uint64_t word : ours) n += static_cast<size_t>(PopCount(word));
+      continue;
+    }
+    const Page& theirs = it->second;
+    for (size_t w = 0; w < kWordsPerPage; ++w) {
+      n += static_cast<size_t>(PopCount(ours[w] & ~theirs[w]));
+    }
   }
   return n;
+}
+
+std::unordered_set<uint64_t>
+Coverage::blocks() const
+{
+  std::unordered_set<uint64_t> out;
+  out.reserve(count_);
+  for (const auto& [key, page] : pages_) {
+    for (size_t w = 0; w < kWordsPerPage; ++w) {
+      uint64_t word = page[w];
+      while (word) {
+        const int bit = __builtin_ctzll(word);
+        out.insert((key << kPageShift) | (w << 6) | static_cast<uint64_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<uint64_t>
+Coverage::SortedBlocks() const
+{
+  std::vector<uint64_t> out;
+  out.reserve(count_);
+  for (const auto& [key, page] : pages_) {
+    for (size_t w = 0; w < kWordsPerPage; ++w) {
+      uint64_t word = page[w];
+      while (word) {
+        const int bit = __builtin_ctzll(word);
+        out.push_back((key << kPageShift) | (w << 6) |
+                      static_cast<uint64_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 uint64_t

@@ -2,13 +2,24 @@
 /// Basic-block coverage collection — the virtual kernel's equivalent of
 /// KCOV. Every validation branch and deep path in the driver runtime has a
 /// stable 64-bit block id; experiments compare sets of covered ids.
+///
+/// Storage is a two-level dense structure: block ids are split into a page
+/// key (high bits) and a bit index (low bits), and each page is a small
+/// bitmap. Ids built with MakeBlockId share their module hash in the page
+/// key, so one module's blocks cluster into densely packed pages and
+/// Merge/CountNotIn run in O(pages * words) word operations instead of
+/// per-id hashing. Arbitrary ids (e.g. raw hashes) still work — they just
+/// land one-per-page, which degrades to the old per-id cost, not worse.
 
 #ifndef KERNELGPT_VKERNEL_COVERAGE_H_
 #define KERNELGPT_VKERNEL_COVERAGE_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
+#include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 namespace kernelgpt::vkernel {
 
@@ -16,12 +27,20 @@ namespace kernelgpt::vkernel {
 class Coverage {
  public:
   /// Records one block hit. Returns true if the block was new.
-  bool Hit(uint64_t block_id) { return blocks_.insert(block_id).second; }
+  bool Hit(uint64_t block_id) {
+    Page& page = pages_[block_id >> kPageShift];
+    uint64_t& word = page[(block_id & kPageMask) >> 6];
+    const uint64_t bit = 1ULL << (block_id & 63);
+    if (word & bit) return false;
+    word |= bit;
+    ++count_;
+    return true;
+  }
 
   /// Number of distinct blocks covered.
-  size_t Count() const { return blocks_.size(); }
+  size_t Count() const { return count_; }
 
-  bool Contains(uint64_t block_id) const { return blocks_.count(block_id); }
+  bool Contains(uint64_t block_id) const;
 
   /// Merges `other` into this set; returns how many blocks were new.
   size_t Merge(const Coverage& other);
@@ -29,12 +48,29 @@ class Coverage {
   /// Number of blocks in `this` that are absent from `other`.
   size_t CountNotIn(const Coverage& other) const;
 
-  const std::unordered_set<uint64_t>& blocks() const { return blocks_; }
+  /// Materializes the covered ids as a set (reports and tests; not for
+  /// the hot path).
+  std::unordered_set<uint64_t> blocks() const;
 
-  void Clear() { blocks_.clear(); }
+  /// Sorted covered ids (deterministic iteration for reports).
+  std::vector<uint64_t> SortedBlocks() const;
+
+  void Clear() {
+    pages_.clear();
+    count_ = 0;
+  }
 
  private:
-  std::unordered_set<uint64_t> blocks_;
+  /// 256-bit pages: big enough that MakeBlockId neighbours share a page,
+  /// small enough that hash-scattered ids don't waste memory.
+  static constexpr int kPageShift = 8;
+  static constexpr uint64_t kPageMask = (1ULL << kPageShift) - 1;
+  static constexpr size_t kWordsPerPage = (1ULL << kPageShift) / 64;
+
+  using Page = std::array<uint64_t, kWordsPerPage>;
+
+  std::unordered_map<uint64_t, Page> pages_;
+  size_t count_ = 0;
 };
 
 /// Builds a namespaced block id from a module hash and a local index.

@@ -20,14 +20,59 @@ class Kernel;
 
 /// Userspace memory attached to a pointer argument. Direction handling is
 /// the executor's business; handlers read and write bytes freely.
+///
+/// A Buffer either owns its storage (`bytes`) or is a zero-copy view over
+/// caller-owned memory (the executor wraps in-direction argument bytes
+/// this way, so the hot path never deep-copies them). Reads go through
+/// `data()`/`size()` and work on both forms; the first write materializes
+/// a view into owned storage (copy-on-write), so handler semantics are
+/// unchanged. The viewed memory must outlive the Buffer.
 struct Buffer {
-  std::vector<uint8_t> bytes;
+  std::vector<uint8_t> bytes;  ///< Owned storage; empty while viewing.
+
+  Buffer() = default;
+
+  /// Wraps caller-owned memory without copying.
+  static Buffer View(const uint8_t* data, size_t size) {
+    Buffer b;
+    b.view_data_ = data;
+    b.view_size_ = size;
+    return b;
+  }
+  static Buffer View(const std::vector<uint8_t>& v) {
+    return View(v.data(), v.size());
+  }
+
+  bool viewing() const { return view_data_ != nullptr; }
+  size_t size() const { return view_data_ ? view_size_ : bytes.size(); }
+  bool empty() const { return size() == 0; }
+  const uint8_t* data() const {
+    return view_data_ ? view_data_ : bytes.data();
+  }
+
+  /// Resizes the owned storage, copying a view's contents first.
+  void Resize(size_t n) {
+    Materialize();
+    bytes.resize(n, 0);
+  }
+
+  /// Copies a view into owned storage; no-op when already owning.
+  void Materialize() {
+    if (!view_data_) return;
+    bytes.assign(view_data_, view_data_ + view_size_);
+    view_data_ = nullptr;
+    view_size_ = 0;
+  }
 
   /// Reads a little-endian scalar at `offset`; returns 0 on short reads.
   uint64_t ReadScalar(size_t offset, size_t size) const;
 
   /// Writes a little-endian scalar, growing the buffer if needed.
   void WriteScalar(size_t offset, size_t size, uint64_t value);
+
+ private:
+  const uint8_t* view_data_ = nullptr;
+  size_t view_size_ = 0;
 };
 
 /// Per-execution context: carries coverage and crash state. A sanitizer
@@ -38,8 +83,13 @@ class ExecContext {
 
   /// Records a covered basic block.
   void Cover(uint64_t block_id) {
-    if (coverage_) coverage_->Hit(block_id);
+    if (coverage_ && coverage_->Hit(block_id)) ++new_hits_;
   }
+
+  /// Blocks newly added to the attached coverage during this context's
+  /// lifetime. Lets the executor hit the accumulated coverage directly
+  /// instead of collecting into a per-program set and merging.
+  size_t new_hits() const { return new_hits_; }
 
   /// Fires a sanitizer report; execution of the program stops after the
   /// current syscall returns.
@@ -57,6 +107,7 @@ class ExecContext {
 
  private:
   Coverage* coverage_;
+  size_t new_hits_ = 0;
   bool crashed_ = false;
   std::string crash_title_;
 };

@@ -1,15 +1,19 @@
 #include "vkernel/kernel.h"
 
+#include <algorithm>
+
 namespace kernelgpt::vkernel {
 
 uint64_t
 Buffer::ReadScalar(size_t offset, size_t size) const
 {
+  const uint8_t* base = data();
+  const size_t limit = this->size();
   uint64_t value = 0;
   for (size_t i = 0; i < size && i < 8; ++i) {
     size_t idx = offset + i;
-    if (idx >= bytes.size()) break;
-    value |= static_cast<uint64_t>(bytes[idx]) << (8 * i);
+    if (idx >= limit) break;
+    value |= static_cast<uint64_t>(base[idx]) << (8 * i);
   }
   return value;
 }
@@ -17,6 +21,7 @@ Buffer::ReadScalar(size_t offset, size_t size) const
 void
 Buffer::WriteScalar(size_t offset, size_t size, uint64_t value)
 {
+  Materialize();
   if (offset + size > bytes.size()) bytes.resize(offset + size, 0);
   for (size_t i = 0; i < size && i < 8; ++i) {
     bytes[offset + i] = static_cast<uint8_t>(value >> (8 * i));
@@ -26,22 +31,24 @@ Buffer::WriteScalar(size_t offset, size_t size, uint64_t value)
 void
 Kernel::RegisterDevice(std::unique_ptr<DeviceDriver> driver)
 {
+  device_by_path_.emplace(driver->NodePath(),
+                          std::make_pair(driver.get(), devices_.size()));
+  device_dirty_.push_back(0);
   devices_.push_back(std::move(driver));
 }
 
 void
 Kernel::RegisterSocketFamily(std::unique_ptr<SocketFamily> family)
 {
+  family_dirty_.push_back(0);
   families_.push_back(std::move(family));
 }
 
 DeviceDriver*
-Kernel::FindDeviceByPath(const std::string& path) const
+Kernel::FindDeviceByPath(std::string_view path) const
 {
-  for (const auto& d : devices_) {
-    if (d->NodePath() == path) return d.get();
-  }
-  return nullptr;
+  auto it = device_by_path_.find(path);
+  return it == device_by_path_.end() ? nullptr : it->second.first;
 }
 
 SocketFamily*
@@ -54,52 +61,117 @@ Kernel::FindFamilyByDomain(uint64_t domain) const
 }
 
 void
+Kernel::MarkDeviceDirty(size_t index)
+{
+  if (!device_dirty_[index]) {
+    device_dirty_[index] = 1;
+    dirty_devices_.push_back(index);
+  }
+}
+
+void
+Kernel::MarkFamilyDirty(size_t index)
+{
+  if (!family_dirty_[index]) {
+    family_dirty_[index] = 1;
+    dirty_families_.push_back(index);
+  }
+}
+
+void
+Kernel::ResetModules(bool dirty_only)
+{
+  if (dirty_only) {
+    for (size_t i : dirty_devices_) {
+      devices_[i]->ResetState();
+      device_dirty_[i] = 0;
+    }
+    for (size_t i : dirty_families_) {
+      families_[i]->ResetState();
+      family_dirty_[i] = 0;
+    }
+  } else {
+    for (auto& d : devices_) d->ResetState();
+    for (auto& f : families_) f->ResetState();
+    std::fill(device_dirty_.begin(), device_dirty_.end(), 0);
+    std::fill(family_dirty_.begin(), family_dirty_.end(), 0);
+  }
+  dirty_devices_.clear();
+  dirty_families_.clear();
+}
+
+void
 Kernel::BeginProgram()
 {
-  fd_table_.clear();
-  next_fd_ = 3;
-  for (auto& d : devices_) d->ResetState();
-  for (auto& f : families_) f->ResetState();
+  files_.clear();
+  ResetModules(/*dirty_only=*/in_batch_);
+}
+
+void
+Kernel::BeginBatch()
+{
+  in_batch_ = true;
+}
+
+void
+Kernel::EndBatch()
+{
+  in_batch_ = false;
+  ResetModules(/*dirty_only=*/false);
 }
 
 void
 Kernel::EndProgram(ExecContext& ctx)
 {
-  for (auto& [fd, entry] : fd_table_) {
-    entry.handler->Release(ctx, *this);
+  // Release in fd order (deterministic; the old hash table iterated in
+  // unspecified order).
+  for (auto& entry : files_) {
+    if (entry.handler) entry.handler->Release(ctx, *this);
   }
-  fd_table_.clear();
+  files_.clear();
+}
+
+long
+Kernel::InstallEntry(std::shared_ptr<FileHandler> handler, bool is_socket)
+{
+  files_.push_back({std::move(handler), is_socket});
+  return kFdBase + static_cast<long>(files_.size()) - 1;
 }
 
 long
 Kernel::InstallFile(std::shared_ptr<FileHandler> handler)
 {
-  long fd = next_fd_++;
-  fd_table_[fd] = {std::move(handler), /*is_socket=*/false};
-  return fd;
+  return InstallEntry(std::move(handler), /*is_socket=*/false);
 }
 
 FileHandler*
 Kernel::LookupFd(long fd) const
 {
-  auto it = fd_table_.find(fd);
-  return it == fd_table_.end() ? nullptr : it->second.handler.get();
+  const size_t idx = static_cast<size_t>(fd - kFdBase);
+  if (fd < kFdBase || idx >= files_.size()) return nullptr;
+  return files_[idx].handler.get();
 }
 
 SocketHandler*
 Kernel::LookupSocket(long fd) const
 {
-  auto it = fd_table_.find(fd);
-  if (it == fd_table_.end() || !it->second.is_socket) return nullptr;
-  return static_cast<SocketHandler*>(it->second.handler.get());
+  const size_t idx = static_cast<size_t>(fd - kFdBase);
+  if (fd < kFdBase || idx >= files_.size() || !files_[idx].is_socket) {
+    return nullptr;
+  }
+  return static_cast<SocketHandler*>(files_[idx].handler.get());
 }
 
 long
-Kernel::Openat(const std::string& path, uint64_t flags, ExecContext& ctx)
+Kernel::Openat(std::string_view path, uint64_t flags, ExecContext& ctx)
 {
   (void)flags;
-  DeviceDriver* driver = FindDeviceByPath(path);
-  if (!driver) return -kENOENT;
+  auto it = device_by_path_.find(path);
+  if (it == device_by_path_.end()) return -kENOENT;
+  DeviceDriver* driver = it->second.first;
+  // Open may mutate module state even when it fails, so the module is
+  // dirty from here on regardless of the outcome.
+  MarkDeviceDirty(it->second.second);
   long err = 0;
   std::unique_ptr<FileHandler> handler = driver->Open(ctx, *this, &err);
   if (!handler) return err != 0 ? err : -kENODEV;
@@ -109,13 +181,14 @@ Kernel::Openat(const std::string& path, uint64_t flags, ExecContext& ctx)
 long
 Kernel::Close(long fd, ExecContext& ctx)
 {
-  auto it = fd_table_.find(fd);
-  if (it == fd_table_.end()) return -kEBADF;
+  const size_t idx = static_cast<size_t>(fd - kFdBase);
+  if (fd < kFdBase || idx >= files_.size() || !files_[idx].handler) {
+    return -kEBADF;
+  }
   // Release fires only when the last reference drops (dup-aware).
-  std::shared_ptr<FileHandler> handler = it->second.handler;
-  fd_table_.erase(it);
+  std::shared_ptr<FileHandler> handler = std::move(files_[idx].handler);
   bool still_open = false;
-  for (const auto& [other_fd, entry] : fd_table_) {
+  for (const auto& entry : files_) {
     if (entry.handler == handler) still_open = true;
   }
   if (!still_open) handler->Release(ctx, *this);
@@ -126,11 +199,11 @@ long
 Kernel::Dup(long fd, ExecContext& ctx)
 {
   (void)ctx;
-  auto it = fd_table_.find(fd);
-  if (it == fd_table_.end()) return -kEBADF;
-  long new_fd = next_fd_++;
-  fd_table_[new_fd] = it->second;
-  return new_fd;
+  const size_t idx = static_cast<size_t>(fd - kFdBase);
+  if (fd < kFdBase || idx >= files_.size() || !files_[idx].handler) {
+    return -kEBADF;
+  }
+  return InstallEntry(files_[idx].handler, files_[idx].is_socket);
 }
 
 long
@@ -182,16 +255,16 @@ Kernel::Socket(uint64_t domain, uint64_t type, uint64_t protocol,
   // that accepts (type, protocol) wins, like the kernel's create loop.
   bool domain_seen = false;
   long err = 0;
-  for (const auto& family : families_) {
+  for (size_t i = 0; i < families_.size(); ++i) {
+    const auto& family = families_[i];
     if (family->Domain() != domain) continue;
     domain_seen = true;
+    MarkFamilyDirty(i);
     std::unique_ptr<SocketHandler> handler =
         family->Create(type, protocol, ctx, *this, &err);
     if (handler) {
-      long fd = next_fd_++;
-      fd_table_[fd] = {std::shared_ptr<FileHandler>(std::move(handler)),
-                       /*is_socket=*/true};
-      return fd;
+      return InstallEntry(std::shared_ptr<FileHandler>(std::move(handler)),
+                          /*is_socket=*/true);
     }
   }
   if (!domain_seen) return -kEAFNOSUPPORT;

@@ -7,9 +7,10 @@
 #define KERNELGPT_VKERNEL_KERNEL_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <vector>
 
 #include "vkernel/file.h"
@@ -39,20 +40,34 @@ class Kernel {
     return families_;
   }
 
-  DeviceDriver* FindDeviceByPath(const std::string& path) const;
+  DeviceDriver* FindDeviceByPath(std::string_view path) const;
   SocketFamily* FindFamilyByDomain(uint64_t domain) const;
 
   // -- Program lifecycle ---------------------------------------------------
 
-  /// Resets the fd table and every module's per-program state.
+  /// Resets the fd table and per-program module state. Outside a batch
+  /// window every module is reset (the legacy full reset); inside one,
+  /// only modules actually touched since their last reset are — the
+  /// batched executor's amortization. Both orders are observable-state
+  /// equivalent because resetting an untouched module is a no-op.
   void BeginProgram();
 
   /// Closes all remaining descriptors (releasing driver objects).
   void EndProgram(ExecContext& ctx);
 
+  /// Opens a batch window: BeginProgram() switches to dirty-module-only
+  /// resets until EndBatch(). Call with the kernel in a pristine state
+  /// (freshly booted, or after a non-batched BeginProgram/EndBatch).
+  void BeginBatch();
+
+  /// Closes the batch window and restores the pristine state with one
+  /// full module reset, so any dirty-tracking miss cannot leak past a
+  /// batch boundary.
+  void EndBatch();
+
   // -- Syscalls ------------------------------------------------------------
 
-  long Openat(const std::string& path, uint64_t flags, ExecContext& ctx);
+  long Openat(std::string_view path, uint64_t flags, ExecContext& ctx);
   long Close(long fd, ExecContext& ctx);
   long Dup(long fd, ExecContext& ctx);
   long Ioctl(long fd, uint64_t cmd, Buffer* arg, ExecContext& ctx);
@@ -90,12 +105,37 @@ class Kernel {
   std::vector<std::unique_ptr<DeviceDriver>> devices_;
   std::vector<std::unique_ptr<SocketFamily>> families_;
 
+  /// Node path -> device, built at registration so Openat resolves with
+  /// one transparent lookup instead of a linear NodePath() string scan.
+  /// std::less<> enables string_view lookups without a temporary string.
+  std::map<std::string, std::pair<DeviceDriver*, size_t>, std::less<>>
+      device_by_path_;
+
+  /// Modules touched since their last ResetState() (indices into
+  /// devices_ / families_). Drives the dirty-only reset inside batches.
+  std::vector<size_t> dirty_devices_;
+  std::vector<size_t> dirty_families_;
+  std::vector<char> device_dirty_;
+  std::vector<char> family_dirty_;
+  bool in_batch_ = false;
+
+  void MarkDeviceDirty(size_t index);
+  void MarkFamilyDirty(size_t index);
+  void ResetModules(bool dirty_only);
+
   struct OpenFileEntry {
-    std::shared_ptr<FileHandler> handler;
+    std::shared_ptr<FileHandler> handler;  ///< Null after close.
     bool is_socket = false;
   };
-  std::unordered_map<long, OpenFileEntry> fd_table_;
-  long next_fd_ = 3;
+
+  /// Flat per-program descriptor table: files_[i] backs fd kFdBase + i.
+  /// Descriptors are allocated monotonically within a program (exactly
+  /// the numbering the old hash-map table produced), so lookup is a
+  /// bounds check + index instead of a hash probe.
+  static constexpr long kFdBase = 3;
+  std::vector<OpenFileEntry> files_;
+
+  long InstallEntry(std::shared_ptr<FileHandler> handler, bool is_socket);
 };
 
 }  // namespace kernelgpt::vkernel

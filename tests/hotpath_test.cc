@@ -1,0 +1,297 @@
+// Tests for the hot-path execution engine (PR 2): opcode dispatch parity
+// against the legacy string-comparison chain, dense-coverage equivalence
+// with set semantics, zero-copy buffer behaviour, and batched-executor
+// determinism (batch_size must never change results).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "experiments/context.h"
+#include "fuzzer/campaign.h"
+#include "fuzzer/generator.h"
+#include "fuzzer/orchestrator.h"
+#include "util/rng.h"
+#include "vkernel/coverage.h"
+
+namespace kernelgpt::fuzzer {
+namespace {
+
+using experiments::ExperimentContext;
+
+class HotPathTest : public ::testing::Test {
+ protected:
+  static const ExperimentContext& Context() {
+    return ExperimentContext::Default();
+  }
+
+  static SpecLibrary SuiteLibrary() {
+    return Context().SyzkallerPlusKernelGptSuite();
+  }
+
+  static void Boot(vkernel::Kernel* kernel) { Context().BootKernel(kernel); }
+};
+
+// ---------------------------------------------------------------------------
+// Opcode dispatch
+// ---------------------------------------------------------------------------
+
+TEST_F(HotPathTest, EverySuiteSyscallResolvesToAnOpcode)
+{
+  SpecLibrary lib = SuiteLibrary();
+  ASSERT_FALSE(lib.syscalls().empty());
+  for (size_t i = 0; i < lib.syscalls().size(); ++i) {
+    EXPECT_NE(lib.OpcodeOf(i), SyscallOp::kUnknown)
+        << "unhandled syscall name: " << lib.syscalls()[i].name;
+  }
+}
+
+// The opcode switch and the legacy name chain must agree on every call:
+// same return codes, same coverage, same crashes — across every syscall
+// variant the corpus specs declare (generation visits them all).
+TEST_F(HotPathTest, OpcodeDispatchMatchesLegacyNameDispatch)
+{
+  SpecLibrary lib = SuiteLibrary();
+
+  vkernel::Kernel kernel_new;
+  vkernel::Kernel kernel_old;
+  Boot(&kernel_new);
+  Boot(&kernel_old);
+  Executor opcode_exec(&kernel_new, &lib, Executor::DispatchMode::kOpcode);
+  Executor legacy_exec(&kernel_old, &lib,
+                       Executor::DispatchMode::kLegacyNames);
+
+  vkernel::Coverage cov_new;
+  vkernel::Coverage cov_old;
+
+  // Deterministic program stream covering every syscall: first one
+  // program per syscall index, then a generated mix.
+  util::Rng rng(2024);
+  Generator generator(&lib, &rng);
+  std::vector<Prog> progs;
+  for (size_t i = 0; i < lib.syscalls().size(); ++i) {
+    Prog prog;
+    generator.AppendCall(&prog, i);
+    if (!prog.empty()) progs.push_back(std::move(prog));
+  }
+  for (int i = 0; i < 200; ++i) {
+    Prog prog = generator.Generate(6);
+    if (!prog.empty()) progs.push_back(std::move(prog));
+  }
+
+  for (const Prog& prog : progs) {
+    ExecResult a = opcode_exec.Run(prog, &cov_new);
+    ExecResult b = legacy_exec.Run(prog, &cov_old);
+    EXPECT_EQ(a.crashed, b.crashed);
+    EXPECT_EQ(a.crash_title, b.crash_title);
+    EXPECT_EQ(a.calls_executed, b.calls_executed);
+    EXPECT_EQ(a.new_blocks, b.new_blocks);
+  }
+  EXPECT_EQ(cov_new.blocks(), cov_old.blocks());
+}
+
+// ---------------------------------------------------------------------------
+// Dense coverage
+// ---------------------------------------------------------------------------
+
+TEST_F(HotPathTest, CoverageMatchesSetSemantics)
+{
+  vkernel::Coverage cov;
+  std::unordered_set<uint64_t> model;
+
+  // A mix of MakeBlockId-shaped ids (dense pages), raw hashes, duplicate
+  // hits, and page-edge values.
+  std::vector<uint64_t> ids;
+  for (uint32_t i = 0; i < 300; ++i) {
+    ids.push_back(vkernel::MakeBlockId(0xdeadbeefcafeULL, i));
+  }
+  util::Rng rng(99);
+  for (int i = 0; i < 300; ++i) ids.push_back(rng.Next());
+  ids.insert(ids.end(), {0ULL, 1ULL, 63ULL, 64ULL, 255ULL, 256ULL, ~0ULL});
+  ids.insert(ids.end(), ids.begin(), ids.begin() + 100);  // Duplicates.
+
+  for (uint64_t id : ids) {
+    EXPECT_EQ(cov.Hit(id), model.insert(id).second) << id;
+  }
+  EXPECT_EQ(cov.Count(), model.size());
+  for (uint64_t id : ids) EXPECT_TRUE(cov.Contains(id));
+  EXPECT_FALSE(cov.Contains(0x1234567890ULL));
+  EXPECT_EQ(cov.blocks(), model);
+
+  std::vector<uint64_t> sorted = cov.SortedBlocks();
+  EXPECT_EQ(sorted.size(), model.size());
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+}
+
+TEST_F(HotPathTest, CoverageMergeAndCountNotInMatchSetSemantics)
+{
+  util::Rng rng(7);
+  vkernel::Coverage a;
+  vkernel::Coverage b;
+  std::unordered_set<uint64_t> set_a;
+  std::unordered_set<uint64_t> set_b;
+  for (int i = 0; i < 500; ++i) {
+    // Overlapping ranges: ~half the ids land in both sets.
+    uint64_t ida = vkernel::MakeBlockId(42, static_cast<uint32_t>(i));
+    uint64_t idb = vkernel::MakeBlockId(42, static_cast<uint32_t>(i + 250));
+    a.Hit(ida);
+    set_a.insert(ida);
+    b.Hit(idb);
+    set_b.insert(idb);
+    uint64_t h = rng.Next();
+    if (i % 2) {
+      a.Hit(h);
+      set_a.insert(h);
+    } else {
+      b.Hit(h);
+      set_b.insert(h);
+    }
+  }
+
+  // CountNotIn == |a \ b| and |b \ a|.
+  size_t a_not_b = 0;
+  for (uint64_t id : set_a) a_not_b += set_b.count(id) ? 0 : 1;
+  size_t b_not_a = 0;
+  for (uint64_t id : set_b) b_not_a += set_a.count(id) ? 0 : 1;
+  EXPECT_EQ(a.CountNotIn(b), a_not_b);
+  EXPECT_EQ(b.CountNotIn(a), b_not_a);
+
+  // Merge returns the number of genuinely new blocks; repeat merges and
+  // empty merges add nothing.
+  vkernel::Coverage merged;
+  EXPECT_EQ(merged.Merge(a), set_a.size());
+  EXPECT_EQ(merged.Merge(a), 0u);
+  EXPECT_EQ(merged.Merge(b), b_not_a);
+  EXPECT_EQ(merged.Count(), set_a.size() + b_not_a);
+  vkernel::Coverage empty;
+  EXPECT_EQ(merged.Merge(empty), 0u);
+  EXPECT_EQ(empty.Merge(empty), 0u);
+  EXPECT_EQ(empty.Count(), 0u);
+
+  std::unordered_set<uint64_t> set_union = set_a;
+  set_union.insert(set_b.begin(), set_b.end());
+  EXPECT_EQ(merged.blocks(), set_union);
+
+  merged.Clear();
+  EXPECT_EQ(merged.Count(), 0u);
+  EXPECT_EQ(merged.Merge(a), set_a.size());
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy buffers
+// ---------------------------------------------------------------------------
+
+TEST_F(HotPathTest, BufferViewReadsWithoutCopyAndMaterializesOnWrite)
+{
+  std::vector<uint8_t> backing = {1, 2, 3, 4, 5, 6, 7, 8};
+  vkernel::Buffer view = vkernel::Buffer::View(backing);
+  EXPECT_TRUE(view.viewing());
+  EXPECT_EQ(view.size(), backing.size());
+  EXPECT_EQ(view.data(), backing.data());  // No copy happened.
+  EXPECT_EQ(view.ReadScalar(0, 4), 0x04030201u);
+  EXPECT_TRUE(view.bytes.empty());  // Still not materialized.
+
+  // First write detaches from the backing storage.
+  view.WriteScalar(0, 2, 0xbeef);
+  EXPECT_FALSE(view.viewing());
+  EXPECT_NE(view.data(), backing.data());
+  EXPECT_EQ(view.ReadScalar(0, 2), 0xbeefu);
+  EXPECT_EQ(view.ReadScalar(2, 2), 0x0403u);  // Old contents preserved.
+  EXPECT_EQ(backing[0], 1u);                  // Backing untouched.
+
+  vkernel::Buffer grown = vkernel::Buffer::View(backing);
+  grown.Resize(16);
+  EXPECT_EQ(grown.size(), 16u);
+  EXPECT_EQ(grown.ReadScalar(0, 4), 0x04030201u);  // Copied then grown.
+  EXPECT_EQ(grown.ReadScalar(8, 4), 0u);           // Zero-filled tail.
+}
+
+// ---------------------------------------------------------------------------
+// Batched execution
+// ---------------------------------------------------------------------------
+
+TEST_F(HotPathTest, BatchSizeDoesNotChangeCampaignResults)
+{
+  SpecLibrary lib = SuiteLibrary();
+  CampaignOptions base;
+  base.seed = 4242;
+  base.program_budget = 6000;
+
+  auto run_with_batch = [&](int batch_size) {
+    vkernel::Kernel kernel;
+    Boot(&kernel);
+    CampaignOptions options = base;
+    options.batch_size = batch_size;
+    return RunCampaign(&kernel, lib, options);
+  };
+
+  CampaignResult unbatched = run_with_batch(1);
+  EXPECT_GT(unbatched.coverage.Count(), 0u);
+  for (int batch_size : {2, 32, 7919}) {
+    CampaignResult batched = run_with_batch(batch_size);
+    EXPECT_EQ(unbatched.coverage.blocks(), batched.coverage.blocks())
+        << "batch_size " << batch_size;
+    EXPECT_EQ(unbatched.crashes, batched.crashes);
+    EXPECT_EQ(unbatched.programs_executed, batched.programs_executed);
+    EXPECT_EQ(unbatched.corpus_size, batched.corpus_size);
+  }
+}
+
+TEST_F(HotPathTest, RunBatchMatchesIndividualRuns)
+{
+  SpecLibrary lib = SuiteLibrary();
+  util::Rng rng(11);
+  Generator generator(&lib, &rng);
+  std::vector<Prog> progs;
+  for (int i = 0; i < 50; ++i) {
+    Prog prog = generator.Generate(5);
+    if (!prog.empty()) progs.push_back(std::move(prog));
+  }
+
+  vkernel::Kernel kernel_batch;
+  vkernel::Kernel kernel_single;
+  Boot(&kernel_batch);
+  Boot(&kernel_single);
+  Executor batch_exec(&kernel_batch, &lib);
+  Executor single_exec(&kernel_single, &lib);
+
+  vkernel::Coverage cov_batch;
+  vkernel::Coverage cov_single;
+  std::vector<ExecResult> batched = batch_exec.RunBatch(progs, &cov_batch);
+  ASSERT_EQ(batched.size(), progs.size());
+  for (size_t i = 0; i < progs.size(); ++i) {
+    ExecResult single = single_exec.Run(progs[i], &cov_single);
+    EXPECT_EQ(batched[i].crashed, single.crashed) << i;
+    EXPECT_EQ(batched[i].crash_title, single.crash_title) << i;
+    EXPECT_EQ(batched[i].calls_executed, single.calls_executed) << i;
+    EXPECT_EQ(batched[i].new_blocks, single.new_blocks) << i;
+  }
+  EXPECT_EQ(cov_batch.blocks(), cov_single.blocks());
+}
+
+TEST_F(HotPathTest, BatchedOneWorkerOrchestratorStillBitIdenticalToSerial)
+{
+  SpecLibrary lib = SuiteLibrary();
+  CampaignOptions campaign;
+  campaign.seed = 314;
+  campaign.program_budget = 4000;
+  campaign.batch_size = 16;
+
+  vkernel::Kernel kernel;
+  Boot(&kernel);
+  CampaignResult serial = RunCampaign(&kernel, lib, campaign);
+
+  OrchestratorOptions options;
+  options.campaign = campaign;
+  options.num_workers = 1;
+  OrchestratorResult sharded = RunShardedCampaign(
+      lib, [](vkernel::Kernel* k) { Boot(k); }, options);
+
+  EXPECT_EQ(serial.programs_executed, sharded.programs_executed);
+  EXPECT_EQ(serial.crashes, sharded.crashes);
+  EXPECT_EQ(serial.coverage.blocks(), sharded.coverage.blocks());
+}
+
+}  // namespace
+}  // namespace kernelgpt::fuzzer
