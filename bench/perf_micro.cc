@@ -9,6 +9,7 @@
 #include "drivers/model_spec.h"
 #include "experiments/context.h"
 #include "fuzzer/campaign.h"
+#include "fuzzer/distiller.h"
 #include "fuzzer/generator.h"
 #include "ksrc/cparser.h"
 #include "syzlang/parser.h"
@@ -134,6 +135,34 @@ BM_CoverageMerge(benchmark::State& state)
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_CoverageMerge)->Arg(256)->Arg(4096);
+
+/// Between-campaign distillation cost: one pass (dedup + batched replay
+/// for signatures + greedy cover + crash minimization) over the merged
+/// corpus of a fixed 4-worker campaign; items = input corpus programs, so
+/// items/sec is distillation throughput per merged-corpus program.
+void
+BM_Distill(benchmark::State& state)
+{
+  const auto& context = experiments::ExperimentContext::Default();
+  fuzzer::SpecLibrary lib = context.SyzkallerPlusKernelGptSuite();
+  auto boot = [&context](vkernel::Kernel* k) { context.BootKernel(k); };
+
+  fuzzer::OrchestratorOptions options;
+  options.campaign.seed = 42;
+  options.campaign.program_budget = 8000;
+  options.num_workers = 4;
+  options.sync_interval = 200;
+  std::vector<fuzzer::Prog> merged =
+      fuzzer::RunShardedCampaign(lib, boot, options).corpus;
+
+  fuzzer::Distiller distiller(&lib, boot);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(distiller.Distill(merged));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(merged.size()));
+}
+BENCHMARK(BM_Distill);
 
 void
 BM_OrchestratorThroughput(benchmark::State& state)

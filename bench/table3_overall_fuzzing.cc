@@ -99,8 +99,37 @@ main()
               serial_wall, kWorkers, parallel_wall,
               serial_wall / (parallel_wall > 0 ? parallel_wall : 1));
   std::printf("Crash-dedup check: unique crash titles serial vs 4-way: "
-              "%zu vs %zu (Syzkaller), %zu vs %zu (KernelGPT)\n",
+              "%zu vs %zu (Syzkaller), %zu vs %zu (KernelGPT)\n\n",
               base.crash_titles.size(), base_par.crash_titles.size(),
               kg.crash_titles.size(), kg_par.crash_titles.size());
+
+  // -- Corpus distillation: the between-campaign lifecycle pass -------------
+  // Merged corpora grow with every epoch; the distiller prunes each one to
+  // a minimal covering subset (coverage preserved exactly) and dedupes
+  // crashes into one minimized reproducer per title.
+  util::Table dtable({"Suite", "Merged corpus", "Distilled", "Kept %",
+                      "Cov preserved", "Crash repros"});
+  auto drow = [&](const char* label,
+                  const fuzzer::SpecLibrary& lib,
+                  const experiments::ExperimentContext::FuzzSummary& summary) {
+    fuzzer::DistillResult distilled =
+        context.DistillCorpus(lib, summary.corpus);
+    const size_t merged_n = summary.corpus.size();
+    const double kept =
+        merged_n ? 100.0 * static_cast<double>(distilled.corpus.size()) /
+                       static_cast<double>(merged_n)
+                 : 0.0;
+    dtable.AddRow({label, std::to_string(merged_n),
+                   std::to_string(distilled.corpus.size()),
+                   util::Fixed(kept, 1),
+                   util::WithCommas(static_cast<int64_t>(
+                       distilled.coverage.Count())),
+                   std::to_string(distilled.crash_reproducers.size())});
+  };
+  std::printf("Corpus distillation (4-way merged corpora, last rep):\n");
+  drow("Syzkaller", syzkaller, base_par);
+  drow("Syzkaller + SyzDescribe", with_sd, sd_par);
+  drow("Syzkaller + KernelGPT", with_kg, kg_par);
+  std::printf("%s\n", dtable.Render().c_str());
   return 0;
 }

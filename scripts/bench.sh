@@ -1,17 +1,33 @@
 #!/usr/bin/env bash
-# Perf trajectory harness (PR 2): runs the perf_micro hot-path benchmarks
-# and writes BENCH_pr2.json with execs/sec, ns/dispatch, and ns/merge so
-# future PRs can compare against a recorded baseline on the same machine.
+# Perf trajectory harness: runs the perf_micro hot-path benchmarks and
+# either records a BENCH_prN.json trajectory file or gates against a
+# previously recorded baseline.
 #
-# Usage: scripts/bench.sh [output.json]
-# Env:   BUILD_DIR (default: build)
+# Record: scripts/bench.sh [output.json]        (default BENCH_pr3.json)
+# Gate:   scripts/bench.sh --check baseline.json
+#   Re-measures BM_FuzzThroughput and fails (exit 1) when throughput
+#   regresses more than BENCH_TOLERANCE_PCT percent (default 25) below
+#   the baseline's recorded execs/sec. Override the tolerance for noisy
+#   shared runners, e.g. BENCH_TOLERANCE_PCT=40 in CI.
+#
+# Env: BUILD_DIR (default: build), BENCH_TOLERANCE_PCT (default: 25)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
-OUT="${1:-BENCH_pr2.json}"
 BENCH_BIN="${BUILD_DIR}/bench/bench_perf_micro"
 JOBS="$(nproc 2>/dev/null || echo 2)"
+
+MODE="record"
+OUT="BENCH_pr3.json"
+BASELINE=""
+if [ "${1:-}" = "--check" ]; then
+  MODE="check"
+  BASELINE="${2:?usage: bench.sh --check baseline.json}"
+  [ -f "${BASELINE}" ] || { echo "no such baseline: ${BASELINE}" >&2; exit 2; }
+else
+  OUT="${1:-${OUT}}"
+fi
 
 if [ ! -x "${BENCH_BIN}" ]; then
   echo "== building ${BENCH_BIN} =="
@@ -26,7 +42,7 @@ BUILD_TYPE="$(grep -E '^CMAKE_BUILD_TYPE:' "${BUILD_DIR}/CMakeCache.txt" | cut -
 case "${BUILD_TYPE}" in
   Release|RelWithDebInfo) ;;
   *)
-    echo "refusing to record a perf trajectory from a '${BUILD_TYPE:-unset}' build;"
+    echo "refusing to measure a perf trajectory from a '${BUILD_TYPE:-unset}' build;"
     echo "reconfigure ${BUILD_DIR} with -DCMAKE_BUILD_TYPE=RelWithDebInfo" >&2
     exit 1
     ;;
@@ -35,23 +51,91 @@ esac
 RAW="$(mktemp)"
 trap 'rm -f "${RAW}"' EXIT
 
+if [ "${MODE}" = "check" ]; then
+  echo "== perf gate: BM_FuzzThroughput vs ${BASELINE} =="
+  "${BENCH_BIN}" \
+    --benchmark_filter='BM_FuzzThroughput' \
+    --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
+    --benchmark_format=json > "${RAW}"
+
+  python3 - "${RAW}" "${BASELINE}" <<'PYEOF'
+import json
+import os
+import sys
+
+raw_path, baseline_path = sys.argv[1], sys.argv[2]
+tolerance_pct = float(os.environ.get("BENCH_TOLERANCE_PCT", "25"))
+
+with open(raw_path) as f:
+    raw = json.load(f)
+with open(baseline_path) as f:
+    baseline = json.load(f)
+
+means = {
+    b["run_name"]: b["items_per_second"]
+    for b in raw["benchmarks"]
+    if b.get("aggregate_name") == "mean"
+}
+checks = [
+    ("execs/sec (batch 1)", "BM_FuzzThroughput/2000/1",
+     baseline["fuzz_throughput"].get("execs_per_sec_unbatched")),
+    ("execs/sec (batch 32)", "BM_FuzzThroughput/2000/32",
+     baseline["fuzz_throughput"].get("execs_per_sec_batch32")),
+]
+
+failed = False
+compared = 0
+for label, run_name, recorded in checks:
+    measured = means.get(run_name)
+    if recorded is None or measured is None:
+        print("SKIP %-22s (missing in %s)" %
+              (label, "baseline" if recorded is None else "measurement"))
+        continue
+    compared += 1
+    floor = recorded * (1.0 - tolerance_pct / 100.0)
+    delta_pct = 100.0 * (measured - recorded) / recorded
+    status = "OK  " if measured >= floor else "FAIL"
+    if measured < floor:
+        failed = True
+    print("%s %-22s measured %12.1f  baseline %12.1f  (%+.1f%%, floor -%g%%)" %
+          (status, label, measured, recorded, delta_pct, tolerance_pct))
+
+if failed:
+    print("perf gate FAILED: BM_FuzzThroughput regressed more than "
+          "%g%% below %s" % (tolerance_pct, baseline_path))
+    sys.exit(1)
+if compared == 0:
+    # A gate that measured nothing must not pass: renamed baseline keys
+    # or a benchmark filter drift would otherwise disable it silently.
+    print("perf gate FAILED: no comparable metrics between the "
+          "measurement and %s" % baseline_path)
+    sys.exit(1)
+print("perf gate OK (tolerance -%g%%)" % tolerance_pct)
+PYEOF
+  exit 0
+fi
+
 echo "== running hot-path benchmarks =="
 # BM_OrchestratorThroughput is intentionally excluded: its items/sec
 # accounting is not comparable across worker counts on shared runners
 # (and is meaningless on 1-CPU containers), so it would poison the
 # trajectory file.
 "${BENCH_BIN}" \
-  --benchmark_filter='BM_FuzzThroughput|BM_ExecutorDispatch|BM_CoverageMerge' \
+  --benchmark_filter='BM_FuzzThroughput|BM_ExecutorDispatch|BM_CoverageMerge|BM_Distill' \
   --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
   --benchmark_format=json > "${RAW}"
 
 python3 - "${RAW}" "${OUT}" <<'PYEOF'
 import json
+import re
 import sys
 
 raw_path, out_path = sys.argv[1], sys.argv[2]
 with open(raw_path) as f:
     raw = json.load(f)
+
+pr_match = re.search(r"pr(\d+)", out_path)
+pr = int(pr_match.group(1)) if pr_match else None
 
 means = {
     b["run_name"]: b
@@ -69,7 +153,7 @@ def ns_per_item(name):
 
 result = {
     "schema": "kernelgpt-bench/1",
-    "pr": 2,
+    "pr": pr,
     "source": "scripts/bench.sh (bench/perf_micro.cc, google-benchmark mean of 3 reps)",
     "context": raw.get("context", {}),
     "fuzz_throughput": {
@@ -86,12 +170,14 @@ result = {
         "ns_per_merge_256_blocks": ns_per_item("BM_CoverageMerge/256"),
         "ns_per_merge_4096_blocks": ns_per_item("BM_CoverageMerge/4096"),
     },
-    # Pre-PR2 numbers measured on the same machine before the hot-path
-    # work (seed executor: string-chain dispatch, set-based coverage,
-    # deep-copied buffers, unbatched): the 2x acceptance reference.
-    "baseline_pre_pr2": {
-        "fuzz_throughput_execs_per_sec": 125959.0,
-        "note": "BM_FuzzThroughput/2000 at commit 1f701f0",
+    # Between-campaign corpus distillation (PR 3): dedup + batched replay
+    # + greedy cover + crash minimization, per merged-corpus program.
+    "distill": {
+        "corpus_programs_per_sec": items_per_sec("BM_Distill"),
+        "us_per_corpus_program": (
+            round(ns_per_item("BM_Distill") / 1000.0, 2)
+            if ns_per_item("BM_Distill") else None
+        ),
     },
 }
 

@@ -160,12 +160,22 @@ ExperimentContext::Fuzz(const fuzzer::SpecLibrary& lib, int program_budget,
       summary.crash_titles[title] += count;
     }
     summary.wall_seconds += result.wall_seconds;
+    if (rep == reps - 1) summary.corpus = std::move(result.corpus);
   }
   if (reps > 0) {
     summary.avg_coverage /= reps;
     summary.avg_crashes /= reps;
   }
   return summary;
+}
+
+fuzzer::DistillResult
+ExperimentContext::DistillCorpus(const fuzzer::SpecLibrary& lib,
+                                 const std::vector<fuzzer::Prog>& corpus) const
+{
+  fuzzer::Distiller distiller(
+      &lib, [this](vkernel::Kernel* kernel) { BootKernel(kernel); });
+  return distiller.Distill(corpus);
 }
 
 }  // namespace kernelgpt::experiments

@@ -15,6 +15,7 @@
 #include "drivers/corpus.h"
 #include "drivers/model_spec.h"
 #include "fuzzer/campaign.h"
+#include "fuzzer/distiller.h"
 #include "fuzzer/orchestrator.h"
 #include "spec_gen/kernelgpt.h"
 
@@ -102,10 +103,19 @@ class ExperimentContext {
     std::map<std::string, int> crash_titles;
     /// Total campaign wall-clock across reps (for speedup reporting).
     double wall_seconds = 0;
+    /// Final merged corpus of the LAST rep — the distillation input for
+    /// the tables' corpus-lifecycle reporting.
+    std::vector<fuzzer::Prog> corpus;
   };
   FuzzSummary Fuzz(const fuzzer::SpecLibrary& lib, int program_budget,
                    int reps, uint64_t seed_base = 1,
                    int num_workers = 1) const;
+
+  /// Runs the between-campaign distillation pass over a merged corpus
+  /// (usually FuzzSummary::corpus) with this context's kernel boot.
+  fuzzer::DistillResult DistillCorpus(
+      const fuzzer::SpecLibrary& lib,
+      const std::vector<fuzzer::Prog>& corpus) const;
 
  private:
   ksrc::DefinitionIndex index_;

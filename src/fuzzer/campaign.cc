@@ -13,6 +13,24 @@ AdmitToCorpus(const CampaignOptions& options, util::Rng* rng,
   }
 }
 
+size_t
+PrimeCorpus(const CampaignOptions& options, const CampaignState& state)
+{
+  if (options.seed_corpus.empty()) return 0;
+  size_t replayed = 0;
+  state.executor->BeginBatch();
+  for (const Prog& seed : options.seed_corpus) {
+    if (seed.empty()) continue;
+    state.executor->Run(seed, state.coverage);
+    ++replayed;
+    if (state.corpus->size() < options.corpus_cap) {
+      state.corpus->push_back(seed);
+    }
+  }
+  state.executor->EndBatch();
+  return replayed;
+}
+
 void
 RunCampaignChunk(const CampaignOptions& options, const CampaignState& state,
                  int n, std::vector<Prog>* interesting_out)
@@ -74,6 +92,7 @@ RunCampaign(vkernel::Kernel* kernel, const SpecLibrary& lib,
   state.coverage = &result.coverage;
   state.crashes = &result.crashes;
   state.programs_executed = &result.programs_executed;
+  result.seeds_replayed = PrimeCorpus(options, state);
   RunCampaignChunk(options, state, options.program_budget, nullptr);
 
   result.corpus_size = corpus.size();

@@ -33,6 +33,12 @@ struct CampaignOptions {
   /// guarantee. Results are identical for any value by construction; only
   /// throughput changes.
   int batch_size = 1;
+  /// Initial seed programs (typically a distilled corpus from a previous
+  /// campaign round). Before the fuzzing loop starts they are replayed
+  /// once (batched, no RNG consumed, not counted against program_budget)
+  /// to prime coverage, and admitted to the corpus up to corpus_cap in
+  /// order. Empty (the default) is bit-for-bit the legacy behavior.
+  std::vector<Prog> seed_corpus;
 };
 
 /// Aggregated campaign outcome.
@@ -42,6 +48,8 @@ struct CampaignResult {
   std::map<std::string, int> crashes;
   size_t programs_executed = 0;
   size_t corpus_size = 0;
+  /// Seed-corpus programs replayed before the loop (coverage priming).
+  size_t seeds_replayed = 0;
 
   size_t UniqueCrashCount() const { return crashes.size(); }
 };
@@ -78,6 +86,14 @@ void RunCampaignChunk(const CampaignOptions& options, const CampaignState& state
 /// diverge between them.
 void AdmitToCorpus(const CampaignOptions& options, util::Rng* rng,
                    std::vector<Prog>* corpus, Prog prog);
+
+/// Replays `options.seed_corpus` into `state` (coverage primed, seeds
+/// admitted to the corpus up to corpus_cap in order) inside one batch
+/// window. Consumes no RNG and counts nothing against the program
+/// budget, so seeding cannot perturb the fuzzing stream that follows.
+/// Returns the number of seeds replayed. Crashes during replay are not
+/// re-counted — a seed corpus only carries coverage, not crash credit.
+size_t PrimeCorpus(const CampaignOptions& options, const CampaignState& state);
 
 }  // namespace kernelgpt::fuzzer
 

@@ -1,0 +1,151 @@
+#include "fuzzer/distiller.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "fuzzer/minimizer.h"
+
+namespace kernelgpt::fuzzer {
+
+Distiller::Distiller(const SpecLibrary* lib, Orchestrator::BootFn boot,
+                     DistillOptions options)
+    : lib_(lib), boot_(std::move(boot)), options_(options)
+{
+  if (options_.batch_size < 1) options_.batch_size = 1;
+}
+
+DistillResult
+Distiller::Distill(const std::vector<Prog>& merged) const
+{
+  DistillResult result;
+  result.stats.input_programs = merged.size();
+  if (lib_->syscalls().empty()) return result;
+
+  // -- 1. Structural dedup (order-preserving) ------------------------------
+  // Shards rebroadcast interesting seeds to every peer, so merged corpora
+  // are full of byte-identical copies; dropping them here keeps the replay
+  // bill proportional to distinct programs.
+  std::vector<Prog> candidates;
+  candidates.reserve(merged.size());
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(merged.size());
+  for (const Prog& prog : merged) {
+    if (prog.empty()) continue;
+    if (options_.dedupe_exact && !seen.insert(HashProg(prog)).second) {
+      ++result.stats.exact_duplicates;
+      continue;
+    }
+    candidates.push_back(prog);
+  }
+
+  // -- 2. Batched replay for per-program coverage signatures ---------------
+  vkernel::Kernel kernel;
+  if (boot_) boot_(&kernel);
+  Executor executor(&kernel, lib_);
+
+  std::vector<vkernel::Coverage> signatures(candidates.size());
+  std::vector<ExecResult> execs(candidates.size());
+  const size_t window = static_cast<size_t>(options_.batch_size);
+  for (size_t off = 0; off < candidates.size(); off += window) {
+    const size_t n = std::min(window, candidates.size() - off);
+    std::vector<vkernel::Coverage> chunk_sigs;
+    std::vector<ExecResult> chunk = executor.RunBatch(
+        util::Span<const Prog>(candidates.data() + off, n), &result.coverage,
+        &chunk_sigs);
+    for (size_t i = 0; i < n; ++i) {
+      signatures[off + i] = std::move(chunk_sigs[i]);
+      execs[off + i] = std::move(chunk[i]);
+    }
+  }
+  result.stats.replayed = candidates.size();
+
+  // -- 3. Greedy minimal covering subset -----------------------------------
+  // Syzkaller-style one-pass greedy set cover: visit candidates from the
+  // largest signature down (ties by input position) and keep every program
+  // that still contributes an uncovered block. Any block of the merged
+  // coverage lives in some candidate's signature, so when the pass ends
+  // the selected union equals the merged union exactly.
+  std::vector<size_t> order(candidates.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return signatures[a].Count() > signatures[b].Count();
+  });
+
+  vkernel::Coverage selected;
+  for (size_t i : order) {
+    if (signatures[i].CountNotIn(selected) == 0) continue;
+    selected.Merge(signatures[i]);
+    result.corpus.push_back(candidates[i]);
+    if (selected.Count() == result.coverage.Count()) break;
+  }
+  result.stats.selected = result.corpus.size();
+
+  // -- 4. Crash dedup + reproducer minimization ----------------------------
+  // First crashing program per title (input order — deterministic), then
+  // shrink it. The minimizer reuses this pass's executor and kernel.
+  std::map<std::string, const Prog*> first_crash;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (!execs[i].crashed) continue;
+    ++result.stats.crashing_inputs;
+    first_crash.emplace(execs[i].crash_title, &candidates[i]);
+  }
+  for (const auto& [title, prog] : first_crash) {
+    if (!options_.minimize_crashes) {
+      result.crash_reproducers[title] = *prog;
+      continue;
+    }
+    MinimizeResult minimized = MinimizeCrash(&executor, *prog, title);
+    result.stats.minimize_executions += minimized.executions;
+    result.crash_reproducers[title] =
+        minimized.reproduced ? std::move(minimized.prog) : *prog;
+  }
+  return result;
+}
+
+CampaignLoopResult
+RunCampaignLoop(const SpecLibrary& lib, Orchestrator::BootFn boot,
+                const CampaignLoopOptions& options)
+{
+  CampaignLoopResult result;
+  const int rounds = std::max(options.rounds, 1);
+  const uint64_t master_seed = options.orchestrator.campaign.seed;
+  Distiller distiller(&lib, boot, options.distill);
+
+  std::vector<Prog> seed_corpus;
+  for (int round = 0; round < rounds; ++round) {
+    OrchestratorOptions orchestrator = options.orchestrator;
+    // Decorrelate rounds the same way the orchestrator decorrelates
+    // shards; round 0 keeps the master seed.
+    orchestrator.campaign.seed =
+        round == 0 ? master_seed
+                   : util::HashCombine(master_seed, static_cast<uint64_t>(round));
+    orchestrator.campaign.seed_corpus = std::move(seed_corpus);
+
+    OrchestratorResult campaign = RunShardedCampaign(lib, boot, orchestrator);
+    result.coverage.Merge(campaign.coverage);
+    for (const auto& [title, count] : campaign.crashes) {
+      result.crashes[title] += count;
+    }
+    result.programs_executed += campaign.programs_executed;
+
+    DistillResult distilled = distiller.Distill(campaign.corpus);
+    for (auto& [title, prog] : distilled.crash_reproducers) {
+      result.crash_reproducers[title] = std::move(prog);
+    }
+
+    CampaignRoundStats stats;
+    stats.merged_corpus = campaign.corpus.size();
+    stats.distilled_corpus = distilled.corpus.size();
+    stats.coverage_blocks = result.coverage.Count();
+    stats.unique_crashes = result.crashes.size();
+    stats.epochs = std::move(campaign.epochs);
+    result.rounds.push_back(std::move(stats));
+
+    seed_corpus = std::move(distilled.corpus);
+  }
+  result.corpus = std::move(seed_corpus);
+  return result;
+}
+
+}  // namespace kernelgpt::fuzzer

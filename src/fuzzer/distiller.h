@@ -1,0 +1,117 @@
+/// \file
+/// Between-campaign corpus distillation — the syzkaller corpus-minimization
+/// analog for the virtual kernel. Merged per-shard corpora grow without
+/// bound across campaign rounds; the distiller replays them through the
+/// batched executor to compute per-program coverage signatures, greedily
+/// selects a minimal subset that reproduces the merged coverage exactly,
+/// and deduplicates crashes into one minimized reproducer per title. The
+/// distilled set re-seeds the next round's shards, so corpora stop growing
+/// monotonically and long-running campaign-of-campaigns loops stay cheap.
+///
+/// Everything here is deterministic: replay is RNG-free, candidate order
+/// is a pure function of the input, and ties break by input position —
+/// distilling the same corpus twice yields byte-identical results.
+
+#ifndef KERNELGPT_FUZZER_DISTILLER_H_
+#define KERNELGPT_FUZZER_DISTILLER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fuzzer/orchestrator.h"
+
+namespace kernelgpt::fuzzer {
+
+/// Distillation parameters.
+struct DistillOptions {
+  /// Programs per kernel batch window during signature replay.
+  int batch_size = 32;
+  /// Drop structurally identical programs (by HashProg) before replay.
+  bool dedupe_exact = true;
+  /// Shrink one reproducer per crash title via MinimizeCrash.
+  bool minimize_crashes = true;
+};
+
+/// Observability counters for one distillation pass.
+struct DistillStats {
+  size_t input_programs = 0;      ///< Programs in the merged corpus.
+  size_t exact_duplicates = 0;    ///< Dropped before replay (HashProg).
+  size_t replayed = 0;            ///< Programs executed for signatures.
+  size_t selected = 0;            ///< Programs in the distilled corpus.
+  size_t crashing_inputs = 0;     ///< Replayed programs that crashed.
+  size_t minimize_executions = 0; ///< Executions spent shrinking repros.
+};
+
+/// Outcome of one distillation pass.
+struct DistillResult {
+  /// Minimal covering subset, in greedy selection order (largest
+  /// signature first, ties by input position).
+  std::vector<Prog> corpus;
+  /// Union coverage of the merged input == union coverage of `corpus`
+  /// (the distiller's invariant; DistillerTest proves it).
+  vkernel::Coverage coverage;
+  /// One minimized reproducer per crash title seen during replay.
+  std::map<std::string, Prog> crash_reproducers;
+  DistillStats stats;
+};
+
+/// Runs distillation passes over merged corpora for one spec library.
+class Distiller {
+ public:
+  Distiller(const SpecLibrary* lib, Orchestrator::BootFn boot,
+            DistillOptions options = {});
+
+  /// Distills one merged corpus (e.g. OrchestratorResult::corpus) on a
+  /// private freshly booted kernel. Deterministic for a fixed input.
+  DistillResult Distill(const std::vector<Prog>& merged) const;
+
+  const DistillOptions& options() const { return options_; }
+
+ private:
+  const SpecLibrary* lib_;
+  Orchestrator::BootFn boot_;
+  DistillOptions options_;
+};
+
+/// The "campaign of campaigns" loop: run a sharded campaign round, distill
+/// the merged corpora, re-seed the next round's shards with the distilled
+/// set, repeat.
+struct CampaignLoopOptions {
+  OrchestratorOptions orchestrator;  ///< Per-round settings (seed = round 0).
+  DistillOptions distill;
+  int rounds = 2;  ///< Orchestrator rounds; distillation runs between them.
+};
+
+/// Per-round corpus-lifecycle numbers.
+struct CampaignRoundStats {
+  size_t merged_corpus = 0;     ///< Shard corpora merged after the round.
+  size_t distilled_corpus = 0;  ///< Programs surviving distillation.
+  size_t coverage_blocks = 0;   ///< Cumulative union coverage after round.
+  size_t unique_crashes = 0;    ///< Cumulative unique crash titles.
+  std::vector<EpochStats> epochs;  ///< The round's sync schedule.
+};
+
+/// Accumulated outcome of a campaign loop.
+struct CampaignLoopResult {
+  vkernel::Coverage coverage;          ///< Union across all rounds.
+  std::map<std::string, int> crashes;  ///< Occurrences summed across rounds.
+  /// Union of per-round minimized reproducers (newest title wins — titles
+  /// are deterministic, so collisions are identical programs anyway).
+  std::map<std::string, Prog> crash_reproducers;
+  std::vector<Prog> corpus;            ///< Final distilled corpus.
+  size_t programs_executed = 0;
+  std::vector<CampaignRoundStats> rounds;
+};
+
+/// Runs `options.rounds` sharded campaign rounds with a distillation pass
+/// between consecutive rounds. Round r > 0 re-seeds every shard with the
+/// previous round's distilled corpus and decorrelates its RNG streams via
+/// util::HashCombine(seed, r). Deterministic end to end.
+CampaignLoopResult RunCampaignLoop(const SpecLibrary& lib,
+                                   Orchestrator::BootFn boot,
+                                   const CampaignLoopOptions& options);
+
+}  // namespace kernelgpt::fuzzer
+
+#endif  // KERNELGPT_FUZZER_DISTILLER_H_

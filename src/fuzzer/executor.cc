@@ -282,4 +282,26 @@ Executor::RunBatch(util::Span<const Prog> progs, vkernel::Coverage* total)
   return results;
 }
 
+std::vector<ExecResult>
+Executor::RunBatch(util::Span<const Prog> progs, vkernel::Coverage* total,
+                   std::vector<vkernel::Coverage>* signatures)
+{
+  if (!signatures) return RunBatch(progs, total);
+  std::vector<ExecResult> results;
+  results.reserve(progs.size());
+  signatures->clear();
+  signatures->resize(progs.size());
+  BeginBatch();
+  for (size_t i = 0; i < progs.size(); ++i) {
+    // Each program runs against its own fresh bitmap (the signature);
+    // the union and the total-relative new-block count are recovered by
+    // merging the signature afterwards.
+    ExecResult result = Run(progs[i], &(*signatures)[i]);
+    if (total) result.new_blocks = total->Merge((*signatures)[i]);
+    results.push_back(std::move(result));
+  }
+  EndBatch();
+  return results;
+}
+
 }  // namespace kernelgpt::fuzzer

@@ -49,6 +49,15 @@ class Executor {
   std::vector<ExecResult> RunBatch(util::Span<const Prog> progs,
                                    vkernel::Coverage* total);
 
+  /// RunBatch variant that additionally records each program's individual
+  /// coverage signature in `signatures` (resized to progs.size()). The
+  /// distiller replays merged corpora through this to feed its greedy
+  /// covering-subset selection; `total` still accumulates the union and
+  /// each ExecResult::new_blocks is relative to `total` as usual.
+  std::vector<ExecResult> RunBatch(util::Span<const Prog> progs,
+                                   vkernel::Coverage* total,
+                                   std::vector<vkernel::Coverage>* signatures);
+
   /// Opens/closes a kernel batch window around a streaming sequence of
   /// Run() calls (the campaign loop cannot materialize its programs up
   /// front because generation depends on prior results).

@@ -26,8 +26,16 @@ MinimizeResult
 MinimizeCrash(vkernel::Kernel* kernel, const SpecLibrary& lib,
               const Prog& crashing, const std::string& crash_title)
 {
-  MinimizeResult result;
   Executor executor(kernel, &lib);
+  return MinimizeCrash(&executor, crashing, crash_title);
+}
+
+MinimizeResult
+MinimizeCrash(Executor* executor_ptr, const Prog& crashing,
+              const std::string& crash_title)
+{
+  MinimizeResult result;
+  Executor& executor = *executor_ptr;
 
   // Minimization replays hundreds of near-identical candidates; one
   // batch window amortizes the per-replay module resets. Closed by the
@@ -43,6 +51,8 @@ MinimizeCrash(vkernel::Kernel* kernel, const SpecLibrary& lib,
     ++result.executions;
     return exec.crashed && exec.crash_title == crash_title;
   };
+
+  if (crashing.empty()) return result;  // Nothing to replay or shrink.
 
   if (!reproduces(crashing)) {
     result.prog = crashing;

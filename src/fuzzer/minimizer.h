@@ -29,6 +29,13 @@ MinimizeResult MinimizeCrash(vkernel::Kernel* kernel, const SpecLibrary& lib,
                              const Prog& crashing,
                              const std::string& crash_title);
 
+/// Same, reusing a caller-owned executor — the distiller minimizes one
+/// reproducer per crash title and would otherwise rebuild an executor
+/// (and its scratch buffers) for every title. The executor must not have
+/// a batch window open; the minimizer opens and closes its own.
+MinimizeResult MinimizeCrash(Executor* executor, const Prog& crashing,
+                             const std::string& crash_title);
+
 }  // namespace kernelgpt::fuzzer
 
 #endif  // KERNELGPT_FUZZER_MINIMIZER_H_

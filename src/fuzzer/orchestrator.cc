@@ -74,6 +74,24 @@ Orchestrator::Orchestrator(const SpecLibrary* lib, BootFn boot,
 {
   if (options_.num_workers < 1) options_.num_workers = 1;
   if (options_.sync_interval < 1) options_.sync_interval = 1;
+  if (options_.min_sync_interval < 1) options_.min_sync_interval = 1;
+  if (options_.max_sync_interval < options_.min_sync_interval) {
+    options_.max_sync_interval = options_.min_sync_interval;
+  }
+  if (options_.max_broadcast_cap < options_.min_broadcast_per_sync) {
+    options_.max_broadcast_cap = options_.min_broadcast_per_sync;
+  }
+  if (options_.adaptive_sync) {
+    // The controller only ever moves within its bounds, so the starting
+    // point must sit inside them too.
+    options_.sync_interval =
+        std::min(std::max(options_.sync_interval, options_.min_sync_interval),
+                 options_.max_sync_interval);
+    options_.max_broadcast_per_sync =
+        std::min(std::max(options_.max_broadcast_per_sync,
+                          options_.min_broadcast_per_sync),
+                 options_.max_broadcast_cap);
+  }
 }
 
 OrchestratorResult
@@ -90,18 +108,17 @@ Orchestrator::Run()
   std::vector<int> shard_budget(workers, budget / workers);
   for (int w = 0; w < budget % workers; ++w) ++shard_budget[w];
 
-  // Every shard walks the same number of epochs so the barriers line up;
-  // shards whose budget runs out idle through the remaining syncs.
-  const int max_budget =
-      *std::max_element(shard_budget.begin(), shard_budget.end());
-  const int epochs =
-      (max_budget + options_.sync_interval - 1) / options_.sync_interval;
-
   std::vector<ShardOutcome> outcomes(workers);
   // outbox[w] holds shard w's broadcast for the current epoch. Written by
   // shard w between the publish and ingest barriers, read by all other
   // shards between the ingest and next-epoch barriers.
   std::vector<std::vector<Prog>> outbox(workers);
+  // epoch_growth[w] is shard w's coverage growth this epoch; same write
+  // (pre-publish) / read (publish..ingest) protocol as the outbox. Its
+  // deterministic sum drives the adaptive sync controller.
+  std::vector<size_t> epoch_growth(workers, 0);
+  // Schedule trace; written by shard 0 only, read after the join.
+  std::vector<EpochStats> epoch_trace;
   Barrier publish_barrier(workers);
   Barrier ingest_barrier(workers);
 
@@ -130,43 +147,85 @@ Orchestrator::Run()
     state.crashes = &out.crashes;
     state.programs_executed = &out.stats.programs_executed;
 
+    // Replay the seed corpus (if any) before the loop: primes coverage
+    // and seeds the corpus without consuming RNG or budget.
+    out.stats.seeds_preloaded = PrimeCorpus(options_.campaign, state);
+
     // Seeds that found new blocks since the last sync (broadcast pool).
     std::vector<Prog> fresh_interesting;
 
-    int executed_in_shard = 0;
-    for (int epoch = 0; epoch < epochs; ++epoch) {
-      const int quota = std::min(options_.sync_interval,
-                                 shard_budget[shard] - executed_in_shard);
+    // Controller state. Every worker evolves `interval`, `bcast_cap`,
+    // and `remaining` identically (pure functions of shared per-epoch
+    // stats), so all shards agree on the epoch count and the barriers
+    // line up without any extra coordination. With adaptive sync off
+    // both stay at their configured values and the schedule is exactly
+    // the historical fixed-interval one.
+    int interval = options_.sync_interval;
+    size_t bcast_cap = options_.max_broadcast_per_sync;
+    std::vector<int> remaining = shard_budget;
+
+    auto work_left = [&remaining] {
+      for (int r : remaining) {
+        if (r > 0) return true;
+      }
+      return false;
+    };
+
+    while (work_left()) {
+      const int quota = std::min(interval, remaining[shard]);
+      const size_t blocks_before = out.coverage.Count();
       RunCampaignChunk(options_.campaign, state, quota,
                        workers > 1 ? &fresh_interesting : nullptr);
-      executed_in_shard += quota;
+      size_t global_growth = out.coverage.Count() - blocks_before;
 
-      if (workers == 1) continue;  // No peers; skip the sync machinery.
+      if (workers > 1) {
+        // -- Corpus sync: publish, barrier, ingest, barrier ----------------
+        epoch_growth[shard] = global_growth;
+        outbox[shard].clear();
+        const size_t n = fresh_interesting.size();
+        const size_t take = std::min(n, bcast_cap);
+        outbox[shard].assign(fresh_interesting.end() - static_cast<long>(take),
+                             fresh_interesting.end());
+        out.stats.seeds_broadcast += take;
+        fresh_interesting.clear();
 
-      // -- Corpus sync: publish, barrier, ingest, barrier ------------------
-      outbox[shard].clear();
-      const size_t n = fresh_interesting.size();
-      const size_t take = std::min(n, options_.max_broadcast_per_sync);
-      outbox[shard].assign(fresh_interesting.end() - static_cast<long>(take),
-                           fresh_interesting.end());
-      out.stats.seeds_broadcast += take;
-      fresh_interesting.clear();
+        publish_barrier.ArriveAndWait();
 
-      publish_barrier.ArriveAndWait();
-
-      // Deterministic ingest order: peers by shard id, seeds in broadcast
-      // order. Only the local corpus and RNG are touched.
-      for (int peer = 0; peer < workers; ++peer) {
-        if (peer == shard) continue;
-        for (const Prog& seed : outbox[peer]) {
-          ++out.stats.seeds_ingested;
-          AdmitToCorpus(options_.campaign, &rng, &corpus, seed);
+        // Deterministic ingest order: peers by shard id, seeds in
+        // broadcast order. Only the local corpus and RNG are touched.
+        global_growth = 0;
+        for (int peer = 0; peer < workers; ++peer) {
+          global_growth += epoch_growth[peer];
+          if (peer == shard) continue;
+          for (const Prog& seed : outbox[peer]) {
+            ++out.stats.seeds_ingested;
+            AdmitToCorpus(options_.campaign, &rng, &corpus, seed);
+          }
         }
+
+        // Nobody may rewrite its outbox (or growth slot) for the next
+        // epoch until every peer has finished reading this one.
+        ingest_barrier.ArriveAndWait();
       }
 
-      // Nobody may rewrite its outbox for the next epoch until every
-      // peer has finished reading this one.
-      ingest_barrier.ArriveAndWait();
+      if (shard == 0) {
+        epoch_trace.push_back(EpochStats{interval, bcast_cap, global_growth});
+      }
+
+      // Close the epoch's books for ALL shards with the interval it ran
+      // at, then retune for the next epoch.
+      for (int s = 0; s < workers; ++s) {
+        remaining[s] -= std::min(interval, remaining[s]);
+      }
+      if (options_.adaptive_sync) {
+        if (global_growth == 0) {
+          interval = std::min(interval * 2, options_.max_sync_interval);
+          bcast_cap = std::max(bcast_cap / 2, options_.min_broadcast_per_sync);
+        } else {
+          interval = std::max(interval / 2, options_.min_sync_interval);
+          bcast_cap = std::min(bcast_cap * 2, options_.max_broadcast_cap);
+        }
+      }
     }
 
     out.stats.corpus_size = corpus.size();
@@ -195,7 +254,12 @@ Orchestrator::Run()
     result.programs_executed += out.stats.programs_executed;
     result.corpus_size += out.corpus.size();
     result.shards.push_back(out.stats);
+    // Concatenate in shard-id order: the distiller's deterministic input.
+    result.corpus.insert(result.corpus.end(),
+                         std::make_move_iterator(out.corpus.begin()),
+                         std::make_move_iterator(out.corpus.end()));
   }
+  result.epochs = std::move(epoch_trace);
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -41,10 +41,31 @@ struct OrchestratorOptions {
   int num_workers = 1;
 
   /// Programs each shard executes between cross-shard corpus syncs.
+  /// With adaptive sync on, this is the STARTING interval.
   int sync_interval = 512;
 
-  /// Max seeds one shard broadcasts per sync (most recent kept).
+  /// Max seeds one shard broadcasts per sync (most recent kept). With
+  /// adaptive sync on, this is the STARTING cap.
   size_t max_broadcast_per_sync = 8;
+
+  /// Adaptive sync (off by default — defaults preserve the fixed-interval
+  /// behavior bit-for-bit). When on, every epoch's global coverage growth
+  /// retunes the next epoch: growth halves the interval and doubles the
+  /// broadcast cap (propagate interesting seeds fast while the frontier
+  /// moves); a plateau doubles the interval and halves the cap (cut sync
+  /// overhead once shards stop finding anything). The controller is a
+  /// pure function of deterministically merged per-epoch stats, so every
+  /// worker computes the identical schedule and results stay independent
+  /// of thread scheduling.
+  bool adaptive_sync = false;
+
+  /// Bounds for the adaptive controller (ignored when adaptive_sync is
+  /// off). The interval stays in [min_sync_interval, max_sync_interval]
+  /// and the broadcast cap in [min_broadcast_per_sync, max_broadcast_cap].
+  int min_sync_interval = 64;
+  int max_sync_interval = 4096;
+  size_t min_broadcast_per_sync = 2;
+  size_t max_broadcast_cap = 64;
 };
 
 /// Per-shard outcome, reported for observability and tests.
@@ -57,6 +78,19 @@ struct ShardStats {
   size_t crash_occurrences = 0;
   size_t seeds_broadcast = 0;
   size_t seeds_ingested = 0;
+  /// Seed-corpus programs replayed before the epoch loop (see
+  /// CampaignOptions::seed_corpus).
+  size_t seeds_preloaded = 0;
+};
+
+/// One sync epoch as the (possibly adaptive) controller scheduled it.
+struct EpochStats {
+  int sync_interval = 0;        ///< Programs per shard this epoch.
+  size_t broadcast_cap = 0;     ///< Max seeds per shard broadcast.
+  /// Sum of per-shard coverage growth this epoch (a block several shards
+  /// found counts once per shard — the controller's plateau signal, not
+  /// the merged-union delta).
+  size_t new_blocks = 0;
 };
 
 /// Globally merged outcome of a sharded campaign.
@@ -71,6 +105,12 @@ struct OrchestratorResult {
   size_t corpus_size = 0;
   double wall_seconds = 0;
   std::vector<ShardStats> shards;
+  /// Final shard corpora concatenated in shard-id order (deterministic) —
+  /// the distiller's input for the between-campaign distillation pass.
+  std::vector<Prog> corpus;
+  /// Per-epoch schedule trace: a constant interval/cap with adaptive sync
+  /// off, the controller's actual decisions with it on.
+  std::vector<EpochStats> epochs;
 
   size_t UniqueCrashCount() const { return crashes.size(); }
 

@@ -1,8 +1,36 @@
 #include "fuzzer/prog.h"
 
+#include "util/rng.h"
 #include "util/strings.h"
 
 namespace kernelgpt::fuzzer {
+
+uint64_t
+HashProg(const Prog& prog)
+{
+  // Every variable-length sequence is length-prefixed so that no two
+  // distinct programs serialize to the same hash stream.
+  uint64_t h = util::HashCombine(0x646973746c6cULL, prog.calls.size());
+  for (const Call& call : prog.calls) {
+    h = util::HashCombine(h, call.syscall_index);
+    h = util::HashCombine(h, call.args.size());
+    for (const Arg& arg : call.args) {
+      h = util::HashCombine(h, static_cast<uint64_t>(arg.kind));
+      h = util::HashCombine(h, arg.scalar);
+      h = util::HashCombine(h, static_cast<uint64_t>(arg.dir));
+      h = util::HashCombine(h, static_cast<uint64_t>(arg.ref_call));
+      h = util::HashCombine(h, static_cast<uint64_t>(arg.len_of_param));
+      h = util::HashCombine(h, arg.bytes.size());
+      // FNV-1a over the payload, folded in as one word.
+      uint64_t bytes_hash = 0xcbf29ce484222325ULL;
+      for (uint8_t b : arg.bytes) {
+        bytes_hash = (bytes_hash ^ b) * 0x100000001b3ULL;
+      }
+      h = util::HashCombine(h, bytes_hash);
+    }
+  }
+  return h;
+}
 
 std::string
 FormatProg(const Prog& prog, const SpecLibrary& lib)

@@ -54,6 +54,12 @@ struct Prog {
 /// Renders a program as readable pseudo-syzlang (for reports/examples).
 std::string FormatProg(const Prog& prog, const SpecLibrary& lib);
 
+/// Stable structural hash over every field of every call (syscall index,
+/// argument kinds, scalars, buffer bytes, resource refs, len links).
+/// Equal programs hash equal on any platform/run; used for exact-duplicate
+/// detection when corpora from many shards are merged for distillation.
+uint64_t HashProg(const Prog& prog);
+
 }  // namespace kernelgpt::fuzzer
 
 #endif  // KERNELGPT_FUZZER_PROG_H_

@@ -48,6 +48,13 @@ class Coverage {
   /// Number of blocks in `this` that are absent from `other`.
   size_t CountNotIn(const Coverage& other) const;
 
+  /// True when every block of `other` is also covered here (the corpus
+  /// distiller's invariant: distilled coverage must cover the merged
+  /// corpus coverage exactly).
+  bool CoversAll(const Coverage& other) const {
+    return other.CountNotIn(*this) == 0;
+  }
+
   /// Materializes the covered ids as a set (reports and tests; not for
   /// the hot path).
   std::unordered_set<uint64_t> blocks() const;

@@ -279,34 +279,43 @@ TEST_F(FuzzerTest, FormatProgIsReadable)
 namespace kernelgpt::fuzzer {
 namespace {
 
-class MinimizerTest : public FuzzerTest {};
+class MinimizerTest : public FuzzerTest {
+ protected:
+  /// Generates programs until one crashes (any title). Fails the calling
+  /// test if `budget` programs never crash.
+  static void FindCrashingProg(vkernel::Kernel* kernel, const SpecLibrary& lib,
+                               uint64_t seed, Prog* prog, std::string* title,
+                               int budget = 20000) {
+    util::Rng rng(seed);
+    Generator generator(&lib, &rng);
+    Executor executor(kernel, &lib);
+    title->clear();
+    for (int i = 0; i < budget && title->empty(); ++i) {
+      Prog candidate = generator.Generate(6);
+      ExecResult exec = executor.Run(candidate, nullptr);
+      if (exec.crashed) {
+        *prog = std::move(candidate);
+        *title = exec.crash_title;
+      }
+    }
+    ASSERT_FALSE(title->empty()) << "no crash within " << budget << " programs";
+  }
+};
 
 TEST_F(MinimizerTest, ShrinksCrashingProgram)
 {
   vkernel::Kernel kernel;
   Corpus::Instance().RegisterAll(&kernel);
   SpecLibrary lib = DmLibrary();
-
-  // Find a crashing program via a short campaign-like loop.
-  util::Rng rng(61);
-  Generator generator(&lib, &rng);
-  Executor executor(&kernel, &lib);
   Prog crashing;
   std::string title;
-  for (int i = 0; i < 20000 && title.empty(); ++i) {
-    Prog prog = generator.Generate(6);
-    ExecResult exec = executor.Run(prog, nullptr);
-    if (exec.crashed) {
-      crashing = prog;
-      title = exec.crash_title;
-    }
-  }
-  ASSERT_FALSE(title.empty());
+  ASSERT_NO_FATAL_FAILURE(FindCrashingProg(&kernel, lib, 61, &crashing, &title));
 
   MinimizeResult minimized = MinimizeCrash(&kernel, lib, crashing, title);
   ASSERT_TRUE(minimized.reproduced);
   EXPECT_LE(minimized.prog.size(), crashing.size());
   // The minimized program still reproduces the identical crash title.
+  Executor executor(&kernel, &lib);
   ExecResult replay = executor.Run(minimized.prog, nullptr);
   EXPECT_TRUE(replay.crashed);
   EXPECT_EQ(replay.crash_title, title);
@@ -326,6 +335,63 @@ TEST_F(MinimizerTest, NonCrashingInputReported)
   MinimizeResult result = MinimizeCrash(&kernel, lib, prog, "no such crash");
   EXPECT_FALSE(result.reproduced);
   EXPECT_EQ(result.prog.size(), prog.size());
+}
+
+TEST_F(MinimizerTest, EmptyProgramIsSafe)
+{
+  // Degenerate input: nothing to replay, nothing to shrink. Must not
+  // execute anything or claim reproduction.
+  vkernel::Kernel kernel;
+  Corpus::Instance().RegisterAll(&kernel);
+  SpecLibrary lib = DmLibrary();
+  Prog empty;
+  MinimizeResult result = MinimizeCrash(&kernel, lib, empty, "any title");
+  EXPECT_FALSE(result.reproduced);
+  EXPECT_TRUE(result.prog.empty());
+  EXPECT_EQ(result.executions, 0u);
+}
+
+TEST_F(MinimizerTest, AlreadyMinimalProgramIsAFixpoint)
+{
+  // Minimizing a minimized reproducer must return it unchanged: same
+  // call count, same crash title — the crash "disappears" under every
+  // further shrink attempt, so the minimizer keeps the program intact.
+  vkernel::Kernel kernel;
+  Corpus::Instance().RegisterAll(&kernel);
+  SpecLibrary lib = DmLibrary();
+  Prog crashing;
+  std::string title;
+  ASSERT_NO_FATAL_FAILURE(FindCrashingProg(&kernel, lib, 61, &crashing, &title));
+
+  MinimizeResult first = MinimizeCrash(&kernel, lib, crashing, title);
+  ASSERT_TRUE(first.reproduced);
+  MinimizeResult second = MinimizeCrash(&kernel, lib, first.prog, title);
+  ASSERT_TRUE(second.reproduced);
+  EXPECT_EQ(second.prog.size(), first.prog.size());
+  EXPECT_EQ(HashProg(second.prog), HashProg(first.prog));
+  Executor executor(&kernel, &lib);
+  ExecResult replay = executor.Run(second.prog, nullptr);
+  EXPECT_TRUE(replay.crashed);
+  EXPECT_EQ(replay.crash_title, title);
+}
+
+TEST_F(MinimizerTest, CrashDisappearingUnderWrongTitleIsReported)
+{
+  // A program that does crash — but not with the requested title — must
+  // come back unmodified with reproduced == false (the distiller relies
+  // on this to fall back to the unminimized reproducer).
+  vkernel::Kernel kernel;
+  Corpus::Instance().RegisterAll(&kernel);
+  SpecLibrary lib = DmLibrary();
+  Prog crashing;
+  std::string title;
+  ASSERT_NO_FATAL_FAILURE(FindCrashingProg(&kernel, lib, 64, &crashing, &title));
+  MinimizeResult result =
+      MinimizeCrash(&kernel, lib, crashing, "some other crash title");
+  EXPECT_FALSE(result.reproduced);
+  EXPECT_EQ(result.prog.size(), crashing.size());
+  EXPECT_EQ(HashProg(result.prog), HashProg(crashing));
+  EXPECT_EQ(result.executions, 1u);  // One replay, no shrink attempts.
 }
 
 TEST_F(MinimizerTest, ZeroesIrrelevantScalars)

@@ -192,6 +192,92 @@ TEST_F(OrchestratorTest, EightWorkerStressSmoke)
   }
 }
 
+TEST_F(OrchestratorTest, FixedSyncScheduleIsRecordedInEpochTrace)
+{
+  // Adaptive sync off (the default): every epoch runs at the configured
+  // interval and broadcast cap — the historical fixed schedule, now
+  // visible in the result trace.
+  SpecLibrary lib = DmLibrary();
+  OrchestratorOptions options;
+  options.campaign.program_budget = 4000;
+  options.campaign.seed = 3;
+  options.num_workers = 2;
+  options.sync_interval = 250;
+  OrchestratorResult result = RunShardedCampaign(lib, Boot, options);
+
+  ASSERT_EQ(result.epochs.size(), 8u);  // ceil(2000 / 250) per shard.
+  for (const EpochStats& epoch : result.epochs) {
+    EXPECT_EQ(epoch.sync_interval, 250);
+    EXPECT_EQ(epoch.broadcast_cap, options.max_broadcast_per_sync);
+  }
+  // The merged corpus is exported shard-by-shard for the distiller.
+  EXPECT_EQ(result.corpus.size(), result.corpus_size);
+}
+
+TEST_F(OrchestratorTest, AdaptiveSyncStaysInBoundsAndIsDeterministic)
+{
+  SpecLibrary lib = DmLibrary();
+  OrchestratorOptions options;
+  options.campaign.program_budget = 16000;
+  options.campaign.seed = 911;
+  options.num_workers = 4;
+  options.sync_interval = 128;
+  options.adaptive_sync = true;
+  options.min_sync_interval = 64;
+  options.max_sync_interval = 1024;
+  options.min_broadcast_per_sync = 2;
+  options.max_broadcast_cap = 32;
+
+  OrchestratorResult a = RunShardedCampaign(lib, Boot, options);
+  OrchestratorResult b = RunShardedCampaign(lib, Boot, options);
+
+  // The controller must widen the interval once coverage plateaus (the
+  // dm spec saturates quickly at this budget) while staying in bounds.
+  ASSERT_FALSE(a.epochs.empty());
+  bool widened = false;
+  for (const EpochStats& epoch : a.epochs) {
+    EXPECT_GE(epoch.sync_interval, options.min_sync_interval);
+    EXPECT_LE(epoch.sync_interval, options.max_sync_interval);
+    EXPECT_GE(epoch.broadcast_cap, options.min_broadcast_per_sync);
+    EXPECT_LE(epoch.broadcast_cap, options.max_broadcast_cap);
+    if (epoch.sync_interval > options.sync_interval) widened = true;
+  }
+  EXPECT_TRUE(widened);
+
+  // Thread scheduling must not leak into the adaptive schedule or the
+  // results: the controller is a pure function of merged epoch stats.
+  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+  for (size_t e = 0; e < a.epochs.size(); ++e) {
+    EXPECT_EQ(a.epochs[e].sync_interval, b.epochs[e].sync_interval);
+    EXPECT_EQ(a.epochs[e].broadcast_cap, b.epochs[e].broadcast_cap);
+    EXPECT_EQ(a.epochs[e].new_blocks, b.epochs[e].new_blocks);
+  }
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.coverage.blocks(), b.coverage.blocks());
+  EXPECT_EQ(a.programs_executed, b.programs_executed);
+  EXPECT_EQ(a.corpus_size, b.corpus_size);
+}
+
+TEST_F(OrchestratorTest, AdaptiveBoundsAreClampedAtConstruction)
+{
+  SpecLibrary lib = DmLibrary();
+  OrchestratorOptions options;
+  options.campaign.program_budget = 2000;
+  options.campaign.seed = 8;
+  options.num_workers = 2;
+  options.adaptive_sync = true;
+  options.sync_interval = 10000;   // Above max: must clamp down.
+  options.max_sync_interval = 512;
+  options.max_broadcast_per_sync = 1;  // Below min: must clamp up.
+  options.min_broadcast_per_sync = 4;
+  options.max_broadcast_cap = 16;
+
+  OrchestratorResult result = RunShardedCampaign(lib, Boot, options);
+  ASSERT_FALSE(result.epochs.empty());
+  EXPECT_LE(result.epochs.front().sync_interval, 512);
+  EXPECT_GE(result.epochs.front().broadcast_cap, 4u);
+}
+
 TEST_F(OrchestratorTest, EmptyLibraryYieldsNothing)
 {
   SpecLibrary lib;
