@@ -28,8 +28,10 @@ main()
   all_in_one_opts.gen.iterative = false;
   // The paper's all-in-one prompt must fit everything in one context; our
   // corpus functions are far smaller than real kernel code, so scale the
-  // per-prompt code budget accordingly.
+  // per-prompt code budget accordingly. A hand-tuned profile needs the
+  // legacy path — a registry backend would answer with its own profile.
   all_in_one_opts.gen.profile.context_tokens = 1200;
+  all_in_one_opts.backend.clear();
 
   const experiments::ExperimentContext iterative(iterative_opts);
   const experiments::ExperimentContext all_in_one(all_in_one_opts);

@@ -115,6 +115,30 @@ BM_ExecutorDispatch(benchmark::State& state)
 }
 BENCHMARK(BM_ExecutorDispatch);
 
+/// Per-open cost of the vkernel open path: open + close of a model
+/// device in steady state, where the handler pool (PR 4) serves every
+/// open from its free list — zero allocations per iteration. Items =
+/// open/close pairs.
+void
+BM_KernelOpenClose(benchmark::State& state)
+{
+  const auto& context = experiments::ExperimentContext::Default();
+  vkernel::Kernel kernel;
+  context.BootKernel(&kernel);
+  vkernel::Coverage cov;
+  vkernel::ExecContext ctx(&cov);
+  for (auto _ : state) {
+    // One program's open/close round trip (the fd table is per-program,
+    // so BeginProgram is part of the real per-open cost).
+    kernel.BeginProgram();
+    long fd = kernel.Openat("/dev/mapper/control", 0, ctx);
+    benchmark::DoNotOptimize(fd);
+    kernel.Close(fd, ctx);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KernelOpenClose);
+
 /// Steady-state coverage merge: per-program coverage deltas merged into
 /// an accumulated set that already contains them (the common case after
 /// warmup); items = merges.

@@ -26,7 +26,7 @@ main()
   // --- Part 1: the Figure 6 transcript --------------------------------------
   std::printf("=== Iterative identifier deduction (Figure 6) ===\n\n");
   llm::TokenMeter meter;
-  llm::AnalysisEngine engine(&index, llm::Gpt4(), &meter);
+  llm::SimulatedBackend engine(&index, llm::Gpt4(), &meter);
 
   llm::IdentifierAnalysis step1 = engine.AnalyzeIdentifiers(
       "dm_ctl_ioctl", "dm_ctl_ioctl(struct file *file, uint command, ulong u)",

@@ -3,7 +3,7 @@
 # either records a BENCH_prN.json trajectory file or gates against a
 # previously recorded baseline.
 #
-# Record: scripts/bench.sh [output.json]        (default BENCH_pr3.json)
+# Record: scripts/bench.sh [output.json]        (default BENCH_pr4.json)
 # Gate:   scripts/bench.sh --check baseline.json
 #   Re-measures BM_FuzzThroughput and fails (exit 1) when throughput
 #   regresses more than BENCH_TOLERANCE_PCT percent (default 25) below
@@ -19,7 +19,7 @@ BENCH_BIN="${BUILD_DIR}/bench/bench_perf_micro"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
 MODE="record"
-OUT="BENCH_pr3.json"
+OUT="BENCH_pr4.json"
 BASELINE=""
 if [ "${1:-}" = "--check" ]; then
   MODE="check"
@@ -121,7 +121,7 @@ echo "== running hot-path benchmarks =="
 # (and is meaningless on 1-CPU containers), so it would poison the
 # trajectory file.
 "${BENCH_BIN}" \
-  --benchmark_filter='BM_FuzzThroughput|BM_ExecutorDispatch|BM_CoverageMerge|BM_Distill' \
+  --benchmark_filter='BM_FuzzThroughput|BM_ExecutorDispatch|BM_CoverageMerge|BM_Distill|BM_KernelOpenClose' \
   --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
   --benchmark_format=json > "${RAW}"
 
@@ -169,6 +169,12 @@ result = {
     "coverage_merge": {
         "ns_per_merge_256_blocks": ns_per_item("BM_CoverageMerge/256"),
         "ns_per_merge_4096_blocks": ns_per_item("BM_CoverageMerge/4096"),
+    },
+    # vkernel open path (PR 4): one program's open/close round trip of a
+    # model device, with the handler pool serving steady-state opens.
+    "kernel_open_close": {
+        "opens_per_sec": items_per_sec("BM_KernelOpenClose"),
+        "ns_per_open_close": ns_per_item("BM_KernelOpenClose"),
     },
     # Between-campaign corpus distillation (PR 3): dedup + batched replay
     # + greedy cover + crash minimization, per merged-corpus program.

@@ -20,15 +20,16 @@ cmake --build "${BUILD_DIR}" -j"${JOBS}"
 (cd "${BUILD_DIR}" && ctest --output-on-failure --no-tests=error -j"${JOBS}")
 
 echo
-echo "== Mini-campaign determinism gate (orchestrator + distiller) =="
+echo "== Determinism gate (orchestrator + distiller + spec_gen service) =="
 # Two back-to-back sharded campaigns must produce identical merged
 # coverage bitmaps and deduplicated crash maps, a 1-worker run must be
-# bit-identical to the serial campaign loop, and distilling the same
-# merged corpus twice must yield byte-identical corpora and reproducers.
-# Rerun through ctest so the gate stays in sync with the suites instead
-# of a hand-picked gtest filter.
+# bit-identical to the serial campaign loop, distilling the same merged
+# corpus twice must yield byte-identical corpora and reproducers, and
+# the spec-generation service must emit byte-identical specs at 1 and 4
+# worker threads (service_test). Rerun through ctest so the gate stays
+# in sync with the suites instead of a hand-picked gtest filter.
 (cd "${BUILD_DIR}" && ctest --output-on-failure --no-tests=error -j"${JOBS}" \
-    -R '^(orchestrator_test|distiller_test)$')
+    -R '^(orchestrator_test|distiller_test|service_test)$')
 
 echo
 echo "CI OK"

@@ -185,6 +185,32 @@ FillCmdRuntime(CmdRuntime* rt, const std::string& module, const IoctlSpec& cmd,
   }
 }
 
+/// Free-list of pooled per-open handler objects. The fuzzing hot path
+/// opens and closes device files millions of times; pooling reuses both
+/// the handler object (its strings/vectors keep their capacity) and its
+/// shared_ptr control block, so a steady-state open costs zero
+/// allocations. Each DeviceRuntime/SocketRuntime owns one pool; the
+/// vkernel returns handlers through the HandlerRecycler hook when their
+/// last descriptor drops. Kernels are single-threaded, so no locking.
+class HandlerPool : public vkernel::HandlerRecycler {
+ public:
+  void Recycle(std::shared_ptr<FileHandler> handler) override {
+    free_.push_back(std::move(handler));
+  }
+
+  /// Pops a pooled handler; nullptr when the pool is empty. The caller
+  /// must fully re-initialize it before reissuing.
+  std::shared_ptr<FileHandler> Take() {
+    if (free_.empty()) return nullptr;
+    std::shared_ptr<FileHandler> handler = std::move(free_.back());
+    free_.pop_back();
+    return handler;
+  }
+
+ private:
+  std::vector<std::shared_ptr<FileHandler>> free_;
+};
+
 /// Shared per-command execution used by device files and sockets.
 /// Returns the syscall result; fills `created_fd_handler` when the
 /// command creates a secondary file.
@@ -277,6 +303,10 @@ struct DeviceRuntime {
   uint64_t open_block;
   MacroIndex macros;
   std::unordered_map<const HandlerSpec*, std::vector<CmdRuntime>> handlers;
+  /// Recycled ModelFile objects (primary and secondary handlers share
+  /// it; Reset rebinds the command table). Mutable: acquisition happens
+  /// through the const DeviceRuntime* the files hold.
+  mutable HandlerPool pool;
 
   explicit DeviceRuntime(const DeviceSpec* d)
       : dev(d), open_block(BlockId(d->id, "open", "", 0)) {
@@ -299,10 +329,23 @@ struct DeviceRuntime {
   }
 };
 
+std::shared_ptr<FileHandler> AcquireModelFile(const DeviceRuntime* rt,
+                                              const HandlerSpec* handler);
+
 class ModelFile : public FileHandler {
  public:
   ModelFile(const DeviceRuntime* rt, const HandlerSpec* handler)
       : rt_(rt), cmds_(rt->CmdsOf(handler)) {}
+
+  /// Restores freshly-opened state on a pooled object (same observable
+  /// behaviour as constructing a new ModelFile for `handler`).
+  void Reset(const HandlerSpec* handler) {
+    cmds_ = rt_->CmdsOf(handler);
+    engine_ = CommandEngine();
+    executed_ = ExecutedSet();
+    release_bomb_ = false;
+    release_title_.clear();
+  }
 
   long Ioctl(uint64_t cmd_value, Buffer* arg, ExecContext& ctx,
              Kernel& kernel) override {
@@ -325,7 +368,7 @@ class ModelFile : public FileHandler {
       const HandlerSpec* sub =
           rt_->dev->FindHandler(match->cmd->creates_handler);
       if (!sub) return -vkernel::kEINVAL;
-      return kernel.InstallFile(std::make_shared<ModelFile>(rt_, sub));
+      return kernel.InstallFile(AcquireModelFile(rt_, sub));
     }
     return engine_.RunCommand(*match, arg, ctx, &executed_, &release_bomb_,
                               &release_title_);
@@ -361,6 +404,20 @@ class ModelFile : public FileHandler {
   std::string release_title_;
 };
 
+/// Pool-aware ModelFile construction: reuses a recycled object when one
+/// is available, otherwise allocates and tags it with the pool.
+std::shared_ptr<FileHandler>
+AcquireModelFile(const DeviceRuntime* rt, const HandlerSpec* handler)
+{
+  if (std::shared_ptr<FileHandler> pooled = rt->pool.Take()) {
+    static_cast<ModelFile*>(pooled.get())->Reset(handler);
+    return pooled;
+  }
+  std::shared_ptr<ModelFile> file = std::make_shared<ModelFile>(rt, handler);
+  file->set_recycler(&rt->pool);
+  return file;
+}
+
 class ModelDevice : public vkernel::DeviceDriver {
  public:
   explicit ModelDevice(const DeviceSpec* dev) : dev_(dev), runtime_(dev) {}
@@ -368,12 +425,12 @@ class ModelDevice : public vkernel::DeviceDriver {
   std::string Name() const override { return dev_->id; }
   std::string NodePath() const override { return dev_->dev_node; }
 
-  std::unique_ptr<FileHandler> Open(ExecContext& ctx, Kernel& kernel,
+  std::shared_ptr<FileHandler> Open(ExecContext& ctx, Kernel& kernel,
                                     long* err) override {
     (void)kernel;
     (void)err;
     ctx.Cover(runtime_.open_block);
-    return std::make_unique<ModelFile>(&runtime_, &dev_->primary);
+    return AcquireModelFile(&runtime_, &dev_->primary);
   }
 
  private:
@@ -417,6 +474,8 @@ struct SocketRuntime {
   const StructSpec* addr_spec = nullptr;
   StructLayout addr_layout;
   OpRuntime bind, connect, sendto, recvfrom, listen, accept;
+  /// Recycled ModelSocket objects (see DeviceRuntime::pool).
+  mutable HandlerPool pool;
 
   explicit SocketRuntime(const SocketSpec* s)
       : sock(s), create_block(BlockId(s->id, "create", "", 0)) {
@@ -492,6 +551,14 @@ struct SocketRuntime {
 class ModelSocket : public vkernel::SocketHandler {
  public:
   explicit ModelSocket(const SocketRuntime* rt) : rt_(rt) {}
+
+  /// Restores freshly-created state on a pooled object.
+  void Reset() {
+    engine_ = CommandEngine();
+    executed_ = ExecutedSet();
+    release_bomb_ = false;
+    release_title_.clear();
+  }
 
   long SetSockOpt(uint64_t level, uint64_t optname, const Buffer& val,
                   ExecContext& ctx, Kernel& kernel) override {
@@ -635,7 +702,7 @@ class ModelSocketFamily : public vkernel::SocketFamily {
   std::string Name() const override { return sock_->id; }
   uint64_t Domain() const override { return sock_->domain; }
 
-  std::unique_ptr<vkernel::SocketHandler> Create(uint64_t type,
+  std::shared_ptr<vkernel::SocketHandler> Create(uint64_t type,
                                                  uint64_t protocol,
                                                  ExecContext& ctx,
                                                  Kernel& kernel,
@@ -650,7 +717,16 @@ class ModelSocketFamily : public vkernel::SocketFamily {
       return nullptr;
     }
     ctx.Cover(runtime_.create_block);
-    return std::make_unique<ModelSocket>(&runtime_);
+    if (std::shared_ptr<FileHandler> pooled = runtime_.pool.Take()) {
+      auto* sock = static_cast<ModelSocket*>(pooled.get());
+      sock->Reset();
+      return std::shared_ptr<vkernel::SocketHandler>(std::move(pooled),
+                                                     sock);
+    }
+    std::shared_ptr<ModelSocket> sock =
+        std::make_shared<ModelSocket>(&runtime_);
+    sock->set_recycler(&runtime_.pool);
+    return sock;
   }
 
  private:

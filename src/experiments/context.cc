@@ -1,7 +1,11 @@
 #include "experiments/context.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "drivers/model_runtime.h"
 #include "extractor/handler_finder.h"
+#include "llm/registry.h"
 
 namespace kernelgpt::experiments {
 
@@ -12,7 +16,28 @@ ExperimentContext::ExperimentContext(const ContextOptions& options)
   meter_.SetKeepText(false);  // Counters only; full-corpus runs are large.
 
   const drivers::Corpus& corpus = drivers::Corpus::Instance();
-  spec_gen::KernelGpt kernelgpt(&index_, options.gen, &meter_);
+  // Resolve the analysis backend through the registry; an empty name
+  // falls back to gen.profile (a bench wiring a hand-built profile). A
+  // non-empty unknown name aborts: silently running a different model
+  // under the requested label would mislabel every downstream table.
+  std::unique_ptr<llm::Backend> backend;
+  if (!options.backend.empty()) {
+    backend = llm::BackendRegistry::Default().Create(options.backend,
+                                                     &index_, &meter_);
+    if (!backend) {
+      std::fprintf(stderr,
+                   "ExperimentContext: unknown backend '%s' (registered: ",
+                   options.backend.c_str());
+      for (const std::string& name : llm::BackendRegistry::Default().Names()) {
+        std::fprintf(stderr, "%s ", name.c_str());
+      }
+      std::fprintf(stderr, ")\n");
+      std::abort();
+    }
+  }
+  spec_gen::KernelGpt kernelgpt =
+      backend ? spec_gen::KernelGpt(&index_, options.gen, backend.get())
+              : spec_gen::KernelGpt(&index_, options.gen, &meter_);
   baseline::SyzDescribe syzdescribe(&index_);
 
   auto driver_handlers = extractor::FindDriverHandlers(index_);

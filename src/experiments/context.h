@@ -59,6 +59,12 @@ struct ModuleResult {
 /// Options for building a context (mostly for the ablation benches).
 struct ContextOptions {
   spec_gen::Options gen;
+  /// Registry name of the analysis backend generation runs on. The
+  /// default resolves to the same profile as the pre-registry pipeline,
+  /// byte-identical in specs and token totals. When empty, `gen.profile`
+  /// is used directly through a SimulatedBackend (legacy path, for
+  /// benches that hand-tune a profile). Unknown names abort loudly.
+  std::string backend = "gpt-4";
 };
 
 /// One fully generated corpus. Construction runs every generator over

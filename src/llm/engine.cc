@@ -254,12 +254,12 @@ DiscoverFlagGroups(const ksrc::CFile& file)
   return groups;
 }
 
-AnalysisEngine::AnalysisEngine(const ksrc::DefinitionIndex* index,
+SimulatedBackend::SimulatedBackend(const ksrc::DefinitionIndex* index,
                                ModelProfile profile, TokenMeter* meter)
     : index_(index), profile_(std::move(profile)), meter_(meter) {}
 
 void
-AnalysisEngine::Meter(const std::string& stage, const std::string& target,
+SimulatedBackend::Meter(const std::string& stage, const std::string& target,
                       std::string prompt, std::string response)
 {
   if (!meter_) return;
@@ -277,7 +277,7 @@ AnalysisEngine::Meter(const std::string& stage, const std::string& target,
 }
 
 std::string
-AnalysisEngine::ReverseMapModifiedLabel(const std::string& nr_label) const
+SimulatedBackend::ReverseMapModifiedLabel(const std::string& nr_label) const
 {
   // Find the full-command macro whose _IOC expression references the NR
   // label, e.g. DM_LIST_DEVICES = _IOWR(DM_IOCTL, DM_LIST_DEVICES_NR, ...).
@@ -291,7 +291,7 @@ AnalysisEngine::ReverseMapModifiedLabel(const std::string& nr_label) const
 }
 
 IdentifierAnalysis
-AnalysisEngine::AnalyzeIdentifiers(const std::string& fn_name,
+SimulatedBackend::AnalyzeIdentifiers(const std::string& fn_name,
                                    const std::string& usage,
                                    const std::string& module, int depth)
 {
@@ -433,7 +433,7 @@ AnalysisEngine::AnalyzeIdentifiers(const std::string& fn_name,
 }
 
 ArgTypeAnalysis
-AnalysisEngine::AnalyzeArgumentType(const std::string& fn_name,
+SimulatedBackend::AnalyzeArgumentType(const std::string& fn_name,
                                     const std::string& module)
 {
   ArgTypeAnalysis result;
@@ -484,7 +484,7 @@ AnalysisEngine::AnalyzeArgumentType(const std::string& fn_name,
 }
 
 StructRecovery
-AnalysisEngine::RecoverStruct(const std::string& struct_name,
+SimulatedBackend::RecoverStruct(const std::string& struct_name,
                               const std::string& module,
                               const std::vector<FieldConstraint>& constraints,
                               const std::vector<std::string>& out_fields)
@@ -649,7 +649,7 @@ AnalysisEngine::RecoverStruct(const std::string& struct_name,
 }
 
 DependencyAnalysis
-AnalysisEngine::AnalyzeDependencies(const std::string& fn_name,
+SimulatedBackend::AnalyzeDependencies(const std::string& fn_name,
                                     const std::string& module)
 {
   DependencyAnalysis result;
@@ -688,7 +688,7 @@ AnalysisEngine::AnalyzeDependencies(const std::string& fn_name,
 }
 
 std::string
-AnalysisEngine::InferDeviceNode(const extractor::DriverHandler& handler,
+SimulatedBackend::InferDeviceNode(const extractor::DriverHandler& handler,
                                 const std::string& module)
 {
   std::string prompt = Format(
@@ -739,7 +739,7 @@ AnalysisEngine::InferDeviceNode(const extractor::DriverHandler& handler,
 }
 
 SocketCreateAnalysis
-AnalysisEngine::AnalyzeSocketCreate(const std::string& fn_name,
+SimulatedBackend::AnalyzeSocketCreate(const std::string& fn_name,
                                     const std::string& module)
 {
   SocketCreateAnalysis result;

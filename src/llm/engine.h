@@ -1,135 +1,54 @@
 /// \file
-/// The simulated analysis LLM. Each method corresponds to one query of
-/// the paper's pipeline: it renders a realistic prompt (metered for the
-/// §5.1.1 cost analysis), performs a semantic analysis of the extracted
-/// source at the fidelity the capability profile allows, and reports both
-/// findings and "UNKNOWN" items for the iterative loop to chase — exactly
-/// the contract of Figure 6.
+/// The simulated analysis LLM — the reference llm::Backend. Each query
+/// renders a realistic prompt (metered for the §5.1.1 cost analysis),
+/// performs a semantic analysis of the extracted source at the fidelity
+/// the capability profile allows, and reports both findings and
+/// "UNKNOWN" items for the iterative loop to chase — exactly the
+/// contract of Figure 6.
 
 #ifndef KERNELGPT_LLM_ENGINE_H_
 #define KERNELGPT_LLM_ENGINE_H_
 
-#include <cstdint>
-#include <optional>
 #include <string>
 #include <vector>
 
-#include "extractor/handler_finder.h"
 #include "ksrc/definition_index.h"
-#include "llm/profile.h"
+#include "llm/backend.h"
 #include "llm/token_meter.h"
-#include "syzlang/ast.h"
 
 namespace kernelgpt::llm {
 
-/// A missing function/type the model asks for (Algorithm 1's `unknown`).
-struct Unknown {
-  enum class Kind { kFunction, kType };
-  Kind kind = Kind::kFunction;
-  std::string identifier;
-  std::string usage;  ///< Invocation/usage context presented back next step.
-};
-
-/// One command discovered during identifier deduction.
-struct CommandFinding {
-  std::string macro;         ///< Constant to use as the cmd/optname value.
-  std::string sub_function;  ///< Function implementing the command.
-  bool from_modified_switch = false;  ///< Behind a _IOC_NR-style dispatch.
-  bool identifier_mangled = false;    ///< Model emitted the wrong constant.
-};
-
-/// Result of one identifier-deduction query.
-struct IdentifierAnalysis {
-  std::vector<CommandFinding> commands;
-  std::vector<Unknown> unknowns;
-  /// Sockets: SOL_* guard observed (`if (level != SOL_RDS) ...`).
-  std::string guard_level_macro;
-};
-
-/// A semantic constraint recovered from validation code in a handler.
-struct FieldConstraint {
-  enum class Kind { kRange, kEquals, kNonZero, kUpperBound };
-  std::string field;
-  Kind kind = Kind::kRange;
-  int64_t a = 0;  ///< Range low / equals value.
-  int64_t b = 0;  ///< Range high / upper bound.
-};
-
-/// Result of analyzing one per-command helper for its argument type.
-struct ArgTypeAnalysis {
-  std::string arg_struct;  ///< "" when the command takes no pointer arg.
-  syzlang::Dir dir = syzlang::Dir::kInOut;
-  std::vector<FieldConstraint> constraints;
-  std::vector<std::string> out_fields;  ///< Fields the kernel writes.
-};
-
-/// A flag set the model synthesized from a macro group.
-struct FlagSetGuess {
-  std::string set_name;
-  std::vector<std::string> member_macros;
-};
-
-/// Result of recovering one struct definition.
-struct StructRecovery {
-  syzlang::StructDef def;
-  std::vector<Unknown> unknowns;  ///< Nested struct types to fetch next.
-  std::vector<FlagSetGuess> flag_sets;
-};
-
-/// Result of dependency analysis on one helper.
-struct DependencyAnalysis {
-  struct CreatedResource {
-    std::string label;     ///< anon_inode_getfd name, e.g. "kvm-vm".
-    std::string fops_var;  ///< Handler table the new fd is bound to.
-  };
-  std::vector<CreatedResource> created;
-};
-
-/// Result of analyzing a socket family's create() function.
-struct SocketCreateAnalysis {
-  std::string type_macro;      ///< Required SOCK_* macro ("" = any).
-  uint64_t protocol = 0;       ///< Required protocol (0 = any).
-  bool protocol_checked = false;
-};
-
-/// The analysis model bound to one kernel index and one profile.
-class AnalysisEngine {
+/// The simulated analysis model bound to one kernel index and one
+/// capability profile. Every answer is a deterministic function of the
+/// extracted source and hash-keyed profile draws.
+class SimulatedBackend : public Backend {
  public:
-  AnalysisEngine(const ksrc::DefinitionIndex* index, ModelProfile profile,
-                 TokenMeter* meter);
+  SimulatedBackend(const ksrc::DefinitionIndex* index, ModelProfile profile,
+                   TokenMeter* meter);
 
-  const ModelProfile& profile() const { return profile_; }
+  const ModelProfile& profile() const override { return profile_; }
 
-  /// Stage 1 (one iteration): deduce identifier values from one function.
-  /// `depth` is the current delegation depth (capability-bounded).
   IdentifierAnalysis AnalyzeIdentifiers(const std::string& fn_name,
                                         const std::string& usage,
-                                        const std::string& module, int depth);
+                                        const std::string& module,
+                                        int depth) override;
 
-  /// Stage 2a: infer the argument struct, direction, validation
-  /// constraints, and output fields of one per-command helper.
   ArgTypeAnalysis AnalyzeArgumentType(const std::string& fn_name,
-                                      const std::string& module);
+                                      const std::string& module) override;
 
-  /// Stage 2b: recover one struct definition as syzlang, enriched with the
-  /// constraints/out-fields learned in 2a and (capability permitting)
-  /// len-of and flags semantics.
-  StructRecovery RecoverStruct(const std::string& struct_name,
-                               const std::string& module,
-                               const std::vector<FieldConstraint>& constraints,
-                               const std::vector<std::string>& out_fields);
+  StructRecovery RecoverStruct(
+      const std::string& struct_name, const std::string& module,
+      const std::vector<FieldConstraint>& constraints,
+      const std::vector<std::string>& out_fields) override;
 
-  /// Stage 3: find fd-creating calls (anon_inode_getfd) in a helper.
   DependencyAnalysis AnalyzeDependencies(const std::string& fn_name,
-                                         const std::string& module);
+                                         const std::string& module) override;
 
-  /// Infers the device node path from registration usage.
   std::string InferDeviceNode(const extractor::DriverHandler& handler,
-                              const std::string& module);
+                              const std::string& module) override;
 
-  /// Analyzes a socket create() function for type/protocol gating.
   SocketCreateAnalysis AnalyzeSocketCreate(const std::string& fn_name,
-                                           const std::string& module);
+                                           const std::string& module) override;
 
  private:
   /// Meters one exchange, truncating the prompt to the context window.

@@ -1,0 +1,108 @@
+#include "llm/flaky_backend.h"
+
+#include <utility>
+
+namespace kernelgpt::llm {
+
+FlakyBackend::FlakyBackend(std::unique_ptr<Backend> delegate,
+                           FlakyOptions options, TokenMeter* meter)
+    : delegate_(std::move(delegate)),
+      options_(std::move(options)),
+      meter_(meter) {}
+
+const ModelProfile&
+FlakyBackend::profile() const
+{
+  return delegate_->profile();
+}
+
+void
+FlakyBackend::BillRetries(const std::string& stage, const std::string& key)
+{
+  if (!meter_ || meter_->records().empty()) return;
+  // Decide failures with a throwaway profile named after the wrapper so
+  // the draws are independent of the delegate's own error draws.
+  ModelProfile flake;
+  flake.name = options_.name;
+  // Copy out of the meter before re-recording: Record() can reallocate
+  // the records vector and invalidate references into it.
+  const std::string target = meter_->records().back().target;
+  const size_t input_tokens = meter_->records().back().input_tokens;
+  for (int attempt = 0; attempt < options_.max_retries; ++attempt) {
+    if (!flake.Decide("retry/" + std::to_string(attempt) + ":" + key,
+                      options_.failure_rate)) {
+      break;
+    }
+    QueryRecord retry;
+    retry.stage = "retry/" + stage;  // Keeps per-stage cost attribution.
+    retry.target = target;
+    // The prompt is re-sent verbatim; the dropped answer is one token of
+    // rate-limit error text.
+    retry.input_tokens = input_tokens;
+    retry.output_tokens = 1;
+    meter_->Record(std::move(retry));
+    ++retries_injected_;
+  }
+}
+
+IdentifierAnalysis
+FlakyBackend::AnalyzeIdentifiers(const std::string& fn_name,
+                                 const std::string& usage,
+                                 const std::string& module, int depth)
+{
+  IdentifierAnalysis result =
+      delegate_->AnalyzeIdentifiers(fn_name, usage, module, depth);
+  BillRetries("identifier", module + ":" + fn_name);
+  return result;
+}
+
+ArgTypeAnalysis
+FlakyBackend::AnalyzeArgumentType(const std::string& fn_name,
+                                  const std::string& module)
+{
+  ArgTypeAnalysis result = delegate_->AnalyzeArgumentType(fn_name, module);
+  BillRetries("type", module + ":" + fn_name);
+  return result;
+}
+
+StructRecovery
+FlakyBackend::RecoverStruct(const std::string& struct_name,
+                            const std::string& module,
+                            const std::vector<FieldConstraint>& constraints,
+                            const std::vector<std::string>& out_fields)
+{
+  StructRecovery result =
+      delegate_->RecoverStruct(struct_name, module, constraints, out_fields);
+  BillRetries("type", module + ":" + struct_name);
+  return result;
+}
+
+DependencyAnalysis
+FlakyBackend::AnalyzeDependencies(const std::string& fn_name,
+                                  const std::string& module)
+{
+  DependencyAnalysis result = delegate_->AnalyzeDependencies(fn_name, module);
+  BillRetries("dependency", module + ":" + fn_name);
+  return result;
+}
+
+std::string
+FlakyBackend::InferDeviceNode(const extractor::DriverHandler& handler,
+                              const std::string& module)
+{
+  std::string node = delegate_->InferDeviceNode(handler, module);
+  BillRetries("identifier", module + ":device-node");
+  return node;
+}
+
+SocketCreateAnalysis
+FlakyBackend::AnalyzeSocketCreate(const std::string& fn_name,
+                                  const std::string& module)
+{
+  SocketCreateAnalysis result =
+      delegate_->AnalyzeSocketCreate(fn_name, module);
+  BillRetries("identifier", module + ":" + fn_name);
+  return result;
+}
+
+}  // namespace kernelgpt::llm

@@ -1,0 +1,84 @@
+/// \file
+/// A rate-limited/flaky wrapper backend: delegates every query to an
+/// inner backend but deterministically injects failed attempts (HTTP-429
+/// analogs) that are retried and re-billed. The final analysis is always
+/// the delegate's — flakiness changes cost, never quality — which models
+/// running the pipeline against an overloaded API endpoint and lets the
+/// backend-matrix report show a cost column inflated by retries.
+
+#ifndef KERNELGPT_LLM_FLAKY_BACKEND_H_
+#define KERNELGPT_LLM_FLAKY_BACKEND_H_
+
+#include <memory>
+#include <string>
+
+#include "llm/backend.h"
+#include "llm/token_meter.h"
+
+namespace kernelgpt::llm {
+
+/// Retry behaviour of the wrapper. Draws are keyed on (wrapper name,
+/// query key, attempt), so the injected failures are stable across runs,
+/// platforms, and thread counts.
+struct FlakyOptions {
+  /// Wrapper identity used to key the deterministic failure draws (must
+  /// differ from the delegate's profile name or the draws correlate with
+  /// the delegate's own error draws).
+  std::string name = "flaky";
+  /// Per-attempt chance that the request is dropped before an answer.
+  double failure_rate = 0.3;
+  /// Attempts beyond the first (a query is issued at most 1 + max_retries
+  /// times; after that the last answer is used — the delegate always
+  /// answers the final attempt).
+  int max_retries = 3;
+};
+
+/// Wraps a backend, injecting deterministic metered retries.
+class FlakyBackend : public Backend {
+ public:
+  FlakyBackend(std::unique_ptr<Backend> delegate, FlakyOptions options,
+               TokenMeter* meter);
+
+  const ModelProfile& profile() const override;
+
+  IdentifierAnalysis AnalyzeIdentifiers(const std::string& fn_name,
+                                        const std::string& usage,
+                                        const std::string& module,
+                                        int depth) override;
+
+  ArgTypeAnalysis AnalyzeArgumentType(const std::string& fn_name,
+                                      const std::string& module) override;
+
+  StructRecovery RecoverStruct(
+      const std::string& struct_name, const std::string& module,
+      const std::vector<FieldConstraint>& constraints,
+      const std::vector<std::string>& out_fields) override;
+
+  DependencyAnalysis AnalyzeDependencies(const std::string& fn_name,
+                                         const std::string& module) override;
+
+  std::string InferDeviceNode(const extractor::DriverHandler& handler,
+                              const std::string& module) override;
+
+  SocketCreateAnalysis AnalyzeSocketCreate(const std::string& fn_name,
+                                           const std::string& module) override;
+
+  /// Failed attempts injected so far (for tests/reports).
+  size_t retries_injected() const { return retries_injected_; }
+
+ private:
+  /// Charges the deterministic number of failed attempts for `key`. The
+  /// delegate has already metered the successful exchange, so each retry
+  /// re-bills that exchange's input tokens (the prompt is re-sent; the
+  /// truncated answer costs ~nothing).
+  void BillRetries(const std::string& stage, const std::string& key);
+
+  std::unique_ptr<Backend> delegate_;
+  FlakyOptions options_;
+  TokenMeter* meter_;
+  size_t retries_injected_ = 0;
+};
+
+}  // namespace kernelgpt::llm
+
+#endif  // KERNELGPT_LLM_FLAKY_BACKEND_H_

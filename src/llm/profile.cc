@@ -16,52 +16,8 @@ ModelProfile::Decide(const std::string& key, double rate) const
   return unit < rate;
 }
 
-ModelProfile
-Gpt4()
-{
-  ModelProfile p;
-  p.name = "gpt-4";
-  p.max_delegation_depth = 6;
-  p.miss_command_rate = 0.015;
-  p.wrong_identifier_rate = 0.02;  // Only applies to modified identifiers.
-  p.wrong_type_rate = 0.012;
-  p.invalid_decl_rate = 0.055;
-  p.repair_success_rate = 0.86;
-  p.context_tokens = 128000;
-  return p;
-}
-
-ModelProfile
-Gpt4o()
-{
-  ModelProfile p = Gpt4();
-  p.name = "gpt-4o";
-  // Near-identical to GPT-4 (the paper found them comparable); its
-  // deterministic draws still differ because the name feeds the hash.
-  p.miss_command_rate = 0.012;
-  p.invalid_decl_rate = 0.05;
-  p.repair_success_rate = 0.9;
-  return p;
-}
-
-ModelProfile
-Gpt35()
-{
-  ModelProfile p;
-  p.name = "gpt-3.5";
-  p.understands_ioc_nr = false;
-  p.understands_table_lookup = false;
-  p.understands_len_semantics = false;
-  p.understands_device_create = true;
-  p.understands_nodename = true;
-  p.max_delegation_depth = 2;
-  p.miss_command_rate = 0.35;
-  p.wrong_identifier_rate = 0.25;
-  p.wrong_type_rate = 0.08;
-  p.invalid_decl_rate = 0.18;
-  p.repair_success_rate = 0.5;
-  p.context_tokens = 16000;
-  return p;
-}
+// Gpt4()/Gpt4o()/Gpt35() are defined in registry.cc: the profile data is
+// registered in the default BackendRegistry and the legacy accessors read
+// it from there.
 
 }  // namespace kernelgpt::llm

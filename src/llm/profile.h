@@ -61,6 +61,10 @@ struct ModelProfile {
   bool Decide(const std::string& key, double rate) const;
 };
 
+/// Profiles live in the BackendRegistry as registered data (see
+/// llm/registry.h); the accessors below read the default registry and are
+/// kept for the many call sites that predate it.
+
 /// GPT-4: the paper's default. Strong comprehension, rare slips.
 ModelProfile Gpt4();
 

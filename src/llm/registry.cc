@@ -1,0 +1,214 @@
+#include "llm/registry.h"
+
+#include <utility>
+
+#include "llm/engine.h"
+#include "llm/flaky_backend.h"
+
+namespace kernelgpt::llm {
+
+namespace {
+
+// -- Built-in profile data ----------------------------------------------------
+// The historical Gpt4/Gpt4o/Gpt35 values are load-bearing: every
+// deterministic error draw is keyed on the profile name and compared
+// against these rates, so changing a number here changes which concrete
+// handlers fail — the parity regression tests in service_test pin them.
+
+ModelProfile
+Gpt4Profile()
+{
+  ModelProfile p;
+  p.name = "gpt-4";
+  p.max_delegation_depth = 6;
+  p.miss_command_rate = 0.015;
+  p.wrong_identifier_rate = 0.02;  // Only applies to modified identifiers.
+  p.wrong_type_rate = 0.012;
+  p.invalid_decl_rate = 0.055;
+  p.repair_success_rate = 0.86;
+  p.context_tokens = 128000;
+  return p;
+}
+
+ModelProfile
+Gpt4oProfile()
+{
+  ModelProfile p = Gpt4Profile();
+  p.name = "gpt-4o";
+  // Near-identical to GPT-4 (the paper found them comparable); its
+  // deterministic draws still differ because the name feeds the hash.
+  p.miss_command_rate = 0.012;
+  p.invalid_decl_rate = 0.05;
+  p.repair_success_rate = 0.9;
+  return p;
+}
+
+ModelProfile
+Gpt35Profile()
+{
+  ModelProfile p;
+  p.name = "gpt-3.5";
+  p.understands_ioc_nr = false;
+  p.understands_table_lookup = false;
+  p.understands_len_semantics = false;
+  p.understands_device_create = true;
+  p.understands_nodename = true;
+  p.max_delegation_depth = 2;
+  p.miss_command_rate = 0.35;
+  p.wrong_identifier_rate = 0.25;
+  p.wrong_type_rate = 0.08;
+  p.invalid_decl_rate = 0.18;
+  p.repair_success_rate = 0.5;
+  p.context_tokens = 16000;
+  return p;
+}
+
+/// Fast/cheap tier: between gpt-3.5 and gpt-4 — keeps the idiom
+/// comprehension but slips more often and follows less indirection.
+ModelProfile
+Gpt4MiniProfile()
+{
+  ModelProfile p = Gpt4Profile();
+  p.name = "gpt-4-mini";
+  p.max_delegation_depth = 4;
+  p.miss_command_rate = 0.06;
+  p.wrong_identifier_rate = 0.05;
+  p.wrong_type_rate = 0.03;
+  p.invalid_decl_rate = 0.09;
+  p.repair_success_rate = 0.75;
+  p.context_tokens = 64000;
+  return p;
+}
+
+/// Long-context tier: gpt-4 comprehension with a 1M-token window, so the
+/// all-in-one ablation fits whole handler chains into one prompt.
+ModelProfile
+Gpt4LongProfile()
+{
+  ModelProfile p = Gpt4Profile();
+  p.name = "gpt-4-long";
+  p.context_tokens = 1000000;
+  return p;
+}
+
+}  // namespace
+
+void
+BackendRegistry::Register(BackendInfo info, Factory factory)
+{
+  for (Entry& entry : entries_) {
+    if (entry.info.name == info.name) {
+      entry.info = std::move(info);
+      entry.factory = std::move(factory);
+      return;
+    }
+  }
+  entries_.push_back({std::move(info), std::move(factory)});
+}
+
+const BackendRegistry::Entry*
+BackendRegistry::FindEntry(const std::string& name) const
+{
+  for (const Entry& entry : entries_) {
+    if (entry.info.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+const BackendInfo*
+BackendRegistry::Find(const std::string& name) const
+{
+  const Entry* entry = FindEntry(name);
+  return entry ? &entry->info : nullptr;
+}
+
+std::unique_ptr<Backend>
+BackendRegistry::Create(const std::string& name,
+                        const ksrc::DefinitionIndex* index,
+                        TokenMeter* meter) const
+{
+  const Entry* entry = FindEntry(name);
+  if (!entry) return nullptr;
+  if (entry->factory) return entry->factory(entry->info, index, meter);
+  return std::make_unique<SimulatedBackend>(index, entry->info.profile,
+                                            meter);
+}
+
+std::vector<std::string>
+BackendRegistry::Names() const
+{
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const Entry& entry : entries_) names.push_back(entry.info.name);
+  return names;
+}
+
+double
+BackendRegistry::CostUsd(const std::string& name,
+                         const TokenMeter& meter) const
+{
+  const BackendInfo* info = Find(name);
+  BackendPricing pricing = info ? info->pricing : BackendPricing{};
+  return pricing.Cost(meter.total_input_tokens(),
+                      meter.total_output_tokens());
+}
+
+BackendRegistry
+BackendRegistry::BuiltIns()
+{
+  BackendRegistry registry;
+  registry.Register({"gpt-4", Gpt4Profile(), {10.0, 30.0},
+                     "the paper's default: strong comprehension, rare slips"});
+  registry.Register({"gpt-4o", Gpt4oProfile(), {2.5, 10.0},
+                     "comparable quality to gpt-4 at a fraction of the price"});
+  registry.Register({"gpt-3.5", Gpt35Profile(), {0.5, 1.5},
+                     "weak tier: misses commands, shallow delegation"});
+  registry.Register({"gpt-4-mini", Gpt4MiniProfile(), {0.6, 2.4},
+                     "fast/cheap tier: gpt-4 idioms, more slips"});
+  registry.Register({"gpt-4-long", Gpt4LongProfile(), {12.0, 36.0},
+                     "long-context tier: 1M-token window"});
+  // Rate-limited wrapper: analyses are byte-identical to gpt-4 (the
+  // delegate keeps the "gpt-4" profile name, so every draw matches); the
+  // wrapper injects deterministic metered retries on top.
+  registry.Register(
+      {"gpt-4-flaky", Gpt4Profile(), {10.0, 30.0},
+       "gpt-4 behind a rate-limited endpoint: deterministic retry cost"},
+      [](const BackendInfo& info, const ksrc::DefinitionIndex* index,
+         TokenMeter* meter) -> std::unique_ptr<Backend> {
+        FlakyOptions flaky;
+        flaky.name = info.name;
+        return std::make_unique<FlakyBackend>(
+            std::make_unique<SimulatedBackend>(index, info.profile, meter),
+            flaky, meter);
+      });
+  return registry;
+}
+
+const BackendRegistry&
+BackendRegistry::Default()
+{
+  static const BackendRegistry registry = BuiltIns();
+  return registry;
+}
+
+// -- Legacy profile accessors -------------------------------------------------
+
+ModelProfile
+Gpt4()
+{
+  return BackendRegistry::Default().Find("gpt-4")->profile;
+}
+
+ModelProfile
+Gpt4o()
+{
+  return BackendRegistry::Default().Find("gpt-4o")->profile;
+}
+
+ModelProfile
+Gpt35()
+{
+  return BackendRegistry::Default().Find("gpt-3.5")->profile;
+}
+
+}  // namespace kernelgpt::llm

@@ -1,0 +1,86 @@
+/// \file
+/// Backend registry: name → (capability profile, pricing, factory).
+///
+/// Profiles are registered data, not free functions: every model the
+/// §5.2.3 ablation or the backend-matrix table can run is one registry
+/// entry, and `registry.Create("gpt-4", ...)` is the only way the
+/// generation stack obtains a concrete llm::Backend. Per-backend pricing
+/// lives here too, so cost reports are a pure function of a TokenMeter
+/// and a registry entry.
+
+#ifndef KERNELGPT_LLM_REGISTRY_H_
+#define KERNELGPT_LLM_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ksrc/definition_index.h"
+#include "llm/backend.h"
+#include "llm/token_meter.h"
+
+namespace kernelgpt::llm {
+
+/// One registered backend: identity, capability profile, and pricing
+/// (BackendPricing lives in llm/token_meter.h with the token accounting).
+/// For wrapper backends (e.g. the flaky tier) `profile.name` may differ
+/// from `name`: the profile keys the deterministic analysis draws while
+/// `name` keys the registry lookup and the report rows.
+struct BackendInfo {
+  std::string name;
+  ModelProfile profile;
+  BackendPricing pricing;
+  std::string description;
+};
+
+/// Name → factory registry of analysis backends.
+class BackendRegistry {
+ public:
+  /// Builds a backend bound to one kernel index and one meter.
+  using Factory = std::function<std::unique_ptr<Backend>(
+      const BackendInfo& info, const ksrc::DefinitionIndex* index,
+      TokenMeter* meter)>;
+
+  /// Registers an entry. With no factory, Create() builds a
+  /// SimulatedBackend answering with `info.profile`. Re-registering a
+  /// name replaces the previous entry (keeps its position).
+  void Register(BackendInfo info, Factory factory = {});
+
+  /// Instantiates the named backend; nullptr for unknown names.
+  std::unique_ptr<Backend> Create(const std::string& name,
+                                  const ksrc::DefinitionIndex* index,
+                                  TokenMeter* meter) const;
+
+  const BackendInfo* Find(const std::string& name) const;
+
+  /// Registered names, in registration order (stable report ordering).
+  std::vector<std::string> Names() const;
+
+  /// Dollar cost of `meter`'s totals under the named backend's pricing;
+  /// falls back to default pricing for unknown names.
+  double CostUsd(const std::string& name, const TokenMeter& meter) const;
+
+  /// A fresh registry preloaded with the built-in model tiers:
+  /// "gpt-4" (the paper's default), "gpt-4o", "gpt-3.5", "gpt-4-mini"
+  /// (fast/cheap tier), "gpt-4-long" (long-context tier), and
+  /// "gpt-4-flaky" (rate-limited wrapper around gpt-4 that injects
+  /// deterministic retries). Extend it with Register() in tests.
+  static BackendRegistry BuiltIns();
+
+  /// Lazily-built shared instance of BuiltIns().
+  static const BackendRegistry& Default();
+
+ private:
+  struct Entry {
+    BackendInfo info;
+    Factory factory;
+  };
+  const Entry* FindEntry(const std::string& name) const;
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace kernelgpt::llm
+
+#endif  // KERNELGPT_LLM_REGISTRY_H_

@@ -41,8 +41,9 @@ TokenMeter::AvgOutputTokens() const
 double
 TokenMeter::CostUsd(double usd_per_m_input, double usd_per_m_output) const
 {
-  return static_cast<double>(input_tokens_) / 1e6 * usd_per_m_input +
-         static_cast<double>(output_tokens_) / 1e6 * usd_per_m_output;
+  // One pricing formula project-wide: BackendPricing::Cost.
+  return BackendPricing{usd_per_m_input, usd_per_m_output}.Cost(
+      input_tokens_, output_tokens_);
 }
 
 }  // namespace kernelgpt::llm

@@ -12,6 +12,20 @@
 
 namespace kernelgpt::llm {
 
+/// Per-million-token prices used for the $-estimate columns. Each
+/// BackendRegistry entry carries one; defined here, next to the token
+/// accounting, so every cost report shares a single formula.
+struct BackendPricing {
+  double usd_per_m_input = 10.0;
+  double usd_per_m_output = 30.0;
+
+  /// Dollar cost of a token total under this pricing.
+  double Cost(size_t input_tokens, size_t output_tokens) const {
+    return static_cast<double>(input_tokens) / 1e6 * usd_per_m_input +
+           static_cast<double>(output_tokens) / 1e6 * usd_per_m_output;
+  }
+};
+
 /// Record of one prompt/response exchange.
 struct QueryRecord {
   std::string stage;    ///< "identifier" / "type" / "dependency" / "repair".

@@ -5,6 +5,7 @@
 #include <functional>
 #include <unordered_set>
 
+#include "llm/engine.h"
 #include "util/strings.h"
 
 namespace kernelgpt::spec_gen {
@@ -71,11 +72,25 @@ ModuleIdFromPath(const std::string& path)
 }
 
 KernelGpt::KernelGpt(const ksrc::DefinitionIndex* index, Options options,
+                     llm::Backend* backend, const syzlang::ConstTable* consts)
+    : index_(index),
+      options_(std::move(options)),
+      backend_(backend),
+      owned_consts_(consts ? nullptr
+                           : std::make_unique<syzlang::ConstTable>(
+                                 index->BuildConstTable())),
+      consts_(consts ? consts : owned_consts_.get()) {}
+
+KernelGpt::KernelGpt(const ksrc::DefinitionIndex* index, Options options,
                      llm::TokenMeter* meter)
     : index_(index),
       options_(std::move(options)),
-      engine_(index, options_.profile, meter),
-      consts_(index->BuildConstTable()) {}
+      owned_backend_(std::make_unique<llm::SimulatedBackend>(
+          index, options_.profile, meter)),
+      backend_(owned_backend_.get()),
+      owned_consts_(std::make_unique<syzlang::ConstTable>(
+          index->BuildConstTable())),
+      consts_(owned_consts_.get()) {}
 
 void
 KernelGpt::MaybeInjectFlaw(const std::string& module, Decl* decl)
@@ -83,14 +98,13 @@ KernelGpt::MaybeInjectFlaw(const std::string& module, Decl* decl)
   const std::string name =
       decl->kind == DeclKind::kSyscall ? decl->syscall.FullName()
                                        : decl->Name();
-  if (!options_.profile.Decide("flaw:" + module + ":" + name,
-                               options_.profile.invalid_decl_rate)) {
+  if (!profile().Decide("flaw:" + module + ":" + name,
+                        profile().invalid_decl_rate)) {
     return;
   }
   // Two flaw modes, chosen deterministically: a bare C `int` type (the
   // Figure 4 error) or a hallucinated constant name.
-  bool bare_int = options_.profile.Decide("flawmode:" + module + ":" + name,
-                                          0.5);
+  bool bare_int = profile().Decide("flawmode:" + module + ":" + name, 0.5);
   if (decl->kind == DeclKind::kStruct && !decl->struct_def.fields.empty()) {
     if (bare_int) {
       for (Field& f : decl->struct_def.fields) {
@@ -129,7 +143,8 @@ KernelGpt::DescribeArgType(const std::string& sub_fn,
 {
   TypeResult result;
   if (sub_fn.empty()) return result;
-  llm::ArgTypeAnalysis analysis = engine_.AnalyzeArgumentType(sub_fn, module);
+  llm::ArgTypeAnalysis analysis =
+      backend_->AnalyzeArgumentType(sub_fn, module);
   result.struct_name = analysis.arg_struct;
   result.dir = analysis.dir;
   if (analysis.arg_struct.empty()) return result;
@@ -188,7 +203,7 @@ KernelGpt::DescribeRecordedStructs(const std::string& module, SpecFile* spec)
       continue;
     }
     const StructSemantics& semantics = struct_semantics_[name];
-    llm::StructRecovery rec = engine_.RecoverStruct(
+    llm::StructRecovery rec = backend_->RecoverStruct(
         name, module, semantics.constraints, semantics.out_fields);
     if (rec.def.fields.empty()) continue;
     for (const llm::FlagSetGuess& guess : rec.flag_sets) {
@@ -231,7 +246,7 @@ KernelGpt::DescribeIoctlChain(const std::string& ioctl_fn,
   // All-in-one mode: everything must fit one prompt; track a code budget
   // and stop including functions beyond it.
   size_t code_budget =
-      options_.iterative ? SIZE_MAX : options_.profile.context_tokens / 4;
+      options_.iterative ? SIZE_MAX : profile().context_tokens / 4;
   size_t code_used = 0;
 
   while (!worklist.empty()) {
@@ -244,7 +259,7 @@ KernelGpt::DescribeIoctlChain(const std::string& ioctl_fn,
       if (code_used > code_budget) continue;  // Fell out of the context.
     }
     llm::IdentifierAnalysis analysis =
-        engine_.AnalyzeIdentifiers(item.fn, item.usage, module, item.depth);
+        backend_->AnalyzeIdentifiers(item.fn, item.usage, module, item.depth);
     for (auto& cmd : analysis.commands) commands.push_back(std::move(cmd));
     for (const llm::Unknown& unknown : analysis.unknowns) {
       worklist.push_back({unknown.identifier, unknown.usage, item.depth + 1});
@@ -259,7 +274,7 @@ KernelGpt::DescribeIoctlChain(const std::string& ioctl_fn,
     std::string ret_resource;
     if (options_.iterative && !cmd.sub_function.empty()) {
       llm::DependencyAnalysis dep =
-          engine_.AnalyzeDependencies(cmd.sub_function, module);
+          backend_->AnalyzeDependencies(cmd.sub_function, module);
       for (const auto& created : dep.created) {
         ret_resource = "fd_" + Sanitize(created.label);
         if (!spec->FindResource(ret_resource)) {
@@ -314,7 +329,7 @@ KernelGpt::GenerateForDriver(const extractor::DriverHandler& handler)
   struct_semantics_.clear();
   needed_structs_.clear();
 
-  std::string node = engine_.InferDeviceNode(handler, out.module);
+  std::string node = backend_->InferDeviceNode(handler, out.module);
   if (node.empty()) {
     out.status = GenStatus::kFailed;
     return out;
@@ -354,7 +369,7 @@ KernelGpt::GenerateForSocket(const extractor::SocketHandler& handler)
   out.spec.origin = "kernelgpt:" + out.module;
   struct_semantics_.clear();
   needed_structs_.clear();
-  if (!options_.profile.analyzes_sockets) {
+  if (!profile().analyzes_sockets) {
     out.status = GenStatus::kFailed;
     return out;
   }
@@ -363,7 +378,7 @@ KernelGpt::GenerateForSocket(const extractor::SocketHandler& handler)
   out.spec.Add(ResourceDef{res, "fd"});
 
   llm::SocketCreateAnalysis create =
-      engine_.AnalyzeSocketCreate(handler.create_fn, out.module);
+      backend_->AnalyzeSocketCreate(handler.create_fn, out.module);
   SyscallDef sock_call;
   sock_call.name = "socket";
   sock_call.variant = out.module;
@@ -390,7 +405,7 @@ KernelGpt::GenerateForSocket(const extractor::SocketHandler& handler)
        {OptChain{&handler.setsockopt_fn, "setsockopt", Dir::kIn},
         OptChain{&handler.getsockopt_fn, "getsockopt", Dir::kOut}}) {
     if (chain.fn->empty()) continue;
-    llm::IdentifierAnalysis analysis = engine_.AnalyzeIdentifiers(
+    llm::IdentifierAnalysis analysis = backend_->AnalyzeIdentifiers(
         *chain.fn, *chain.fn + "(sock, level, optname, optval, optlen)",
         out.module, 1);
     std::string level = analysis.guard_level_macro.empty()
@@ -512,7 +527,7 @@ KernelGpt::RepairRound(SpecFile* spec,
           std::string fixed = error.subject;
           auto us = fixed.rfind('_');
           if (us != std::string::npos) fixed = fixed.substr(0, us);
-          if (!consts_.Has(fixed)) break;
+          if (!consts_->Has(fixed)) break;
           VisitDeclTypes(&decl, [&](Type* t) {
             if (t->kind == TypeKind::kConst &&
                 t->const_name == error.subject) {
@@ -555,7 +570,7 @@ KernelGpt::RepairRound(SpecFile* spec,
 void
 KernelGpt::ValidateAndRepair(HandlerGeneration* out)
 {
-  syzlang::ValidationResult v = syzlang::Validate(out->spec, consts_);
+  syzlang::ValidationResult v = syzlang::Validate(out->spec, *consts_);
   out->initial_errors = v.errors;
   if (v.ok()) {
     out->status = GenStatus::kValidDirect;
@@ -567,15 +582,15 @@ KernelGpt::ValidateAndRepair(HandlerGeneration* out)
   // "v39" is a calibration constant of the simulated history: it selects
   // which concrete handlers fall into the unrepairable tail (see
   // DESIGN.md on deterministic error injection).
-  if (!options_.profile.Decide("repairable/v39|" + out->module,
-                               options_.profile.repair_success_rate)) {
+  if (!profile().Decide("repairable/v39|" + out->module,
+                        profile().repair_success_rate)) {
     out->status = GenStatus::kFailed;
     out->remaining_errors = v.errors;
     return;
   }
   for (int round = 0; round < options_.repair_rounds; ++round) {
     RepairRound(&out->spec, v.errors, out->module);
-    v = syzlang::Validate(out->spec, consts_);
+    v = syzlang::Validate(out->spec, *consts_);
     if (v.ok()) {
       out->status = GenStatus::kRepaired;
       return;

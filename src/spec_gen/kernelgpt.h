@@ -12,9 +12,11 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "extractor/handler_finder.h"
 #include "ksrc/definition_index.h"
-#include "llm/engine.h"
+#include "llm/backend.h"
 #include "llm/token_meter.h"
 #include "syzlang/ast.h"
 #include "syzlang/validator.h"
@@ -55,9 +57,22 @@ struct HandlerGeneration {
   size_t TypeCount() const { return spec.Structs().size(); }
 };
 
-/// KernelGPT bound to one kernel index and one model/meter.
+/// KernelGPT bound to one kernel index and one analysis backend.
 class KernelGpt {
  public:
+  /// Runs against an externally owned backend (registry-created); the
+  /// backend must outlive the generator. `options.profile` is ignored —
+  /// the backend's own profile drives every capability decision. Pass a
+  /// prebuilt `consts` (a pure function of the index) to skip the
+  /// per-instance const-table build — the SpecGenService constructs one
+  /// generator per task and shares a single table across all of them.
+  KernelGpt(const ksrc::DefinitionIndex* index, Options options,
+            llm::Backend* backend,
+            const syzlang::ConstTable* consts = nullptr);
+
+  /// Compatibility path: builds and owns a SimulatedBackend answering
+  /// with `options.profile`, metering into `meter`. Byte-identical to
+  /// the pre-registry pipeline.
   KernelGpt(const ksrc::DefinitionIndex* index, Options options,
             llm::TokenMeter* meter);
 
@@ -118,10 +133,16 @@ class KernelGpt {
                    const std::vector<syzlang::ValidationError>& errors,
                    const std::string& module);
 
+  /// The backend's capability/error profile (keys every Decide draw).
+  const llm::ModelProfile& profile() const { return backend_->profile(); }
+
   const ksrc::DefinitionIndex* index_;
   Options options_;
-  llm::AnalysisEngine engine_;
-  syzlang::ConstTable consts_;
+  std::unique_ptr<llm::Backend> owned_backend_;  ///< Compat ctor only.
+  llm::Backend* backend_;
+  /// Built (and owned) only when the caller did not share a table.
+  std::unique_ptr<syzlang::ConstTable> owned_consts_;
+  const syzlang::ConstTable* consts_;
 };
 
 /// Derives a module id from a corpus source path ("drivers/dm.c" -> "dm").

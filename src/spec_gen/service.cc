@@ -1,0 +1,146 @@
+#include "spec_gen/service.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <utility>
+
+namespace kernelgpt::spec_gen {
+
+namespace {
+
+/// One unit of work: generate one handler's spec on one backend.
+struct Task {
+  size_t run_index = 0;      ///< Which BackendRun the result lands in.
+  size_t slot = 0;           ///< Position within that run's generations.
+  bool is_socket = false;
+  const extractor::DriverHandler* driver = nullptr;
+  const extractor::SocketHandler* socket = nullptr;
+};
+
+/// Per-task output: the generation plus its metered cost. Tasks never
+/// share a meter, so sums over tasks equal a single-meter serial run and
+/// are independent of execution order.
+struct TaskResult {
+  HandlerGeneration gen;
+  size_t queries = 0;
+  size_t input_tokens = 0;
+  size_t output_tokens = 0;
+};
+
+}  // namespace
+
+SpecGenService::SpecGenService(const ksrc::DefinitionIndex* index,
+                               ServiceOptions options)
+    : index_(index), options_(std::move(options))
+{
+  if (!options_.registry) options_.registry = &llm::BackendRegistry::Default();
+  if (options_.num_threads < 1) options_.num_threads = 1;
+}
+
+ServiceResult
+SpecGenService::Generate(
+    const std::vector<extractor::DriverHandler>& drivers,
+    const std::vector<extractor::SocketHandler>& sockets) const
+{
+  const llm::BackendRegistry& registry = *options_.registry;
+  const size_t per_backend = drivers.size() + sockets.size();
+
+  ServiceResult result;
+  result.runs.resize(options_.backends.size());
+  std::vector<Task> tasks;
+  for (size_t b = 0; b < options_.backends.size(); ++b) {
+    BackendRun& run = result.runs[b];
+    run.backend = options_.backends[b];
+    run.report.backend = run.backend;
+    if (!registry.Find(run.backend)) {
+      run.report.known = false;  // Reported, not generated.
+      continue;
+    }
+    for (size_t i = 0; i < drivers.size(); ++i) {
+      tasks.push_back({b, i, false, &drivers[i], nullptr});
+    }
+    for (size_t i = 0; i < sockets.size(); ++i) {
+      tasks.push_back({b, drivers.size() + i, true, nullptr, &sockets[i]});
+    }
+    run.generations.resize(per_backend);
+  }
+
+  // The const table is a pure function of the shared immutable index;
+  // build it once and share it across every task's generator.
+  const syzlang::ConstTable consts = index_->BuildConstTable();
+
+  // Independent deterministic tasks drained from a shared counter:
+  // scheduling affects only wall-clock, results land in their slots.
+  std::vector<TaskResult> outputs(tasks.size());
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      size_t t = next.fetch_add(1);
+      if (t >= tasks.size()) return;
+      const Task& task = tasks[t];
+      llm::TokenMeter meter;
+      meter.SetKeepText(false);
+      std::unique_ptr<llm::Backend> backend = registry.Create(
+          result.runs[task.run_index].backend, index_, &meter);
+      KernelGpt generator(index_, options_.gen, backend.get(), &consts);
+      TaskResult& out = outputs[t];
+      out.gen = task.is_socket ? generator.GenerateForSocket(*task.socket)
+                               : generator.GenerateForDriver(*task.driver);
+      out.queries = meter.query_count();
+      out.input_tokens = meter.total_input_tokens();
+      out.output_tokens = meter.total_output_tokens();
+    }
+  };
+
+  const int num_threads =
+      static_cast<int>(std::min<size_t>(
+          static_cast<size_t>(options_.num_threads),
+          tasks.empty() ? 1 : tasks.size()));
+  if (num_threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(num_threads));
+    for (int i = 0; i < num_threads; ++i) threads.emplace_back(worker);
+    for (std::thread& thread : threads) thread.join();
+  }
+
+  // Aggregate in task (input) order so reports are reproducible.
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    const Task& task = tasks[t];
+    TaskResult& out = outputs[t];
+    BackendRun& run = result.runs[task.run_index];
+    BackendReport& report = run.report;
+    ++report.handlers;
+    switch (out.gen.status) {
+      case GenStatus::kValidDirect:
+        ++report.valid;
+        break;
+      case GenStatus::kRepaired:
+        ++report.repaired;
+        break;
+      case GenStatus::kFailed:
+        ++report.failed;
+        break;
+    }
+    if (out.gen.status != GenStatus::kFailed) {
+      report.syscalls += out.gen.SyscallCount();
+      report.types += out.gen.TypeCount();
+    }
+    report.queries += out.queries;
+    report.input_tokens += out.input_tokens;
+    report.output_tokens += out.output_tokens;
+    run.generations[task.slot] = std::move(out.gen);
+  }
+  for (BackendRun& run : result.runs) {
+    const llm::BackendInfo* info = registry.Find(run.backend);
+    if (!info) continue;
+    run.report.cost_usd = info->pricing.Cost(run.report.input_tokens,
+                                             run.report.output_tokens);
+  }
+  return result;
+}
+
+}  // namespace kernelgpt::spec_gen

@@ -1,0 +1,97 @@
+/// \file
+/// Parallel spec-generation service: fans a fixed handler set out across
+/// one or more registry backends, generating every handler's specification
+/// on a deterministic worker pool and aggregating a per-backend
+/// cost/quality report (tokens, $-estimate under the registry's pricing,
+/// valid/repaired/failed counts).
+///
+/// Determinism contract: each (backend, handler) pair is one independent
+/// task with its own meter and generator, so results are byte-identical
+/// for any thread count — the orchestrator-style sharding only changes
+/// wall-clock, never output. The ctest gate in scripts/ci.sh replays the
+/// same set at 1 and 4 threads and diffs the printed specs.
+
+#ifndef KERNELGPT_SPEC_GEN_SERVICE_H_
+#define KERNELGPT_SPEC_GEN_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "extractor/handler_finder.h"
+#include "ksrc/definition_index.h"
+#include "llm/registry.h"
+#include "spec_gen/kernelgpt.h"
+
+namespace kernelgpt::spec_gen {
+
+/// Service configuration.
+struct ServiceOptions {
+  /// Registry names to fan the handler set across (unknown names are
+  /// reported with zero handlers and `known == false`).
+  std::vector<std::string> backends = {"gpt-4"};
+  /// Worker threads; results are independent of this value.
+  int num_threads = 1;
+  /// Per-handler generation options (`gen.profile` is ignored — each
+  /// backend's registered profile drives the generation).
+  Options gen;
+  /// Registry to resolve names against; nullptr = the default registry.
+  const llm::BackendRegistry* registry = nullptr;
+};
+
+/// Cost/quality aggregate for one backend over the whole handler set.
+struct BackendReport {
+  std::string backend;
+  bool known = true;      ///< False when the registry had no such name.
+  size_t handlers = 0;    ///< Handlers attempted.
+  size_t valid = 0;       ///< Passed validation directly.
+  size_t repaired = 0;    ///< Needed at least one repair round.
+  size_t failed = 0;      ///< Unusable after repair.
+  size_t syscalls = 0;    ///< Described syscalls across usable handlers.
+  size_t types = 0;       ///< Recovered struct types across usable handlers.
+  size_t queries = 0;     ///< LLM exchanges (retries included).
+  size_t input_tokens = 0;
+  size_t output_tokens = 0;
+  double cost_usd = 0;    ///< Token totals under this backend's pricing.
+};
+
+/// One backend's full pass over the handler set.
+struct BackendRun {
+  std::string backend;
+  /// Generations in input order: all drivers first, then all sockets.
+  std::vector<HandlerGeneration> generations;
+  BackendReport report;
+};
+
+/// Result of one service invocation, runs ordered as requested.
+struct ServiceResult {
+  std::vector<BackendRun> runs;
+
+  const BackendRun* Find(const std::string& backend) const {
+    for (const auto& run : runs) {
+      if (run.backend == backend) return &run;
+    }
+    return nullptr;
+  }
+};
+
+/// The generation pool bound to one kernel index.
+class SpecGenService {
+ public:
+  SpecGenService(const ksrc::DefinitionIndex* index, ServiceOptions options);
+
+  /// Generates every driver and socket handler on every configured
+  /// backend. Thread-count independent; safe to call repeatedly.
+  ServiceResult Generate(
+      const std::vector<extractor::DriverHandler>& drivers,
+      const std::vector<extractor::SocketHandler>& sockets) const;
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  const ksrc::DefinitionIndex* index_;
+  ServiceOptions options_;
+};
+
+}  // namespace kernelgpt::spec_gen
+
+#endif  // KERNELGPT_SPEC_GEN_SERVICE_H_

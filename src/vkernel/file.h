@@ -112,10 +112,30 @@ class ExecContext {
   std::string crash_title_;
 };
 
+class FileHandler;
+
+/// Recycling sink for pooled handlers. A driver that pools its handler
+/// objects (to cut per-open allocations on the fuzzing hot path) tags
+/// each handler with its recycler; the kernel hands the handler back
+/// when the last descriptor referencing it goes away instead of letting
+/// it be destroyed. Implementations must fully re-initialize a recycled
+/// handler before reissuing it, so pooling is observationally identical
+/// to fresh allocation.
+class HandlerRecycler {
+ public:
+  virtual ~HandlerRecycler() = default;
+  virtual void Recycle(std::shared_ptr<FileHandler> handler) = 0;
+};
+
 /// Handler bound to one open file descriptor.
 class FileHandler {
  public:
   virtual ~FileHandler() = default;
+
+  /// Pool this handler returns to when its last kernel reference drops;
+  /// nullptr (the default) means plain destruction.
+  HandlerRecycler* recycler() const { return recycler_; }
+  void set_recycler(HandlerRecycler* recycler) { recycler_ = recycler; }
 
   /// ioctl(fd, cmd, arg). `arg` may be nullptr when the spec passes a
   /// scalar third argument.
@@ -156,6 +176,9 @@ class FileHandler {
     (void)ctx;
     (void)kernel;
   }
+
+ private:
+  HandlerRecycler* recycler_ = nullptr;
 };
 
 /// Handler bound to one open socket.
@@ -236,8 +259,10 @@ class DeviceDriver {
   virtual std::string NodePath() const = 0;
 
   /// open() on the node; returns the per-file handler or nullptr with a
-  /// negative errno in `*err`.
-  virtual std::unique_ptr<FileHandler> Open(ExecContext& ctx, Kernel& kernel,
+  /// negative errno in `*err`. Returned as shared_ptr so pooled drivers
+  /// can reuse both the handler object and its control block across
+  /// opens (the kernel's fd table is shared_ptr-based for dup()).
+  virtual std::shared_ptr<FileHandler> Open(ExecContext& ctx, Kernel& kernel,
                                             long* err) = 0;
 
   /// Called between fuzz programs to reset module-global state.
@@ -255,8 +280,9 @@ class SocketFamily {
   /// AF_* domain value this family is registered under.
   virtual uint64_t Domain() const = 0;
 
-  /// socket(domain, type, protocol).
-  virtual std::unique_ptr<SocketHandler> Create(uint64_t type,
+  /// socket(domain, type, protocol). shared_ptr for the same pooling
+  /// reasons as DeviceDriver::Open.
+  virtual std::shared_ptr<SocketHandler> Create(uint64_t type,
                                                 uint64_t protocol,
                                                 ExecContext& ctx,
                                                 Kernel& kernel, long* err) = 0;

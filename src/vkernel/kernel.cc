@@ -121,12 +121,27 @@ Kernel::EndBatch()
 }
 
 void
+Kernel::RecycleIfPooled(std::shared_ptr<FileHandler> handler)
+{
+  // Only the pool may keep references once the kernel hands a handler
+  // back; with dup()'d descriptors the last entry to drop does the
+  // recycling (earlier drops see use_count > 1 and fall through to a
+  // plain reference drop).
+  if (!handler || handler.use_count() != 1) return;
+  HandlerRecycler* recycler = handler->recycler();
+  if (recycler) recycler->Recycle(std::move(handler));
+}
+
+void
 Kernel::EndProgram(ExecContext& ctx)
 {
   // Release in fd order (deterministic; the old hash table iterated in
   // unspecified order).
   for (auto& entry : files_) {
     if (entry.handler) entry.handler->Release(ctx, *this);
+  }
+  for (auto& entry : files_) {
+    RecycleIfPooled(std::move(entry.handler));
   }
   files_.clear();
 }
@@ -173,9 +188,9 @@ Kernel::Openat(std::string_view path, uint64_t flags, ExecContext& ctx)
   // dirty from here on regardless of the outcome.
   MarkDeviceDirty(it->second.second);
   long err = 0;
-  std::unique_ptr<FileHandler> handler = driver->Open(ctx, *this, &err);
+  std::shared_ptr<FileHandler> handler = driver->Open(ctx, *this, &err);
   if (!handler) return err != 0 ? err : -kENODEV;
-  return InstallFile(std::shared_ptr<FileHandler>(std::move(handler)));
+  return InstallFile(std::move(handler));
 }
 
 long
@@ -191,7 +206,10 @@ Kernel::Close(long fd, ExecContext& ctx)
   for (const auto& entry : files_) {
     if (entry.handler == handler) still_open = true;
   }
-  if (!still_open) handler->Release(ctx, *this);
+  if (!still_open) {
+    handler->Release(ctx, *this);
+    RecycleIfPooled(std::move(handler));
+  }
   return 0;
 }
 
@@ -260,11 +278,10 @@ Kernel::Socket(uint64_t domain, uint64_t type, uint64_t protocol,
     if (family->Domain() != domain) continue;
     domain_seen = true;
     MarkFamilyDirty(i);
-    std::unique_ptr<SocketHandler> handler =
+    std::shared_ptr<SocketHandler> handler =
         family->Create(type, protocol, ctx, *this, &err);
     if (handler) {
-      return InstallEntry(std::shared_ptr<FileHandler>(std::move(handler)),
-                          /*is_socket=*/true);
+      return InstallEntry(std::move(handler), /*is_socket=*/true);
     }
   }
   if (!domain_seen) return -kEAFNOSUPPORT;

@@ -102,6 +102,10 @@ class Kernel {
  private:
   SocketHandler* LookupSocket(long fd) const;
 
+  /// Returns a handler to its pool when the kernel held the last
+  /// reference and the handler is pooled; otherwise just drops the ref.
+  void RecycleIfPooled(std::shared_ptr<FileHandler> handler);
+
   std::vector<std::unique_ptr<DeviceDriver>> devices_;
   std::vector<std::unique_ptr<SocketFamily>> families_;
 

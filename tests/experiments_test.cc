@@ -162,6 +162,7 @@ TEST(AblationContextTest, AllInOneProducesFewerSyscalls)
   ContextOptions all_in_one;
   all_in_one.gen.iterative = false;
   all_in_one.gen.profile.context_tokens = 1200;
+  all_in_one.backend.clear();  // Hand-tuned profile needs the legacy path.
   ExperimentContext single(all_in_one);
   size_t iter_total = 0;
   size_t single_total = 0;

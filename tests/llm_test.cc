@@ -1,5 +1,6 @@
 // Tests for the simulated analysis LLM: capability-profile behaviour,
-// per-stage analyses, determinism, and token metering.
+// per-stage analyses, determinism, token metering, and the backend
+// registry (profiles as data, pricing, wrapper backends).
 
 #include <gtest/gtest.h>
 
@@ -7,6 +8,8 @@
 #include "extractor/handler_finder.h"
 #include "ksrc/cparser.h"
 #include "llm/engine.h"
+#include "llm/flaky_backend.h"
+#include "llm/registry.h"
 
 namespace kernelgpt::llm {
 namespace {
@@ -63,7 +66,7 @@ TEST(ProfileTest, ProfilesDifferInDraws)
 TEST_F(EngineTest, DelegationReportedAsUnknown)
 {
   TokenMeter meter;
-  AnalysisEngine engine(index_, Gpt4(), &meter);
+  SimulatedBackend engine(index_, Gpt4(), &meter);
   IdentifierAnalysis step1 =
       engine.AnalyzeIdentifiers("dm_ctl_ioctl", "usage", "dm", 1);
   EXPECT_TRUE(step1.commands.empty());
@@ -74,7 +77,7 @@ TEST_F(EngineTest, DelegationReportedAsUnknown)
 TEST_F(EngineTest, ModifiedSwitchReverseMapped)
 {
   TokenMeter meter;
-  AnalysisEngine engine(index_, Gpt4(), &meter);
+  SimulatedBackend engine(index_, Gpt4(), &meter);
   IdentifierAnalysis analysis =
       engine.AnalyzeIdentifiers("dm_ctl_do_ioctl", "usage", "dm", 2);
   ASSERT_FALSE(analysis.commands.empty());
@@ -90,7 +93,7 @@ TEST_F(EngineTest, ModifiedSwitchReverseMapped)
 TEST_F(EngineTest, Gpt35UsesRawNrLabels)
 {
   TokenMeter meter;
-  AnalysisEngine engine(index_, Gpt35(), &meter);
+  SimulatedBackend engine(index_, Gpt35(), &meter);
   IdentifierAnalysis analysis =
       engine.AnalyzeIdentifiers("dm_ctl_do_ioctl", "usage", "dm", 2);
   for (const auto& cmd : analysis.commands) {
@@ -103,7 +106,7 @@ TEST_F(EngineTest, DepthLimitStopsAnalysis)
   TokenMeter meter;
   ModelProfile shallow = Gpt4();
   shallow.max_delegation_depth = 1;
-  AnalysisEngine engine(index_, shallow, &meter);
+  SimulatedBackend engine(index_, shallow, &meter);
   IdentifierAnalysis analysis =
       engine.AnalyzeIdentifiers("dm_ctl_do_ioctl", "usage", "dm", 2);
   EXPECT_TRUE(analysis.commands.empty());
@@ -113,7 +116,7 @@ TEST_F(EngineTest, DepthLimitStopsAnalysis)
 TEST_F(EngineTest, TableLookupComprehension)
 {
   TokenMeter meter;
-  AnalysisEngine engine(index_, Gpt4(), &meter);
+  SimulatedBackend engine(index_, Gpt4(), &meter);
   // ubi's dispatcher calls ubi_lookup_ioctl; the lookup function's table
   // yields the commands.
   IdentifierAnalysis top =
@@ -124,7 +127,7 @@ TEST_F(EngineTest, TableLookupComprehension)
   EXPECT_GE(table.commands.size(), 5u);
 
   // GPT-3.5 does not model dispatch tables.
-  AnalysisEngine weak(index_, Gpt35(), &meter);
+  SimulatedBackend weak(index_, Gpt35(), &meter);
   IdentifierAnalysis none = weak.AnalyzeIdentifiers(
       top.unknowns[0].identifier, top.unknowns[0].usage, "ubi", 2);
   EXPECT_TRUE(none.commands.empty());
@@ -133,7 +136,7 @@ TEST_F(EngineTest, TableLookupComprehension)
 TEST_F(EngineTest, ArgTypeAnalysisRecoversStructAndConstraints)
 {
   TokenMeter meter;
-  AnalysisEngine engine(index_, Gpt4(), &meter);
+  SimulatedBackend engine(index_, Gpt4(), &meter);
   ArgTypeAnalysis analysis =
       engine.AnalyzeArgumentType("kvm_vm_kvm_set_user_memory_region", "kvm");
   EXPECT_EQ(analysis.arg_struct, "kvm_userspace_memory_region");
@@ -157,7 +160,7 @@ TEST_F(EngineTest, ArgTypeAnalysisRecoversStructAndConstraints)
 TEST_F(EngineTest, OutDirectionFromCopyToUser)
 {
   TokenMeter meter;
-  AnalysisEngine engine(index_, Gpt4(), &meter);
+  SimulatedBackend engine(index_, Gpt4(), &meter);
   ArgTypeAnalysis analysis =
       engine.AnalyzeArgumentType("kvm_vcpu_kvm_get_regs", "kvm");
   EXPECT_EQ(analysis.dir, syzlang::Dir::kOut);
@@ -166,7 +169,7 @@ TEST_F(EngineTest, OutDirectionFromCopyToUser)
 TEST_F(EngineTest, StructRecoveryLenSemantics)
 {
   TokenMeter meter;
-  AnalysisEngine engine(index_, Gpt4(), &meter);
+  SimulatedBackend engine(index_, Gpt4(), &meter);
   StructRecovery rec = engine.RecoverStruct("cec_msg", "cec", {}, {});
   const syzlang::Field* len = nullptr;
   for (const auto& f : rec.def.fields) {
@@ -180,7 +183,7 @@ TEST_F(EngineTest, StructRecoveryLenSemantics)
 TEST_F(EngineTest, StructRecoveryNestedUnknown)
 {
   TokenMeter meter;
-  AnalysisEngine engine(index_, Gpt4(), &meter);
+  SimulatedBackend engine(index_, Gpt4(), &meter);
   // Craft a synthetic nested case via the corpus: any struct referencing
   // another struct by value reports a kType unknown. dm has none, so use
   // an inline source.
@@ -189,7 +192,7 @@ TEST_F(EngineTest, StructRecoveryNestedUnknown)
                   "struct outer { struct inner i; __u64 y; };\n",
                   "t.c");
   local.ResolveMacros();
-  AnalysisEngine nested(&local, Gpt4(), &meter);
+  SimulatedBackend nested(&local, Gpt4(), &meter);
   StructRecovery rec = nested.RecoverStruct("outer", "t", {}, {});
   ASSERT_EQ(rec.unknowns.size(), 1u);
   EXPECT_EQ(rec.unknowns[0].identifier, "inner");
@@ -199,7 +202,7 @@ TEST_F(EngineTest, StructRecoveryNestedUnknown)
 TEST_F(EngineTest, DependencyAnalysisFindsAnonInode)
 {
   TokenMeter meter;
-  AnalysisEngine engine(index_, Gpt4(), &meter);
+  SimulatedBackend engine(index_, Gpt4(), &meter);
   DependencyAnalysis dep =
       engine.AnalyzeDependencies("kvm_dev_kvm_create_vm", "kvm");
   ASSERT_EQ(dep.created.size(), 1u);
@@ -210,7 +213,7 @@ TEST_F(EngineTest, DependencyAnalysisFindsAnonInode)
 TEST_F(EngineTest, DeviceNodeInferenceNodename)
 {
   TokenMeter meter;
-  AnalysisEngine engine(index_, Gpt4(), &meter);
+  SimulatedBackend engine(index_, Gpt4(), &meter);
   auto handlers = extractor::FindDriverHandlers(*index_);
   for (const auto& h : handlers) {
     if (h.file_path != "drivers/dm.c" ||
@@ -221,7 +224,7 @@ TEST_F(EngineTest, DeviceNodeInferenceNodename)
     // A nodename-blind model falls back to .name (the SyzDescribe error).
     ModelProfile blind = Gpt4();
     blind.understands_nodename = false;
-    AnalysisEngine weak(index_, blind, &meter);
+    SimulatedBackend weak(index_, blind, &meter);
     EXPECT_EQ(weak.InferDeviceNode(h, "dm"), "/dev/device-mapper");
   }
 }
@@ -229,7 +232,7 @@ TEST_F(EngineTest, DeviceNodeInferenceNodename)
 TEST_F(EngineTest, SocketCreateAnalysis)
 {
   TokenMeter meter;
-  AnalysisEngine engine(index_, Gpt4(), &meter);
+  SimulatedBackend engine(index_, Gpt4(), &meter);
   SocketCreateAnalysis create =
       engine.AnalyzeSocketCreate("rds_create", "rds");
   EXPECT_EQ(create.type_macro, "SOCK_SEQPACKET");
@@ -244,12 +247,235 @@ TEST_F(EngineTest, SocketCreateAnalysis)
 TEST_F(EngineTest, MeterCountsTokens)
 {
   TokenMeter meter;
-  AnalysisEngine engine(index_, Gpt4(), &meter);
+  SimulatedBackend engine(index_, Gpt4(), &meter);
   engine.AnalyzeIdentifiers("dm_ctl_ioctl", "usage", "dm", 1);
   EXPECT_EQ(meter.query_count(), 1u);
   EXPECT_GT(meter.total_input_tokens(), 20u);
   EXPECT_GT(meter.total_output_tokens(), 0u);
   EXPECT_GT(meter.CostUsd(), 0.0);
+}
+
+TEST(ProfileTest, DecideIsPlatformStable)
+{
+  // Decide must be a pure function of (profile name, key, rate) with the
+  // documented FNV-1a + hash-combine + 53-bit-mantissa formula — the
+  // same handlers must fail on every machine, or recorded experiment
+  // tables stop reproducing. Re-derive the expectation from first
+  // principles so a drive-by change to StableHash/HashCombine/Decide
+  // arithmetic fails here instead of silently reshuffling history.
+  auto fnv1a = [](const std::string& s) {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 0x100000001b3ULL;
+    }
+    return h;
+  };
+  auto combine = [](uint64_t a, uint64_t b) {
+    return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  };
+  for (const char* name : {"gpt-4", "gpt-3.5", "gpt-4-mini"}) {
+    ModelProfile p;
+    p.name = name;
+    for (const char* key : {"miss/v66:dm:DM_VERSION", "flaw:kvm:ioctl",
+                            "repairable/v39|cec", "wrongtype:ubi:x:y"}) {
+      uint64_t h = combine(fnv1a(name), fnv1a(key));
+      double unit =
+          static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+      for (double rate : {0.015, 0.25, 0.5, 0.86}) {
+        EXPECT_EQ(p.Decide(key, rate), unit < rate)
+            << name << " / " << key << " @ " << rate;
+      }
+    }
+  }
+}
+
+TEST(TokenMeterTest, PresetCountsAreNotReestimated)
+{
+  TokenMeter meter;
+  QueryRecord preset;
+  preset.stage = "retry";
+  preset.input_tokens = 1234;
+  preset.output_tokens = 7;
+  meter.Record(std::move(preset));
+  EXPECT_EQ(meter.total_input_tokens(), 1234u);
+  EXPECT_EQ(meter.total_output_tokens(), 7u);
+}
+
+TEST(TokenMeterTest, EmptyExchangeCountsZero)
+{
+  TokenMeter meter;
+  meter.Record(QueryRecord{});
+  EXPECT_EQ(meter.query_count(), 1u);
+  EXPECT_EQ(meter.total_input_tokens(), 0u);
+  EXPECT_EQ(meter.AvgInputTokens(), 0.0);
+  EXPECT_EQ(meter.CostUsd(), 0.0);
+}
+
+TEST(TokenMeterTest, KeepTextFalseDropsTextKeepsCounts)
+{
+  TokenMeter meter;
+  meter.SetKeepText(false);
+  QueryRecord record;
+  record.prompt = "some prompt text that is long enough to count";
+  record.response = "short answer";
+  meter.Record(std::move(record));
+  EXPECT_TRUE(meter.records()[0].prompt.empty());
+  EXPECT_TRUE(meter.records()[0].response.empty());
+  EXPECT_GT(meter.total_input_tokens(), 0u);
+  EXPECT_GT(meter.total_output_tokens(), 0u);
+}
+
+TEST_F(EngineTest, PromptTruncatedToContextWindow)
+{
+  // A backend with a tiny window never meters (or "sees") more prompt
+  // than fits: the stored prompt is cut at context_tokens * 4 chars and
+  // the metered input cost is bounded accordingly.
+  TokenMeter full_meter;
+  SimulatedBackend full(index_, Gpt4(), &full_meter);
+  full.AnalyzeIdentifiers("dm_ctl_do_ioctl", "usage", "dm", 2);
+  const size_t full_prompt = full_meter.records().back().prompt.size();
+
+  ModelProfile tiny = Gpt4();
+  tiny.context_tokens = 20;  // 80 chars.
+  TokenMeter meter;
+  SimulatedBackend backend(index_, tiny, &meter);
+  backend.AnalyzeIdentifiers("dm_ctl_do_ioctl", "usage", "dm", 2);
+  ASSERT_EQ(meter.query_count(), 1u);
+  const QueryRecord& record = meter.records().back();
+  ASSERT_GT(full_prompt, 80u);  // The untruncated prompt is bigger.
+  EXPECT_EQ(record.prompt.size(), 80u);
+  EXPECT_LE(record.input_tokens, 80u);
+
+  // Exactly-fitting prompts are not cut: a window as large as the full
+  // prompt keeps every byte.
+  ModelProfile fitted = Gpt4();
+  fitted.context_tokens = (full_prompt + 3) / 4;
+  TokenMeter fit_meter;
+  SimulatedBackend fit(index_, fitted, &fit_meter);
+  fit.AnalyzeIdentifiers("dm_ctl_do_ioctl", "usage", "dm", 2);
+  EXPECT_EQ(fit_meter.records().back().prompt.size(), full_prompt);
+}
+
+// ---------------------------------------------------------------------------
+// Backend registry
+// ---------------------------------------------------------------------------
+
+TEST(RegistryTest, BuiltInsExposeProfilesAsData)
+{
+  const BackendRegistry& registry = BackendRegistry::Default();
+  std::vector<std::string> names = registry.Names();
+  ASSERT_GE(names.size(), 6u);
+  EXPECT_EQ(names[0], "gpt-4");  // Report ordering is registration order.
+
+  const BackendInfo* gpt4 = registry.Find("gpt-4");
+  ASSERT_NE(gpt4, nullptr);
+  ModelProfile legacy = Gpt4();
+  EXPECT_EQ(gpt4->profile.name, legacy.name);
+  EXPECT_EQ(gpt4->profile.miss_command_rate, legacy.miss_command_rate);
+  EXPECT_EQ(gpt4->profile.repair_success_rate, legacy.repair_success_rate);
+  EXPECT_EQ(gpt4->profile.context_tokens, legacy.context_tokens);
+
+  EXPECT_NE(registry.Find("gpt-4-mini"), nullptr);
+  EXPECT_GT(registry.Find("gpt-4-long")->profile.context_tokens,
+            gpt4->profile.context_tokens);
+  EXPECT_EQ(registry.Find("nonexistent"), nullptr);
+}
+
+TEST(RegistryTest, CreateUnknownReturnsNull)
+{
+  TokenMeter meter;
+  EXPECT_EQ(BackendRegistry::Default().Create("no-such-model", nullptr,
+                                              &meter),
+            nullptr);
+}
+
+TEST(RegistryTest, RegisterReplacesInPlace)
+{
+  BackendRegistry registry = BackendRegistry::BuiltIns();
+  size_t before = registry.Names().size();
+  ModelProfile p = Gpt4();
+  p.miss_command_rate = 0.99;
+  registry.Register({"gpt-4", p, {1.0, 2.0}, "patched"});
+  EXPECT_EQ(registry.Names().size(), before);
+  EXPECT_EQ(registry.Names()[0], "gpt-4");  // Kept its position.
+  EXPECT_EQ(registry.Find("gpt-4")->profile.miss_command_rate, 0.99);
+}
+
+TEST(RegistryTest, PricingDrivesCostEstimate)
+{
+  const BackendRegistry& registry = BackendRegistry::Default();
+  TokenMeter meter;
+  QueryRecord record;
+  record.input_tokens = 1000000;  // $ == usd_per_m_input at 1M/1M tokens.
+  record.output_tokens = 1000000;
+  meter.Record(std::move(record));
+  double gpt4 = registry.CostUsd("gpt-4", meter);
+  double gpt35 = registry.CostUsd("gpt-3.5", meter);
+  EXPECT_DOUBLE_EQ(gpt4, 40.0);  // $10/M in + $30/M out.
+  EXPECT_LT(gpt35, gpt4);        // The weak tier is the cheap tier.
+  // Unknown names fall back to default pricing instead of crashing.
+  EXPECT_DOUBLE_EQ(registry.CostUsd("no-such-model", meter), 40.0);
+}
+
+TEST_F(EngineTest, RegistryBackendMatchesDirectConstruction)
+{
+  TokenMeter meter_a;
+  std::unique_ptr<Backend> from_registry =
+      BackendRegistry::Default().Create("gpt-4", index_, &meter_a);
+  ASSERT_NE(from_registry, nullptr);
+  TokenMeter meter_b;
+  SimulatedBackend direct(index_, Gpt4(), &meter_b);
+
+  IdentifierAnalysis a =
+      from_registry->AnalyzeIdentifiers("dm_ctl_do_ioctl", "usage", "dm", 2);
+  IdentifierAnalysis b =
+      direct.AnalyzeIdentifiers("dm_ctl_do_ioctl", "usage", "dm", 2);
+  ASSERT_EQ(a.commands.size(), b.commands.size());
+  for (size_t i = 0; i < a.commands.size(); ++i) {
+    EXPECT_EQ(a.commands[i].macro, b.commands[i].macro);
+    EXPECT_EQ(a.commands[i].sub_function, b.commands[i].sub_function);
+  }
+  EXPECT_EQ(meter_a.total_input_tokens(), meter_b.total_input_tokens());
+  EXPECT_EQ(meter_a.total_output_tokens(), meter_b.total_output_tokens());
+}
+
+TEST_F(EngineTest, FlakyBackendSameAnswersHigherCost)
+{
+  TokenMeter flaky_meter;
+  std::unique_ptr<Backend> flaky =
+      BackendRegistry::Default().Create("gpt-4-flaky", index_, &flaky_meter);
+  ASSERT_NE(flaky, nullptr);
+  TokenMeter base_meter;
+  std::unique_ptr<Backend> base =
+      BackendRegistry::Default().Create("gpt-4", index_, &base_meter);
+
+  // Run a handful of queries; answers must match gpt-4 exactly while the
+  // metered cost picks up the injected retries.
+  for (const char* fn : {"dm_ctl_ioctl", "dm_ctl_do_ioctl", "ubi_ctl_ioctl",
+                         "kvm_dev_ioctl"}) {
+    IdentifierAnalysis a = flaky->AnalyzeIdentifiers(fn, "usage", "dm", 2);
+    IdentifierAnalysis b = base->AnalyzeIdentifiers(fn, "usage", "dm", 2);
+    ASSERT_EQ(a.commands.size(), b.commands.size()) << fn;
+    for (size_t i = 0; i < a.commands.size(); ++i) {
+      EXPECT_EQ(a.commands[i].macro, b.commands[i].macro);
+    }
+  }
+  EXPECT_GT(flaky_meter.query_count(), base_meter.query_count());
+  EXPECT_GT(flaky_meter.total_input_tokens(),
+            base_meter.total_input_tokens());
+
+  // Retries are deterministic: a second flaky pass reproduces the totals.
+  TokenMeter repeat_meter;
+  std::unique_ptr<Backend> repeat =
+      BackendRegistry::Default().Create("gpt-4-flaky", index_, &repeat_meter);
+  for (const char* fn : {"dm_ctl_ioctl", "dm_ctl_do_ioctl", "ubi_ctl_ioctl",
+                         "kvm_dev_ioctl"}) {
+    repeat->AnalyzeIdentifiers(fn, "usage", "dm", 2);
+  }
+  EXPECT_EQ(repeat_meter.query_count(), flaky_meter.query_count());
+  EXPECT_EQ(repeat_meter.total_input_tokens(),
+            flaky_meter.total_input_tokens());
 }
 
 TEST(FlagGroupTest, ExcludesCommandMacros)

@@ -8,6 +8,7 @@
 #include "drivers/corpus.h"
 #include "drivers/model_spec.h"
 #include "extractor/handler_finder.h"
+#include "llm/registry.h"
 #include "spec_gen/kernelgpt.h"
 #include "syzlang/printer.h"
 #include "syzlang/validator.h"
@@ -130,6 +131,38 @@ TEST_F(PipelineTest, DeterministicAcrossRuns)
   EXPECT_EQ(a.status, b.status);
   EXPECT_EQ(a.SyscallCount(), b.SyscallCount());
   EXPECT_EQ(syzlang::Print(a.spec), syzlang::Print(b.spec));
+}
+
+TEST_F(PipelineTest, RegistryBackendIsByteIdenticalToLegacyPath)
+{
+  // The refactor's parity contract: generation through
+  // BackendRegistry::Create("gpt-4") must be byte-identical — specs and
+  // token totals — to the pre-registry AnalysisEngine pipeline (the
+  // compat constructor that owns a SimulatedBackend).
+  for (const auto& dev : drivers::Corpus::Instance().LoadedDevices()) {
+    llm::TokenMeter legacy_meter;
+    KernelGpt legacy(index_, Options{}, &legacy_meter);
+    HandlerGeneration a = legacy.GenerateForDriver(Handler(dev->id));
+
+    llm::TokenMeter registry_meter;
+    std::unique_ptr<llm::Backend> backend =
+        llm::BackendRegistry::Default().Create("gpt-4", index_,
+                                               &registry_meter);
+    ASSERT_NE(backend, nullptr);
+    KernelGpt modern(index_, Options{}, backend.get());
+    HandlerGeneration b = modern.GenerateForDriver(Handler(dev->id));
+
+    EXPECT_EQ(a.status, b.status) << dev->id;
+    EXPECT_EQ(syzlang::Print(a.spec), syzlang::Print(b.spec)) << dev->id;
+    EXPECT_EQ(legacy_meter.query_count(), registry_meter.query_count())
+        << dev->id;
+    EXPECT_EQ(legacy_meter.total_input_tokens(),
+              registry_meter.total_input_tokens())
+        << dev->id;
+    EXPECT_EQ(legacy_meter.total_output_tokens(),
+              registry_meter.total_output_tokens())
+        << dev->id;
+  }
 }
 
 TEST_F(PipelineTest, AllInOneAblationShrinksOutput)

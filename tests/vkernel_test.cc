@@ -38,12 +38,12 @@ class TestDriver : public DeviceDriver {
  public:
   std::string Name() const override { return "testdev"; }
   std::string NodePath() const override { return "/dev/testdev"; }
-  std::unique_ptr<FileHandler> Open(ExecContext& ctx, Kernel& kernel,
+  std::shared_ptr<FileHandler> Open(ExecContext& ctx, Kernel& kernel,
                                     long* err) override {
     (void)kernel;
     (void)err;
     ctx.Cover(1);
-    return std::make_unique<TestHandler>();
+    return std::make_shared<TestHandler>();
   }
 };
 
@@ -63,7 +63,7 @@ class TestFamily : public SocketFamily {
  public:
   std::string Name() const override { return "testsock"; }
   uint64_t Domain() const override { return 42; }
-  std::unique_ptr<SocketHandler> Create(uint64_t type, uint64_t protocol,
+  std::shared_ptr<SocketHandler> Create(uint64_t type, uint64_t protocol,
                                         ExecContext& ctx, Kernel& kernel,
                                         long* err) override {
     (void)kernel;
@@ -73,7 +73,7 @@ class TestFamily : public SocketFamily {
       return nullptr;
     }
     ctx.Cover(800);
-    return std::make_unique<TestSocket>();
+    return std::make_shared<TestSocket>();
   }
 };
 
@@ -191,6 +191,92 @@ TEST_F(KernelTest, BeginProgramResetsFdTable)
   long fd = kernel_.Openat("/dev/testdev", 0, ctx);
   kernel_.BeginProgram();
   EXPECT_EQ(kernel_.Ioctl(fd, 1, nullptr, ctx), -kEBADF);
+}
+
+/// A pool that counts hand-backs, for the recycling-contract tests.
+class CountingPool : public HandlerRecycler {
+ public:
+  void Recycle(std::shared_ptr<FileHandler> handler) override {
+    ++recycled;
+    last = std::move(handler);
+  }
+  int recycled = 0;
+  std::shared_ptr<FileHandler> last;
+};
+
+/// Driver issuing pool-tagged handlers (the model-runtime pattern).
+class PooledDriver : public DeviceDriver {
+ public:
+  explicit PooledDriver(CountingPool* pool) : pool_(pool) {}
+  std::string Name() const override { return "pooled"; }
+  std::string NodePath() const override { return "/dev/pooled"; }
+  std::shared_ptr<FileHandler> Open(ExecContext& ctx, Kernel& kernel,
+                                    long* err) override {
+    (void)ctx;
+    (void)kernel;
+    (void)err;
+    std::shared_ptr<FileHandler> handler;
+    if (pool_->last) {
+      handler = std::move(pool_->last);
+    } else {
+      handler = std::make_shared<TestHandler>();
+      handler->set_recycler(pool_);
+    }
+    return handler;
+  }
+
+ private:
+  CountingPool* pool_;
+};
+
+class RecycleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kernel_.RegisterDevice(std::make_unique<PooledDriver>(&pool_));
+    kernel_.BeginProgram();
+  }
+  CountingPool pool_;
+  Kernel kernel_;
+  Coverage cov_;
+};
+
+TEST_F(RecycleTest, CloseHandsHandlerBackAfterRelease)
+{
+  TestHandler::release_count = 0;
+  ExecContext ctx(&cov_);
+  long fd = kernel_.Openat("/dev/pooled", 0, ctx);
+  ASSERT_GE(fd, 3);
+  FileHandler* raw = kernel_.LookupFd(fd);
+  EXPECT_EQ(kernel_.Close(fd, ctx), 0);
+  EXPECT_EQ(TestHandler::release_count, 1);  // Release before recycle.
+  EXPECT_EQ(pool_.recycled, 1);
+  ASSERT_NE(pool_.last, nullptr);
+  EXPECT_EQ(pool_.last.get(), raw);  // Same object, same control block.
+
+  // Re-open reuses the pooled object without a second allocation.
+  long fd2 = kernel_.Openat("/dev/pooled", 0, ctx);
+  EXPECT_EQ(kernel_.LookupFd(fd2), raw);
+}
+
+TEST_F(RecycleTest, DupRecyclesOnlyOnLastClose)
+{
+  ExecContext ctx(&cov_);
+  long fd = kernel_.Openat("/dev/pooled", 0, ctx);
+  long fd2 = kernel_.Dup(fd, ctx);
+  EXPECT_EQ(kernel_.Close(fd, ctx), 0);
+  EXPECT_EQ(pool_.recycled, 0);  // fd2 still references the handler.
+  EXPECT_EQ(kernel_.Close(fd2, ctx), 0);
+  EXPECT_EQ(pool_.recycled, 1);
+}
+
+TEST_F(RecycleTest, EndProgramRecyclesOpenHandlers)
+{
+  ExecContext ctx(&cov_);
+  long fd = kernel_.Openat("/dev/pooled", 0, ctx);
+  ASSERT_GE(fd, 3);
+  kernel_.EndProgram(ctx);
+  EXPECT_EQ(pool_.recycled, 1);
+  EXPECT_EQ(kernel_.LookupFd(fd), nullptr);
 }
 
 TEST(CoverageTest, MergeAndDiff)
