@@ -11,6 +11,8 @@
 #include "fuzzer/campaign.h"
 #include "fuzzer/distiller.h"
 #include "fuzzer/generator.h"
+#include "fuzzer/session.h"
+#include "fuzzer/snapshot.h"
 #include "ksrc/cparser.h"
 #include "syzlang/parser.h"
 #include "syzlang/printer.h"
@@ -187,6 +189,50 @@ BM_Distill(benchmark::State& state)
                           static_cast<int64_t>(merged.size()));
 }
 BENCHMARK(BM_Distill);
+
+/// Session persistence cost: one full suite-snapshot round trip
+/// (serialize coverage + crashes + corpus + reproducers + trend records,
+/// then parse it back) for the distilled state of a real campaign;
+/// items = corpus programs, so items/sec is snapshot throughput per
+/// persisted program. In-memory on purpose — filesystem latency would
+/// drown the serialization signal on shared runners.
+void
+BM_SnapshotSaveLoad(benchmark::State& state)
+{
+  const auto& context = experiments::ExperimentContext::Default();
+  fuzzer::SpecLibrary lib = context.SyzkallerPlusKernelGptSuite();
+
+  fuzzer::SessionOptions options;
+  options.WithSeed(42).WithRounds(2).WithProgramBudget(8000).WithWorkers(4);
+  options.orchestrator.sync_interval = 200;
+  fuzzer::Session session = context.MakeSession(options);
+  if (!session.RegisterSuite("bench", &lib).ok() || !session.Run().ok()) {
+    state.SkipWithError("session setup failed");
+    return;
+  }
+  const fuzzer::SuiteState& st = *session.Find("bench");
+
+  fuzzer::SuiteSnapshot snapshot;
+  snapshot.name = st.name;
+  snapshot.fingerprint = fuzzer::SuiteFingerprint(lib);
+  snapshot.programs_executed = st.programs_executed;
+  snapshot.wall_seconds = st.wall_seconds;
+  snapshot.coverage = st.coverage.SortedBlocks();
+  snapshot.crashes = st.crashes;
+  snapshot.corpus = st.corpus;
+  snapshot.crash_reproducers = st.crash_reproducers;
+  snapshot.rounds = st.rounds;
+
+  for (auto _ : state) {
+    std::string text = fuzzer::SerializeSuite(snapshot, lib);
+    fuzzer::SuiteSnapshot parsed;
+    benchmark::DoNotOptimize(fuzzer::ParseSuite(text, lib, &parsed));
+    benchmark::DoNotOptimize(parsed.corpus.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(snapshot.corpus.size()));
+}
+BENCHMARK(BM_SnapshotSaveLoad);
 
 void
 BM_OrchestratorThroughput(benchmark::State& state)

@@ -7,6 +7,11 @@
 // and once on the 4-worker sharded orchestrator, and reports the
 // wall-clock speedup at equal program budget. Crash-dedup semantics are
 // identical on both paths (titles dedup crashes globally).
+//
+// Since PR 5 every Fuzz/DistillCorpus call below runs on a
+// fuzzer::Session under the hood (arithmetic seed schedule, no corpus
+// carry); the table's numbers are byte-identical to the pre-Session
+// pipeline — that equivalence is this bench's regression surface.
 
 #include <cstdio>
 

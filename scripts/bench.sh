@@ -3,7 +3,7 @@
 # either records a BENCH_prN.json trajectory file or gates against a
 # previously recorded baseline.
 #
-# Record: scripts/bench.sh [output.json]        (default BENCH_pr4.json)
+# Record: scripts/bench.sh [output.json]        (default BENCH_pr5.json)
 # Gate:   scripts/bench.sh --check baseline.json
 #   Re-measures BM_FuzzThroughput and fails (exit 1) when throughput
 #   regresses more than BENCH_TOLERANCE_PCT percent (default 25) below
@@ -19,7 +19,7 @@ BENCH_BIN="${BUILD_DIR}/bench/bench_perf_micro"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
 MODE="record"
-OUT="BENCH_pr4.json"
+OUT="BENCH_pr5.json"
 BASELINE=""
 if [ "${1:-}" = "--check" ]; then
   MODE="check"
@@ -121,7 +121,7 @@ echo "== running hot-path benchmarks =="
 # (and is meaningless on 1-CPU containers), so it would poison the
 # trajectory file.
 "${BENCH_BIN}" \
-  --benchmark_filter='BM_FuzzThroughput|BM_ExecutorDispatch|BM_CoverageMerge|BM_Distill|BM_KernelOpenClose' \
+  --benchmark_filter='BM_FuzzThroughput|BM_ExecutorDispatch|BM_CoverageMerge|BM_Distill|BM_KernelOpenClose|BM_SnapshotSaveLoad' \
   --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
   --benchmark_format=json > "${RAW}"
 
@@ -175,6 +175,16 @@ result = {
     "kernel_open_close": {
         "opens_per_sec": items_per_sec("BM_KernelOpenClose"),
         "ns_per_open_close": ns_per_item("BM_KernelOpenClose"),
+    },
+    # Session persistence (PR 5): one in-memory suite-snapshot round trip
+    # (serialize + parse of coverage, crashes, corpus, reproducers, trend
+    # records), per persisted corpus program.
+    "snapshot": {
+        "corpus_programs_per_sec": items_per_sec("BM_SnapshotSaveLoad"),
+        "us_per_corpus_program": (
+            round(ns_per_item("BM_SnapshotSaveLoad") / 1000.0, 2)
+            if ns_per_item("BM_SnapshotSaveLoad") else None
+        ),
     },
     # Between-campaign corpus distillation (PR 3): dedup + batched replay
     # + greedy cover + crash minimization, per merged-corpus program.

@@ -20,16 +20,18 @@ cmake --build "${BUILD_DIR}" -j"${JOBS}"
 (cd "${BUILD_DIR}" && ctest --output-on-failure --no-tests=error -j"${JOBS}")
 
 echo
-echo "== Determinism gate (orchestrator + distiller + spec_gen service) =="
+echo "== Determinism gate (orchestrator + distiller + service + session) =="
 # Two back-to-back sharded campaigns must produce identical merged
 # coverage bitmaps and deduplicated crash maps, a 1-worker run must be
 # bit-identical to the serial campaign loop, distilling the same merged
-# corpus twice must yield byte-identical corpora and reproducers, and
-# the spec-generation service must emit byte-identical specs at 1 and 4
-# worker threads (service_test). Rerun through ctest so the gate stays
-# in sync with the suites instead of a hand-picked gtest filter.
+# corpus twice must yield byte-identical corpora and reproducers, the
+# spec-generation service must emit byte-identical specs at 1 and 4
+# worker threads (service_test), and a Save/Resume'd fuzzing session must
+# be bit-identical to an uninterrupted run of the same rounds
+# (session_test). Rerun through ctest so the gate stays in sync with the
+# suites instead of a hand-picked gtest filter.
 (cd "${BUILD_DIR}" && ctest --output-on-failure --no-tests=error -j"${JOBS}" \
-    -R '^(orchestrator_test|distiller_test|service_test)$')
+    -R '^(orchestrator_test|distiller_test|service_test|session_test)$')
 
 echo
 echo "CI OK"

@@ -1,11 +1,11 @@
 #include "experiments/context.h"
 
-#include <cstdio>
-#include <cstdlib>
-
 #include "drivers/model_runtime.h"
 #include "extractor/handler_finder.h"
+#include "fuzzer/session.h"
 #include "llm/registry.h"
+#include "util/status.h"
+#include "util/strings.h"
 
 namespace kernelgpt::experiments {
 
@@ -25,14 +25,12 @@ ExperimentContext::ExperimentContext(const ContextOptions& options)
     backend = llm::BackendRegistry::Default().Create(options.backend,
                                                      &index_, &meter_);
     if (!backend) {
-      std::fprintf(stderr,
-                   "ExperimentContext: unknown backend '%s' (registered: ",
-                   options.backend.c_str());
-      for (const std::string& name : llm::BackendRegistry::Default().Names()) {
-        std::fprintf(stderr, "%s ", name.c_str());
-      }
-      std::fprintf(stderr, ")\n");
-      std::abort();
+      // A misconfigured backend name is a user error, not a bug:
+      // report it through the project's fatal-error convention.
+      util::Fatal(util::Format(
+          "ExperimentContext: unknown backend '%s' (registered: %s)",
+          options.backend.c_str(),
+          util::Join(llm::BackendRegistry::Default().Names(), ", ").c_str()));
     }
   }
   spec_gen::KernelGpt kernelgpt =
@@ -166,31 +164,57 @@ ExperimentContext::BootKernel(vkernel::Kernel* kernel) const
   drivers::Corpus::Instance().RegisterAll(kernel);
 }
 
+namespace {
+/// The suite name ExperimentContext sessions register their library
+/// under (one anonymous suite per Fuzz/DistillCorpus call).
+constexpr char kSessionSuite[] = "experiment";
+}  // namespace
+
+fuzzer::Session
+ExperimentContext::MakeSession(fuzzer::SessionOptions options) const
+{
+  return fuzzer::Session(
+      std::move(options),
+      [this](vkernel::Kernel* kernel) { BootKernel(kernel); });
+}
+
 ExperimentContext::FuzzSummary
 ExperimentContext::Fuzz(const fuzzer::SpecLibrary& lib, int program_budget,
                         int reps, uint64_t seed_base, int num_workers) const
 {
   FuzzSummary summary;
-  for (int rep = 0; rep < reps; ++rep) {
-    fuzzer::OrchestratorOptions options;
-    options.campaign.seed = seed_base + static_cast<uint64_t>(rep) * 7919;
-    options.campaign.program_budget = program_budget;
-    options.num_workers = num_workers;
-    fuzzer::OrchestratorResult result = fuzzer::RunShardedCampaign(
-        lib, [this](vkernel::Kernel* kernel) { BootKernel(kernel); }, options);
-    summary.avg_coverage += static_cast<double>(result.coverage.Count());
-    summary.avg_crashes += static_cast<double>(result.UniqueCrashCount());
-    summary.merged.Merge(result.coverage);
-    for (const auto& [title, count] : result.crashes) {
-      summary.crash_titles[title] += count;
-    }
-    summary.wall_seconds += result.wall_seconds;
-    if (rep == reps - 1) summary.corpus = std::move(result.corpus);
+  // A library with no syscalls cannot be registered as a Session suite;
+  // the historical contract for it was an all-zero summary.
+  if (reps <= 0 || lib.syscalls().empty()) return summary;
+
+  // Repetitions are the arithmetic seed schedule (seed_base + rep * 7919)
+  // with independent rounds: no corpus carry-over, no distillation —
+  // exactly the pre-Session per-rep campaign loop, bit for bit.
+  fuzzer::SessionOptions options;
+  options.WithSeed(seed_base)
+      .WithRounds(reps)
+      .WithSchedule(fuzzer::SeedSchedule::kArithmetic)
+      .WithSeedStride(7919)
+      .WithCarryCorpus(false)
+      .WithDistill(false)
+      .WithProgramBudget(program_budget)
+      .WithWorkers(num_workers);
+  fuzzer::Session session = MakeSession(options);
+  util::Status status = session.RegisterSuite(kSessionSuite, &lib);
+  if (status.ok()) status = session.Run();
+  if (!status.ok()) util::Fatal("ExperimentContext::Fuzz: " + status.message());
+
+  fuzzer::SuiteState& state = *session.Find(kSessionSuite);
+  for (const fuzzer::RoundReport& report : state.rounds) {
+    summary.avg_coverage += static_cast<double>(report.round_coverage);
+    summary.avg_crashes += static_cast<double>(report.round_unique_crashes);
+    summary.wall_seconds += report.wall_seconds;
   }
-  if (reps > 0) {
-    summary.avg_coverage /= reps;
-    summary.avg_crashes /= reps;
-  }
+  summary.merged = std::move(state.coverage);
+  summary.crash_titles = std::move(state.crashes);
+  summary.corpus = std::move(state.corpus);
+  summary.avg_coverage /= reps;
+  summary.avg_crashes /= reps;
   return summary;
 }
 
@@ -198,9 +222,20 @@ fuzzer::DistillResult
 ExperimentContext::DistillCorpus(const fuzzer::SpecLibrary& lib,
                                  const std::vector<fuzzer::Prog>& corpus) const
 {
-  fuzzer::Distiller distiller(
-      &lib, [this](vkernel::Kernel* kernel) { BootKernel(kernel); });
-  return distiller.Distill(corpus);
+  fuzzer::DistillResult result;
+  fuzzer::Session session = MakeSession(fuzzer::SessionOptions{});
+  util::Status status = session.RegisterSuite(kSessionSuite, &lib);
+  if (!status.ok()) {
+    // Legacy behavior for an unusable library: an empty result that still
+    // reports the input size.
+    result.stats.input_programs = corpus.size();
+    return result;
+  }
+  status = session.DistillInto(kSessionSuite, corpus, &result);
+  if (!status.ok()) {
+    util::Fatal("ExperimentContext::DistillCorpus: " + status.message());
+  }
+  return result;
 }
 
 }  // namespace kernelgpt::experiments

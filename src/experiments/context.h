@@ -17,6 +17,7 @@
 #include "fuzzer/campaign.h"
 #include "fuzzer/distiller.h"
 #include "fuzzer/orchestrator.h"
+#include "fuzzer/session.h"
 #include "spec_gen/kernelgpt.h"
 
 namespace kernelgpt::experiments {
@@ -98,10 +99,17 @@ class ExperimentContext {
   /// Registers all loaded corpus modules into a fresh kernel.
   void BootKernel(vkernel::Kernel* kernel) const;
 
+  /// Builds a fuzzer::Session wired to boot this context's kernels —
+  /// the facade Fuzz()/DistillCorpus() run on; benches that want round
+  /// trends or Save/Resume persistence can drive it directly.
+  fuzzer::Session MakeSession(fuzzer::SessionOptions options) const;
+
   /// Runs `reps` campaigns with distinct seeds and returns the average
   /// coverage count, average unique-crash count, and merged coverage.
   /// Campaigns run on the sharded orchestrator; `num_workers == 1`
-  /// reproduces the historical serial results bit-for-bit.
+  /// reproduces the historical serial results bit-for-bit. (Since the
+  /// Session redesign this is a shim over one arithmetic-schedule
+  /// fuzzer::Session; results are unchanged, byte for byte.)
   struct FuzzSummary {
     double avg_coverage = 0;
     double avg_crashes = 0;

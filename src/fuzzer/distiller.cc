@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "fuzzer/minimizer.h"
+#include "fuzzer/session.h"
 
 namespace kernelgpt::fuzzer {
 
@@ -107,44 +108,44 @@ CampaignLoopResult
 RunCampaignLoop(const SpecLibrary& lib, Orchestrator::BootFn boot,
                 const CampaignLoopOptions& options)
 {
+  // Compatibility shim: the loop is now one hash-chain Session round
+  // schedule (campaign -> distill -> re-seed), bit-identical to the
+  // pre-Session inline loop. New code should drive fuzzer::Session
+  // directly — it adds persistence (Save/Resume), trend reports, and
+  // Status-based error reporting this legacy signature cannot surface.
   CampaignLoopResult result;
-  const int rounds = std::max(options.rounds, 1);
-  const uint64_t master_seed = options.orchestrator.campaign.seed;
-  Distiller distiller(&lib, boot, options.distill);
+  SessionOptions session_options;
+  session_options.WithSeed(options.orchestrator.campaign.seed)
+      .WithRounds(std::max(options.rounds, 1))
+      .WithSchedule(SeedSchedule::kHashChain)
+      .WithCarryCorpus(true)
+      .WithDistill(true)
+      .WithOrchestrator(options.orchestrator)
+      .WithDistillOptions(options.distill);
 
-  std::vector<Prog> seed_corpus;
-  for (int round = 0; round < rounds; ++round) {
-    OrchestratorOptions orchestrator = options.orchestrator;
-    // Decorrelate rounds the same way the orchestrator decorrelates
-    // shards; round 0 keeps the master seed.
-    orchestrator.campaign.seed =
-        round == 0 ? master_seed
-                   : util::HashCombine(master_seed, static_cast<uint64_t>(round));
-    orchestrator.campaign.seed_corpus = std::move(seed_corpus);
-
-    OrchestratorResult campaign = RunShardedCampaign(lib, boot, orchestrator);
-    result.coverage.Merge(campaign.coverage);
-    for (const auto& [title, count] : campaign.crashes) {
-      result.crashes[title] += count;
-    }
-    result.programs_executed += campaign.programs_executed;
-
-    DistillResult distilled = distiller.Distill(campaign.corpus);
-    for (auto& [title, prog] : distilled.crash_reproducers) {
-      result.crash_reproducers[title] = std::move(prog);
-    }
-
-    CampaignRoundStats stats;
-    stats.merged_corpus = campaign.corpus.size();
-    stats.distilled_corpus = distilled.corpus.size();
-    stats.coverage_blocks = result.coverage.Count();
-    stats.unique_crashes = result.crashes.size();
-    stats.epochs = std::move(campaign.epochs);
-    result.rounds.push_back(std::move(stats));
-
-    seed_corpus = std::move(distilled.corpus);
+  Session session(session_options, std::move(boot));
+  static constexpr char kSuite[] = "loop";
+  if (!session.RegisterSuite(kSuite, &lib).ok() || !session.Run().ok()) {
+    // The legacy contract has no error channel; an unusable suite (e.g.
+    // an empty library) degrades to the empty result it always produced.
+    return result;
   }
-  result.corpus = std::move(seed_corpus);
+
+  SuiteState& state = *session.Find(kSuite);
+  result.coverage = std::move(state.coverage);
+  result.crashes = std::move(state.crashes);
+  result.crash_reproducers = std::move(state.crash_reproducers);
+  result.corpus = std::move(state.corpus);
+  result.programs_executed = state.programs_executed;
+  for (RoundReport& report : state.rounds) {
+    CampaignRoundStats stats;
+    stats.merged_corpus = report.merged_corpus;
+    stats.distilled_corpus = report.distilled_corpus;
+    stats.coverage_blocks = report.cumulative_coverage;
+    stats.unique_crashes = report.cumulative_unique_crashes;
+    stats.epochs = std::move(report.epochs);
+    result.rounds.push_back(std::move(stats));
+  }
   return result;
 }
 

@@ -108,6 +108,12 @@ struct CampaignLoopResult {
 /// between consecutive rounds. Round r > 0 re-seeds every shard with the
 /// previous round's distilled corpus and decorrelates its RNG streams via
 /// util::HashCombine(seed, r). Deterministic end to end.
+///
+/// Compatibility shim since the Session redesign: this is exactly one
+/// hash-chain `fuzzer::Session` (see fuzzer/session.h), which adds
+/// Save/Resume persistence, per-round trend reports, and util::Status
+/// error reporting over this legacy signature. Prefer the Session API in
+/// new code.
 CampaignLoopResult RunCampaignLoop(const SpecLibrary& lib,
                                    Orchestrator::BootFn boot,
                                    const CampaignLoopOptions& options);

@@ -1,0 +1,385 @@
+#include "fuzzer/session.h"
+
+#include <filesystem>
+#include <utility>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace kernelgpt::fuzzer {
+namespace {
+
+const char*
+ScheduleName(SeedSchedule schedule)
+{
+  return schedule == SeedSchedule::kHashChain ? "hash-chain" : "arithmetic";
+}
+
+std::string
+SuiteFileName(size_t index)
+{
+  // Indexed, not name-derived: suite names are free-form display strings
+  // ("Syzkaller + KernelGPT") and the registration order is already the
+  // deterministic identity the manifest records.
+  return util::Format("suite_%zu.snap", index);
+}
+
+}  // namespace
+
+Session::Session(SessionOptions options, Orchestrator::BootFn boot)
+    : options_(std::move(options)), boot_(std::move(boot))
+{
+  if (options_.orchestrator.num_workers < 1) {
+    options_.orchestrator.num_workers = 1;
+  }
+}
+
+util::Status
+Session::Register(const std::string& name,
+                  std::shared_ptr<const SpecLibrary> lib)
+{
+  if (name.empty()) {
+    return util::Status::Error("session: suite name must not be empty");
+  }
+  if (name.find('\n') != std::string::npos ||
+      name.find('\r') != std::string::npos) {
+    // Names are embedded verbatim in the line-oriented snapshot; a
+    // newline would make Save() emit a file Resume() can never parse.
+    return util::Status::Error(
+        "session: suite name must not contain line breaks");
+  }
+  if (rounds_completed_ > 0) {
+    return util::Status::Error(util::Format(
+        "session: cannot register suite '%s' after round %d has run "
+        "(register every suite before Run/Resume)",
+        name.c_str(), rounds_completed_));
+  }
+  for (const Entry& e : suites_) {
+    if (e.state.name == name) {
+      return util::Status::Error(
+          util::Format("session: suite '%s' already registered", name.c_str()));
+    }
+  }
+  if (!lib) {
+    return util::Status::Error(
+        util::Format("session: suite '%s' has no spec library", name.c_str()));
+  }
+  if (lib->syscalls().empty()) {
+    // The old free functions fell through to an empty result here; a
+    // service must refuse the misconfiguration instead.
+    return util::Status::Error(util::Format(
+        "session: suite '%s' has no syscalls (empty or unfinalized library)",
+        name.c_str()));
+  }
+  Entry entry;
+  entry.lib = std::move(lib);
+  entry.state.name = name;
+  suites_.push_back(std::move(entry));
+  return util::Status::Ok();
+}
+
+util::Status
+Session::RegisterSuite(const std::string& name, const SpecLibrary* lib)
+{
+  // Aliasing shared_ptr with an empty control block: non-owning view.
+  return Register(name,
+                  std::shared_ptr<const SpecLibrary>(
+                      std::shared_ptr<const SpecLibrary>(), lib));
+}
+
+util::Status
+Session::RegisterSuite(const std::string& name, SpecLibrary lib)
+{
+  return Register(name,
+                  std::make_shared<const SpecLibrary>(std::move(lib)));
+}
+
+uint64_t
+Session::RoundSeed(int round) const
+{
+  const uint64_t r = static_cast<uint64_t>(round);
+  switch (options_.schedule) {
+    case SeedSchedule::kHashChain:
+      // Round 0 keeps the master seed so a 1-round hash-chain session is
+      // bit-identical to a plain sharded campaign on that seed.
+      return round == 0 ? options_.seed : util::HashCombine(options_.seed, r);
+    case SeedSchedule::kArithmetic:
+      return options_.seed + r * options_.seed_stride;
+  }
+  return options_.seed;
+}
+
+util::Status
+Session::RunRound()
+{
+  if (suites_.empty()) {
+    return util::Status::Error("session: no suites registered");
+  }
+  const int round = rounds_completed_;
+  const uint64_t seed = RoundSeed(round);
+  size_t total_delta = 0;
+
+  for (Entry& e : suites_) {
+    OrchestratorOptions orchestrator = options_.orchestrator;
+    orchestrator.campaign.seed = seed;
+    if (options_.carry_corpus) {
+      orchestrator.campaign.seed_corpus = std::move(e.state.corpus);
+      e.state.corpus.clear();
+    }
+
+    OrchestratorResult campaign =
+        RunShardedCampaign(*e.lib, boot_, orchestrator);
+
+    RoundReport report;
+    report.round = round;
+    report.seed = seed;
+    report.programs_executed = campaign.programs_executed;
+    report.round_coverage = campaign.coverage.Count();
+    report.round_unique_crashes = campaign.crashes.size();
+    report.coverage_delta = e.state.coverage.Merge(campaign.coverage);
+    report.cumulative_coverage = e.state.coverage.Count();
+    for (const auto& [title, count] : campaign.crashes) {
+      e.state.crashes[title] += count;
+    }
+    report.cumulative_unique_crashes = e.state.crashes.size();
+    report.merged_corpus = campaign.corpus.size();
+    report.wall_seconds = campaign.wall_seconds;
+    report.epochs = std::move(campaign.epochs);
+
+    e.state.programs_executed += campaign.programs_executed;
+    e.state.wall_seconds += campaign.wall_seconds;
+
+    if (options_.distill_between_rounds) {
+      Distiller distiller(e.lib.get(), boot_, options_.distill);
+      DistillResult distilled = distiller.Distill(campaign.corpus);
+      for (auto& [title, prog] : distilled.crash_reproducers) {
+        e.state.crash_reproducers[title] = std::move(prog);
+      }
+      report.distilled_corpus = distilled.corpus.size();
+      e.state.corpus = std::move(distilled.corpus);
+    } else {
+      report.distilled_corpus = campaign.corpus.size();
+      e.state.corpus = std::move(campaign.corpus);
+    }
+
+    total_delta += report.coverage_delta;
+    e.state.rounds.push_back(std::move(report));
+  }
+
+  stale_rounds_ =
+      total_delta < options_.plateau_min_gain ? stale_rounds_ + 1 : 0;
+  ++rounds_completed_;
+  return util::Status::Ok();
+}
+
+util::Status
+Session::Run()
+{
+  if (suites_.empty()) {
+    return util::Status::Error("session: no suites registered");
+  }
+  if (options_.rounds <= 0 && options_.plateau_rounds <= 0) {
+    return util::Status::Error(
+        "session: unbounded schedule (rounds <= 0 with no plateau rule)");
+  }
+  int ran = 0;
+  while (true) {
+    if (options_.rounds > 0 && ran >= options_.rounds) break;
+    if (Plateaued()) break;
+    util::Status status = RunRound();
+    if (!status.ok()) return status;
+    ++ran;
+  }
+  return util::Status::Ok();
+}
+
+util::Status
+Session::Save(const std::string& dir) const
+{
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return util::Status::Error(util::Format(
+        "session: cannot create '%s': %s", dir.c_str(),
+        ec.message().c_str()));
+  }
+
+  SessionManifest manifest;
+  manifest.seed = options_.seed;
+  manifest.schedule = ScheduleName(options_.schedule);
+  manifest.seed_stride = options_.seed_stride;
+  manifest.carry_corpus = options_.carry_corpus;
+  manifest.distill = options_.distill_between_rounds;
+  manifest.rounds_completed = rounds_completed_;
+  manifest.stale_rounds = stale_rounds_;
+  for (const Entry& e : suites_) {
+    manifest.suites.emplace_back(SuiteFingerprint(*e.lib), e.state.name);
+  }
+  util::Status status = WriteStringToFile(dir + "/session.manifest",
+                                          SerializeManifest(manifest));
+  if (!status.ok()) return status;
+
+  for (size_t i = 0; i < suites_.size(); ++i) {
+    const Entry& e = suites_[i];
+    SuiteSnapshot snapshot;
+    snapshot.name = e.state.name;
+    snapshot.fingerprint = manifest.suites[i].first;
+    snapshot.programs_executed = e.state.programs_executed;
+    snapshot.wall_seconds = e.state.wall_seconds;
+    snapshot.coverage = e.state.coverage.SortedBlocks();
+    snapshot.crashes = e.state.crashes;
+    snapshot.corpus = e.state.corpus;
+    snapshot.crash_reproducers = e.state.crash_reproducers;
+    snapshot.rounds = e.state.rounds;
+    status = WriteStringToFile(dir + "/" + SuiteFileName(i),
+                               SerializeSuite(snapshot, *e.lib));
+    if (!status.ok()) return status;
+  }
+  return util::Status::Ok();
+}
+
+util::Status
+Session::Resume(const std::string& dir)
+{
+  if (rounds_completed_ > 0) {
+    return util::Status::Error(
+        "session: Resume requires a fresh session (rounds already run)");
+  }
+  if (suites_.empty()) {
+    return util::Status::Error(
+        "session: register the snapshot's suites before Resume");
+  }
+
+  std::string text;
+  util::Status status = ReadFileToString(dir + "/session.manifest", &text);
+  if (!status.ok()) return status;
+  SessionManifest manifest;
+  status = ParseManifest(text, &manifest);
+  if (!status.ok()) return status;
+
+  if (manifest.seed != options_.seed) {
+    return util::Status::Error(util::Format(
+        "session: snapshot was taken at seed %llx but this session is "
+        "configured with seed %llx",
+        static_cast<unsigned long long>(manifest.seed),
+        static_cast<unsigned long long>(options_.seed)));
+  }
+  if (manifest.schedule != ScheduleName(options_.schedule) ||
+      (options_.schedule == SeedSchedule::kArithmetic &&
+       manifest.seed_stride != options_.seed_stride)) {
+    return util::Status::Error(util::Format(
+        "session: snapshot schedule %s/stride %llu does not match the "
+        "configured %s/stride %llu",
+        manifest.schedule.c_str(),
+        static_cast<unsigned long long>(manifest.seed_stride),
+        ScheduleName(options_.schedule),
+        static_cast<unsigned long long>(options_.seed_stride)));
+  }
+  if (manifest.carry_corpus != options_.carry_corpus ||
+      manifest.distill != options_.distill_between_rounds) {
+    return util::Status::Error(
+        "session: snapshot corpus lifecycle (carry/distill) does not match "
+        "the configured options — the continuation would diverge from an "
+        "uninterrupted run");
+  }
+  if (manifest.suites.size() != suites_.size()) {
+    return util::Status::Error(util::Format(
+        "session: snapshot has %zu suites but %zu are registered",
+        manifest.suites.size(), suites_.size()));
+  }
+  for (size_t i = 0; i < suites_.size(); ++i) {
+    if (manifest.suites[i].second != suites_[i].state.name) {
+      return util::Status::Error(util::Format(
+          "session: suite %zu is '%s' in the snapshot but '%s' here",
+          i, manifest.suites[i].second.c_str(),
+          suites_[i].state.name.c_str()));
+    }
+    const uint64_t fingerprint = SuiteFingerprint(*suites_[i].lib);
+    if (manifest.suites[i].first != fingerprint) {
+      return util::Status::Error(util::Format(
+          "session: suite '%s' specs drifted since the snapshot "
+          "(fingerprint %016llx vs %016llx) — its programs would not "
+          "replay identically",
+          suites_[i].state.name.c_str(),
+          static_cast<unsigned long long>(manifest.suites[i].first),
+          static_cast<unsigned long long>(fingerprint)));
+    }
+  }
+
+  // Parse and validate every suite file before touching any live state,
+  // so a corrupt or missing file leaves the session exactly as it was
+  // (a half-restored session would match neither a fresh nor a resumed
+  // run).
+  std::vector<SuiteSnapshot> snapshots(suites_.size());
+  for (size_t i = 0; i < suites_.size(); ++i) {
+    status = ReadFileToString(dir + "/" + SuiteFileName(i), &text);
+    if (!status.ok()) return status;
+    status = ParseSuite(text, *suites_[i].lib, &snapshots[i]);
+    if (!status.ok()) return status;
+    if (snapshots[i].name != suites_[i].state.name ||
+        snapshots[i].fingerprint != manifest.suites[i].first) {
+      return util::Status::Error(util::Format(
+          "session: %s does not belong to this snapshot (suite '%s')",
+          SuiteFileName(i).c_str(), suites_[i].state.name.c_str()));
+    }
+  }
+
+  for (size_t i = 0; i < suites_.size(); ++i) {
+    SuiteSnapshot& snapshot = snapshots[i];
+    SuiteState& state = suites_[i].state;
+    state.coverage.Clear();
+    for (uint64_t block : snapshot.coverage) state.coverage.Hit(block);
+    state.crashes = std::move(snapshot.crashes);
+    state.crash_reproducers = std::move(snapshot.crash_reproducers);
+    state.corpus = std::move(snapshot.corpus);
+    state.programs_executed = snapshot.programs_executed;
+    state.wall_seconds = snapshot.wall_seconds;
+    state.rounds = std::move(snapshot.rounds);
+  }
+  rounds_completed_ = manifest.rounds_completed;
+  stale_rounds_ = manifest.stale_rounds;
+  return util::Status::Ok();
+}
+
+util::Status
+Session::DistillInto(const std::string& name, const std::vector<Prog>& merged,
+                     DistillResult* out) const
+{
+  for (const Entry& e : suites_) {
+    if (e.state.name != name) continue;
+    Distiller distiller(e.lib.get(), boot_, options_.distill);
+    *out = distiller.Distill(merged);
+    return util::Status::Ok();
+  }
+  return util::Status::Error(
+      util::Format("session: no suite named '%s'", name.c_str()));
+}
+
+std::vector<std::string>
+Session::SuiteNames() const
+{
+  std::vector<std::string> names;
+  names.reserve(suites_.size());
+  for (const Entry& e : suites_) names.push_back(e.state.name);
+  return names;
+}
+
+const SuiteState*
+Session::Find(const std::string& name) const
+{
+  for (const Entry& e : suites_) {
+    if (e.state.name == name) return &e.state;
+  }
+  return nullptr;
+}
+
+SuiteState*
+Session::Find(const std::string& name)
+{
+  for (Entry& e : suites_) {
+    if (e.state.name == name) return &e.state;
+  }
+  return nullptr;
+}
+
+}  // namespace kernelgpt::fuzzer

@@ -1,0 +1,627 @@
+#include "fuzzer/snapshot.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "syzlang/printer.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace kernelgpt::fuzzer {
+namespace {
+
+// -- Line-oriented parsing helpers -------------------------------------------
+// Every helper returns false on malformed input and leaves a message in
+// `err`; the public Parse* entry points convert that into a Status. No
+// helper may crash on arbitrary bytes — snapshots are user-supplied files.
+
+struct LineCursor {
+  std::string_view text;
+  size_t pos = 0;
+  size_t line_no = 0;  // 1-based number of the line Next() last returned.
+  std::string err;
+
+  explicit LineCursor(std::string_view t) : text(t) {}
+
+  /// Returns the next line (without the trailing newline); false at EOF.
+  bool Next(std::string_view* line) {
+    if (pos >= text.size()) {
+      err = util::Format("unexpected end of snapshot after line %zu", line_no);
+      return false;
+    }
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) nl = text.size();
+    *line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++line_no;
+    return true;
+  }
+
+  std::string Where() const { return util::Format("line %zu", line_no); }
+};
+
+int
+HexNibble(char c)
+{
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+bool
+ParseU64(std::string_view tok, int base, uint64_t* out)
+{
+  // strtoull silently wraps negative input and skips leading whitespace;
+  // both would let a corrupt field parse "successfully", so an unsigned
+  // field must start with a digit.
+  if (tok.empty() || HexNibble(tok[0]) < 0) return false;
+  std::string buf(tok);
+  char* end = nullptr;
+  errno = 0;
+  uint64_t v = std::strtoull(buf.c_str(), &end, base);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool
+ParseI64(std::string_view tok, int64_t* out)
+{
+  if (tok.empty()) return false;
+  // Signed fields allow exactly one leading '-'; no whitespace or '+'
+  // (strtoll would accept both).
+  const std::string_view digits = tok[0] == '-' ? tok.substr(1) : tok;
+  if (digits.empty() || HexNibble(digits[0]) < 0) return false;
+  std::string buf(tok);
+  char* end = nullptr;
+  errno = 0;
+  int64_t v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool
+ParseF64(std::string_view tok, double* out)
+{
+  if (tok.empty()) return false;
+  std::string buf(tok);
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(buf.c_str(), &end);  // Accepts the %a hexfloats.
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = v;
+  return true;
+}
+
+/// Reads one line of the form "<keyword> <rest>" (or bare "<keyword>")
+/// and returns the rest. Fails when the keyword differs.
+bool
+ExpectKeyword(LineCursor* cur, std::string_view keyword,
+              std::string_view* rest)
+{
+  std::string_view line;
+  if (!cur->Next(&line)) return false;
+  if (line == keyword) {
+    *rest = {};
+    return true;
+  }
+  if (util::StartsWith(line, keyword) && line.size() > keyword.size() &&
+      line[keyword.size()] == ' ') {
+    *rest = line.substr(keyword.size() + 1);
+    return true;
+  }
+  cur->err = util::Format("%s: expected '%.*s', got '%.*s'",
+                          cur->Where().c_str(),
+                          static_cast<int>(keyword.size()), keyword.data(),
+                          static_cast<int>(line.size()), line.data());
+  return false;
+}
+
+/// "<keyword> <decimal count>" lines ("coverage 412", "progs 9", ...).
+bool
+ExpectCount(LineCursor* cur, std::string_view keyword, uint64_t* count)
+{
+  std::string_view rest;
+  if (!ExpectKeyword(cur, keyword, &rest)) return false;
+  if (!ParseU64(rest, 10, count)) {
+    cur->err = util::Format("%s: bad %.*s count '%.*s'", cur->Where().c_str(),
+                            static_cast<int>(keyword.size()), keyword.data(),
+                            static_cast<int>(rest.size()), rest.data());
+    return false;
+  }
+  return true;
+}
+
+/// Checks a "kernelgpt-<kind> v<N>" header; any other version is a
+/// rejection, any other shape is corruption.
+bool
+ExpectVersionHeader(LineCursor* cur, std::string_view kind)
+{
+  std::string_view line;
+  if (!cur->Next(&line)) return false;
+  const std::string want =
+      util::Format("kernelgpt-%.*s v%d", static_cast<int>(kind.size()),
+                   kind.data(), kSnapshotVersion);
+  if (line == want) return true;
+  const std::string prefix =
+      util::Format("kernelgpt-%.*s v", static_cast<int>(kind.size()),
+                   kind.data());
+  uint64_t version = 0;
+  if (util::StartsWith(line, prefix) &&
+      ParseU64(line.substr(prefix.size()), 10, &version)) {
+    cur->err = util::Format(
+        "snapshot version mismatch: file is v%llu, this build reads v%d",
+        static_cast<unsigned long long>(version), kSnapshotVersion);
+  } else {
+    cur->err = util::Format("%s: not a %.*s snapshot (got '%.*s')",
+                            cur->Where().c_str(), static_cast<int>(kind.size()),
+                            kind.data(), static_cast<int>(line.size()),
+                            line.data());
+  }
+  return false;
+}
+
+// -- Program blocks ----------------------------------------------------------
+// prog <ncalls>
+// c <nargs> <syscall full name>
+// a <kind> <scalar hex> <dir> <ref_call> <len_of_param> <bytes hex | ->
+//
+// Every Arg field is serialized regardless of kind so that the rendering
+// is a lossless fixpoint for any program the mutator can produce.
+
+void
+AppendProg(const Prog& prog, const SpecLibrary& lib, std::string* out)
+{
+  *out += util::Format("prog %zu\n", prog.calls.size());
+  for (const Call& call : prog.calls) {
+    const std::string name =
+        call.syscall_index < lib.syscalls().size()
+            ? lib.syscalls()[call.syscall_index].FullName()
+            : util::Format("#%zu", call.syscall_index);
+    *out += util::Format("c %zu %s\n", call.args.size(), name.c_str());
+    for (const Arg& arg : call.args) {
+      *out += util::Format(
+          "a %d %llx %d %d %d ", static_cast<int>(arg.kind),
+          static_cast<unsigned long long>(arg.scalar),
+          static_cast<int>(arg.dir), arg.ref_call, arg.len_of_param);
+      if (arg.bytes.empty()) {
+        *out += "-";
+      } else {
+        // Payloads dominate snapshot volume; append nibbles directly
+        // instead of paying a printf format-parse per byte.
+        static constexpr char kHex[] = "0123456789abcdef";
+        out->reserve(out->size() + arg.bytes.size() * 2 + 1);
+        for (uint8_t b : arg.bytes) {
+          *out += kHex[b >> 4];
+          *out += kHex[b & 0xf];
+        }
+      }
+      *out += "\n";
+    }
+  }
+}
+
+bool
+ParseOneProg(LineCursor* cur,
+             const std::unordered_map<std::string, size_t>& call_index,
+             Prog* out)
+{
+  uint64_t ncalls = 0;
+  if (!ExpectCount(cur, "prog", &ncalls)) return false;
+  out->calls.clear();
+  for (uint64_t i = 0; i < ncalls; ++i) {
+    std::string_view rest;
+    if (!ExpectKeyword(cur, "c", &rest)) return false;
+    const size_t space = rest.find(' ');
+    uint64_t nargs = 0;
+    if (space == std::string_view::npos ||
+        !ParseU64(rest.substr(0, space), 10, &nargs)) {
+      cur->err = util::Format("%s: bad call header '%.*s'",
+                              cur->Where().c_str(),
+                              static_cast<int>(rest.size()), rest.data());
+      return false;
+    }
+    const std::string name(rest.substr(space + 1));
+    auto it = call_index.find(name);
+    if (it == call_index.end()) {
+      cur->err = util::Format(
+          "%s: snapshot references syscall '%s' absent from this suite",
+          cur->Where().c_str(), name.c_str());
+      return false;
+    }
+    Call call;
+    call.syscall_index = it->second;
+    for (uint64_t a = 0; a < nargs; ++a) {
+      std::string_view arg_rest;
+      if (!ExpectKeyword(cur, "a", &arg_rest)) return false;
+      const std::vector<std::string> tok = util::SplitWhitespace(arg_rest);
+      int64_t kind = 0, dir = 0, ref = 0, len = 0;
+      uint64_t scalar = 0;
+      if (tok.size() != 6 || !ParseI64(tok[0], &kind) ||
+          !ParseU64(tok[1], 16, &scalar) || !ParseI64(tok[2], &dir) ||
+          !ParseI64(tok[3], &ref) || !ParseI64(tok[4], &len) || kind < 0 ||
+          kind > 2 || dir < 0 || dir > 2 || len < kBrokenLenLink) {
+        cur->err = util::Format("%s: bad arg line '%.*s'",
+                                cur->Where().c_str(),
+                                static_cast<int>(arg_rest.size()),
+                                arg_rest.data());
+        return false;
+      }
+      Arg arg;
+      arg.kind = static_cast<Arg::Kind>(kind);
+      arg.scalar = scalar;
+      arg.dir = static_cast<syzlang::Dir>(dir);
+      arg.ref_call = static_cast<int>(ref);
+      arg.len_of_param = static_cast<int>(len);
+      if (tok[5] != "-") {
+        if (tok[5].size() % 2 != 0) {
+          cur->err = util::Format("%s: odd-length byte payload",
+                                  cur->Where().c_str());
+          return false;
+        }
+        arg.bytes.reserve(tok[5].size() / 2);
+        for (size_t b = 0; b < tok[5].size(); b += 2) {
+          const int hi = HexNibble(tok[5][b]);
+          const int lo = HexNibble(tok[5][b + 1]);
+          if (hi < 0 || lo < 0) {
+            cur->err = util::Format("%s: bad byte payload hex",
+                                    cur->Where().c_str());
+            return false;
+          }
+          arg.bytes.push_back(static_cast<uint8_t>(hi << 4 | lo));
+        }
+      }
+      call.args.push_back(std::move(arg));
+    }
+    out->calls.push_back(std::move(call));
+  }
+  return true;
+}
+
+std::unordered_map<std::string, size_t>
+CallIndex(const SpecLibrary& lib)
+{
+  std::unordered_map<std::string, size_t> index;
+  index.reserve(lib.syscalls().size());
+  for (size_t i = 0; i < lib.syscalls().size(); ++i) {
+    // First writer wins, matching SpecLibrary::Add's dedup (names are
+    // unique per finalized library anyway).
+    index.emplace(lib.syscalls()[i].FullName(), i);
+  }
+  return index;
+}
+
+bool
+ParseProgsSection(LineCursor* cur,
+                  const std::unordered_map<std::string, size_t>& call_index,
+                  std::vector<Prog>* out)
+{
+  uint64_t count = 0;
+  if (!ExpectCount(cur, "progs", &count)) return false;
+  out->clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    Prog prog;
+    if (!ParseOneProg(cur, call_index, &prog)) return false;
+    out->push_back(std::move(prog));
+  }
+  return true;
+}
+
+}  // namespace
+
+uint64_t
+SuiteFingerprint(const SpecLibrary& lib)
+{
+  // The printer's canonical declaration rendering is the identity that
+  // matters for replay: two libraries printing the same syscalls in the
+  // same order construct identical programs from identical snapshots.
+  uint64_t h = util::HashCombine(0x6b67736e617073ULL, lib.syscalls().size());
+  for (const syzlang::SyscallDef& def : lib.syscalls()) {
+    const syzlang::Decl decl = syzlang::Decl::Make(def);
+    h = util::HashCombine(h, util::StableHash(syzlang::PrintDecl(decl)));
+  }
+  return h;
+}
+
+std::string
+SerializeProgs(const std::vector<Prog>& progs, const SpecLibrary& lib)
+{
+  std::string out = util::Format("progs %zu\n", progs.size());
+  for (const Prog& prog : progs) AppendProg(prog, lib, &out);
+  return out;
+}
+
+util::Status
+ParseProgs(std::string_view text, const SpecLibrary& lib,
+           std::vector<Prog>* out)
+{
+  LineCursor cur{text};
+  const auto call_index = CallIndex(lib);
+  if (!ParseProgsSection(&cur, call_index, out)) {
+    return util::Status::Error("corpus: " + cur.err);
+  }
+  return util::Status::Ok();
+}
+
+std::string
+SerializeSuite(const SuiteSnapshot& suite, const SpecLibrary& lib)
+{
+  std::string out = util::Format("kernelgpt-suite v%d\n", kSnapshotVersion);
+  out += util::Format("name %s\n", suite.name.c_str());
+  out += util::Format("fingerprint %016llx\n",
+                      static_cast<unsigned long long>(suite.fingerprint));
+  out += util::Format("programs_executed %zu\n", suite.programs_executed);
+  out += util::Format("wall_seconds %a\n", suite.wall_seconds);
+
+  out += util::Format("coverage %zu\n", suite.coverage.size());
+  for (size_t i = 0; i < suite.coverage.size(); ++i) {
+    out += util::Format("%llx",
+                        static_cast<unsigned long long>(suite.coverage[i]));
+    out += (i % 8 == 7 || i + 1 == suite.coverage.size()) ? "\n" : " ";
+  }
+
+  out += util::Format("crashes %zu\n", suite.crashes.size());
+  for (const auto& [title, count] : suite.crashes) {
+    out += util::Format("%d %s\n", count, title.c_str());
+  }
+
+  out += SerializeProgs(suite.corpus, lib);
+
+  out += util::Format("repros %zu\n", suite.crash_reproducers.size());
+  for (const auto& [title, prog] : suite.crash_reproducers) {
+    out += util::Format("title %s\n", title.c_str());
+    AppendProg(prog, lib, &out);
+  }
+
+  out += util::Format("rounds %zu\n", suite.rounds.size());
+  for (const RoundReport& r : suite.rounds) {
+    out += util::Format(
+        "round %d %llx %zu %zu %zu %zu %zu %zu %zu %zu %a\n", r.round,
+        static_cast<unsigned long long>(r.seed), r.programs_executed,
+        r.round_coverage, r.round_unique_crashes, r.coverage_delta,
+        r.cumulative_coverage, r.cumulative_unique_crashes, r.merged_corpus,
+        r.distilled_corpus, r.wall_seconds);
+  }
+  out += "end\n";
+  return out;
+}
+
+util::Status
+ParseSuite(std::string_view text, const SpecLibrary& lib, SuiteSnapshot* out)
+{
+  LineCursor cur{text};
+  *out = SuiteSnapshot{};
+  auto fail = [&cur](const std::string& context) {
+    return util::Status::Error("suite snapshot: " + context +
+                               (cur.err.empty() ? "" : ": " + cur.err));
+  };
+
+  if (!ExpectVersionHeader(&cur, "suite")) return fail("header");
+
+  std::string_view rest;
+  if (!ExpectKeyword(&cur, "name", &rest)) return fail("name");
+  out->name = std::string(rest);
+
+  if (!ExpectKeyword(&cur, "fingerprint", &rest) ||
+      !ParseU64(rest, 16, &out->fingerprint)) {
+    return fail("fingerprint");
+  }
+
+  uint64_t n = 0;
+  if (!ExpectCount(&cur, "programs_executed", &n)) {
+    return fail("programs_executed");
+  }
+  out->programs_executed = n;
+
+  if (!ExpectKeyword(&cur, "wall_seconds", &rest) ||
+      !ParseF64(rest, &out->wall_seconds)) {
+    return fail("wall_seconds");
+  }
+
+  if (!ExpectCount(&cur, "coverage", &n)) return fail("coverage");
+  out->coverage.clear();
+  while (out->coverage.size() < n) {
+    std::string_view line;
+    if (!cur.Next(&line)) return fail("coverage blocks");
+    for (const std::string& tok : util::SplitWhitespace(line)) {
+      uint64_t id = 0;
+      if (!ParseU64(tok, 16, &id) || out->coverage.size() >= n) {
+        cur.err = util::Format("%s: bad coverage block '%s'",
+                               cur.Where().c_str(), tok.c_str());
+        return fail("coverage blocks");
+      }
+      out->coverage.push_back(id);
+    }
+  }
+
+  if (!ExpectCount(&cur, "crashes", &n)) return fail("crashes");
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string_view line;
+    if (!cur.Next(&line)) return fail("crash entries");
+    const size_t space = line.find(' ');
+    int64_t count = 0;
+    if (space == std::string_view::npos || space + 1 >= line.size() ||
+        !ParseI64(line.substr(0, space), &count)) {
+      cur.err = util::Format("%s: bad crash entry '%.*s'", cur.Where().c_str(),
+                             static_cast<int>(line.size()), line.data());
+      return fail("crash entries");
+    }
+    out->crashes[std::string(line.substr(space + 1))] =
+        static_cast<int>(count);
+  }
+
+  const auto call_index = CallIndex(lib);
+  if (!ParseProgsSection(&cur, call_index, &out->corpus)) {
+    return fail("corpus");
+  }
+
+  if (!ExpectCount(&cur, "repros", &n)) return fail("repros");
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!ExpectKeyword(&cur, "title", &rest)) return fail("repro title");
+    Prog prog;
+    if (!ParseOneProg(&cur, call_index, &prog)) return fail("repro program");
+    out->crash_reproducers[std::string(rest)] = std::move(prog);
+  }
+
+  if (!ExpectCount(&cur, "rounds", &n)) return fail("rounds");
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!ExpectKeyword(&cur, "round", &rest)) return fail("round record");
+    const std::vector<std::string> tok = util::SplitWhitespace(rest);
+    RoundReport r;
+    int64_t round = 0;
+    uint64_t u[8] = {};
+    if (tok.size() != 11 || !ParseI64(tok[0], &round) ||
+        !ParseU64(tok[1], 16, &r.seed) || !ParseU64(tok[2], 10, &u[0]) ||
+        !ParseU64(tok[3], 10, &u[1]) || !ParseU64(tok[4], 10, &u[2]) ||
+        !ParseU64(tok[5], 10, &u[3]) || !ParseU64(tok[6], 10, &u[4]) ||
+        !ParseU64(tok[7], 10, &u[5]) || !ParseU64(tok[8], 10, &u[6]) ||
+        !ParseU64(tok[9], 10, &u[7]) || !ParseF64(tok[10], &r.wall_seconds)) {
+      cur.err = util::Format("%s: bad round record", cur.Where().c_str());
+      return fail("round record");
+    }
+    r.round = static_cast<int>(round);
+    r.programs_executed = u[0];
+    r.round_coverage = u[1];
+    r.round_unique_crashes = u[2];
+    r.coverage_delta = u[3];
+    r.cumulative_coverage = u[4];
+    r.cumulative_unique_crashes = u[5];
+    r.merged_corpus = u[6];
+    r.distilled_corpus = u[7];
+    out->rounds.push_back(std::move(r));
+  }
+
+  std::string_view end;
+  if (!ExpectKeyword(&cur, "end", &end)) return fail("trailer");
+  return util::Status::Ok();
+}
+
+std::string
+SerializeManifest(const SessionManifest& manifest)
+{
+  std::string out = util::Format("kernelgpt-session v%d\n", kSnapshotVersion);
+  out += util::Format("seed %llx\n",
+                      static_cast<unsigned long long>(manifest.seed));
+  out += util::Format("schedule %s\n", manifest.schedule.c_str());
+  out += util::Format("seed_stride %llu\n",
+                      static_cast<unsigned long long>(manifest.seed_stride));
+  out += util::Format("carry_corpus %d\n", manifest.carry_corpus ? 1 : 0);
+  out += util::Format("distill %d\n", manifest.distill ? 1 : 0);
+  out += util::Format("rounds_completed %d\n", manifest.rounds_completed);
+  out += util::Format("stale_rounds %d\n", manifest.stale_rounds);
+  out += util::Format("suites %zu\n", manifest.suites.size());
+  for (size_t i = 0; i < manifest.suites.size(); ++i) {
+    out += util::Format("suite %zu %016llx %s\n", i,
+                        static_cast<unsigned long long>(manifest.suites[i].first),
+                        manifest.suites[i].second.c_str());
+  }
+  out += "end\n";
+  return out;
+}
+
+util::Status
+ParseManifest(std::string_view text, SessionManifest* out)
+{
+  LineCursor cur{text};
+  *out = SessionManifest{};
+  auto fail = [&cur](const std::string& context) {
+    return util::Status::Error("session manifest: " + context +
+                               (cur.err.empty() ? "" : ": " + cur.err));
+  };
+
+  if (!ExpectVersionHeader(&cur, "session")) return fail("header");
+
+  std::string_view rest;
+  if (!ExpectKeyword(&cur, "seed", &rest) || !ParseU64(rest, 16, &out->seed)) {
+    return fail("seed");
+  }
+  if (!ExpectKeyword(&cur, "schedule", &rest) ||
+      (rest != "hash-chain" && rest != "arithmetic")) {
+    return fail("schedule");
+  }
+  out->schedule = std::string(rest);
+  if (!ExpectKeyword(&cur, "seed_stride", &rest) ||
+      !ParseU64(rest, 10, &out->seed_stride)) {
+    return fail("seed_stride");
+  }
+  uint64_t flag = 0;
+  if (!ExpectCount(&cur, "carry_corpus", &flag) || flag > 1) {
+    return fail("carry_corpus");
+  }
+  out->carry_corpus = flag == 1;
+  if (!ExpectCount(&cur, "distill", &flag) || flag > 1) {
+    return fail("distill");
+  }
+  out->distill = flag == 1;
+  uint64_t n = 0;
+  if (!ExpectCount(&cur, "rounds_completed", &n)) {
+    return fail("rounds_completed");
+  }
+  out->rounds_completed = static_cast<int>(n);
+  if (!ExpectCount(&cur, "stale_rounds", &n)) return fail("stale_rounds");
+  out->stale_rounds = static_cast<int>(n);
+
+  if (!ExpectCount(&cur, "suites", &n)) return fail("suites");
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!ExpectKeyword(&cur, "suite", &rest)) return fail("suite entry");
+    // "suite <index> <fingerprint> <name...>" — name may contain spaces.
+    const std::vector<std::string> head = util::SplitWhitespace(rest);
+    uint64_t index = 0, fingerprint = 0;
+    if (head.size() < 3 || !ParseU64(head[0], 10, &index) || index != i ||
+        !ParseU64(head[1], 16, &fingerprint)) {
+      cur.err = util::Format("%s: bad suite entry '%.*s'", cur.Where().c_str(),
+                             static_cast<int>(rest.size()), rest.data());
+      return fail("suite entry");
+    }
+    const size_t name_at = rest.find(head[1]) + head[1].size() + 1;
+    if (name_at >= rest.size()) return fail("suite entry");
+    out->suites.emplace_back(fingerprint, std::string(rest.substr(name_at)));
+  }
+
+  std::string_view end;
+  if (!ExpectKeyword(&cur, "end", &end)) return fail("trailer");
+  return util::Status::Ok();
+}
+
+util::Status
+ReadFileToString(const std::string& path, std::string* out)
+{
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return util::Status::Error(
+        util::Format("cannot open '%s': %s", path.c_str(),
+                     std::strerror(errno)));
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    return util::Status::Error(util::Format("read failed: %s", path.c_str()));
+  }
+  *out = buf.str();
+  return util::Status::Ok();
+}
+
+util::Status
+WriteStringToFile(const std::string& path, const std::string& content)
+{
+  std::ofstream outf(path, std::ios::binary | std::ios::trunc);
+  if (!outf) {
+    return util::Status::Error(
+        util::Format("cannot create '%s': %s", path.c_str(),
+                     std::strerror(errno)));
+  }
+  outf << content;
+  outf.flush();
+  if (!outf) {
+    return util::Status::Error(util::Format("write failed: %s", path.c_str()));
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace kernelgpt::fuzzer

@@ -1,0 +1,129 @@
+/// \file
+/// Durable session state — versioned textual serialization of everything a
+/// long-running campaign-of-campaigns service must carry across process
+/// runs: distilled Prog corpora, minimized crash reproducers, cumulative
+/// coverage, crash tallies, and per-round trend records. The format is
+/// line-oriented and deterministic (maps serialize in key order, floats as
+/// hexfloat), so serialize -> parse -> serialize is a byte-for-byte
+/// fixpoint and snapshot files diff cleanly under version control.
+///
+/// Programs are rendered call-by-call against their suite's SpecLibrary:
+/// each call is stored under its syzlang full name (the same rendering the
+/// syzlang printer uses for declarations) and re-resolved by name on load,
+/// so a snapshot survives syscall reordering between builds as long as the
+/// suite still defines every referenced call. A per-suite fingerprint —
+/// a stable hash over the printer's rendering of every syscall declaration
+/// — rejects resuming against a suite whose specs drifted.
+///
+/// Every parse path reports malformed input as a util::Status (never a
+/// crash or abort): snapshots are user-supplied files.
+
+#ifndef KERNELGPT_FUZZER_SNAPSHOT_H_
+#define KERNELGPT_FUZZER_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "fuzzer/orchestrator.h"
+#include "fuzzer/prog.h"
+#include "util/status.h"
+
+namespace kernelgpt::fuzzer {
+
+/// Bump when the textual grammar changes incompatibly. Parsers reject any
+/// other version with a Status error naming both versions.
+inline constexpr int kSnapshotVersion = 1;
+
+/// One round's trend record — the durable round-over-round report a
+/// session emits. Everything except `epochs` round-trips through
+/// snapshots (the sync schedule is observability detail, kept in-memory
+/// only).
+struct RoundReport {
+  int round = 0;       ///< Absolute round index within the session.
+  uint64_t seed = 0;   ///< The round's campaign master seed.
+  size_t programs_executed = 0;
+  size_t round_coverage = 0;        ///< This round's own union coverage.
+  size_t round_unique_crashes = 0;  ///< This round's own unique titles.
+  size_t coverage_delta = 0;  ///< New blocks added to the cumulative union.
+  size_t cumulative_coverage = 0;
+  size_t cumulative_unique_crashes = 0;
+  size_t merged_corpus = 0;     ///< Merged corpus size after the round.
+  size_t distilled_corpus = 0;  ///< After distillation (== merged when off).
+  double wall_seconds = 0;
+  std::vector<EpochStats> epochs;  ///< Sync schedule; not persisted.
+};
+
+/// One suite's durable state — what Session::Save writes per suite.
+struct SuiteSnapshot {
+  std::string name;
+  uint64_t fingerprint = 0;  ///< SuiteFingerprint() of the suite's library.
+  size_t programs_executed = 0;
+  double wall_seconds = 0;
+  std::vector<uint64_t> coverage;  ///< Covered block ids, sorted ascending.
+  std::map<std::string, int> crashes;  ///< Title -> occurrence count.
+  std::vector<Prog> corpus;            ///< Current (distilled) seed corpus.
+  std::map<std::string, Prog> crash_reproducers;
+  std::vector<RoundReport> rounds;  ///< Trend records, oldest first.
+};
+
+/// The session-level half of a snapshot: the scheduling state a resumed
+/// session needs to continue the exact RNG-deterministic round schedule,
+/// plus the suite roster it must be re-registered with.
+struct SessionManifest {
+  uint64_t seed = 0;
+  std::string schedule;  ///< "hash-chain" or "arithmetic".
+  uint64_t seed_stride = 0;
+  bool carry_corpus = true;
+  bool distill = true;
+  int rounds_completed = 0;
+  int stale_rounds = 0;  ///< Plateau-rule state (consecutive stale rounds).
+  /// (fingerprint, name) per suite, in registration order.
+  std::vector<std::pair<uint64_t, std::string>> suites;
+};
+
+/// Stable hash over the syzlang printer's rendering of every syscall
+/// declaration of `lib`, in library order. Two libraries fingerprint
+/// equal iff they expose the same syscall surface in the same order —
+/// the precondition for a snapshot's programs to replay identically.
+uint64_t SuiteFingerprint(const SpecLibrary& lib);
+
+/// Renders a program list ("progs <n>" header, then one block per
+/// program). Calls are stored by syzlang full name.
+std::string SerializeProgs(const std::vector<Prog>& progs,
+                           const SpecLibrary& lib);
+
+/// Parses a SerializeProgs rendering. Call names are re-resolved against
+/// `lib`; unknown names, malformed lines, and truncation yield an error
+/// Status and leave `*out` unspecified.
+util::Status ParseProgs(std::string_view text, const SpecLibrary& lib,
+                        std::vector<Prog>* out);
+
+/// Renders one suite's durable state ("kernelgpt-suite v1" header).
+std::string SerializeSuite(const SuiteSnapshot& suite, const SpecLibrary& lib);
+
+/// Parses a SerializeSuite rendering. Rejects version mismatches and any
+/// malformed content with an error Status.
+util::Status ParseSuite(std::string_view text, const SpecLibrary& lib,
+                        SuiteSnapshot* out);
+
+/// Renders the session manifest ("kernelgpt-session v1" header).
+std::string SerializeManifest(const SessionManifest& manifest);
+
+/// Parses a SerializeManifest rendering; same error contract as
+/// ParseSuite.
+util::Status ParseManifest(std::string_view text, SessionManifest* out);
+
+/// Reads a whole file; missing or unreadable files become an error Status.
+util::Status ReadFileToString(const std::string& path, std::string* out);
+
+/// Writes `content`, replacing any existing file.
+util::Status WriteStringToFile(const std::string& path,
+                               const std::string& content);
+
+}  // namespace kernelgpt::fuzzer
+
+#endif  // KERNELGPT_FUZZER_SNAPSHOT_H_
