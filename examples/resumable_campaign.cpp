@@ -1,17 +1,28 @@
-// Persistence demo: a fuzzing session interrupted halfway and resumed in
-// a NEW PROCESS continues the exact RNG-deterministic schedule — merged
-// coverage, crash titles, and the distilled corpus after "2 rounds, save,
-// resume, 2 rounds" are identical to an uninterrupted 4-round session.
+// Persistence demo: a fuzzing session interrupted halfway — including by
+// a KILL IN THE MIDDLE OF A SAVE — and resumed in a NEW PROCESS continues
+// the exact RNG-deterministic schedule: merged coverage, crash titles,
+// and the distilled corpus are identical to an uninterrupted 4-round
+// session.
 //
 // The default invocation drives the whole proof by re-executing itself,
-// so the resume really crosses a process boundary:
+// so every resume really crosses a process boundary:
 //   1. <self> run    <dir> 2   — fresh session, 2 rounds, Save(dir)
-//   2. <self> resume <dir> 2   — new process, Resume(dir), 2 more, Save
-//   3. <self> check  <dir> 4   — new process, Resume(dir), compare against
-//                                a straight 4-round single-process session
+//   2. <self> crash  <dir> 1   — new process, Resume, 1 more round, then
+//                                dies MID-SAVE (after the manifest tmp
+//                                file is durable, before the rename
+//                                commits it) via the crash-injection
+//                                hook; the directory keeps only the 2
+//                                committed rounds plus an uncommitted
+//                                journal tail
+//   3. <self> resume <dir> 2   — new process, Resume recovers to round 2
+//                                (truncating the tail), 2 more, Save
+//   4. <self> check  <dir> 4   — new process, Resume(dir), compare
+//                                against a straight 4-round session
 //
 // Build: cmake -B build && cmake --build build
 // Run:   ./build/examples/example_resumable_campaign [dir]
+
+#include <sys/wait.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -140,6 +151,16 @@ RunPhase(const std::string& mode, const std::string& dir, int rounds)
   if (util::Status s = session.Run(); !s.ok()) return Die(s, "run");
   PrintState(mode == "run" ? "after run:" : "after resume:",
              *session.Find("dm"));
+  if (mode == "crash") {
+    // Die mid-save: the hook fires once the manifest's tmp file is
+    // durable but before the rename commits it — the widest window in
+    // which a non-atomic writer would have destroyed the old manifest.
+    ::setenv("KERNELGPT_CRASH_AFTER_TMP_WRITE", "session.manifest", 1);
+    util::Status s = session.Save(dir);
+    std::fprintf(stderr, "crash phase survived Save (%s)\n",
+                 s.ok() ? "ok" : s.message().c_str());
+    return 1;  // Unreachable when the hook fires.
+  }
   if (util::Status s = session.Save(dir); !s.ok()) return Die(s, "save");
   std::printf("saved %d rounds to %s\n", session.rounds_completed(),
               dir.c_str());
@@ -152,6 +173,7 @@ int
 main(int argc, char** argv)
 {
   if (argc >= 4 && (std::strcmp(argv[1], "run") == 0 ||
+                    std::strcmp(argv[1], "crash") == 0 ||
                     std::strcmp(argv[1], "resume") == 0 ||
                     std::strcmp(argv[1], "check") == 0)) {
     return RunPhase(argv[1], argv[2], std::atoi(argv[3]));
@@ -166,18 +188,29 @@ main(int argc, char** argv)
   std::filesystem::remove_all(dir, ec);  // Stale snapshots would resume.
 
   const std::string self = argv[0];
-  const std::string phases[] = {
-      self + " run " + dir + " 2",
-      self + " resume " + dir + " 2",
-      self + " check " + dir + " 4",
+  struct Phase {
+    std::string cmd;
+    int expect_exit;
   };
-  for (const std::string& cmd : phases) {
-    std::printf("== %s\n", cmd.c_str());
+  const Phase phases[] = {
+      {self + " run " + dir + " 2", 0},
+      {self + " crash " + dir + " 1", 42},  // The injection hook _exits 42.
+      {self + " resume " + dir + " 2", 0},
+      {self + " check " + dir + " 4", 0},
+  };
+  for (const Phase& phase : phases) {
+    std::printf("== %s\n", phase.cmd.c_str());
     std::fflush(stdout);  // Keep parent/child output ordered.
-    const int rc = std::system(cmd.c_str());
-    if (rc != 0) {
-      std::fprintf(stderr, "phase failed (exit %d): %s\n", rc, cmd.c_str());
+    const int rc = std::system(phase.cmd.c_str());
+    const int exit_code = WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+    if (exit_code != phase.expect_exit) {
+      std::fprintf(stderr, "phase failed (exit %d, wanted %d): %s\n",
+                   exit_code, phase.expect_exit, phase.cmd.c_str());
       return 1;
+    }
+    if (phase.expect_exit == 42) {
+      std::printf("killed mid-save as planned; the manifest commit never "
+                  "landed\n");
     }
   }
   return 0;

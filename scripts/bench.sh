@@ -3,7 +3,7 @@
 # either records a BENCH_prN.json trajectory file or gates against a
 # previously recorded baseline.
 #
-# Record: scripts/bench.sh [output.json]        (default BENCH_pr5.json)
+# Record: scripts/bench.sh [output.json]        (default BENCH_pr6.json)
 # Gate:   scripts/bench.sh --check baseline.json
 #   Re-measures BM_FuzzThroughput and fails (exit 1) when throughput
 #   regresses more than BENCH_TOLERANCE_PCT percent (default 25) below
@@ -19,7 +19,7 @@ BENCH_BIN="${BUILD_DIR}/bench/bench_perf_micro"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
 MODE="record"
-OUT="BENCH_pr5.json"
+OUT="BENCH_pr6.json"
 BASELINE=""
 if [ "${1:-}" = "--check" ]; then
   MODE="check"
@@ -121,7 +121,7 @@ echo "== running hot-path benchmarks =="
 # (and is meaningless on 1-CPU containers), so it would poison the
 # trajectory file.
 "${BENCH_BIN}" \
-  --benchmark_filter='BM_FuzzThroughput|BM_ExecutorDispatch|BM_CoverageMerge|BM_Distill|BM_KernelOpenClose|BM_SnapshotSaveLoad' \
+  --benchmark_filter='BM_FuzzThroughput|BM_ExecutorDispatch|BM_CoverageMerge|BM_Distill|BM_KernelOpenClose|BM_SnapshotSaveLoad|BM_SnapshotAppend' \
   --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
   --benchmark_format=json > "${RAW}"
 
@@ -184,6 +184,21 @@ result = {
         "us_per_corpus_program": (
             round(ns_per_item("BM_SnapshotSaveLoad") / 1000.0, 2)
             if ns_per_item("BM_SnapshotSaveLoad") else None
+        ),
+    },
+    # Incremental journal append (PR 6): serializing + framing one
+    # steady-state round delta — the record an incremental Save appends.
+    # Flat across corpus sizes by design (the record is O(delta)).
+    "snapshot_append": {
+        "appends_per_sec_corpus64": items_per_sec("BM_SnapshotAppend/64"),
+        "appends_per_sec_corpus1024": items_per_sec("BM_SnapshotAppend/1024"),
+        "us_per_append_corpus64": (
+            round(ns_per_item("BM_SnapshotAppend/64") / 1000.0, 2)
+            if ns_per_item("BM_SnapshotAppend/64") else None
+        ),
+        "us_per_append_corpus1024": (
+            round(ns_per_item("BM_SnapshotAppend/1024") / 1000.0, 2)
+            if ns_per_item("BM_SnapshotAppend/1024") else None
         ),
     },
     # Between-campaign corpus distillation (PR 3): dedup + batched replay

@@ -26,12 +26,14 @@ echo "== Determinism gate (orchestrator + distiller + service + session) =="
 # bit-identical to the serial campaign loop, distilling the same merged
 # corpus twice must yield byte-identical corpora and reproducers, the
 # spec-generation service must emit byte-identical specs at 1 and 4
-# worker threads (service_test), and a Save/Resume'd fuzzing session must
+# worker threads (service_test), a Save/Resume'd fuzzing session must
 # be bit-identical to an uninterrupted run of the same rounds
-# (session_test). Rerun through ctest so the gate stays in sync with the
-# suites instead of a hand-picked gtest filter.
+# (session_test), and torn-tail / mid-save-crash recovery of the
+# incremental journal must restore the last committed round exactly
+# (snapshot_test). Rerun through ctest so the gate stays in sync with
+# the suites instead of a hand-picked gtest filter.
 (cd "${BUILD_DIR}" && ctest --output-on-failure --no-tests=error -j"${JOBS}" \
-    -R '^(orchestrator_test|distiller_test|service_test|session_test)$')
+    -R '^(orchestrator_test|distiller_test|service_test|session_test|snapshot_test)$')
 
 echo
 echo "CI OK"

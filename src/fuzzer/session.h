@@ -84,6 +84,19 @@ struct SessionOptions {
   int plateau_rounds = 0;
   size_t plateau_min_gain = 1;
 
+  /// Autosave: when > 0, RunRound persists the session into
+  /// `autosave_dir` every `autosave_every` rounds (the first save lays
+  /// down a full base snapshot; later saves append per-round journal
+  /// deltas), so the orchestrator loop is crash-resumable without any
+  /// caller involvement.
+  int autosave_every = 0;
+  std::string autosave_dir;
+
+  /// Journal compaction: once this many rounds have accumulated on top
+  /// of the base snapshot, Save folds the journal back into a fresh base
+  /// and starts an empty journal. Must be >= 1.
+  int journal_compact_every = 8;
+
   /// Per-round orchestrator parameters. `orchestrator.campaign.seed` and
   /// `.seed_corpus` are owned by the session's scheduler and overwritten
   /// every round.
@@ -107,6 +120,15 @@ struct SessionOptions {
   }
   SessionOptions& WithDistillOptions(DistillOptions v) {
     distill = v;
+    return *this;
+  }
+  SessionOptions& WithAutosave(std::string dir, int every = 1) {
+    autosave_dir = std::move(dir);
+    autosave_every = every;
+    return *this;
+  }
+  SessionOptions& WithJournalCompaction(int every) {
+    journal_compact_every = every;
     return *this;
   }
   SessionOptions& WithWorkers(int v) { orchestrator.num_workers = v; return *this; }
@@ -157,15 +179,28 @@ class Session {
   /// Runs `options.rounds` rounds (or until the plateau rule fires).
   util::Status Run();
 
-  /// Persists the session under `dir` (created if missing): a manifest
-  /// plus one suite file per registered suite, via the snapshot layer.
-  /// Save -> Resume -> Save round-trips bit-identically.
-  util::Status Save(const std::string& dir) const;
+  /// Persists the session under `dir` (created if missing). The first
+  /// save into a directory writes a full base snapshot (manifest + one
+  /// suite file + one empty journal per suite, all atomically replaced);
+  /// subsequent saves into the SAME directory append only each new
+  /// round's delta to the per-suite journals — O(delta) per round, not
+  /// O(corpus) — and commit by atomically replacing the manifest. Every
+  /// `options.journal_compact_every` rounds the journal is folded back
+  /// into a fresh base. A crash at any instant leaves the directory
+  /// resumable at the last committed round. Save -> Resume -> Save
+  /// round-trips bit-identically.
+  util::Status Save(const std::string& dir);
 
-  /// Restores a Save()d session. Call on a fresh session after
-  /// registering the same suites under the same names: the manifest's
-  /// seed/schedule and every suite's spec fingerprint must match, or the
-  /// resume is rejected with a Status describing the mismatch.
+  /// Restores a Save()d session: loads each suite's base snapshot, then
+  /// replays its journal up to the round the manifest committed. A torn
+  /// or uncommitted journal tail (a crash mid-append, or between the
+  /// journal append and the manifest commit) is recovered by truncating
+  /// back to the last committed record; damage to committed records is a
+  /// Status error, never a crash or silent data loss. Call on a fresh
+  /// session after registering the same suites under the same names: the
+  /// manifest's seed/schedule and every suite's spec fingerprint must
+  /// match, or the resume is rejected with a Status describing the
+  /// mismatch.
   util::Status Resume(const std::string& dir);
 
   /// Distills an externally merged corpus against a registered suite
@@ -194,16 +229,38 @@ class Session {
   struct Entry {
     std::shared_ptr<const SpecLibrary> lib;  // Aliased no-op for non-owning.
     SuiteState state;
+    /// Per-round deltas captured since the session was bound to a
+    /// snapshot directory (first Save or Resume) — the journal records an
+    /// incremental Save appends. Pruned once durable; RunRound flushes
+    /// the backlog to the bound directory before it can grow without
+    /// bound, so a bound directory only ever advances through the
+    /// crash-safe incremental path.
+    std::vector<SuiteDelta> pending;
   };
 
   util::Status Register(const std::string& name,
                         std::shared_ptr<const SpecLibrary> lib);
+  /// Atomically writes manifest + every suite base + fresh journals and
+  /// rebinds the incremental-save state to `dir`.
+  util::Status SaveFull(const std::string& dir);
+  util::Status WriteManifestFile(const std::string& dir) const;
+  SessionManifest MakeManifest() const;
+  /// True when `pending` holds every round in [durable_rounds_,
+  /// rounds_completed_) for every suite.
+  bool HasPendingRange() const;
 
   SessionOptions options_;
   Orchestrator::BootFn boot_;
   std::vector<Entry> suites_;
   int rounds_completed_ = 0;
   int stale_rounds_ = 0;
+
+  /// Incremental-persistence bookkeeping: the directory the session last
+  /// saved to or resumed from, how many rounds its base snapshots fold
+  /// in, and how many rounds its manifest has committed.
+  std::string bound_dir_;
+  int base_rounds_ = 0;
+  int durable_rounds_ = 0;
 };
 
 }  // namespace kernelgpt::fuzzer

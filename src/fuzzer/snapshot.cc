@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "syzlang/printer.h"
+#include "util/fileio.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -38,6 +39,15 @@ struct LineCursor {
     *line = text.substr(pos, nl - pos);
     pos = nl + 1;
     ++line_no;
+    return true;
+  }
+
+  /// Like Next() but without consuming the line (no err on EOF either).
+  bool Peek(std::string_view* line) const {
+    if (pos >= text.size()) return false;
+    size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) nl = text.size();
+    *line = text.substr(pos, nl - pos);
     return true;
   }
 
@@ -284,6 +294,82 @@ ParseOneProg(LineCursor* cur,
   return true;
 }
 
+// -- Round records -----------------------------------------------------------
+// "round <idx> <seed hex> <8 decimal counters> <wall hexfloat>" — shared
+// between the suite snapshot's trend section and the journal's delta
+// records so the two renderings can never drift apart.
+
+void
+AppendRoundLine(const RoundReport& r, std::string* out)
+{
+  *out += util::Format(
+      "round %d %llx %zu %zu %zu %zu %zu %zu %zu %zu %a\n", r.round,
+      static_cast<unsigned long long>(r.seed), r.programs_executed,
+      r.round_coverage, r.round_unique_crashes, r.coverage_delta,
+      r.cumulative_coverage, r.cumulative_unique_crashes, r.merged_corpus,
+      r.distilled_corpus, r.wall_seconds);
+}
+
+bool
+ParseRoundLine(LineCursor* cur, RoundReport* out)
+{
+  std::string_view rest;
+  if (!ExpectKeyword(cur, "round", &rest)) return false;
+  const std::vector<std::string> tok = util::SplitWhitespace(rest);
+  RoundReport r;
+  int64_t round = 0;
+  uint64_t u[8] = {};
+  if (tok.size() != 11 || !ParseI64(tok[0], &round) ||
+      !ParseU64(tok[1], 16, &r.seed) || !ParseU64(tok[2], 10, &u[0]) ||
+      !ParseU64(tok[3], 10, &u[1]) || !ParseU64(tok[4], 10, &u[2]) ||
+      !ParseU64(tok[5], 10, &u[3]) || !ParseU64(tok[6], 10, &u[4]) ||
+      !ParseU64(tok[7], 10, &u[5]) || !ParseU64(tok[8], 10, &u[6]) ||
+      !ParseU64(tok[9], 10, &u[7]) || !ParseF64(tok[10], &r.wall_seconds)) {
+    cur->err = util::Format("%s: bad round record", cur->Where().c_str());
+    return false;
+  }
+  r.round = static_cast<int>(round);
+  r.programs_executed = u[0];
+  r.round_coverage = u[1];
+  r.round_unique_crashes = u[2];
+  r.coverage_delta = u[3];
+  r.cumulative_coverage = u[4];
+  r.cumulative_unique_crashes = u[5];
+  r.merged_corpus = u[6];
+  r.distilled_corpus = u[7];
+  *out = std::move(r);
+  return true;
+}
+
+void
+AppendBlockIds(const std::vector<uint64_t>& ids, std::string* out)
+{
+  for (size_t i = 0; i < ids.size(); ++i) {
+    *out += util::Format("%llx", static_cast<unsigned long long>(ids[i]));
+    *out += (i % 8 == 7 || i + 1 == ids.size()) ? "\n" : " ";
+  }
+}
+
+bool
+ParseBlockIds(LineCursor* cur, uint64_t n, std::vector<uint64_t>* out)
+{
+  out->clear();
+  while (out->size() < n) {
+    std::string_view line;
+    if (!cur->Next(&line)) return false;
+    for (const std::string& tok : util::SplitWhitespace(line)) {
+      uint64_t id = 0;
+      if (!ParseU64(tok, 16, &id) || out->size() >= n) {
+        cur->err = util::Format("%s: bad coverage block '%s'",
+                                cur->Where().c_str(), tok.c_str());
+        return false;
+      }
+      out->push_back(id);
+    }
+  }
+  return true;
+}
+
 std::unordered_map<std::string, size_t>
 CallIndex(const SpecLibrary& lib)
 {
@@ -360,11 +446,7 @@ SerializeSuite(const SuiteSnapshot& suite, const SpecLibrary& lib)
   out += util::Format("wall_seconds %a\n", suite.wall_seconds);
 
   out += util::Format("coverage %zu\n", suite.coverage.size());
-  for (size_t i = 0; i < suite.coverage.size(); ++i) {
-    out += util::Format("%llx",
-                        static_cast<unsigned long long>(suite.coverage[i]));
-    out += (i % 8 == 7 || i + 1 == suite.coverage.size()) ? "\n" : " ";
-  }
+  AppendBlockIds(suite.coverage, &out);
 
   out += util::Format("crashes %zu\n", suite.crashes.size());
   for (const auto& [title, count] : suite.crashes) {
@@ -380,14 +462,7 @@ SerializeSuite(const SuiteSnapshot& suite, const SpecLibrary& lib)
   }
 
   out += util::Format("rounds %zu\n", suite.rounds.size());
-  for (const RoundReport& r : suite.rounds) {
-    out += util::Format(
-        "round %d %llx %zu %zu %zu %zu %zu %zu %zu %zu %a\n", r.round,
-        static_cast<unsigned long long>(r.seed), r.programs_executed,
-        r.round_coverage, r.round_unique_crashes, r.coverage_delta,
-        r.cumulative_coverage, r.cumulative_unique_crashes, r.merged_corpus,
-        r.distilled_corpus, r.wall_seconds);
-  }
+  for (const RoundReport& r : suite.rounds) AppendRoundLine(r, &out);
   out += "end\n";
   return out;
 }
@@ -425,20 +500,7 @@ ParseSuite(std::string_view text, const SpecLibrary& lib, SuiteSnapshot* out)
   }
 
   if (!ExpectCount(&cur, "coverage", &n)) return fail("coverage");
-  out->coverage.clear();
-  while (out->coverage.size() < n) {
-    std::string_view line;
-    if (!cur.Next(&line)) return fail("coverage blocks");
-    for (const std::string& tok : util::SplitWhitespace(line)) {
-      uint64_t id = 0;
-      if (!ParseU64(tok, 16, &id) || out->coverage.size() >= n) {
-        cur.err = util::Format("%s: bad coverage block '%s'",
-                               cur.Where().c_str(), tok.c_str());
-        return fail("coverage blocks");
-      }
-      out->coverage.push_back(id);
-    }
-  }
+  if (!ParseBlockIds(&cur, n, &out->coverage)) return fail("coverage blocks");
 
   if (!ExpectCount(&cur, "crashes", &n)) return fail("crashes");
   for (uint64_t i = 0; i < n; ++i) {
@@ -471,29 +533,8 @@ ParseSuite(std::string_view text, const SpecLibrary& lib, SuiteSnapshot* out)
 
   if (!ExpectCount(&cur, "rounds", &n)) return fail("rounds");
   for (uint64_t i = 0; i < n; ++i) {
-    if (!ExpectKeyword(&cur, "round", &rest)) return fail("round record");
-    const std::vector<std::string> tok = util::SplitWhitespace(rest);
     RoundReport r;
-    int64_t round = 0;
-    uint64_t u[8] = {};
-    if (tok.size() != 11 || !ParseI64(tok[0], &round) ||
-        !ParseU64(tok[1], 16, &r.seed) || !ParseU64(tok[2], 10, &u[0]) ||
-        !ParseU64(tok[3], 10, &u[1]) || !ParseU64(tok[4], 10, &u[2]) ||
-        !ParseU64(tok[5], 10, &u[3]) || !ParseU64(tok[6], 10, &u[4]) ||
-        !ParseU64(tok[7], 10, &u[5]) || !ParseU64(tok[8], 10, &u[6]) ||
-        !ParseU64(tok[9], 10, &u[7]) || !ParseF64(tok[10], &r.wall_seconds)) {
-      cur.err = util::Format("%s: bad round record", cur.Where().c_str());
-      return fail("round record");
-    }
-    r.round = static_cast<int>(round);
-    r.programs_executed = u[0];
-    r.round_coverage = u[1];
-    r.round_unique_crashes = u[2];
-    r.coverage_delta = u[3];
-    r.cumulative_coverage = u[4];
-    r.cumulative_unique_crashes = u[5];
-    r.merged_corpus = u[6];
-    r.distilled_corpus = u[7];
+    if (!ParseRoundLine(&cur, &r)) return fail("round record");
     out->rounds.push_back(std::move(r));
   }
 
@@ -579,13 +620,237 @@ ParseManifest(std::string_view text, SessionManifest* out)
                              static_cast<int>(rest.size()), rest.data());
       return fail("suite entry");
     }
-    const size_t name_at = rest.find(head[1]) + head[1].size() + 1;
-    if (name_at >= rest.size()) return fail("suite entry");
+    // The name starts after the second token, located positionally: a
+    // substring search for the fingerprint text would mis-anchor when it
+    // also occurs inside the index token (e.g. index "12", unpadded
+    // fingerprint "2") and corrupt the suite name.
+    const size_t index_end = rest.find(' ');
+    const size_t fp_begin = rest.find_first_not_of(' ', index_end);
+    const size_t fp_end = rest.find(' ', fp_begin);
+    const size_t name_at =
+        fp_end == std::string_view::npos
+            ? std::string_view::npos
+            : rest.find_first_not_of(' ', fp_end);
+    if (name_at == std::string_view::npos) return fail("suite entry");
     out->suites.emplace_back(fingerprint, std::string(rest.substr(name_at)));
   }
 
   std::string_view end;
   if (!ExpectKeyword(&cur, "end", &end)) return fail("trailer");
+  return util::Status::Ok();
+}
+
+std::string
+SerializeDelta(const SuiteDelta& delta, const SpecLibrary& lib)
+{
+  std::string out = util::Format("delta %d\n", delta.report.round);
+  AppendRoundLine(delta.report, &out);
+
+  out += util::Format("coverage+ %zu\n", delta.new_coverage.size());
+  AppendBlockIds(delta.new_coverage, &out);
+
+  out += util::Format("crashes+ %zu\n", delta.crash_increments.size());
+  for (const auto& [title, inc] : delta.crash_increments) {
+    out += util::Format("%d %s\n", inc, title.c_str());
+  }
+
+  out += util::Format("repros+ %zu\n", delta.new_reproducers.size());
+  for (const auto& [title, prog] : delta.new_reproducers) {
+    out += util::Format("title %s\n", title.c_str());
+    AppendProg(prog, lib, &out);
+  }
+
+  if (delta.corpus_unchanged) {
+    out += "corpus same\n";
+  } else {
+    out += util::Format("corpus %zu\n", delta.corpus.size());
+    for (const SuiteDelta::CorpusEntry& entry : delta.corpus) {
+      if (entry.kept_index >= 0) {
+        out += util::Format("k %d\n", entry.kept_index);
+      } else {
+        AppendProg(entry.prog, lib, &out);
+      }
+    }
+  }
+  out += "end\n";
+  return out;
+}
+
+util::Status
+ParseDelta(std::string_view text, const SpecLibrary& lib, SuiteDelta* out)
+{
+  LineCursor cur{text};
+  *out = SuiteDelta{};
+  auto fail = [&cur](const std::string& context) {
+    return util::Status::Error("journal delta: " + context +
+                               (cur.err.empty() ? "" : ": " + cur.err));
+  };
+
+  uint64_t n = 0;
+  if (!ExpectCount(&cur, "delta", &n)) return fail("header");
+  if (!ParseRoundLine(&cur, &out->report)) return fail("round record");
+  if (out->report.round < 0 ||
+      n != static_cast<uint64_t>(out->report.round)) {
+    cur.err = util::Format("header names round %llu but record is round %d",
+                           static_cast<unsigned long long>(n),
+                           out->report.round);
+    return fail("round record");
+  }
+
+  if (!ExpectCount(&cur, "coverage+", &n)) return fail("coverage delta");
+  if (!ParseBlockIds(&cur, n, &out->new_coverage)) {
+    return fail("coverage delta blocks");
+  }
+
+  if (!ExpectCount(&cur, "crashes+", &n)) return fail("crash increments");
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string_view line;
+    if (!cur.Next(&line)) return fail("crash increments");
+    const size_t space = line.find(' ');
+    int64_t inc = 0;
+    if (space == std::string_view::npos || space + 1 >= line.size() ||
+        !ParseI64(line.substr(0, space), &inc)) {
+      cur.err = util::Format("%s: bad crash increment '%.*s'",
+                             cur.Where().c_str(),
+                             static_cast<int>(line.size()), line.data());
+      return fail("crash increments");
+    }
+    out->crash_increments[std::string(line.substr(space + 1))] =
+        static_cast<int>(inc);
+  }
+
+  const auto call_index = CallIndex(lib);
+  if (!ExpectCount(&cur, "repros+", &n)) return fail("new reproducers");
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string_view rest;
+    if (!ExpectKeyword(&cur, "title", &rest)) return fail("repro title");
+    Prog prog;
+    if (!ParseOneProg(&cur, call_index, &prog)) return fail("repro program");
+    out->new_reproducers[std::string(rest)] = std::move(prog);
+  }
+
+  std::string_view rest;
+  if (!ExpectKeyword(&cur, "corpus", &rest)) return fail("corpus");
+  if (rest == "same") {
+    out->corpus_unchanged = true;
+  } else {
+    if (!ParseU64(rest, 10, &n)) {
+      cur.err = util::Format("%s: bad corpus count '%.*s'",
+                             cur.Where().c_str(),
+                             static_cast<int>(rest.size()), rest.data());
+      return fail("corpus");
+    }
+    for (uint64_t i = 0; i < n; ++i) {
+      std::string_view next;
+      SuiteDelta::CorpusEntry entry;
+      if (cur.Peek(&next) && util::StartsWith(next, "k ")) {
+        if (!ExpectKeyword(&cur, "k", &rest)) return fail("corpus entry");
+        int64_t index = 0;
+        if (!ParseI64(rest, &index) || index < 0) {
+          cur.err = util::Format("%s: bad kept-index '%.*s'",
+                                 cur.Where().c_str(),
+                                 static_cast<int>(rest.size()), rest.data());
+          return fail("corpus entry");
+        }
+        entry.kept_index = static_cast<int>(index);
+      } else {
+        if (!ParseOneProg(&cur, call_index, &entry.prog)) {
+          return fail("corpus program");
+        }
+      }
+      out->corpus.push_back(std::move(entry));
+    }
+  }
+
+  std::string_view end;
+  if (!ExpectKeyword(&cur, "end", &end)) return fail("trailer");
+  return util::Status::Ok();
+}
+
+std::string
+SerializeJournalHeader(const JournalHeader& header)
+{
+  std::string out = util::Format("kernelgpt-journal v%d\n", kSnapshotVersion);
+  out += util::Format("suite %016llx %s\n",
+                      static_cast<unsigned long long>(header.fingerprint),
+                      header.suite_name.c_str());
+  out += util::Format("base_rounds %d\n", header.base_rounds);
+  return out;
+}
+
+std::string
+FrameJournalRecord(std::string_view payload)
+{
+  std::string out = util::Format("rec %zu %08x\n", payload.size(),
+                                 util::Crc32(payload));
+  out.append(payload.data(), payload.size());
+  return out;
+}
+
+util::Status
+ScanJournal(std::string_view text, JournalScan* out)
+{
+  LineCursor cur{text};
+  *out = JournalScan{};
+  auto fail = [&cur](const std::string& context) {
+    return util::Status::Error("suite journal: " + context +
+                               (cur.err.empty() ? "" : ": " + cur.err));
+  };
+
+  if (!ExpectVersionHeader(&cur, "journal")) return fail("header");
+  std::string_view rest;
+  if (!ExpectKeyword(&cur, "suite", &rest)) return fail("suite binding");
+  const size_t space = rest.find(' ');
+  if (space == std::string_view::npos || space + 1 >= rest.size() ||
+      !ParseU64(rest.substr(0, space), 16, &out->header.fingerprint)) {
+    cur.err = util::Format("%s: bad suite binding '%.*s'",
+                           cur.Where().c_str(),
+                           static_cast<int>(rest.size()), rest.data());
+    return fail("suite binding");
+  }
+  out->header.suite_name = std::string(rest.substr(space + 1));
+  uint64_t base = 0;
+  if (!ExpectCount(&cur, "base_rounds", &base)) return fail("base_rounds");
+  out->header.base_rounds = static_cast<int>(base);
+  out->header_end = cur.pos;
+
+  // Records: everything from here on is a torn-tail candidate, never a
+  // Status error — the caller knows which records the manifest committed.
+  size_t pos = cur.pos;
+  while (pos < text.size()) {
+    const size_t record_no = out->records.size() + 1;
+    const size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) {
+      out->tail_error = util::Format("record %zu: torn header", record_no);
+      return util::Status::Ok();
+    }
+    const std::string_view head = text.substr(pos, nl - pos);
+    uint64_t len = 0, crc = 0;
+    const std::vector<std::string> tok = util::SplitWhitespace(head);
+    if (tok.size() != 3 || tok[0] != "rec" || !ParseU64(tok[1], 10, &len) ||
+        !ParseU64(tok[2], 16, &crc)) {
+      out->tail_error =
+          util::Format("record %zu: bad record header '%.*s'", record_no,
+                       static_cast<int>(head.size()), head.data());
+      return util::Status::Ok();
+    }
+    const size_t payload_at = nl + 1;
+    if (payload_at + len > text.size()) {
+      out->tail_error = util::Format(
+          "record %zu: torn payload (%llu bytes framed, %zu on disk)",
+          record_no, static_cast<unsigned long long>(len),
+          text.size() - payload_at);
+      return util::Status::Ok();
+    }
+    const std::string_view payload = text.substr(payload_at, len);
+    if (util::Crc32(payload) != static_cast<uint32_t>(crc)) {
+      out->tail_error =
+          util::Format("record %zu: checksum mismatch", record_no);
+      return util::Status::Ok();
+    }
+    pos = payload_at + len;
+    out->records.emplace_back(std::string(payload), pos);
+  }
   return util::Status::Ok();
 }
 
@@ -610,18 +875,10 @@ ReadFileToString(const std::string& path, std::string* out)
 util::Status
 WriteStringToFile(const std::string& path, const std::string& content)
 {
-  std::ofstream outf(path, std::ios::binary | std::ios::trunc);
-  if (!outf) {
-    return util::Status::Error(
-        util::Format("cannot create '%s': %s", path.c_str(),
-                     std::strerror(errno)));
-  }
-  outf << content;
-  outf.flush();
-  if (!outf) {
-    return util::Status::Error(util::Format("write failed: %s", path.c_str()));
-  }
-  return util::Status::Ok();
+  // Never truncate the live file in place: a crash mid-write would
+  // destroy the only good copy. The atomic helper leaves either the old
+  // or the new file, whatever the instant of the crash.
+  return util::AtomicWriteFile(path, content);
 }
 
 }  // namespace kernelgpt::fuzzer

@@ -17,6 +17,19 @@
 ///
 /// Every parse path reports malformed input as a util::Status (never a
 /// crash or abort): snapshots are user-supplied files.
+///
+/// Crash safety (PR 6): full-file snapshot writes go through
+/// util::AtomicWriteFile (write-tmp, fsync, rename), so a crash at any
+/// instant leaves either the old or the new file, never a torn one. On
+/// top of the base snapshot sits a per-suite append-only journal
+/// (`suite_<i>.journal`): each round's *delta* (new coverage blocks,
+/// crash-count increments, new reproducers, the corpus diff, the trend
+/// record) is framed as a length-prefixed CRC32-checksummed record and
+/// appended with fsync, so saving round k costs O(round-k delta) instead
+/// of O(whole corpus). The session manifest is the commit point: records
+/// are durable before the manifest names their round, so a torn or
+/// uncommitted journal tail is recovered by truncating back to the last
+/// record the manifest committed.
 
 #ifndef KERNELGPT_FUZZER_SNAPSHOT_H_
 #define KERNELGPT_FUZZER_SNAPSHOT_H_
@@ -117,10 +130,86 @@ std::string SerializeManifest(const SessionManifest& manifest);
 /// ParseSuite.
 util::Status ParseManifest(std::string_view text, SessionManifest* out);
 
+// -- Incremental journal -----------------------------------------------------
+
+/// One round's durable delta for one suite — what Session::Save appends
+/// to the suite's journal instead of re-serializing the whole suite.
+struct SuiteDelta {
+  /// The round's trend record; `report.round` doubles as the record's
+  /// position in the schedule (replay applies records in round order).
+  RoundReport report;
+  /// Blocks first covered this round, ascending — disjoint across
+  /// rounds, so the sum over all deltas is the cumulative coverage.
+  std::vector<uint64_t> new_coverage;
+  /// Per-title occurrence increments contributed by this round.
+  std::map<std::string, int> crash_increments;
+  /// Reproducers whose title is new or whose program changed this round.
+  std::map<std::string, Prog> new_reproducers;
+
+  /// True when this round's corpus is sequence-identical to the previous
+  /// round's — the steady state once distillation converges; the record
+  /// then carries no corpus payload at all.
+  bool corpus_unchanged = false;
+  /// When the corpus did change: the new corpus in order, each entry
+  /// either a reference into the previous round's corpus (kept_index >=
+  /// 0) or an inline program (kept_index < 0).
+  struct CorpusEntry {
+    int kept_index = -1;
+    Prog prog;
+  };
+  std::vector<CorpusEntry> corpus;
+};
+
+/// Renders one delta ("delta <round>" header through "end"). Inline
+/// programs use the same call-by-name blocks as SerializeProgs.
+std::string SerializeDelta(const SuiteDelta& delta, const SpecLibrary& lib);
+
+/// Parses a SerializeDelta rendering; same error contract as ParseSuite.
+util::Status ParseDelta(std::string_view text, const SpecLibrary& lib,
+                        SuiteDelta* out);
+
+/// The journal file's header: which suite state it extends and how many
+/// rounds the base snapshot already folds in (records for earlier rounds
+/// are skipped on replay — they survive a crash mid-compaction).
+struct JournalHeader {
+  uint64_t fingerprint = 0;
+  std::string suite_name;
+  int base_rounds = 0;
+};
+
+/// Renders the journal header ("kernelgpt-journal v1" + suite binding).
+std::string SerializeJournalHeader(const JournalHeader& header);
+
+/// Frames one record for appending: "rec <payload bytes> <crc32>\n"
+/// followed by the payload verbatim. The CRC is over the payload only.
+std::string FrameJournalRecord(std::string_view payload);
+
+/// Result of scanning a journal file: the header, every complete
+/// checksum-valid record in order (with the byte offset just past it),
+/// and — when scanning stopped before EOF — why. A torn or corrupt tail
+/// is NOT a Status error: callers decide whether the lost records were
+/// committed (error) or not (recover by truncating to `records.back()`).
+struct JournalScan {
+  JournalHeader header;
+  size_t header_end = 0;  ///< Offset just past the header lines.
+  /// (payload, end offset) per valid record, in file order.
+  std::vector<std::pair<std::string, size_t>> records;
+  std::string tail_error;  ///< Empty on a clean EOF.
+};
+
+/// Parses a journal file. Only header problems (not a journal, version
+/// mismatch) are Status errors; record-level damage ends the scan and is
+/// reported via `out->tail_error`.
+util::Status ScanJournal(std::string_view text, JournalScan* out);
+
+// -- File helpers ------------------------------------------------------------
+
 /// Reads a whole file; missing or unreadable files become an error Status.
 util::Status ReadFileToString(const std::string& path, std::string* out);
 
-/// Writes `content`, replacing any existing file.
+/// Atomically replaces `path` with `content` (write `<path>.tmp`, fsync,
+/// rename — a crash leaves either the old or the new file, never a torn
+/// one). Thin wrapper over util::AtomicWriteFile.
 util::Status WriteStringToFile(const std::string& path,
                                const std::string& content);
 

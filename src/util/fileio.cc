@@ -1,0 +1,154 @@
+#include "util/fileio.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/strings.h"
+
+namespace kernelgpt::util {
+namespace {
+
+Status
+Errno(const char* verb, const std::string& path)
+{
+  return Status::Error(
+      Format("%s '%s': %s", verb, path.c_str(), std::strerror(errno)));
+}
+
+/// Writes the whole buffer through short writes and EINTR.
+bool
+WriteAll(int fd, std::string_view content)
+{
+  const char* p = content.data();
+  size_t left = content.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// fsyncs the directory containing `path` so the rename itself is durable.
+/// Best-effort: some filesystems reject O_RDONLY directory fsyncs; the
+/// data-file fsync already happened, which is the part torn-write safety
+/// depends on.
+void
+SyncParentDir(const std::string& path)
+{
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+const uint32_t* Crc32Table()
+{
+  static uint32_t table[256];
+  static bool ready = [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return true;
+  }();
+  (void)ready;
+  return table;
+}
+
+}  // namespace
+
+uint32_t
+Crc32(const void* data, size_t len)
+{
+  const uint32_t* table = Crc32Table();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xffffffffu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+uint32_t
+Crc32(std::string_view s)
+{
+  return Crc32(s.data(), s.size());
+}
+
+Status
+AtomicWriteFile(const std::string& path, std::string_view content)
+{
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("cannot create", tmp);
+  if (!WriteAll(fd, content)) {
+    Status status = Errno("write failed", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (::fsync(fd) != 0) {
+    Status status = Errno("fsync failed", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  ::close(fd);
+
+  // Crash-injection hook for the kill-mid-save tests: die with the tmp
+  // file durable but the rename not yet issued — the widest window in
+  // which a non-atomic writer would have destroyed the previous file.
+  if (const char* want = std::getenv("KERNELGPT_CRASH_AFTER_TMP_WRITE")) {
+    if (*want != '\0' && path.find(want) != std::string::npos) {
+      ::_exit(42);
+    }
+  }
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status status = Errno("rename failed", tmp);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  SyncParentDir(path);
+  return Status::Ok();
+}
+
+Status
+AppendFileDurable(const std::string& path, std::string_view content)
+{
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  if (fd < 0) return Errno("cannot open for append", path);
+  if (!WriteAll(fd, content)) {
+    Status status = Errno("append failed", path);
+    ::close(fd);
+    return status;
+  }
+  if (::fsync(fd) != 0) {
+    Status status = Errno("fsync failed", path);
+    ::close(fd);
+    return status;
+  }
+  ::close(fd);
+  return Status::Ok();
+}
+
+}  // namespace kernelgpt::util

@@ -1,0 +1,46 @@
+/// \file
+/// Durable file I/O for the snapshot layer: crash-safe whole-file
+/// replacement (write-tmp, fsync, rename) and synced appends, plus the
+/// CRC32 checksum the journal uses to frame its records. A process killed
+/// at any instant leaves either the old file or the new file on disk,
+/// never a torn mixture — the invariant the Session persistence layer is
+/// built on.
+
+#ifndef KERNELGPT_UTIL_FILEIO_H_
+#define KERNELGPT_UTIL_FILEIO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace kernelgpt::util {
+
+/// CRC32 (IEEE 802.3 polynomial, table-driven) over a byte range.
+/// Deterministic across platforms; used to checksum journal records so a
+/// torn or bit-flipped entry is detected instead of parsed.
+uint32_t Crc32(const void* data, size_t len);
+uint32_t Crc32(std::string_view s);
+
+/// Atomically replaces `path` with `content`: writes `<path>.tmp`, flushes
+/// and fsyncs it, then rename(2)s it into place and fsyncs the parent
+/// directory. A crash at any point leaves either the previous file intact
+/// or the new one complete — never a truncated or half-written file.
+///
+/// Test hook: when the KERNELGPT_CRASH_AFTER_TMP_WRITE environment
+/// variable is set to a substring of `path`, the process _exit(42)s after
+/// the tmp file is durable but before the rename — the crash window the
+/// resumable_campaign example's kill-mid-save leg exercises.
+Status AtomicWriteFile(const std::string& path, std::string_view content);
+
+/// Appends `content` to `path` (creating it if missing) and fsyncs before
+/// returning, so an acknowledged append survives a crash. Appends are not
+/// atomic: a crash mid-write can leave a torn tail, which is why journal
+/// records are length-prefixed and checksummed.
+Status AppendFileDurable(const std::string& path, std::string_view content);
+
+}  // namespace kernelgpt::util
+
+#endif  // KERNELGPT_UTIL_FILEIO_H_

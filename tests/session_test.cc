@@ -445,7 +445,8 @@ TEST_F(SessionTest, SaveResumeSaveRoundTripsBitIdentically)
   ASSERT_TRUE(second.Resume(dir_a).ok());
   ASSERT_TRUE(second.Save(dir_b).ok());
 
-  for (const char* file : {"session.manifest", "suite_0.snap"}) {
+  for (const char* file :
+       {"session.manifest", "suite_0.snap", "suite_0.journal"}) {
     std::string a, b;
     ASSERT_TRUE(ReadFileToString(dir_a + "/" + file, &a).ok());
     ASSERT_TRUE(ReadFileToString(dir_b + "/" + file, &b).ok());

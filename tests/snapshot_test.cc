@@ -1,0 +1,572 @@
+// Crash-consistency battery for the incremental snapshot layer:
+//  - CRC32 and atomic-write primitives behave as specified (known-answer
+//    vector, no .tmp leftovers, old content survives a failed write);
+//  - journal record framing + delta serialization are byte fixpoints;
+//  - ParseManifest locates suite names positionally (regression: an
+//    unpadded fingerprint whose text also occurs inside the index token
+//    used to mis-anchor a substring search and corrupt the name);
+//  - an incremental Save appends to the journal without rewriting the
+//    base snapshot, and the journal replay is bit-identical to an
+//    uninterrupted run;
+//  - Resume recovers from a torn or uncommitted journal tail truncated
+//    at EVERY byte boundary, never crashing or dropping committed data;
+//  - damage to a committed record (one flipped byte per record) is a
+//    precise util::Status error that leaves the session untouched;
+//  - Save into a reused directory prunes orphaned suite files and stray
+//    .tmp leftovers; journalless (pre-journal) directories still resume.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "drivers/corpus.h"
+#include "drivers/model_spec.h"
+#include "fuzzer/session.h"
+#include "fuzzer/snapshot.h"
+#include "util/fileio.h"
+#include "util/strings.h"
+
+namespace kernelgpt::fuzzer {
+namespace {
+
+using drivers::Corpus;
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    consts_ = new syzlang::ConstTable(
+        Corpus::Instance().BuildIndex().BuildConstTable());
+    lib_ = new SpecLibrary(MakeLibrary(
+        drivers::GroundTruthDeviceSpec(*Corpus::Instance().FindDevice("dm"))));
+  }
+  static void TearDownTestSuite() {
+    delete lib_;
+    lib_ = nullptr;
+    delete consts_;
+    consts_ = nullptr;
+  }
+
+  static SpecLibrary MakeLibrary(const syzlang::SpecFile& spec) {
+    SpecLibrary lib;
+    lib.SetConsts(*consts_);
+    lib.Add(spec);
+    lib.Finalize();
+    return lib;
+  }
+
+  static void Boot(vkernel::Kernel* kernel) {
+    Corpus::Instance().RegisterAll(kernel);
+  }
+
+  /// Short deterministic per-round options; small budget keeps the
+  /// byte-boundary sweeps fast.
+  static SessionOptions SmallSession() {
+    SessionOptions options;
+    options.seed = 77;
+    options.orchestrator.campaign.program_budget = 2500;
+    options.orchestrator.campaign.batch_size = 32;
+    options.orchestrator.num_workers = 2;
+    options.orchestrator.sync_interval = 200;
+    return options;
+  }
+
+  static Session MakeSession(SessionOptions options) {
+    return Session(std::move(options), Boot);
+  }
+
+  /// A fresh session registered on the shared suite, resumed from `dir`.
+  static Session ResumeFresh(const std::string& dir, util::Status* status,
+                             SessionOptions options = SmallSession()) {
+    Session session = MakeSession(std::move(options));
+    EXPECT_TRUE(session.RegisterSuite("dm", lib_).ok());
+    *status = session.Resume(dir);
+    return session;
+  }
+
+  static std::string ScratchDir(const std::string& leaf) {
+    const std::string dir =
+        ::testing::TempDir() + "kernelgpt_snapshot_test/" + leaf;
+    std::filesystem::remove_all(dir);
+    return dir;
+  }
+
+  static std::string MustRead(const std::string& path) {
+    std::string text;
+    util::Status status = ReadFileToString(path, &text);
+    EXPECT_TRUE(status.ok()) << status.message();
+    return text;
+  }
+
+  static void ExpectSameState(const SuiteState& a, const SuiteState& b,
+                              const std::string& label) {
+    EXPECT_EQ(a.coverage.blocks(), b.coverage.blocks()) << label;
+    EXPECT_EQ(a.crashes, b.crashes) << label;
+    EXPECT_EQ(a.programs_executed, b.programs_executed) << label;
+    ASSERT_EQ(a.corpus.size(), b.corpus.size()) << label;
+    for (size_t i = 0; i < a.corpus.size(); ++i) {
+      EXPECT_EQ(HashProg(a.corpus[i]), HashProg(b.corpus[i]))
+          << label << " program " << i;
+    }
+    ASSERT_EQ(a.crash_reproducers.size(), b.crash_reproducers.size()) << label;
+    for (const auto& [title, prog] : a.crash_reproducers) {
+      auto it = b.crash_reproducers.find(title);
+      ASSERT_NE(it, b.crash_reproducers.end()) << label << " " << title;
+      EXPECT_EQ(HashProg(prog), HashProg(it->second)) << label << " " << title;
+    }
+    ASSERT_EQ(a.rounds.size(), b.rounds.size()) << label;
+  }
+
+  static syzlang::ConstTable* consts_;
+  static SpecLibrary* lib_;
+};
+
+syzlang::ConstTable* SnapshotTest::consts_ = nullptr;
+SpecLibrary* SnapshotTest::lib_ = nullptr;
+
+// -- Primitives --------------------------------------------------------------
+
+TEST_F(SnapshotTest, Crc32MatchesTheStandardCheckValue)
+{
+  // The canonical CRC-32/ISO-HDLC check vector.
+  EXPECT_EQ(util::Crc32("123456789"), 0xcbf43926u);
+  EXPECT_EQ(util::Crc32(""), 0u);
+  EXPECT_NE(util::Crc32("torn"), util::Crc32("tore"));
+}
+
+TEST_F(SnapshotTest, AtomicWriteReplacesWithoutLeavingTmpFiles)
+{
+  const std::string dir = ScratchDir("atomic");
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/file";
+  ASSERT_TRUE(util::AtomicWriteFile(path, "first").ok());
+  ASSERT_TRUE(util::AtomicWriteFile(path, "second").ok());
+  EXPECT_EQ(MustRead(path), "second");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+
+  ASSERT_TRUE(util::AppendFileDurable(path, " third").ok());
+  EXPECT_EQ(MustRead(path), "second third");
+}
+
+// -- Journal framing and delta serialization ---------------------------------
+
+TEST_F(SnapshotTest, JournalFramingRoundTripsAndFlagsEveryTornTail)
+{
+  JournalHeader header;
+  header.fingerprint = 0xabcdef;
+  header.suite_name = "dm suite";
+  header.base_rounds = 3;
+  std::string text = SerializeJournalHeader(header);
+  const std::string r1 = "payload one\n";
+  const std::string r2 = "payload two, longer\n";
+  text += FrameJournalRecord(r1);
+  text += FrameJournalRecord(r2);
+
+  JournalScan scan;
+  util::Status status = ScanJournal(text, &scan);
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_EQ(scan.header.fingerprint, header.fingerprint);
+  EXPECT_EQ(scan.header.suite_name, header.suite_name);
+  EXPECT_EQ(scan.header.base_rounds, header.base_rounds);
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[0].first, r1);
+  EXPECT_EQ(scan.records[1].first, r2);
+  EXPECT_EQ(scan.records[1].second, text.size());
+  EXPECT_TRUE(scan.tail_error.empty()) << scan.tail_error;
+
+  // Every truncation point inside the record region loses only the tail:
+  // scanning never errors, and every record wholly before the cut
+  // survives.
+  for (size_t cut = scan.header_end; cut < text.size(); ++cut) {
+    JournalScan torn;
+    status = ScanJournal(text.substr(0, cut), &torn);
+    ASSERT_TRUE(status.ok()) << "cut " << cut << ": " << status.message();
+    const size_t expect =
+        cut >= scan.records[1].second ? 2 : cut >= scan.records[0].second ? 1
+                                                                          : 0;
+    EXPECT_EQ(torn.records.size(), expect) << "cut " << cut;
+    // A cut exactly on a record boundary looks like a crash between
+    // appends — clean EOF; anywhere else must be flagged as torn.
+    const bool boundary =
+        cut == scan.header_end || cut == scan.records[0].second;
+    EXPECT_EQ(torn.tail_error.empty(), boundary) << "cut " << cut;
+  }
+
+  // A flipped payload byte fails the checksum and ends the scan there.
+  std::string corrupt = text;
+  corrupt[scan.records[0].second + 20] ^= 0x40;
+  JournalScan damaged;
+  ASSERT_TRUE(ScanJournal(corrupt, &damaged).ok());
+  EXPECT_EQ(damaged.records.size(), 1u);
+  EXPECT_NE(damaged.tail_error.find("checksum"), std::string::npos)
+      << damaged.tail_error;
+
+  // Header damage is a Status error — there is nothing to recover onto.
+  EXPECT_FALSE(ScanJournal("kernelgpt-journal v999\n", &damaged).ok());
+  EXPECT_FALSE(ScanJournal("not a journal\n", &damaged).ok());
+}
+
+TEST_F(SnapshotTest, DeltaSerializationIsAByteFixpoint)
+{
+  // Real programs: take the corpus a short campaign round distills.
+  Session session = MakeSession(SmallSession());
+  ASSERT_TRUE(session.RegisterSuite("dm", lib_).ok());
+  ASSERT_TRUE(session.RunRound().ok());
+  const SuiteState* state = session.Find("dm");
+  ASSERT_NE(state, nullptr);
+  ASSERT_GE(state->corpus.size(), 3u);
+
+  SuiteDelta delta;
+  delta.report = state->rounds.back();
+  delta.report.epochs.clear();
+  delta.new_coverage = {0x10, 0x2f, 0xdeadbeef};
+  delta.crash_increments = {{"KASAN: use-after-free", 2}, {"WARNING", 1}};
+  delta.new_reproducers["WARNING"] = state->corpus[0];
+  delta.corpus.resize(3);
+  delta.corpus[0].kept_index = 2;
+  delta.corpus[1].prog = state->corpus[1];
+  delta.corpus[2].kept_index = 0;
+
+  const std::string once = SerializeDelta(delta, *lib_);
+  SuiteDelta parsed;
+  util::Status status = ParseDelta(once, *lib_, &parsed);
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_EQ(SerializeDelta(parsed, *lib_), once);
+  EXPECT_EQ(parsed.new_coverage, delta.new_coverage);
+  EXPECT_EQ(parsed.crash_increments, delta.crash_increments);
+  EXPECT_EQ(parsed.corpus[0].kept_index, 2);
+  EXPECT_EQ(HashProg(parsed.corpus[1].prog), HashProg(delta.corpus[1].prog));
+
+  // The "unchanged" steady-state encoding round-trips too — and carries
+  // no per-program payload at all.
+  delta.corpus.clear();
+  delta.corpus_unchanged = true;
+  delta.new_reproducers.clear();
+  const std::string steady = SerializeDelta(delta, *lib_);
+  EXPECT_NE(steady.find("corpus same"), std::string::npos);
+  ASSERT_TRUE(ParseDelta(steady, *lib_, &parsed).ok());
+  EXPECT_TRUE(parsed.corpus_unchanged);
+  EXPECT_EQ(SerializeDelta(parsed, *lib_), steady);
+}
+
+// -- ParseManifest regression ------------------------------------------------
+
+TEST_F(SnapshotTest, ManifestSuiteNamesParsePositionally)
+{
+  // Regression: with an unpadded fingerprint whose text also occurs
+  // inside the index token ("suite 12 2 name12"), the old substring
+  // anchor found the "2" inside "12" and corrupted the name to
+  // "2 name12". Names must be located positionally after the second
+  // token.
+  std::string text =
+      "kernelgpt-session v1\n"
+      "seed 2a\n"
+      "schedule hash-chain\n"
+      "seed_stride 7919\n"
+      "carry_corpus 1\n"
+      "distill 1\n"
+      "rounds_completed 0\n"
+      "stale_rounds 0\n"
+      "suites 13\n";
+  for (int i = 0; i < 13; ++i) {
+    text += "suite " + std::to_string(i) + " 2 name" + std::to_string(i) + "\n";
+  }
+  text += "end\n";
+
+  SessionManifest manifest;
+  util::Status status = ParseManifest(text, &manifest);
+  ASSERT_TRUE(status.ok()) << status.message();
+  ASSERT_EQ(manifest.suites.size(), 13u);
+  EXPECT_EQ(manifest.suites[12].first, 0x2u);
+  EXPECT_EQ(manifest.suites[12].second, "name12");
+  EXPECT_EQ(manifest.suites[2].second, "name2");
+
+  // Names with spaces still survive the round trip.
+  SessionManifest padded;
+  padded.seed = 1;
+  padded.schedule = "hash-chain";
+  padded.suites.emplace_back(0x12, "Syzkaller + KernelGPT");
+  const std::string once = SerializeManifest(padded);
+  ASSERT_TRUE(ParseManifest(once, &manifest).ok());
+  EXPECT_EQ(manifest.suites[0].second, "Syzkaller + KernelGPT");
+  EXPECT_EQ(SerializeManifest(manifest), once);
+}
+
+// -- Incremental save --------------------------------------------------------
+
+TEST_F(SnapshotTest, IncrementalSaveAppendsWithoutRewritingTheBase)
+{
+  const std::string dir = ScratchDir("incremental");
+  Session session = MakeSession(
+      SmallSession().WithRounds(1).WithJournalCompaction(100));
+  ASSERT_TRUE(session.RegisterSuite("dm", lib_).ok());
+  ASSERT_TRUE(session.RunRound().ok());
+  ASSERT_TRUE(session.Save(dir).ok());
+
+  const std::string base = MustRead(dir + "/suite_0.snap");
+  const std::string journal_after_full = MustRead(dir + "/suite_0.journal");
+
+  ASSERT_TRUE(session.RunRound().ok());
+  ASSERT_TRUE(session.Save(dir).ok());
+  ASSERT_TRUE(session.RunRound().ok());
+  ASSERT_TRUE(session.Save(dir).ok());
+
+  // The base is untouched — the new rounds live in the journal.
+  EXPECT_EQ(MustRead(dir + "/suite_0.snap"), base);
+  const std::string journal = MustRead(dir + "/suite_0.journal");
+  EXPECT_GT(journal.size(), journal_after_full.size());
+  EXPECT_TRUE(util::StartsWith(journal, journal_after_full));
+
+  JournalScan scan;
+  ASSERT_TRUE(ScanJournal(journal, &scan).ok());
+  EXPECT_EQ(scan.records.size(), 2u);
+  EXPECT_TRUE(scan.tail_error.empty()) << scan.tail_error;
+
+  // Replaying base + journal is bit-identical to an uninterrupted run.
+  Session straight = MakeSession(SmallSession());
+  ASSERT_TRUE(straight.RegisterSuite("dm", lib_).ok());
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(straight.RunRound().ok());
+
+  util::Status status = util::Status::Ok();
+  Session resumed = ResumeFresh(dir, &status);
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_EQ(resumed.rounds_completed(), 3);
+  ExpectSameState(*resumed.Find("dm"), *straight.Find("dm"), "resumed");
+
+  // And the continuation stays on the deterministic schedule.
+  ASSERT_TRUE(resumed.RunRound().ok());
+  ASSERT_TRUE(straight.RunRound().ok());
+  ExpectSameState(*resumed.Find("dm"), *straight.Find("dm"), "continued");
+}
+
+TEST_F(SnapshotTest, CompactionFoldsTheJournalIntoAFreshBase)
+{
+  const std::string dir = ScratchDir("compaction");
+  Session session = MakeSession(SmallSession().WithJournalCompaction(2));
+  ASSERT_TRUE(session.RegisterSuite("dm", lib_).ok());
+  ASSERT_TRUE(session.RunRound().ok());
+  ASSERT_TRUE(session.Save(dir).ok());
+  const std::string base = MustRead(dir + "/suite_0.snap");
+
+  // Two more rounds hit the compaction horizon: the journal folds into a
+  // fresh base and restarts empty.
+  ASSERT_TRUE(session.RunRound().ok());
+  ASSERT_TRUE(session.RunRound().ok());
+  ASSERT_TRUE(session.Save(dir).ok());
+  EXPECT_NE(MustRead(dir + "/suite_0.snap"), base);
+  JournalScan scan;
+  ASSERT_TRUE(ScanJournal(MustRead(dir + "/suite_0.journal"), &scan).ok());
+  EXPECT_EQ(scan.records.size(), 0u);
+  EXPECT_EQ(scan.header.base_rounds, 3);
+
+  Session straight = MakeSession(SmallSession());
+  ASSERT_TRUE(straight.RegisterSuite("dm", lib_).ok());
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(straight.RunRound().ok());
+  util::Status status = util::Status::Ok();
+  Session resumed = ResumeFresh(dir, &status,
+                                SmallSession().WithJournalCompaction(2));
+  ASSERT_TRUE(status.ok()) << status.message();
+  ExpectSameState(*resumed.Find("dm"), *straight.Find("dm"), "compacted");
+}
+
+TEST_F(SnapshotTest, AutosaveKeepsTheDirectoryResumableEveryRound)
+{
+  const std::string dir = ScratchDir("autosave");
+  Session session = MakeSession(
+      SmallSession().WithRounds(3).WithAutosave(dir, 1));
+  ASSERT_TRUE(session.RegisterSuite("dm", lib_).ok());
+  ASSERT_TRUE(session.Run().ok());
+
+  util::Status status = util::Status::Ok();
+  Session resumed = ResumeFresh(dir, &status,
+                                SmallSession().WithRounds(3).WithAutosave(dir, 1));
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_EQ(resumed.rounds_completed(), 3);
+  ExpectSameState(*resumed.Find("dm"), *session.Find("dm"), "autosaved");
+}
+
+// -- Torn-tail recovery ------------------------------------------------------
+
+class TornTailTest : public SnapshotTest {
+ protected:
+  /// Builds a directory committed at round 1 whose journal carries one
+  /// intact-but-uncommitted record for round 1 (the on-disk picture of a
+  /// crash after the journal append fsynced but before the manifest
+  /// rename landed), plus a reference session at the committed round.
+  void SetUpDir(const std::string& leaf) {
+    dir_ = ScratchDir(leaf);
+    Session session = MakeSession(SmallSession().WithJournalCompaction(100));
+    EXPECT_TRUE(session.RegisterSuite("dm", lib_).ok());
+    EXPECT_TRUE(session.RunRound().ok());
+    EXPECT_TRUE(session.Save(dir_).ok());
+    committed_manifest_ = MustRead(dir_ + "/session.manifest");
+    EXPECT_TRUE(session.RunRound().ok());
+    EXPECT_TRUE(session.Save(dir_).ok());
+    full_journal_ = MustRead(dir_ + "/suite_0.journal");
+
+    // Roll the manifest back to the committed round: the appended record
+    // is now an uncommitted tail.
+    EXPECT_TRUE(
+        WriteStringToFile(dir_ + "/session.manifest", committed_manifest_)
+            .ok());
+
+    reference_ = std::make_unique<Session>(SmallSession(), Boot);
+    EXPECT_TRUE(reference_->RegisterSuite("dm", lib_).ok());
+    EXPECT_TRUE(reference_->RunRound().ok());
+  }
+
+  std::string dir_;
+  std::string committed_manifest_;
+  std::string full_journal_;
+  std::unique_ptr<Session> reference_;
+};
+
+TEST_F(TornTailTest, ResumeDropsAnUncommittedTailAndTruncatesIt)
+{
+  SetUpDir("uncommitted");
+  util::Status status = util::Status::Ok();
+  Session resumed = ResumeFresh(dir_, &status);
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_EQ(resumed.rounds_completed(), 1);
+  ExpectSameState(*resumed.Find("dm"), *reference_->Find("dm"), "recovered");
+
+  // The uncommitted record was physically truncated away, so future
+  // appends land after the last committed byte, not after garbage.
+  const std::string healed = MustRead(dir_ + "/suite_0.journal");
+  EXPECT_LT(healed.size(), full_journal_.size());
+  JournalScan scan;
+  ASSERT_TRUE(ScanJournal(healed, &scan).ok());
+  EXPECT_TRUE(scan.tail_error.empty()) << scan.tail_error;
+  EXPECT_EQ(scan.records.size(), 0u);
+
+  // The recovered session keeps saving incrementally and stays on the
+  // deterministic schedule.
+  ASSERT_TRUE(resumed.RunRound().ok());
+  ASSERT_TRUE(resumed.Save(dir_).ok());
+  ASSERT_TRUE(reference_->RunRound().ok());
+  util::Status again_status = util::Status::Ok();
+  Session again = ResumeFresh(dir_, &again_status);
+  ASSERT_TRUE(again_status.ok()) << again_status.message();
+  EXPECT_EQ(again.rounds_completed(), 2);
+  ExpectSameState(*again.Find("dm"), *reference_->Find("dm"), "resaved");
+}
+
+TEST_F(TornTailTest, ResumeRecoversFromTruncationAtEveryByteBoundary)
+{
+  SetUpDir("every-byte");
+  // Cut the journal at EVERY byte boundary — torn header, torn record
+  // framing, torn payload — and resume each time. The committed round
+  // must come back bit-identical in every case; a cut inside the header
+  // region loses the whole journal, which the base alone covers.
+  const SuiteState& want = *reference_->Find("dm");
+  for (size_t cut = 0; cut <= full_journal_.size(); ++cut) {
+    ASSERT_TRUE(WriteStringToFile(dir_ + "/suite_0.journal",
+                                  full_journal_.substr(0, cut))
+                    .ok());
+    util::Status status = util::Status::Ok();
+    Session resumed = ResumeFresh(dir_, &status);
+    ASSERT_TRUE(status.ok()) << "cut " << cut << ": " << status.message();
+    ASSERT_EQ(resumed.rounds_completed(), 1) << "cut " << cut;
+    const SuiteState* got = resumed.Find("dm");
+    ASSERT_NE(got, nullptr);
+    // Spot-check cheaply per cut; the full state comparison above
+    // already pinned one recovery end-to-end.
+    ASSERT_EQ(got->coverage.Count(), want.coverage.Count()) << "cut " << cut;
+    ASSERT_EQ(got->corpus.size(), want.corpus.size()) << "cut " << cut;
+    ASSERT_EQ(got->programs_executed, want.programs_executed)
+        << "cut " << cut;
+  }
+}
+
+TEST_F(TornTailTest, DamageToACommittedRecordIsAStatusError)
+{
+  SetUpDir("committed-damage");
+  // Commit round 2 (both records now committed), then flip one byte per
+  // record: the loss reaches committed state, so Resume must refuse with
+  // a Status — and leave the session untouched — rather than resume a
+  // silently diverged session.
+  Session session = MakeSession(SmallSession().WithJournalCompaction(100));
+  ASSERT_TRUE(session.RegisterSuite("dm", lib_).ok());
+  ASSERT_TRUE(session.RunRound().ok());
+  ASSERT_TRUE(session.Save(dir_).ok());
+  ASSERT_TRUE(session.RunRound().ok());
+  ASSERT_TRUE(session.Save(dir_).ok());
+  const std::string journal = MustRead(dir_ + "/suite_0.journal");
+  JournalScan scan;
+  ASSERT_TRUE(ScanJournal(journal, &scan).ok());
+  ASSERT_EQ(scan.records.size(), 1u);
+
+  const size_t record_begin = scan.header_end;
+  const size_t record_mid = (record_begin + journal.size()) / 2;
+  for (size_t at : {record_begin, record_mid, journal.size() - 2}) {
+    std::string corrupt = journal;
+    corrupt[at] ^= 0x01;
+    ASSERT_TRUE(WriteStringToFile(dir_ + "/suite_0.journal", corrupt).ok());
+    Session fresh = MakeSession(SmallSession());
+    ASSERT_TRUE(fresh.RegisterSuite("dm", lib_).ok());
+    util::Status status = fresh.Resume(dir_);
+    EXPECT_FALSE(status.ok()) << "flip at " << at;
+    EXPECT_EQ(fresh.rounds_completed(), 0) << "flip at " << at;
+    EXPECT_TRUE(fresh.Find("dm")->corpus.empty()) << "flip at " << at;
+  }
+}
+
+// -- Directory hygiene -------------------------------------------------------
+
+TEST_F(SnapshotTest, SaveIntoAReusedDirectoryPrunesOrphanedSuiteFiles)
+{
+  const std::string dir = ScratchDir("reused");
+  {
+    Session two = MakeSession(SmallSession());
+    ASSERT_TRUE(two.RegisterSuite("dm", lib_).ok());
+    ASSERT_TRUE(two.RegisterSuite("dm-b", lib_).ok());
+    ASSERT_TRUE(two.RunRound().ok());
+    ASSERT_TRUE(two.Save(dir).ok());
+  }
+  ASSERT_TRUE(std::filesystem::exists(dir + "/suite_1.snap"));
+  // A stray tmp file from a crashed atomic writer.
+  ASSERT_TRUE(
+      util::AppendFileDurable(dir + "/suite_0.snap.tmp", "garbage").ok());
+
+  Session one = MakeSession(SmallSession());
+  ASSERT_TRUE(one.RegisterSuite("dm", lib_).ok());
+  ASSERT_TRUE(one.RunRound().ok());
+  ASSERT_TRUE(one.Save(dir).ok());
+
+  EXPECT_FALSE(std::filesystem::exists(dir + "/suite_1.snap"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/suite_1.journal"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/suite_0.snap.tmp"));
+
+  util::Status status = util::Status::Ok();
+  Session resumed = ResumeFresh(dir, &status);
+  ASSERT_TRUE(status.ok()) << status.message();
+  ExpectSameState(*resumed.Find("dm"), *one.Find("dm"), "pruned");
+}
+
+TEST_F(SnapshotTest, JournallessDirectoriesStillResume)
+{
+  // A directory written before the journal existed (or whose journal was
+  // deleted) has a base that already covers the committed round: Resume
+  // accepts it and lays down a fresh journal for future appends.
+  const std::string dir = ScratchDir("journalless");
+  Session session = MakeSession(SmallSession());
+  ASSERT_TRUE(session.RegisterSuite("dm", lib_).ok());
+  ASSERT_TRUE(session.RunRound().ok());
+  ASSERT_TRUE(session.Save(dir).ok());
+  std::filesystem::remove(dir + "/suite_0.journal");
+
+  util::Status status = util::Status::Ok();
+  Session resumed = ResumeFresh(dir, &status);
+  ASSERT_TRUE(status.ok()) << status.message();
+  ExpectSameState(*resumed.Find("dm"), *session.Find("dm"), "journalless");
+
+  JournalScan scan;
+  ASSERT_TRUE(ScanJournal(MustRead(dir + "/suite_0.journal"), &scan).ok());
+  EXPECT_EQ(scan.header.base_rounds, 1);
+  EXPECT_EQ(scan.records.size(), 0u);
+}
+
+}  // namespace
+}  // namespace kernelgpt::fuzzer
