@@ -10,12 +10,15 @@
 #include "experiments/context.h"
 #include "fuzzer/campaign.h"
 #include "fuzzer/distiller.h"
+#include "fuzzer/fleet.h"
 #include "fuzzer/generator.h"
 #include "fuzzer/session.h"
 #include "fuzzer/snapshot.h"
 #include "ksrc/cparser.h"
 #include "syzlang/parser.h"
 #include "syzlang/printer.h"
+#include "util/fault.h"
+#include "util/strings.h"
 
 using namespace kernelgpt;
 
@@ -317,6 +320,61 @@ BM_FullGenerationPipeline(benchmark::State& state)
   }
 }
 BENCHMARK(BM_FullGenerationPipeline)->Unit(benchmark::kMillisecond);
+
+/// Cost of a disarmed KERNELGPT_FAULT_POINT: one relaxed atomic load and
+/// a predicted-untaken branch. The robustness instrumentation threaded
+/// through the IO/orchestrator hot paths must be free when no plan is
+/// armed — this pins that claim at the nanosecond scale.
+void
+BM_FaultPointDisarmed(benchmark::State& state)
+{
+  util::FaultInjector::Instance().Disarm();
+  uint64_t x = 0;
+  for (auto _ : state) {
+    KERNELGPT_FAULT_POINT("bench.disarmed",
+                          util::Format("iteration=%llu",
+                                       static_cast<unsigned long long>(++x)));
+    benchmark::DoNotOptimize(x);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FaultPointDisarmed);
+
+/// Fleet-vs-bare-session round cost: the supervisor's retry loop,
+/// per-round fault points, and report bookkeeping on top of the same
+/// RunRound work. Arg 0 selects bare Session (0) or a 1-tenant Fleet
+/// (1); the two timings should be indistinguishable, pinning that the
+/// robustness layer costs nothing when nothing goes wrong.
+void
+BM_FleetRoundOverhead(benchmark::State& state)
+{
+  util::FaultInjector::Instance().Disarm();
+  const auto& context = experiments::ExperimentContext::Default();
+  fuzzer::SpecLibrary lib = context.SyzkallerPlusKernelGptSuite();
+  auto boot = [&context](vkernel::Kernel* k) { context.BootKernel(k); };
+  fuzzer::SessionOptions options;
+  options.WithSeed(42).WithProgramBudget(2000).WithWorkers(2);
+  const bool fleet_mode = state.range(0) != 0;
+  for (auto _ : state) {
+    if (fleet_mode) {
+      fuzzer::Fleet fleet(fuzzer::FleetOptions()
+                              .WithTargetRounds(1)
+                              .WithEnvPlan(false));
+      (void)fleet.AddSession("bench", [&]() {
+        auto session = std::make_unique<fuzzer::Session>(options, boot);
+        (void)session->RegisterSuite("suite", &lib);
+        return session;
+      });
+      benchmark::DoNotOptimize(fleet.Run().AllComplete());
+    } else {
+      fuzzer::Session session(options, boot);
+      (void)session.RegisterSuite("suite", &lib);
+      benchmark::DoNotOptimize(session.RunRound().ok());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2000);
+}
+BENCHMARK(BM_FleetRoundOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -3,7 +3,7 @@
 # either records a BENCH_prN.json trajectory file or gates against a
 # previously recorded baseline.
 #
-# Record: scripts/bench.sh [output.json]        (default BENCH_pr6.json)
+# Record: scripts/bench.sh [output.json]        (default BENCH_pr7.json)
 # Gate:   scripts/bench.sh --check baseline.json
 #   Re-measures BM_FuzzThroughput and fails (exit 1) when throughput
 #   regresses more than BENCH_TOLERANCE_PCT percent (default 25) below
@@ -19,7 +19,7 @@ BENCH_BIN="${BUILD_DIR}/bench/bench_perf_micro"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
 MODE="record"
-OUT="BENCH_pr6.json"
+OUT="BENCH_pr7.json"
 BASELINE=""
 if [ "${1:-}" = "--check" ]; then
   MODE="check"
@@ -121,7 +121,7 @@ echo "== running hot-path benchmarks =="
 # (and is meaningless on 1-CPU containers), so it would poison the
 # trajectory file.
 "${BENCH_BIN}" \
-  --benchmark_filter='BM_FuzzThroughput|BM_ExecutorDispatch|BM_CoverageMerge|BM_Distill|BM_KernelOpenClose|BM_SnapshotSaveLoad|BM_SnapshotAppend' \
+  --benchmark_filter='BM_FuzzThroughput|BM_ExecutorDispatch|BM_CoverageMerge|BM_Distill|BM_KernelOpenClose|BM_SnapshotSaveLoad|BM_SnapshotAppend|BM_FaultPointDisarmed|BM_FleetRoundOverhead' \
   --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
   --benchmark_format=json > "${RAW}"
 
@@ -199,6 +199,22 @@ result = {
         "us_per_append_corpus1024": (
             round(ns_per_item("BM_SnapshotAppend/1024") / 1000.0, 2)
             if ns_per_item("BM_SnapshotAppend/1024") else None
+        ),
+    },
+    # Fault-injection substrate (PR 7): cost of one disarmed
+    # KERNELGPT_FAULT_POINT (one relaxed atomic load + predicted branch)
+    # and the fleet supervisor's per-round overhead versus a bare
+    # Session round. Both must stay ~free: the disarmed probe at
+    # sub-nanosecond scale, the fleet/bare ratio at ~1.0.
+    "fault_injection": {
+        "disarmed_fault_point_ns": ns_per_item("BM_FaultPointDisarmed"),
+        "session_round_execs_per_sec": items_per_sec("BM_FleetRoundOverhead/0"),
+        "fleet_round_execs_per_sec": items_per_sec("BM_FleetRoundOverhead/1"),
+        "fleet_over_session_ratio": (
+            round(items_per_sec("BM_FleetRoundOverhead/0") /
+                  items_per_sec("BM_FleetRoundOverhead/1"), 3)
+            if items_per_sec("BM_FleetRoundOverhead/0")
+            and items_per_sec("BM_FleetRoundOverhead/1") else None
         ),
     },
     # Between-campaign corpus distillation (PR 3): dedup + batched replay

@@ -28,12 +28,27 @@ echo "== Determinism gate (orchestrator + distiller + service + session) =="
 # spec-generation service must emit byte-identical specs at 1 and 4
 # worker threads (service_test), a Save/Resume'd fuzzing session must
 # be bit-identical to an uninterrupted run of the same rounds
-# (session_test), and torn-tail / mid-save-crash recovery of the
+# (session_test), torn-tail / mid-save-crash recovery of the
 # incremental journal must restore the last committed round exactly
-# (snapshot_test). Rerun through ctest so the gate stays in sync with
-# the suites instead of a hand-picked gtest filter.
+# (snapshot_test), and a fleet supervisor must produce byte-identical
+# reports and tenant states at 1 and 4 supervisor threads (fleet_test).
+# Rerun through ctest so the gate stays in sync with the suites instead
+# of a hand-picked gtest filter.
 (cd "${BUILD_DIR}" && ctest --output-on-failure --no-tests=error -j"${JOBS}" \
-    -R '^(orchestrator_test|distiller_test|service_test|session_test|snapshot_test)$')
+    -R '^(orchestrator_test|distiller_test|service_test|session_test|snapshot_test|fleet_test)$')
+
+echo
+echo "== Fleet-recovery soak (armed fault plan) =="
+# The whole fleet_test suite again with a hostile environment plan: a
+# burst of worker exceptions plus one ENOSPC on the first journal
+# append. fleet_test's env-soak case arms $KERNELGPT_FAULT_PLAN through
+# Fleet::Run's own env path and still requires bit-identical convergence
+# with the fault-free baseline; the remaining cases prove the injector's
+# spec-armed plans win over the env (their counters are scoped). Bounded
+# nth/times windows — never p= — keep the gate deterministic.
+(cd "${BUILD_DIR}" && \
+    KERNELGPT_FAULT_PLAN='seed=7;site=orchestrator.worker,kind=throw,nth=1,times=2;site=fileio.append,kind=errno,errno=ENOSPC,nth=1,times=1' \
+    ./fleet_test --gtest_filter='FleetTest.EnvPlanSoakConvergesToTheFaultFreeResult')
 
 echo
 echo "CI OK"

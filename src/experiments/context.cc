@@ -79,6 +79,21 @@ ExperimentContext::ExperimentContext(const ContextOptions& options)
   }
 }
 
+util::Status
+ExperimentContext::Create(const ContextOptions& options,
+                          std::unique_ptr<ExperimentContext>* out)
+{
+  if (!options.backend.empty() &&
+      !llm::BackendRegistry::Default().Find(options.backend)) {
+    return util::Status::Error(util::Format(
+        "ExperimentContext: unknown backend '%s' (registered: %s)",
+        options.backend.c_str(),
+        util::Join(llm::BackendRegistry::Default().Names(), ", ").c_str()));
+  }
+  out->reset(new ExperimentContext(options));
+  return util::Status::Ok();
+}
+
 const ExperimentContext&
 ExperimentContext::Default()
 {
@@ -183,9 +198,24 @@ ExperimentContext::Fuzz(const fuzzer::SpecLibrary& lib, int program_budget,
                         int reps, uint64_t seed_base, int num_workers) const
 {
   FuzzSummary summary;
+  util::Status status =
+      Fuzz(lib, program_budget, reps, seed_base, num_workers, &summary);
+  // The benches keep the historical die-loudly contract; services use
+  // the Status overload and handle the failure themselves.
+  if (!status.ok()) util::Fatal("ExperimentContext::Fuzz: " + status.message());
+  return summary;
+}
+
+util::Status
+ExperimentContext::Fuzz(const fuzzer::SpecLibrary& lib, int program_budget,
+                        int reps, uint64_t seed_base, int num_workers,
+                        FuzzSummary* out) const
+{
+  FuzzSummary summary;
+  *out = FuzzSummary();
   // A library with no syscalls cannot be registered as a Session suite;
   // the historical contract for it was an all-zero summary.
-  if (reps <= 0 || lib.syscalls().empty()) return summary;
+  if (reps <= 0 || lib.syscalls().empty()) return util::Status::Ok();
 
   // Repetitions are the arithmetic seed schedule (seed_base + rep * 7919)
   // with independent rounds: no corpus carry-over, no distillation —
@@ -202,7 +232,7 @@ ExperimentContext::Fuzz(const fuzzer::SpecLibrary& lib, int program_budget,
   fuzzer::Session session = MakeSession(options);
   util::Status status = session.RegisterSuite(kSessionSuite, &lib);
   if (status.ok()) status = session.Run();
-  if (!status.ok()) util::Fatal("ExperimentContext::Fuzz: " + status.message());
+  if (!status.ok()) return status;
 
   fuzzer::SuiteState& state = *session.Find(kSessionSuite);
   for (const fuzzer::RoundReport& report : state.rounds) {
@@ -215,7 +245,8 @@ ExperimentContext::Fuzz(const fuzzer::SpecLibrary& lib, int program_budget,
   summary.corpus = std::move(state.corpus);
   summary.avg_coverage /= reps;
   summary.avg_crashes /= reps;
-  return summary;
+  *out = std::move(summary);
+  return util::Status::Ok();
 }
 
 fuzzer::DistillResult
@@ -223,19 +254,28 @@ ExperimentContext::DistillCorpus(const fuzzer::SpecLibrary& lib,
                                  const std::vector<fuzzer::Prog>& corpus) const
 {
   fuzzer::DistillResult result;
+  util::Status status = DistillCorpus(lib, corpus, &result);
+  if (!status.ok()) {
+    util::Fatal("ExperimentContext::DistillCorpus: " + status.message());
+  }
+  return result;
+}
+
+util::Status
+ExperimentContext::DistillCorpus(const fuzzer::SpecLibrary& lib,
+                                 const std::vector<fuzzer::Prog>& corpus,
+                                 fuzzer::DistillResult* out) const
+{
+  *out = fuzzer::DistillResult();
   fuzzer::Session session = MakeSession(fuzzer::SessionOptions{});
   util::Status status = session.RegisterSuite(kSessionSuite, &lib);
   if (!status.ok()) {
     // Legacy behavior for an unusable library: an empty result that still
     // reports the input size.
-    result.stats.input_programs = corpus.size();
-    return result;
+    out->stats.input_programs = corpus.size();
+    return util::Status::Ok();
   }
-  status = session.DistillInto(kSessionSuite, corpus, &result);
-  if (!status.ok()) {
-    util::Fatal("ExperimentContext::DistillCorpus: " + status.message());
-  }
-  return result;
+  return session.DistillInto(kSessionSuite, corpus, out);
 }
 
 }  // namespace kernelgpt::experiments

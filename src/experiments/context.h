@@ -74,6 +74,14 @@ class ExperimentContext {
  public:
   explicit ExperimentContext(const ContextOptions& options = {});
 
+  /// Status-returning factory: like the constructor, but a misconfigured
+  /// backend name comes back as a util::Status instead of util::Fatal —
+  /// a campaign service (e.g. a fuzzer::Fleet tenant factory) treats it
+  /// as a failed tenant, not a dead process. The aborting constructor
+  /// remains for the benches, where dying loudly is the right call.
+  static util::Status Create(const ContextOptions& options,
+                             std::unique_ptr<ExperimentContext>* out);
+
   /// Lazily-built default context with GPT-4, iterative mode.
   static const ExperimentContext& Default();
 
@@ -125,11 +133,23 @@ class ExperimentContext {
                    int reps, uint64_t seed_base = 1,
                    int num_workers = 1) const;
 
+  /// Status-returning Fuzz: campaign failures (a worker exception, a
+  /// session error) come back as a Status instead of util::Fatal. The
+  /// aborting overload above is a shim over this one.
+  util::Status Fuzz(const fuzzer::SpecLibrary& lib, int program_budget,
+                    int reps, uint64_t seed_base, int num_workers,
+                    FuzzSummary* out) const;
+
   /// Runs the between-campaign distillation pass over a merged corpus
   /// (usually FuzzSummary::corpus) with this context's kernel boot.
   fuzzer::DistillResult DistillCorpus(
       const fuzzer::SpecLibrary& lib,
       const std::vector<fuzzer::Prog>& corpus) const;
+
+  /// Status-returning DistillCorpus; the aborting overload shims this.
+  util::Status DistillCorpus(const fuzzer::SpecLibrary& lib,
+                             const std::vector<fuzzer::Prog>& corpus,
+                             fuzzer::DistillResult* out) const;
 
  private:
   ksrc::DefinitionIndex index_;

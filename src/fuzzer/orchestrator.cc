@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <exception>
 #include <mutex>
 #include <thread>
+
+#include "util/fault.h"
+#include "util/strings.h"
 
 namespace kernelgpt::fuzzer {
 
@@ -119,6 +123,10 @@ Orchestrator::Run()
   std::vector<size_t> epoch_growth(workers, 0);
   // Schedule trace; written by shard 0 only, read after the join.
   std::vector<EpochStats> epoch_trace;
+  // Worker exceptions (injected faults, bad_alloc, ...). A throwing
+  // worker must not strand its peers at a barrier, so it degrades to a
+  // no-op participant and the exception resurfaces after the join.
+  std::vector<std::exception_ptr> worker_failures(workers);
   Barrier publish_barrier(workers);
   Barrier ingest_barrier(workers);
 
@@ -147,9 +155,24 @@ Orchestrator::Run()
     state.crashes = &out.crashes;
     state.programs_executed = &out.stats.programs_executed;
 
+    // Once a worker fails it stops executing programs but keeps walking
+    // the barrier schedule (publishing nothing, ingesting nothing), so
+    // its peers never deadlock; the stored exception fails the whole run
+    // after the join. The schedule below is a pure function of published
+    // epoch stats, so a dead worker computes it like everyone else.
+    bool dead = false;
+    auto record_failure = [&](std::exception_ptr e) {
+      worker_failures[shard] = std::move(e);
+      dead = true;
+    };
+
     // Replay the seed corpus (if any) before the loop: primes coverage
     // and seeds the corpus without consuming RNG or budget.
-    out.stats.seeds_preloaded = PrimeCorpus(options_.campaign, state);
+    try {
+      out.stats.seeds_preloaded = PrimeCorpus(options_.campaign, state);
+    } catch (...) {
+      record_failure(std::current_exception());
+    }
 
     // Seeds that found new blocks since the last sync (broadcast pool).
     std::vector<Prog> fresh_interesting;
@@ -174,9 +197,27 @@ Orchestrator::Run()
     while (work_left()) {
       const int quota = std::min(interval, remaining[shard]);
       const size_t blocks_before = out.coverage.Count();
-      RunCampaignChunk(options_.campaign, state, quota,
-                       workers > 1 ? &fresh_interesting : nullptr);
-      size_t global_growth = out.coverage.Count() - blocks_before;
+      size_t global_growth = 0;
+      if (!dead) {
+        try {
+          // Injectable worker failure (fault plans key on the campaign
+          // seed + shard, so a rule can target one round of one session
+          // deterministically even under a multi-threaded supervisor).
+          KERNELGPT_FAULT_POINT(
+              "orchestrator.worker",
+              util::Format("seed=%016llx shard=%d",
+                           static_cast<unsigned long long>(
+                               options_.campaign.seed),
+                           shard));
+          RunCampaignChunk(options_.campaign, state, quota,
+                           workers > 1 ? &fresh_interesting : nullptr);
+          global_growth = out.coverage.Count() - blocks_before;
+        } catch (...) {
+          record_failure(std::current_exception());
+          fresh_interesting.clear();
+          global_growth = 0;
+        }
+      }
 
       if (workers > 1) {
         // -- Corpus sync: publish, barrier, ingest, barrier ----------------
@@ -243,6 +284,14 @@ Orchestrator::Run()
     threads.reserve(static_cast<size_t>(workers));
     for (int w = 0; w < workers; ++w) threads.emplace_back(worker_main, w);
     for (auto& t : threads) t.join();
+  }
+
+  // Surface the first failure (lowest shard id — deterministic) only
+  // after every thread has joined, so no barrier peer is left behind.
+  // The partial result is abandoned; a supervisor retries the whole
+  // round, which reruns deterministically from the same seed.
+  for (const std::exception_ptr& failure : worker_failures) {
+    if (failure) std::rethrow_exception(failure);
   }
 
   // -- Merge step: union coverage, dedup crashes globally by title -------

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "util/fault.h"
 #include "util/fileio.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -228,22 +229,55 @@ Session::RunRound()
   // them to land in, and SaveFull never needs them.
   const bool capture = !bound_dir_.empty();
 
-  for (Entry& e : suites_) {
+  // Phase 1 — run every suite's campaign (and distillation) into staging,
+  // touching no session state. The seed corpus is copied, not moved, so a
+  // failure anywhere in the phase leaves the session exactly as it was
+  // and a supervisor can retry the round: the rerun consumes the same
+  // seed and the same corpus and reproduces the same result bit for bit.
+  // A worker exception surfaced by the orchestrator becomes a Status
+  // here; util::InjectedCrash deliberately does not — it simulates
+  // process death, and the only correct response is a restart from the
+  // durable snapshot, which "handling" it in place would mask.
+  struct StagedSuite {
+    OrchestratorResult campaign;
+    DistillResult distilled;
+  };
+  std::vector<StagedSuite> staged(suites_.size());
+  for (size_t i = 0; i < suites_.size(); ++i) {
+    Entry& e = suites_[i];
+    OrchestratorOptions orchestrator = options_.orchestrator;
+    orchestrator.campaign.seed = seed;
+    if (options_.carry_corpus) {
+      orchestrator.campaign.seed_corpus = e.state.corpus;
+    }
+    try {
+      staged[i].campaign = RunShardedCampaign(*e.lib, boot_, orchestrator);
+      if (options_.distill_between_rounds) {
+        Distiller distiller(e.lib.get(), boot_, options_.distill);
+        staged[i].distilled = distiller.Distill(staged[i].campaign.corpus);
+      }
+    } catch (const util::InjectedCrash&) {
+      throw;
+    } catch (const std::exception& ex) {
+      return util::Status::Error(
+          util::Format("session: round %d suite '%s' failed: %s", round,
+                       e.state.name.c_str(), ex.what()));
+    }
+  }
+
+  // Phase 2 — commit: merge the staged results into suite state. Nothing
+  // below can fail, so a RunRound that returns an error has merged
+  // nothing and a retried round can never double-count.
+  for (size_t i = 0; i < suites_.size(); ++i) {
+    Entry& e = suites_[i];
+    OrchestratorResult& campaign = staged[i].campaign;
+    DistillResult& distilled = staged[i].distilled;
+
     std::vector<uint64_t> prev_hashes;
     if (capture) {
       prev_hashes.reserve(e.state.corpus.size());
       for (const Prog& p : e.state.corpus) prev_hashes.push_back(HashProg(p));
     }
-
-    OrchestratorOptions orchestrator = options_.orchestrator;
-    orchestrator.campaign.seed = seed;
-    if (options_.carry_corpus) {
-      orchestrator.campaign.seed_corpus = std::move(e.state.corpus);
-      e.state.corpus.clear();
-    }
-
-    OrchestratorResult campaign =
-        RunShardedCampaign(*e.lib, boot_, orchestrator);
 
     SuiteDelta delta;
     if (capture) {
@@ -275,8 +309,6 @@ Session::RunRound()
     e.state.wall_seconds += campaign.wall_seconds;
 
     if (options_.distill_between_rounds) {
-      Distiller distiller(e.lib.get(), boot_, options_.distill);
-      DistillResult distilled = distiller.Distill(campaign.corpus);
       for (auto& [title, prog] : distilled.crash_reproducers) {
         if (capture) {
           auto it = e.state.crash_reproducers.find(title);
@@ -330,10 +362,15 @@ Session::RunRound()
       total_delta < options_.plateau_min_gain ? stale_rounds_ + 1 : 0;
   ++rounds_completed_;
 
+  // Autosave and backlog flush degrade instead of killing the round
+  // loop: a failed save leaves the round's deltas queued in the pending
+  // backlog, records the error (save_failures / last_save_error, for
+  // supervisors to report), and retries on the next save trigger. The
+  // fuzzing state itself is never at risk — only its durability lags
+  // until the disk recovers.
   if (options_.autosave_every > 0 && !options_.autosave_dir.empty() &&
       rounds_completed_ % options_.autosave_every == 0) {
-    util::Status status = Save(options_.autosave_dir);
-    if (!status.ok()) return status;
+    (void)Save(options_.autosave_dir);
   }
   // Bound-session backlog flush: rather than drop pending deltas (which
   // would force the next Save to rewrite a committed base non-atomically
@@ -343,8 +380,7 @@ Session::RunRound()
   const int flush_horizon = std::max(1, options_.journal_compact_every) * 4;
   if (!bound_dir_.empty() &&
       rounds_completed_ - durable_rounds_ >= flush_horizon) {
-    util::Status status = Save(bound_dir_);
-    if (!status.ok()) return status;
+    (void)Save(bound_dir_);
   }
   return util::Status::Ok();
 }
@@ -412,6 +448,20 @@ Session::HasPendingRange() const
 util::Status
 Session::Save(const std::string& dir)
 {
+  util::Status status = SaveInner(dir);
+  if (status.ok()) {
+    save_failures_ = 0;
+    last_save_error_.clear();
+  } else {
+    ++save_failures_;
+    last_save_error_ = status.message();
+  }
+  return status;
+}
+
+util::Status
+Session::SaveInner(const std::string& dir)
+{
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {
@@ -422,8 +472,11 @@ Session::Save(const std::string& dir)
 
   // Incremental path: same directory as the last save/resume, and every
   // round since then is still held as a pending delta. Anything else
-  // (first save, new directory, pruned deltas) rewrites the full base.
-  if (dir != bound_dir_ || !HasPendingRange()) return SaveFull(dir);
+  // (first save, new directory, pruned deltas — or a journal left in an
+  // unknown state by an earlier failure) rewrites the full base.
+  if (dir != bound_dir_ || force_full_save_ || !HasPendingRange()) {
+    return SaveFull(dir);
+  }
   if (durable_rounds_ == rounds_completed_) return util::Status::Ok();
 
   // Append the new rounds' records, fsynced, BEFORE the manifest names
@@ -439,9 +492,25 @@ Session::Save(const std::string& dir)
       batch += FrameJournalRecord(SerializeDelta(d, *e.lib));
     }
     if (batch.empty()) continue;
-    util::Status status =
-        util::AppendFileDurable(dir + "/" + JournalFileName(i), batch);
-    if (!status.ok()) return status;
+    const std::string journal_path = dir + "/" + JournalFileName(i);
+    std::error_code size_ec;
+    const uintmax_t intact_size =
+        std::filesystem::file_size(journal_path, size_ec);
+    util::Status status = util::AppendFileDurable(journal_path, batch);
+    if (!status.ok()) {
+      // Heal in place: a failed append may have landed partial bytes,
+      // and the journal scanner stops at a torn record — leaving it
+      // would strand every later append behind the tear. Truncate back
+      // to the pre-append size; if even that fails (or the size was
+      // unknowable), the next save must rebuild a fresh base instead of
+      // appending after damage it cannot see.
+      std::error_code trunc_ec;
+      if (!size_ec) {
+        std::filesystem::resize_file(journal_path, intact_size, trunc_ec);
+      }
+      if (size_ec || trunc_ec) force_full_save_ = true;
+      return status;
+    }
   }
   util::Status status = WriteManifestFile(dir);
   if (!status.ok()) return status;
@@ -503,6 +572,7 @@ Session::SaveFull(const std::string& dir)
   bound_dir_ = dir;
   base_rounds_ = rounds_completed_;
   durable_rounds_ = rounds_completed_;
+  force_full_save_ = false;
   for (Entry& e : suites_) e.pending.clear();
   return util::Status::Ok();
 }
@@ -759,6 +829,9 @@ Session::Resume(const std::string& dir)
   bound_dir_ = dir;
   base_rounds_ = min_base_rounds;
   durable_rounds_ = manifest.rounds_completed;
+  force_full_save_ = false;
+  save_failures_ = 0;
+  last_save_error_.clear();
   return util::Status::Ok();
 }
 

@@ -174,6 +174,19 @@ class Session {
   /// Runs one round: for every suite, a sharded campaign on this round's
   /// seed (re-seeded from the suite's corpus when carrying), then a
   /// distillation pass, then the trend record. Advances the schedule.
+  ///
+  /// Failure-atomic: a failed round (a worker exception surfaced by the
+  /// orchestrator, converted here to a Status) leaves the session state
+  /// exactly as it was, so a supervisor can retry the round and — the
+  /// schedule being seed-deterministic — converge on the identical
+  /// result. util::InjectedCrash is NOT converted: it simulates process
+  /// death, and propagates so a supervisor restarts from the snapshot.
+  ///
+  /// Autosave failures degrade instead of killing the round loop: the
+  /// round's deltas stay queued in the pending backlog, the error is
+  /// recorded (last_save_error / save_failures), and the next save
+  /// attempt rebuilds a clean base. Fuzzing state is never lost to a
+  /// full disk — only its durability lags.
   util::Status RunRound();
 
   /// Runs `options.rounds` rounds (or until the plateau rule fires).
@@ -220,6 +233,15 @@ class Session {
   }
 
   const SessionOptions& options() const { return options_; }
+
+  /// Save-degradation telemetry for supervisors. `save_failures` counts
+  /// consecutive failed persistence attempts (reset by a success);
+  /// `pending_rounds` is how far durability lags the live state.
+  int save_failures() const { return save_failures_; }
+  const std::string& last_save_error() const { return last_save_error_; }
+  int pending_rounds() const { return rounds_completed_ - durable_rounds_; }
+  const std::string& bound_dir() const { return bound_dir_; }
+
   std::vector<std::string> SuiteNames() const;
   const SuiteState* Find(const std::string& name) const;
   SuiteState* Find(const std::string& name);
@@ -240,6 +262,9 @@ class Session {
 
   util::Status Register(const std::string& name,
                         std::shared_ptr<const SpecLibrary> lib);
+  /// Save() minus the degradation bookkeeping (which wraps every return
+  /// path of the save machinery in one place).
+  util::Status SaveInner(const std::string& dir);
   /// Atomically writes manifest + every suite base + fresh journals and
   /// rebinds the incremental-save state to `dir`.
   util::Status SaveFull(const std::string& dir);
@@ -261,6 +286,15 @@ class Session {
   std::string bound_dir_;
   int base_rounds_ = 0;
   int durable_rounds_ = 0;
+
+  /// Save-degradation state. A failed journal append is healed in place
+  /// by truncating the partial bytes away; only when even that truncation
+  /// fails does the next save fall back to rebuilding a fresh base
+  /// (appending after damage the journal scanner would stop at is never
+  /// an option — it would strand committed rounds behind the tear).
+  bool force_full_save_ = false;
+  int save_failures_ = 0;
+  std::string last_save_error_;
 };
 
 }  // namespace kernelgpt::fuzzer

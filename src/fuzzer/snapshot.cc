@@ -857,19 +857,10 @@ ScanJournal(std::string_view text, JournalScan* out)
 util::Status
 ReadFileToString(const std::string& path, std::string* out)
 {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return util::Status::Error(
-        util::Format("cannot open '%s': %s", path.c_str(),
-                     std::strerror(errno)));
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  if (in.bad()) {
-    return util::Status::Error(util::Format("read failed: %s", path.c_str()));
-  }
-  *out = buf.str();
-  return util::Status::Ok();
+  // Delegates to the fileio layer so reads share its errno-to-Status
+  // mapping (ENOSPC vs EIO vs EACCES named in the message) and its
+  // "fileio.read" fault-injection seam.
+  return util::ReadFileToString(path, out);
 }
 
 util::Status

@@ -5,6 +5,7 @@
 
 #include "ksrc/body_analysis.h"
 #include "syzlang/printer.h"
+#include "util/fault.h"
 #include "util/strings.h"
 
 namespace kernelgpt::llm {
@@ -262,6 +263,11 @@ void
 SimulatedBackend::Meter(const std::string& stage, const std::string& target,
                       std::string prompt, std::string response)
 {
+  // Every query method funnels through here, so one fault point covers
+  // the whole backend surface: a rule matching the profile name makes
+  // that backend "die" mid-query, which SpecGenService fails over.
+  KERNELGPT_FAULT_POINT("llm.query",
+                        profile_.name + "/" + stage + ":" + target);
   if (!meter_) return;
   // Truncate the prompt to the model's context window (approximate 4
   // chars/token); content beyond the window is never seen by the model —

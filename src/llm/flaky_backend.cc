@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/retry.h"
+
 namespace kernelgpt::llm {
 
 FlakyBackend::FlakyBackend(std::unique_ptr<Backend> delegate,
@@ -28,21 +30,31 @@ FlakyBackend::BillRetries(const std::string& stage, const std::string& key)
   // the records vector and invalidate references into it.
   const std::string target = meter_->records().back().target;
   const size_t input_tokens = meter_->records().back().input_tokens;
-  for (int attempt = 0; attempt < options_.max_retries; ++attempt) {
-    if (!flake.Decide("retry/" + std::to_string(attempt) + ":" + key,
-                      options_.failure_rate)) {
-      break;
-    }
-    QueryRecord retry;
-    retry.stage = "retry/" + stage;  // Keeps per-stage cost attribution.
-    retry.target = target;
-    // The prompt is re-sent verbatim; the dropped answer is one token of
-    // rate-limit error text.
-    retry.input_tokens = input_tokens;
-    retry.output_tokens = 1;
-    meter_->Record(std::move(retry));
-    ++retries_injected_;
-  }
+  // The attempt schedule is the shared util::RetryPolicy's: attempt i
+  // either fails its seeded draw (billed, retried) or succeeds (done);
+  // the final attempt always succeeds — the delegate always answers
+  // eventually. Draw keys are unchanged from the original hand-rolled
+  // loop, so the token billing is byte-identical (llm_test pins it).
+  util::RetryPolicy policy;
+  policy.max_retries = options_.max_retries;
+  util::RetryResult r = util::RunWithRetry(
+      policy, options_.name + ":" + key, [&](int attempt) {
+        if (attempt >= options_.max_retries ||
+            !flake.Decide("retry/" + std::to_string(attempt) + ":" + key,
+                          options_.failure_rate)) {
+          return util::Status::Ok();
+        }
+        QueryRecord retry;
+        retry.stage = "retry/" + stage;  // Keeps per-stage cost attribution.
+        retry.target = target;
+        // The prompt is re-sent verbatim; the dropped answer is one
+        // token of rate-limit error text.
+        retry.input_tokens = input_tokens;
+        retry.output_tokens = 1;
+        meter_->Record(std::move(retry));
+        return util::Status::Error("flaky: simulated rate-limit drop");
+      });
+  retries_injected_ += static_cast<size_t>(r.retries);
 }
 
 IdentifierAnalysis

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <utility>
+
+#include "util/fault.h"
 
 namespace kernelgpt::spec_gen {
 
@@ -27,6 +31,11 @@ struct TaskResult {
   size_t queries = 0;
   size_t input_tokens = 0;
   size_t output_tokens = 0;
+  /// Run index of the backend that actually served the task (normally
+  /// the requested one; a different one after failover; -1 when every
+  /// backend failed and the generation is a synthesized failure).
+  int served_by = -1;
+  std::string error;  ///< Last per-hop failure message.
 };
 
 }  // namespace
@@ -71,26 +80,79 @@ SpecGenService::Generate(
   // build it once and share it across every task's generator.
   const syzlang::ConstTable consts = index_->BuildConstTable();
 
+  // Failover order: the registry-known run indices, walked from the
+  // requested backend onward (wrapping). Hop 0 is always the requested
+  // backend itself, so the fault-free path is byte-identical to the
+  // pre-failover service.
+  std::vector<size_t> eligible;
+  std::vector<size_t> eligible_pos(result.runs.size(), 0);
+  for (size_t b = 0; b < result.runs.size(); ++b) {
+    if (!result.runs[b].report.known) continue;
+    eligible_pos[b] = eligible.size();
+    eligible.push_back(b);
+  }
+
   // Independent deterministic tasks drained from a shared counter:
   // scheduling affects only wall-clock, results land in their slots.
   std::vector<TaskResult> outputs(tasks.size());
   std::atomic<size_t> next{0};
+  // Simulated process death is not a per-task failure: remaining workers
+  // drain fast and the crash resurfaces after the join, for a supervisor
+  // to restart the whole pass.
+  std::atomic<bool> crashed{false};
+  std::mutex crash_mutex;
+  std::exception_ptr crash_exception;
   auto worker = [&]() {
     for (;;) {
       size_t t = next.fetch_add(1);
-      if (t >= tasks.size()) return;
+      if (t >= tasks.size() || crashed.load(std::memory_order_relaxed)) {
+        return;
+      }
       const Task& task = tasks[t];
-      llm::TokenMeter meter;
-      meter.SetKeepText(false);
-      std::unique_ptr<llm::Backend> backend = registry.Create(
-          result.runs[task.run_index].backend, index_, &meter);
-      KernelGpt generator(index_, options_.gen, backend.get(), &consts);
       TaskResult& out = outputs[t];
-      out.gen = task.is_socket ? generator.GenerateForSocket(*task.socket)
-                               : generator.GenerateForDriver(*task.driver);
-      out.queries = meter.query_count();
-      out.input_tokens = meter.total_input_tokens();
-      out.output_tokens = meter.total_output_tokens();
+      const std::string handler_key =
+          task.is_socket ? task.socket->proto_ops_var : task.driver->fops_var;
+      for (size_t hop = 0; hop < eligible.size(); ++hop) {
+        const size_t serving =
+            eligible[(eligible_pos[task.run_index] + hop) % eligible.size()];
+        try {
+          // Injectable task failure, scoped by the backend asked to
+          // serve — a match=<backend> rule makes that backend "die" for
+          // every task it touches, including adopted ones.
+          KERNELGPT_FAULT_POINT(
+              "spec_gen.task",
+              result.runs[serving].backend + ":" + handler_key);
+          llm::TokenMeter meter;
+          meter.SetKeepText(false);
+          std::unique_ptr<llm::Backend> backend = registry.Create(
+              result.runs[serving].backend, index_, &meter);
+          KernelGpt generator(index_, options_.gen, backend.get(), &consts);
+          out.gen = task.is_socket
+                        ? generator.GenerateForSocket(*task.socket)
+                        : generator.GenerateForDriver(*task.driver);
+          out.queries = meter.query_count();
+          out.input_tokens = meter.total_input_tokens();
+          out.output_tokens = meter.total_output_tokens();
+          out.served_by = static_cast<int>(serving);
+          break;
+        } catch (const util::InjectedCrash&) {
+          std::lock_guard<std::mutex> lock(crash_mutex);
+          if (!crash_exception) crash_exception = std::current_exception();
+          crashed.store(true, std::memory_order_relaxed);
+          return;
+        } catch (const std::exception& ex) {
+          out.error = ex.what();  // Try the next backend in the ring.
+        }
+      }
+      if (out.served_by < 0) {
+        // Every backend failed this task: a synthesized failed
+        // generation keeps slots aligned and the loss visible.
+        out.gen = HandlerGeneration();
+        out.gen.status = GenStatus::kFailed;
+        out.queries = 0;
+        out.input_tokens = 0;
+        out.output_tokens = 0;
+      }
     }
   };
 
@@ -106,6 +168,7 @@ SpecGenService::Generate(
     for (int i = 0; i < num_threads; ++i) threads.emplace_back(worker);
     for (std::thread& thread : threads) thread.join();
   }
+  if (crash_exception) std::rethrow_exception(crash_exception);
 
   // Aggregate in task (input) order so reports are reproducible.
   for (size_t t = 0; t < tasks.size(); ++t) {
@@ -129,9 +192,24 @@ SpecGenService::Generate(
       report.syscalls += out.gen.SyscallCount();
       report.types += out.gen.TypeCount();
     }
-    report.queries += out.queries;
-    report.input_tokens += out.input_tokens;
-    report.output_tokens += out.output_tokens;
+    // Token/query attribution follows the backend that actually served
+    // the task; the generation stays in the requested run's slot.
+    if (out.served_by >= 0) {
+      BackendReport& server =
+          result.runs[static_cast<size_t>(out.served_by)].report;
+      server.queries += out.queries;
+      server.input_tokens += out.input_tokens;
+      server.output_tokens += out.output_tokens;
+      if (static_cast<size_t>(out.served_by) != task.run_index) {
+        ++report.failed_over;
+        ++server.adopted;
+        if (!out.error.empty()) report.last_error = out.error;
+      }
+    } else {
+      ++report.unserved;
+      ++report.failed_over;
+      if (!out.error.empty()) report.last_error = out.error;
+    }
     run.generations[task.slot] = std::move(out.gen);
   }
   for (BackendRun& run : result.runs) {

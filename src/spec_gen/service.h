@@ -52,6 +52,16 @@ struct BackendReport {
   size_t input_tokens = 0;
   size_t output_tokens = 0;
   double cost_usd = 0;    ///< Token totals under this backend's pricing.
+
+  /// Graceful degradation (never silent): when a backend dies mid-query
+  /// (an injected "llm.query"/"spec_gen.task" fault, a thrown exception),
+  /// the task fails over to the next registered backend. The generation
+  /// still lands in the REQUESTED run's slot; the tokens it cost are
+  /// billed to the SERVING backend (it ran the queries).
+  size_t failed_over = 0;  ///< Tasks this backend could not serve itself.
+  size_t adopted = 0;      ///< Tasks served on behalf of a failing sibling.
+  size_t unserved = 0;     ///< Tasks no backend could serve (gen marked failed).
+  std::string last_error;  ///< Last failure this backend produced ("" if none).
 };
 
 /// One backend's full pass over the handler set.

@@ -8,17 +8,30 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/fault.h"
 #include "util/strings.h"
+
+/// Declares one of fileio's injectable failure seams. An injected errno
+/// fault is routed through the same ErrnoStatus mapping as a real
+/// syscall failure, so "ENOSPC while appending the journal" reads the
+/// same in a recovery log whether a disk or a test produced it.
+#define KERNELGPT_FILEIO_FAULT(site, verb, path)                          \
+  do {                                                                    \
+    if (__builtin_expect(::kernelgpt::util::FaultInjector::Armed(), 0)) { \
+      int injected_errno = 0;                                             \
+      ::kernelgpt::util::Status fault_status =                            \
+          ::kernelgpt::util::FaultInjector::Instance().HitStatus(         \
+              site, path, &injected_errno);                               \
+      if (!fault_status.ok()) {                                           \
+        if (injected_errno != 0)                                          \
+          return ErrnoStatus(verb, path, injected_errno);                 \
+        return fault_status;                                              \
+      }                                                                   \
+    }                                                                     \
+  } while (0)
 
 namespace kernelgpt::util {
 namespace {
-
-Status
-Errno(const char* verb, const std::string& path)
-{
-  return Status::Error(
-      Format("%s '%s': %s", verb, path.c_str(), std::strerror(errno)));
-}
 
 /// Writes the whole buffer through short writes and EINTR.
 bool
@@ -75,6 +88,18 @@ const uint32_t* Crc32Table()
 
 }  // namespace
 
+Status
+ErrnoStatus(const char* verb, const std::string& path, int err)
+{
+  const char* name = ErrnoName(err);
+  if (*name) {
+    return Status::Error(Format("%s '%s': %s (%s)", verb, path.c_str(), name,
+                                std::strerror(err)));
+  }
+  return Status::Error(Format("%s '%s': errno %d (%s)", verb, path.c_str(),
+                              err, std::strerror(err)));
+}
+
 uint32_t
 Crc32(const void* data, size_t len)
 {
@@ -96,26 +121,32 @@ Crc32(std::string_view s)
 Status
 AtomicWriteFile(const std::string& path, std::string_view content)
 {
+  KERNELGPT_FILEIO_FAULT("fileio.atomic_write", "cannot replace", path);
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return Errno("cannot create", tmp);
+  if (fd < 0) return ErrnoStatus("cannot create", tmp, errno);
   if (!WriteAll(fd, content)) {
-    Status status = Errno("write failed", tmp);
+    Status status = ErrnoStatus("write failed", tmp, errno);
     ::close(fd);
     ::unlink(tmp.c_str());
     return status;
   }
   if (::fsync(fd) != 0) {
-    Status status = Errno("fsync failed", tmp);
+    Status status = ErrnoStatus("fsync failed", tmp, errno);
     ::close(fd);
     ::unlink(tmp.c_str());
     return status;
   }
   ::close(fd);
 
-  // Crash-injection hook for the kill-mid-save tests: die with the tmp
+  // Crash-injection hooks for the kill-mid-save tests: die with the tmp
   // file durable but the rename not yet issued — the widest window in
   // which a non-atomic writer would have destroyed the previous file.
+  // The env hook predates util::FaultInjector and is kept for the
+  // cross-process example; the fault point covers scripted plans (a
+  // kind=crash rule here simulates death-mid-save for a supervisor, a
+  // kind=exit rule really dies like the env hook).
+  KERNELGPT_FILEIO_FAULT("fileio.rename", "cannot rename into", path);
   if (const char* want = std::getenv("KERNELGPT_CRASH_AFTER_TMP_WRITE")) {
     if (*want != '\0' && path.find(want) != std::string::npos) {
       ::_exit(42);
@@ -123,7 +154,7 @@ AtomicWriteFile(const std::string& path, std::string_view content)
   }
 
   if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    Status status = Errno("rename failed", tmp);
+    Status status = ErrnoStatus("rename failed", tmp, errno);
     ::unlink(tmp.c_str());
     return status;
   }
@@ -134,20 +165,45 @@ AtomicWriteFile(const std::string& path, std::string_view content)
 Status
 AppendFileDurable(const std::string& path, std::string_view content)
 {
+  KERNELGPT_FILEIO_FAULT("fileio.append", "cannot append to", path);
   const int fd =
       ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
-  if (fd < 0) return Errno("cannot open for append", path);
+  if (fd < 0) return ErrnoStatus("cannot open for append", path, errno);
   if (!WriteAll(fd, content)) {
-    Status status = Errno("append failed", path);
+    Status status = ErrnoStatus("append failed", path, errno);
     ::close(fd);
     return status;
   }
   if (::fsync(fd) != 0) {
-    Status status = Errno("fsync failed", path);
+    Status status = ErrnoStatus("fsync failed", path, errno);
     ::close(fd);
     return status;
   }
   ::close(fd);
+  return Status::Ok();
+}
+
+Status
+ReadFileToString(const std::string& path, std::string* out)
+{
+  KERNELGPT_FILEIO_FAULT("fileio.read", "cannot read", path);
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return ErrnoStatus("cannot open", path, errno);
+  std::string buf;
+  char chunk[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = ErrnoStatus("read failed", path, errno);
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  *out = std::move(buf);
   return Status::Ok();
 }
 

@@ -41,6 +41,17 @@ Status AtomicWriteFile(const std::string& path, std::string_view content);
 /// records are length-prefixed and checksummed.
 Status AppendFileDurable(const std::string& path, std::string_view content);
 
+/// Reads the whole of `path` into `*out` (binary, no translation).
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// Maps a failing syscall to a Status whose message names the errno
+/// class symbolically — "cannot append 'x': ENOSPC (No space left on
+/// device)" — so recovery logs can distinguish a full disk from a dying
+/// one from a permission problem. Every fileio call site reports through
+/// this, as do injected errno faults (util/fault.h), so real and
+/// simulated failures read identically.
+Status ErrnoStatus(const char* verb, const std::string& path, int err);
+
 }  // namespace kernelgpt::util
 
 #endif  // KERNELGPT_UTIL_FILEIO_H_

@@ -1,0 +1,49 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace kernelgpt::util {
+
+double
+RetryPolicy::DelayMs(int retry, const std::string& key) const
+{
+  if (retry < 0) retry = 0;
+  // 2^retry without pow(): stay exact and cheap for the small exponents
+  // a bounded policy ever sees, saturating instead of overflowing.
+  double delay = base_delay_ms;
+  for (int i = 0; i < retry && delay < max_delay_ms; ++i) delay *= 2;
+  delay = std::min(delay, max_delay_ms);
+  if (jitter > 0) {
+    uint64_t h = HashCombine(seed, StableHash(key));
+    h = HashCombine(h, static_cast<uint64_t>(retry));
+    const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;  // [0,1)
+    delay *= 1.0 - jitter * unit;
+  }
+  return delay;
+}
+
+RetryResult
+RunWithRetry(const RetryPolicy& policy, const std::string& key,
+             const std::function<Status(int)>& attempt)
+{
+  RetryResult result;
+  const int max_attempts = 1 + std::max(0, policy.max_retries);
+  for (int i = 0; i < max_attempts; ++i) {
+    ++result.attempts;
+    result.status = attempt(i);
+    if (result.status.ok() || i + 1 >= max_attempts) break;
+    const double delay = policy.DelayMs(i, key);
+    result.backoff_ms += delay;
+    ++result.retries;
+    if (policy.sleep && delay > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay));
+    }
+  }
+  return result;
+}
+
+}  // namespace kernelgpt::util

@@ -1,0 +1,77 @@
+/// \file
+/// The one retry/backoff implementation in the repo: bounded attempts
+/// with deterministic exponential backoff and seeded jitter. Consumers
+/// share it so retry behavior cannot drift between subsystems —
+/// fuzzer::Fleet runs session rounds under it, and llm::FlakyBackend
+/// derives its retry metering from the same attempt schedule.
+///
+/// Everything is deterministic: DelayMs(retry, key) is a pure function
+/// of (policy, retry index, key), so a supervisor running at any thread
+/// count reports byte-identical backoff totals. Delays are simulated by
+/// default (accumulated and reported, not slept) — the campaign
+/// substrate executes in microseconds and real sleeps would only slow
+/// tests; a daemon fronting a real flaky device can set `sleep = true`.
+
+#ifndef KERNELGPT_UTIL_RETRY_H_
+#define KERNELGPT_UTIL_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/status.h"
+
+namespace kernelgpt::util {
+
+/// Bounded-retry parameters with builder-style chainers.
+struct RetryPolicy {
+  /// Re-attempts after the first try (an operation runs at most
+  /// 1 + max_retries times).
+  int max_retries = 3;
+  /// Backoff before retry r: base_delay_ms * 2^r, clamped to
+  /// max_delay_ms, then jittered.
+  double base_delay_ms = 1.0;
+  double max_delay_ms = 1000.0;
+  /// Jitter fraction in [0, 1): the delay is scaled by a seeded factor
+  /// drawn from [1 - jitter, 1], per (key, retry index). 0 disables it.
+  double jitter = 0.0;
+  /// Seed for the jitter draws (decorrelates independent consumers).
+  uint64_t seed = 1;
+  /// Actually sleep the backoff instead of merely accounting for it.
+  bool sleep = false;
+
+  RetryPolicy& WithMaxRetries(int v) { max_retries = v; return *this; }
+  RetryPolicy& WithBaseDelayMs(double v) { base_delay_ms = v; return *this; }
+  RetryPolicy& WithMaxDelayMs(double v) { max_delay_ms = v; return *this; }
+  RetryPolicy& WithJitter(double v, uint64_t s) {
+    jitter = v;
+    seed = s;
+    return *this;
+  }
+  RetryPolicy& WithSleep(bool v) { sleep = v; return *this; }
+
+  /// Backoff before retry `retry` (0-based) of the operation identified
+  /// by `key`. Deterministic exponential-with-seeded-jitter.
+  double DelayMs(int retry, const std::string& key) const;
+};
+
+/// Outcome of RunWithRetry.
+struct RetryResult {
+  Status status = Status::Ok();  ///< The last attempt's status.
+  int attempts = 0;              ///< Attempts made (>= 1).
+  int retries = 0;               ///< attempts - 1.
+  double backoff_ms = 0;         ///< Total backoff charged between attempts.
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Runs `attempt(i)` (i = 0-based attempt index) until it returns ok()
+/// or the policy's attempts are exhausted, charging DelayMs between
+/// attempts. The attempt callback receives its index so consumers can
+/// key deterministic per-attempt decisions (FlakyBackend's metering).
+RetryResult RunWithRetry(const RetryPolicy& policy, const std::string& key,
+                         const std::function<Status(int)>& attempt);
+
+}  // namespace kernelgpt::util
+
+#endif  // KERNELGPT_UTIL_RETRY_H_

@@ -10,6 +10,7 @@
 #include "llm/registry.h"
 #include "spec_gen/service.h"
 #include "syzlang/printer.h"
+#include "util/fault.h"
 
 namespace kernelgpt::spec_gen {
 namespace {
@@ -48,6 +49,8 @@ class ServiceTest : public ::testing::Test {
     }
     return out;
   }
+
+  void TearDown() override { util::FaultInjector::Instance().Disarm(); }
 
   static ksrc::DefinitionIndex* index_;
   static std::vector<extractor::DriverHandler>* drivers_;
@@ -163,6 +166,90 @@ TEST_F(ServiceTest, UnknownBackendIsReportedNotGenerated)
   EXPECT_FALSE(missing.report.known);
   EXPECT_EQ(missing.report.handlers, 0u);
   EXPECT_TRUE(missing.generations.empty());
+}
+
+TEST_F(ServiceTest, DyingBackendFailsOverToTheNextRegisteredOne)
+{
+  // Every task gpt-3.5 tries to serve dies (the spec_gen.task detail is
+  // "<serving backend>:<handler key>", so the match scopes the rule to
+  // gpt-3.5's attempts only — deterministically, even at 4 threads,
+  // because times=-1 leaves no firing-order race).
+  ASSERT_TRUE(util::FaultInjector::Instance()
+                  .ArmFromSpec(
+                      "site=spec_gen.task,kind=throw,times=-1,match=gpt-3.5:")
+                  .ok());
+  ServiceOptions options;
+  options.backends = {"gpt-4", "gpt-3.5"};
+  options.num_threads = 4;
+  ServiceResult result = Run(options);
+
+  const size_t handlers = drivers_->size() + sockets_->size();
+  const BackendRun& strong = result.runs[0];
+  const BackendRun& dying = result.runs[1];
+  EXPECT_EQ(dying.report.failed_over, handlers);
+  EXPECT_EQ(dying.report.adopted, 0u);
+  EXPECT_EQ(dying.report.unserved, 0u);
+  EXPECT_EQ(dying.report.queries, 0u);  // It never served anything.
+  EXPECT_NE(dying.report.last_error.find("injected throw fault"),
+            std::string::npos);
+  EXPECT_EQ(strong.report.adopted, handlers);
+  EXPECT_EQ(strong.report.failed_over, 0u);
+
+  // Failover is reported, not silent — but it is also real: every one of
+  // the dying run's slots holds the adopting backend's generation.
+  ASSERT_EQ(dying.generations.size(), handlers);
+  for (size_t i = 0; i < handlers; ++i) {
+    EXPECT_EQ(syzlang::Print(dying.generations[i].spec),
+              syzlang::Print(strong.generations[i].spec));
+  }
+}
+
+TEST_F(ServiceTest, TransientTaskFaultFailsOverOneTask)
+{
+  ASSERT_TRUE(util::FaultInjector::Instance()
+                  .ArmFromSpec("site=spec_gen.task,kind=throw,match=gpt-4:")
+                  .ok());
+  ServiceOptions options;
+  options.backends = {"gpt-4", "gpt-3.5"};
+  options.num_threads = 1;  // Keep the nth=1 window deterministic.
+  ServiceResult result = Run(options);
+  EXPECT_EQ(result.runs[0].report.failed_over, 1u);
+  EXPECT_EQ(result.runs[1].report.adopted, 1u);
+  EXPECT_EQ(result.runs[0].report.unserved, 0u);
+  const size_t handlers = drivers_->size() + sockets_->size();
+  EXPECT_EQ(result.runs[0].generations.size(), handlers);
+}
+
+TEST_F(ServiceTest, NoSurvivingBackendLeavesTasksUnservedNotCrashed)
+{
+  ASSERT_TRUE(util::FaultInjector::Instance()
+                  .ArmFromSpec("site=spec_gen.task,kind=throw,times=-1")
+                  .ok());
+  ServiceOptions options;
+  options.backends = {"gpt-4"};
+  options.num_threads = 2;
+  ServiceResult result = Run(options);
+  const size_t handlers = drivers_->size() + sockets_->size();
+  const BackendRun& run = result.runs[0];
+  EXPECT_EQ(run.report.unserved, handlers);
+  EXPECT_EQ(run.report.failed, handlers);
+  ASSERT_EQ(run.generations.size(), handlers);
+  for (const HandlerGeneration& gen : run.generations) {
+    EXPECT_EQ(gen.status, GenStatus::kFailed);
+  }
+}
+
+TEST_F(ServiceTest, InjectedCrashPropagatesAfterWorkersDrain)
+{
+  // A simulated process death is NOT a task failure: the service drains
+  // its workers and rethrows so a supervisor sees the crash, never a
+  // silently half-generated result.
+  ASSERT_TRUE(util::FaultInjector::Instance()
+                  .ArmFromSpec("site=spec_gen.task,kind=crash")
+                  .ok());
+  ServiceOptions options;
+  options.num_threads = 4;
+  EXPECT_THROW(Run(options), util::InjectedCrash);
 }
 
 }  // namespace

@@ -1,11 +1,17 @@
 // Unit tests for the util module: RNG determinism, string helpers, table
-// rendering, and histograms.
+// rendering, histograms, fault injection, and retry/backoff.
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
+#include <cstdlib>
+#include <filesystem>
 #include <set>
 
+#include "util/fault.h"
+#include "util/fileio.h"
 #include "util/histogram.h"
+#include "util/retry.h"
 #include "util/rng.h"
 #include "util/strings.h"
 #include "util/table.h"
@@ -220,6 +226,230 @@ TEST(HistogramTest, AsciiRenderHasOneLinePerBucket)
     if (c == '\n') ++lines;
   }
   EXPECT_EQ(lines, 5);
+}
+
+/// Disarms the process-wide injector when a test scope ends, so an armed
+/// plan can never leak into a later test.
+struct ScopedDisarm {
+  ~ScopedDisarm() { FaultInjector::Instance().Disarm(); }
+};
+
+TEST(FaultTest, ParsesFullGrammar)
+{
+  FaultPlan plan;
+  ASSERT_TRUE(FaultInjector::ParsePlan(
+                  "seed=42;"
+                  "site=fileio.append,kind=errno,errno=ENOSPC,nth=2,times=3,"
+                  "match=tenant_a,msg=disk full;"
+                  "site=orchestrator.worker,kind=crash,p=0.25",
+                  &plan)
+                  .ok());
+  EXPECT_EQ(plan.seed, 42u);
+  ASSERT_EQ(plan.rules.size(), 2u);
+  EXPECT_EQ(plan.rules[0].site, "fileio.append");
+  EXPECT_EQ(plan.rules[0].kind, FaultKind::kErrno);
+  EXPECT_EQ(plan.rules[0].error_number, ENOSPC);
+  EXPECT_EQ(plan.rules[0].nth, 2);
+  EXPECT_EQ(plan.rules[0].times, 3);
+  EXPECT_EQ(plan.rules[0].match, "tenant_a");
+  EXPECT_EQ(plan.rules[0].message, "disk full");
+  EXPECT_EQ(plan.rules[1].kind, FaultKind::kCrash);
+  EXPECT_DOUBLE_EQ(plan.rules[1].probability, 0.25);
+  // Numeric errno round-trips too.
+  ASSERT_TRUE(FaultInjector::ParsePlan("site=x,kind=errno,errno=28", &plan)
+                  .ok());
+  EXPECT_EQ(plan.rules[0].error_number, 28);
+}
+
+TEST(FaultTest, RejectsMalformedPlans)
+{
+  FaultPlan plan;
+  EXPECT_FALSE(FaultInjector::ParsePlan("kind=throw", &plan).ok());
+  EXPECT_FALSE(FaultInjector::ParsePlan("site=x,kind=meteor", &plan).ok());
+  EXPECT_FALSE(FaultInjector::ParsePlan("site=x,errno=EWHAT", &plan).ok());
+  EXPECT_FALSE(FaultInjector::ParsePlan("site=x,nth=0", &plan).ok());
+  EXPECT_FALSE(FaultInjector::ParsePlan("site=x,volume=11", &plan).ok());
+  EXPECT_FALSE(FaultInjector::ParsePlan("site=x,kindthrow", &plan).ok());
+}
+
+TEST(FaultTest, NthTimesWindowFiresDeterministically)
+{
+  ScopedDisarm guard;
+  FaultInjector& injector = FaultInjector::Instance();
+  ASSERT_TRUE(injector.ArmFromSpec("site=test.site,nth=2,times=2").ok());
+  int thrown = 0;
+  for (int call = 1; call <= 5; ++call) {
+    try {
+      injector.Hit("test.site");
+    } catch (const InjectedFault&) {
+      ++thrown;
+      EXPECT_TRUE(call == 2 || call == 3) << "fired on call " << call;
+    }
+  }
+  EXPECT_EQ(thrown, 2);
+  EXPECT_EQ(injector.FiredCount("test.site"), 2u);
+  EXPECT_EQ(injector.TotalFired(), 2u);
+}
+
+TEST(FaultTest, MatchScopesTheCallStream)
+{
+  ScopedDisarm guard;
+  FaultInjector& injector = FaultInjector::Instance();
+  // nth=2 counts only calls whose detail contains "tenant_a": unrelated
+  // call streams (other tenants, other threads) never advance the rule.
+  ASSERT_TRUE(
+      injector.ArmFromSpec("site=test.site,match=tenant_a,nth=2").ok());
+  EXPECT_NO_THROW(injector.Hit("test.site", "tenant_b/save"));
+  EXPECT_NO_THROW(injector.Hit("test.site", "tenant_a/save"));  // match #1
+  EXPECT_NO_THROW(injector.Hit("test.site", "tenant_b/save"));
+  EXPECT_THROW(injector.Hit("test.site", "tenant_a/save"),  // match #2
+               InjectedFault);
+}
+
+TEST(FaultTest, CrashIsNotAFault)
+{
+  ScopedDisarm guard;
+  FaultInjector& injector = FaultInjector::Instance();
+  ASSERT_TRUE(injector.ArmFromSpec("site=test.site,kind=crash,times=-1").ok());
+  // A supervisor must be able to distinguish "the worker failed" (retry
+  // in place) from "the process died" (rebuild + resume): InjectedCrash
+  // is deliberately not an InjectedFault.
+  try {
+    injector.Hit("test.site");
+    FAIL() << "expected InjectedCrash";
+  } catch (const InjectedFault&) {
+    FAIL() << "InjectedCrash must not be catchable as InjectedFault";
+  } catch (const InjectedCrash& crash) {
+    EXPECT_NE(std::string(crash.what()).find("test.site"), std::string::npos);
+  }
+}
+
+TEST(FaultTest, HitStatusCarriesInjectedErrno)
+{
+  ScopedDisarm guard;
+  FaultInjector& injector = FaultInjector::Instance();
+  ASSERT_TRUE(
+      injector.ArmFromSpec("site=io.site,kind=errno,errno=ENOSPC").ok());
+  int fired_errno = 0;
+  Status status = injector.HitStatus("io.site", "some/path", &fired_errno);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(fired_errno, ENOSPC);
+  EXPECT_NE(status.message().find("ENOSPC"), std::string::npos);
+  // Second call: the rule's nth=1,times=1 window is spent.
+  EXPECT_TRUE(injector.HitStatus("io.site", "some/path").ok());
+}
+
+TEST(FaultTest, DisarmedHitIsANoop)
+{
+  FaultInjector::Instance().Disarm();
+  EXPECT_FALSE(FaultInjector::Armed());
+  EXPECT_NO_THROW(FaultInjector::Instance().Hit("any.site", "detail"));
+  EXPECT_TRUE(FaultInjector::Instance().HitStatus("any.site").ok());
+}
+
+TEST(FaultTest, ArmsFromEnvironmentSpec)
+{
+  ScopedDisarm guard;
+  ::setenv("KERNELGPT_FAULT_PLAN", "site=env.site,kind=status", 1);
+  EXPECT_TRUE(FaultInjector::Instance().ArmFromEnvIfPresent());
+  EXPECT_TRUE(FaultInjector::Armed());
+  Status status = FaultInjector::Instance().HitStatus("env.site");
+  EXPECT_FALSE(status.ok());
+  ::unsetenv("KERNELGPT_FAULT_PLAN");
+}
+
+TEST(FaultTest, ErrnoNamesCoverTheIoClasses)
+{
+  EXPECT_STREQ(ErrnoName(ENOSPC), "ENOSPC");
+  EXPECT_STREQ(ErrnoName(EIO), "EIO");
+  EXPECT_STREQ(ErrnoName(EACCES), "EACCES");
+  EXPECT_STREQ(ErrnoName(12345), "");
+}
+
+TEST(FaultTest, InjectedErrnoReadsLikeARealSyscallFailure)
+{
+  ScopedDisarm guard;
+  ASSERT_TRUE(FaultInjector::Instance()
+                  .ArmFromSpec("site=fileio.append,kind=errno,errno=ENOSPC")
+                  .ok());
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "kernelgpt_fault_probe.log")
+          .string();
+  Status status = AppendFileDurable(path, "x");
+  ASSERT_FALSE(status.ok());
+  // Routed through the same ErrnoStatus mapping as a real failure: the
+  // message names the errno class, the path, and the strerror text.
+  EXPECT_NE(status.message().find("ENOSPC"), std::string::npos);
+  EXPECT_NE(status.message().find(path), std::string::npos);
+  EXPECT_NE(status.message().find("No space left"), std::string::npos);
+  // Distinguishable classes: EACCES reads differently from ENOSPC.
+  ASSERT_TRUE(FaultInjector::Instance()
+                  .ArmFromSpec("site=fileio.read,kind=errno,errno=EACCES")
+                  .ok());
+  std::string text;
+  status = ReadFileToString(path, &text);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("EACCES"), std::string::npos);
+  EXPECT_EQ(status.message().find("ENOSPC"), std::string::npos);
+}
+
+TEST(RetryTest, DelayDoublesAndClamps)
+{
+  RetryPolicy policy;
+  policy.base_delay_ms = 10;
+  policy.max_delay_ms = 50;
+  EXPECT_DOUBLE_EQ(policy.DelayMs(0, "k"), 10);
+  EXPECT_DOUBLE_EQ(policy.DelayMs(1, "k"), 20);
+  EXPECT_DOUBLE_EQ(policy.DelayMs(2, "k"), 40);
+  EXPECT_DOUBLE_EQ(policy.DelayMs(3, "k"), 50);  // clamped
+  EXPECT_DOUBLE_EQ(policy.DelayMs(30, "k"), 50);
+}
+
+TEST(RetryTest, JitterIsSeededAndBounded)
+{
+  RetryPolicy policy;
+  policy.base_delay_ms = 100;
+  policy.max_delay_ms = 100;
+  policy.jitter = 0.5;
+  policy.seed = 7;
+  const double a = policy.DelayMs(0, "alpha");
+  const double b = policy.DelayMs(0, "beta");
+  // Deterministic: same (policy, retry, key) -> same delay.
+  EXPECT_DOUBLE_EQ(a, policy.DelayMs(0, "alpha"));
+  // Jitter scales into [1 - jitter, 1] of the nominal delay.
+  EXPECT_GE(a, 50.0);
+  EXPECT_LE(a, 100.0);
+  EXPECT_GE(b, 50.0);
+  EXPECT_LE(b, 100.0);
+  // Distinct keys decorrelate.
+  EXPECT_NE(a, b);
+}
+
+TEST(RetryTest, RunWithRetryCountsAttemptsAndBackoff)
+{
+  RetryPolicy policy;
+  policy.max_retries = 3;
+  policy.base_delay_ms = 1;
+  int calls = 0;
+  RetryResult r = RunWithRetry(policy, "k", [&](int attempt) {
+    EXPECT_EQ(attempt, calls);
+    ++calls;
+    return calls < 3 ? Status::Error("transient") : Status::Ok();
+  });
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.attempts, 3);
+  EXPECT_EQ(r.retries, 2);
+  EXPECT_DOUBLE_EQ(r.backoff_ms, 1 + 2);  // retries 0 and 1
+
+  calls = 0;
+  r = RunWithRetry(policy, "k", [&](int) {
+    ++calls;
+    return Status::Error("permanent");
+  });
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(calls, 4);  // 1 + max_retries, no attempt after the last
+  EXPECT_EQ(r.attempts, 4);
+  EXPECT_EQ(r.retries, 3);
 }
 
 }  // namespace
