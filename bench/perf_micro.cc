@@ -10,6 +10,7 @@
 #include "experiments/context.h"
 #include "fuzzer/campaign.h"
 #include "fuzzer/distiller.h"
+#include "fuzzer/executor.h"
 #include "fuzzer/fleet.h"
 #include "fuzzer/generator.h"
 #include "fuzzer/session.h"
@@ -18,7 +19,9 @@
 #include "syzlang/parser.h"
 #include "syzlang/printer.h"
 #include "util/fault.h"
+#include "util/rng.h"
 #include "util/strings.h"
+#include "vkernel/kernel.h"
 
 using namespace kernelgpt;
 
@@ -136,7 +139,7 @@ BM_KernelOpenClose(benchmark::State& state)
     // One program's open/close round trip (the fd table is per-program,
     // so BeginProgram is part of the real per-open cost).
     kernel.BeginProgram();
-    long fd = kernel.Openat("/dev/mapper/control", 0, ctx);
+    long fd = kernel.Openat("/dev/mapper/control", 0, ctx).retval;
     benchmark::DoNotOptimize(fd);
     kernel.Close(fd, ctx);
   }
@@ -174,7 +177,7 @@ BM_Distill(benchmark::State& state)
 {
   const auto& context = experiments::ExperimentContext::Default();
   fuzzer::SpecLibrary lib = context.SyzkallerPlusKernelGptSuite();
-  auto boot = [&context](vkernel::Kernel* k) { context.BootKernel(k); };
+  auto boot = [&context](vkernel::KernelModel* k) { context.BootKernel(k); };
 
   fuzzer::OrchestratorOptions options;
   options.campaign.seed = 42;
@@ -192,6 +195,53 @@ BM_Distill(benchmark::State& state)
                           static_cast<int64_t>(merged.size()));
 }
 BENCHMARK(BM_Distill);
+
+/// Differential-oracle cost: the same deterministic corpus replayed
+/// through a pre-booted single-model Executor batch (Arg 0) vs a full
+/// strict-vs-permissive DiffRunner pass with minimization off (Arg 1).
+/// The ns ratio between the two args is the oracle's overhead factor
+/// per pass: dual execution with per-call trace comparison PLUS booting
+/// both model pairs from scratch, which the runner pays once per Run()
+/// and which dominates at this corpus size. Items = programs, so
+/// items/sec stays comparable to BM_FuzzThroughput.
+void
+BM_DiffRunnerOverhead(benchmark::State& state)
+{
+  const auto& context = experiments::ExperimentContext::Default();
+  fuzzer::SpecLibrary lib = context.SyzkallerPlusKernelGptSuite();
+
+  util::Rng rng(42);
+  fuzzer::Generator generator(&lib, &rng);
+  std::vector<fuzzer::Prog> corpus;
+  corpus.reserve(128);
+  for (int i = 0; i < 128; ++i) {
+    fuzzer::Prog prog = generator.Generate(6);
+    if (!prog.empty()) corpus.push_back(std::move(prog));
+  }
+
+  if (state.range(0) != 0) {
+    fuzzer::DiffOptions options;
+    options.boot = [&context](vkernel::KernelModel* k) {
+      context.BootKernel(k);
+    };
+    options.minimize = false;
+    fuzzer::DiffRunner runner(&lib, options);
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(runner.Run(corpus).programs);
+    }
+  } else {
+    auto kernel = vkernel::MakeStrictModel();
+    context.BootKernel(kernel.get());
+    fuzzer::Executor executor(kernel.get(), &lib);
+    for (auto _ : state) {
+      vkernel::Coverage coverage;
+      benchmark::DoNotOptimize(executor.RunBatch(corpus, &coverage).size());
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(corpus.size()));
+}
+BENCHMARK(BM_DiffRunnerOverhead)->Arg(0)->Arg(1);
 
 /// Session persistence cost: one full suite-snapshot round trip
 /// (serialize coverage + crashes + corpus + reproducers + trend records,
@@ -303,7 +353,7 @@ BM_OrchestratorThroughput(benchmark::State& state)
     options.campaign.program_budget = 2000;
     options.num_workers = static_cast<int>(state.range(0));
     benchmark::DoNotOptimize(fuzzer::RunShardedCampaign(
-        lib, [&context](vkernel::Kernel* k) { context.BootKernel(k); },
+        lib, [&context](vkernel::KernelModel* k) { context.BootKernel(k); },
         options));
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2000);
@@ -351,7 +401,7 @@ BM_FleetRoundOverhead(benchmark::State& state)
   util::FaultInjector::Instance().Disarm();
   const auto& context = experiments::ExperimentContext::Default();
   fuzzer::SpecLibrary lib = context.SyzkallerPlusKernelGptSuite();
-  auto boot = [&context](vkernel::Kernel* k) { context.BootKernel(k); };
+  auto boot = [&context](vkernel::KernelModel* k) { context.BootKernel(k); };
   fuzzer::SessionOptions options;
   options.WithSeed(42).WithProgramBudget(2000).WithWorkers(2);
   const bool fleet_mode = state.range(0) != 0;

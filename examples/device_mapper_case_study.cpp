@@ -13,6 +13,7 @@
 #include "fuzzer/campaign.h"
 #include "spec_gen/kernelgpt.h"
 #include "syzlang/printer.h"
+#include "vkernel/kernel.h"
 
 using namespace kernelgpt;
 

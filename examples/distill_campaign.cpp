@@ -16,6 +16,7 @@
 #include "drivers/model_spec.h"
 #include "fuzzer/prog.h"
 #include "fuzzer/session.h"
+#include "vkernel/kernel.h"
 
 using namespace kernelgpt;
 
@@ -31,7 +32,7 @@ main(int argc, char** argv)
   lib.Add(drivers::GroundTruthDeviceSpec(*corpus.FindDevice("dm")));
   lib.Finalize();
 
-  auto boot = [&corpus](vkernel::Kernel* kernel) {
+  auto boot = [&corpus](vkernel::KernelModel* kernel) {
     corpus.RegisterAll(kernel);
   };
 

@@ -11,6 +11,7 @@
 #include "drivers/corpus.h"
 #include "drivers/model_spec.h"
 #include "fuzzer/orchestrator.h"
+#include "vkernel/kernel.h"
 
 using namespace kernelgpt;
 
@@ -27,7 +28,7 @@ main(int argc, char** argv)
   lib.Add(drivers::GroundTruthDeviceSpec(*corpus.FindDevice("dm")));
   lib.Finalize();
 
-  auto boot = [&corpus](vkernel::Kernel* kernel) {
+  auto boot = [&corpus](vkernel::KernelModel* kernel) {
     corpus.RegisterAll(kernel);
   };
 

@@ -15,6 +15,7 @@
 #include "fuzzer/campaign.h"
 #include "spec_gen/kernelgpt.h"
 #include "syzlang/printer.h"
+#include "vkernel/kernel.h"
 
 using namespace kernelgpt;
 

@@ -34,6 +34,7 @@
 #include "drivers/model_spec.h"
 #include "fuzzer/prog.h"
 #include "fuzzer/session.h"
+#include "vkernel/kernel.h"
 
 using namespace kernelgpt;
 
@@ -66,7 +67,7 @@ MakeSession(int rounds)
                              .WithSeed(kSeed)
                              .WithRounds(rounds)
                              .WithOrchestrator(orchestrator),
-                         [](vkernel::Kernel* kernel) {
+                         [](vkernel::KernelModel* kernel) {
                            drivers::Corpus::Instance().RegisterAll(kernel);
                          });
 }

@@ -3,7 +3,7 @@
 # either records a BENCH_prN.json trajectory file or gates against a
 # previously recorded baseline.
 #
-# Record: scripts/bench.sh [output.json]        (default BENCH_pr7.json)
+# Record: scripts/bench.sh [output.json]        (default BENCH_pr8.json)
 # Gate:   scripts/bench.sh --check baseline.json
 #   Re-measures BM_FuzzThroughput and fails (exit 1) when throughput
 #   regresses more than BENCH_TOLERANCE_PCT percent (default 25) below
@@ -19,7 +19,7 @@ BENCH_BIN="${BUILD_DIR}/bench/bench_perf_micro"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
 MODE="record"
-OUT="BENCH_pr7.json"
+OUT="BENCH_pr8.json"
 BASELINE=""
 if [ "${1:-}" = "--check" ]; then
   MODE="check"
@@ -121,7 +121,7 @@ echo "== running hot-path benchmarks =="
 # (and is meaningless on 1-CPU containers), so it would poison the
 # trajectory file.
 "${BENCH_BIN}" \
-  --benchmark_filter='BM_FuzzThroughput|BM_ExecutorDispatch|BM_CoverageMerge|BM_Distill|BM_KernelOpenClose|BM_SnapshotSaveLoad|BM_SnapshotAppend|BM_FaultPointDisarmed|BM_FleetRoundOverhead' \
+  --benchmark_filter='BM_FuzzThroughput|BM_ExecutorDispatch|BM_CoverageMerge|BM_Distill|BM_KernelOpenClose|BM_SnapshotSaveLoad|BM_SnapshotAppend|BM_FaultPointDisarmed|BM_FleetRoundOverhead|BM_DiffRunnerOverhead' \
   --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
   --benchmark_format=json > "${RAW}"
 
@@ -215,6 +215,21 @@ result = {
                   items_per_sec("BM_FleetRoundOverhead/1"), 3)
             if items_per_sec("BM_FleetRoundOverhead/0")
             and items_per_sec("BM_FleetRoundOverhead/1") else None
+        ),
+    },
+    # Differential oracle (PR 8): the same corpus through a pre-booted
+    # bare Executor batch vs a full strict-vs-permissive DiffRunner pass
+    # (minimization off). The ratio is the per-pass overhead factor —
+    # dual execution + per-call trace comparison + booting both model
+    # pairs, which dominates at the benchmark's corpus size.
+    "differential": {
+        "bare_programs_per_sec": items_per_sec("BM_DiffRunnerOverhead/0"),
+        "diff_programs_per_sec": items_per_sec("BM_DiffRunnerOverhead/1"),
+        "diff_over_bare_ratio": (
+            round(items_per_sec("BM_DiffRunnerOverhead/0") /
+                  items_per_sec("BM_DiffRunnerOverhead/1"), 2)
+            if items_per_sec("BM_DiffRunnerOverhead/0")
+            and items_per_sec("BM_DiffRunnerOverhead/1") else None
         ),
     },
     # Between-campaign corpus distillation (PR 3): dedup + batched replay

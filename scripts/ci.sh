@@ -20,7 +20,7 @@ cmake --build "${BUILD_DIR}" -j"${JOBS}"
 (cd "${BUILD_DIR}" && ctest --output-on-failure --no-tests=error -j"${JOBS}")
 
 echo
-echo "== Determinism gate (orchestrator + distiller + service + session) =="
+echo "== Determinism gate (orchestrator + distiller + service + session + diff) =="
 # Two back-to-back sharded campaigns must produce identical merged
 # coverage bitmaps and deduplicated crash maps, a 1-worker run must be
 # bit-identical to the serial campaign loop, distilling the same merged
@@ -31,11 +31,13 @@ echo "== Determinism gate (orchestrator + distiller + service + session) =="
 # (session_test), torn-tail / mid-save-crash recovery of the
 # incremental journal must restore the last committed round exactly
 # (snapshot_test), and a fleet supervisor must produce byte-identical
-# reports and tenant states at 1 and 4 supervisor threads (fleet_test).
-# Rerun through ctest so the gate stays in sync with the suites instead
-# of a hand-picked gtest filter.
+# reports and tenant states at 1 and 4 supervisor threads (fleet_test),
+# and the differential oracle must render byte-identical divergence
+# reports at 1 and 4 DiffRunner workers and across session save/resume
+# (diff_test). Rerun through ctest so the gate stays in sync with the
+# suites instead of a hand-picked gtest filter.
 (cd "${BUILD_DIR}" && ctest --output-on-failure --no-tests=error -j"${JOBS}" \
-    -R '^(orchestrator_test|distiller_test|service_test|session_test|snapshot_test|fleet_test)$')
+    -R '^(orchestrator_test|distiller_test|service_test|session_test|snapshot_test|fleet_test|diff_test)$')
 
 echo
 echo "== Fleet-recovery soak (armed fault plan) =="

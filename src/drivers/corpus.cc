@@ -364,7 +364,7 @@ Corpus::BuildIndex() const
 }
 
 void
-Corpus::RegisterAll(vkernel::Kernel* kernel) const
+Corpus::RegisterAll(vkernel::KernelModel* kernel) const
 {
   for (const auto& d : devices_) {
     if (d.loaded_in_syzbot && !d.excluded) {

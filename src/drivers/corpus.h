@@ -18,7 +18,7 @@
 
 #include "drivers/driver_model.h"
 #include "ksrc/definition_index.h"
-#include "vkernel/kernel.h"
+#include "vkernel/model.h"
 
 namespace kernelgpt::drivers {
 
@@ -44,7 +44,7 @@ class Corpus {
   ksrc::DefinitionIndex BuildIndex() const;
 
   /// Registers runtime drivers for all loaded modules into a kernel.
-  void RegisterAll(vkernel::Kernel* kernel) const;
+  void RegisterAll(vkernel::KernelModel* kernel) const;
 
  private:
   Corpus();

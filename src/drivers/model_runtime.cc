@@ -10,7 +10,7 @@ namespace kernelgpt::drivers {
 using vkernel::Buffer;
 using vkernel::ExecContext;
 using vkernel::FileHandler;
-using vkernel::Kernel;
+using vkernel::KernelModel;
 
 uint64_t
 BlockId(const std::string& module, const std::string& role,
@@ -347,8 +347,8 @@ class ModelFile : public FileHandler {
     release_title_.clear();
   }
 
-  long Ioctl(uint64_t cmd_value, Buffer* arg, ExecContext& ctx,
-             Kernel& kernel) override {
+  long Ioctl(uint64_t cmd_value, Buffer* arg, KernelModel& kernel) override {
+    ExecContext& ctx = kernel.context();
     const CmdRuntime* match = MatchCommand(cmd_value);
     if (!match) return -vkernel::kENOTTY;
 
@@ -374,9 +374,8 @@ class ModelFile : public FileHandler {
                               &release_title_);
   }
 
-  void Release(ExecContext& ctx, Kernel& kernel) override {
-    (void)kernel;
-    if (release_bomb_) ctx.Crash(release_title_);
+  void Release(KernelModel& kernel) override {
+    if (release_bomb_) kernel.context().Crash(release_title_);
   }
 
  private:
@@ -425,11 +424,10 @@ class ModelDevice : public vkernel::DeviceDriver {
   std::string Name() const override { return dev_->id; }
   std::string NodePath() const override { return dev_->dev_node; }
 
-  std::shared_ptr<FileHandler> Open(ExecContext& ctx, Kernel& kernel,
+  std::shared_ptr<FileHandler> Open(KernelModel& kernel,
                                     long* err) override {
-    (void)kernel;
     (void)err;
-    ctx.Cover(runtime_.open_block);
+    kernel.context().Cover(runtime_.open_block);
     return AcquireModelFile(&runtime_, &dev_->primary);
   }
 
@@ -561,8 +559,8 @@ class ModelSocket : public vkernel::SocketHandler {
   }
 
   long SetSockOpt(uint64_t level, uint64_t optname, const Buffer& val,
-                  ExecContext& ctx, Kernel& kernel) override {
-    (void)kernel;
+                  KernelModel& kernel) override {
+    ExecContext& ctx = kernel.context();
     if (level != rt_->sock->sol_level) return -vkernel::kENOPROTOOPT;
     for (const SockOptRuntime& so : rt_->sockopts) {
       if (!so.opt->settable || so.opt->value != optname) continue;
@@ -574,8 +572,8 @@ class ModelSocket : public vkernel::SocketHandler {
   }
 
   long GetSockOpt(uint64_t level, uint64_t optname, Buffer* val,
-                  ExecContext& ctx, Kernel& kernel) override {
-    (void)kernel;
+                  KernelModel& kernel) override {
+    ExecContext& ctx = kernel.context();
     if (level != rt_->sock->sol_level) return -vkernel::kENOPROTOOPT;
     for (const SockOptRuntime& so : rt_->sockopts) {
       if (!so.opt->gettable || so.opt->value != optname) continue;
@@ -587,9 +585,8 @@ class ModelSocket : public vkernel::SocketHandler {
     return -vkernel::kENOPROTOOPT;
   }
 
-  long Ioctl(uint64_t cmd_value, Buffer* arg, ExecContext& ctx,
-             Kernel& kernel) override {
-    (void)kernel;
+  long Ioctl(uint64_t cmd_value, Buffer* arg, KernelModel& kernel) override {
+    ExecContext& ctx = kernel.context();
     for (const CmdRuntime& rt : rt_->ioctls) {
       if (rt.match_value == cmd_value) {
         return engine_.RunCommand(rt, arg, ctx, &executed_, &release_bomb_,
@@ -599,45 +596,38 @@ class ModelSocket : public vkernel::SocketHandler {
     return -vkernel::kENOTTY;
   }
 
-  long Bind(const Buffer& addr, ExecContext& ctx, Kernel& kernel) override {
-    (void)kernel;
-    return RunOp(rt_->bind, addr, ctx);
+  long Bind(const Buffer& addr, KernelModel& kernel) override {
+    return RunOp(rt_->bind, addr, kernel.context());
   }
 
-  long Connect(const Buffer& addr, ExecContext& ctx, Kernel& kernel) override {
-    (void)kernel;
-    return RunOp(rt_->connect, addr, ctx);
+  long Connect(const Buffer& addr, KernelModel& kernel) override {
+    return RunOp(rt_->connect, addr, kernel.context());
   }
 
-  long SendTo(const Buffer& data, const Buffer& addr, ExecContext& ctx,
-              Kernel& kernel) override {
-    (void)kernel;
+  long SendTo(const Buffer& data, const Buffer& addr,
+              KernelModel& kernel) override {
     (void)data;
-    return RunOp(rt_->sendto, addr, ctx);
+    return RunOp(rt_->sendto, addr, kernel.context());
   }
 
-  long RecvFrom(Buffer* data, ExecContext& ctx, Kernel& kernel) override {
-    (void)kernel;
+  long RecvFrom(Buffer* data, KernelModel& kernel) override {
     if (data) data->Resize(64);
     Buffer empty;
-    return RunOp(rt_->recvfrom, empty, ctx);
+    return RunOp(rt_->recvfrom, empty, kernel.context());
   }
 
-  long Listen(ExecContext& ctx, Kernel& kernel) override {
-    (void)kernel;
+  long Listen(KernelModel& kernel) override {
     Buffer empty;
-    return RunOp(rt_->listen, empty, ctx);
+    return RunOp(rt_->listen, empty, kernel.context());
   }
 
-  long Accept(ExecContext& ctx, Kernel& kernel) override {
-    (void)kernel;
+  long Accept(KernelModel& kernel) override {
     Buffer empty;
-    return RunOp(rt_->accept, empty, ctx);
+    return RunOp(rt_->accept, empty, kernel.context());
   }
 
-  void Release(ExecContext& ctx, Kernel& kernel) override {
-    (void)kernel;
-    if (release_bomb_) ctx.Crash(release_title_);
+  void Release(KernelModel& kernel) override {
+    if (release_bomb_) kernel.context().Crash(release_title_);
   }
 
  private:
@@ -704,10 +694,8 @@ class ModelSocketFamily : public vkernel::SocketFamily {
 
   std::shared_ptr<vkernel::SocketHandler> Create(uint64_t type,
                                                  uint64_t protocol,
-                                                 ExecContext& ctx,
-                                                 Kernel& kernel,
+                                                 KernelModel& kernel,
                                                  long* err) override {
-    (void)kernel;
     if (sock_->sock_type != 0 && type != sock_->sock_type) {
       *err = -vkernel::kEINVAL;
       return nullptr;
@@ -716,7 +704,7 @@ class ModelSocketFamily : public vkernel::SocketFamily {
       *err = -vkernel::kEINVAL;
       return nullptr;
     }
-    ctx.Cover(runtime_.create_block);
+    kernel.context().Cover(runtime_.create_block);
     if (std::shared_ptr<FileHandler> pooled = runtime_.pool.Take()) {
       auto* sock = static_cast<ModelSocket*>(pooled.get());
       sock->Reset();

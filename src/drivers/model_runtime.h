@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "drivers/driver_model.h"
-#include "vkernel/kernel.h"
+#include "vkernel/model.h"
 
 namespace kernelgpt::drivers {
 

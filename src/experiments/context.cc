@@ -174,9 +174,19 @@ ExperimentContext::SyzkallerPlusKernelGptSuite() const
 }
 
 void
-ExperimentContext::BootKernel(vkernel::Kernel* kernel) const
+ExperimentContext::BootKernel(vkernel::KernelModel* kernel) const
 {
   drivers::Corpus::Instance().RegisterAll(kernel);
+}
+
+fuzzer::DiffReport
+ExperimentContext::DiffCorpus(const fuzzer::SpecLibrary& lib,
+                              const std::vector<fuzzer::Prog>& corpus,
+                              fuzzer::DiffOptions options) const
+{
+  options.boot = [this](vkernel::KernelModel* kernel) { BootKernel(kernel); };
+  fuzzer::DiffRunner runner(&lib, std::move(options));
+  return runner.Run(corpus);
 }
 
 namespace {
@@ -190,7 +200,7 @@ ExperimentContext::MakeSession(fuzzer::SessionOptions options) const
 {
   return fuzzer::Session(
       std::move(options),
-      [this](vkernel::Kernel* kernel) { BootKernel(kernel); });
+      [this](vkernel::KernelModel* kernel) { BootKernel(kernel); });
 }
 
 ExperimentContext::FuzzSummary

@@ -104,8 +104,16 @@ class ExperimentContext {
   fuzzer::SpecLibrary SyzkallerPlusSyzDescribeSuite() const;
   fuzzer::SpecLibrary SyzkallerPlusKernelGptSuite() const;
 
-  /// Registers all loaded corpus modules into a fresh kernel.
-  void BootKernel(vkernel::Kernel* kernel) const;
+  /// Registers all loaded corpus modules into a fresh kernel model (any
+  /// personality).
+  void BootKernel(vkernel::KernelModel* kernel) const;
+
+  /// Runs the differential oracle over `corpus` on one suite: strict
+  /// baseline vs. permissive subject (or the personalities `options`
+  /// names), booted with this context's modules.
+  fuzzer::DiffReport DiffCorpus(const fuzzer::SpecLibrary& lib,
+                                const std::vector<fuzzer::Prog>& corpus,
+                                fuzzer::DiffOptions options = {}) const;
 
   /// Builds a fuzzer::Session wired to boot this context's kernels —
   /// the facade Fuzz()/DistillCorpus() run on; benches that want round

@@ -71,7 +71,7 @@ RunCampaignChunk(const CampaignOptions& options, const CampaignState& state,
 }
 
 CampaignResult
-RunCampaign(vkernel::Kernel* kernel, const SpecLibrary& lib,
+RunCampaign(vkernel::KernelModel* kernel, const SpecLibrary& lib,
             const CampaignOptions& options)
 {
   CampaignResult result;

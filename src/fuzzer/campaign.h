@@ -55,7 +55,7 @@ struct CampaignResult {
 };
 
 /// Runs one campaign of `options.program_budget` programs.
-CampaignResult RunCampaign(vkernel::Kernel* kernel, const SpecLibrary& lib,
+CampaignResult RunCampaign(vkernel::KernelModel* kernel, const SpecLibrary& lib,
                            const CampaignOptions& options);
 
 /// Mutable state of one campaign loop (serial) or one orchestrator shard.

@@ -6,6 +6,7 @@
 
 #include "fuzzer/minimizer.h"
 #include "fuzzer/session.h"
+#include "vkernel/kernel.h"
 
 namespace kernelgpt::fuzzer {
 
@@ -41,9 +42,11 @@ Distiller::Distill(const std::vector<Prog>& merged) const
   }
 
   // -- 2. Batched replay for per-program coverage signatures ---------------
-  vkernel::Kernel kernel;
-  if (boot_) boot_(&kernel);
-  Executor executor(&kernel, lib_);
+  std::unique_ptr<vkernel::KernelModel> kernel =
+      options_.model_factory ? options_.model_factory()
+                             : vkernel::MakeStrictModel();
+  if (boot_) boot_(kernel.get());
+  Executor executor(kernel.get(), lib_);
 
   std::vector<vkernel::Coverage> signatures(candidates.size());
   std::vector<ExecResult> execs(candidates.size());

@@ -31,6 +31,8 @@ struct DistillOptions {
   bool dedupe_exact = true;
   /// Shrink one reproducer per crash title via MinimizeCrash.
   bool minimize_crashes = true;
+  /// Builds the private replay kernel (null: the reference StrictModel).
+  vkernel::ModelFactory model_factory;
 };
 
 /// Observability counters for one distillation pass.

@@ -6,12 +6,20 @@ namespace kernelgpt::fuzzer {
 
 using vkernel::Buffer;
 using vkernel::ExecContext;
+using vkernel::ModelOp;
+using vkernel::SyscallArgs;
+using vkernel::SyscallResult;
 
 namespace {
 
 /// Descriptor value no program state can produce; syscalls on it fail
-/// with EBADF, mirroring how a fuzzer's stale resource refs behave.
+/// with the model's bad-fd errno, mirroring how a fuzzer's stale
+/// resource refs behave.
 constexpr long kInvalidFd = 999999;
+
+/// Result slot of a call that has not executed (or whose producing call
+/// failed): never a valid fd, never ok().
+const SyscallResult kUnsetResult = SyscallResult::FromRaw(-1);
 
 /// Extracts the NUL-terminated path prefix of a buffer argument without
 /// copying; the view borrows the argument's bytes for the call duration.
@@ -26,13 +34,13 @@ PathFrom(const Arg& arg)
 
 /// Resolves the concrete fd value of an argument.
 long
-FdOf(const Arg& arg, const std::vector<long>& results)
+FdOf(const Arg& arg, const std::vector<SyscallResult>& results)
 {
   if (arg.kind == Arg::Kind::kResourceRef) {
     if (arg.ref_call >= 0 &&
         static_cast<size_t>(arg.ref_call) < results.size() &&
-        results[static_cast<size_t>(arg.ref_call)] >= 0) {
-      return results[static_cast<size_t>(arg.ref_call)];
+        results[static_cast<size_t>(arg.ref_call)].ok()) {
+      return results[static_cast<size_t>(arg.ref_call)].retval;
     }
     return kInvalidFd;
   }
@@ -60,92 +68,127 @@ BufferViewAt(const Call& call, size_t index)
 
 }  // namespace
 
-Executor::Executor(vkernel::Kernel* kernel, const SpecLibrary* lib,
+Executor::Executor(vkernel::KernelModel* kernel, const SpecLibrary* lib,
                    DispatchMode mode)
     : kernel_(kernel), lib_(lib), mode_(mode) {}
 
-long
+SyscallResult
 Executor::Dispatch(SyscallOp op, const syzlang::SyscallDef& def,
-                   const Call& call, const std::vector<long>& results,
+                   const Call& call,
+                   const std::vector<SyscallResult>& results,
                    ExecContext& ctx)
 {
   auto fd0 = [&]() {
     return call.args.empty() ? -1 : FdOf(call.args[0], results);
   };
 
+  SyscallArgs args;
   switch (op) {
     case SyscallOp::kOpen:
     case SyscallOp::kOpenat: {
       const size_t path_idx = op == SyscallOp::kOpenat ? 1 : 0;
-      if (path_idx >= call.args.size()) return -vkernel::kEINVAL;
-      const uint64_t flags = ScalarOf(call, path_idx + 1);
-      return kernel_->Openat(PathFrom(call.args[path_idx]), flags, ctx);
+      if (path_idx >= call.args.size()) {
+        return SyscallResult::Err(vkernel::kEINVAL);
+      }
+      args.path = PathFrom(call.args[path_idx]);
+      args.a = ScalarOf(call, path_idx + 1);
+      return kernel_->Syscall(ModelOp::kOpenat, args, ctx);
     }
     case SyscallOp::kClose:
-      return kernel_->Close(fd0(), ctx);
+      args.fd = fd0();
+      return kernel_->Syscall(ModelOp::kClose, args, ctx);
     case SyscallOp::kDup:
-      return kernel_->Dup(fd0(), ctx);
+      args.fd = fd0();
+      return kernel_->Syscall(ModelOp::kDup, args, ctx);
     case SyscallOp::kIoctl: {
-      const uint64_t cmd = ScalarOf(call, 1);
+      args.fd = fd0();
+      args.a = ScalarOf(call, 1);
       if (call.args.size() > 2 && call.args[2].kind == Arg::Kind::kBuffer) {
         Buffer buf = Buffer::View(call.args[2].bytes);
-        return kernel_->Ioctl(fd0(), cmd, &buf, ctx);
+        args.io = &buf;
+        return kernel_->Syscall(ModelOp::kIoctl, args, ctx);
       }
-      return kernel_->Ioctl(fd0(), cmd, nullptr, ctx);
+      return kernel_->Syscall(ModelOp::kIoctl, args, ctx);
     }
     case SyscallOp::kRead: {
       out_scratch_.bytes.assign(
           call.args.size() > 1 ? call.args[1].bytes.size() : 0, 0);
-      return kernel_->Read(fd0(), &out_scratch_, ctx);
+      args.fd = fd0();
+      args.io = &out_scratch_;
+      return kernel_->Syscall(ModelOp::kRead, args, ctx);
     }
     case SyscallOp::kWrite: {
       Buffer in = BufferViewAt(call, 1);
-      return kernel_->Write(fd0(), in, ctx);
+      args.fd = fd0();
+      args.in = &in;
+      return kernel_->Syscall(ModelOp::kWrite, args, ctx);
     }
     case SyscallOp::kPoll:
-      return kernel_->Poll(fd0(), ctx);
+      args.fd = fd0();
+      return kernel_->Syscall(ModelOp::kPoll, args, ctx);
     case SyscallOp::kMmap:
-      return kernel_->Mmap(fd0(), ScalarOf(call, 1), ctx);
+      args.fd = fd0();
+      args.a = ScalarOf(call, 1);
+      return kernel_->Syscall(ModelOp::kMmap, args, ctx);
     case SyscallOp::kSocket:
-      return kernel_->Socket(ScalarOf(call, 0), ScalarOf(call, 1),
-                             ScalarOf(call, 2), ctx);
+      args.a = ScalarOf(call, 0);
+      args.b = ScalarOf(call, 1);
+      args.c = ScalarOf(call, 2);
+      return kernel_->Syscall(ModelOp::kSocket, args, ctx);
     case SyscallOp::kSetSockOpt: {
       Buffer val = BufferViewAt(call, 3);
-      return kernel_->SetSockOpt(fd0(), ScalarOf(call, 1), ScalarOf(call, 2),
-                                 val, ctx);
+      args.fd = fd0();
+      args.a = ScalarOf(call, 1);
+      args.b = ScalarOf(call, 2);
+      args.in = &val;
+      return kernel_->Syscall(ModelOp::kSetSockOpt, args, ctx);
     }
     case SyscallOp::kGetSockOpt: {
       // In/out: the user's bytes size the buffer, the kernel writes it.
       Buffer val = BufferViewAt(call, 3);
-      return kernel_->GetSockOpt(fd0(), ScalarOf(call, 1), ScalarOf(call, 2),
-                                 &val, ctx);
+      args.fd = fd0();
+      args.a = ScalarOf(call, 1);
+      args.b = ScalarOf(call, 2);
+      args.io = &val;
+      return kernel_->Syscall(ModelOp::kGetSockOpt, args, ctx);
     }
     case SyscallOp::kBind: {
       Buffer addr = BufferViewAt(call, 1);
-      return kernel_->Bind(fd0(), addr, ctx);
+      args.fd = fd0();
+      args.addr = &addr;
+      return kernel_->Syscall(ModelOp::kBind, args, ctx);
     }
     case SyscallOp::kConnect: {
       Buffer addr = BufferViewAt(call, 1);
-      return kernel_->Connect(fd0(), addr, ctx);
+      args.fd = fd0();
+      args.addr = &addr;
+      return kernel_->Syscall(ModelOp::kConnect, args, ctx);
     }
     case SyscallOp::kSendTo: {
       Buffer data = BufferViewAt(call, 1);
       Buffer addr = BufferViewAt(call, 4);
-      return kernel_->SendTo(fd0(), data, addr, ctx);
+      args.fd = fd0();
+      args.in = &data;
+      args.addr = &addr;
+      return kernel_->Syscall(ModelOp::kSendTo, args, ctx);
     }
     case SyscallOp::kSendMsg: {
-      Buffer data;
-      Buffer addr;
-      return kernel_->SendTo(fd0(), data, addr, ctx);
+      // sendmsg degrades to sendto with empty buffers.
+      args.fd = fd0();
+      return kernel_->Syscall(ModelOp::kSendTo, args, ctx);
     }
     case SyscallOp::kRecvFrom: {
       out_scratch_.bytes.clear();
-      return kernel_->RecvFrom(fd0(), &out_scratch_, ctx);
+      args.fd = fd0();
+      args.io = &out_scratch_;
+      return kernel_->Syscall(ModelOp::kRecvFrom, args, ctx);
     }
     case SyscallOp::kListen:
-      return kernel_->Listen(fd0(), ctx);
+      args.fd = fd0();
+      return kernel_->Syscall(ModelOp::kListen, args, ctx);
     case SyscallOp::kAccept:
-      return kernel_->Accept(fd0(), ctx);
+      args.fd = fd0();
+      return kernel_->Syscall(ModelOp::kAccept, args, ctx);
     case SyscallOp::kUnknown:
       break;
   }
@@ -154,9 +197,10 @@ Executor::Dispatch(SyscallOp op, const syzlang::SyscallDef& def,
   return DispatchByName(def, call, results, ctx);
 }
 
-long
+SyscallResult
 Executor::DispatchByName(const syzlang::SyscallDef& def, const Call& call,
-                         const std::vector<long>& results, ExecContext& ctx)
+                         const std::vector<SyscallResult>& results,
+                         ExecContext& ctx)
 {
   const std::string& name = def.name;
   auto fd0 = [&]() {
@@ -165,7 +209,9 @@ Executor::DispatchByName(const syzlang::SyscallDef& def, const Call& call,
 
   if (name == "openat" || name == "open") {
     size_t path_idx = name == "openat" ? 1 : 0;
-    if (path_idx >= call.args.size()) return -vkernel::kEINVAL;
+    if (path_idx >= call.args.size()) {
+      return SyscallResult::Err(vkernel::kEINVAL);
+    }
     uint64_t flags = ScalarOf(call, path_idx + 1);
     return kernel_->Openat(PathFrom(call.args[path_idx]), flags, ctx);
   }
@@ -238,11 +284,11 @@ Executor::DispatchByName(const syzlang::SyscallDef& def, const Call& call,
   }
   if (name == "listen") return kernel_->Listen(fd0(), ctx);
   if (name == "accept") return kernel_->Accept(fd0(), ctx);
-  return -vkernel::kENOSYS;
+  return SyscallResult::Err(vkernel::kENOSYS);
 }
 
 ExecResult
-Executor::Run(const Prog& prog, vkernel::Coverage* total)
+Executor::Run(const Prog& prog, vkernel::Coverage* total, ExecTrace* trace)
 {
   ExecResult result;
   // Blocks land in `total` directly; ExecContext counts the new ones, so
@@ -250,18 +296,23 @@ Executor::Run(const Prog& prog, vkernel::Coverage* total)
   ExecContext ctx(total);
   kernel_->BeginProgram();
 
-  results_.assign(prog.calls.size(), -1);
+  results_.assign(prog.calls.size(), kUnsetResult);
   for (size_t i = 0; i < prog.calls.size(); ++i) {
     const Call& call = prog.calls[i];
     if (call.syscall_index >= lib_->syscalls().size()) continue;
     const syzlang::SyscallDef& def = lib_->syscalls()[call.syscall_index];
-    long rc = mode_ == DispatchMode::kOpcode
-                  ? Dispatch(lib_->OpcodeOf(call.syscall_index), def, call,
-                             results_, ctx)
-                  : DispatchByName(def, call, results_, ctx);
+    SyscallResult rc =
+        mode_ == DispatchMode::kOpcode
+            ? Dispatch(lib_->OpcodeOf(call.syscall_index), def, call,
+                       results_, ctx)
+            : DispatchByName(def, call, results_, ctx);
     results_[i] = rc;
     ++result.calls_executed;
     if (ctx.crashed()) break;
+  }
+  if (trace) {
+    trace->results = results_;
+    trace->end_shape = kernel_->FdTableShape();
   }
   kernel_->EndProgram(ctx);  // Close-time (release) bugs fire here.
 

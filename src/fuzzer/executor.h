@@ -1,10 +1,11 @@
 /// \file
-/// Program execution against the virtual kernel: dispatches each call by
-/// the opcode its syscall resolved to at Finalize() time, threads resource
-/// results between calls, and collects coverage and crash outcomes.
-/// Argument bytes are passed to the kernel as zero-copy views; batches of
-/// programs can share one kernel batch window to amortize per-program
-/// reset work.
+/// Program execution against a virtual-kernel model: dispatches each call
+/// by the opcode its syscall resolved to at Finalize() time, threads
+/// resource results between calls, and collects coverage and crash
+/// outcomes. Argument bytes are passed to the model as zero-copy views;
+/// batches of programs can share one kernel batch window to amortize
+/// per-program reset work. The executor is written against the abstract
+/// vkernel::KernelModel, so the same program can run on any personality.
 
 #ifndef KERNELGPT_FUZZER_EXECUTOR_H_
 #define KERNELGPT_FUZZER_EXECUTOR_H_
@@ -14,7 +15,7 @@
 
 #include "fuzzer/prog.h"
 #include "util/span.h"
-#include "vkernel/kernel.h"
+#include "vkernel/model.h"
 
 namespace kernelgpt::fuzzer {
 
@@ -26,21 +27,37 @@ struct ExecResult {
   size_t new_blocks = 0;  ///< Blocks added to the accumulated coverage.
 };
 
-/// Executes programs on one kernel instance, accumulating coverage.
+/// Per-call observable record of one execution, for the differential
+/// oracle: the full result vector plus the fd-table shape at end of
+/// program (captured before EndProgram tears the table down). Slots of
+/// calls never executed (after a crash) keep the unset sentinel.
+struct ExecTrace {
+  std::vector<vkernel::SyscallResult> results;
+  vkernel::FdShape end_shape;
+};
+
+/// Executes programs on one kernel model, accumulating coverage.
 class Executor {
  public:
   /// How Run() resolves a call to a kernel operation. kOpcode is the hot
-  /// path (switch on the opcode precomputed by SpecLibrary::Finalize());
-  /// kLegacyNames re-compares the syscall name string per call and exists
-  /// as a debug-mode parity reference for tests.
+  /// path (switch on the opcode precomputed by SpecLibrary::Finalize())
+  /// and drives the model's uniform Syscall() entry; kLegacyNames
+  /// re-compares the syscall name string per call against the typed
+  /// wrappers and exists as a debug-mode parity reference for tests.
   enum class DispatchMode { kOpcode, kLegacyNames };
 
-  Executor(vkernel::Kernel* kernel, const SpecLibrary* lib,
+  Executor(vkernel::KernelModel* kernel, const SpecLibrary* lib,
            DispatchMode mode = DispatchMode::kOpcode);
 
   /// Runs one program from a fresh kernel program state. Coverage is
   /// merged into `total`; the result reports crash state and new coverage.
-  ExecResult Run(const Prog& prog, vkernel::Coverage* total);
+  ExecResult Run(const Prog& prog, vkernel::Coverage* total) {
+    return Run(prog, total, nullptr);
+  }
+
+  /// Run variant that additionally records the per-call result vector
+  /// and end-of-program fd shape into `trace` (may be null).
+  ExecResult Run(const Prog& prog, vkernel::Coverage* total, ExecTrace* trace);
 
   /// Runs a batch of programs inside one kernel batch window, amortizing
   /// per-program module resets. Per-program semantics (fresh fd table and
@@ -64,19 +81,26 @@ class Executor {
   void BeginBatch() { kernel_->BeginBatch(); }
   void EndBatch() { kernel_->EndBatch(); }
 
+  /// The model this executor drives (for reports that name it).
+  vkernel::KernelModel* model() const { return kernel_; }
+
  private:
-  long Dispatch(SyscallOp op, const syzlang::SyscallDef& def, const Call& call,
-                const std::vector<long>& results, vkernel::ExecContext& ctx);
+  vkernel::SyscallResult Dispatch(SyscallOp op, const syzlang::SyscallDef& def,
+                                  const Call& call,
+                                  const std::vector<vkernel::SyscallResult>& results,
+                                  vkernel::ExecContext& ctx);
 
   /// The pre-opcode string-comparison chain, kept as the parity fallback.
-  long DispatchByName(const syzlang::SyscallDef& def, const Call& call,
-                      const std::vector<long>& results,
-                      vkernel::ExecContext& ctx);
+  vkernel::SyscallResult DispatchByName(
+      const syzlang::SyscallDef& def, const Call& call,
+      const std::vector<vkernel::SyscallResult>& results,
+      vkernel::ExecContext& ctx);
 
-  vkernel::Kernel* kernel_;
+  vkernel::KernelModel* kernel_;
   const SpecLibrary* lib_;
   DispatchMode mode_;
-  std::vector<long> results_;     ///< Per-call results, reused across runs.
+  /// Per-call results, reused across runs.
+  std::vector<vkernel::SyscallResult> results_;
   vkernel::Buffer out_scratch_;   ///< Kernel-written buffer, reused.
 };
 

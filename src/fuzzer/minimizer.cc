@@ -23,52 +23,32 @@ WithoutCall(const Prog& prog, size_t index)
 }  // namespace
 
 MinimizeResult
-MinimizeCrash(vkernel::Kernel* kernel, const SpecLibrary& lib,
-              const Prog& crashing, const std::string& crash_title)
-{
-  Executor executor(kernel, &lib);
-  return MinimizeCrash(&executor, crashing, crash_title);
-}
-
-MinimizeResult
-MinimizeCrash(Executor* executor_ptr, const Prog& crashing,
-              const std::string& crash_title)
+MinimizeWhile(const Prog& input, const MinimizeProperty& property)
 {
   MinimizeResult result;
-  Executor& executor = *executor_ptr;
 
-  // Minimization replays hundreds of near-identical candidates; one
-  // batch window amortizes the per-replay module resets. Closed by the
-  // scope guard on every return path.
-  executor.BeginBatch();
-  struct BatchGuard {
-    Executor* executor;
-    ~BatchGuard() { executor->EndBatch(); }
-  } batch_guard{&executor};
-
-  auto reproduces = [&](const Prog& candidate) {
-    ExecResult exec = executor.Run(candidate, nullptr);
+  auto holds = [&](const Prog& candidate) {
     ++result.executions;
-    return exec.crashed && exec.crash_title == crash_title;
+    return property(candidate);
   };
 
-  if (crashing.empty()) return result;  // Nothing to replay or shrink.
+  if (input.empty()) return result;  // Nothing to replay or shrink.
 
-  if (!reproduces(crashing)) {
-    result.prog = crashing;
+  if (!holds(input)) {
+    result.prog = input;
     return result;
   }
   result.reproduced = true;
-  result.prog = crashing;
+  result.prog = input;
 
-  // Pass 1: drop calls until no single removal keeps the crash.
+  // Pass 1: drop calls until no single removal keeps the property.
   bool shrunk = true;
   while (shrunk && result.prog.calls.size() > 1) {
     shrunk = false;
     for (size_t i = result.prog.calls.size(); i-- > 0;) {
       Prog candidate = WithoutCall(result.prog, i);
       if (candidate.empty()) continue;
-      if (reproduces(candidate)) {
+      if (holds(candidate)) {
         result.prog = std::move(candidate);
         shrunk = true;
         break;  // Restart the scan on the smaller program.
@@ -76,18 +56,19 @@ MinimizeCrash(Executor* executor_ptr, const Prog& crashing,
     }
   }
 
-  // Pass 2: zero scalar arguments that the crash does not depend on.
+  // Pass 2: zero scalar arguments that the property does not depend on.
   for (size_t c = 0; c < result.prog.calls.size(); ++c) {
     for (size_t a = 0; a < result.prog.calls[c].args.size(); ++a) {
       Arg& arg = result.prog.calls[c].args[a];
       if (arg.kind != Arg::Kind::kScalar || arg.scalar == 0) continue;
       uint64_t saved = arg.scalar;
       arg.scalar = 0;
-      if (!reproduces(result.prog)) arg.scalar = saved;
+      if (!holds(result.prog)) arg.scalar = saved;
     }
   }
 
-  // Pass 3: zero buffer bytes region-wise (keeps crash-relevant fields).
+  // Pass 3: zero buffer bytes region-wise (keeps property-relevant
+  // fields).
   for (Call& call : result.prog.calls) {
     for (Arg& arg : call.args) {
       if (arg.kind != Arg::Kind::kBuffer || arg.bytes.empty()) continue;
@@ -101,7 +82,7 @@ MinimizeCrash(Executor* executor_ptr, const Prog& crashing,
         for (uint8_t b : saved) all_zero = all_zero && b == 0;
         if (all_zero) continue;
         for (size_t i = 0; i < saved.size(); ++i) arg.bytes[offset + i] = 0;
-        if (!reproduces(result.prog)) {
+        if (!holds(result.prog)) {
           for (size_t i = 0; i < saved.size(); ++i) {
             arg.bytes[offset + i] = saved[i];
           }
@@ -110,6 +91,35 @@ MinimizeCrash(Executor* executor_ptr, const Prog& crashing,
     }
   }
   return result;
+}
+
+MinimizeResult
+MinimizeCrash(vkernel::KernelModel* kernel, const SpecLibrary& lib,
+              const Prog& crashing, const std::string& crash_title)
+{
+  Executor executor(kernel, &lib);
+  return MinimizeCrash(&executor, crashing, crash_title);
+}
+
+MinimizeResult
+MinimizeCrash(Executor* executor_ptr, const Prog& crashing,
+              const std::string& crash_title)
+{
+  Executor& executor = *executor_ptr;
+
+  // Minimization replays hundreds of near-identical candidates; one
+  // batch window amortizes the per-replay module resets. Closed by the
+  // scope guard on every return path.
+  executor.BeginBatch();
+  struct BatchGuard {
+    Executor* executor;
+    ~BatchGuard() { executor->EndBatch(); }
+  } batch_guard{&executor};
+
+  return MinimizeWhile(crashing, [&](const Prog& candidate) {
+    ExecResult exec = executor.Run(candidate, nullptr);
+    return exec.crashed && exec.crash_title == crash_title;
+  });
 }
 
 }  // namespace kernelgpt::fuzzer

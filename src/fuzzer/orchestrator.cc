@@ -9,6 +9,7 @@
 
 #include "util/fault.h"
 #include "util/strings.h"
+#include "vkernel/kernel.h"
 
 namespace kernelgpt::fuzzer {
 
@@ -137,12 +138,14 @@ Orchestrator::Run()
 
     // Worker-private mutable state; `lib_` is the only shared object on
     // the hot path and is immutable after Finalize().
-    vkernel::Kernel kernel;
-    if (boot_) boot_(&kernel);
+    std::unique_ptr<vkernel::KernelModel> kernel =
+        options_.model_factory ? options_.model_factory()
+                               : vkernel::MakeStrictModel();
+    if (boot_) boot_(kernel.get());
     util::Rng rng(out.stats.shard_seed);
     Generator generator(lib_, &rng);
     Mutator mutator(lib_, &generator, &rng);
-    Executor executor(&kernel, lib_);
+    Executor executor(kernel.get(), lib_);
     std::vector<Prog>& corpus = out.corpus;
 
     CampaignState state;

@@ -66,6 +66,11 @@ struct OrchestratorOptions {
   int max_sync_interval = 4096;
   size_t min_broadcast_per_sync = 2;
   size_t max_broadcast_cap = 64;
+
+  /// Builds each worker's private kernel model (null: the reference
+  /// StrictModel). Worker results depend only on the model's semantics,
+  /// so any deterministic personality keeps the determinism guarantees.
+  vkernel::ModelFactory model_factory;
 };
 
 /// Per-shard outcome, reported for observability and tests.
@@ -121,10 +126,10 @@ struct OrchestratorResult {
 /// Runs sharded campaigns over one spec library.
 class Orchestrator {
  public:
-  /// Boots one worker-private kernel (register drivers/socket families).
-  /// Called once per worker, possibly concurrently; must only read
-  /// shared state.
-  using BootFn = std::function<void(vkernel::Kernel*)>;
+  /// Boots one worker-private kernel model (register drivers/socket
+  /// families). Called once per worker, possibly concurrently; must only
+  /// read shared state.
+  using BootFn = std::function<void(vkernel::KernelModel*)>;
 
   Orchestrator(const SpecLibrary* lib, BootFn boot,
                OrchestratorOptions options);

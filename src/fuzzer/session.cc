@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "fuzzer/generator.h"
+#include "fuzzer/mutator.h"
 #include "util/fault.h"
 #include "util/fileio.h"
 #include "util/rng.h"
@@ -241,6 +243,7 @@ Session::RunRound()
   struct StagedSuite {
     OrchestratorResult campaign;
     DistillResult distilled;
+    DiffReport diff;
   };
   std::vector<StagedSuite> staged(suites_.size());
   for (size_t i = 0; i < suites_.size(); ++i) {
@@ -255,6 +258,38 @@ Session::RunRound()
       if (options_.distill_between_rounds) {
         Distiller distiller(e.lib.get(), boot_, options_.distill);
         staged[i].distilled = distiller.Distill(staged[i].campaign.corpus);
+      }
+      if (options_.diff_subject) {
+        // The differential pass runs over the round's resulting corpus
+        // plus a batch of freshly generated probes. Both inputs are
+        // deterministic functions of the round seed, so a retried or
+        // resumed round regenerates the identical report. The probes
+        // matter: coverage is only recorded inside driver handlers, so
+        // programs that die on kernel-level error paths (stale fds,
+        // unknown paths) never survive into the corpus — and those are
+        // exactly the calls where personalities disagree.
+        std::vector<Prog> progs = options_.distill_between_rounds
+                                      ? staged[i].distilled.corpus
+                                      : staged[i].campaign.corpus;
+        util::Rng probe_rng(util::HashCombine(seed, 0xD1FFu));
+        Generator probe_generator(e.lib.get(), &probe_rng);
+        Mutator probe_mutator(e.lib.get(), &probe_generator, &probe_rng);
+        for (int p = 0; p < options_.diff_probe_budget; ++p) {
+          Prog prog = probe_generator.Generate(6);
+          // Mutation (notably RemoveCall orphaning a resource producer)
+          // is what manufactures the stale-fd and dangling-ref programs
+          // the personalities disagree on; pristine generations resolve
+          // every resource ref and rarely leave the happy path.
+          probe_mutator.Mutate(&prog);
+          if (!prog.empty()) progs.push_back(std::move(prog));
+        }
+        DiffOptions diff;
+        diff.baseline = options_.orchestrator.model_factory;
+        diff.subject = options_.diff_subject;
+        diff.boot = boot_;
+        diff.num_workers = options_.diff_workers;
+        DiffRunner runner(e.lib.get(), diff);
+        staged[i].diff = runner.Run(progs);
       }
     } catch (const util::InjectedCrash&) {
       throw;
@@ -304,6 +339,10 @@ Session::RunRound()
     report.merged_corpus = campaign.corpus.size();
     report.wall_seconds = campaign.wall_seconds;
     report.epochs = std::move(campaign.epochs);
+    if (options_.diff_subject) {
+      report.divergences = staged[i].diff.UniqueDivergenceCount();
+      e.state.last_diff = std::move(staged[i].diff);
+    }
 
     e.state.programs_executed += campaign.programs_executed;
     e.state.wall_seconds += campaign.wall_seconds;

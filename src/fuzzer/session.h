@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "fuzzer/diff_runner.h"
 #include "fuzzer/distiller.h"
 #include "fuzzer/orchestrator.h"
 #include "fuzzer/snapshot.h"
@@ -97,6 +98,26 @@ struct SessionOptions {
   /// and starts an empty journal. Must be >= 1.
   int journal_compact_every = 8;
 
+  /// Differential oracle: when set, every round ends with a DiffRunner
+  /// pass comparing the session's model (orchestrator.model_factory,
+  /// default StrictModel) against this subject personality. The pass
+  /// runs over the round's resulting corpus PLUS `diff_probe_budget`
+  /// freshly generated probe programs — the corpus alone is blind to
+  /// kernel-level error paths (coverage is only recorded inside driver
+  /// handlers, so EBADF/ENOENT-style programs never survive
+  /// distillation), and error paths are exactly where personalities
+  /// disagree. Probes are seeded from the round seed, so a retried or
+  /// resumed round regenerates the identical report. The
+  /// unique-divergence count lands in the round's trend record
+  /// (RoundReport::divergences) and the full report in
+  /// SuiteState::last_diff. Null disables the pass.
+  vkernel::ModelFactory diff_subject;
+  /// DiffRunner worker threads (the report is byte-identical for any
+  /// value).
+  int diff_workers = 1;
+  /// Probe programs generated per differential pass (0 = corpus only).
+  int diff_probe_budget = 256;
+
   /// Per-round orchestrator parameters. `orchestrator.campaign.seed` and
   /// `.seed_corpus` are owned by the session's scheduler and overwritten
   /// every round.
@@ -131,6 +152,19 @@ struct SessionOptions {
     journal_compact_every = every;
     return *this;
   }
+  /// Selects the kernel personality every stage (orchestrator workers,
+  /// distiller replays, diff baseline) builds its models from.
+  SessionOptions& WithModelFactory(vkernel::ModelFactory factory) {
+    orchestrator.model_factory = factory;
+    distill.model_factory = std::move(factory);
+    return *this;
+  }
+  SessionOptions& WithDiffSubject(vkernel::ModelFactory factory,
+                                  int workers = 1) {
+    diff_subject = std::move(factory);
+    diff_workers = workers;
+    return *this;
+  }
   SessionOptions& WithWorkers(int v) { orchestrator.num_workers = v; return *this; }
   SessionOptions& WithProgramBudget(int v) {
     orchestrator.campaign.program_budget = v;
@@ -153,6 +187,10 @@ struct SuiteState {
   size_t programs_executed = 0;
   double wall_seconds = 0;
   std::vector<RoundReport> rounds;  ///< Trend records, oldest first.
+  /// Latest round's differential report (empty with the oracle off).
+  /// In-memory observability like RoundReport::epochs — not persisted;
+  /// a resumed session regenerates it on its next round.
+  DiffReport last_diff;
 };
 
 /// A persistent fuzzing-campaign service over one or more spec suites.

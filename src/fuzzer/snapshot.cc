@@ -303,11 +303,11 @@ void
 AppendRoundLine(const RoundReport& r, std::string* out)
 {
   *out += util::Format(
-      "round %d %llx %zu %zu %zu %zu %zu %zu %zu %zu %a\n", r.round,
+      "round %d %llx %zu %zu %zu %zu %zu %zu %zu %zu %zu %a\n", r.round,
       static_cast<unsigned long long>(r.seed), r.programs_executed,
       r.round_coverage, r.round_unique_crashes, r.coverage_delta,
       r.cumulative_coverage, r.cumulative_unique_crashes, r.merged_corpus,
-      r.distilled_corpus, r.wall_seconds);
+      r.distilled_corpus, r.divergences, r.wall_seconds);
 }
 
 bool
@@ -318,13 +318,14 @@ ParseRoundLine(LineCursor* cur, RoundReport* out)
   const std::vector<std::string> tok = util::SplitWhitespace(rest);
   RoundReport r;
   int64_t round = 0;
-  uint64_t u[8] = {};
-  if (tok.size() != 11 || !ParseI64(tok[0], &round) ||
+  uint64_t u[9] = {};
+  if (tok.size() != 12 || !ParseI64(tok[0], &round) ||
       !ParseU64(tok[1], 16, &r.seed) || !ParseU64(tok[2], 10, &u[0]) ||
       !ParseU64(tok[3], 10, &u[1]) || !ParseU64(tok[4], 10, &u[2]) ||
       !ParseU64(tok[5], 10, &u[3]) || !ParseU64(tok[6], 10, &u[4]) ||
       !ParseU64(tok[7], 10, &u[5]) || !ParseU64(tok[8], 10, &u[6]) ||
-      !ParseU64(tok[9], 10, &u[7]) || !ParseF64(tok[10], &r.wall_seconds)) {
+      !ParseU64(tok[9], 10, &u[7]) || !ParseU64(tok[10], 10, &u[8]) ||
+      !ParseF64(tok[11], &r.wall_seconds)) {
     cur->err = util::Format("%s: bad round record", cur->Where().c_str());
     return false;
   }
@@ -337,6 +338,7 @@ ParseRoundLine(LineCursor* cur, RoundReport* out)
   r.cumulative_unique_crashes = u[5];
   r.merged_corpus = u[6];
   r.distilled_corpus = u[7];
+  r.divergences = u[8];
   *out = std::move(r);
   return true;
 }

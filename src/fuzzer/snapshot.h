@@ -48,8 +48,9 @@
 namespace kernelgpt::fuzzer {
 
 /// Bump when the textual grammar changes incompatibly. Parsers reject any
-/// other version with a Status error naming both versions.
-inline constexpr int kSnapshotVersion = 1;
+/// other version with a Status error naming both versions. v2 added the
+/// round record's differential-divergence counter.
+inline constexpr int kSnapshotVersion = 2;
 
 /// One round's trend record — the durable round-over-round report a
 /// session emits. Everything except `epochs` round-trips through
@@ -66,6 +67,11 @@ struct RoundReport {
   size_t cumulative_unique_crashes = 0;
   size_t merged_corpus = 0;     ///< Merged corpus size after the round.
   size_t distilled_corpus = 0;  ///< After distillation (== merged when off).
+  /// Unique divergence signatures this round's differential pass found
+  /// (0 with the diff oracle off). Round-scoped, not cumulative: a
+  /// resumed session carries no cross-round divergence state, so a
+  /// running total would break resume bit-identity.
+  size_t divergences = 0;
   double wall_seconds = 0;
   std::vector<EpochStats> epochs;  ///< Sync schedule; not persisted.
 };
@@ -115,7 +121,7 @@ std::string SerializeProgs(const std::vector<Prog>& progs,
 util::Status ParseProgs(std::string_view text, const SpecLibrary& lib,
                         std::vector<Prog>* out);
 
-/// Renders one suite's durable state ("kernelgpt-suite v1" header).
+/// Renders one suite's durable state ("kernelgpt-suite v2" header).
 std::string SerializeSuite(const SuiteSnapshot& suite, const SpecLibrary& lib);
 
 /// Parses a SerializeSuite rendering. Rejects version mismatches and any
@@ -123,7 +129,7 @@ std::string SerializeSuite(const SuiteSnapshot& suite, const SpecLibrary& lib);
 util::Status ParseSuite(std::string_view text, const SpecLibrary& lib,
                         SuiteSnapshot* out);
 
-/// Renders the session manifest ("kernelgpt-session v1" header).
+/// Renders the session manifest ("kernelgpt-session v2" header).
 std::string SerializeManifest(const SessionManifest& manifest);
 
 /// Parses a SerializeManifest rendering; same error contract as
@@ -177,7 +183,7 @@ struct JournalHeader {
   int base_rounds = 0;
 };
 
-/// Renders the journal header ("kernelgpt-journal v1" + suite binding).
+/// Renders the journal header ("kernelgpt-journal v2" + suite binding).
 std::string SerializeJournalHeader(const JournalHeader& header);
 
 /// Frames one record for appending: "rec <payload bytes> <crc32>\n"

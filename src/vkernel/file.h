@@ -16,7 +16,7 @@
 
 namespace kernelgpt::vkernel {
 
-class Kernel;
+class KernelModel;
 
 /// Userspace memory attached to a pointer argument. Direction handling is
 /// the executor's business; handlers read and write bytes freely.
@@ -128,6 +128,11 @@ class HandlerRecycler {
 };
 
 /// Handler bound to one open file descriptor.
+///
+/// Hooks receive the owning KernelModel; the per-execution context is
+/// reached through `kernel.context()` (valid for the hook's duration)
+/// instead of an `ExecContext&` threaded through every signature, so a
+/// new personality cannot forget to plumb it.
 class FileHandler {
  public:
   virtual ~FileHandler() = default;
@@ -139,43 +144,38 @@ class FileHandler {
 
   /// ioctl(fd, cmd, arg). `arg` may be nullptr when the spec passes a
   /// scalar third argument.
-  virtual long Ioctl(uint64_t cmd, Buffer* arg, ExecContext& ctx,
-                     Kernel& kernel) {
+  virtual long Ioctl(uint64_t cmd, Buffer* arg, KernelModel& kernel) {
     (void)cmd;
     (void)arg;
-    (void)ctx;
     (void)kernel;
     return -kENOTTY;
   }
 
-  virtual long Read(Buffer* out, ExecContext& ctx) {
+  virtual long Read(Buffer* out, KernelModel& kernel) {
     (void)out;
-    (void)ctx;
+    (void)kernel;
     return -kENOSYS;
   }
 
-  virtual long Write(const Buffer& in, ExecContext& ctx) {
+  virtual long Write(const Buffer& in, KernelModel& kernel) {
     (void)in;
-    (void)ctx;
+    (void)kernel;
     return -kENOSYS;
   }
 
-  virtual long Poll(ExecContext& ctx) {
-    (void)ctx;
+  virtual long Poll(KernelModel& kernel) {
+    (void)kernel;
     return 0;
   }
 
-  virtual long Mmap(uint64_t length, ExecContext& ctx) {
+  virtual long Mmap(uint64_t length, KernelModel& kernel) {
     (void)length;
-    (void)ctx;
+    (void)kernel;
     return -kENOSYS;
   }
 
   /// Called when the last descriptor referencing the file closes.
-  virtual void Release(ExecContext& ctx, Kernel& kernel) {
-    (void)ctx;
-    (void)kernel;
-  }
+  virtual void Release(KernelModel& kernel) { (void)kernel; }
 
  private:
   HandlerRecycler* recycler_ = nullptr;
@@ -185,63 +185,55 @@ class FileHandler {
 class SocketHandler : public FileHandler {
  public:
   virtual long SetSockOpt(uint64_t level, uint64_t optname, const Buffer& val,
-                          ExecContext& ctx, Kernel& kernel) {
+                          KernelModel& kernel) {
     (void)level;
     (void)optname;
     (void)val;
-    (void)ctx;
     (void)kernel;
     return -kENOPROTOOPT;
   }
 
   virtual long GetSockOpt(uint64_t level, uint64_t optname, Buffer* val,
-                          ExecContext& ctx, Kernel& kernel) {
+                          KernelModel& kernel) {
     (void)level;
     (void)optname;
     (void)val;
-    (void)ctx;
     (void)kernel;
     return -kENOPROTOOPT;
   }
 
-  virtual long Bind(const Buffer& addr, ExecContext& ctx, Kernel& kernel) {
+  virtual long Bind(const Buffer& addr, KernelModel& kernel) {
     (void)addr;
-    (void)ctx;
     (void)kernel;
     return -kEOPNOTSUPP;
   }
 
-  virtual long Connect(const Buffer& addr, ExecContext& ctx, Kernel& kernel) {
+  virtual long Connect(const Buffer& addr, KernelModel& kernel) {
     (void)addr;
-    (void)ctx;
     (void)kernel;
     return -kEOPNOTSUPP;
   }
 
-  virtual long SendTo(const Buffer& data, const Buffer& addr, ExecContext& ctx,
-                      Kernel& kernel) {
+  virtual long SendTo(const Buffer& data, const Buffer& addr,
+                      KernelModel& kernel) {
     (void)data;
     (void)addr;
-    (void)ctx;
     (void)kernel;
     return -kEOPNOTSUPP;
   }
 
-  virtual long RecvFrom(Buffer* data, ExecContext& ctx, Kernel& kernel) {
+  virtual long RecvFrom(Buffer* data, KernelModel& kernel) {
     (void)data;
-    (void)ctx;
     (void)kernel;
     return -kEOPNOTSUPP;
   }
 
-  virtual long Listen(ExecContext& ctx, Kernel& kernel) {
-    (void)ctx;
+  virtual long Listen(KernelModel& kernel) {
     (void)kernel;
     return -kEOPNOTSUPP;
   }
 
-  virtual long Accept(ExecContext& ctx, Kernel& kernel) {
-    (void)ctx;
+  virtual long Accept(KernelModel& kernel) {
     (void)kernel;
     return -kEOPNOTSUPP;
   }
@@ -262,7 +254,7 @@ class DeviceDriver {
   /// negative errno in `*err`. Returned as shared_ptr so pooled drivers
   /// can reuse both the handler object and its control block across
   /// opens (the kernel's fd table is shared_ptr-based for dup()).
-  virtual std::shared_ptr<FileHandler> Open(ExecContext& ctx, Kernel& kernel,
+  virtual std::shared_ptr<FileHandler> Open(KernelModel& kernel,
                                             long* err) = 0;
 
   /// Called between fuzz programs to reset module-global state.
@@ -284,8 +276,8 @@ class SocketFamily {
   /// reasons as DeviceDriver::Open.
   virtual std::shared_ptr<SocketHandler> Create(uint64_t type,
                                                 uint64_t protocol,
-                                                ExecContext& ctx,
-                                                Kernel& kernel, long* err) = 0;
+                                                KernelModel& kernel,
+                                                long* err) = 0;
 
   /// Called between fuzz programs to reset module-global state.
   virtual void ResetState() {}

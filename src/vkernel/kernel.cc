@@ -1,6 +1,9 @@
 #include "vkernel/kernel.h"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "util/fault.h"
 
 namespace kernelgpt::vkernel {
 
@@ -103,13 +106,27 @@ Kernel::ResetModules(bool dirty_only)
 void
 Kernel::BeginProgram()
 {
-  files_.clear();
+  fds_.Clear();
   ResetModules(/*dirty_only=*/in_batch_);
 }
 
 void
 Kernel::BeginBatch()
 {
+  KERNELGPT_FAULT_POINT("vkernel.begin_batch", policy_.name);
+  // Documented precondition, now enforced: a batch window may only open
+  // on a pristine kernel. A nested window or a window opened mid-program
+  // (live descriptors) would let dirty-entry state — and pooled handlers
+  // the recycler never saw back — leak across program boundaries.
+  if (in_batch_) {
+    throw std::logic_error(
+        "Kernel::BeginBatch: batch window already open (missing EndBatch)");
+  }
+  if (!fds_.empty()) {
+    throw std::logic_error(
+        "Kernel::BeginBatch: fd table not pristine (batch opened "
+        "mid-program; descriptors from the running program would leak)");
+  }
   in_batch_ = true;
 }
 
@@ -135,22 +152,22 @@ Kernel::RecycleIfPooled(std::shared_ptr<FileHandler> handler)
 void
 Kernel::EndProgram(ExecContext& ctx)
 {
+  set_context(&ctx);
   // Release in fd order (deterministic; the old hash table iterated in
   // unspecified order).
-  for (auto& entry : files_) {
-    if (entry.handler) entry.handler->Release(ctx, *this);
+  for (auto& entry : fds_.entries()) {
+    if (entry.handler) entry.handler->Release(*this);
   }
-  for (auto& entry : files_) {
+  for (auto& entry : fds_.entries()) {
     RecycleIfPooled(std::move(entry.handler));
   }
-  files_.clear();
+  fds_.Clear();
 }
 
 long
 Kernel::InstallEntry(std::shared_ptr<FileHandler> handler, bool is_socket)
 {
-  files_.push_back({std::move(handler), is_socket});
-  return kFdBase + static_cast<long>(files_.size()) - 1;
+  return fds_.Install(std::move(handler), is_socket);
 }
 
 long
@@ -162,112 +179,120 @@ Kernel::InstallFile(std::shared_ptr<FileHandler> handler)
 FileHandler*
 Kernel::LookupFd(long fd) const
 {
-  const size_t idx = static_cast<size_t>(fd - kFdBase);
-  if (fd < kFdBase || idx >= files_.size()) return nullptr;
-  return files_[idx].handler.get();
+  const FdEntry* entry = fds_.Find(fd);
+  return entry ? entry->handler.get() : nullptr;
 }
 
 SocketHandler*
 Kernel::LookupSocket(long fd) const
 {
-  const size_t idx = static_cast<size_t>(fd - kFdBase);
-  if (fd < kFdBase || idx >= files_.size() || !files_[idx].is_socket) {
-    return nullptr;
-  }
-  return static_cast<SocketHandler*>(files_[idx].handler.get());
+  const FdEntry* entry = fds_.Find(fd);
+  if (!entry || !entry->is_socket) return nullptr;
+  return static_cast<SocketHandler*>(entry->handler.get());
 }
 
-long
+SyscallResult
 Kernel::Openat(std::string_view path, uint64_t flags, ExecContext& ctx)
 {
   (void)flags;
+  set_context(&ctx);
   auto it = device_by_path_.find(path);
-  if (it == device_by_path_.end()) return -kENOENT;
+  if (it == device_by_path_.end()) {
+    return SyscallResult::Err(policy_.unknown_path_errno);
+  }
   DeviceDriver* driver = it->second.first;
   // Open may mutate module state even when it fails, so the module is
   // dirty from here on regardless of the outcome.
   MarkDeviceDirty(it->second.second);
   long err = 0;
-  std::shared_ptr<FileHandler> handler = driver->Open(ctx, *this, &err);
-  if (!handler) return err != 0 ? err : -kENODEV;
-  return InstallFile(std::move(handler));
+  std::shared_ptr<FileHandler> handler = driver->Open(*this, &err);
+  if (!handler) return SyscallResult::FromRaw(err != 0 ? err : -kENODEV);
+  return SyscallResult::Ok(InstallFile(std::move(handler)));
 }
 
-long
+SyscallResult
 Kernel::Close(long fd, ExecContext& ctx)
 {
-  const size_t idx = static_cast<size_t>(fd - kFdBase);
-  if (fd < kFdBase || idx >= files_.size() || !files_[idx].handler) {
-    return -kEBADF;
+  set_context(&ctx);
+  FdEntry* entry = fds_.Find(fd);
+  if (!entry || !entry->handler) {
+    if (policy_.close_invalid_fd_ok) return SyscallResult::Ok(0);
+    return SyscallResult::Err(policy_.bad_fd_errno);
   }
   // Release fires only when the last reference drops (dup-aware).
-  std::shared_ptr<FileHandler> handler = std::move(files_[idx].handler);
+  std::shared_ptr<FileHandler> handler = std::move(entry->handler);
   bool still_open = false;
-  for (const auto& entry : files_) {
-    if (entry.handler == handler) still_open = true;
+  for (const auto& e : fds_.entries()) {
+    if (e.handler == handler) still_open = true;
   }
   if (!still_open) {
-    handler->Release(ctx, *this);
+    handler->Release(*this);
     RecycleIfPooled(std::move(handler));
   }
-  return 0;
+  return SyscallResult::Ok(0);
 }
 
-long
+SyscallResult
 Kernel::Dup(long fd, ExecContext& ctx)
 {
-  (void)ctx;
-  const size_t idx = static_cast<size_t>(fd - kFdBase);
-  if (fd < kFdBase || idx >= files_.size() || !files_[idx].handler) {
-    return -kEBADF;
+  set_context(&ctx);
+  FdEntry* entry = fds_.Find(fd);
+  if (!entry || !entry->handler) {
+    return SyscallResult::Err(policy_.bad_fd_errno);
   }
-  return InstallEntry(files_[idx].handler, files_[idx].is_socket);
+  return SyscallResult::Ok(InstallEntry(entry->handler, entry->is_socket));
 }
 
-long
+SyscallResult
 Kernel::Ioctl(long fd, uint64_t cmd, Buffer* arg, ExecContext& ctx)
 {
+  set_context(&ctx);
   FileHandler* handler = LookupFd(fd);
-  if (!handler) return -kEBADF;
-  return handler->Ioctl(cmd, arg, ctx, *this);
+  if (!handler) return SyscallResult::Err(policy_.bad_fd_errno);
+  return SyscallResult::FromRaw(handler->Ioctl(cmd, arg, *this));
 }
 
-long
+SyscallResult
 Kernel::Read(long fd, Buffer* out, ExecContext& ctx)
 {
+  set_context(&ctx);
   FileHandler* handler = LookupFd(fd);
-  if (!handler) return -kEBADF;
-  return handler->Read(out, ctx);
+  if (!handler) return SyscallResult::Err(policy_.bad_fd_errno);
+  return SyscallResult::FromRaw(handler->Read(out, *this));
 }
 
-long
+SyscallResult
 Kernel::Write(long fd, const Buffer& in, ExecContext& ctx)
 {
+  set_context(&ctx);
   FileHandler* handler = LookupFd(fd);
-  if (!handler) return -kEBADF;
-  return handler->Write(in, ctx);
+  if (!handler) return SyscallResult::Err(policy_.bad_fd_errno);
+  return SyscallResult::FromRaw(handler->Write(in, *this));
 }
 
-long
+SyscallResult
 Kernel::Poll(long fd, ExecContext& ctx)
 {
+  set_context(&ctx);
   FileHandler* handler = LookupFd(fd);
-  if (!handler) return -kEBADF;
-  return handler->Poll(ctx);
+  if (!handler) return SyscallResult::Err(policy_.bad_fd_errno);
+  return SyscallResult::FromRaw(handler->Poll(*this));
 }
 
-long
+SyscallResult
 Kernel::Mmap(long fd, uint64_t length, ExecContext& ctx)
 {
+  set_context(&ctx);
   FileHandler* handler = LookupFd(fd);
-  if (!handler) return -kEBADF;
-  return handler->Mmap(length, ctx);
+  if (!handler) return SyscallResult::Err(policy_.bad_fd_errno);
+  return SyscallResult::FromRaw(handler->Mmap(length, *this));
 }
 
-long
+SyscallResult
 Kernel::Socket(uint64_t domain, uint64_t type, uint64_t protocol,
                ExecContext& ctx)
 {
+  set_context(&ctx);
   // Several protocol modules can share one address family (e.g. the
   // Bluetooth BTPROTO_* sockets under AF_BLUETOOTH); the first module
   // that accepts (type, protocol) wins, like the kernel's create loop.
@@ -279,80 +304,101 @@ Kernel::Socket(uint64_t domain, uint64_t type, uint64_t protocol,
     domain_seen = true;
     MarkFamilyDirty(i);
     std::shared_ptr<SocketHandler> handler =
-        family->Create(type, protocol, ctx, *this, &err);
+        family->Create(type, protocol, *this, &err);
     if (handler) {
-      return InstallEntry(std::move(handler), /*is_socket=*/true);
+      return SyscallResult::Ok(
+          InstallEntry(std::move(handler), /*is_socket=*/true));
     }
   }
-  if (!domain_seen) return -kEAFNOSUPPORT;
-  return err != 0 ? err : -kEINVAL;
+  if (!domain_seen) return SyscallResult::Err(policy_.unknown_domain_errno);
+  return err != 0 ? SyscallResult::FromRaw(err) : SyscallResult::Err(kEINVAL);
 }
 
-long
+SyscallResult
 Kernel::SetSockOpt(long fd, uint64_t level, uint64_t optname,
                    const Buffer& val, ExecContext& ctx)
 {
+  set_context(&ctx);
   SocketHandler* sock = LookupSocket(fd);
-  if (!sock) return -kEBADF;
-  return sock->SetSockOpt(level, optname, val, ctx, *this);
+  if (!sock) return SyscallResult::Err(policy_.bad_fd_errno);
+  return SyscallResult::FromRaw(sock->SetSockOpt(level, optname, val, *this));
 }
 
-long
+SyscallResult
 Kernel::GetSockOpt(long fd, uint64_t level, uint64_t optname, Buffer* val,
                    ExecContext& ctx)
 {
+  set_context(&ctx);
   SocketHandler* sock = LookupSocket(fd);
-  if (!sock) return -kEBADF;
-  return sock->GetSockOpt(level, optname, val, ctx, *this);
+  if (!sock) return SyscallResult::Err(policy_.bad_fd_errno);
+  return SyscallResult::FromRaw(sock->GetSockOpt(level, optname, val, *this));
 }
 
-long
+SyscallResult
 Kernel::Bind(long fd, const Buffer& addr, ExecContext& ctx)
 {
+  set_context(&ctx);
   SocketHandler* sock = LookupSocket(fd);
-  if (!sock) return -kEBADF;
-  return sock->Bind(addr, ctx, *this);
+  if (!sock) return SyscallResult::Err(policy_.bad_fd_errno);
+  return SyscallResult::FromRaw(sock->Bind(addr, *this));
 }
 
-long
+SyscallResult
 Kernel::Connect(long fd, const Buffer& addr, ExecContext& ctx)
 {
+  set_context(&ctx);
   SocketHandler* sock = LookupSocket(fd);
-  if (!sock) return -kEBADF;
-  return sock->Connect(addr, ctx, *this);
+  if (!sock) return SyscallResult::Err(policy_.bad_fd_errno);
+  return SyscallResult::FromRaw(sock->Connect(addr, *this));
 }
 
-long
+SyscallResult
 Kernel::SendTo(long fd, const Buffer& data, const Buffer& addr,
                ExecContext& ctx)
 {
+  set_context(&ctx);
   SocketHandler* sock = LookupSocket(fd);
-  if (!sock) return -kEBADF;
-  return sock->SendTo(data, addr, ctx, *this);
+  if (!sock) return SyscallResult::Err(policy_.bad_fd_errno);
+  return SyscallResult::FromRaw(sock->SendTo(data, addr, *this));
 }
 
-long
+SyscallResult
 Kernel::RecvFrom(long fd, Buffer* data, ExecContext& ctx)
 {
+  set_context(&ctx);
   SocketHandler* sock = LookupSocket(fd);
-  if (!sock) return -kEBADF;
-  return sock->RecvFrom(data, ctx, *this);
+  if (!sock) return SyscallResult::Err(policy_.bad_fd_errno);
+  return SyscallResult::FromRaw(sock->RecvFrom(data, *this));
 }
 
-long
+SyscallResult
 Kernel::Listen(long fd, ExecContext& ctx)
 {
+  set_context(&ctx);
   SocketHandler* sock = LookupSocket(fd);
-  if (!sock) return -kEBADF;
-  return sock->Listen(ctx, *this);
+  if (!sock) return SyscallResult::Err(policy_.bad_fd_errno);
+  return SyscallResult::FromRaw(sock->Listen(*this));
 }
 
-long
+SyscallResult
 Kernel::Accept(long fd, ExecContext& ctx)
 {
+  set_context(&ctx);
   SocketHandler* sock = LookupSocket(fd);
-  if (!sock) return -kEBADF;
-  return sock->Accept(ctx, *this);
+  if (!sock) return SyscallResult::Err(policy_.bad_fd_errno);
+  return SyscallResult::FromRaw(sock->Accept(*this));
+}
+
+std::unique_ptr<KernelModel>
+MakeStrictModel()
+{
+  return std::make_unique<StrictModel>();
+}
+
+std::unique_ptr<KernelModel>
+MakePermissiveModel()
+{
+  return std::make_unique<PermissiveModel>();
 }
 
 }  // namespace kernelgpt::vkernel

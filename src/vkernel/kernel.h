@@ -1,7 +1,12 @@
 /// \file
-/// The virtual kernel: syscall dispatch over registered device drivers and
-/// socket families, with a per-program file-descriptor table. This is the
-/// fuzzing target substrate standing in for a booted Linux + QEMU setup.
+/// The reference virtual kernel: syscall dispatch over registered device
+/// drivers and socket families, with a per-program virtual-fd table.
+/// This is the fuzzing target substrate standing in for a booted Linux +
+/// QEMU setup. `Kernel` implements the abstract `KernelModel` API
+/// (model.h); its behavior is parameterized by a small `KernelPolicy` so
+/// personalities (StrictModel — the byte-identical reference — and
+/// PermissiveModel) share one engine while disagreeing observably on
+/// validation strictness, errno policy, and fd-space layout.
 
 #ifndef KERNELGPT_VKERNEL_KERNEL_H_
 #define KERNELGPT_VKERNEL_KERNEL_H_
@@ -13,35 +18,81 @@
 #include <string_view>
 #include <vector>
 
+#include "vkernel/fd_table.h"
 #include "vkernel/file.h"
+#include "vkernel/model.h"
+#include "vkernel/verrno.h"
 
 namespace kernelgpt::vkernel {
+
+/// The knobs a personality turns. Defaults reproduce the historical
+/// (strict) kernel bit-for-bit.
+struct KernelPolicy {
+  std::string name = "strict";  ///< KernelModel::ModelName().
+  FdLayout fd_layout;           ///< Unified base-3 layout by default.
+
+  /// Errno for operations on descriptors that are invalid or closed.
+  long bad_fd_errno = kEBADF;
+
+  /// Lenient close: close() of an invalid/closed descriptor succeeds
+  /// (returns 0) instead of failing with bad_fd_errno.
+  bool close_invalid_fd_ok = false;
+
+  /// Errno for openat() on a path no registered device claims.
+  long unknown_path_errno = kENOENT;
+
+  /// Errno for socket() with a domain no registered family claims.
+  long unknown_domain_errno = kEAFNOSUPPORT;
+
+  static KernelPolicy Strict() { return KernelPolicy{}; }
+
+  /// Lenient flag/arg validation with a differing errno policy and a
+  /// split fd space (files from 3, sockets from 1000) so descriptor
+  /// translation is exercised, not just renamed.
+  static KernelPolicy Permissive() {
+    KernelPolicy p;
+    p.name = "permissive";
+    p.fd_layout = FdLayout{3, 1000};
+    p.bad_fd_errno = kEINVAL;
+    p.close_invalid_fd_ok = true;
+    p.unknown_path_errno = kENODEV;
+    p.unknown_domain_errno = kEINVAL;
+    return p;
+  }
+};
 
 /// Single-threaded virtual kernel instance.
 ///
 /// Drivers and socket families are registered once; BeginProgram() resets
 /// per-program state (fd table and module state) between fuzz programs,
 /// like rebooting a lightweight VM snapshot.
-class Kernel {
+class Kernel : public KernelModel {
  public:
   Kernel() = default;
-  Kernel(const Kernel&) = delete;
-  Kernel& operator=(const Kernel&) = delete;
+  explicit Kernel(KernelPolicy policy)
+      : policy_(std::move(policy)), fds_(policy_.fd_layout) {}
+
+  const KernelPolicy& policy() const { return policy_; }
+
+  // -- Identity ------------------------------------------------------------
+
+  std::string ModelName() const override { return policy_.name; }
 
   // -- Registration --------------------------------------------------------
 
-  void RegisterDevice(std::unique_ptr<DeviceDriver> driver);
-  void RegisterSocketFamily(std::unique_ptr<SocketFamily> family);
+  void RegisterDevice(std::unique_ptr<DeviceDriver> driver) override;
+  void RegisterSocketFamily(std::unique_ptr<SocketFamily> family) override;
 
-  const std::vector<std::unique_ptr<DeviceDriver>>& devices() const {
+  const std::vector<std::unique_ptr<DeviceDriver>>& devices() const override {
     return devices_;
   }
-  const std::vector<std::unique_ptr<SocketFamily>>& socket_families() const {
+  const std::vector<std::unique_ptr<SocketFamily>>& socket_families()
+      const override {
     return families_;
   }
 
-  DeviceDriver* FindDeviceByPath(std::string_view path) const;
-  SocketFamily* FindFamilyByDomain(uint64_t domain) const;
+  DeviceDriver* FindDeviceByPath(std::string_view path) const override;
+  SocketFamily* FindFamilyByDomain(uint64_t domain) const override;
 
   // -- Program lifecycle ---------------------------------------------------
 
@@ -50,54 +101,57 @@ class Kernel {
   /// only modules actually touched since their last reset are — the
   /// batched executor's amortization. Both orders are observable-state
   /// equivalent because resetting an untouched module is a no-op.
-  void BeginProgram();
+  void BeginProgram() override;
 
   /// Closes all remaining descriptors (releasing driver objects).
-  void EndProgram(ExecContext& ctx);
+  void EndProgram(ExecContext& ctx) override;
 
   /// Opens a batch window: BeginProgram() switches to dirty-module-only
-  /// resets until EndBatch(). Call with the kernel in a pristine state
-  /// (freshly booted, or after a non-batched BeginProgram/EndBatch).
-  void BeginBatch();
+  /// resets until EndBatch(). Must be called with the kernel pristine
+  /// (freshly booted, or after a completed program / closed batch);
+  /// misuse — a nested batch, or a batch opened mid-program while
+  /// descriptors are live — is enforced with a cheap always-on check
+  /// that throws std::logic_error (fault site "vkernel.begin_batch").
+  void BeginBatch() override;
 
   /// Closes the batch window and restores the pristine state with one
   /// full module reset, so any dirty-tracking miss cannot leak past a
   /// batch boundary.
-  void EndBatch();
+  void EndBatch() override;
 
   // -- Syscalls ------------------------------------------------------------
 
-  long Openat(std::string_view path, uint64_t flags, ExecContext& ctx);
-  long Close(long fd, ExecContext& ctx);
-  long Dup(long fd, ExecContext& ctx);
-  long Ioctl(long fd, uint64_t cmd, Buffer* arg, ExecContext& ctx);
-  long Read(long fd, Buffer* out, ExecContext& ctx);
-  long Write(long fd, const Buffer& in, ExecContext& ctx);
-  long Poll(long fd, ExecContext& ctx);
-  long Mmap(long fd, uint64_t length, ExecContext& ctx);
+  SyscallResult Openat(std::string_view path, uint64_t flags,
+                       ExecContext& ctx) override;
+  SyscallResult Close(long fd, ExecContext& ctx) override;
+  SyscallResult Dup(long fd, ExecContext& ctx) override;
+  SyscallResult Ioctl(long fd, uint64_t cmd, Buffer* arg,
+                      ExecContext& ctx) override;
+  SyscallResult Read(long fd, Buffer* out, ExecContext& ctx) override;
+  SyscallResult Write(long fd, const Buffer& in, ExecContext& ctx) override;
+  SyscallResult Poll(long fd, ExecContext& ctx) override;
+  SyscallResult Mmap(long fd, uint64_t length, ExecContext& ctx) override;
 
-  long Socket(uint64_t domain, uint64_t type, uint64_t protocol,
-              ExecContext& ctx);
-  long SetSockOpt(long fd, uint64_t level, uint64_t optname, const Buffer& val,
-                  ExecContext& ctx);
-  long GetSockOpt(long fd, uint64_t level, uint64_t optname, Buffer* val,
-                  ExecContext& ctx);
-  long Bind(long fd, const Buffer& addr, ExecContext& ctx);
-  long Connect(long fd, const Buffer& addr, ExecContext& ctx);
-  long SendTo(long fd, const Buffer& data, const Buffer& addr,
-              ExecContext& ctx);
-  long RecvFrom(long fd, Buffer* data, ExecContext& ctx);
-  long Listen(long fd, ExecContext& ctx);
-  long Accept(long fd, ExecContext& ctx);
+  SyscallResult Socket(uint64_t domain, uint64_t type, uint64_t protocol,
+                       ExecContext& ctx) override;
+  SyscallResult SetSockOpt(long fd, uint64_t level, uint64_t optname,
+                           const Buffer& val, ExecContext& ctx) override;
+  SyscallResult GetSockOpt(long fd, uint64_t level, uint64_t optname,
+                           Buffer* val, ExecContext& ctx) override;
+  SyscallResult Bind(long fd, const Buffer& addr, ExecContext& ctx) override;
+  SyscallResult Connect(long fd, const Buffer& addr,
+                        ExecContext& ctx) override;
+  SyscallResult SendTo(long fd, const Buffer& data, const Buffer& addr,
+                       ExecContext& ctx) override;
+  SyscallResult RecvFrom(long fd, Buffer* data, ExecContext& ctx) override;
+  SyscallResult Listen(long fd, ExecContext& ctx) override;
+  SyscallResult Accept(long fd, ExecContext& ctx) override;
 
   // -- Services for handlers ----------------------------------------------
 
-  /// Installs a handler under a fresh descriptor (used by drivers like kvm
-  /// whose ioctls create new file objects). Returns the fd.
-  long InstallFile(std::shared_ptr<FileHandler> handler);
-
-  /// Looks up an open descriptor; nullptr if invalid.
-  FileHandler* LookupFd(long fd) const;
+  long InstallFile(std::shared_ptr<FileHandler> handler) override;
+  FileHandler* LookupFd(long fd) const override;
+  FdShape FdTableShape() const override { return fds_.Shape(); }
 
  private:
   SocketHandler* LookupSocket(long fd) const;
@@ -105,6 +159,8 @@ class Kernel {
   /// Returns a handler to its pool when the kernel held the last
   /// reference and the handler is pooled; otherwise just drops the ref.
   void RecycleIfPooled(std::shared_ptr<FileHandler> handler);
+
+  KernelPolicy policy_;
 
   std::vector<std::unique_ptr<DeviceDriver>> devices_;
   std::vector<std::unique_ptr<SocketFamily>> families_;
@@ -127,20 +183,28 @@ class Kernel {
   void MarkFamilyDirty(size_t index);
   void ResetModules(bool dirty_only);
 
-  struct OpenFileEntry {
-    std::shared_ptr<FileHandler> handler;  ///< Null after close.
-    bool is_socket = false;
-  };
-
-  /// Flat per-program descriptor table: files_[i] backs fd kFdBase + i.
-  /// Descriptors are allocated monotonically within a program (exactly
-  /// the numbering the old hash-map table produced), so lookup is a
-  /// bounds check + index instead of a hash probe.
-  static constexpr long kFdBase = 3;
-  std::vector<OpenFileEntry> files_;
+  /// Per-program descriptor table; numbering is owned by the policy's
+  /// FdLayout (the strict unified layout reproduces the historical
+  /// monotonic fds starting at 3).
+  FdTable fds_;
 
   long InstallEntry(std::shared_ptr<FileHandler> handler, bool is_socket);
 };
+
+/// The reference personality: `Kernel`'s defaults, unchanged semantics.
+using StrictModel = Kernel;
+
+/// The lenient personality (KernelPolicy::Permissive()): same drivers,
+/// same engine, observably different validation/errno/fd-space choices —
+/// the second party of the differential oracle.
+class PermissiveModel : public Kernel {
+ public:
+  PermissiveModel() : Kernel(KernelPolicy::Permissive()) {}
+};
+
+/// Factories for the two built-in personalities.
+std::unique_ptr<KernelModel> MakeStrictModel();
+std::unique_ptr<KernelModel> MakePermissiveModel();
 
 }  // namespace kernelgpt::vkernel
 

@@ -1,0 +1,51 @@
+#include "vkernel/model.h"
+
+namespace kernelgpt::vkernel {
+
+SyscallResult
+KernelModel::Syscall(ModelOp op, const SyscallArgs& args, ExecContext& ctx)
+{
+  static const Buffer kEmpty;
+  const Buffer& in = args.in ? *args.in : kEmpty;
+  const Buffer& addr = args.addr ? *args.addr : kEmpty;
+
+  switch (op) {
+    case ModelOp::kOpenat:
+      return Openat(args.path, args.a, ctx);
+    case ModelOp::kClose:
+      return Close(args.fd, ctx);
+    case ModelOp::kDup:
+      return Dup(args.fd, ctx);
+    case ModelOp::kIoctl:
+      return Ioctl(args.fd, args.a, args.io, ctx);
+    case ModelOp::kRead:
+      return Read(args.fd, args.io, ctx);
+    case ModelOp::kWrite:
+      return Write(args.fd, in, ctx);
+    case ModelOp::kPoll:
+      return Poll(args.fd, ctx);
+    case ModelOp::kMmap:
+      return Mmap(args.fd, args.a, ctx);
+    case ModelOp::kSocket:
+      return Socket(args.a, args.b, args.c, ctx);
+    case ModelOp::kSetSockOpt:
+      return SetSockOpt(args.fd, args.a, args.b, in, ctx);
+    case ModelOp::kGetSockOpt:
+      return GetSockOpt(args.fd, args.a, args.b, args.io, ctx);
+    case ModelOp::kBind:
+      return Bind(args.fd, addr, ctx);
+    case ModelOp::kConnect:
+      return Connect(args.fd, addr, ctx);
+    case ModelOp::kSendTo:
+      return SendTo(args.fd, in, addr, ctx);
+    case ModelOp::kRecvFrom:
+      return RecvFrom(args.fd, args.io, ctx);
+    case ModelOp::kListen:
+      return Listen(args.fd, ctx);
+    case ModelOp::kAccept:
+      return Accept(args.fd, ctx);
+  }
+  return SyscallResult::Err(kENOSYS);
+}
+
+}  // namespace kernelgpt::vkernel

@@ -10,6 +10,7 @@
 #include "drivers/corpus.h"
 #include "drivers/model_spec.h"
 #include "fuzzer/distiller.h"
+#include "vkernel/kernel.h"
 
 namespace kernelgpt::fuzzer {
 namespace {
@@ -36,7 +37,7 @@ class DistillerTest : public ::testing::Test {
     return lib;
   }
 
-  static void Boot(vkernel::Kernel* kernel) {
+  static void Boot(vkernel::KernelModel* kernel) {
     Corpus::Instance().RegisterAll(kernel);
   }
 

@@ -212,7 +212,7 @@ class DmRuntimeTest : public ::testing::Test {
   }
 
   long OpenDm(vkernel::ExecContext& ctx) {
-    return kernel_.Openat("/dev/mapper/control", 0, ctx);
+    return kernel_.Openat("/dev/mapper/control", 0, ctx).retval;
   }
 
   vkernel::Buffer DmArg() {
@@ -233,7 +233,8 @@ TEST_F(DmRuntimeTest, CorrectCommandReachesDeepPath)
   vkernel::Buffer arg = DmArg();
   const IoctlSpec& list = Dm().primary.ioctls[2];
   size_t before = cov_.Count();
-  EXPECT_EQ(kernel_.Ioctl(fd, FullCommandValue(Dm(), list), &arg, ctx), 0);
+  EXPECT_EQ(kernel_.Ioctl(fd, FullCommandValue(Dm(), list), &arg, ctx).raw(),
+            0);
   EXPECT_GT(cov_.Count(), before + 3);  // dispatch + deep blocks.
 }
 
@@ -241,7 +242,7 @@ TEST_F(DmRuntimeTest, WrongDeviceNameFails)
 {
   vkernel::ExecContext ctx(&cov_);
   // SyzDescribe's wrong inference: the .name field, not .nodename.
-  EXPECT_EQ(kernel_.Openat("/dev/device-mapper", 0, ctx),
+  EXPECT_EQ(kernel_.Openat("/dev/device-mapper", 0, ctx).raw(),
             -vkernel::kENOENT);
 }
 
@@ -252,7 +253,7 @@ TEST_F(DmRuntimeTest, RawNrCommandRejected)
   vkernel::ExecContext ctx(&cov_);
   long fd = OpenDm(ctx);
   vkernel::Buffer arg = DmArg();
-  EXPECT_EQ(kernel_.Ioctl(fd, 3, &arg, ctx), -vkernel::kEINVAL);
+  EXPECT_EQ(kernel_.Ioctl(fd, 3, &arg, ctx).raw(), -vkernel::kEINVAL);
 }
 
 TEST_F(DmRuntimeTest, ShortBufferGetsEfault)
@@ -262,7 +263,7 @@ TEST_F(DmRuntimeTest, ShortBufferGetsEfault)
   vkernel::Buffer small;
   small.bytes.assign(4, 0);
   const IoctlSpec& list = Dm().primary.ioctls[2];
-  EXPECT_EQ(kernel_.Ioctl(fd, FullCommandValue(Dm(), list), &small, ctx),
+  EXPECT_EQ(kernel_.Ioctl(fd, FullCommandValue(Dm(), list), &small, ctx).raw(),
             -vkernel::kEFAULT);
 }
 
@@ -298,7 +299,8 @@ TEST_F(DmRuntimeTest, ReleaseBugFiresOnClose)
   }
   ASSERT_NE(suspend, nullptr);
   (void)layout;
-  EXPECT_EQ(kernel_.Ioctl(fd, FullCommandValue(Dm(), *suspend), &arg, ctx), 0);
+  EXPECT_EQ(
+      kernel_.Ioctl(fd, FullCommandValue(Dm(), *suspend), &arg, ctx).raw(), 0);
   EXPECT_FALSE(ctx.crashed());
   kernel_.Close(fd, ctx);
   EXPECT_TRUE(ctx.crashed());
@@ -315,7 +317,7 @@ TEST(SequenceBugTest, CecUafNeedsTransmitThenReceive)
   kernel.BeginProgram();
   vkernel::Coverage cov;
   vkernel::ExecContext ctx(&cov);
-  long fd = kernel.Openat("/dev/cec0", 0, ctx);
+  long fd = kernel.Openat("/dev/cec0", 0, ctx).retval;
   ASSERT_GE(fd, 3);
 
   auto arg_for = [&](const char* name) {
@@ -338,11 +340,12 @@ TEST(SequenceBugTest, CecUafNeedsTransmitThenReceive)
   const StructSpec* msg_spec = cec->FindStruct("cec_msg");
   StructLayout layout = ComputeLayout(*msg_spec, cec->structs);
   msg.WriteScalar(layout.Find("timeout")->offset, 4, 100);
-  EXPECT_EQ(kernel.Ioctl(fd, FullCommandValue(*cec, *receive), &msg, ctx), 0);
+  EXPECT_EQ(
+      kernel.Ioctl(fd, FullCommandValue(*cec, *receive), &msg, ctx).raw(), 0);
   EXPECT_FALSE(ctx.crashed());
 
   // Transmit then receive triggers the UAF.
-  EXPECT_EQ(kernel.Ioctl(fd, FullCommandValue(*cec, *transmit), &msg, ctx),
+  EXPECT_EQ(kernel.Ioctl(fd, FullCommandValue(*cec, *transmit), &msg, ctx).raw(),
             0);
   kernel.Ioctl(fd, FullCommandValue(*cec, *receive), &msg, ctx);
   EXPECT_TRUE(ctx.crashed());
@@ -358,12 +361,12 @@ TEST(SecondaryHandlerTest, KvmCreateVmReturnsUsableFd)
   kernel.BeginProgram();
   vkernel::Coverage cov;
   vkernel::ExecContext ctx(&cov);
-  long fd = kernel.Openat("/dev/kvm", 0, ctx);
+  long fd = kernel.Openat("/dev/kvm", 0, ctx).retval;
   ASSERT_GE(fd, 3);
   const IoctlSpec& create_vm = kvm->primary.ioctls[1];
   ASSERT_EQ(create_vm.macro, "KVM_CREATE_VM");
   long vm_fd =
-      kernel.Ioctl(fd, FullCommandValue(*kvm, create_vm), nullptr, ctx);
+      kernel.Ioctl(fd, FullCommandValue(*kvm, create_vm), nullptr, ctx).retval;
   ASSERT_GE(vm_fd, 3);
   EXPECT_NE(vm_fd, fd);
 
@@ -373,10 +376,11 @@ TEST(SecondaryHandlerTest, KvmCreateVmReturnsUsableFd)
   ASSERT_EQ(irq.macro, "KVM_IRQ_LINE");
   vkernel::Buffer arg;
   arg.bytes.assign(StructByteSize("kvm_irq_level", kvm->structs), 0);
-  EXPECT_EQ(kernel.Ioctl(vm_fd, FullCommandValue(*kvm, irq), &arg, ctx), 0);
+  EXPECT_EQ(kernel.Ioctl(vm_fd, FullCommandValue(*kvm, irq), &arg, ctx).raw(),
+            0);
 
   // But the system fd rejects them.
-  EXPECT_EQ(kernel.Ioctl(fd, FullCommandValue(*kvm, irq), &arg, ctx),
+  EXPECT_EQ(kernel.Ioctl(fd, FullCommandValue(*kvm, irq), &arg, ctx).raw(),
             -vkernel::kENOTTY);
 }
 
@@ -473,7 +477,7 @@ TEST_P(AllSocketsTest, SocketCreationWorksAtRuntime)
   vkernel::Coverage cov;
   vkernel::ExecContext ctx(&cov);
   uint64_t type = sock->sock_type ? sock->sock_type : 2;
-  long fd = kernel.Socket(sock->domain, type, sock->protocol, ctx);
+  long fd = kernel.Socket(sock->domain, type, sock->protocol, ctx).retval;
   EXPECT_GE(fd, 3) << sock->id;
 }
 

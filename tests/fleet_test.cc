@@ -28,6 +28,7 @@
 #include "util/fault.h"
 #include "util/rng.h"
 #include "util/strings.h"
+#include "vkernel/kernel.h"
 
 namespace kernelgpt::fuzzer {
 namespace {
@@ -56,7 +57,7 @@ class FleetTest : public ::testing::Test {
     return lib;
   }
 
-  static void Boot(vkernel::Kernel* kernel) {
+  static void Boot(vkernel::KernelModel* kernel) {
     Corpus::Instance().RegisterAll(kernel);
   }
 

@@ -10,6 +10,7 @@
 #include "fuzzer/campaign.h"
 #include "fuzzer/minimizer.h"
 #include "syzlang/parser.h"
+#include "vkernel/kernel.h"
 
 namespace kernelgpt::fuzzer {
 namespace {
@@ -283,7 +284,7 @@ class MinimizerTest : public FuzzerTest {
  protected:
   /// Generates programs until one crashes (any title). Fails the calling
   /// test if `budget` programs never crash.
-  static void FindCrashingProg(vkernel::Kernel* kernel, const SpecLibrary& lib,
+  static void FindCrashingProg(vkernel::KernelModel* kernel, const SpecLibrary& lib,
                                uint64_t seed, Prog* prog, std::string* title,
                                int budget = 20000) {
     util::Rng rng(seed);

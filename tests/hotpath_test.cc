@@ -14,6 +14,7 @@
 #include "fuzzer/orchestrator.h"
 #include "util/rng.h"
 #include "vkernel/coverage.h"
+#include "vkernel/kernel.h"
 
 namespace kernelgpt::fuzzer {
 namespace {
@@ -30,7 +31,7 @@ class HotPathTest : public ::testing::Test {
     return Context().SyzkallerPlusKernelGptSuite();
   }
 
-  static void Boot(vkernel::Kernel* kernel) { Context().BootKernel(kernel); }
+  static void Boot(vkernel::KernelModel* kernel) { Context().BootKernel(kernel); }
 };
 
 // ---------------------------------------------------------------------------
@@ -286,7 +287,7 @@ TEST_F(HotPathTest, BatchedOneWorkerOrchestratorStillBitIdenticalToSerial)
   options.campaign = campaign;
   options.num_workers = 1;
   OrchestratorResult sharded = RunShardedCampaign(
-      lib, [](vkernel::Kernel* k) { Boot(k); }, options);
+      lib, [](vkernel::KernelModel* k) { Boot(k); }, options);
 
   EXPECT_EQ(serial.programs_executed, sharded.programs_executed);
   EXPECT_EQ(serial.crashes, sharded.crashes);

@@ -9,6 +9,7 @@
 #include "drivers/model_spec.h"
 #include "fuzzer/campaign.h"
 #include "fuzzer/orchestrator.h"
+#include "vkernel/kernel.h"
 
 namespace kernelgpt::fuzzer {
 namespace {
@@ -35,7 +36,7 @@ class OrchestratorTest : public ::testing::Test {
     return lib;
   }
 
-  static void Boot(vkernel::Kernel* kernel) {
+  static void Boot(vkernel::KernelModel* kernel) {
     Corpus::Instance().RegisterAll(kernel);
   }
 

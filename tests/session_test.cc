@@ -23,6 +23,7 @@
 #include "fuzzer/generator.h"
 #include "fuzzer/mutator.h"
 #include "fuzzer/session.h"
+#include "vkernel/kernel.h"
 
 namespace kernelgpt::fuzzer {
 namespace {
@@ -53,7 +54,7 @@ class SessionTest : public ::testing::Test {
         drivers::GroundTruthDeviceSpec(*Corpus::Instance().FindDevice("dm")));
   }
 
-  static void Boot(vkernel::Kernel* kernel) {
+  static void Boot(vkernel::KernelModel* kernel) {
     Corpus::Instance().RegisterAll(kernel);
   }
 
@@ -197,7 +198,7 @@ TEST_F(SessionTest, VersionMismatchIsRejectedWithBothVersionsNamed)
   SpecLibrary lib = DmLibrary();
   SuiteSnapshot suite;
   std::string text = SerializeSuite(suite, lib);
-  text.replace(text.find("v1"), 2, "v99");
+  text.replace(text.find("v2"), 2, "v99");
   util::Status status = ParseSuite(text, lib, &suite);
   EXPECT_FALSE(status.ok());
   EXPECT_NE(status.message().find("version mismatch"), std::string::npos)
@@ -206,7 +207,7 @@ TEST_F(SessionTest, VersionMismatchIsRejectedWithBothVersionsNamed)
 
   SessionManifest manifest;
   text = SerializeManifest(manifest);
-  text.replace(text.find("v1"), 2, "v0");
+  text.replace(text.find("v2"), 2, "v0");
   status = ParseManifest(text, &manifest);
   EXPECT_FALSE(status.ok());
   EXPECT_NE(status.message().find("version mismatch"), std::string::npos);

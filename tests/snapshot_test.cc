@@ -28,6 +28,7 @@
 #include "fuzzer/snapshot.h"
 #include "util/fileio.h"
 #include "util/strings.h"
+#include "vkernel/kernel.h"
 
 namespace kernelgpt::fuzzer {
 namespace {
@@ -57,7 +58,7 @@ class SnapshotTest : public ::testing::Test {
     return lib;
   }
 
-  static void Boot(vkernel::Kernel* kernel) {
+  static void Boot(vkernel::KernelModel* kernel) {
     Corpus::Instance().RegisterAll(kernel);
   }
 
@@ -261,7 +262,7 @@ TEST_F(SnapshotTest, ManifestSuiteNamesParsePositionally)
   // "2 name12". Names must be located positionally after the second
   // token.
   std::string text =
-      "kernelgpt-session v1\n"
+      "kernelgpt-session v2\n"
       "seed 2a\n"
       "schedule hash-chain\n"
       "seed_stride 7919\n"

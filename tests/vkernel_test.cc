@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "vkernel/kernel.h"
 
 namespace kernelgpt::vkernel {
@@ -12,22 +14,20 @@ namespace {
 /// and can crash on command 0xdead.
 class TestHandler : public FileHandler {
  public:
-  long Ioctl(uint64_t cmd, Buffer* arg, ExecContext& ctx,
-             Kernel& kernel) override {
-    (void)kernel;
+  long Ioctl(uint64_t cmd, Buffer* arg, KernelModel& kernel) override {
+    ExecContext& ctx = kernel.context();
     ctx.Cover(100 + cmd);
     if (cmd == 0xdead) ctx.Crash("test crash in handler");
     if (arg && !arg->bytes.empty()) ctx.Cover(500);
     return 0;
   }
-  long Read(Buffer* out, ExecContext& ctx) override {
-    ctx.Cover(600);
+  long Read(Buffer* out, KernelModel& kernel) override {
+    kernel.context().Cover(600);
     out->bytes.assign(4, 0xaa);
     return 4;
   }
-  void Release(ExecContext& ctx, Kernel& kernel) override {
-    (void)kernel;
-    ctx.Cover(700);
+  void Release(KernelModel& kernel) override {
+    kernel.context().Cover(700);
     ++release_count;
   }
   static int release_count;
@@ -38,11 +38,9 @@ class TestDriver : public DeviceDriver {
  public:
   std::string Name() const override { return "testdev"; }
   std::string NodePath() const override { return "/dev/testdev"; }
-  std::shared_ptr<FileHandler> Open(ExecContext& ctx, Kernel& kernel,
-                                    long* err) override {
-    (void)kernel;
+  std::shared_ptr<FileHandler> Open(KernelModel& kernel, long* err) override {
     (void)err;
-    ctx.Cover(1);
+    kernel.context().Cover(1);
     return std::make_shared<TestHandler>();
   }
 };
@@ -50,11 +48,10 @@ class TestDriver : public DeviceDriver {
 class TestSocket : public SocketHandler {
  public:
   long SetSockOpt(uint64_t level, uint64_t optname, const Buffer& val,
-                  ExecContext& ctx, Kernel& kernel) override {
-    (void)kernel;
+                  KernelModel& kernel) override {
     (void)val;
     if (level != 99) return -kENOPROTOOPT;
-    ctx.Cover(900 + optname);
+    kernel.context().Cover(900 + optname);
     return 0;
   }
 };
@@ -64,15 +61,14 @@ class TestFamily : public SocketFamily {
   std::string Name() const override { return "testsock"; }
   uint64_t Domain() const override { return 42; }
   std::shared_ptr<SocketHandler> Create(uint64_t type, uint64_t protocol,
-                                        ExecContext& ctx, Kernel& kernel,
+                                        KernelModel& kernel,
                                         long* err) override {
-    (void)kernel;
     (void)protocol;
     if (type != 1) {
       *err = -kEINVAL;
       return nullptr;
     }
-    ctx.Cover(800);
+    kernel.context().Cover(800);
     return std::make_shared<TestSocket>();
   }
 };
@@ -91,26 +87,26 @@ class KernelTest : public ::testing::Test {
 TEST_F(KernelTest, OpenUnknownPathFails)
 {
   ExecContext ctx(&cov_);
-  EXPECT_EQ(kernel_.Openat("/dev/nope", 0, ctx), -kENOENT);
+  EXPECT_EQ(kernel_.Openat("/dev/nope", 0, ctx).raw(), -kENOENT);
 }
 
 TEST_F(KernelTest, OpenIoctlCloseFlow)
 {
   ExecContext ctx(&cov_);
-  long fd = kernel_.Openat("/dev/testdev", 0, ctx);
+  long fd = kernel_.Openat("/dev/testdev", 0, ctx).retval;
   ASSERT_GE(fd, 3);
   EXPECT_TRUE(cov_.Contains(1));
-  EXPECT_EQ(kernel_.Ioctl(fd, 7, nullptr, ctx), 0);
+  EXPECT_EQ(kernel_.Ioctl(fd, 7, nullptr, ctx).raw(), 0);
   EXPECT_TRUE(cov_.Contains(107));
-  EXPECT_EQ(kernel_.Close(fd, ctx), 0);
+  EXPECT_EQ(kernel_.Close(fd, ctx).raw(), 0);
   EXPECT_TRUE(cov_.Contains(700));
-  EXPECT_EQ(kernel_.Ioctl(fd, 7, nullptr, ctx), -kEBADF);
+  EXPECT_EQ(kernel_.Ioctl(fd, 7, nullptr, ctx).raw(), -kEBADF);
 }
 
 TEST_F(KernelTest, CrashSetsContextState)
 {
   ExecContext ctx(&cov_);
-  long fd = kernel_.Openat("/dev/testdev", 0, ctx);
+  long fd = kernel_.Openat("/dev/testdev", 0, ctx).retval;
   kernel_.Ioctl(fd, 0xdead, nullptr, ctx);
   EXPECT_TRUE(ctx.crashed());
   EXPECT_EQ(ctx.crash_title(), "test crash in handler");
@@ -127,7 +123,7 @@ TEST_F(KernelTest, CrashTitleKeepsFirst)
 TEST_F(KernelTest, BufferArgsReachHandler)
 {
   ExecContext ctx(&cov_);
-  long fd = kernel_.Openat("/dev/testdev", 0, ctx);
+  long fd = kernel_.Openat("/dev/testdev", 0, ctx).retval;
   Buffer buf;
   buf.bytes = {1, 2, 3};
   kernel_.Ioctl(fd, 0, &buf, ctx);
@@ -137,9 +133,9 @@ TEST_F(KernelTest, BufferArgsReachHandler)
 TEST_F(KernelTest, ReadWritesBuffer)
 {
   ExecContext ctx(&cov_);
-  long fd = kernel_.Openat("/dev/testdev", 0, ctx);
+  long fd = kernel_.Openat("/dev/testdev", 0, ctx).retval;
   Buffer out;
-  EXPECT_EQ(kernel_.Read(fd, &out, ctx), 4);
+  EXPECT_EQ(kernel_.Read(fd, &out, ctx).retval, 4);
   EXPECT_EQ(out.bytes.size(), 4u);
 }
 
@@ -147,21 +143,21 @@ TEST_F(KernelTest, DupSharesHandlerAndReleaseOnce)
 {
   TestHandler::release_count = 0;
   ExecContext ctx(&cov_);
-  long fd = kernel_.Openat("/dev/testdev", 0, ctx);
-  long fd2 = kernel_.Dup(fd, ctx);
+  long fd = kernel_.Openat("/dev/testdev", 0, ctx).retval;
+  long fd2 = kernel_.Dup(fd, ctx).retval;
   ASSERT_GT(fd2, fd);
-  EXPECT_EQ(kernel_.Close(fd, ctx), 0);
+  EXPECT_EQ(kernel_.Close(fd, ctx).raw(), 0);
   EXPECT_EQ(TestHandler::release_count, 0);  // Still referenced by fd2.
-  EXPECT_EQ(kernel_.Close(fd2, ctx), 0);
+  EXPECT_EQ(kernel_.Close(fd2, ctx).raw(), 0);
   EXPECT_EQ(TestHandler::release_count, 1);
 }
 
 TEST_F(KernelTest, SocketCreationChecksDomainAndType)
 {
   ExecContext ctx(&cov_);
-  EXPECT_EQ(kernel_.Socket(41, 1, 0, ctx), -kEAFNOSUPPORT);
-  EXPECT_EQ(kernel_.Socket(42, 2, 0, ctx), -kEINVAL);
-  long fd = kernel_.Socket(42, 1, 0, ctx);
+  EXPECT_EQ(kernel_.Socket(41, 1, 0, ctx).raw(), -kEAFNOSUPPORT);
+  EXPECT_EQ(kernel_.Socket(42, 2, 0, ctx).raw(), -kEINVAL);
+  long fd = kernel_.Socket(42, 1, 0, ctx).retval;
   EXPECT_GE(fd, 3);
   EXPECT_TRUE(cov_.Contains(800));
 }
@@ -169,28 +165,28 @@ TEST_F(KernelTest, SocketCreationChecksDomainAndType)
 TEST_F(KernelTest, SetSockOptDispatch)
 {
   ExecContext ctx(&cov_);
-  long fd = kernel_.Socket(42, 1, 0, ctx);
+  long fd = kernel_.Socket(42, 1, 0, ctx).retval;
   Buffer val;
-  EXPECT_EQ(kernel_.SetSockOpt(fd, 99, 5, val, ctx), 0);
+  EXPECT_EQ(kernel_.SetSockOpt(fd, 99, 5, val, ctx).raw(), 0);
   EXPECT_TRUE(cov_.Contains(905));
-  EXPECT_EQ(kernel_.SetSockOpt(fd, 98, 5, val, ctx), -kENOPROTOOPT);
+  EXPECT_EQ(kernel_.SetSockOpt(fd, 98, 5, val, ctx).raw(), -kENOPROTOOPT);
 }
 
 TEST_F(KernelTest, SocketSyscallsRejectDeviceFds)
 {
   ExecContext ctx(&cov_);
-  long fd = kernel_.Openat("/dev/testdev", 0, ctx);
+  long fd = kernel_.Openat("/dev/testdev", 0, ctx).retval;
   Buffer val;
-  EXPECT_EQ(kernel_.SetSockOpt(fd, 99, 5, val, ctx), -kEBADF);
-  EXPECT_EQ(kernel_.Bind(fd, val, ctx), -kEBADF);
+  EXPECT_EQ(kernel_.SetSockOpt(fd, 99, 5, val, ctx).raw(), -kEBADF);
+  EXPECT_EQ(kernel_.Bind(fd, val, ctx).raw(), -kEBADF);
 }
 
 TEST_F(KernelTest, BeginProgramResetsFdTable)
 {
   ExecContext ctx(&cov_);
-  long fd = kernel_.Openat("/dev/testdev", 0, ctx);
+  long fd = kernel_.Openat("/dev/testdev", 0, ctx).retval;
   kernel_.BeginProgram();
-  EXPECT_EQ(kernel_.Ioctl(fd, 1, nullptr, ctx), -kEBADF);
+  EXPECT_EQ(kernel_.Ioctl(fd, 1, nullptr, ctx).raw(), -kEBADF);
 }
 
 /// A pool that counts hand-backs, for the recycling-contract tests.
@@ -210,9 +206,7 @@ class PooledDriver : public DeviceDriver {
   explicit PooledDriver(CountingPool* pool) : pool_(pool) {}
   std::string Name() const override { return "pooled"; }
   std::string NodePath() const override { return "/dev/pooled"; }
-  std::shared_ptr<FileHandler> Open(ExecContext& ctx, Kernel& kernel,
-                                    long* err) override {
-    (void)ctx;
+  std::shared_ptr<FileHandler> Open(KernelModel& kernel, long* err) override {
     (void)kernel;
     (void)err;
     std::shared_ptr<FileHandler> handler;
@@ -244,39 +238,150 @@ TEST_F(RecycleTest, CloseHandsHandlerBackAfterRelease)
 {
   TestHandler::release_count = 0;
   ExecContext ctx(&cov_);
-  long fd = kernel_.Openat("/dev/pooled", 0, ctx);
+  long fd = kernel_.Openat("/dev/pooled", 0, ctx).retval;
   ASSERT_GE(fd, 3);
   FileHandler* raw = kernel_.LookupFd(fd);
-  EXPECT_EQ(kernel_.Close(fd, ctx), 0);
+  EXPECT_EQ(kernel_.Close(fd, ctx).raw(), 0);
   EXPECT_EQ(TestHandler::release_count, 1);  // Release before recycle.
   EXPECT_EQ(pool_.recycled, 1);
   ASSERT_NE(pool_.last, nullptr);
   EXPECT_EQ(pool_.last.get(), raw);  // Same object, same control block.
 
   // Re-open reuses the pooled object without a second allocation.
-  long fd2 = kernel_.Openat("/dev/pooled", 0, ctx);
+  long fd2 = kernel_.Openat("/dev/pooled", 0, ctx).retval;
   EXPECT_EQ(kernel_.LookupFd(fd2), raw);
 }
 
 TEST_F(RecycleTest, DupRecyclesOnlyOnLastClose)
 {
   ExecContext ctx(&cov_);
-  long fd = kernel_.Openat("/dev/pooled", 0, ctx);
-  long fd2 = kernel_.Dup(fd, ctx);
-  EXPECT_EQ(kernel_.Close(fd, ctx), 0);
+  long fd = kernel_.Openat("/dev/pooled", 0, ctx).retval;
+  long fd2 = kernel_.Dup(fd, ctx).retval;
+  EXPECT_EQ(kernel_.Close(fd, ctx).raw(), 0);
   EXPECT_EQ(pool_.recycled, 0);  // fd2 still references the handler.
-  EXPECT_EQ(kernel_.Close(fd2, ctx), 0);
+  EXPECT_EQ(kernel_.Close(fd2, ctx).raw(), 0);
   EXPECT_EQ(pool_.recycled, 1);
 }
 
 TEST_F(RecycleTest, EndProgramRecyclesOpenHandlers)
 {
   ExecContext ctx(&cov_);
-  long fd = kernel_.Openat("/dev/pooled", 0, ctx);
+  long fd = kernel_.Openat("/dev/pooled", 0, ctx).retval;
   ASSERT_GE(fd, 3);
   kernel_.EndProgram(ctx);
   EXPECT_EQ(pool_.recycled, 1);
   EXPECT_EQ(kernel_.LookupFd(fd), nullptr);
+}
+
+class PersonalityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    strict_.RegisterDevice(std::make_unique<TestDriver>());
+    strict_.RegisterSocketFamily(std::make_unique<TestFamily>());
+    strict_.BeginProgram();
+    permissive_.RegisterDevice(std::make_unique<TestDriver>());
+    permissive_.RegisterSocketFamily(std::make_unique<TestFamily>());
+    permissive_.BeginProgram();
+  }
+  StrictModel strict_;
+  PermissiveModel permissive_;
+  Coverage cov_;
+};
+
+TEST_F(PersonalityTest, ModelNames)
+{
+  EXPECT_EQ(strict_.ModelName(), "strict");
+  EXPECT_EQ(permissive_.ModelName(), "permissive");
+}
+
+TEST_F(PersonalityTest, ErrnoPoliciesDiffer)
+{
+  ExecContext ctx(&cov_);
+  // Unknown path: ENOENT (strict) vs ENODEV (permissive).
+  EXPECT_EQ(strict_.Openat("/dev/nope", 0, ctx).verrno, kENOENT);
+  EXPECT_EQ(permissive_.Openat("/dev/nope", 0, ctx).verrno, kENODEV);
+  // Bad fd: EBADF vs EINVAL.
+  EXPECT_EQ(strict_.Ioctl(12345, 0, nullptr, ctx).verrno, kEBADF);
+  EXPECT_EQ(permissive_.Ioctl(12345, 0, nullptr, ctx).verrno, kEINVAL);
+  // Closing a never-opened fd: error vs lenient success.
+  EXPECT_EQ(strict_.Close(12345, ctx).verrno, kEBADF);
+  EXPECT_TRUE(permissive_.Close(12345, ctx).ok());
+  // Unknown socket domain: EAFNOSUPPORT vs EINVAL.
+  EXPECT_EQ(strict_.Socket(41, 1, 0, ctx).verrno, kEAFNOSUPPORT);
+  EXPECT_EQ(permissive_.Socket(41, 1, 0, ctx).verrno, kEINVAL);
+}
+
+TEST_F(PersonalityTest, FdLayoutsDiffer)
+{
+  ExecContext ctx(&cov_);
+  // Strict numbers files and sockets from one unified base.
+  EXPECT_EQ(strict_.Openat("/dev/testdev", 0, ctx).retval, 3);
+  EXPECT_EQ(strict_.Socket(42, 1, 0, ctx).retval, 4);
+  // Permissive splits the spaces: files from 3, sockets from 1000.
+  EXPECT_EQ(permissive_.Openat("/dev/testdev", 0, ctx).retval, 3);
+  EXPECT_EQ(permissive_.Socket(42, 1, 0, ctx).retval, 1000);
+  EXPECT_EQ(permissive_.Openat("/dev/testdev", 0, ctx).retval, 4);
+  EXPECT_EQ(permissive_.Socket(42, 1, 0, ctx).retval, 1001);
+  // Both models dispatch through their own tables all the same.
+  EXPECT_TRUE(permissive_.Ioctl(4, 7, nullptr, ctx).ok());
+  Buffer val;
+  EXPECT_TRUE(permissive_.SetSockOpt(1001, 99, 5, val, ctx).ok());
+  // Shapes agree even though the raw fd values differ.
+  EXPECT_EQ(strict_.FdTableShape(), (FdShape{1, 1}));
+  EXPECT_EQ(permissive_.FdTableShape(), (FdShape{2, 2}));
+}
+
+TEST_F(PersonalityTest, UniformSyscallEntryMatchesTypedWrappers)
+{
+  ExecContext ctx(&cov_);
+  SyscallArgs args;
+  args.path = "/dev/testdev";
+  args.a = 0;
+  SyscallResult via_entry = strict_.Syscall(ModelOp::kOpenat, args, ctx);
+  EXPECT_TRUE(via_entry.ok());
+  SyscallArgs ioctl_args;
+  ioctl_args.fd = via_entry.retval;
+  ioctl_args.a = 7;
+  EXPECT_EQ(strict_.Syscall(ModelOp::kIoctl, ioctl_args, ctx),
+            strict_.Ioctl(via_entry.retval, 7, nullptr, ctx));
+  SyscallArgs close_args;
+  close_args.fd = via_entry.retval;
+  EXPECT_TRUE(strict_.Syscall(ModelOp::kClose, close_args, ctx).ok());
+}
+
+TEST_F(PersonalityTest, BaseClassPointerDrivesEitherModel)
+{
+  ExecContext ctx(&cov_);
+  for (KernelModel* model :
+       {static_cast<KernelModel*>(&strict_),
+        static_cast<KernelModel*>(&permissive_)}) {
+    SyscallResult fd = model->Openat("/dev/testdev", 0, ctx);
+    ASSERT_TRUE(fd.ok());
+    EXPECT_TRUE(model->Ioctl(fd.retval, 7, nullptr, ctx).ok());
+    model->EndProgram(ctx);
+    EXPECT_EQ(model->FdTableShape(), (FdShape{0, 0}));
+    model->BeginProgram();
+  }
+}
+
+TEST_F(PersonalityTest, BeginBatchRejectsNestedWindow)
+{
+  strict_.BeginBatch();
+  EXPECT_THROW(strict_.BeginBatch(), std::logic_error);
+  strict_.EndBatch();
+}
+
+TEST_F(PersonalityTest, BeginBatchRejectsDirtyFdTable)
+{
+  ExecContext ctx(&cov_);
+  ASSERT_TRUE(strict_.Openat("/dev/testdev", 0, ctx).ok());
+  // Mid-program: descriptors from the running program would leak.
+  EXPECT_THROW(strict_.BeginBatch(), std::logic_error);
+  strict_.EndProgram(ctx);
+  // Pristine again: the window opens fine, and Run() having marked
+  // modules dirty earlier must NOT trip the check.
+  strict_.BeginBatch();
+  strict_.EndBatch();
 }
 
 TEST(CoverageTest, MergeAndDiff)
