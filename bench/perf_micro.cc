@@ -168,6 +168,49 @@ BM_CoverageMerge(benchmark::State& state)
 }
 BENCHMARK(BM_CoverageMerge)->Arg(256)->Arg(4096);
 
+/// Distiller-invariant cost: CountNotIn between two mostly-overlapping
+/// sets (the distilled candidate vs the merged corpus coverage), the
+/// comparison CoversAll runs per distillation pass; items = calls.
+void
+BM_CoverageCountNotIn(benchmark::State& state)
+{
+  const int kBlocks = static_cast<int>(state.range(0));
+  vkernel::Coverage a, b;
+  for (int i = 0; i < kBlocks; ++i) {
+    const uint64_t id =
+        vkernel::MakeBlockId(0x1234abcd + (i % 13), static_cast<uint32_t>(i));
+    a.Hit(id);
+    if (i % 17 != 0) b.Hit(id);  // b misses ~6% of a: the realistic gap.
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.CountNotIn(b));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CoverageCountNotIn)->Arg(256)->Arg(4096);
+
+/// Raw Hit() cost in the executor's access pattern: runs of MakeBlockId
+/// neighbours (served by the one-entry last-page cache) over a
+/// steady-state set where every bit is already set; items = hits.
+void
+BM_CoverageHit(benchmark::State& state)
+{
+  vkernel::Coverage cov;
+  constexpr int kBlocks = 4096;
+  for (int i = 0; i < kBlocks; ++i) {
+    cov.Hit(vkernel::MakeBlockId(0x1234abcd + (i % 13),
+                                 static_cast<uint32_t>(i)));
+  }
+  uint32_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cov.Hit(
+        vkernel::MakeBlockId(0x1234abcd + (i % 13), i)));
+    i = (i + 1) % kBlocks;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CoverageHit);
+
 /// Between-campaign distillation cost: one pass (dedup + batched replay
 /// for signatures + greedy cover + crash minimization) over the merged
 /// corpus of a fixed 4-worker campaign; items = input corpus programs, so
@@ -247,7 +290,8 @@ BENCHMARK(BM_DiffRunnerOverhead)->Arg(0)->Arg(1);
 /// (serialize coverage + crashes + corpus + reproducers + trend records,
 /// then parse it back) for the distilled state of a real campaign;
 /// items = corpus programs, so items/sec is snapshot throughput per
-/// persisted program. In-memory on purpose — filesystem latency would
+/// persisted program. Arg 0 = textual codec, Arg 1 = KGPB binary codec
+/// (the PR 9 fast path). In-memory on purpose — filesystem latency would
 /// drown the serialization signal on shared runners.
 void
 BM_SnapshotSaveLoad(benchmark::State& state)
@@ -276,16 +320,20 @@ BM_SnapshotSaveLoad(benchmark::State& state)
   snapshot.crash_reproducers = st.crash_reproducers;
   snapshot.rounds = st.rounds;
 
+  const bool binary = state.range(0) != 0;
   for (auto _ : state) {
-    std::string text = fuzzer::SerializeSuite(snapshot, lib);
+    std::string data = binary ? fuzzer::SerializeSuiteBinary(snapshot, lib)
+                              : fuzzer::SerializeSuite(snapshot, lib);
     fuzzer::SuiteSnapshot parsed;
-    benchmark::DoNotOptimize(fuzzer::ParseSuite(text, lib, &parsed));
+    benchmark::DoNotOptimize(
+        binary ? fuzzer::ParseSuiteBinary(data, lib, &parsed)
+               : fuzzer::ParseSuite(data, lib, &parsed));
     benchmark::DoNotOptimize(parsed.corpus.size());
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(snapshot.corpus.size()));
 }
-BENCHMARK(BM_SnapshotSaveLoad);
+BENCHMARK(BM_SnapshotSaveLoad)->Arg(0)->Arg(1);
 
 /// Incremental-save cost (PR 6): serializing and framing one steady-state
 /// round delta ("corpus same" + new coverage blocks + crash increments +

@@ -3,12 +3,15 @@
 # either records a BENCH_prN.json trajectory file or gates against a
 # previously recorded baseline.
 #
-# Record: scripts/bench.sh [output.json]        (default BENCH_pr8.json)
+# Record: scripts/bench.sh [output.json]
+#   Default output is the newest BENCH_pr<N>.json in the repo plus one
+#   (BENCH_pr8.json present -> records BENCH_pr9.json).
 # Gate:   scripts/bench.sh --check baseline.json
-#   Re-measures BM_FuzzThroughput and fails (exit 1) when throughput
-#   regresses more than BENCH_TOLERANCE_PCT percent (default 25) below
-#   the baseline's recorded execs/sec. Override the tolerance for noisy
-#   shared runners, e.g. BENCH_TOLERANCE_PCT=40 in CI.
+#   Re-measures fuzz throughput (higher is better), the coverage merge
+#   path, and the snapshot round trip (both lower is better) and fails
+#   (exit 1) when any metric regresses more than BENCH_TOLERANCE_PCT
+#   percent (default 25) past the baseline. Override the tolerance for
+#   noisy shared runners, e.g. BENCH_TOLERANCE_PCT=40 in CI.
 #
 # Env: BUILD_DIR (default: build), BENCH_TOLERANCE_PCT (default: 25)
 set -euo pipefail
@@ -19,14 +22,19 @@ BENCH_BIN="${BUILD_DIR}/bench/bench_perf_micro"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
 MODE="record"
-OUT="BENCH_pr8.json"
+OUT=""
 BASELINE=""
 if [ "${1:-}" = "--check" ]; then
   MODE="check"
   BASELINE="${2:?usage: bench.sh --check baseline.json}"
   [ -f "${BASELINE}" ] || { echo "no such baseline: ${BASELINE}" >&2; exit 2; }
+elif [ -n "${1:-}" ]; then
+  OUT="$1"
 else
-  OUT="${1:-${OUT}}"
+  # Default to the next PR slot after the newest recorded trajectory.
+  LAST="$(ls BENCH_pr*.json 2>/dev/null \
+          | sed -E 's/^BENCH_pr([0-9]+)\.json$/\1/' | sort -n | tail -1)"
+  OUT="BENCH_pr$(( ${LAST:-0} + 1 )).json"
 fi
 
 if [ ! -x "${BENCH_BIN}" ]; then
@@ -52,9 +60,9 @@ RAW="$(mktemp)"
 trap 'rm -f "${RAW}"' EXIT
 
 if [ "${MODE}" = "check" ]; then
-  echo "== perf gate: BM_FuzzThroughput vs ${BASELINE} =="
+  echo "== perf gate: throughput + coverage merge + snapshot vs ${BASELINE} =="
   "${BENCH_BIN}" \
-    --benchmark_filter='BM_FuzzThroughput' \
+    --benchmark_filter='BM_FuzzThroughput|BM_CoverageMerge|BM_SnapshotSaveLoad' \
     --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
     --benchmark_format=json > "${RAW}"
 
@@ -76,33 +84,57 @@ means = {
     for b in raw["benchmarks"]
     if b.get("aggregate_name") == "mean"
 }
+
+def ns_of(run_name):
+    ips = means.get(run_name)
+    return 1e9 / ips if ips else None
+
+# Snapshot: the headline metric is the binary codec
+# (BM_SnapshotSaveLoad/1); fall back to the pre-PR9 unparameterized run
+# name so old build trees still gate.
+snapshot_ns = ns_of("BM_SnapshotSaveLoad/1") or ns_of("BM_SnapshotSaveLoad")
+
+# (label, measured value, baseline value, higher_is_better)
 checks = [
-    ("execs/sec (batch 1)", "BM_FuzzThroughput/2000/1",
-     baseline["fuzz_throughput"].get("execs_per_sec_unbatched")),
-    ("execs/sec (batch 32)", "BM_FuzzThroughput/2000/32",
-     baseline["fuzz_throughput"].get("execs_per_sec_batch32")),
+    ("execs/sec (batch 1)", means.get("BM_FuzzThroughput/2000/1"),
+     baseline["fuzz_throughput"].get("execs_per_sec_unbatched"), True),
+    ("execs/sec (batch 32)", means.get("BM_FuzzThroughput/2000/32"),
+     baseline["fuzz_throughput"].get("execs_per_sec_batch32"), True),
+    ("merge ns (256 blocks)", ns_of("BM_CoverageMerge/256"),
+     baseline.get("coverage_merge", {}).get("ns_per_merge_256_blocks"),
+     False),
+    ("merge ns (4096 blocks)", ns_of("BM_CoverageMerge/4096"),
+     baseline.get("coverage_merge", {}).get("ns_per_merge_4096_blocks"),
+     False),
+    ("snapshot us/program",
+     snapshot_ns / 1e3 if snapshot_ns else None,
+     baseline.get("snapshot", {}).get("us_per_corpus_program"), False),
 ]
 
 failed = False
 compared = 0
-for label, run_name, recorded in checks:
-    measured = means.get(run_name)
+for label, measured, recorded, higher_is_better in checks:
     if recorded is None or measured is None:
         print("SKIP %-22s (missing in %s)" %
               (label, "baseline" if recorded is None else "measurement"))
         continue
     compared += 1
-    floor = recorded * (1.0 - tolerance_pct / 100.0)
+    if higher_is_better:
+        limit = recorded * (1.0 - tolerance_pct / 100.0)
+        ok = measured >= limit
+    else:
+        limit = recorded * (1.0 + tolerance_pct / 100.0)
+        ok = measured <= limit
     delta_pct = 100.0 * (measured - recorded) / recorded
-    status = "OK  " if measured >= floor else "FAIL"
-    if measured < floor:
+    if not ok:
         failed = True
-    print("%s %-22s measured %12.1f  baseline %12.1f  (%+.1f%%, floor -%g%%)" %
-          (status, label, measured, recorded, delta_pct, tolerance_pct))
+    print("%s %-22s measured %12.1f  baseline %12.1f  (%+.1f%%, limit %s%g%%)" %
+          ("OK  " if ok else "FAIL", label, measured, recorded, delta_pct,
+           "-" if higher_is_better else "+", tolerance_pct))
 
 if failed:
-    print("perf gate FAILED: BM_FuzzThroughput regressed more than "
-          "%g%% below %s" % (tolerance_pct, baseline_path))
+    print("perf gate FAILED: a hot-path metric regressed more than "
+          "%g%% past %s" % (tolerance_pct, baseline_path))
     sys.exit(1)
 if compared == 0:
     # A gate that measured nothing must not pass: renamed baseline keys
@@ -110,7 +142,7 @@ if compared == 0:
     print("perf gate FAILED: no comparable metrics between the "
           "measurement and %s" % baseline_path)
     sys.exit(1)
-print("perf gate OK (tolerance -%g%%)" % tolerance_pct)
+print("perf gate OK (tolerance %g%%)" % tolerance_pct)
 PYEOF
   exit 0
 fi
@@ -121,7 +153,7 @@ echo "== running hot-path benchmarks =="
 # (and is meaningless on 1-CPU containers), so it would poison the
 # trajectory file.
 "${BENCH_BIN}" \
-  --benchmark_filter='BM_FuzzThroughput|BM_ExecutorDispatch|BM_CoverageMerge|BM_Distill|BM_KernelOpenClose|BM_SnapshotSaveLoad|BM_SnapshotAppend|BM_FaultPointDisarmed|BM_FleetRoundOverhead|BM_DiffRunnerOverhead' \
+  --benchmark_filter='BM_FuzzThroughput|BM_ExecutorDispatch|BM_CoverageMerge|BM_CoverageCountNotIn|BM_CoverageHit|BM_Distill|BM_KernelOpenClose|BM_SnapshotSaveLoad|BM_SnapshotAppend|BM_FaultPointDisarmed|BM_FleetRoundOverhead|BM_DiffRunnerOverhead' \
   --benchmark_repetitions=3 --benchmark_report_aggregates_only=true \
   --benchmark_format=json > "${RAW}"
 
@@ -166,9 +198,15 @@ result = {
         "calls_per_sec": items_per_sec("BM_ExecutorDispatch"),
         "ns_per_replayed_call": ns_per_item("BM_ExecutorDispatch"),
     },
+    # Coverage hot path (PR 9: SIMD merge-join over physically key-sorted
+    # pages, AVX2 when the host has it). CountNotIn is the distiller's
+    # novelty probe; Hit is the per-executed-block steady-state cost.
     "coverage_merge": {
         "ns_per_merge_256_blocks": ns_per_item("BM_CoverageMerge/256"),
         "ns_per_merge_4096_blocks": ns_per_item("BM_CoverageMerge/4096"),
+        "ns_per_count_not_in_256_blocks": ns_per_item("BM_CoverageCountNotIn/256"),
+        "ns_per_count_not_in_4096_blocks": ns_per_item("BM_CoverageCountNotIn/4096"),
+        "ns_per_hit": ns_per_item("BM_CoverageHit"),
     },
     # vkernel open path (PR 4): one program's open/close round trip of a
     # model device, with the handler pool serving steady-state opens.
@@ -178,12 +216,19 @@ result = {
     },
     # Session persistence (PR 5): one in-memory suite-snapshot round trip
     # (serialize + parse of coverage, crashes, corpus, reproducers, trend
-    # records), per persisted corpus program.
+    # records), per persisted corpus program. Since PR 9 the headline is
+    # the KGPB binary codec (arg 1); the textual codec (arg 0) is kept
+    # alongside as the _text keys.
     "snapshot": {
-        "corpus_programs_per_sec": items_per_sec("BM_SnapshotSaveLoad"),
+        "corpus_programs_per_sec": items_per_sec("BM_SnapshotSaveLoad/1"),
         "us_per_corpus_program": (
-            round(ns_per_item("BM_SnapshotSaveLoad") / 1000.0, 2)
-            if ns_per_item("BM_SnapshotSaveLoad") else None
+            round(ns_per_item("BM_SnapshotSaveLoad/1") / 1000.0, 2)
+            if ns_per_item("BM_SnapshotSaveLoad/1") else None
+        ),
+        "corpus_programs_per_sec_text": items_per_sec("BM_SnapshotSaveLoad/0"),
+        "us_per_corpus_program_text": (
+            round(ns_per_item("BM_SnapshotSaveLoad/0") / 1000.0, 2)
+            if ns_per_item("BM_SnapshotSaveLoad/0") else None
         ),
     },
     # Incremental journal append (PR 6): serializing + framing one

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Two-phase profile-guided-optimization driver:
+#
+#   1. generate: configure a dedicated build tree with
+#      -DKERNELGPT_PGO=generate and build the perf_micro bench.
+#   2. train: run the hot-path benchmarks (fuzz throughput, coverage
+#      merge, snapshot round trips) once as the training workload —
+#      short repetitions; the profile needs branch shape, not timing
+#      precision.
+#   3. use: reconfigure the SAME tree with -DKERNELGPT_PGO=use and
+#      rebuild everything against the recorded profiles.
+#
+# The result is an optimized tree at $PGO_BUILD_DIR; point bench.sh at
+# it with BUILD_DIR=$PGO_BUILD_DIR to measure the PGO win:
+#
+#   scripts/pgo.sh && BUILD_DIR=build-pgo scripts/bench.sh --check BENCH_pr8.json
+#
+# Env: PGO_BUILD_DIR (default: build-pgo), KERNELGPT_CMAKE_ARGS (extra
+# configure args, e.g. a ccache launcher in CI).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PGO_BUILD_DIR="${PGO_BUILD_DIR:-build-pgo}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+TRAIN_FILTER='BM_FuzzThroughput|BM_CoverageMerge|BM_CoverageCountNotIn|BM_CoverageHit|BM_ExecutorDispatch|BM_SnapshotSaveLoad'
+
+echo "== PGO phase 1: instrumented build (${PGO_BUILD_DIR}) =="
+# shellcheck disable=SC2086  # word-splitting of the extra args is intended
+cmake -B "${PGO_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DKERNELGPT_PGO=generate ${KERNELGPT_CMAKE_ARGS:-}
+if ! cmake --build "${PGO_BUILD_DIR}" -j"${JOBS}" --target bench_perf_micro 2>/dev/null; then
+  echo "google-benchmark unavailable; training on the example campaign instead"
+  cmake --build "${PGO_BUILD_DIR}" -j"${JOBS}"
+fi
+
+echo "== PGO phase 2: training run =="
+if [ -x "${PGO_BUILD_DIR}/bench/bench_perf_micro" ]; then
+  "${PGO_BUILD_DIR}/bench/bench_perf_micro" \
+    --benchmark_filter="${TRAIN_FILTER}" --benchmark_min_time=0.1
+else
+  # No bench binary on this host: any example exercises the same
+  # generator -> executor -> coverage -> snapshot hot loop.
+  find "${PGO_BUILD_DIR}/examples" -maxdepth 1 -type f -perm -u+x \
+    | head -n 1 | xargs -r -n 1 sh -c 'exec "$0"' > /dev/null
+fi
+
+echo "== PGO phase 3: optimized rebuild from profiles =="
+# shellcheck disable=SC2086
+cmake -B "${PGO_BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DKERNELGPT_PGO=use ${KERNELGPT_CMAKE_ARGS:-}
+cmake --build "${PGO_BUILD_DIR}" -j"${JOBS}"
+
+echo "PGO OK: optimized tree at ${PGO_BUILD_DIR}"
+echo "measure with: BUILD_DIR=${PGO_BUILD_DIR} scripts/bench.sh --check <baseline.json>"

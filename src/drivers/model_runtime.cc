@@ -1,9 +1,8 @@
 #include "drivers/model_runtime.h"
 
-#include <unordered_map>
-
 #include "ksrc/cparser.h"
 #include "util/rng.h"
+#include "vkernel/coverage.h"
 
 namespace kernelgpt::drivers {
 
@@ -23,20 +22,115 @@ BlockId(const std::string& module, const std::string& role,
   return h;
 }
 
+namespace {
+
+/// Canonical tuple key for BlockLayout's slot map. \x1f never occurs in
+/// spec identifiers, so the encoding is collision-free.
+std::string
+TupleKey(const std::string& role, const std::string& detail, uint32_t index)
+{
+  std::string key;
+  key.reserve(role.size() + detail.size() + 12);
+  key += role;
+  key += '\x1f';
+  key += detail;
+  key += '\x1f';
+  key += std::to_string(index);
+  return key;
+}
+
+}  // namespace
+
+BlockLayout::BlockLayout(const std::string& module)
+    : module_(module), base_(util::StableHash(module))
+{
+}
+
+void
+BlockLayout::Assign(const std::string& role, const std::string& detail,
+                    uint32_t index)
+{
+  auto [it, inserted] = slots_.emplace(TupleKey(role, detail, index), next_);
+  (void)it;
+  if (inserted) ++next_;
+}
+
+uint64_t
+BlockLayout::IdOf(const std::string& role, const std::string& detail,
+                  uint32_t index) const
+{
+  auto it = slots_.find(TupleKey(role, detail, index));
+  if (it == slots_.end()) return BlockId(module_, role, detail, index);
+  return vkernel::MakeBlockId(base_, it->second);
+}
+
+BlockLayout
+BlockLayout::ForDevice(const DeviceSpec& dev)
+{
+  BlockLayout layout(dev.id);
+  layout.Assign("open", "", 0);
+  auto walk_handler = [&layout](const HandlerSpec& h) {
+    for (const auto& cmd : h.ioctls) {
+      layout.Assign("cmd", cmd.macro, 0);
+      for (uint32_t i = 1; i <= cmd.checks.size(); ++i) {
+        layout.Assign("check", cmd.macro, i);
+      }
+      for (int i = 0; i < cmd.deep_blocks; ++i) {
+        layout.Assign("deep", cmd.macro, static_cast<uint32_t>(i));
+      }
+    }
+  };
+  walk_handler(dev.primary);
+  for (const auto& h : dev.secondary) walk_handler(h);
+  return layout;
+}
+
+BlockLayout
+BlockLayout::ForSocket(const SocketSpec& sock)
+{
+  BlockLayout layout(sock.id);
+  layout.Assign("create", "", 0);
+  auto walk_cmd = [&layout](const std::string& macro, size_t checks,
+                            int deep) {
+    layout.Assign("cmd", macro, 0);
+    for (uint32_t i = 1; i <= checks; ++i) layout.Assign("check", macro, i);
+    for (int i = 0; i < deep; ++i) {
+      layout.Assign("deep", macro, static_cast<uint32_t>(i));
+    }
+  };
+  for (const auto& cmd : sock.ioctls) {
+    walk_cmd(cmd.macro, cmd.checks.size(), cmd.deep_blocks);
+  }
+  // Mirrors SocketRuntime's PseudoCommand expansion: the set pseudo
+  // carries the option's checks, the get pseudo none.
+  for (const auto& opt : sock.sockopts) {
+    walk_cmd("SET_" + opt.macro, opt.checks.size(), opt.deep_blocks);
+    walk_cmd("GET_" + opt.macro, 0, opt.deep_blocks);
+  }
+  auto walk_op = [&layout](const char* op, const SocketOpSpec& spec) {
+    layout.Assign("op", op, 0);
+    uint32_t idx = 1;
+    for (const CheckSpec& check : spec.checks) {
+      layout.Assign(std::string("op-check-") + op, check.field, idx++);
+    }
+    for (int i = 0; i < spec.deep_blocks; ++i) {
+      layout.Assign(std::string("op-deep-") + op, "",
+                    static_cast<uint32_t>(i));
+    }
+  };
+  walk_op("bind", sock.bind);
+  walk_op("connect", sock.connect);
+  walk_op("sendto", sock.sendto);
+  walk_op("recvfrom", sock.recvfrom);
+  walk_op("listen", sock.listen);
+  walk_op("accept", sock.accept);
+  return layout;
+}
+
 size_t
 MaxBlocksOf(const DeviceSpec& dev)
 {
-  size_t n = 1;  // open
-  auto count_handler = [&](const HandlerSpec& h) {
-    for (const auto& cmd : h.ioctls) {
-      n += 1;                  // dispatch hit
-      n += cmd.checks.size();  // one per passed check
-      n += static_cast<size_t>(cmd.deep_blocks);
-    }
-  };
-  count_handler(dev.primary);
-  for (const auto& h : dev.secondary) count_handler(h);
-  return n;
+  return BlockLayout::ForDevice(dev).BlockCount();
 }
 
 namespace {
@@ -157,8 +251,9 @@ struct CmdRuntime {
 };
 
 void
-FillCmdRuntime(CmdRuntime* rt, const std::string& module, const IoctlSpec& cmd,
-               const std::vector<StructSpec>& structs, MacroIndex* macros)
+FillCmdRuntime(CmdRuntime* rt, const BlockLayout& blocks,
+               const IoctlSpec& cmd, const std::vector<StructSpec>& structs,
+               MacroIndex* macros)
 {
   rt->cmd = &cmd;
   rt->arg_spec = FindStructIn(structs, cmd.arg_struct);
@@ -171,13 +266,13 @@ FillCmdRuntime(CmdRuntime* rt, const std::string& module, const IoctlSpec& cmd,
     }
   }
   rt->expect_size = StructByteSize(cmd.arg_struct, structs);
-  rt->cmd_block = BlockId(module, "cmd", cmd.macro, 0);
+  rt->cmd_block = blocks.IdOf("cmd", cmd.macro, 0);
   for (uint32_t idx = 1; idx <= cmd.checks.size(); ++idx) {
-    rt->check_blocks.push_back(BlockId(module, "check", cmd.macro, idx));
+    rt->check_blocks.push_back(blocks.IdOf("check", cmd.macro, idx));
   }
   for (int i = 0; i < cmd.deep_blocks; ++i) {
     rt->deep_block_ids.push_back(
-        BlockId(module, "deep", cmd.macro, static_cast<uint32_t>(i)));
+        blocks.IdOf("deep", cmd.macro, static_cast<uint32_t>(i)));
   }
   rt->macro_idx = macros->Add(cmd.macro);
   if (cmd.bug && cmd.bug->trigger == BugSpec::Trigger::kSequence) {
@@ -300,6 +395,7 @@ class CommandEngine {
 /// per kernel boot) and shared by every file the device opens.
 struct DeviceRuntime {
   const DeviceSpec* dev;
+  BlockLayout blocks;  ///< Dense per-module block ids (spec order).
   uint64_t open_block;
   MacroIndex macros;
   std::unordered_map<const HandlerSpec*, std::vector<CmdRuntime>> handlers;
@@ -309,7 +405,9 @@ struct DeviceRuntime {
   mutable HandlerPool pool;
 
   explicit DeviceRuntime(const DeviceSpec* d)
-      : dev(d), open_block(BlockId(d->id, "open", "", 0)) {
+      : dev(d),
+        blocks(BlockLayout::ForDevice(*d)),
+        open_block(blocks.IdOf("open", "", 0)) {
     BuildHandler(&d->primary);
     for (const auto& h : d->secondary) BuildHandler(&h);
   }
@@ -318,7 +416,7 @@ struct DeviceRuntime {
     std::vector<CmdRuntime>& cmds = handlers[h];
     cmds.resize(h->ioctls.size());
     for (size_t i = 0; i < h->ioctls.size(); ++i) {
-      FillCmdRuntime(&cmds[i], dev->id, h->ioctls[i], dev->structs, &macros);
+      FillCmdRuntime(&cmds[i], blocks, h->ioctls[i], dev->structs, &macros);
       cmds[i].match_value = FullCommandValue(*dev, h->ioctls[i]);
     }
   }
@@ -465,6 +563,7 @@ struct OpRuntime {
 /// Per-family precomputed tables, shared by every socket it creates.
 struct SocketRuntime {
   const SocketSpec* sock;
+  BlockLayout blocks;  ///< Dense per-module block ids (spec order).
   uint64_t create_block;
   MacroIndex macros;
   std::vector<CmdRuntime> ioctls;
@@ -476,10 +575,12 @@ struct SocketRuntime {
   mutable HandlerPool pool;
 
   explicit SocketRuntime(const SocketSpec* s)
-      : sock(s), create_block(BlockId(s->id, "create", "", 0)) {
+      : sock(s),
+        blocks(BlockLayout::ForSocket(*s)),
+        create_block(blocks.IdOf("create", "", 0)) {
     ioctls.resize(s->ioctls.size());
     for (size_t i = 0; i < s->ioctls.size(); ++i) {
-      FillCmdRuntime(&ioctls[i], s->id, s->ioctls[i], s->structs, &macros);
+      FillCmdRuntime(&ioctls[i], blocks, s->ioctls[i], s->structs, &macros);
       ioctls[i].match_value = SocketCommandValue(s->ioctls[i]);
     }
 
@@ -491,8 +592,8 @@ struct SocketRuntime {
       so.opt = &s->sockopts[i];
       so.set_pseudo = PseudoCommand(*so.opt, /*set=*/true);
       so.get_pseudo = PseudoCommand(*so.opt, /*set=*/false);
-      FillCmdRuntime(&so.set_rt, s->id, so.set_pseudo, s->structs, &macros);
-      FillCmdRuntime(&so.get_rt, s->id, so.get_pseudo, s->structs, &macros);
+      FillCmdRuntime(&so.set_rt, blocks, so.set_pseudo, s->structs, &macros);
+      FillCmdRuntime(&so.get_rt, blocks, so.get_pseudo, s->structs, &macros);
       so.get_need = StructByteSize(so.opt->arg_struct, s->structs);
     }
 
@@ -511,15 +612,15 @@ struct SocketRuntime {
 
   void BuildOp(OpRuntime* rt, const char* op, const SocketOpSpec& spec) {
     rt->spec = &spec;
-    rt->op_block = BlockId(sock->id, "op", op, 0);
+    rt->op_block = blocks.IdOf("op", op, 0);
     uint32_t idx = 1;
     for (const CheckSpec& check : spec.checks) {
-      rt->check_blocks.push_back(BlockId(
-          sock->id, std::string("op-check-") + op, check.field, idx++));
+      rt->check_blocks.push_back(blocks.IdOf(
+          std::string("op-check-") + op, check.field, idx++));
     }
     for (int i = 0; i < spec.deep_blocks; ++i) {
-      rt->deep_block_ids.push_back(BlockId(
-          sock->id, std::string("op-deep-") + op, "", static_cast<uint32_t>(i)));
+      rt->deep_block_ids.push_back(blocks.IdOf(
+          std::string("op-deep-") + op, "", static_cast<uint32_t>(i)));
     }
     rt->macro_idx = macros.Add(op);
     if (spec.bug && spec.bug->trigger == BugSpec::Trigger::kSequence) {

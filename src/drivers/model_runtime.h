@@ -8,8 +8,10 @@
 #ifndef KERNELGPT_DRIVERS_MODEL_RUNTIME_H_
 #define KERNELGPT_DRIVERS_MODEL_RUNTIME_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "drivers/driver_model.h"
@@ -17,11 +19,54 @@
 
 namespace kernelgpt::drivers {
 
-/// Stable coverage block id for a (module, role, detail, index) tuple.
-/// Both the runtime and the experiment harness use this to reason about
-/// which blocks belong to which module.
+/// Legacy hash-scattered coverage block id for a (module, role, detail,
+/// index) tuple. Every component is hashed, so one module's blocks land
+/// on unrelated coverage pages. Kept as the fallback for tuples outside
+/// any spec's BlockLayout; new code should resolve ids through a layout.
 uint64_t BlockId(const std::string& module, const std::string& role,
                  const std::string& detail, uint32_t index);
+
+/// Dense per-module block-id layout (PR 9). Walks a spec in the
+/// canonical runtime-build order, assigning each (role, detail, index)
+/// tuple a sequential local index, so a module's blocks pack into
+/// contiguous `MakeBlockId` coverage pages — the layout the two-level
+/// bitmap was designed for. The runtime and the experiment harness both
+/// resolve ids through the same layout, so they cannot diverge; the walk
+/// is pure spec order, so ids are stable across runs and processes and
+/// the determinism suites keep byte-identical reports.
+class BlockLayout {
+ public:
+  BlockLayout() = default;
+
+  /// Layout of a device spec: open block, then each handler's commands
+  /// (dispatch, checks, deep path) in declaration order.
+  static BlockLayout ForDevice(const DeviceSpec& dev);
+
+  /// Layout of a socket spec: create block, ioctls, sockopt
+  /// pseudo-commands (set then get), then the socket-level ops.
+  static BlockLayout ForSocket(const SocketSpec& sock);
+
+  /// Dense id of a (role, detail, index) tuple. Tuples the spec walk
+  /// never assigned fall back to the legacy hash-scattered BlockId.
+  uint64_t IdOf(const std::string& role, const std::string& detail,
+                uint32_t index) const;
+
+  /// Number of distinct blocks the module can produce.
+  size_t BlockCount() const { return next_; }
+
+ private:
+  explicit BlockLayout(const std::string& module);
+
+  /// Records the next walk tuple (first assignment wins, matching the
+  /// legacy hash semantics where identical tuples shared one id).
+  void Assign(const std::string& role, const std::string& detail,
+              uint32_t index);
+
+  std::string module_;
+  uint64_t base_ = 0;  ///< StableHash(module): the MakeBlockId namespace.
+  std::unordered_map<std::string, uint32_t> slots_;
+  uint32_t next_ = 0;
+};
 
 /// Total number of distinct coverage blocks a device can produce — used
 /// by tests to bound observed coverage.

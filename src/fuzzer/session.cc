@@ -590,8 +590,11 @@ Session::SaveFull(const std::string& dir)
     snapshot.corpus = e.state.corpus;
     snapshot.crash_reproducers = e.state.crash_reproducers;
     snapshot.rounds = e.state.rounds;
-    status = WriteStringToFile(dir + "/" + SuiteFileName(i),
-                               SerializeSuite(snapshot, *e.lib));
+    status = WriteStringToFile(
+        dir + "/" + SuiteFileName(i),
+        options_.snapshot_codec == SnapshotCodec::kBinary
+            ? SerializeSuiteBinary(snapshot, *e.lib)
+            : SerializeSuite(snapshot, *e.lib));
     if (!status.ok()) return status;
 
     JournalHeader header;
@@ -701,7 +704,10 @@ Session::Resume(const std::string& dir)
     LoadedSuite& l = loaded[i];
     status = ReadFileToString(dir + "/" + SuiteFileName(i), &text);
     if (!status.ok()) return status;
-    status = ParseSuite(text, *suites_[i].lib, &l.base);
+    // Codec-sniffing load: the directory may have been written under
+    // either codec (or converted between them) regardless of what this
+    // session is configured to write.
+    status = ParseSuiteAuto(text, *suites_[i].lib, &l.base);
     if (!status.ok()) return status;
     if (l.base.name != suites_[i].state.name ||
         l.base.fingerprint != manifest.suites[i].first) {

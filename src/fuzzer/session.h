@@ -98,6 +98,12 @@ struct SessionOptions {
   /// and starts an empty journal. Must be >= 1.
   int journal_compact_every = 8;
 
+  /// On-disk rendering for suite base snapshots. Text stays the default
+  /// debug format; kBinary writes the KGPB fast format. Resume sniffs
+  /// each file's codec, so a session under either setting resumes
+  /// directories written under the other (old text dirs keep working).
+  SnapshotCodec snapshot_codec = SnapshotCodec::kText;
+
   /// Differential oracle: when set, every round ends with a DiffRunner
   /// pass comparing the session's model (orchestrator.model_factory,
   /// default StrictModel) against this subject personality. The pass
@@ -150,6 +156,10 @@ struct SessionOptions {
   }
   SessionOptions& WithJournalCompaction(int every) {
     journal_compact_every = every;
+    return *this;
+  }
+  SessionOptions& WithSnapshotCodec(SnapshotCodec codec) {
+    snapshot_codec = codec;
     return *this;
   }
   /// Selects the kernel personality every stage (orchestrator workers,

@@ -769,6 +769,538 @@ ParseDelta(std::string_view text, const SpecLibrary& lib, SuiteDelta* out)
   return util::Status::Ok();
 }
 
+// -- Binary suite codec ------------------------------------------------------
+
+namespace {
+
+constexpr char kBinaryMagic[4] = {'K', 'G', 'P', 'B'};
+
+void
+PutVarint(uint64_t v, std::string* out)
+{
+  while (v >= 0x80) {
+    *out += static_cast<char>((v & 0x7f) | 0x80);
+    v >>= 7;
+  }
+  *out += static_cast<char>(v);
+}
+
+uint64_t
+ZigZag(int64_t v)
+{
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+int64_t
+UnZigZag(uint64_t v)
+{
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+void
+PutString(std::string_view s, std::string* out)
+{
+  PutVarint(s.size(), out);
+  out->append(s.data(), s.size());
+}
+
+void
+PutF64(double v, std::string* out)
+{
+  // Raw bit pattern, not decimal text: bit-exact round-trips are what
+  // make serialize -> parse -> serialize a byte fixpoint.
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    *out += static_cast<char>((bits >> (8 * i)) & 0xff);
+  }
+}
+
+/// Bounds-checked reader over one section payload. Every getter returns
+/// false once the payload is exhausted or malformed; the caller converts
+/// that into a Status naming the section.
+struct ByteReader {
+  const uint8_t* p;
+  const uint8_t* end;
+
+  explicit ByteReader(std::string_view data)
+      : p(reinterpret_cast<const uint8_t*>(data.data())),
+        end(p + data.size()) {}
+
+  bool AtEnd() const { return p == end; }
+
+  bool U64(uint64_t* out) {
+    uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (p == end) return false;
+      const uint8_t byte = *p++;
+      v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) {
+        *out = v;
+        return true;
+      }
+    }
+    return false;  // > 10 continuation bytes: not a valid varint.
+  }
+
+  bool I64(int64_t* out) {
+    uint64_t raw = 0;
+    if (!U64(&raw)) return false;
+    *out = UnZigZag(raw);
+    return true;
+  }
+
+  bool Size(size_t* out) {
+    // Sizes feed reserve()/resize(); cap them at the bytes actually
+    // remaining so a corrupt count cannot balloon allocation.
+    uint64_t v = 0;
+    if (!U64(&v) || v > static_cast<uint64_t>(end - p)) return false;
+    *out = static_cast<size_t>(v);
+    return true;
+  }
+
+  bool Str(std::string* out) {
+    size_t n = 0;
+    if (!Size(&n)) return false;
+    out->assign(reinterpret_cast<const char*>(p), n);
+    p += n;
+    return true;
+  }
+
+  bool F64(double* out) {
+    if (end - p < 8) return false;
+    uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<uint64_t>(p[i]) << (8 * i);
+    }
+    p += 8;
+    std::memcpy(out, &bits, sizeof(*out));
+    return true;
+  }
+};
+
+/// Frames one section: varint length, payload, CRC32 of the payload.
+void
+PutSection(std::string_view payload, std::string* out)
+{
+  PutVarint(payload.size(), out);
+  out->append(payload.data(), payload.size());
+  const uint32_t crc = util::Crc32(payload);
+  for (int i = 0; i < 4; ++i) {
+    *out += static_cast<char>((crc >> (8 * i)) & 0xff);
+  }
+}
+
+/// Unframes the next section of `data` starting at `*pos`. On success
+/// advances `*pos` past the trailer and yields the payload view.
+bool
+NextSection(std::string_view data, size_t* pos, std::string_view* payload,
+            std::string* err)
+{
+  ByteReader head(data.substr(*pos));
+  uint64_t len = 0;
+  if (!head.U64(&len)) {
+    *err = "truncated section header";
+    return false;
+  }
+  const size_t at =
+      *pos + static_cast<size_t>(head.p -
+                                 reinterpret_cast<const uint8_t*>(
+                                     data.data() + *pos));
+  if (len > data.size() - at || data.size() - at - len < 4) {
+    *err = "truncated section payload";
+    return false;
+  }
+  *payload = data.substr(at, len);
+  uint32_t crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    crc |= static_cast<uint32_t>(
+               static_cast<uint8_t>(data[at + len + i]))
+           << (8 * i);
+  }
+  if (util::Crc32(*payload) != crc) {
+    *err = "section checksum mismatch";
+    return false;
+  }
+  *pos = at + len + 4;
+  return true;
+}
+
+/// Interned call-name table: every distinct syscall full name the
+/// corpus/repro programs reference, in first-use order (deterministic, so
+/// the rendering is a fixpoint).
+class NameTable {
+ public:
+  uint32_t Intern(const std::string& name) {
+    auto [it, inserted] =
+        index_.emplace(name, static_cast<uint32_t>(names_.size()));
+    if (inserted) names_.push_back(name);
+    return it->second;
+  }
+
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+std::string
+CallName(const Call& call, const SpecLibrary& lib)
+{
+  return call.syscall_index < lib.syscalls().size()
+             ? lib.syscalls()[call.syscall_index].FullName()
+             : util::Format("#%zu", call.syscall_index);
+}
+
+void
+PutProg(const Prog& prog, const SpecLibrary& lib, NameTable* names,
+        std::string* out)
+{
+  PutVarint(prog.calls.size(), out);
+  for (const Call& call : prog.calls) {
+    PutVarint(names->Intern(CallName(call, lib)), out);
+    PutVarint(call.args.size(), out);
+    for (const Arg& arg : call.args) {
+      PutVarint(static_cast<uint64_t>(static_cast<int>(arg.kind)), out);
+      PutVarint(arg.scalar, out);
+      PutVarint(static_cast<uint64_t>(static_cast<int>(arg.dir)), out);
+      PutVarint(ZigZag(arg.ref_call), out);
+      PutVarint(ZigZag(arg.len_of_param), out);
+      PutVarint(arg.bytes.size(), out);
+      out->append(reinterpret_cast<const char*>(arg.bytes.data()),
+                  arg.bytes.size());
+    }
+  }
+}
+
+bool
+ReadProg(ByteReader* r, const std::vector<size_t>& name_to_call,
+         Prog* out, std::string* err)
+{
+  size_t ncalls = 0;
+  if (!r->Size(&ncalls)) {
+    *err = "bad call count";
+    return false;
+  }
+  out->calls.clear();
+  out->calls.reserve(ncalls);
+  for (size_t c = 0; c < ncalls; ++c) {
+    uint64_t name_idx = 0;
+    size_t nargs = 0;
+    if (!r->U64(&name_idx) || name_idx >= name_to_call.size() ||
+        !r->Size(&nargs)) {
+      *err = "bad call header";
+      return false;
+    }
+    Call call;
+    call.syscall_index = name_to_call[name_idx];
+    call.args.reserve(nargs);
+    for (size_t a = 0; a < nargs; ++a) {
+      uint64_t kind = 0, dir = 0;
+      int64_t ref = 0, len = 0;
+      size_t nbytes = 0;
+      Arg arg;
+      if (!r->U64(&kind) || kind > 2 || !r->U64(&arg.scalar) ||
+          !r->U64(&dir) || dir > 2 || !r->I64(&ref) || !r->I64(&len) ||
+          len < kBrokenLenLink || !r->Size(&nbytes)) {
+        *err = "bad arg record";
+        return false;
+      }
+      arg.kind = static_cast<Arg::Kind>(kind);
+      arg.dir = static_cast<syzlang::Dir>(dir);
+      arg.ref_call = static_cast<int>(ref);
+      arg.len_of_param = static_cast<int>(len);
+      arg.bytes.assign(r->p, r->p + nbytes);
+      r->p += nbytes;
+      call.args.push_back(std::move(arg));
+    }
+    out->calls.push_back(std::move(call));
+  }
+  return true;
+}
+
+void
+PutRound(const RoundReport& r, std::string* out)
+{
+  PutVarint(ZigZag(r.round), out);
+  PutVarint(r.seed, out);
+  PutVarint(r.programs_executed, out);
+  PutVarint(r.round_coverage, out);
+  PutVarint(r.round_unique_crashes, out);
+  PutVarint(r.coverage_delta, out);
+  PutVarint(r.cumulative_coverage, out);
+  PutVarint(r.cumulative_unique_crashes, out);
+  PutVarint(r.merged_corpus, out);
+  PutVarint(r.distilled_corpus, out);
+  PutVarint(r.divergences, out);
+  PutF64(r.wall_seconds, out);
+}
+
+bool
+ReadRound(ByteReader* r, RoundReport* out)
+{
+  int64_t round = 0;
+  uint64_t u[10] = {};
+  if (!r->I64(&round) || !r->U64(&u[0]) || !r->U64(&u[1]) ||
+      !r->U64(&u[2]) || !r->U64(&u[3]) || !r->U64(&u[4]) ||
+      !r->U64(&u[5]) || !r->U64(&u[6]) || !r->U64(&u[7]) ||
+      !r->U64(&u[8]) || !r->U64(&u[9]) || !r->F64(&out->wall_seconds)) {
+    return false;
+  }
+  out->round = static_cast<int>(round);
+  out->seed = u[0];
+  out->programs_executed = u[1];
+  out->round_coverage = u[2];
+  out->round_unique_crashes = u[3];
+  out->coverage_delta = u[4];
+  out->cumulative_coverage = u[5];
+  out->cumulative_unique_crashes = u[6];
+  out->merged_corpus = u[7];
+  out->distilled_corpus = u[8];
+  out->divergences = u[9];
+  return true;
+}
+
+}  // namespace
+
+bool
+IsBinarySuiteSnapshot(std::string_view data)
+{
+  return data.size() >= sizeof(kBinaryMagic) &&
+         std::memcmp(data.data(), kBinaryMagic, sizeof(kBinaryMagic)) == 0;
+}
+
+std::string
+SerializeSuiteBinary(const SuiteSnapshot& suite, const SpecLibrary& lib)
+{
+  // Program sections are built first so the meta section can carry the
+  // complete interned-name table (first-use order keeps it a fixpoint).
+  NameTable names;
+  std::string corpus;
+  PutVarint(suite.corpus.size(), &corpus);
+  for (const Prog& prog : suite.corpus) {
+    PutProg(prog, lib, &names, &corpus);
+  }
+
+  std::string repros;
+  PutVarint(suite.crash_reproducers.size(), &repros);
+  for (const auto& [title, prog] : suite.crash_reproducers) {
+    PutString(title, &repros);
+    PutProg(prog, lib, &names, &repros);
+  }
+
+  std::string meta;
+  PutString(suite.name, &meta);
+  PutVarint(suite.fingerprint, &meta);
+  PutVarint(suite.programs_executed, &meta);
+  PutF64(suite.wall_seconds, &meta);
+  PutVarint(names.names().size(), &meta);
+  for (const std::string& name : names.names()) PutString(name, &meta);
+
+  std::string coverage;
+  PutVarint(suite.coverage.size(), &coverage);
+  uint64_t prev = 0;
+  for (const uint64_t id : suite.coverage) {
+    // Sorted ascending, so deltas are small and varints stay short; the
+    // first id is a delta from zero.
+    PutVarint(id - prev, &coverage);
+    prev = id;
+  }
+
+  std::string crashes;
+  PutVarint(suite.crashes.size(), &crashes);
+  for (const auto& [title, count] : suite.crashes) {
+    PutString(title, &crashes);
+    PutVarint(ZigZag(count), &crashes);
+  }
+
+  std::string rounds;
+  PutVarint(suite.rounds.size(), &rounds);
+  for (const RoundReport& r : suite.rounds) PutRound(r, &rounds);
+
+  std::string out(kBinaryMagic, sizeof(kBinaryMagic));
+  PutVarint(static_cast<uint64_t>(kSnapshotVersion), &out);
+  PutSection(meta, &out);
+  PutSection(coverage, &out);
+  PutSection(crashes, &out);
+  PutSection(corpus, &out);
+  PutSection(repros, &out);
+  PutSection(rounds, &out);
+  return out;
+}
+
+util::Status
+ParseSuiteBinary(std::string_view data, const SpecLibrary& lib,
+                 SuiteSnapshot* out)
+{
+  *out = SuiteSnapshot{};
+  std::string err;
+  auto fail = [&err](const std::string& context) {
+    return util::Status::Error("binary suite snapshot: " + context +
+                               (err.empty() ? "" : ": " + err));
+  };
+
+  if (!IsBinarySuiteSnapshot(data)) return fail("bad magic");
+  size_t pos = sizeof(kBinaryMagic);
+  {
+    ByteReader r(data.substr(pos));
+    uint64_t version = 0;
+    if (!r.U64(&version)) return fail("truncated version");
+    if (version != static_cast<uint64_t>(kSnapshotVersion)) {
+      return util::Status::Error(util::Format(
+          "snapshot version mismatch: file is v%llu, this build reads v%d",
+          static_cast<unsigned long long>(version), kSnapshotVersion));
+    }
+    pos += static_cast<size_t>(
+        r.p - reinterpret_cast<const uint8_t*>(data.data() + pos));
+  }
+
+  std::string_view meta, coverage, crashes, corpus, repros, rounds;
+  if (!NextSection(data, &pos, &meta, &err)) return fail("meta section");
+  if (!NextSection(data, &pos, &coverage, &err)) {
+    return fail("coverage section");
+  }
+  if (!NextSection(data, &pos, &crashes, &err)) {
+    return fail("crashes section");
+  }
+  if (!NextSection(data, &pos, &corpus, &err)) return fail("corpus section");
+  if (!NextSection(data, &pos, &repros, &err)) return fail("repros section");
+  if (!NextSection(data, &pos, &rounds, &err)) return fail("rounds section");
+  if (pos != data.size()) return fail("trailing bytes after last section");
+
+  // Meta: identity, counters, and the name table mapped to this
+  // library's syscall indices (name-based, so call reordering between
+  // builds is survivable — same contract as the textual parser).
+  std::vector<size_t> name_to_call;
+  {
+    ByteReader r(meta);
+    size_t nnames = 0;
+    if (!r.Str(&out->name) || !r.U64(&out->fingerprint)) {
+      return fail("meta identity");
+    }
+    uint64_t executed = 0;
+    if (!r.U64(&executed) || !r.F64(&out->wall_seconds) ||
+        !r.Size(&nnames)) {
+      return fail("meta counters");
+    }
+    out->programs_executed = executed;
+    const auto call_index = CallIndex(lib);
+    name_to_call.reserve(nnames);
+    for (size_t i = 0; i < nnames; ++i) {
+      std::string name;
+      if (!r.Str(&name)) return fail("name table");
+      auto it = call_index.find(name);
+      if (it == call_index.end()) {
+        return util::Status::Error(util::Format(
+            "binary suite snapshot: references syscall '%s' absent from "
+            "this suite",
+            name.c_str()));
+      }
+      name_to_call.push_back(it->second);
+    }
+    if (!r.AtEnd()) return fail("meta trailing bytes");
+  }
+
+  {
+    ByteReader r(coverage);
+    uint64_t n = 0;
+    if (!r.U64(&n)) return fail("coverage count");
+    // Each id costs at least one payload byte, so a sane count is
+    // bounded by the section size — reserve() can trust the cap.
+    if (n > coverage.size()) return fail("coverage count exceeds section");
+    out->coverage.reserve(static_cast<size_t>(n));
+    uint64_t prev = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      uint64_t delta = 0;
+      if (!r.U64(&delta)) return fail("coverage ids");
+      prev += delta;
+      out->coverage.push_back(prev);
+    }
+    if (!r.AtEnd()) return fail("coverage trailing bytes");
+  }
+
+  {
+    ByteReader r(crashes);
+    size_t n = 0;
+    if (!r.Size(&n)) return fail("crash count");
+    for (size_t i = 0; i < n; ++i) {
+      std::string title;
+      int64_t count = 0;
+      if (!r.Str(&title) || !r.I64(&count)) return fail("crash entries");
+      out->crashes[std::move(title)] = static_cast<int>(count);
+    }
+    if (!r.AtEnd()) return fail("crashes trailing bytes");
+  }
+
+  {
+    ByteReader r(corpus);
+    size_t n = 0;
+    if (!r.Size(&n)) return fail("corpus count");
+    out->corpus.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      Prog prog;
+      if (!ReadProg(&r, name_to_call, &prog, &err)) {
+        return fail("corpus program");
+      }
+      out->corpus.push_back(std::move(prog));
+    }
+    if (!r.AtEnd()) return fail("corpus trailing bytes");
+  }
+
+  {
+    ByteReader r(repros);
+    size_t n = 0;
+    if (!r.Size(&n)) return fail("repro count");
+    for (size_t i = 0; i < n; ++i) {
+      std::string title;
+      Prog prog;
+      if (!r.Str(&title) ||
+          !ReadProg(&r, name_to_call, &prog, &err)) {
+        return fail("repro program");
+      }
+      out->crash_reproducers[std::move(title)] = std::move(prog);
+    }
+    if (!r.AtEnd()) return fail("repros trailing bytes");
+  }
+
+  {
+    ByteReader r(rounds);
+    size_t n = 0;
+    if (!r.Size(&n)) return fail("round count");
+    out->rounds.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      RoundReport report;
+      if (!ReadRound(&r, &report)) return fail("round record");
+      out->rounds.push_back(std::move(report));
+    }
+    if (!r.AtEnd()) return fail("rounds trailing bytes");
+  }
+
+  return util::Status::Ok();
+}
+
+util::Status
+ParseSuiteAuto(std::string_view data, const SpecLibrary& lib,
+               SuiteSnapshot* out)
+{
+  return IsBinarySuiteSnapshot(data) ? ParseSuiteBinary(data, lib, out)
+                                     : ParseSuite(data, lib, out);
+}
+
+util::Status
+ConvertSuite(std::string_view data, SnapshotCodec codec,
+             const SpecLibrary& lib, std::string* out)
+{
+  SuiteSnapshot suite;
+  util::Status status = ParseSuiteAuto(data, lib, &suite);
+  if (!status.ok()) return status;
+  *out = codec == SnapshotCodec::kBinary ? SerializeSuiteBinary(suite, lib)
+                                         : SerializeSuite(suite, lib);
+  return util::Status::Ok();
+}
+
 std::string
 SerializeJournalHeader(const JournalHeader& header)
 {

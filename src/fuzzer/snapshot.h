@@ -129,6 +129,56 @@ std::string SerializeSuite(const SuiteSnapshot& suite, const SpecLibrary& lib);
 util::Status ParseSuite(std::string_view text, const SpecLibrary& lib,
                         SuiteSnapshot* out);
 
+// -- Binary suite codec (PR 9) -----------------------------------------------
+// A compact binary rendering of the same SuiteSnapshot, for hot save/load
+// paths; the textual format stays the default debug format. Layout:
+//
+//   magic "KGPB"            4 bytes
+//   version                 varint (kSnapshotVersion)
+//   sections                in fixed order: meta (name, fingerprint,
+//                           counters, interned call-name table), coverage
+//                           (delta-encoded sorted ids), crashes, corpus,
+//                           repros, rounds
+//
+// Every section is framed `varint payload_len | payload | u32le CRC32`,
+// reusing util::Crc32 — truncation at any byte and bit corruption both
+// surface as a Status, never a crash. All integers are LEB128 varints
+// (zigzag for signed fields), doubles are raw little-endian bit patterns
+// (bit-exact, so serialize -> parse -> serialize is a byte fixpoint), and
+// program calls reference the meta section's string table by index while
+// still resolving BY NAME against the suite library on load — the same
+// reorder-robustness contract as the textual format.
+
+/// Which on-disk rendering Session::Save uses for suite snapshots.
+/// Resume auto-detects per file, so directories written under either
+/// codec (or a mix) always load.
+enum class SnapshotCodec {
+  kText,    ///< Line-oriented, diffable; the default debug format.
+  kBinary,  ///< KGPB varint sections; the fast format.
+};
+
+/// True when `data` starts with the binary suite magic.
+bool IsBinarySuiteSnapshot(std::string_view data);
+
+/// Renders one suite's durable state in the KGPB binary format.
+std::string SerializeSuiteBinary(const SuiteSnapshot& suite,
+                                 const SpecLibrary& lib);
+
+/// Parses a SerializeSuiteBinary rendering. Truncation, checksum damage,
+/// version mismatches, and unknown syscall names all yield an error
+/// Status — snapshots are user-supplied files.
+util::Status ParseSuiteBinary(std::string_view data, const SpecLibrary& lib,
+                              SuiteSnapshot* out);
+
+/// Parses either suite rendering, sniffing the codec from the magic.
+util::Status ParseSuiteAuto(std::string_view data, const SpecLibrary& lib,
+                            SuiteSnapshot* out);
+
+/// Re-encodes a serialized suite (either codec) into `codec` — the
+/// text ⇄ binary conversion path for migrating snapshot directories.
+util::Status ConvertSuite(std::string_view data, SnapshotCodec codec,
+                          const SpecLibrary& lib, std::string* out);
+
 /// Renders the session manifest ("kernelgpt-session v2" header).
 std::string SerializeManifest(const SessionManifest& manifest);
 

@@ -1,10 +1,20 @@
 #include "vkernel/coverage.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define KERNELGPT_COVERAGE_HAVE_AVX2 1
+#endif
 
 namespace kernelgpt::vkernel {
 
 namespace {
+
+constexpr size_t kWords = 4;  // 256-bit pages, pinned by Coverage.
 
 int
 PopCount(uint64_t word)
@@ -12,29 +22,401 @@ PopCount(uint64_t word)
   return __builtin_popcountll(word);
 }
 
+size_t
+PopCountPage(const uint64_t* a)
+{
+  return static_cast<size_t>(PopCount(a[0]) + PopCount(a[1]) +
+                             PopCount(a[2]) + PopCount(a[3]));
+}
+
+// -- Join loops --------------------------------------------------------------
+// The set operations are whole loops specialized per dispatch arm, not
+// per-page function pointers: GCC will not inline a target("avx2") callee
+// into a plain caller, and an indirect call per 256-bit page costs more
+// than the page op itself. Each arm gets the complete merge-join so the
+// vector ops inline into the loop body. The scalar loops are the
+// reference implementation; hotpath_test pins the arms bit-identical.
+//
+// Pages are addressed as raw word arrays (page p = words + 4*p) over the
+// physically key-sorted storage, so the steady-state walk is two linear
+// streams. `missing` collects source positions absent from the
+// destination; the caller batch-inserts them afterwards.
+
+/// Paired fast path: both sets hold exactly the same keys, so page i
+/// lines up with page i. This is the steady state of a fuzzing campaign
+/// (the global set has long since absorbed every page the per-round
+/// delta touches).
+size_t
+PairedMergeScalar(uint64_t* dst, const uint64_t* src, size_t pages)
+{
+  size_t added = 0;
+  for (size_t p = 0; p < pages; ++p) {
+    uint64_t* d = dst + kWords * p;
+    const uint64_t* s = src + kWords * p;
+    const uint64_t f0 = s[0] & ~d[0];
+    const uint64_t f1 = s[1] & ~d[1];
+    const uint64_t f2 = s[2] & ~d[2];
+    const uint64_t f3 = s[3] & ~d[3];
+    if ((f0 | f1 | f2 | f3) == 0) continue;  // Nothing fresh.
+    d[0] |= f0;
+    d[1] |= f1;
+    d[2] |= f2;
+    d[3] |= f3;
+    added += static_cast<size_t>(PopCount(f0) + PopCount(f1) + PopCount(f2) +
+                                 PopCount(f3));
+  }
+  return added;
+}
+
+/// General merge-join: dst |= src over two sorted key arrays. Source
+/// pages with no destination page go to `missing` (source positions,
+/// ascending) for the caller to batch-insert.
+size_t
+JoinMergeScalar(const uint64_t* dkeys, size_t dn, uint64_t* dwords,
+                const uint64_t* skeys, size_t sn, const uint64_t* swords,
+                std::vector<uint32_t>& missing)
+{
+  size_t added = 0;
+  size_t i = 0;
+  for (size_t j = 0; j < sn; ++j) {
+    const uint64_t key = skeys[j];
+    while (i < dn && dkeys[i] < key) ++i;
+    if (i < dn && dkeys[i] == key) {
+      uint64_t* d = dwords + kWords * i;
+      const uint64_t* s = swords + kWords * j;
+      const uint64_t f0 = s[0] & ~d[0];
+      const uint64_t f1 = s[1] & ~d[1];
+      const uint64_t f2 = s[2] & ~d[2];
+      const uint64_t f3 = s[3] & ~d[3];
+      if ((f0 | f1 | f2 | f3) == 0) continue;
+      d[0] |= f0;
+      d[1] |= f1;
+      d[2] |= f2;
+      d[3] |= f3;
+      added += static_cast<size_t>(PopCount(f0) + PopCount(f1) +
+                                   PopCount(f2) + PopCount(f3));
+    } else {
+      missing.push_back(static_cast<uint32_t>(j));
+    }
+  }
+  return added;
+}
+
+/// Paired count of a & ~b (same key set both sides).
+size_t
+PairedCountScalar(const uint64_t* a, const uint64_t* b, size_t pages)
+{
+  size_t n = 0;
+  for (size_t p = 0; p < pages; ++p) {
+    const uint64_t* pa = a + kWords * p;
+    const uint64_t* pb = b + kWords * p;
+    n += static_cast<size_t>(
+        PopCount(pa[0] & ~pb[0]) + PopCount(pa[1] & ~pb[1]) +
+        PopCount(pa[2] & ~pb[2]) + PopCount(pa[3] & ~pb[3]));
+  }
+  return n;
+}
+
+/// General count-join: how many bits of `a` are absent from `b`.
+size_t
+JoinCountScalar(const uint64_t* akeys, size_t an, const uint64_t* awords,
+                const uint64_t* bkeys, size_t bn, const uint64_t* bwords)
+{
+  size_t n = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < an; ++i) {
+    const uint64_t key = akeys[i];
+    while (j < bn && bkeys[j] < key) ++j;
+    const uint64_t* pa = awords + kWords * i;
+    if (j < bn && bkeys[j] == key) {
+      const uint64_t* pb = bwords + kWords * j;
+      n += static_cast<size_t>(
+          PopCount(pa[0] & ~pb[0]) + PopCount(pa[1] & ~pb[1]) +
+          PopCount(pa[2] & ~pb[2]) + PopCount(pa[3] & ~pb[3]));
+    } else {
+      n += PopCountPage(pa);
+    }
+  }
+  return n;
+}
+
+#ifdef KERNELGPT_COVERAGE_HAVE_AVX2
+
+// The AVX2 arm: one 256-bit register per page. The loops carry the
+// target attribute so this file builds without -mavx2 globally; they are
+// only ever called behind the __builtin_cpu_supports("avx2") dispatch
+// check. Bit-population counts still extract to four u64 popcounts —
+// AVX2 has no vector popcount, and the extract only runs on the rare
+// fresh-bits path.
+
+__attribute__((target("avx2"))) size_t
+PairedMergeAvx2(uint64_t* dst, const uint64_t* src, size_t pages)
+{
+  size_t added = 0;
+  for (size_t p = 0; p < pages; ++p) {
+    uint64_t* dp = dst + kWords * p;
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dp));
+    const __m256i s = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(src + kWords * p));
+    const __m256i fresh = _mm256_andnot_si256(d, s);
+    if (_mm256_testz_si256(fresh, fresh)) continue;
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dp),
+                        _mm256_or_si256(d, s));
+    alignas(32) uint64_t f[kWords];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(f), fresh);
+    added += static_cast<size_t>(PopCount(f[0]) + PopCount(f[1]) +
+                                 PopCount(f[2]) + PopCount(f[3]));
+  }
+  return added;
+}
+
+__attribute__((target("avx2"))) size_t
+JoinMergeAvx2(const uint64_t* dkeys, size_t dn, uint64_t* dwords,
+              const uint64_t* skeys, size_t sn, const uint64_t* swords,
+              std::vector<uint32_t>& missing)
+{
+  size_t added = 0;
+  size_t i = 0;
+  for (size_t j = 0; j < sn; ++j) {
+    const uint64_t key = skeys[j];
+    while (i < dn && dkeys[i] < key) ++i;
+    if (i < dn && dkeys[i] == key) {
+      uint64_t* dp = dwords + kWords * i;
+      const __m256i d =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dp));
+      const __m256i s = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(swords + kWords * j));
+      const __m256i fresh = _mm256_andnot_si256(d, s);
+      if (_mm256_testz_si256(fresh, fresh)) continue;
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dp),
+                          _mm256_or_si256(d, s));
+      alignas(32) uint64_t f[kWords];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(f), fresh);
+      added += static_cast<size_t>(PopCount(f[0]) + PopCount(f[1]) +
+                                   PopCount(f[2]) + PopCount(f[3]));
+    } else {
+      missing.push_back(static_cast<uint32_t>(j));
+    }
+  }
+  return added;
+}
+
+__attribute__((target("avx2"))) size_t
+PairedCountAvx2(const uint64_t* a, const uint64_t* b, size_t pages)
+{
+  size_t n = 0;
+  for (size_t p = 0; p < pages; ++p) {
+    const __m256i va = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(a + kWords * p));
+    const __m256i vb = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(b + kWords * p));
+    const __m256i diff = _mm256_andnot_si256(vb, va);
+    if (_mm256_testz_si256(diff, diff)) continue;
+    alignas(32) uint64_t f[kWords];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(f), diff);
+    n += static_cast<size_t>(PopCount(f[0]) + PopCount(f[1]) +
+                             PopCount(f[2]) + PopCount(f[3]));
+  }
+  return n;
+}
+
+__attribute__((target("avx2"))) size_t
+JoinCountAvx2(const uint64_t* akeys, size_t an, const uint64_t* awords,
+              const uint64_t* bkeys, size_t bn, const uint64_t* bwords)
+{
+  size_t n = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < an; ++i) {
+    const uint64_t key = akeys[i];
+    while (j < bn && bkeys[j] < key) ++j;
+    const uint64_t* pa = awords + kWords * i;
+    if (j < bn && bkeys[j] == key) {
+      const __m256i va =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pa));
+      const __m256i vb = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(bwords + kWords * j));
+      const __m256i diff = _mm256_andnot_si256(vb, va);
+      if (_mm256_testz_si256(diff, diff)) continue;
+      alignas(32) uint64_t f[kWords];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(f), diff);
+      n += static_cast<size_t>(PopCount(f[0]) + PopCount(f[1]) +
+                               PopCount(f[2]) + PopCount(f[3]));
+    } else {
+      n += PopCountPage(pa);
+    }
+  }
+  return n;
+}
+
+#endif  // KERNELGPT_COVERAGE_HAVE_AVX2
+
+/// The active dispatch arm. -1 = unresolved; resolved once on first use
+/// (honouring KERNELGPT_COVERAGE_ARM) or pinned by SetCoverageArm.
+/// Relaxed atomics: the value is written only at startup or by test arm
+/// flips, which the SetCoverageArm contract keeps outside concurrent
+/// merges.
+std::atomic<int> g_arm{-1};
+
+CoverageArm
+ClampArm(CoverageArm arm)
+{
+  if (arm == CoverageArm::kSimd && !CoverageSimdAvailable()) {
+    return CoverageArm::kScalar;
+  }
+  return arm;
+}
+
+CoverageArm
+DefaultArm()
+{
+  // KERNELGPT_COVERAGE_ARM pins an arm process-wide (CI runs both);
+  // anything else (or unset) auto-selects SIMD when the CPU has it.
+  const char* env = std::getenv("KERNELGPT_COVERAGE_ARM");
+  if (env && std::strcmp(env, "scalar") == 0) return CoverageArm::kScalar;
+  return ClampArm(CoverageArm::kSimd);
+}
+
+bool
+UseSimd()
+{
+  int a = g_arm.load(std::memory_order_relaxed);
+  if (a < 0) {
+    a = static_cast<int>(DefaultArm());
+    g_arm.store(a, std::memory_order_relaxed);
+  }
+  return a == static_cast<int>(CoverageArm::kSimd);
+}
+
 }  // namespace
+
+bool
+CoverageSimdAvailable()
+{
+#ifdef KERNELGPT_COVERAGE_HAVE_AVX2
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+CoverageArm
+SetCoverageArm(CoverageArm arm)
+{
+  const CoverageArm got = ClampArm(arm);
+  g_arm.store(static_cast<int>(got), std::memory_order_relaxed);
+  return got;
+}
+
+CoverageArm
+ResetCoverageArm()
+{
+  const CoverageArm got = DefaultArm();
+  g_arm.store(static_cast<int>(got), std::memory_order_relaxed);
+  return got;
+}
+
+CoverageArm
+ActiveCoverageArm()
+{
+  return UseSimd() ? CoverageArm::kSimd : CoverageArm::kScalar;
+}
+
+uint64_t*
+Coverage::SlotFor(uint64_t key)
+{
+  static_assert(kWordsPerPage == kWords,
+                "join loops are hand-unrolled for 256-bit pages");
+  static_assert(sizeof(Page) == kWords * sizeof(uint64_t),
+                "pages must pack into a flat word array");
+  auto at = std::lower_bound(keys_.begin(), keys_.end(), key);
+  auto pos = static_cast<size_t>(at - keys_.begin());
+  if (at == keys_.end() || *at != key) {
+    keys_.insert(at, key);
+    pages_.insert(pages_.begin() + static_cast<ptrdiff_t>(pos), Page{});
+  }
+  cached_key_ = key;
+  cached_pos_ = static_cast<uint32_t>(pos);
+  return pages_[pos].data();
+}
 
 bool
 Coverage::Contains(uint64_t block_id) const
 {
-  auto it = pages_.find(block_id >> kPageShift);
-  if (it == pages_.end()) return false;
-  const uint64_t word = it->second[(block_id & kPageMask) >> 6];
+  const uint64_t key = block_id >> kPageShift;
+  const Page* page = nullptr;
+  if (key == cached_key_) {
+    page = &pages_[cached_pos_];
+  } else {
+    auto at = std::lower_bound(keys_.begin(), keys_.end(), key);
+    if (at == keys_.end() || *at != key) return false;
+    page = &pages_[static_cast<size_t>(at - keys_.begin())];
+  }
+  const uint64_t word = (*page)[(block_id & kPageMask) >> 6];
   return (word & (1ULL << (block_id & 63))) != 0;
 }
 
 size_t
 Coverage::Merge(const Coverage& other)
 {
+  if (this == &other || other.keys_.empty()) return 0;
+  const bool simd = UseSimd();
+  uint64_t* dw = reinterpret_cast<uint64_t*>(pages_.data());
+  const uint64_t* sw =
+      reinterpret_cast<const uint64_t*>(other.pages_.data());
   size_t added = 0;
-  for (const auto& [key, theirs] : other.pages_) {
-    Page& ours = pages_[key];
-    for (size_t w = 0; w < kWordsPerPage; ++w) {
-      const uint64_t fresh = theirs[w] & ~ours[w];
-      if (fresh) {
-        ours[w] |= fresh;
-        added += static_cast<size_t>(PopCount(fresh));
+  if (keys_.size() == other.keys_.size() &&
+      std::memcmp(keys_.data(), other.keys_.data(),
+                  keys_.size() * sizeof(uint64_t)) == 0) {
+    // Steady state: same page set on both sides, pure paired sweep.
+#ifdef KERNELGPT_COVERAGE_HAVE_AVX2
+    added = simd ? PairedMergeAvx2(dw, sw, keys_.size())
+                 : PairedMergeScalar(dw, sw, keys_.size());
+#else
+    added = PairedMergeScalar(dw, sw, keys_.size());
+#endif
+  } else {
+    std::vector<uint32_t> missing;
+#ifdef KERNELGPT_COVERAGE_HAVE_AVX2
+    added = simd ? JoinMergeAvx2(keys_.data(), keys_.size(), dw,
+                                 other.keys_.data(), other.keys_.size(), sw,
+                                 missing)
+                 : JoinMergeScalar(keys_.data(), keys_.size(), dw,
+                                   other.keys_.data(), other.keys_.size(),
+                                   sw, missing);
+#else
+    added = JoinMergeScalar(keys_.data(), keys_.size(), dw,
+                            other.keys_.data(), other.keys_.size(), sw,
+                            missing);
+#endif
+    if (!missing.empty()) {
+      // Batch-insert the pages we lacked: one interleave rebuild instead
+      // of O(missing) shifting inserts. Positions move, so the
+      // last-page cache is dropped.
+      std::vector<uint64_t> nkeys;
+      std::vector<Page> npages;
+      nkeys.reserve(keys_.size() + missing.size());
+      npages.reserve(keys_.size() + missing.size());
+      size_t i = 0;
+      for (const uint32_t j : missing) {
+        const uint64_t key = other.keys_[j];
+        while (i < keys_.size() && keys_[i] < key) {
+          nkeys.push_back(keys_[i]);
+          npages.push_back(pages_[i]);
+          ++i;
+        }
+        nkeys.push_back(key);
+        npages.push_back(other.pages_[j]);
+        added += PopCountPage(other.pages_[j].data());
       }
+      for (; i < keys_.size(); ++i) {
+        nkeys.push_back(keys_[i]);
+        npages.push_back(pages_[i]);
+      }
+      keys_ = std::move(nkeys);
+      pages_ = std::move(npages);
+      cached_key_ = kNoPage;
+      cached_pos_ = 0;
     }
   }
   count_ += added;
@@ -44,19 +426,30 @@ Coverage::Merge(const Coverage& other)
 size_t
 Coverage::CountNotIn(const Coverage& other) const
 {
-  size_t n = 0;
-  for (const auto& [key, ours] : pages_) {
-    auto it = other.pages_.find(key);
-    if (it == other.pages_.end()) {
-      for (uint64_t word : ours) n += static_cast<size_t>(PopCount(word));
-      continue;
-    }
-    const Page& theirs = it->second;
-    for (size_t w = 0; w < kWordsPerPage; ++w) {
-      n += static_cast<size_t>(PopCount(ours[w] & ~theirs[w]));
-    }
+  if (this == &other || keys_.empty()) return 0;
+  const bool simd = UseSimd();
+  const uint64_t* aw = reinterpret_cast<const uint64_t*>(pages_.data());
+  const uint64_t* bw =
+      reinterpret_cast<const uint64_t*>(other.pages_.data());
+  if (keys_.size() == other.keys_.size() &&
+      std::memcmp(keys_.data(), other.keys_.data(),
+                  keys_.size() * sizeof(uint64_t)) == 0) {
+#ifdef KERNELGPT_COVERAGE_HAVE_AVX2
+    return simd ? PairedCountAvx2(aw, bw, keys_.size())
+                : PairedCountScalar(aw, bw, keys_.size());
+#else
+    return PairedCountScalar(aw, bw, keys_.size());
+#endif
   }
-  return n;
+#ifdef KERNELGPT_COVERAGE_HAVE_AVX2
+  return simd ? JoinCountAvx2(keys_.data(), keys_.size(), aw,
+                              other.keys_.data(), other.keys_.size(), bw)
+              : JoinCountScalar(keys_.data(), keys_.size(), aw,
+                                other.keys_.data(), other.keys_.size(), bw);
+#else
+  return JoinCountScalar(keys_.data(), keys_.size(), aw,
+                         other.keys_.data(), other.keys_.size(), bw);
+#endif
 }
 
 std::unordered_set<uint64_t>
@@ -64,9 +457,10 @@ Coverage::blocks() const
 {
   std::unordered_set<uint64_t> out;
   out.reserve(count_);
-  for (const auto& [key, page] : pages_) {
+  for (size_t p = 0; p < keys_.size(); ++p) {
+    const uint64_t key = keys_[p];
     for (size_t w = 0; w < kWordsPerPage; ++w) {
-      uint64_t word = page[w];
+      uint64_t word = pages_[p][w];
       while (word) {
         const int bit = __builtin_ctzll(word);
         out.insert((key << kPageShift) | (w << 6) | static_cast<uint64_t>(bit));
@@ -80,11 +474,14 @@ Coverage::blocks() const
 std::vector<uint64_t>
 Coverage::SortedBlocks() const
 {
+  // Pages in key order and bits in word order already yield ascending
+  // ids — no final sort.
   std::vector<uint64_t> out;
   out.reserve(count_);
-  for (const auto& [key, page] : pages_) {
+  for (size_t p = 0; p < keys_.size(); ++p) {
+    const uint64_t key = keys_[p];
     for (size_t w = 0; w < kWordsPerPage; ++w) {
-      uint64_t word = page[w];
+      uint64_t word = pages_[p][w];
       while (word) {
         const int bit = __builtin_ctzll(word);
         out.push_back((key << kPageShift) | (w << 6) |
@@ -93,7 +490,6 @@ Coverage::SortedBlocks() const
       }
     }
   }
-  std::sort(out.begin(), out.end());
   return out;
 }
 

@@ -4,12 +4,22 @@
 /// stable 64-bit block id; experiments compare sets of covered ids.
 ///
 /// Storage is a two-level dense structure: block ids are split into a page
-/// key (high bits) and a bit index (low bits), and each page is a small
+/// key (high bits) and a bit index (low bits), and each page is a 256-bit
 /// bitmap. Ids built with MakeBlockId share their module hash in the page
-/// key, so one module's blocks cluster into densely packed pages and
-/// Merge/CountNotIn run in O(pages * words) word operations instead of
-/// per-id hashing. Arbitrary ids (e.g. raw hashes) still work — they just
-/// land one-per-page, which degrades to the old per-id cost, not worse.
+/// key, so one module's blocks cluster into densely packed pages.
+/// Arbitrary ids (e.g. raw hashes) still work — they just land
+/// one-per-page, which degrades to per-id cost, not worse.
+///
+/// Hot-path layout (PR 9): pages live in two parallel vectors physically
+/// sorted by page key. Merge/CountNotIn/CoversAll are merge-joins over
+/// the two contiguous key arrays — no hashing, no pointer chasing — with
+/// the whole join loop runtime-dispatched between an AVX2 arm (one
+/// 256-bit register per page) and the portable unrolled-scalar reference
+/// (hotpath_test pins the two arms bit-identical). Pages missing from the
+/// destination are batch-inserted after the join, so a merge is O(pages)
+/// even when it grows the set. Hit() serves the MakeBlockId clustering
+/// with a one-entry last-page cache; only a page switch pays the
+/// O(log pages) binary search.
 
 #ifndef KERNELGPT_VKERNEL_COVERAGE_H_
 #define KERNELGPT_VKERNEL_COVERAGE_H_
@@ -17,18 +27,40 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 namespace kernelgpt::vkernel {
+
+/// The page-kernel dispatch arms. kSimd is AVX2 (one 256-bit register per
+/// page); kScalar is the unrolled 4x-u64 reference implementation every
+/// other arm must match bit-for-bit.
+enum class CoverageArm { kScalar, kSimd };
+
+/// True when this CPU can run the SIMD arm.
+bool CoverageSimdAvailable();
+
+/// Forces a dispatch arm (differential tests pin SIMD == scalar; the
+/// KERNELGPT_COVERAGE_ARM=scalar|simd|auto env var routes through here).
+/// Requesting kSimd without CPU support keeps the scalar arm. Returns the
+/// arm actually selected. Not thread-safe against in-flight merges — flip
+/// it only while no Coverage operation is running.
+CoverageArm SetCoverageArm(CoverageArm arm);
+
+/// Restores the default policy: SIMD when available, else scalar.
+CoverageArm ResetCoverageArm();
+
+/// The arm Merge/CountNotIn currently dispatch to.
+CoverageArm ActiveCoverageArm();
 
 /// A set of covered basic-block ids.
 class Coverage {
  public:
   /// Records one block hit. Returns true if the block was new.
   bool Hit(uint64_t block_id) {
-    Page& page = pages_[block_id >> kPageShift];
+    const uint64_t key = block_id >> kPageShift;
+    uint64_t* page =
+        key == cached_key_ ? pages_[cached_pos_].data() : SlotFor(key);
     uint64_t& word = page[(block_id & kPageMask) >> 6];
     const uint64_t bit = 1ULL << (block_id & 63);
     if (word & bit) return false;
@@ -63,20 +95,36 @@ class Coverage {
   std::vector<uint64_t> SortedBlocks() const;
 
   void Clear() {
+    keys_.clear();
     pages_.clear();
+    cached_key_ = kNoPage;
     count_ = 0;
   }
 
  private:
   /// 256-bit pages: big enough that MakeBlockId neighbours share a page,
-  /// small enough that hash-scattered ids don't waste memory.
+  /// small enough that hash-scattered ids don't waste memory — and
+  /// exactly one AVX2 register wide, so the SIMD arm is one load/op/store
+  /// per page.
   static constexpr int kPageShift = 8;
   static constexpr uint64_t kPageMask = (1ULL << kPageShift) - 1;
   static constexpr size_t kWordsPerPage = (1ULL << kPageShift) / 64;
+  /// Last-page-cache sentinel; real keys are block_id >> 8 < 2^56.
+  static constexpr uint64_t kNoPage = ~0ULL;
 
   using Page = std::array<uint64_t, kWordsPerPage>;
 
-  std::unordered_map<uint64_t, Page> pages_;
+  /// Resolves (inserting if absent) the page for `key` and refreshes the
+  /// last-page cache. Out of line: Hit()'s fast path never reaches it.
+  uint64_t* SlotFor(uint64_t key);
+
+  // Physically key-sorted parallel arrays: keys_ ascending, pages_[i] is
+  // the bitmap for keys_[i]. Inserts shift, so the merge-join paths get
+  // pure contiguous walks with zero indirection — the hot-path trade.
+  std::vector<uint64_t> keys_;
+  std::vector<Page> pages_;
+  uint64_t cached_key_ = kNoPage;
+  uint32_t cached_pos_ = 0;
   size_t count_ = 0;
 };
 

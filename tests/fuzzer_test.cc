@@ -243,8 +243,9 @@ TEST_F(FuzzerTest, KvmSecondaryResourceChainCovered)
   CampaignResult result = RunCampaign(&kernel, lib, options);
   // KVM_RUN's deep blocks are only reachable through the full chain.
   const drivers::DeviceSpec* kvm = Corpus::Instance().FindDevice("kvm");
-  (void)kvm;
-  uint64_t run_block = drivers::BlockId("kvm", "deep", "KVM_RUN", 0);
+  ASSERT_NE(kvm, nullptr);
+  uint64_t run_block =
+      drivers::BlockLayout::ForDevice(*kvm).IdOf("deep", "KVM_RUN", 0);
   EXPECT_TRUE(result.coverage.Contains(run_block));
 }
 

@@ -179,6 +179,97 @@ TEST_F(HotPathTest, CoverageMergeAndCountNotInMatchSetSemantics)
   EXPECT_EQ(merged.Merge(a), set_a.size());
 }
 
+// The AVX2 merge-join arms must be bit-identical to the scalar
+// reference over adversarial id layouts: dense per-module runs (the
+// MakeBlockId shape), hash-scattered ids (one page per id), ids
+// straddling page and word boundaries, and the empty/self/identical-key
+// edge cases that trigger the paired fast path.
+TEST_F(HotPathTest, SimdCoverageArmMatchesScalarReferenceBitForBit)
+{
+  if (!vkernel::CoverageSimdAvailable()) {
+    GTEST_SKIP() << "no AVX2 on this host; only the scalar arm exists";
+  }
+
+  // Adversarial id pattern families, each a vector of ids to Hit.
+  std::vector<std::vector<uint64_t>> patterns;
+  // Dense module runs: contiguous local indices under a few module
+  // hashes — full and partially-full pages.
+  for (uint64_t h : {0x1ULL, 0xdeadbeefcafeULL, ~0ULL}) {
+    std::vector<uint64_t> dense;
+    for (uint32_t i = 0; i < 700; ++i) dense.push_back(vkernel::MakeBlockId(h, i));
+    patterns.push_back(std::move(dense));
+  }
+  // Hash-scattered: every id lands on its own page.
+  {
+    util::Rng rng(31337);
+    std::vector<uint64_t> scattered;
+    for (int i = 0; i < 600; ++i) scattered.push_back(rng.Next());
+    patterns.push_back(std::move(scattered));
+  }
+  // Page- and word-boundary straddles around every multiple of 64 and
+  // 256 in a window, plus the extremes.
+  {
+    std::vector<uint64_t> straddle;
+    for (uint64_t base = 64; base <= 1024; base += 64) {
+      straddle.insert(straddle.end(), {base - 1, base, base + 1});
+    }
+    straddle.insert(straddle.end(),
+                    {0ULL, 63ULL, 255ULL, 256ULL, 257ULL, ~0ULL, ~0ULL - 1,
+                     (~0ULL >> 8) << 8});
+    patterns.push_back(std::move(straddle));
+  }
+  // Empty set.
+  patterns.push_back({});
+
+  // Every ordered pair of patterns (including a pattern against itself
+  // — identical key arrays, the paired fast path) is exercised under
+  // both arms; counts AND resulting sorted block lists must agree.
+  for (size_t pi = 0; pi < patterns.size(); ++pi) {
+    for (size_t pj = 0; pj < patterns.size(); ++pj) {
+      struct Result {
+        size_t merged, back, not_in, not_in_rev;
+        bool covers;
+        std::vector<uint64_t> blocks;
+      };
+      auto run = [&](vkernel::CoverageArm arm) {
+        vkernel::SetCoverageArm(arm);
+        EXPECT_EQ(vkernel::ActiveCoverageArm(), arm);
+        vkernel::Coverage a, b;
+        for (uint64_t id : patterns[pi]) a.Hit(id);
+        for (uint64_t id : patterns[pj]) b.Hit(id);
+        Result r;
+        r.not_in = a.CountNotIn(b);
+        r.not_in_rev = b.CountNotIn(a);
+        r.covers = a.CoversAll(b);
+        r.merged = a.Merge(b);
+        r.back = b.Merge(a);  // Now equal sets: paired path again.
+        EXPECT_EQ(a.Merge(a), 0u);  // Self-merge is a no-op.
+        r.blocks = a.SortedBlocks();
+        return r;
+      };
+      const Result scalar = run(vkernel::CoverageArm::kScalar);
+      const Result simd = run(vkernel::CoverageArm::kSimd);
+      vkernel::ResetCoverageArm();
+
+      const std::string label =
+          "patterns " + std::to_string(pi) + " x " + std::to_string(pj);
+      EXPECT_EQ(scalar.merged, simd.merged) << label;
+      EXPECT_EQ(scalar.back, simd.back) << label;
+      EXPECT_EQ(scalar.not_in, simd.not_in) << label;
+      EXPECT_EQ(scalar.not_in_rev, simd.not_in_rev) << label;
+      EXPECT_EQ(scalar.covers, simd.covers) << label;
+      EXPECT_EQ(scalar.blocks, simd.blocks) << label;
+
+      // And both arms match naive set algebra.
+      std::unordered_set<uint64_t> u(patterns[pi].begin(), patterns[pi].end());
+      size_t before = u.size();
+      u.insert(patterns[pj].begin(), patterns[pj].end());
+      EXPECT_EQ(scalar.merged, u.size() - before) << label;
+      EXPECT_EQ(scalar.blocks.size(), u.size()) << label;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Zero-copy buffers
 // ---------------------------------------------------------------------------

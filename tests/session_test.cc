@@ -264,6 +264,223 @@ TEST_F(SessionTest, CorruptSnapshotsReturnStatusNotCrash)
   EXPECT_FALSE(ParseManifest(negative, &manifest).ok());
 }
 
+// -- Binary suite codec ------------------------------------------------------
+
+TEST_F(SessionTest, BinarySuiteSnapshotIsAByteFixpointMatchingTheTextCodec)
+{
+  // Same real session state as the textual fixpoint test, rendered
+  // through the KGPB codec: serialize -> parse -> serialize must be a
+  // byte fixpoint, and the parse must agree field-for-field with what
+  // the textual codec round-trips.
+  SpecLibrary lib = DmLibrary();
+  SessionOptions options;
+  options.WithSeed(5).WithRounds(2).WithOrchestrator(SmallRound());
+  Session session = MakeSession(options);
+  ASSERT_TRUE(session.RegisterSuite("dm", &lib).ok());
+  ASSERT_TRUE(session.Run().ok());
+  const SuiteState& state = *session.Find("dm");
+  ASSERT_FALSE(state.corpus.empty());
+  ASSERT_FALSE(state.crash_reproducers.empty());
+
+  SuiteSnapshot snapshot;
+  snapshot.name = "dm suite with spaces";
+  snapshot.fingerprint = SuiteFingerprint(lib);
+  snapshot.programs_executed = state.programs_executed;
+  snapshot.wall_seconds = state.wall_seconds;
+  snapshot.coverage = state.coverage.SortedBlocks();
+  snapshot.crashes = state.crashes;
+  snapshot.corpus = state.corpus;
+  snapshot.crash_reproducers = state.crash_reproducers;
+  snapshot.rounds = state.rounds;
+
+  const std::string binary = SerializeSuiteBinary(snapshot, lib);
+  ASSERT_TRUE(IsBinarySuiteSnapshot(binary));
+  EXPECT_FALSE(IsBinarySuiteSnapshot(SerializeSuite(snapshot, lib)));
+
+  SuiteSnapshot parsed;
+  util::Status status = ParseSuiteBinary(binary, lib, &parsed);
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_EQ(parsed.name, snapshot.name);
+  EXPECT_EQ(parsed.fingerprint, snapshot.fingerprint);
+  EXPECT_EQ(parsed.programs_executed, snapshot.programs_executed);
+  EXPECT_EQ(parsed.wall_seconds, snapshot.wall_seconds);  // Raw bits.
+  EXPECT_EQ(parsed.coverage, snapshot.coverage);
+  EXPECT_EQ(parsed.crashes, snapshot.crashes);
+  ExpectSameProgs(parsed.corpus, snapshot.corpus, "binary corpus");
+  ASSERT_EQ(parsed.rounds.size(), snapshot.rounds.size());
+  for (size_t i = 0; i < parsed.rounds.size(); ++i) {
+    EXPECT_EQ(parsed.rounds[i].seed, snapshot.rounds[i].seed);
+    EXPECT_EQ(parsed.rounds[i].wall_seconds, snapshot.rounds[i].wall_seconds);
+    EXPECT_EQ(parsed.rounds[i].cumulative_coverage,
+              snapshot.rounds[i].cumulative_coverage);
+  }
+  EXPECT_EQ(binary, SerializeSuiteBinary(parsed, lib))
+      << "binary snapshot serialize -> parse -> serialize not a fixpoint";
+
+  // ParseSuiteAuto sniffs the codec from the magic: both renderings of
+  // the same snapshot must load to identical state.
+  SuiteSnapshot from_text, from_binary;
+  ASSERT_TRUE(ParseSuiteAuto(SerializeSuite(snapshot, lib), lib, &from_text)
+                  .ok());
+  ASSERT_TRUE(ParseSuiteAuto(binary, lib, &from_binary).ok());
+  EXPECT_EQ(SerializeSuite(from_text, lib), SerializeSuite(from_binary, lib));
+}
+
+TEST_F(SessionTest, BinarySnapshotRejectsDamageWithAStatusNeverACrash)
+{
+  SpecLibrary lib = DmLibrary();
+  SessionOptions options;
+  options.WithSeed(9).WithRounds(1).WithOrchestrator(SmallRound());
+  Session session = MakeSession(options);
+  ASSERT_TRUE(session.RegisterSuite("dm", &lib).ok());
+  ASSERT_TRUE(session.Run().ok());
+  SuiteSnapshot snapshot;
+  snapshot.corpus = session.Find("dm")->corpus;
+  snapshot.coverage = session.Find("dm")->coverage.SortedBlocks();
+  const std::string good = SerializeSuiteBinary(snapshot, lib);
+  SuiteSnapshot out;
+
+  // Truncation at every quarter of the file, and at every byte of the
+  // final framed section (the torn-write shapes a crash can leave).
+  for (size_t cut = 1; cut < 4; ++cut) {
+    EXPECT_FALSE(
+        ParseSuiteBinary(good.substr(0, good.size() * cut / 4), lib, &out)
+            .ok())
+        << "cut at quarter " << cut;
+  }
+  for (size_t cut = good.size() - 32; cut < good.size(); ++cut) {
+    EXPECT_FALSE(ParseSuiteBinary(good.substr(0, cut), lib, &out).ok())
+        << "cut at byte " << cut;
+  }
+  // Bit corruption anywhere in a section payload trips that section's
+  // CRC32 (flip a byte past the header, clear of the length varints).
+  std::string flipped = good;
+  flipped[good.size() / 2] ^= 0x40;
+  util::Status status = ParseSuiteBinary(flipped, lib, &out);
+  EXPECT_FALSE(status.ok());
+  // Trailing garbage after the last section is damage, not slack.
+  EXPECT_FALSE(ParseSuiteBinary(good + "x", lib, &out).ok());
+  // Not the binary format at all.
+  EXPECT_FALSE(ParseSuiteBinary("garbage", lib, &out).ok());
+  EXPECT_FALSE(ParseSuiteBinary("", lib, &out).ok());
+  EXPECT_FALSE(ParseSuiteBinary(std::string("KGPB"), lib, &out).ok());
+
+  // Version skew is named from both sides. The version varint sits just
+  // past the 4-byte magic; 2 and 99 both encode in one byte.
+  std::string skewed = good;
+  ASSERT_EQ(skewed[4], 2);
+  skewed[4] = 99;
+  status = ParseSuiteBinary(skewed, lib, &out);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("version mismatch"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("v99"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("v2"), std::string::npos)
+      << status.message();
+
+  // Programs resolve by name: parsing against a suite that lacks the
+  // referenced syscalls is a Status naming the missing call.
+  SpecLibrary hpet = MakeLibrary(drivers::GroundTruthDeviceSpec(
+      *Corpus::Instance().FindDevice("hpet")));
+  status = ParseSuiteBinary(good, hpet, &out);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("absent"), std::string::npos)
+      << status.message();
+}
+
+TEST_F(SessionTest, ConvertSuiteMigratesBetweenCodecsLosslessly)
+{
+  SpecLibrary lib = DmLibrary();
+  SessionOptions options;
+  options.WithSeed(5).WithRounds(1).WithOrchestrator(SmallRound());
+  Session session = MakeSession(options);
+  ASSERT_TRUE(session.RegisterSuite("dm", &lib).ok());
+  ASSERT_TRUE(session.Run().ok());
+  const SuiteState& state = *session.Find("dm");
+  SuiteSnapshot snapshot;
+  snapshot.name = "dm";
+  snapshot.fingerprint = SuiteFingerprint(lib);
+  snapshot.coverage = state.coverage.SortedBlocks();
+  snapshot.crashes = state.crashes;
+  snapshot.corpus = state.corpus;
+  snapshot.rounds = state.rounds;
+  const std::string text = SerializeSuite(snapshot, lib);
+  const std::string binary = SerializeSuiteBinary(snapshot, lib);
+
+  // text -> binary -> text is the identity; so is binary -> text ->
+  // binary. Conversion into a file's own codec is also the identity.
+  std::string converted;
+  ASSERT_TRUE(ConvertSuite(text, SnapshotCodec::kBinary, lib, &converted)
+                  .ok());
+  EXPECT_EQ(converted, binary);
+  ASSERT_TRUE(ConvertSuite(converted, SnapshotCodec::kText, lib, &converted)
+                  .ok());
+  EXPECT_EQ(converted, text);
+  ASSERT_TRUE(ConvertSuite(text, SnapshotCodec::kText, lib, &converted).ok());
+  EXPECT_EQ(converted, text);
+  ASSERT_TRUE(ConvertSuite(binary, SnapshotCodec::kBinary, lib, &converted)
+                  .ok());
+  EXPECT_EQ(converted, binary);
+  // Damage propagates as a Status through the conversion path too.
+  EXPECT_FALSE(
+      ConvertSuite("garbage", SnapshotCodec::kBinary, lib, &converted).ok());
+}
+
+TEST_F(SessionTest, BinaryCodecSessionsResumeBitIdenticallyAcrossCodecs)
+{
+  // A session saved under the binary codec must resume exactly like one
+  // saved under the textual codec — including cross-codec resumes in
+  // both directions (Resume sniffs each suite file's magic).
+  SpecLibrary lib = DmLibrary();
+  const std::string dir_text = ScratchDir("codec_text");
+  const std::string dir_binary = ScratchDir("codec_binary");
+  auto session_options = [&](SnapshotCodec codec) {
+    SessionOptions options;
+    options.WithSeed(7).WithRounds(2).WithOrchestrator(SmallRound());
+    options.WithSnapshotCodec(codec);
+    return options;
+  };
+
+  for (SnapshotCodec codec : {SnapshotCodec::kText, SnapshotCodec::kBinary}) {
+    const bool binary = codec == SnapshotCodec::kBinary;
+    Session session = MakeSession(session_options(codec));
+    ASSERT_TRUE(session.RegisterSuite("dm", &lib).ok());
+    ASSERT_TRUE(session.Run().ok());
+    ASSERT_TRUE(session.Save(binary ? dir_binary : dir_text).ok());
+  }
+  std::string text_snap, binary_snap;
+  ASSERT_TRUE(ReadFileToString(dir_text + "/suite_0.snap", &text_snap).ok());
+  ASSERT_TRUE(
+      ReadFileToString(dir_binary + "/suite_0.snap", &binary_snap).ok());
+  EXPECT_FALSE(IsBinarySuiteSnapshot(text_snap));
+  EXPECT_TRUE(IsBinarySuiteSnapshot(binary_snap));
+  EXPECT_LT(binary_snap.size(), text_snap.size() / 2)
+      << "binary snapshots should be far denser than text";
+
+  // Resume each directory under the OPPOSITE codec, finish the schedule,
+  // and compare against an uninterrupted 4-round run.
+  Session straight = MakeSession(
+      session_options(SnapshotCodec::kText).WithRounds(4));
+  ASSERT_TRUE(straight.RegisterSuite("dm", &lib).ok());
+  ASSERT_TRUE(straight.Run().ok());
+
+  for (SnapshotCodec codec : {SnapshotCodec::kText, SnapshotCodec::kBinary}) {
+    const bool binary = codec == SnapshotCodec::kBinary;
+    // The binary-codec session resumes the textual directory and vice
+    // versa, then runs its 2 remaining rounds.
+    Session resumed = MakeSession(session_options(codec));
+    ASSERT_TRUE(resumed.RegisterSuite("dm", &lib).ok());
+    util::Status status = resumed.Resume(binary ? dir_text : dir_binary);
+    ASSERT_TRUE(status.ok()) << status.message();
+    EXPECT_EQ(resumed.rounds_completed(), 2);
+    ASSERT_TRUE(resumed.Run().ok());
+    ExpectSameState(*resumed.Find("dm"), *straight.Find("dm"),
+                    binary ? "binary session, text dir"
+                           : "text session, binary dir");
+  }
+}
+
 TEST_F(SessionTest, FailedResumeLeavesTheSessionUntouched)
 {
   SpecLibrary dm = DmLibrary();
