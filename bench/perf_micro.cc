@@ -474,6 +474,72 @@ BM_FleetRoundOverhead(benchmark::State& state)
 }
 BENCHMARK(BM_FleetRoundOverhead)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+/// Campaign throughput over the stateful vnet stack alone (tcp + udp
+/// ground-truth specs): each item is one fuzz program through the full
+/// TCP/UDP state machines, port namespace, and transition coverage —
+/// the net-stack analog of BM_FuzzThroughput.
+void
+BM_NetStackThroughput(benchmark::State& state)
+{
+  const drivers::Corpus& corpus = drivers::Corpus::Instance();
+  fuzzer::SpecLibrary lib;
+  lib.SetConsts(corpus.BuildIndex().BuildConstTable());
+  lib.Add(drivers::GroundTruthSocketSpec(*corpus.FindSocket("tcp")));
+  lib.Add(drivers::GroundTruthSocketSpec(*corpus.FindSocket("udp")));
+  lib.Finalize();
+  for (auto _ : state) {
+    vkernel::Kernel kernel;
+    corpus.RegisterAll(&kernel);
+    fuzzer::CampaignOptions options;
+    options.seed = 42;
+    options.program_budget = static_cast<int>(state.range(0));
+    options.batch_size = static_cast<int>(state.range(1));
+    benchmark::DoNotOptimize(fuzzer::RunCampaign(&kernel, lib, options));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_NetStackThroughput)->Args({2000, 1})->Args({2000, 32});
+
+/// Raw state-transition cost: one full TCP lifecycle per item — create
+/// the pair, bind/listen/connect/accept across the loopback, then tear
+/// down through FIN_WAIT/TIME_WAIT — all eleven legal transitions with
+/// no generator or executor in the loop.
+void
+BM_NetStateTransition(benchmark::State& state)
+{
+  const drivers::Corpus& corpus = drivers::Corpus::Instance();
+  vkernel::Kernel kernel;
+  corpus.RegisterAll(&kernel);
+  vkernel::Coverage cov;
+  const std::vector<uint8_t> addr = {2, 0, 5, 0, 0, 0, 0, 0};
+  const vkernel::Buffer baddr = vkernel::Buffer::View(addr);
+  kernel.BeginBatch();
+  kernel.BeginProgram();
+  for (auto _ : state) {
+    vkernel::ExecContext ctx(&cov);
+    long s = kernel.Socket(2, 1, 6, ctx).retval;
+    long c = kernel.Socket(2, 1, 6, ctx).retval;
+    (void)kernel.Bind(s, baddr, ctx);
+    (void)kernel.Listen(s, ctx);
+    (void)kernel.Connect(c, baddr, ctx);
+    long a = kernel.Accept(s, ctx).retval;
+    (void)kernel.Close(c, ctx);
+    (void)kernel.Close(a, ctx);
+    (void)kernel.Close(s, ctx);
+    kernel.EndProgram(ctx);
+    kernel.BeginProgram();
+    benchmark::DoNotOptimize(a);
+  }
+  {
+    vkernel::ExecContext ctx(&cov);
+    kernel.EndProgram(ctx);
+  }
+  kernel.EndBatch();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NetStateTransition);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -37,7 +37,7 @@ echo "== Determinism gate (orchestrator + distiller + service + session + diff) 
 # (diff_test). Rerun through ctest so the gate stays in sync with the
 # suites instead of a hand-picked gtest filter.
 (cd "${BUILD_DIR}" && ctest --output-on-failure --no-tests=error -j"${JOBS}" \
-    -R '^(orchestrator_test|distiller_test|service_test|session_test|snapshot_test|fleet_test|diff_test)$')
+    -R '^(orchestrator_test|distiller_test|service_test|session_test|snapshot_test|fleet_test|diff_test|vnet_test)$')
 
 echo
 echo "== Fleet-recovery soak (armed fault plan) =="

@@ -2,6 +2,7 @@
 
 #include "drivers/model_render.h"
 #include "drivers/model_runtime.h"
+#include "vnet/inet.h"
 
 namespace kernelgpt::drivers {
 
@@ -302,6 +303,8 @@ Corpus::Corpus()
   sockets_.push_back(MakeRdsSocket());
   sockets_.push_back(MakeRfcommSocket());
   sockets_.push_back(MakeScoSocket());
+  sockets_.push_back(MakeTcpSocket());
+  sockets_.push_back(MakeUdpSocket());
 }
 
 const Corpus&
@@ -372,9 +375,18 @@ Corpus::RegisterAll(vkernel::KernelModel* kernel) const
     }
   }
   for (const auto& s : sockets_) {
-    if (s.loaded_in_syzbot && !s.excluded) {
-      kernel->RegisterSocketFamily(MakeModelSocketFamily(&s));
+    if (!s.loaded_in_syzbot || s.excluded) continue;
+    if (s.vnet) {
+      // Stateful vnet families; semantics follow the model's policy.
+      vnet::VnetPolicy policy = vnet::VnetPolicy::FromModel(kernel);
+      if (s.id == "tcp") {
+        kernel->RegisterSocketFamily(vnet::MakeTcpFamily(&s, policy));
+      } else {
+        kernel->RegisterSocketFamily(vnet::MakeUdpFamily(&s, policy));
+      }
+      continue;
     }
+    kernel->RegisterSocketFamily(MakeModelSocketFamily(&s));
   }
 }
 

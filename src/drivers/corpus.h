@@ -89,6 +89,11 @@ SocketSpec MakeRfcommSocket();
 SocketSpec MakeScoSocket();
 SocketSpec MakeCaifSocket();
 
+// Stateful vnet families (src/vnet/): declarative specs whose runtime is
+// the in-process TCP/UDP stack rather than ModelSocketFamily.
+SocketSpec MakeTcpSocket();
+SocketSpec MakeUdpSocket();
+
 }  // namespace kernelgpt::drivers
 
 #endif  // KERNELGPT_DRIVERS_CORPUS_H_

@@ -643,4 +643,117 @@ MakeCaifSocket()
   return sock;
 }
 
+SocketSpec
+MakeTcpSocket()
+{
+  SocketSpec sock;
+  sock.id = "tcp";
+  sock.family_macro = "AF_INET";
+  sock.domain = SocketConstValue("AF_INET");
+  sock.sock_type = SocketConstValue("SOCK_STREAM");
+  sock.sock_type_macro = "SOCK_STREAM";
+  sock.protocol = 6;  // IPPROTO_TCP.
+  sock.sol_level = SocketConstValue("SOL_TCP");
+  sock.sol_macro = "SOL_TCP";
+  sock.addr_struct = "sockaddr_tcp";
+  sock.existing_fraction = 0.4;
+  sock.vnet = true;  // Backed by the stateful vnet stack.
+
+  sock.structs.push_back(SockAddr("sockaddr_tcp", sock.domain, 1));
+
+  StructSpec intval;
+  intval.name = "tcp_int_opt";
+  intval.fields = {FieldSpec::Scalar("value", 32)};
+  sock.structs.push_back(std::move(intval));
+
+  StructSpec info;
+  info.name = "tcp_info_min";
+  info.fields = {
+      FieldSpec::Out("state", 8, "out: TCP state ordinal"),
+      FieldSpec::Out("backlog", 8, "out: accept backlog limit"),
+      FieldSpec::Out("qlen", 32, "out: receive-queue bytes"),
+  };
+  sock.structs.push_back(std::move(info));
+
+  sock.sockopts.push_back(Opt("TCP_NODELAY", 1, "tcp_int_opt", true, true,
+                              {CheckSpec::Range("value", 0, 1)}, 2));
+  sock.sockopts.push_back(Opt("TCP_MAXSEG", 2, "tcp_int_opt", true, true,
+                              {CheckSpec::Range("value", 64, 1460)}, 2));
+  sock.sockopts.push_back(Opt("TCP_WINDOW_CLAMP", 10, "tcp_int_opt", true,
+                              true, {CheckSpec::Range("value", 16, 4096)}, 2,
+                              "receive-queue byte budget"));
+  sock.sockopts.push_back(Opt("TCP_INFO", 11, "tcp_info_min", false, true, {},
+                              3, "query connection state"));
+  sock.sockopts.push_back(Opt("TCP_REUSE_TIMEWAIT", 13, "tcp_int_opt", true,
+                              true, {CheckSpec::Range("value", 0, 1)}, 2,
+                              "SO_REUSEADDR analog for TIME_WAIT ports"));
+  sock.sockopts.push_back(Opt("TCP_BACKLOG", 14, "tcp_int_opt", true, true,
+                              {CheckSpec::Range("value", 1, 8)}, 2,
+                              "accept-queue depth"));
+
+  // Small port range so generated programs collide on ports often enough
+  // to establish loopback connections (port 0 = ephemeral).
+  sock.bind = Op({CheckSpec::Equals("family", sock.domain),
+                  CheckSpec::Range("port", 0, 9)},
+                 3);
+  sock.connect = Op({CheckSpec::Equals("family", sock.domain),
+                     CheckSpec::Range("port", 0, 9)},
+                    3);
+  sock.sendto = Op({}, 3);
+  sock.recvfrom = Op({}, 3);
+  sock.listen = Op({}, 2);
+  sock.accept = Op({}, 3);
+  return sock;
+}
+
+SocketSpec
+MakeUdpSocket()
+{
+  SocketSpec sock;
+  sock.id = "udp";
+  sock.family_macro = "AF_INET";
+  sock.domain = SocketConstValue("AF_INET");
+  sock.sock_type = SocketConstValue("SOCK_DGRAM");
+  sock.sock_type_macro = "SOCK_DGRAM";
+  sock.protocol = 17;  // IPPROTO_UDP.
+  sock.sol_level = SocketConstValue("SOL_UDP");
+  sock.sol_macro = "SOL_UDP";
+  sock.addr_struct = "sockaddr_udp";
+  sock.existing_fraction = 0.4;
+  sock.vnet = true;  // Backed by the stateful vnet stack.
+
+  sock.structs.push_back(SockAddr("sockaddr_udp", sock.domain, 1));
+
+  StructSpec intval;
+  intval.name = "udp_int_opt";
+  intval.fields = {FieldSpec::Scalar("value", 32)};
+  sock.structs.push_back(std::move(intval));
+
+  StructSpec qlen;
+  qlen.name = "udp_qlen";
+  qlen.fields = {FieldSpec::Out("qlen", 32, "out: queued datagrams")};
+  sock.structs.push_back(std::move(qlen));
+
+  sock.sockopts.push_back(Opt("UDP_CORK", 1, "udp_int_opt", true, true,
+                              {CheckSpec::Range("value", 0, 1)}, 2,
+                              "merge sends until uncorked"));
+  sock.sockopts.push_back(Opt("UDP_QCAP", 2, "udp_int_opt", true, true,
+                              {CheckSpec::Range("value", 1, 64)}, 2,
+                              "receive-queue datagram budget"));
+  sock.sockopts.push_back(Opt("UDP_QLEN", 3, "udp_qlen", false, true, {}, 2,
+                              "query receive-queue depth"));
+
+  sock.bind = Op({CheckSpec::Equals("family", sock.domain),
+                  CheckSpec::Range("port", 0, 9)},
+                 3);
+  sock.connect = Op({CheckSpec::Equals("family", sock.domain),
+                     CheckSpec::Range("port", 0, 9)},
+                    3);
+  sock.sendto = Op({CheckSpec::Equals("family", sock.domain),
+                    CheckSpec::Range("port", 0, 9)},
+                   3);
+  sock.recvfrom = Op({}, 3);
+  return sock;
+}
+
 }  // namespace kernelgpt::drivers

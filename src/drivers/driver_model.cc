@@ -287,6 +287,7 @@ SocketConstValue(const std::string& macro)
   if (macro == "SOL_BLUETOOTH") return 274;
   if (macro == "SOL_PNPIPE") return 275;
   if (macro == "SOL_TCP") return 6;
+  if (macro == "SOL_UDP") return 17;
   if (macro == "SOL_MPTCP") return 284;
   if (macro == "SOL_IPV6") return 41;
   if (macro == "SOL_PPPOL2TP") return 273;

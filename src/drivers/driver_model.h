@@ -263,6 +263,10 @@ struct SocketSpec {
   double existing_fraction = 0.0;
   bool loaded_in_syzbot = true;
   bool excluded = false;
+  /// True for specs backed by the stateful vnet stack (src/vnet/) rather
+  /// than the declarative ModelSocketFamily runtime; Corpus::RegisterAll
+  /// routes them to the vnet family factories.
+  bool vnet = false;
 
   const StructSpec* FindStruct(const std::string& name) const;
 };

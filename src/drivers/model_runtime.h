@@ -51,6 +51,15 @@ class BlockLayout {
   uint64_t IdOf(const std::string& role, const std::string& detail,
                 uint32_t index) const;
 
+  /// Appends one tuple after the canonical walk, for runtimes with
+  /// behaviour beyond the declarative spec (the vnet stack claims its
+  /// TCP state transitions this way). Call order defines the local
+  /// index, so extenders must claim tuples in one fixed order.
+  void Extend(const std::string& role, const std::string& detail,
+              uint32_t index) {
+    Assign(role, detail, index);
+  }
+
   /// Number of distinct blocks the module can produce.
   size_t BlockCount() const { return next_; }
 

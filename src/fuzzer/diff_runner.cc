@@ -144,6 +144,19 @@ Evaluate(const Prog& prog, ModelSide& baseline, ModelSide& subject,
     div.signature = "fdshape " + div.detail;
     return div;
   }
+
+  // Module state last: a state difference with identical results/shapes
+  // is the subtlest divergence class (e.g. one personality left a port
+  // bound that the other released). Shapes are normalized by slot order,
+  // so fd-numbering differences between layouts stay non-divergent.
+  if (base_trace.module_state != subj_trace.module_state) {
+    RawDiv div;
+    div.kind = Divergence::Kind::kModuleState;
+    div.detail = "'" + base_trace.module_state + "' | '" +
+                 subj_trace.module_state + "'";
+    div.signature = "modstate " + div.detail;
+    return div;
+  }
   return std::nullopt;
 }
 
@@ -154,6 +167,7 @@ KindName(Divergence::Kind kind)
     case Divergence::Kind::kResult: return "result";
     case Divergence::Kind::kCrash: return "crash";
     case Divergence::Kind::kFdShape: return "fdshape";
+    case Divergence::Kind::kModuleState: return "modstate";
   }
   return "?";
 }

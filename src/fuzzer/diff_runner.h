@@ -49,9 +49,10 @@ struct DiffOptions {
 /// One deduplicated divergence finding.
 struct Divergence {
   enum class Kind {
-    kResult,   ///< A call's normalized result differs.
-    kCrash,    ///< Crash state/title/timing differs.
-    kFdShape,  ///< End-of-program fd-table shapes differ.
+    kResult,       ///< A call's normalized result differs.
+    kCrash,        ///< Crash state/title/timing differs.
+    kFdShape,      ///< End-of-program fd-table shapes differ.
+    kModuleState,  ///< Normalized per-module/socket state differs.
   };
 
   Kind kind = Kind::kResult;

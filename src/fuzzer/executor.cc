@@ -313,6 +313,7 @@ Executor::Run(const Prog& prog, vkernel::Coverage* total, ExecTrace* trace)
   if (trace) {
     trace->results = results_;
     trace->end_shape = kernel_->FdTableShape();
+    trace->module_state = kernel_->ModuleStateShape();
   }
   kernel_->EndProgram(ctx);  // Close-time (release) bugs fire here.
 

@@ -34,6 +34,10 @@ struct ExecResult {
 struct ExecTrace {
   std::vector<vkernel::SyscallResult> results;
   vkernel::FdShape end_shape;
+  /// Normalized per-module/socket state (KernelModel::ModuleStateShape)
+  /// at end of program, compared by the differential oracle after fd
+  /// shapes.
+  std::string module_state;
 };
 
 /// Executes programs on one kernel model, accumulating coverage.

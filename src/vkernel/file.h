@@ -177,6 +177,13 @@ class FileHandler {
   /// Called when the last descriptor referencing the file closes.
   virtual void Release(KernelModel& kernel) { (void)kernel; }
 
+  /// Normalized observable state of this handler for the differential
+  /// oracle's module-state comparison (e.g. "tcp:ESTABLISHED lp=5").
+  /// Must be deterministic and free of layout-dependent values (fd
+  /// numbers, addresses). Empty (the default) means "no observable
+  /// state" and contributes nothing to the shape.
+  virtual std::string StateBrief() const { return std::string(); }
+
  private:
   HandlerRecycler* recycler_ = nullptr;
 };
@@ -281,6 +288,12 @@ class SocketFamily {
 
   /// Called between fuzz programs to reset module-global state.
   virtual void ResetState() {}
+
+  /// Normalized observable module-global state (bound-port tables,
+  /// TIME_WAIT sets...) for the differential oracle. Same rules as
+  /// FileHandler::StateBrief: deterministic, layout-independent, empty
+  /// when there is nothing to observe.
+  virtual std::string StateBrief() const { return std::string(); }
 };
 
 }  // namespace kernelgpt::vkernel

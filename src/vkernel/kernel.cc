@@ -176,6 +176,46 @@ Kernel::InstallFile(std::shared_ptr<FileHandler> handler)
   return InstallEntry(std::move(handler), /*is_socket=*/false);
 }
 
+long
+Kernel::InstallSocket(std::shared_ptr<SocketHandler> handler)
+{
+  return InstallEntry(std::move(handler), /*is_socket=*/true);
+}
+
+std::string
+Kernel::ModuleStateShape() const
+{
+  // Descriptors in slot (install) order: the slot sequence is the same
+  // under every FdLayout, so unified and split fd spaces produce the
+  // same shape for the same behavior. Stateless handlers (empty brief)
+  // are skipped entirely — their presence is already captured by
+  // FdTableShape.
+  std::string shape;
+  size_t slot = 0;
+  for (const auto& entry : fds_.entries()) {
+    const size_t this_slot = slot++;
+    if (!entry.handler) continue;
+    std::string brief = entry.handler->StateBrief();
+    if (brief.empty()) continue;
+    shape += 's';
+    shape += std::to_string(this_slot);
+    shape += '=';
+    shape += brief;
+    shape += ' ';
+  }
+  // Module-global state (port tables...) in registration order.
+  for (const auto& family : families_) {
+    std::string brief = family->StateBrief();
+    if (brief.empty()) continue;
+    shape += family->Name();
+    shape += '{';
+    shape += brief;
+    shape += "} ";
+  }
+  if (!shape.empty()) shape.pop_back();
+  return shape;
+}
+
 FileHandler*
 Kernel::LookupFd(long fd) const
 {

@@ -44,6 +44,23 @@ struct KernelPolicy {
   /// Errno for socket() with a domain no registered family claims.
   long unknown_domain_errno = kEAFNOSUPPORT;
 
+  // -- Network-stack (vnet) semantics ---------------------------------------
+  // Real kernels disagree on these lenient corners; the strict defaults
+  // refuse, the permissive personality accepts, and the differential
+  // oracle surfaces the disagreement as net-policy divergences.
+
+  /// listen() on a socket already in LISTEN succeeds (backlog refresh)
+  /// instead of failing with EINVAL.
+  bool net_relisten_ok = false;
+
+  /// bind() on an already-bound socket rebinds (releasing the old port)
+  /// instead of failing with EINVAL.
+  bool net_rebind_ok = false;
+
+  /// bind() to a port lingering in TIME_WAIT succeeds (implicit
+  /// SO_REUSEADDR) instead of failing with EADDRINUSE.
+  bool net_reuse_timewait_ok = false;
+
   static KernelPolicy Strict() { return KernelPolicy{}; }
 
   /// Lenient flag/arg validation with a differing errno policy and a
@@ -57,6 +74,9 @@ struct KernelPolicy {
     p.close_invalid_fd_ok = true;
     p.unknown_path_errno = kENODEV;
     p.unknown_domain_errno = kEINVAL;
+    p.net_relisten_ok = true;
+    p.net_rebind_ok = true;
+    p.net_reuse_timewait_ok = true;
     return p;
   }
 };
@@ -150,8 +170,10 @@ class Kernel : public KernelModel {
   // -- Services for handlers ----------------------------------------------
 
   long InstallFile(std::shared_ptr<FileHandler> handler) override;
+  long InstallSocket(std::shared_ptr<SocketHandler> handler) override;
   FileHandler* LookupFd(long fd) const override;
   FdShape FdTableShape() const override { return fds_.Shape(); }
+  std::string ModuleStateShape() const override;
 
  private:
   SocketHandler* LookupSocket(long fd) const;

@@ -170,12 +170,25 @@ class KernelModel {
   /// kvm whose ioctls create new file objects). Returns the vfd.
   virtual long InstallFile(std::shared_ptr<FileHandler> handler) = 0;
 
+  /// Installs a socket handler under a fresh descriptor in the socket
+  /// fd space (used by accept() to issue the peer of an established
+  /// connection). Returns the vfd.
+  virtual long InstallSocket(std::shared_ptr<SocketHandler> handler) = 0;
+
   /// Looks up an open descriptor; nullptr if invalid.
   virtual FileHandler* LookupFd(long fd) const = 0;
 
   /// Observable fd-table shape (open file/socket counts). Compared by
   /// the differential oracle at end of program.
   virtual FdShape FdTableShape() const = 0;
+
+  /// Normalized per-module/per-socket state summary, compared by the
+  /// differential oracle after fd shapes. Walks descriptors in slot
+  /// (install) order — which is identical across fd layouts — so fd
+  /// numbering differences stay non-divergent; modules with no
+  /// observable state contribute nothing. Empty when nothing stateful
+  /// is open.
+  virtual std::string ModuleStateShape() const { return std::string(); }
 
   /// The execution context of the in-flight syscall. Only valid while a
   /// syscall or EndProgram is on the stack (which is the only time

@@ -12,6 +12,7 @@ namespace kernelgpt::vkernel {
 inline constexpr long kEPERM = 1;
 inline constexpr long kENOENT = 2;
 inline constexpr long kEBADF = 9;
+inline constexpr long kEAGAIN = 11;
 inline constexpr long kENOMEM = 12;
 inline constexpr long kEFAULT = 14;
 inline constexpr long kEBUSY = 16;
@@ -20,9 +21,15 @@ inline constexpr long kEINVAL = 22;
 inline constexpr long kENOTTY = 25;
 inline constexpr long kENOSPC = 28;
 inline constexpr long kENOSYS = 38;
+inline constexpr long kEPIPE = 32;
+inline constexpr long kEDESTADDRREQ = 89;
 inline constexpr long kENOPROTOOPT = 92;
 inline constexpr long kEAFNOSUPPORT = 97;
 inline constexpr long kEOPNOTSUPP = 95;
+inline constexpr long kEADDRINUSE = 98;
+inline constexpr long kEISCONN = 106;
+inline constexpr long kENOTCONN = 107;
+inline constexpr long kECONNREFUSED = 111;
 
 }  // namespace kernelgpt::vkernel
 

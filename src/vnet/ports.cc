@@ -1,0 +1,67 @@
+#include "vnet/ports.h"
+
+namespace kernelgpt::vnet {
+
+void
+PortSpace::Reset()
+{
+  bound_.clear();
+  time_wait_.clear();
+  rng_ = util::Rng(seed_);
+}
+
+void
+PortSpace::EnterTimeWait(uint16_t port)
+{
+  bound_.erase(port);
+  time_wait_.insert(port);
+}
+
+uint16_t
+PortSpace::AllocateEphemeral()
+{
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    uint16_t port = static_cast<uint16_t>(
+        kEphemeralBase + rng_.Below(kEphemeralSpan));
+    if (!IsBound(port) && !InTimeWait(port)) return port;
+  }
+  // The random window is congested (pathological program); probe
+  // linearly so allocation still terminates deterministically.
+  for (uint32_t off = 0; off < kEphemeralSpan; ++off) {
+    uint16_t port = static_cast<uint16_t>(kEphemeralBase + off);
+    if (!IsBound(port) && !InTimeWait(port)) return port;
+  }
+  return 0;  // Namespace exhausted; callers surface EADDRINUSE.
+}
+
+namespace {
+
+void
+AppendSet(std::string* out, const char* label,
+          const std::set<uint16_t>& ports)
+{
+  if (ports.empty()) return;
+  if (!out->empty()) *out += ' ';
+  *out += label;
+  *out += "=[";
+  bool first = true;
+  for (uint16_t p : ports) {
+    if (!first) *out += ',';
+    first = false;
+    *out += std::to_string(p);
+  }
+  *out += ']';
+}
+
+}  // namespace
+
+std::string
+PortSpace::Brief() const
+{
+  std::string out;
+  AppendSet(&out, "bound", bound_);
+  AppendSet(&out, "tw", time_wait_);
+  return out;
+}
+
+}  // namespace kernelgpt::vnet

@@ -1,0 +1,70 @@
+/// \file
+/// The inet port namespace of the vnet stack. One PortSpace per address
+/// family instance tracks which local ports are bound and which linger
+/// in TIME_WAIT after an active close, and hands out ephemeral ports
+/// from a deterministic allocator — reseeded to a constant on every
+/// module reset, so campaigns are bit-identical across worker counts
+/// and save/resume boundaries.
+
+#ifndef KERNELGPT_VNET_PORTS_H_
+#define KERNELGPT_VNET_PORTS_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "util/rng.h"
+
+namespace kernelgpt::vnet {
+
+/// Port-namespace bookkeeping: bound ports, TIME_WAIT residue, and the
+/// ephemeral allocator. Connection lookup (port -> socket) lives with
+/// the owning family; PortSpace only answers namespace questions.
+class PortSpace {
+ public:
+  /// First ephemeral port, matching the classic IANA dynamic range.
+  static constexpr uint16_t kEphemeralBase = 49152;
+  /// Ephemeral ports are drawn from [base, base + span).
+  static constexpr uint16_t kEphemeralSpan = 4096;
+
+  explicit PortSpace(uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  /// Restores the boot state: no ports bound, no TIME_WAIT residue, and
+  /// the ephemeral allocator back at its seed, so the Nth allocation of
+  /// every program draws the same port.
+  void Reset();
+
+  bool IsBound(uint16_t port) const { return bound_.count(port) != 0; }
+  bool InTimeWait(uint16_t port) const { return time_wait_.count(port) != 0; }
+
+  void Bind(uint16_t port) { bound_.insert(port); }
+  void Unbind(uint16_t port) { bound_.erase(port); }
+
+  /// Moves a port from bound to TIME_WAIT (active close completed).
+  void EnterTimeWait(uint16_t port);
+
+  /// Clears TIME_WAIT residue for one port (reuse allowed by policy).
+  void ClearTimeWait(uint16_t port) { time_wait_.erase(port); }
+
+  /// Deterministically picks a free ephemeral port (never 0, never a
+  /// bound or TIME_WAIT port). Falls back to a linear probe when random
+  /// draws keep colliding, so allocation always terminates.
+  uint16_t AllocateEphemeral();
+
+  bool Idle() const { return bound_.empty() && time_wait_.empty(); }
+
+  /// Normalized summary for the differential oracle's module-state
+  /// shape, e.g. "bound=[5,49152] tw=[8]". std::set iteration order
+  /// makes it independent of bind order and fd numbering.
+  std::string Brief() const;
+
+ private:
+  uint64_t seed_;
+  util::Rng rng_;
+  std::set<uint16_t> bound_;
+  std::set<uint16_t> time_wait_;
+};
+
+}  // namespace kernelgpt::vnet
+
+#endif  // KERNELGPT_VNET_PORTS_H_

@@ -1,0 +1,53 @@
+/// \file
+/// TCP connection states of the vnet stack — the classic RFC 793 state
+/// machine minus the timer-driven states the deterministic, synchronous
+/// model cannot reach (CLOSING is folded into the simultaneous-close
+/// handling; TIME_WAIT is modeled as a per-port namespace property that
+/// outlives the socket, see ports.h).
+
+#ifndef KERNELGPT_VNET_TCP_STATE_H_
+#define KERNELGPT_VNET_TCP_STATE_H_
+
+#include <cstdint>
+
+namespace kernelgpt::vnet {
+
+/// States of one TCP endpoint. Transitions are claimed as dense coverage
+/// blocks (role "trans", detail "FROM->TO") so a fuzzing campaign's
+/// progress through the state machine is visible to the coverage signal.
+enum class TcpState : uint8_t {
+  kClosed,
+  kListen,
+  kSynSent,
+  kSynRcvd,
+  kEstablished,
+  kFinWait1,
+  kFinWait2,
+  kCloseWait,
+  kLastAck,
+  kTimeWait,
+};
+
+/// Canonical uppercase name, used in coverage tuple details, crash
+/// titles, and the module-state shape the differential oracle compares.
+constexpr const char*
+TcpStateName(TcpState s)
+{
+  switch (s) {
+    case TcpState::kClosed: return "CLOSED";
+    case TcpState::kListen: return "LISTEN";
+    case TcpState::kSynSent: return "SYN_SENT";
+    case TcpState::kSynRcvd: return "SYN_RCVD";
+    case TcpState::kEstablished: return "ESTABLISHED";
+    case TcpState::kFinWait1: return "FIN_WAIT1";
+    case TcpState::kFinWait2: return "FIN_WAIT2";
+    case TcpState::kCloseWait: return "CLOSE_WAIT";
+    case TcpState::kLastAck: return "LAST_ACK";
+    case TcpState::kTimeWait: return "TIME_WAIT";
+  }
+  return "?";
+}
+
+}  // namespace kernelgpt::vnet
+
+#endif  // KERNELGPT_VNET_TCP_STATE_H_

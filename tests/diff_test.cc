@@ -217,6 +217,91 @@ TEST_F(DiffTest, DivergenceCountSurvivesSaveResume)
   std::filesystem::remove_all(dir);
 }
 
+TEST_F(DiffTest, NetPolicyKnobsDivergeStrictVsPermissive)
+{
+  // Handcrafted net programs hitting exactly the KernelPolicy knobs the
+  // vnet stack consults: re-listen on a listening socket and re-bind of
+  // a bound socket. Strict refuses both with EINVAL; Permissive allows
+  // them — each must surface as a distinct deduplicated divergence, and
+  // strict-vs-strict must stay silent on the same corpus.
+  SpecLibrary lib;
+  lib.SetConsts(*consts_);
+  lib.Add(drivers::GroundTruthSocketSpec(*Corpus::Instance().FindSocket("tcp")));
+  lib.Finalize();
+
+  size_t socket_idx = lib.syscalls().size();
+  size_t bind_idx = lib.syscalls().size();
+  size_t listen_idx = lib.syscalls().size();
+  for (size_t i = 0; i < lib.syscalls().size(); ++i) {
+    const std::string full = lib.syscalls()[i].FullName();
+    if (full == "socket$tcp") socket_idx = i;
+    if (full == "bind$tcp") bind_idx = i;
+    if (full == "listen$tcp") listen_idx = i;
+  }
+  ASSERT_LT(socket_idx, lib.syscalls().size());
+  ASSERT_LT(bind_idx, lib.syscalls().size());
+  ASSERT_LT(listen_idx, lib.syscalls().size());
+
+  auto scalar = [](uint64_t v) {
+    Arg a;
+    a.scalar = v;
+    return a;
+  };
+  auto ref = [](int call) {
+    Arg a;
+    a.kind = Arg::Kind::kResourceRef;
+    a.ref_call = call;
+    return a;
+  };
+  auto addr = [](uint16_t port) {
+    Arg a;
+    a.kind = Arg::Kind::kBuffer;
+    a.bytes = {2, 0, static_cast<uint8_t>(port), 0, 0, 0, 0, 0};
+    return a;
+  };
+  auto len8 = [&scalar]() {
+    Arg a = scalar(8);
+    a.len_of_param = 1;
+    return a;
+  };
+
+  Prog relisten;
+  relisten.calls = {
+      Call{socket_idx, {scalar(2), scalar(1), scalar(6)}},
+      Call{bind_idx, {ref(0), addr(3), len8()}},
+      Call{listen_idx, {ref(0), scalar(0)}},
+      Call{listen_idx, {ref(0), scalar(0)}},
+  };
+  Prog rebind;
+  rebind.calls = {
+      Call{socket_idx, {scalar(2), scalar(1), scalar(6)}},
+      Call{bind_idx, {ref(0), addr(3), len8()}},
+      Call{bind_idx, {ref(0), addr(4), len8()}},
+  };
+  std::vector<Prog> corpus = {relisten, rebind};
+
+  DiffOptions options;
+  options.boot = Boot;
+  DiffRunner runner(&lib, options);
+  DiffReport report = runner.Run(corpus);
+
+  ASSERT_EQ(report.divergences.size(), 2u) << report.Render();
+  EXPECT_EQ(report.divergences[0].syscall, "listen");
+  EXPECT_EQ(report.divergences[1].syscall, "bind");
+  for (const Divergence& d : report.divergences) {
+    EXPECT_EQ(d.kind, Divergence::Kind::kResult) << d.signature;
+    EXPECT_TRUE(d.minimized) << d.signature;
+    EXPECT_FALSE(d.repro.empty());
+  }
+
+  DiffOptions same;
+  same.baseline = vkernel::MakeStrictModel;
+  same.subject = vkernel::MakeStrictModel;
+  same.boot = Boot;
+  DiffReport silent = DiffRunner(&lib, same).Run(corpus);
+  EXPECT_TRUE(silent.divergences.empty()) << silent.Render();
+}
+
 TEST_F(DiffTest, BeginBatchFaultPointFires)
 {
   ASSERT_TRUE(util::FaultInjector::Instance()
